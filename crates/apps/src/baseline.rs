@@ -1,0 +1,47 @@
+//! Packaging plain routings as path tables.
+//!
+//! The Fig. 9 / §5.4 comparison runs the *same* applications over
+//! REsPoNse-chosen paths and over OSPF-InvCap. To keep everything on one
+//! simulator, a conventional single-path routing is expressed as
+//! [`PathTables`] whose every table points at the same path — the
+//! network then never sleeps anything on those routes (all used links
+//! are "always-on"), which is exactly how a legacy network behaves.
+
+use ecp_routing::RouteSet;
+use respons_core::tables::{OdPaths, PathTables};
+
+/// Wrap a single-path routing into degenerate path tables (always-on =
+/// on-demand = failover = the routing's path).
+pub fn tables_from_routes(routes: &RouteSet) -> PathTables {
+    let mut t = PathTables::new();
+    for (&(o, d), p) in routes.iter() {
+        t.insert(
+            o,
+            d,
+            OdPaths { always_on: p.clone(), on_demand: vec![], failover: p.clone() },
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_routing::ospf_invcap;
+    use ecp_topo::gen::geant;
+    use ecp_topo::NodeId;
+
+    #[test]
+    fn wraps_every_route() {
+        let t = geant();
+        let pairs = vec![(NodeId(0), NodeId(5)), (NodeId(3), NodeId(9))];
+        let rs = ospf_invcap(&t, &pairs, None);
+        let tables = tables_from_routes(&rs);
+        assert_eq!(tables.len(), 2);
+        let od = tables.get(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(&od.always_on, rs.get(NodeId(0), NodeId(5)).unwrap());
+        assert_eq!(od.on_demand.len(), 0);
+        assert_eq!(od.failover, od.always_on);
+        assert_eq!(tables.validate(&t), Ok(()));
+    }
+}

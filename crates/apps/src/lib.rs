@@ -1,0 +1,26 @@
+//! # ecp-apps — application workloads over the simulated network
+//!
+//! The §5.4 experiments: does consolidating traffic on energy-critical
+//! paths hurt applications?
+//!
+//! * [`streaming`] — a BulletMedia-like live streaming workload: a
+//!   source streams a 600 kbps media file to N clients; a client can
+//!   "play" when media blocks arrive before their play deadlines. The
+//!   paper's Fig. 9 reports the percentage of clients that can play
+//!   under REsPoNse-lat vs OSPF-InvCap at two load levels, plus the
+//!   ≈5% block-retrieval-latency increase.
+//! * [`web`] — an Apache/httperf-like closed-loop web workload: static
+//!   files with sizes drawn from a SPECweb2005-banking-like
+//!   distribution; the paper reports a ≈9% retrieval-latency increase
+//!   under REsPoNse-lat.
+//! * [`baseline`] — helpers to package a plain routing (e.g.
+//!   OSPF-InvCap) as [`respons_core::PathTables`] so both systems run on
+//!   the identical simulator.
+
+pub mod baseline;
+pub mod streaming;
+pub mod web;
+
+pub use baseline::tables_from_routes;
+pub use streaming::{run_streaming, ClientStats, StreamingConfig, StreamingResult};
+pub use web::{run_web, WebConfig, WebResult};

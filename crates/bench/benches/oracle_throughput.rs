@@ -1,0 +1,29 @@
+//! Feasibility-oracle throughput: demands placed per second on GÉANT.
+//!
+//! The oracle is the inner loop of every subset optimizer; its speed
+//! bounds how fast the recompute-per-change baselines can possibly run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecp_routing::{place_flows, OracleConfig};
+use ecp_topo::gen::geant;
+use ecp_traffic::{gravity_matrix, random_od_pairs};
+
+fn oracle_throughput(c: &mut Criterion) {
+    let topo = geant();
+    let oc = OracleConfig::default();
+    let mut g = c.benchmark_group("oracle_place_flows_geant");
+    for demands in [50usize, 150, 450] {
+        let pairs = random_od_pairs(&topo, demands, 5);
+        let tm = gravity_matrix(&topo, &pairs, topo.total_capacity() * 0.02);
+        g.bench_with_input(BenchmarkId::from_parameter(demands), &demands, |b, _| {
+            b.iter(|| {
+                let r = place_flows(&topo, None, &tm, &oc);
+                assert!(r.is_some());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, oracle_throughput);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Planner runtime vs topology size — the scalability side of the
+//! paper's optimality–scalability trade-off.
+//!
+//! The paper's point: exact recomputation takes minutes-to-hours per
+//! traffic change, while REsPoNse plans *once*. These benches quantify
+//! our planner's one-time cost on growing Waxman WANs and compare the
+//! per-change cost of the recompute-every-interval baseline
+//! (`optimal_subset`) against the zero-cost REsPoNse steady state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecp_power::PowerModel;
+use ecp_routing::{optimal_subset, OracleConfig};
+use ecp_topo::gen::random_waxman_default;
+use ecp_traffic::{gravity_matrix, random_od_pairs};
+use respons_core::{Planner, PlannerConfig};
+
+fn planner_scaling(c: &mut Criterion) {
+    let pm = PowerModel::cisco12000();
+    let mut g = c.benchmark_group("planner_plan_once");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let topo = random_waxman_default(n, 7);
+        let pairs = random_od_pairs(&topo, 60.min(n * (n - 1)), 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let t = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
+                assert!(!t.is_empty());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn recompute_baseline(c: &mut Criterion) {
+    let pm = PowerModel::cisco12000();
+    let oc = OracleConfig::default();
+    let mut g = c.benchmark_group("optimal_recompute_per_change");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let topo = random_waxman_default(n, 7);
+        let pairs = random_od_pairs(&topo, 60.min(n * (n - 1)), 3);
+        let tm = gravity_matrix(&topo, &pairs, topo.total_capacity() * 0.02);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = optimal_subset(&topo, &pm, &tm, &oc);
+                assert!(r.is_some());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, planner_scaling, recompute_baseline);
+criterion_main!(benches);

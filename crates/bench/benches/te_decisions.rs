@@ -1,0 +1,30 @@
+//! REsPoNseTE decision-rate microbenchmark: share updates per second.
+//!
+//! The paper's scalability argument for the online component is that
+//! each edge agent only processes its own paths; this bench shows a
+//! single decision is sub-microsecond, so even a PoP with thousands of
+//! OD aggregates keeps per-interval work trivial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use respons_core::te::{decide_shares, PathView, TeConfig};
+
+fn te_decisions(c: &mut Criterion) {
+    let cfg = TeConfig::default();
+    let mut g = c.benchmark_group("te_decide_shares");
+    for paths in [2usize, 3, 5] {
+        let views: Vec<PathView> = (0..paths)
+            .map(|i| PathView { headroom: (i as f64 + 1.0) * 1e6, available: true })
+            .collect();
+        let shares = vec![1.0 / paths as f64; paths];
+        g.bench_with_input(BenchmarkId::from_parameter(paths), &paths, |b, _| {
+            b.iter(|| {
+                let s = decide_shares(5e6, &views, &shares, &cfg);
+                assert_eq!(s.len(), views.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, te_decisions);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation — stress-factor link-exclusion fraction (§4.2).
+//!
+//! Paper: "Our sensitivity analysis shows that excluding 20% of the
+//! links with the highest stress is sufficient to produce a set of paths
+//! that together with the always-on paths can accommodate peak-hour
+//! traffic demands."
+//!
+//! We sweep the exclusion fraction and report (a) the max volume the
+//! combined tables support and (b) the idle power of the always-on +
+//! first-on-demand activation.
+//!
+//! Usage: `--pairs 120 --seed 1`
+
+use ecp_bench::{arg, print_table, write_json};
+use ecp_power::PowerModel;
+use ecp_topo::gen::geant;
+use ecp_traffic::{gravity_matrix, random_od_pairs};
+use respons_core::replay::place_matrix;
+use respons_core::{OnDemandStrategy, Planner, PlannerConfig, TeConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    exclude_fraction: f64,
+    placed_fraction_at_peak: f64,
+    peak_power_frac: f64,
+    distinct_on_demand_fraction: f64,
+}
+
+fn main() {
+    let pairs_n: usize = arg("pairs", 120);
+    let seed: u64 = arg("seed", 1);
+
+    let topo = geant();
+    let pm = PowerModel::cisco12000();
+    let pairs = random_od_pairs(&topo, pairs_n, seed);
+    let te = TeConfig { threshold: 1.0, ..Default::default() };
+    // Peak-hour demand: 85% of the free-routing maximum — hard enough
+    // that poor on-demand choices cannot hide behind spare capacity.
+    let oc = ecp_routing::OracleConfig::default();
+    let peak_tm = gravity_matrix(
+        &topo,
+        &pairs,
+        ecp_bench::max_feasible_volume(&topo, &pairs, &oc) * 0.85,
+    );
+    let full = pm.full_power(&topo);
+
+    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for &f in &fractions {
+        eprintln!("planning with exclusion fraction {f}...");
+        let cfg = PlannerConfig {
+            strategy: OnDemandStrategy::StressFactor { exclude_fraction: f },
+            ..Default::default()
+        };
+        let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
+        let (active, placed, _, _) = place_matrix(&topo, &tables, &peak_tm, &te);
+        let peak_power = pm.network_power(&topo, &active) / full;
+        let distinct = tables
+            .iter()
+            .filter(|(_, p)| p.on_demand.first().map(|od| od != &p.always_on).unwrap_or(false))
+            .count() as f64
+            / tables.len().max(1) as f64;
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * f),
+            format!("{:.1}%", 100.0 * placed),
+            format!("{:.1}%", 100.0 * peak_power),
+            format!("{:.0}%", 100.0 * distinct),
+        ]);
+        out.push(Row {
+            exclude_fraction: f,
+            placed_fraction_at_peak: placed,
+            peak_power_frac: peak_power,
+            distinct_on_demand_fraction: distinct,
+        });
+    }
+    print_table(
+        "Ablation: stress-factor exclusion fraction (GEANT-like, peak-hour demand)",
+        &["excluded links", "peak traffic placed", "peak power", "distinct on-demand paths"],
+        &rows,
+    );
+    let at20 = out.iter().find(|r| (r.exclude_fraction - 0.2).abs() < 1e-9).unwrap();
+    let best = out.iter().map(|r| r.placed_fraction_at_peak).fold(0.0, f64::max);
+    println!(
+        "\npaper: 20% exclusion suffices for peak demands   measured: 20% places {:.1}% of peak (best sweep value {:.1}%)",
+        100.0 * at20.placed_fraction_at_peak,
+        100.0 * best
+    );
+
+    write_json("ablation_stress_exclusion", &out);
+}

@@ -1,0 +1,81 @@
+//! Ablation — TE activation threshold / safety margin (§4.4–4.5).
+//!
+//! Paper: "REsPoNseTE allows the ISPs to set a link utilization
+//! threshold, which [...] prevents the performance penalties and
+//! congestion by activating the on-demand paths sooner"; the safety
+//! margin `sm` trades power savings against reserved headroom.
+//!
+//! We sweep the threshold and report mean power and congestion over the
+//! GÉANT-like replay.
+//!
+//! Usage: `--pairs 120 --days 3 --seed 1`
+
+use ecp_bench::{arg, print_table, write_json};
+use ecp_power::PowerModel;
+use ecp_routing::OracleConfig;
+use ecp_topo::gen::geant;
+use ecp_traffic::{geant_like_trace, random_od_pairs};
+use respons_core::{steady_state_replay, Planner, PlannerConfig, TeConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    threshold: f64,
+    mean_power_frac: f64,
+    congested_fraction: f64,
+    mean_spilled_demands: f64,
+}
+
+fn main() {
+    let pairs_n: usize = arg("pairs", 120);
+    let days: usize = arg("days", 3);
+    let seed: u64 = arg("seed", 1);
+
+    let topo = geant();
+    let pm = PowerModel::cisco12000();
+    let pairs = random_od_pairs(&topo, pairs_n, seed);
+    let _oc = OracleConfig::default();
+
+    eprintln!("planning once...");
+    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
+
+    // Scale the trace to the installed tables (like Fig. 5): peak just
+    // above the always-on capacity so the threshold choice matters.
+    let base = ecp_traffic::gravity_matrix(&topo, &pairs, 1e9);
+    let te_full = TeConfig { threshold: 1.0, ..Default::default() };
+    let aon = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te_full, 1);
+    let peak = 1e9 * aon * 1.15;
+    let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for thr in [0.5, 0.7, 0.9, 0.95, 1.0] {
+        eprintln!("replaying at threshold {thr}...");
+        let te = TeConfig { threshold: thr, ..Default::default() };
+        let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
+        let spilled = rep.points.iter().map(|p| p.spilled_demands as f64).sum::<f64>()
+            / rep.points.len().max(1) as f64;
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * thr),
+            format!("{:.1}%", 100.0 * rep.mean_power_fraction()),
+            format!("{:.2}%", 100.0 * rep.congested_fraction()),
+            format!("{spilled:.1}"),
+        ]);
+        out.push(Row {
+            threshold: thr,
+            mean_power_frac: rep.mean_power_fraction(),
+            congested_fraction: rep.congested_fraction(),
+            mean_spilled_demands: spilled,
+        });
+    }
+    print_table(
+        "Ablation: utilization threshold sweep (GEANT-like replay)",
+        &["threshold", "mean power", "congested intervals", "mean spilled demands"],
+        &rows,
+    );
+    println!("\npaper: lower thresholds wake on-demand paths sooner (more headroom, more power)");
+    let monotone = out.windows(2).all(|w| w[1].mean_power_frac <= w[0].mean_power_frac + 0.02);
+    println!("measured: power weakly decreases as threshold loosens: {monotone}");
+
+    write_json("ablation_threshold", &out);
+}

@@ -1,0 +1,146 @@
+//! Figure 5 — REsPoNse power over a 15-day GÉANT traffic replay.
+//!
+//! Paper: "energy savings are around 30% and 42% (for representative
+//! hardware today and a future alternative, respectively) [...] the
+//! power consumption varies little with large changes in traffic demand
+//! [...] there was no need to recompute the on-demand paths — a single
+//! computation [...] was sufficient for the 15-day period."
+//!
+//! Usage: `--days 15 --pairs 150 --nodes 17 --seed 1 --peak-frac 1.15`
+
+use ecp_bench::{arg, print_table, write_json};
+use ecp_power::PowerModel;
+use ecp_routing::{ospf_invcap, OracleConfig};
+use ecp_topo::gen::geant;
+use ecp_traffic::{geant_like_trace, random_od_pairs_subset};
+use respons_core::{steady_state_replay, Planner, PlannerConfig, TeConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    days: usize,
+    pairs: usize,
+    ospf_power_frac: f64,
+    response_mean_frac: f64,
+    response_alt_hw_mean_frac: f64,
+    savings_today_pct: f64,
+    savings_alt_hw_pct: f64,
+    congested_fraction: f64,
+    power_stddev: f64,
+    daily_mean_frac: Vec<f64>,
+}
+
+fn main() {
+    let days: usize = arg("days", 15);
+    let pairs_n: usize = arg("pairs", 150);
+    let seed: u64 = arg("seed", 1);
+    // Diurnal peak relative to the always-on tables' capacity: slightly
+    // above 1.0 so daytime peaks occasionally wake on-demand paths —
+    // the paper's "low to medium level of traffic" regime (GÉANT was
+    // heavily overprovisioned; its TOTEM volumes sat far below link
+    // capacity).
+    let peak_vs_always_on: f64 = arg("peak-frac", 1.15);
+
+    let nodes_n: usize = arg("nodes", 19);
+    let topo = geant();
+    // Random subset of PoPs as origins/destinations (paper methodology);
+    // the remaining PoPs are pure transit and may sleep entirely.
+    let pairs = random_od_pairs_subset(&topo, nodes_n, pairs_n, seed);
+    let _oc = OracleConfig::default();
+    let te = TeConfig::default();
+
+    // OSPF-InvCap baseline: a conventional network has no sleeping
+    // capability at all — every chassis and line card stays powered, so
+    // its draw is the full "original power" (the paper's flat ~100%
+    // OSPF curve). We still compute the routing to verify coverage.
+    let pm = PowerModel::cisco12000();
+    let ospf = ospf_invcap(&topo, &pairs, None);
+    assert!(ospf.covers(&ecp_traffic::gravity_matrix(&topo, &pairs, 1.0)));
+    let ospf_frac = 1.0;
+
+    // REsPoNse with today's hardware: plan once, replay 15 days.
+    eprintln!("planning REsPoNse tables once (cisco12000)...");
+    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
+
+    // Scale the trace to the installed capacity (see header comment).
+    let base = ecp_traffic::gravity_matrix(&topo, &pairs, 1e9);
+    let aon_scale =
+        respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 1);
+    let all_scale =
+        respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 3);
+    let peak = (1e9 * aon_scale * peak_vs_always_on).min(1e9 * all_scale * 0.95);
+    eprintln!(
+        "always-on capacity {:.2} Gbps, all-tables {:.2} Gbps, trace peak {:.2} Gbps",
+        aon_scale, all_scale, peak / 1e9
+    );
+    let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
+    eprintln!("replaying {} intervals...", trace.len());
+    let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
+
+    // Alternative hardware: chassis/10; plan with its own model.
+    let pm_alt = PowerModel::alternative_hw();
+    let tables_alt = Planner::new(&topo, &pm_alt).plan_pairs(&PlannerConfig::default(), &pairs);
+    let rep_alt = steady_state_replay(&topo, &pm_alt, &tables_alt, &trace, &te);
+
+    let per_day = (86_400.0 / trace.interval_s) as usize;
+    let daily: Vec<f64> = rep
+        .points
+        .chunks(per_day)
+        .map(|c| c.iter().map(|p| p.power_frac).sum::<f64>() / c.len() as f64)
+        .collect();
+    let rows: Vec<Vec<String>> = daily
+        .iter()
+        .enumerate()
+        .map(|(d, f)| {
+            let alt = rep_alt.points[d * per_day..((d + 1) * per_day).min(rep_alt.points.len())]
+                .iter()
+                .map(|p| p.power_frac)
+                .sum::<f64>()
+                / per_day as f64;
+            vec![
+                format!("day {}", d + 1),
+                format!("{:.1}%", 100.0 * ospf_frac),
+                format!("{:.1}%", 100.0 * f),
+                format!("{:.1}%", 100.0 * alt),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 5: power (% of original) over the GEANT-like replay",
+        &["", "ospf", "REsPoNse", "REsPoNse (alt HW)"],
+        &rows,
+    );
+
+    let mean = rep.mean_power_fraction();
+    let mean_alt = rep_alt.mean_power_fraction();
+    let savings_today = 100.0 * (ospf_frac - mean) / ospf_frac;
+    let savings_alt = 100.0 * (ospf_frac - mean_alt) / ospf_frac;
+    let var = rep
+        .points
+        .iter()
+        .map(|p| (p.power_frac - mean).powi(2))
+        .sum::<f64>()
+        / rep.points.len().max(1) as f64;
+    println!("\npaper: ~30% savings today, ~42% with alternative HW; power varies little; 0 recomputations");
+    println!(
+        "measured: savings {savings_today:.1}% (today), {savings_alt:.1}% (alt HW); power stddev {:.2}pp; congested intervals {:.2}%",
+        100.0 * var.sqrt(),
+        100.0 * rep.congested_fraction()
+    );
+
+    write_json(
+        "fig5_geant_replay",
+        &Out {
+            days,
+            pairs: pairs_n,
+            ospf_power_frac: ospf_frac,
+            response_mean_frac: mean,
+            response_alt_hw_mean_frac: mean_alt,
+            savings_today_pct: savings_today,
+            savings_alt_hw_pct: savings_alt,
+            congested_fraction: rep.congested_fraction(),
+            power_stddev: var.sqrt(),
+            daily_mean_frac: daily,
+        },
+    );
+}

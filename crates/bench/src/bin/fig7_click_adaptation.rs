@@ -1,0 +1,139 @@
+//! Figure 7 — Click-testbed adaptation experiment.
+//!
+//! Paper (§5.3): 9 routers in the Fig.-3 topology (no B), 10 Mbps /
+//! 16.67 ms links; A and C each send 5 flows (~2.5 Mbps each aggregate)
+//! toward K over two candidate paths. REsPoNseTE starts at t = 5 s and
+//! within ~200 ms (2 RTTs) consolidates traffic on the middle always-on
+//! path, letting the upper/lower links sleep. At t = 5.7 s the middle
+//! link fails; detection + propagation takes 100 ms and waking a link
+//! 10 ms, after which the on-demand/failover paths carry the traffic.
+//!
+//! Usage: `--duration 8`
+
+use ecp_bench::{arg, print_table, write_json};
+use ecp_power::PowerModel;
+use ecp_simnet::{SimConfig, Simulation};
+use ecp_topo::gen::fig3_click;
+use ecp_topo::Path;
+use respons_core::tables::OdPaths;
+use respons_core::{PathTables, TeConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    /// (t, middle, upper, lower) delivered rates in Mbps.
+    series: Vec<(f64, f64, f64, f64)>,
+    consolidation_done_at: Option<f64>,
+    failure_at: f64,
+    restored_at: Option<f64>,
+    restore_latency_ms: Option<f64>,
+}
+
+fn main() {
+    let duration: f64 = arg("duration", 8.0);
+    let (topo, n) = fig3_click();
+    let pm = PowerModel::cisco12000();
+
+    // Tables exactly as the paper describes (Fig. 3): middle always-on,
+    // upper/lower on-demand doubling as failover.
+    let mut tables = PathTables::new();
+    tables.insert(
+        n.a,
+        n.k,
+        OdPaths {
+            always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
+            on_demand: vec![Path::new(vec![n.a, n.d, n.g, n.k])],
+            failover: Path::new(vec![n.a, n.d, n.g, n.k]),
+        },
+    );
+    tables.insert(
+        n.c,
+        n.k,
+        OdPaths {
+            always_on: Path::new(vec![n.c, n.e, n.h, n.k]),
+            on_demand: vec![Path::new(vec![n.c, n.f, n.j, n.k])],
+            failover: Path::new(vec![n.c, n.f, n.j, n.k]),
+        },
+    );
+
+    // Max RTT: 6 hops of 16.67 ms ~ 100 ms -> control interval T.
+    let cfg = SimConfig {
+        te: TeConfig::default(),
+        control_interval: 0.1,
+        wake_time: 0.01,   // "10 ms to wake up a sleeping link"
+        detect_delay: 0.1, // "100 ms for the failure to be detected and propagated"
+        sleep_after: 0.2,
+        sample_interval: 0.05,
+        te_start: 5.0, // "REsPoNseTE starts running at t = 5 s"
+    };
+    let mut sim = Simulation::new(&topo, &pm, &tables, cfg);
+    // 5 flows x ~0.5 Mbps per source (paper: 10 pps each, ~5 Mbps total
+    // across both sources).
+    let fa = sim.add_flow(&tables, n.a, n.k, 2.5e6);
+    let fc = sim.add_flow(&tables, n.c, n.k, 2.5e6);
+    // Pre-TE state: traffic spread over both candidate paths.
+    sim.set_shares(fa, vec![0.5, 0.5]);
+    sim.set_shares(fc, vec![0.5, 0.5]);
+
+    // Fail the middle link at t = 5.7 s.
+    let eh = topo.find_arc(n.e, n.h).unwrap();
+    sim.schedule_link_failure(5.7, eh);
+    sim.run_until(duration);
+
+    // Extract the three series: middle = sum of always-on paths, upper =
+    // A's on-demand, lower = C's on-demand.
+    let rec = sim.recorder();
+    let series: Vec<(f64, f64, f64, f64)> = rec
+        .samples()
+        .iter()
+        .map(|s| {
+            let middle = s.per_flow_path_rates[0][0] + s.per_flow_path_rates[1][0];
+            let upper = s.per_flow_path_rates[0][1];
+            let lower = s.per_flow_path_rates[1][1];
+            (s.t, middle / 1e6, upper / 1e6, lower / 1e6)
+        })
+        .collect();
+
+    let consolidated = series
+        .iter()
+        .find(|&&(t, m, u, l)| t >= 5.0 && m > 4.5 && u < 0.1 && l < 0.1)
+        .map(|&(t, ..)| t);
+    let restored = series
+        .iter()
+        .find(|&&(t, _, u, l)| t >= 5.7 && (u + l) > 4.5)
+        .map(|&(t, ..)| t);
+
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .filter(|&&(t, ..)| (4.0..=7.0).contains(&t))
+        .step_by(2)
+        .map(|&(t, m, u, l)| {
+            vec![format!("{t:.2}"), format!("{m:.2}"), format!("{u:.2}"), format!("{l:.2}")]
+        })
+        .collect();
+    print_table(
+        "Fig 7: per-path rates (Mbps) around TE start (t=5) and failure (t=5.7)",
+        &["t (s)", "middle", "upper", "lower"],
+        &rows,
+    );
+    println!("\npaper: consolidation ~200 ms after t=5; failover restores traffic after ~110 ms + RTTs");
+    match (consolidated, restored) {
+        (Some(c), Some(r)) => println!(
+            "measured: consolidated at t={c:.2}s ({:.0} ms after TE start); restored at t={r:.2}s ({:.0} ms after failure)",
+            (c - 5.0) * 1e3,
+            (r - 5.7) * 1e3
+        ),
+        _ => println!("measured: consolidation={consolidated:?} restored={restored:?}"),
+    }
+
+    write_json(
+        "fig7_click_adaptation",
+        &Out {
+            series,
+            consolidation_done_at: consolidated,
+            failure_at: 5.7,
+            restored_at: restored,
+            restore_latency_ms: restored.map(|r| (r - 5.7) * 1e3),
+        },
+    );
+}

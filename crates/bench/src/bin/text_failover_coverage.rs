@@ -1,0 +1,69 @@
+//! §4.3 in-text analysis — single-link-failure coverage of the
+//! installed tables.
+//!
+//! Paper: "We have opted for a single failover path per (O,D) pair
+//! because our analysis revealed that even a single path can deal with
+//! vast majority of failures, without causing any disconnectivity in
+//! the network."
+//!
+//! Usage: `--pairs 150 --seed 1`
+
+use ecp_bench::{arg, print_table, write_json};
+use ecp_power::PowerModel;
+use ecp_topo::gen::{abovenet, geant, genuity};
+use ecp_topo::Topology;
+use ecp_traffic::random_od_pairs;
+use respons_core::{single_link_failure_coverage, Planner, PlannerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    topology: String,
+    coverage: f64,
+    pairs_fully_protected: f64,
+    critical_links: usize,
+}
+
+fn analyze(topo: &Topology, pairs_n: usize, seed: u64) -> Row {
+    let pm = PowerModel::cisco12000();
+    let pairs = random_od_pairs(topo, pairs_n, seed);
+    let tables = Planner::new(topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
+    let rep = single_link_failure_coverage(topo, &tables);
+    Row {
+        topology: topo.name().to_string(),
+        coverage: rep.coverage(),
+        pairs_fully_protected: rep.pairs_fully_protected,
+        critical_links: rep.critical_links.len(),
+    }
+}
+
+fn main() {
+    let pairs_n: usize = arg("pairs", 150);
+    let seed: u64 = arg("seed", 1);
+
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for topo in [geant(), abovenet(), genuity()] {
+        eprintln!("planning and sweeping failures on {}...", topo.name());
+        let r = analyze(&topo, pairs_n, seed);
+        rows.push(vec![
+            r.topology.clone(),
+            format!("{:.1}%", 100.0 * r.coverage),
+            format!("{:.1}%", 100.0 * r.pairs_fully_protected),
+            r.critical_links.to_string(),
+        ]);
+        out.push(r);
+    }
+    print_table(
+        "Single-link-failure coverage of planner output (3 paths per pair)",
+        &["topology", "survivable (pair,link) combos", "fully protected pairs", "critical links"],
+        &rows,
+    );
+    println!("\npaper: a single failover path deals with the vast majority of failures");
+    println!(
+        "measured: {:.1}% average combo coverage across the three ISP maps",
+        100.0 * out.iter().map(|r| r.coverage).sum::<f64>() / out.len() as f64
+    );
+
+    write_json("text_failover_coverage", &out);
+}

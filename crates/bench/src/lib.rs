@@ -1,0 +1,179 @@
+//! # ecp-bench — the experiment harness
+//!
+//! One binary per figure of the paper (see DESIGN.md §4 for the index),
+//! plus ablation binaries and Criterion micro-benchmarks. Every binary:
+//!
+//! * prints a human-readable table mirroring the paper's figure,
+//! * writes machine-readable JSON under `results/`,
+//! * accepts `--key value` overrides for the main knobs (`--days 3`
+//!   etc.) so CI can run scaled-down versions,
+//! * is deterministic (all randomness seeded).
+//!
+//! Run everything (release mode strongly recommended):
+//!
+//! ```text
+//! cargo run --release -p ecp-bench --bin fig5_geant_replay
+//! cargo run --release -p ecp-bench --bin run_all
+//! ```
+
+use ecp_routing::oracle::OracleConfig;
+use ecp_routing::place_flows;
+use ecp_topo::{NodeId, Topology};
+use ecp_traffic::{gravity_matrix, TrafficMatrix};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Parse `--name value` from argv; fall back to `default`.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == format!("--{name}") {
+            if let Ok(v) = w[1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Results directory (created on demand): `results/` next to the
+/// workspace root, overridable with `ECP_RESULTS_DIR`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ECP_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Serialize a result to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let s = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, s).expect("write result");
+    println!("[results] wrote {}", path.display());
+}
+
+/// Print an ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// The paper's max-load scaling procedure (§5.1): "we first compute the
+/// maximum traffic load as the traffic volume that the optimal routing
+/// can accommodate if the gravity-determined proportions are kept. We do
+/// this by incrementally increasing the traffic demand by 10% up to a
+/// point where CPLEX cannot find a routing" — our oracle plays CPLEX's
+/// role. Returns the total volume marking 100% load.
+pub fn max_feasible_volume(
+    topo: &Topology,
+    od_pairs: &[(NodeId, NodeId)],
+    oracle: &OracleConfig,
+) -> f64 {
+    let start = topo.total_capacity() * 0.01;
+    let base = gravity_matrix(topo, od_pairs, start);
+    // Find an infeasible upper bound by +10% steps.
+    let feasible = |v: f64| -> bool {
+        let tm = base.scaled(v / start);
+        place_flows(topo, None, &tm, oracle).is_some()
+    };
+    let mut volume = start;
+    if !feasible(volume) {
+        // Even 1% of capacity is too much; shrink instead.
+        while volume > 1.0 && !feasible(volume) {
+            volume /= 2.0;
+        }
+        return volume;
+    }
+    let mut hi = volume;
+    while feasible(hi) {
+        hi *= 1.1;
+    }
+    let mut lo = hi / 1.1;
+    // Refine a little for stable results.
+    for _ in 0..10 {
+        let mid = 0.5 * (lo + hi);
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Gravity matrix at a percentage of the maximum feasible load.
+pub fn gravity_at_utilization(
+    topo: &Topology,
+    od_pairs: &[(NodeId, NodeId)],
+    oracle: &OracleConfig,
+    util_percent: f64,
+) -> TrafficMatrix {
+    let max = max_feasible_volume(topo, od_pairs, oracle);
+    gravity_matrix(topo, od_pairs, max * util_percent / 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::geant;
+    use ecp_traffic::random_od_pairs;
+
+    #[test]
+    fn max_feasible_volume_is_tight() {
+        let t = geant();
+        let pairs = random_od_pairs(&t, 60, 1);
+        let oc = OracleConfig::default();
+        let v = max_feasible_volume(&t, &pairs, &oc);
+        assert!(v > 0.0);
+        let at_100 = gravity_matrix(&t, &pairs, v);
+        assert!(place_flows(&t, None, &at_100, &oc).is_some(), "100% is feasible");
+        let beyond = gravity_matrix(&t, &pairs, v * 1.25);
+        assert!(place_flows(&t, None, &beyond, &oc).is_none(), "125% is not");
+    }
+
+    #[test]
+    fn gravity_at_utilization_scales() {
+        let t = geant();
+        let pairs = random_od_pairs(&t, 40, 2);
+        let oc = OracleConfig::default();
+        let m50 = gravity_at_utilization(&t, &pairs, &oc, 50.0);
+        let m100 = gravity_at_utilization(&t, &pairs, &oc, 100.0);
+        assert!((m100.total() / m50.total() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(arg("definitely-not-passed", 42usize), 42);
+        assert_eq!(arg("also-not-passed", 1.5f64), 1.5);
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.305), "30.5%");
+    }
+}

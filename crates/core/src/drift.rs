@@ -1,0 +1,288 @@
+//! Replan triggering — the paper's stated future work, implemented.
+//!
+//! "As part of our future work, we plan to quantify the level at which
+//! topology changes (failures, routing changes, etc.) would warrant
+//! recomputing the energy-critical paths." (§6)
+//!
+//! The installed tables assume (a) the topology they were planned on and
+//! (b) a long-term demand envelope. [`DriftDetector`] watches cheap
+//! runtime signals — the same per-interval observations the steady-state
+//! replay produces — over a sliding window and advises when either
+//! assumption has eroded:
+//!
+//! * **Demand drift**: traffic persistently spills past the always-on
+//!   table (the low-power state no longer matches typical load), or
+//!   intervals go congested (even all tables cannot place the load).
+//! * **Topology drift**: installed paths broken by permanent element
+//!   removal, or protection coverage degraded below a floor.
+
+use crate::replay::ReplayPoint;
+use crate::resilience::single_link_failure_coverage;
+use crate::tables::PathTables;
+use ecp_topo::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Why a replan is advised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplanReason {
+    /// More than `congestion_tolerance` of the window could not place
+    /// all traffic within the threshold.
+    PersistentCongestion {
+        /// Observed congested fraction over the window.
+        fraction: f64,
+    },
+    /// On-demand paths were active in more than `spill_tolerance` of the
+    /// window — the "always-on" designation no longer reflects typical
+    /// load (wasted wake-ups and non-optimal paths around the clock).
+    AlwaysOnOutgrown {
+        /// Observed fraction of intervals with spilled demands.
+        fraction: f64,
+    },
+    /// Installed paths no longer resolve in the (changed) topology.
+    BrokenPaths {
+        /// Number of OD pairs with at least one unresolvable path.
+        pairs: usize,
+    },
+    /// Single-link-failure coverage fell below the configured floor.
+    ProtectionDegraded {
+        /// Current coverage.
+        coverage: f64,
+    },
+}
+
+/// Advice from the detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplanAdvice {
+    /// Tables remain adequate.
+    Keep,
+    /// Replanning is warranted for the listed reasons.
+    Replan(Vec<ReplanReason>),
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Sliding-window length in observations (e.g. 4 days of 15-min
+    /// intervals = 384).
+    pub window: usize,
+    /// Tolerated fraction of congested intervals (default 2%).
+    pub congestion_tolerance: f64,
+    /// Tolerated fraction of intervals using on-demand paths (default
+    /// 50% — on-demand is *expected* during daily peaks; persistent use
+    /// beyond half the day means the split is wrong).
+    pub spill_tolerance: f64,
+    /// Minimum acceptable single-link-failure coverage (default 0.9).
+    pub min_protection: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 384,
+            congestion_tolerance: 0.02,
+            spill_tolerance: 0.5,
+            min_protection: 0.9,
+        }
+    }
+}
+
+/// Sliding-window drift detector over replay/runtime observations.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    congested: VecDeque<bool>,
+    spilled: VecDeque<bool>,
+}
+
+impl DriftDetector {
+    /// New detector.
+    pub fn new(cfg: DriftConfig) -> Self {
+        DriftDetector { cfg, congested: VecDeque::new(), spilled: VecDeque::new() }
+    }
+
+    /// Feed one interval's observation.
+    pub fn observe(&mut self, point: &ReplayPoint) {
+        self.congested.push_back(point.placed_fraction < 1.0 - 1e-9);
+        self.spilled.push_back(point.spilled_demands > 0);
+        while self.congested.len() > self.cfg.window {
+            self.congested.pop_front();
+            self.spilled.pop_front();
+        }
+    }
+
+    /// Fraction of the current window that was congested.
+    pub fn congested_fraction(&self) -> f64 {
+        frac(&self.congested)
+    }
+
+    /// Fraction of the current window with on-demand spill.
+    pub fn spilled_fraction(&self) -> f64 {
+        frac(&self.spilled)
+    }
+
+    /// Demand-side advice from the window (call any time; meaningful
+    /// once the window has filled).
+    pub fn demand_advice(&self) -> ReplanAdvice {
+        let mut reasons = Vec::new();
+        // Demand a full window before judging: transient start-up spikes
+        // should not trigger replans.
+        if self.congested.len() >= self.cfg.window {
+            let c = self.congested_fraction();
+            if c > self.cfg.congestion_tolerance {
+                reasons.push(ReplanReason::PersistentCongestion { fraction: c });
+            }
+            let s = self.spilled_fraction();
+            if s > self.cfg.spill_tolerance {
+                reasons.push(ReplanReason::AlwaysOnOutgrown { fraction: s });
+            }
+        }
+        if reasons.is_empty() {
+            ReplanAdvice::Keep
+        } else {
+            ReplanAdvice::Replan(reasons)
+        }
+    }
+
+    /// Topology-side advice: check the installed tables against the
+    /// (possibly changed) topology.
+    pub fn topology_advice(&self, topo: &Topology, tables: &PathTables) -> ReplanAdvice {
+        let mut reasons = Vec::new();
+        let broken = tables
+            .iter()
+            .filter(|(_, od)| od.all().iter().any(|p| !p.is_valid_in(topo)))
+            .count();
+        if broken > 0 {
+            reasons.push(ReplanReason::BrokenPaths { pairs: broken });
+        } else {
+            let cov = single_link_failure_coverage(topo, tables).coverage();
+            if cov < self.cfg.min_protection {
+                reasons.push(ReplanReason::ProtectionDegraded { coverage: cov });
+            }
+        }
+        if reasons.is_empty() {
+            ReplanAdvice::Keep
+        } else {
+            ReplanAdvice::Replan(reasons)
+        }
+    }
+}
+
+fn frac(v: &VecDeque<bool>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().filter(|&&b| b).count() as f64 / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(placed: f64, spilled: usize) -> ReplayPoint {
+        ReplayPoint {
+            t: 0.0,
+            power_w: 0.0,
+            power_frac: 0.5,
+            placed_fraction: placed,
+            max_util: 0.5,
+            spilled_demands: spilled,
+        }
+    }
+
+    fn detector(window: usize) -> DriftDetector {
+        DriftDetector::new(DriftConfig { window, ..Default::default() })
+    }
+
+    #[test]
+    fn quiet_window_keeps_tables() {
+        let mut d = detector(10);
+        for _ in 0..20 {
+            d.observe(&point(1.0, 0));
+        }
+        assert_eq!(d.demand_advice(), ReplanAdvice::Keep);
+    }
+
+    #[test]
+    fn persistent_congestion_triggers() {
+        let mut d = detector(10);
+        for _ in 0..10 {
+            d.observe(&point(0.9, 3));
+        }
+        match d.demand_advice() {
+            ReplanAdvice::Replan(rs) => {
+                assert!(rs
+                    .iter()
+                    .any(|r| matches!(r, ReplanReason::PersistentCongestion { .. })));
+            }
+            ReplanAdvice::Keep => panic!("congested window must trigger"),
+        }
+    }
+
+    #[test]
+    fn partial_window_never_triggers() {
+        let mut d = detector(100);
+        for _ in 0..50 {
+            d.observe(&point(0.5, 5));
+        }
+        assert_eq!(d.demand_advice(), ReplanAdvice::Keep, "window not yet full");
+    }
+
+    #[test]
+    fn daily_peak_spill_is_tolerated() {
+        // 30% of intervals use on-demand paths: expected diurnal peaks.
+        let mut d = detector(10);
+        for i in 0..10 {
+            d.observe(&point(1.0, if i % 3 == 0 { 2 } else { 0 }));
+        }
+        assert_eq!(d.demand_advice(), ReplanAdvice::Keep);
+    }
+
+    #[test]
+    fn constant_spill_means_outgrown() {
+        let mut d = detector(10);
+        for _ in 0..10 {
+            d.observe(&point(1.0, 1));
+        }
+        match d.demand_advice() {
+            ReplanAdvice::Replan(rs) => {
+                assert!(rs.iter().any(|r| matches!(r, ReplanReason::AlwaysOnOutgrown { .. })));
+            }
+            ReplanAdvice::Keep => panic!("100% spill must trigger"),
+        }
+    }
+
+    #[test]
+    fn old_congestion_slides_out() {
+        let mut d = detector(10);
+        for _ in 0..10 {
+            d.observe(&point(0.8, 1));
+        }
+        assert_ne!(d.demand_advice(), ReplanAdvice::Keep);
+        for _ in 0..10 {
+            d.observe(&point(1.0, 0));
+        }
+        assert_eq!(d.demand_advice(), ReplanAdvice::Keep, "window recovered");
+    }
+
+    #[test]
+    fn topology_advice_detects_broken_and_degraded() {
+        use crate::planner::{Planner, PlannerConfig};
+        use ecp_topo::gen::geant;
+        let t = geant();
+        let pm = ecp_power::PowerModel::cisco12000();
+        let pairs = ecp_traffic::random_od_pairs(&t, 40, 5);
+        let tables = Planner::new(&t, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
+        let d = detector(10);
+        assert_eq!(d.topology_advice(&t, &tables), ReplanAdvice::Keep);
+        // Plan against GEANT but evaluate on a different topology: paths
+        // no longer resolve.
+        let other = ecp_topo::gen::ring(23, 1e6, 1e-3);
+        match d.topology_advice(&other, &tables) {
+            ReplanAdvice::Replan(rs) => {
+                assert!(rs.iter().any(|r| matches!(r, ReplanReason::BrokenPaths { .. })));
+            }
+            ReplanAdvice::Keep => panic!("foreign topology must break paths"),
+        }
+    }
+}

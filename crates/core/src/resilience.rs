@@ -1,0 +1,167 @@
+//! Failure-coverage analysis of installed path tables (§4.3).
+//!
+//! "We have opted for a single failover path per (O,D) pair because our
+//! analysis revealed that even a single path can deal with vast majority
+//! of failures, without causing any disconnectivity in the network."
+//!
+//! This module *is* that analysis: enumerate every single physical-link
+//! failure and check, per OD pair, whether at least one installed path
+//! survives.
+
+use crate::tables::PathTables;
+use ecp_topo::{ArcId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of [`single_link_failure_coverage`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Number of (OD pair, failed link) combinations examined. Only
+    /// links that appear on at least one installed path of the pair are
+    /// counted — failing any other link trivially cannot hurt the pair.
+    pub combos: usize,
+    /// Combinations where at least one installed path survives.
+    pub survivable: usize,
+    /// Fraction of OD pairs that survive *every* single-link failure.
+    pub pairs_fully_protected: f64,
+    /// Links whose failure disconnects at least one pair (no installed
+    /// path survives), with the number of pairs lost.
+    pub critical_links: Vec<(ArcId, usize)>,
+}
+
+impl ResilienceReport {
+    /// Fraction of examined combinations that survive.
+    pub fn coverage(&self) -> f64 {
+        if self.combos == 0 {
+            return 1.0;
+        }
+        self.survivable as f64 / self.combos as f64
+    }
+}
+
+/// Exhaustive single-link failure sweep over the installed tables.
+pub fn single_link_failure_coverage(topo: &Topology, tables: &PathTables) -> ResilienceReport {
+    let mut combos = 0usize;
+    let mut survivable = 0usize;
+    let mut fully_protected = 0usize;
+    let mut critical: Vec<(ArcId, usize)> = Vec::new();
+
+    // Per pair: the canonical link sets of each installed path.
+    for (_, od) in tables.iter() {
+        let paths = od.all();
+        let link_sets: Vec<Vec<ArcId>> = paths
+            .iter()
+            .map(|p| {
+                p.arcs(topo)
+                    .map(|arcs| {
+                        let mut ls: Vec<ArcId> =
+                            arcs.iter().map(|&a| topo.link_of(a)).collect();
+                        ls.sort_unstable();
+                        ls.dedup();
+                        ls
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        // Links touching this pair at all.
+        let mut touched: Vec<ArcId> = link_sets.iter().flatten().copied().collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        let mut pair_ok = true;
+        for &l in &touched {
+            combos += 1;
+            let survives = link_sets.iter().any(|ls| !ls.contains(&l));
+            if survives {
+                survivable += 1;
+            } else {
+                pair_ok = false;
+                match critical.iter_mut().find(|(cl, _)| *cl == l) {
+                    Some((_, cnt)) => *cnt += 1,
+                    None => critical.push((l, 1)),
+                }
+            }
+        }
+        if pair_ok {
+            fully_protected += 1;
+        }
+    }
+    critical.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let pairs = tables.len().max(1);
+    ResilienceReport {
+        combos,
+        survivable,
+        pairs_fully_protected: fully_protected as f64 / pairs as f64,
+        critical_links: critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::OdPaths;
+    use ecp_topo::gen::{fig3, geant};
+    use ecp_topo::{Path, MBPS, MS};
+
+    #[test]
+    fn disjoint_tables_fully_covered() {
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
+        let mut pt = PathTables::new();
+        pt.insert(
+            n.a,
+            n.k,
+            OdPaths {
+                always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
+                on_demand: vec![],
+                failover: Path::new(vec![n.a, n.d, n.g, n.k]),
+            },
+        );
+        let rep = single_link_failure_coverage(&t, &pt);
+        assert_eq!(rep.coverage(), 1.0);
+        assert_eq!(rep.pairs_fully_protected, 1.0);
+        assert!(rep.critical_links.is_empty());
+    }
+
+    #[test]
+    fn identical_paths_have_no_protection() {
+        // failover = always-on -> every link is shared and critical.
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
+        let mut pt = PathTables::new();
+        pt.insert(
+            n.a,
+            n.k,
+            OdPaths {
+                always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
+                on_demand: vec![],
+                failover: Path::new(vec![n.a, n.e, n.h, n.k]),
+            },
+        );
+        let rep = single_link_failure_coverage(&t, &pt);
+        assert_eq!(rep.coverage(), 0.0, "identical paths: no failure survivable");
+        assert_eq!(rep.pairs_fully_protected, 0.0);
+        assert_eq!(rep.critical_links.len(), 3, "each of the 3 links is critical");
+    }
+
+    #[test]
+    fn planner_tables_cover_vast_majority_on_geant() {
+        // The §4.3 claim, verified against the actual planner output.
+        let t = geant();
+        let pm = ecp_power::PowerModel::cisco12000();
+        let pairs = ecp_traffic::random_od_pairs(&t, 80, 3);
+        let tables = crate::planner::Planner::new(&t, &pm)
+            .plan_pairs(&crate::planner::PlannerConfig::default(), &pairs);
+        let rep = single_link_failure_coverage(&t, &tables);
+        assert!(
+            rep.coverage() > 0.9,
+            "a single failover path should cover the vast majority: {}",
+            rep.coverage()
+        );
+    }
+
+    #[test]
+    fn empty_tables() {
+        let t = geant();
+        let rep = single_link_failure_coverage(&t, &PathTables::new());
+        assert_eq!(rep.combos, 0);
+        assert_eq!(rep.coverage(), 1.0);
+    }
+}

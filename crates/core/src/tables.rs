@@ -1,0 +1,264 @@
+//! The installed routing state: always-on / on-demand / failover tables.
+
+use ecp_topo::{ActiveSet, NodeId, Path, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The precomputed paths of one OD pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OdPaths {
+    /// The path expected to be active most of the time (§4.1).
+    pub always_on: Path,
+    /// Extra-capacity paths activated under load, in activation order
+    /// (§4.2). `N − 2` of them for `N` energy-critical paths.
+    pub on_demand: Vec<Path>,
+    /// Protection path, link-disjoint from the others where possible
+    /// (§4.3).
+    pub failover: Path,
+}
+
+impl OdPaths {
+    /// All paths in priority order: always-on, on-demand…, failover.
+    pub fn all(&self) -> Vec<&Path> {
+        let mut v = Vec::with_capacity(2 + self.on_demand.len());
+        v.push(&self.always_on);
+        v.extend(self.on_demand.iter());
+        v.push(&self.failover);
+        v
+    }
+
+    /// Total number of installed paths (`N` in the paper).
+    pub fn num_paths(&self) -> usize {
+        2 + self.on_demand.len()
+    }
+}
+
+/// The full installed state: one [`OdPaths`] per OD pair.
+///
+/// "REsPoNse places modest requirements on the number of paths (three)
+/// between any given origin and destination" (§4.5).
+///
+/// Serialized as a flat entry list (JSON map keys must be strings).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathTables {
+    tables: BTreeMap<(NodeId, NodeId), OdPaths>,
+}
+
+impl Serialize for PathTables {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v: Vec<(&NodeId, &NodeId, &OdPaths)> =
+            self.tables.iter().map(|((o, d), p)| (o, d, p)).collect();
+        v.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for PathTables {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<(NodeId, NodeId, OdPaths)> = Vec::deserialize(d)?;
+        let mut t = PathTables::new();
+        for (o, dd, p) in v {
+            t.tables.insert((o, dd), p);
+        }
+        Ok(t)
+    }
+}
+
+impl PathTables {
+    /// Empty tables.
+    pub fn new() -> Self {
+        PathTables { tables: BTreeMap::new() }
+    }
+
+    /// Install the paths of one OD pair.
+    pub fn insert(&mut self, origin: NodeId, dst: NodeId, paths: OdPaths) {
+        debug_assert_eq!(paths.always_on.origin(), origin);
+        debug_assert_eq!(paths.always_on.destination(), dst);
+        self.tables.insert((origin, dst), paths);
+    }
+
+    /// Paths of one OD pair.
+    pub fn get(&self, origin: NodeId, dst: NodeId) -> Option<&OdPaths> {
+        self.tables.get(&(origin, dst))
+    }
+
+    /// Number of OD pairs with installed paths.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no pair is installed.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterate in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &OdPaths)> {
+        self.tables.iter()
+    }
+
+    /// The active set powering exactly the always-on paths — the
+    /// network's low-power resting state.
+    pub fn always_on_active(&self, topo: &Topology) -> ActiveSet {
+        let mut used = Vec::new();
+        for p in self.tables.values() {
+            if let Some(arcs) = p.always_on.arcs(topo) {
+                used.extend(arcs);
+            }
+        }
+        let mut s = ActiveSet::from_used_arcs(topo, used);
+        for &(o, d) in self.tables.keys() {
+            s.set_node(o, true);
+            s.set_node(d, true);
+        }
+        s
+    }
+
+    /// The active set with always-on plus the first `k` on-demand tables
+    /// of every pair.
+    pub fn active_with_on_demand(&self, topo: &Topology, k: usize) -> ActiveSet {
+        let mut used = Vec::new();
+        for p in self.tables.values() {
+            if let Some(arcs) = p.always_on.arcs(topo) {
+                used.extend(arcs);
+            }
+            for od in p.on_demand.iter().take(k) {
+                if let Some(arcs) = od.arcs(topo) {
+                    used.extend(arcs);
+                }
+            }
+        }
+        let mut s = ActiveSet::from_used_arcs(topo, used);
+        for &(o, d) in self.tables.keys() {
+            s.set_node(o, true);
+            s.set_node(d, true);
+        }
+        s
+    }
+
+    /// Check structural sanity against a topology: every installed path
+    /// must be resolvable and connect its OD pair.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        for (&(o, d), paths) in &self.tables {
+            for p in paths.all() {
+                if p.origin() != o || p.destination() != d {
+                    return Err(format!("path {p} does not connect {o}->{d}"));
+                }
+                if !p.is_valid_in(topo) {
+                    return Err(format!("path {p} not resolvable in topology"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of OD pairs whose failover path is fully link-disjoint
+    /// from their always-on path (reporting aid for §4.3).
+    pub fn failover_disjoint_fraction(&self, topo: &Topology) -> f64 {
+        if self.tables.is_empty() {
+            return 1.0;
+        }
+        let disjoint = self
+            .tables
+            .values()
+            .filter(|p| !p.failover.shares_link_with(&p.always_on, topo))
+            .count();
+        disjoint as f64 / self.tables.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::fig3;
+    use ecp_topo::{MBPS, MS};
+
+    fn sample_tables() -> (Topology, PathTables, ecp_topo::gen::Fig3Nodes) {
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
+        let mut pt = PathTables::new();
+        pt.insert(
+            n.a,
+            n.k,
+            OdPaths {
+                always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
+                on_demand: vec![Path::new(vec![n.a, n.d, n.g, n.k])],
+                failover: Path::new(vec![n.a, n.d, n.g, n.k]),
+            },
+        );
+        pt.insert(
+            n.c,
+            n.k,
+            OdPaths {
+                always_on: Path::new(vec![n.c, n.e, n.h, n.k]),
+                on_demand: vec![Path::new(vec![n.c, n.f, n.j, n.k])],
+                failover: Path::new(vec![n.c, n.f, n.j, n.k]),
+            },
+        );
+        (t, pt, n)
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let (t, pt, n) = sample_tables();
+        assert_eq!(pt.len(), 2);
+        let p = pt.get(n.a, n.k).unwrap();
+        assert_eq!(p.num_paths(), 3);
+        assert_eq!(p.all().len(), 3);
+        assert_eq!(pt.validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn always_on_active_is_the_middle_path() {
+        let (t, pt, n) = sample_tables();
+        let s = pt.always_on_active(&t);
+        assert!(s.node_on(n.e));
+        assert!(s.node_on(n.h));
+        assert!(!s.node_on(n.d), "upper path asleep");
+        assert!(!s.node_on(n.j), "lower path asleep");
+        // A, C, E, H, K = 5 nodes; links A-E, C-E, E-H, H-K = 4.
+        assert_eq!(s.nodes_on_count(), 5);
+        assert_eq!(s.links_on_count(&t), 4);
+    }
+
+    #[test]
+    fn on_demand_activation_grows_active_set() {
+        let (t, pt, _) = sample_tables();
+        let s0 = pt.always_on_active(&t);
+        let s1 = pt.active_with_on_demand(&t, 1);
+        assert!(s1.nodes_on_count() > s0.nodes_on_count());
+        assert_eq!(s1.nodes_on_count(), 9, "all but B");
+        // k beyond available tables is harmless.
+        let s9 = pt.active_with_on_demand(&t, 9);
+        assert_eq!(s9.nodes_on_count(), 9);
+    }
+
+    #[test]
+    fn failover_disjointness_reported() {
+        let (t, pt, _) = sample_tables();
+        assert_eq!(pt.failover_disjoint_fraction(&t), 1.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_paths() {
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
+        let mut pt = PathTables::new();
+        pt.insert(
+            n.a,
+            n.k,
+            OdPaths {
+                // A-G is not a link.
+                always_on: Path::new(vec![n.a, n.g, n.k]),
+                on_demand: vec![],
+                failover: Path::new(vec![n.a, n.e, n.h, n.k]),
+            },
+        );
+        assert!(pt.validate(&t).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (_, pt, _) = sample_tables();
+        let js = serde_json::to_string(&pt).unwrap();
+        let back: PathTables = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, pt);
+    }
+}

@@ -1,0 +1,284 @@
+//! REsPoNseTE decision logic (§4.4) — pure functions, actuated by
+//! `ecp-simnet`.
+//!
+//! "Agents aggregate the traffic on the always-on paths as long as the
+//! target SLO is achieved, and start activating the on-demand paths when
+//! that is no longer the case. [...] Just as in TeXCP, we implement a
+//! stable controller to prevent oscillations."
+//!
+//! The agent of an OD pair holds a share vector over its installed paths
+//! (priority order: always-on, on-demand…, failover). Each control round
+//! it computes a *target* allocation by water-filling its offered rate
+//! into the paths' headroom in priority order, then moves the live
+//! shares a bounded step toward the target (the stability mechanism:
+//! bounded-gain first-order tracking, which cannot oscillate for step
+//! ≤ 1 against a fixed target).
+
+use serde::{Deserialize, Serialize};
+
+/// What an agent knows about one of its paths at decision time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathView {
+    /// Headroom in bits/s: `min over arcs (threshold·C − load_others)`,
+    /// i.e. how much of *this agent's* traffic the path can absorb
+    /// without violating the utilization SLO. May be negative.
+    pub headroom: f64,
+    /// Whether the path is usable (no failed element). Sleeping elements
+    /// count as available — sending share to them is what triggers
+    /// wake-up.
+    pub available: bool,
+}
+
+/// REsPoNseTE configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TeConfig {
+    /// Target maximum link utilization (the ISP's SLO knob; activating
+    /// on-demand paths *sooner* than saturation, §4.4).
+    pub threshold: f64,
+    /// Gain toward the target per control round, in `(0, 1]`. 1.0 jumps
+    /// immediately; smaller values converge geometrically (stable).
+    pub step: f64,
+    /// Shares below this fraction are zeroed (lets idle paths drain and
+    /// sleep instead of carrying dribbles).
+    pub min_share: f64,
+}
+
+impl Default for TeConfig {
+    fn default() -> Self {
+        TeConfig { threshold: 0.9, step: 0.7, min_share: 1e-3 }
+    }
+}
+
+/// Compute the new share vector for one OD agent.
+///
+/// * `offered_rate` — the agent's current demand (bits/s).
+/// * `paths` — per-installed-path view, in priority order (always-on
+///   first, failover last).
+/// * `current` — current shares (fractions of `offered_rate`, summing to
+///   ≈ 1 when the agent is sending).
+///
+/// Returns the updated shares (same length, non-negative, summing to 1
+/// when any path is available).
+pub fn decide_shares(
+    offered_rate: f64,
+    paths: &[PathView],
+    current: &[f64],
+    cfg: &TeConfig,
+) -> Vec<f64> {
+    assert_eq!(paths.len(), current.len());
+    assert!(!paths.is_empty());
+    let n = paths.len();
+
+    // ---- target by priority water-filling -----------------------------
+    let mut target = vec![0.0; n];
+    if offered_rate <= 0.0 {
+        // Nothing to send: target everything to the always-on path so the
+        // rest can sleep.
+        if let Some(first_up) = paths.iter().position(|p| p.available) {
+            target[first_up] = 1.0;
+        }
+    } else {
+        let mut remaining = offered_rate;
+        for (i, p) in paths.iter().enumerate() {
+            if !p.available {
+                continue;
+            }
+            let take = remaining.min(p.headroom.max(0.0));
+            if take > 0.0 {
+                target[i] = take / offered_rate;
+                remaining -= take;
+            }
+            if remaining <= 1e-9 {
+                break;
+            }
+        }
+        if remaining > 1e-9 {
+            // Overload: no headroom anywhere for the excess. Spill it on
+            // the last available path (congestion is reported by the
+            // simulator; the paper's REsPoNse is "no worse than existing
+            // approaches under unexpected peaks").
+            if let Some(last_up) = paths.iter().rposition(|p| p.available) {
+                target[last_up] += remaining / offered_rate;
+            }
+        }
+    }
+
+    // ---- bounded-step tracking (stability) ----------------------------
+    let mut new: Vec<f64> = current
+        .iter()
+        .zip(&target)
+        .map(|(&c, &t)| c + cfg.step * (t - c))
+        .collect();
+    // Unavailable paths are vacated immediately (failure reaction is not
+    // rate-limited; the paper shifts traffic off failed paths promptly).
+    for (i, p) in paths.iter().enumerate() {
+        if !p.available {
+            new[i] = 0.0;
+        }
+    }
+    // Hygiene: clamp, drop dust, renormalize.
+    for v in new.iter_mut() {
+        if *v < cfg.min_share {
+            *v = 0.0;
+        }
+        *v = v.clamp(0.0, 1.0);
+    }
+    let sum: f64 = new.iter().sum();
+    if sum > 0.0 {
+        for v in new.iter_mut() {
+            *v /= sum;
+        }
+    } else if let Some(first_up) = paths.iter().position(|p| p.available) {
+        new[first_up] = 1.0;
+    }
+    new
+}
+
+/// Convergence helper: apply [`decide_shares`] against a *fixed*
+/// environment until shares stop moving (used in tests and by the
+/// steady-state replay).
+pub fn converge_shares(
+    offered_rate: f64,
+    paths: &[PathView],
+    start: &[f64],
+    cfg: &TeConfig,
+    max_rounds: usize,
+) -> (Vec<f64>, usize) {
+    let mut cur = start.to_vec();
+    for round in 0..max_rounds {
+        let next = decide_shares(offered_rate, paths, &cur, cfg);
+        let delta: f64 = next.iter().zip(&cur).map(|(a, b)| (a - b).abs()).sum();
+        cur = next;
+        if delta < 1e-6 {
+            return (cur, round + 1);
+        }
+    }
+    (cur, max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up(headroom: f64) -> PathView {
+        PathView { headroom, available: true }
+    }
+
+    fn down() -> PathView {
+        PathView { headroom: 0.0, available: false }
+    }
+
+    #[test]
+    fn aggregates_on_always_on_when_it_fits() {
+        let cfg = TeConfig::default();
+        let paths = [up(10e6), up(10e6)];
+        // Start spread 50/50; demand 5 Mbps fits entirely on always-on.
+        let (shares, rounds) = converge_shares(5e6, &paths, &[0.5, 0.5], &cfg, 50);
+        assert!((shares[0] - 1.0).abs() < 1e-3, "all traffic on always-on: {shares:?}");
+        assert!(shares[1] < 1e-3);
+        assert!(rounds < 30, "geometric convergence");
+    }
+
+    #[test]
+    fn spills_to_on_demand_when_overloaded() {
+        let cfg = TeConfig::default();
+        // Always-on can absorb 4 Mbps, demand is 10 Mbps.
+        let paths = [up(4e6), up(20e6)];
+        let (shares, _) = converge_shares(10e6, &paths, &[1.0, 0.0], &cfg, 50);
+        assert!((shares[0] - 0.4).abs() < 0.02, "always-on filled to headroom: {shares:?}");
+        assert!((shares[1] - 0.6).abs() < 0.02, "excess on on-demand");
+    }
+
+    #[test]
+    fn failure_vacates_immediately() {
+        let cfg = TeConfig::default();
+        let paths = [down(), up(20e6)];
+        let shares = decide_shares(5e6, &paths, &[1.0, 0.0], &cfg);
+        assert_eq!(shares[0], 0.0, "failed path vacated in one round");
+        assert!((shares[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_overload_still_sends() {
+        let cfg = TeConfig::default();
+        let paths = [up(1e6), up(1e6)];
+        let (shares, _) = converge_shares(10e6, &paths, &[1.0, 0.0], &cfg, 50);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares always sum to 1: {shares:?}");
+        // Both paths filled; excess lands on the last one.
+        assert!(shares[1] > shares[0]);
+    }
+
+    #[test]
+    fn zero_demand_parks_on_always_on() {
+        let cfg = TeConfig::default();
+        let shares = decide_shares(0.0, &[up(1e6), up(1e6)], &[0.3, 0.7], &cfg);
+        let (conv, _) = converge_shares(0.0, &[up(1e6), up(1e6)], &shares, &cfg, 50);
+        assert!((conv[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_path_available_keeps_sane_output() {
+        let cfg = TeConfig::default();
+        let shares = decide_shares(5e6, &[down(), down()], &[0.5, 0.5], &cfg);
+        assert_eq!(shares, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_headroom_treated_as_zero() {
+        let cfg = TeConfig::default();
+        let paths = [up(-5e6), up(20e6)];
+        let (shares, _) = converge_shares(5e6, &paths, &[1.0, 0.0], &cfg, 50);
+        assert!(shares[0] < 1e-3, "overloaded always-on evacuated: {shares:?}");
+    }
+
+    #[test]
+    fn step_bounds_movement() {
+        let cfg = TeConfig { step: 0.5, ..Default::default() };
+        let paths = [up(10e6), up(10e6)];
+        let s1 = decide_shares(5e6, &paths, &[0.0, 1.0], &cfg);
+        // Target is [1, 0]; one round with step .5 moves halfway.
+        assert!((s1[0] - 0.5).abs() < 1e-9, "{s1:?}");
+    }
+
+    #[test]
+    fn convergence_within_two_rounds_at_high_gain() {
+        // The paper reports ~2 RTTs to shift traffic; with step 0.7 two
+        // rounds cover 91% of the gap.
+        let cfg = TeConfig::default();
+        let paths = [up(10e6), up(10e6)];
+        let s1 = decide_shares(5e6, &paths, &[0.0, 1.0], &cfg);
+        let s2 = decide_shares(5e6, &paths, &s1, &cfg);
+        assert!(s2[0] > 0.9, "two rounds shift >90% of traffic: {s2:?}");
+    }
+
+    #[test]
+    fn shares_stay_normalized_under_random_inputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = TeConfig::default();
+        for _ in 0..200 {
+            let n = rng.gen_range(1..5);
+            let paths: Vec<PathView> = (0..n)
+                .map(|_| PathView {
+                    headroom: rng.gen_range(-5e6..20e6),
+                    available: rng.gen_bool(0.8),
+                })
+                .collect();
+            let mut cur: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let s: f64 = cur.iter().sum();
+            if s > 0.0 {
+                cur.iter_mut().for_each(|v| *v /= s);
+            }
+            let rate = rng.gen_range(0.0..20e6);
+            let new = decide_shares(rate, &paths, &cur, &cfg);
+            let sum: f64 = new.iter().sum();
+            assert!(new.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+            assert!(
+                (sum - 1.0).abs() < 1e-6 || sum == 0.0,
+                "sum must be 1 (or 0 if nothing available): {new:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ecp-lp — a small linear/mixed-integer programming solver
+//!
+//! The CPLEX substitute of the reproduction (DESIGN.md §2). The paper
+//! solves its energy-aware routing model with "an off-the-shelf solver
+//! \[CPLEX\]"; offline we provide:
+//!
+//! * [`Problem`] — a model builder (variables with bounds, linear
+//!   constraints, min/max objective, optional integrality).
+//! * [`solve_lp`] — dense two-phase primal simplex with Bland's rule
+//!   (anti-cycling). Suitable for the small/medium instances the
+//!   reproduction solves exactly; the paper itself concedes CPLEX needs
+//!   hours on medium ISP topologies, so large instances go through the
+//!   heuristics in `ecp-routing` exactly as the paper's deployable
+//!   configurations do.
+//! * [`solve_mip`] — branch-and-bound on the LP relaxation for binary /
+//!   integer variables, with best-first search and a node budget.
+//!
+//! The solver is deterministic, allocation-heavy but dependency-free, and
+//! extensively tested against hand-solved instances and a brute-force
+//! oracle (property tests).
+
+pub mod branch;
+pub mod problem;
+pub mod simplex;
+
+pub use branch::{solve_mip, MipConfig, MipSolution, MipStatus};
+pub use problem::{Cmp, Problem, Sense, VarId};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

@@ -1,0 +1,255 @@
+//! LP/MIP model builder.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a decision variable within a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub integer: bool,
+    pub objective: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RawConstraint {
+    pub terms: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear (or mixed-integer) program under construction.
+///
+/// ```
+/// use ecp_lp::{Problem, Sense, Cmp, solve_lp, LpStatus};
+/// // maximize 3x + 2y s.t. x + y <= 4, x <= 2, x,y >= 0
+/// let mut p = Problem::new(Sense::Maximize);
+/// let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+/// let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+/// p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+/// p.add_constraint(&[(x, 1.0)], Cmp::Le, 2.0);
+/// let sol = solve_lp(&p);
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// assert!((sol.objective - 10.0).abs() < 1e-6); // x=2, y=2
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<RawConstraint>,
+}
+
+impl Problem {
+    /// Start an empty model.
+    pub fn new(sense: Sense) -> Self {
+        Problem { sense, vars: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Add a continuous variable with bounds `[lower, upper]` and the
+    /// given objective coefficient. Returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(lower <= upper, "empty variable domain");
+        assert!(lower.is_finite(), "lower bound must be finite (shifted standard form)");
+        self.vars.push(Variable { name: name.into(), lower, upper, integer: false, objective });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        let id = self.add_var(name, 0.0, 1.0, objective);
+        self.vars[id.0].integer = true;
+        id
+    }
+
+    /// Add a bounded integer variable.
+    pub fn add_integer(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
+        let id = self.add_var(name, lower, upper, objective);
+        self.vars[id.0].integer = true;
+        id
+    }
+
+    /// Add a linear constraint `Σ coeff·var  cmp  rhs`.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) {
+        let mut t: Vec<(usize, f64)> = terms.iter().map(|&(v, c)| (v.0, c)).collect();
+        // Merge duplicate variables for robustness.
+        t.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(t.len());
+        for (v, c) in t {
+            match merged.last_mut() {
+                Some(last) if last.0 == v => last.1 += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0.0);
+        self.constraints.push(RawConstraint { terms: merged, cmp, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether any variable is integer-constrained.
+    pub fn has_integers(&self) -> bool {
+        self.vars.iter().any(|v| v.integer)
+    }
+
+    /// Ids of the integer-constrained variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Variable name (for diagnostics).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Variable bounds.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.vars[v.0].lower, self.vars[v.0].upper)
+    }
+
+    /// Set (override) the bounds of a variable — used by branch & bound.
+    pub fn set_bounds(&mut self, v: VarId, lower: f64, upper: f64) {
+        assert!(lower <= upper);
+        self.vars[v.0].lower = lower;
+        self.vars[v.0].upper = upper;
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, &xi)| v.objective * xi).sum()
+    }
+
+    /// Check primal feasibility of a point within tolerance.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return false;
+            }
+            if v.integer && (xi - xi.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, co)| co * x[v]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_basics() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_binary("y", 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert!(p.has_integers());
+        assert_eq!(p.integer_vars(), vec![y]);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.bounds(y), (0.0, 1.0));
+    }
+
+    #[test]
+    fn duplicate_terms_merged() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (x, 2.0)], Cmp::Le, 5.0);
+        assert_eq!(p.constraints[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_var("y", 0.0, 10.0, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 0.0)], Cmp::Le, 5.0);
+        assert_eq!(p.constraints[0].terms.len(), 1);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 10.0, 1.0);
+        let y = p.add_binary("y", 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0);
+        assert!(p.is_feasible(&[2.0, 0.0], 1e-9));
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5, 1.0], 1e-9), "constraint violated");
+        assert!(!p.is_feasible(&[2.0, 0.5], 1e-9), "integrality violated");
+        assert!(!p.is_feasible(&[11.0, 1.0], 1e-9), "bound violated");
+        assert!(!p.is_feasible(&[1.0], 1e-9), "wrong arity");
+    }
+
+    #[test]
+    fn objective_eval() {
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_var("x", 0.0, 1.0, 3.0);
+        let _y = p.add_var("y", 0.0, 1.0, -1.0);
+        assert_eq!(p.objective_value(&[2.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty variable domain")]
+    fn inverted_bounds_rejected() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_var("x", 1.0, 0.0, 1.0);
+    }
+}

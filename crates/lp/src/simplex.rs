@@ -1,0 +1,506 @@
+//! Dense two-phase primal simplex.
+//!
+//! Textbook implementation chosen for robustness over speed (the
+//! networking-guide ethos: simplicity, no clever tricks):
+//!
+//! 1. Shift every variable by its (finite) lower bound; finite upper
+//!    bounds become explicit `≤` rows.
+//! 2. Normalize rows to non-negative right-hand sides, add slack /
+//!    surplus / artificial columns.
+//! 3. Phase 1 minimizes the sum of artificials (infeasible if > 0),
+//!    phase 2 the real objective.
+//! 4. Dantzig pricing with an automatic switch to Bland's rule when an
+//!    iteration cap is approached, guaranteeing termination.
+//!
+//! Suitable for the exact-solve sizes in this reproduction (tens to a few
+//! hundred variables); larger models use the heuristics in `ecp-routing`,
+//! exactly as the paper's deployable configurations do.
+
+use crate::problem::{Cmp, Problem, Sense};
+use serde::{Deserialize, Serialize};
+
+/// Outcome class of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// Iteration cap exceeded (should not happen with Bland's rule; kept
+    /// as a defensive status).
+    IterationLimit,
+}
+
+/// Result of [`solve_lp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Outcome class.
+    pub status: LpStatus,
+    /// Objective value in the problem's original sense (meaningful only
+    /// when `status == Optimal`).
+    pub objective: f64,
+    /// Variable values in original (unshifted) coordinates.
+    pub values: Vec<f64>,
+    /// Simplex iterations used (phase 1 + phase 2).
+    pub iterations: usize,
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// `m` constraint rows, each of length `n + 1` (last = rhs).
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `n + 1` (last = -objective).
+    obj: Vec<f64>,
+    /// Basis: for each row, the column currently basic in it.
+    basis: Vec<usize>,
+    n: usize,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        // Snapshot pivot row to avoid aliasing.
+        let prow = self.rows[row].clone();
+        for (r, rvec) in self.rows.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let f = rvec[col];
+            if f.abs() > EPS {
+                for (v, p) in rvec.iter_mut().zip(&prow) {
+                    *v -= f * p;
+                }
+            }
+        }
+        let f = self.obj[col];
+        if f.abs() > EPS {
+            for (v, p) in self.obj.iter_mut().zip(&prow) {
+                *v -= f * p;
+            }
+        }
+        self.basis[row] = col;
+        self.iterations += 1;
+    }
+
+    /// Run simplex iterations until optimal/unbounded/limit.
+    fn optimize(&mut self, max_iters: usize) -> LpStatus {
+        // Use Dantzig until 80% of budget, then Bland (termination
+        // guarantee).
+        let dantzig_until = max_iters * 4 / 5;
+        loop {
+            if self.iterations >= max_iters {
+                return LpStatus::IterationLimit;
+            }
+            let bland = self.iterations >= dantzig_until;
+            // Entering column: reduced cost < -EPS.
+            let mut col = None;
+            if bland {
+                for j in 0..self.n {
+                    if self.obj[j] < -EPS {
+                        col = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -EPS;
+                for j in 0..self.n {
+                    if self.obj[j] < best {
+                        best = self.obj[j];
+                        col = Some(j);
+                    }
+                }
+            }
+            let col = match col {
+                Some(c) => c,
+                None => return LpStatus::Optimal,
+            };
+            // Ratio test; Bland tie-break on smallest basis index.
+            let mut row = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows.len() {
+                let a = self.rows[r][col];
+                if a > EPS {
+                    let ratio = self.rows[r][self.n] / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && row.map(|pr: usize| self.basis[r] < self.basis[pr]).unwrap_or(false));
+                    if better {
+                        best_ratio = ratio;
+                        row = Some(r);
+                    }
+                }
+            }
+            match row {
+                Some(r) => self.pivot(r, col),
+                None => return LpStatus::Unbounded,
+            }
+        }
+    }
+}
+
+/// Solve a linear program (integrality flags are ignored — that is the LP
+/// *relaxation*; use [`crate::solve_mip`] for integer enforcement).
+pub fn solve_lp(p: &Problem) -> LpSolution {
+    let nv = p.vars.len();
+    // Shifted coordinates: y_i = x_i - l_i >= 0.
+    let lower: Vec<f64> = p.vars.iter().map(|v| v.lower).collect();
+
+    // Gather rows: original constraints (rhs shifted) + upper bounds.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in &p.constraints {
+        let shift: f64 = c.terms.iter().map(|&(v, co)| co * lower[v]).sum();
+        rows.push(Row { coeffs: c.terms.clone(), cmp: c.cmp, rhs: c.rhs - shift });
+    }
+    for (i, v) in p.vars.iter().enumerate() {
+        if v.upper.is_finite() {
+            rows.push(Row { coeffs: vec![(i, 1.0)], cmp: Cmp::Le, rhs: v.upper - v.lower });
+        }
+    }
+    let m = rows.len();
+
+    // Column layout: [structural nv][slack/surplus s][artificial a].
+    // First pass: count slacks and artificials.
+    let mut n_slack = 0;
+    let mut n_art = 0;
+    for r in &rows {
+        let rhs_neg = r.rhs < -EPS;
+        let cmp = effective_cmp(r.cmp, rhs_neg);
+        match cmp {
+            Cmp::Le => n_slack += 1,              // slack, basic
+            Cmp::Ge => {
+                n_slack += 1;                      // surplus
+                n_art += 1;                        // artificial, basic
+            }
+            Cmp::Eq => n_art += 1,                 // artificial, basic
+        }
+    }
+    let n = nv + n_slack + n_art;
+
+    let mut t = Tableau {
+        rows: vec![vec![0.0; n + 1]; m],
+        obj: vec![0.0; n + 1],
+        basis: vec![usize::MAX; m],
+        n,
+        iterations: 0,
+    };
+
+    let mut slack_idx = nv;
+    let mut art_idx = nv + n_slack;
+    let mut art_cols: Vec<usize> = Vec::new();
+    for (r, row) in rows.iter().enumerate() {
+        let rhs_neg = row.rhs < -EPS;
+        let sign = if rhs_neg { -1.0 } else { 1.0 };
+        for &(v, co) in &row.coeffs {
+            t.rows[r][v] += sign * co;
+        }
+        t.rows[r][n] = sign * row.rhs;
+        match effective_cmp(row.cmp, rhs_neg) {
+            Cmp::Le => {
+                t.rows[r][slack_idx] = 1.0;
+                t.basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Cmp::Ge => {
+                t.rows[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                t.rows[r][art_idx] = 1.0;
+                t.basis[r] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Cmp::Eq => {
+                t.rows[r][art_idx] = 1.0;
+                t.basis[r] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let max_iters = 2000 + 50 * (n + m);
+
+    // Phase 1 (if artificials exist): minimize sum of artificials.
+    if !art_cols.is_empty() {
+        for &c in &art_cols {
+            t.obj[c] = 1.0;
+        }
+        // Make reduced costs consistent with the basic artificials.
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                let rr = t.rows[r].clone();
+                for (v, p_) in t.obj.iter_mut().zip(&rr) {
+                    *v -= p_;
+                }
+            }
+        }
+        let st = t.optimize(max_iters);
+        if st == LpStatus::IterationLimit {
+            return LpSolution { status: st, objective: 0.0, values: vec![0.0; nv], iterations: t.iterations };
+        }
+        let phase1_obj = -t.obj[n];
+        if phase1_obj > 1e-7 {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: vec![0.0; nv],
+                iterations: t.iterations,
+            };
+        }
+        // Drive any lingering basic artificials out (degenerate rows).
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                let piv = (0..nv + n_slack).find(|&j| t.rows[r][j].abs() > EPS);
+                if let Some(j) = piv {
+                    t.pivot(r, j);
+                } // else: redundant row, artificial stays at value 0.
+            }
+        }
+        // Erase artificial columns so they never re-enter.
+        for &c in &art_cols {
+            for r in 0..m {
+                t.rows[r][c] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2 objective (always minimize internally).
+    let flip = match p.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    for v in t.obj.iter_mut() {
+        *v = 0.0;
+    }
+    for (i, var) in p.vars.iter().enumerate() {
+        t.obj[i] = flip * var.objective;
+    }
+    for &c in &art_cols {
+        t.obj[c] = 0.0;
+    }
+    // Price out the basic variables.
+    for r in 0..m {
+        let b = t.basis[r];
+        let cb = t.obj[b];
+        if cb.abs() > EPS {
+            let rr = t.rows[r].clone();
+            for (v, p_) in t.obj.iter_mut().zip(&rr) {
+                *v -= cb * p_;
+            }
+        }
+    }
+    let st = t.optimize(max_iters);
+    if st != LpStatus::Optimal {
+        return LpSolution { status: st, objective: 0.0, values: vec![0.0; nv], iterations: t.iterations };
+    }
+
+    // Read out shifted values, then unshift.
+    let mut y = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            y[b] = t.rows[r][n];
+        }
+    }
+    let values: Vec<f64> = (0..nv).map(|i| y[i] + lower[i]).collect();
+    let objective = p.objective_value(&values);
+    LpSolution { status: LpStatus::Optimal, objective, values, iterations: t.iterations }
+}
+
+/// After normalizing to non-negative rhs (multiplying by -1 when needed),
+/// the comparison flips for Le/Ge.
+fn effective_cmp(cmp: Cmp, rhs_negative: bool) -> Cmp {
+    if !rhs_negative {
+        return cmp;
+    }
+    match cmp {
+        Cmp::Le => Cmp::Ge,
+        Cmp::Ge => Cmp::Le,
+        Cmp::Eq => Cmp::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_maximize() {
+        // max 3x + 5y st x <= 4; 2y <= 12; 3x + 2y <= 18 -> x=2,y=6,obj=36
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.objective, 36.0);
+        assert_near(s.values[0], 2.0);
+        assert_near(s.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints() {
+        // min 2x + 3y st x + y >= 4; x >= 1 -> x=4? No: cost x cheaper;
+        // x=4,y=0 cost 8? x>=1 only. min is x=4,y=0 -> 8.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 3.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 1.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.objective, 8.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y st x + 2y = 4, x - y = 1 -> y=1, x=2, obj=3
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.values[0], 2.0);
+        assert_near(s.values[1], 1.0);
+        assert_near(s.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, 5.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(solve_lp(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve_lp(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x st x <= 7 via bound only.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", 2.0, 7.0, 1.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.values[0], 7.0);
+        // min with lower bound 2.
+        let mut p = Problem::new(Sense::Minimize);
+        let x2 = p.add_var("x", 2.0, 7.0, 1.0);
+        let _ = (x, x2);
+        let s = solve_lp(&p);
+        assert_near(s.values[0], 2.0);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x st x >= -3 (bound), x >= -10 (constraint): answer -3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", -3.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, 1.0)], Cmp::Ge, -10.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.values[0], -3.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // min y st -x - y <= -4 (i.e., x + y >= 4), x <= 1 -> y = 3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 0.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 1.0);
+        p.add_constraint(&[(x, -1.0), (y, -1.0)], Cmp::Le, -4.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.objective, 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP; must not cycle.
+        let mut p = Problem::new(Sense::Maximize);
+        let x1 = p.add_var("x1", 0.0, f64::INFINITY, 10.0);
+        let x2 = p.add_var("x2", 0.0, f64::INFINITY, -57.0);
+        let x3 = p.add_var("x3", 0.0, f64::INFINITY, -9.0);
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY, -24.0);
+        p.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)], Cmp::Le, 0.0);
+        p.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)], Cmp::Le, 0.0);
+        p.add_constraint(&[(x1, 1.0)], Cmp::Le, 1.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.objective, 1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 twice; still solvable.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0);
+        let s = solve_lp(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_near(s.objective, 2.0); // all on x
+    }
+
+    #[test]
+    fn solution_is_feasible_for_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut optimal = 0;
+        for _ in 0..60 {
+            let nv = rng.gen_range(2..6);
+            let nc = rng.gen_range(1..6);
+            let mut p = Problem::new(if rng.gen() { Sense::Minimize } else { Sense::Maximize });
+            let vars: Vec<_> = (0..nv)
+                .map(|i| p.add_var(format!("v{i}"), 0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0)))
+                .collect();
+            for _ in 0..nc {
+                let terms: Vec<_> =
+                    vars.iter().map(|&v| (v, rng.gen_range(-3.0..3.0))).collect();
+                let cmp = match rng.gen_range(0..3) {
+                    0 => Cmp::Le,
+                    1 => Cmp::Ge,
+                    _ => Cmp::Eq,
+                };
+                p.add_constraint(&terms, cmp, rng.gen_range(-5.0..8.0));
+            }
+            let s = solve_lp(&p);
+            if s.status == LpStatus::Optimal {
+                optimal += 1;
+                assert!(p.is_feasible(&s.values, 1e-5), "solver returned infeasible point");
+            }
+        }
+        assert!(optimal > 10, "sanity: some instances should be solvable ({optimal})");
+    }
+}

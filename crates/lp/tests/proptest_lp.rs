@@ -1,0 +1,122 @@
+//! Property-based tests for the simplex/MIP solver.
+
+use ecp_lp::{solve_lp, solve_mip, Cmp, LpStatus, MipConfig, MipStatus, Problem, Sense};
+use proptest::prelude::*;
+
+/// Random LP instance generator: a few bounded variables, a few Le/Ge
+/// constraints.
+fn arb_lp() -> impl Strategy<Value = Problem> {
+    (
+        2usize..5,
+        1usize..5,
+        proptest::collection::vec(-4.0f64..4.0, 2 * 5 + 5 * 5 + 5),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(nv, nc, coef, maximize)| {
+            let mut p =
+                Problem::new(if maximize { Sense::Maximize } else { Sense::Minimize });
+            let mut it = coef.into_iter();
+            let vars: Vec<_> = (0..nv)
+                .map(|i| {
+                    let c = it.next().unwrap();
+                    let ub = 1.0 + it.next().unwrap().abs();
+                    p.add_var(format!("v{i}"), 0.0, ub, c)
+                })
+                .collect();
+            for _ in 0..nc {
+                let terms: Vec<_> =
+                    vars.iter().map(|&v| (v, it.next().unwrap())).collect();
+                let rhs = it.next().unwrap() + 2.0;
+                let cmp = if it.next().unwrap() > 0.0 { Cmp::Le } else { Cmp::Ge };
+                p.add_constraint(&terms, cmp, rhs);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the solver returns as Optimal must actually be feasible.
+    #[test]
+    fn lp_solutions_are_feasible(p in arb_lp()) {
+        let s = solve_lp(&p);
+        if s.status == LpStatus::Optimal {
+            prop_assert!(p.is_feasible(&s.values, 1e-5), "infeasible 'optimal': {:?}", s.values);
+            prop_assert!((p.objective_value(&s.values) - s.objective).abs() < 1e-5);
+        }
+    }
+
+    /// The optimum is at least as good as any sampled feasible point.
+    #[test]
+    fn lp_optimum_dominates_random_points(p in arb_lp(), samples in proptest::collection::vec(0.0f64..1.0, 20)) {
+        let s = solve_lp(&p);
+        if s.status != LpStatus::Optimal {
+            return Ok(());
+        }
+        let nv = p.num_vars();
+        for chunk in samples.chunks(nv) {
+            if chunk.len() < nv {
+                break;
+            }
+            let x: Vec<f64> = (0..nv)
+                .map(|i| {
+                    let (lo, hi) = p.bounds(ecp_lp::VarId(i));
+                    lo + chunk[i] * (hi - lo).min(10.0)
+                })
+                .collect();
+            if p.is_feasible(&x, 1e-9) {
+                let obj = p.objective_value(&x);
+                match p_sense(&p) {
+                    Sense::Maximize => prop_assert!(s.objective >= obj - 1e-5),
+                    Sense::Minimize => prop_assert!(s.objective <= obj + 1e-5),
+                }
+            }
+        }
+    }
+
+    /// Binary MIP solutions are integral and feasible; the LP relaxation
+    /// bounds the MIP objective.
+    #[test]
+    fn mip_respects_relaxation_bound(p0 in arb_lp()) {
+        // Turn the instance into a binary MIP.
+        let mut p = Problem::new(p_sense(&p0));
+        for i in 0..p0.num_vars() {
+            let _ = p.add_binary(format!("b{i}"), {
+                // reuse the original objective coefficient via evaluation
+                let mut unit = vec![0.0; p0.num_vars()];
+                unit[i] = 1.0;
+                p0.objective_value(&unit)
+            });
+        }
+        // (constraints intentionally dropped: bound-only MIP, relaxation
+        // equality is what we check)
+        let lp = solve_lp(&p);
+        let mip = solve_mip(&p, &MipConfig::default());
+        if lp.status == LpStatus::Optimal && mip.status == MipStatus::Optimal {
+            for &v in &mip.values {
+                prop_assert!((v - v.round()).abs() < 1e-6);
+            }
+            match p_sense(&p0) {
+                Sense::Maximize => prop_assert!(mip.objective <= lp.objective + 1e-5),
+                Sense::Minimize => prop_assert!(mip.objective >= lp.objective - 1e-5),
+            }
+            // With box constraints only, the LP optimum is integral, so
+            // they must coincide.
+            prop_assert!((mip.objective - lp.objective).abs() < 1e-5);
+        }
+    }
+}
+
+fn p_sense(p: &Problem) -> Sense {
+    // Probe: empty problems carry their sense; easiest is to re-derive by
+    // serializing — instead expose through a tiny heuristic: solve with a
+    // single unconstrained bounded variable is overkill; we just store
+    // sense by convention in the generator. To keep the public API
+    // untouched, read the debug representation.
+    if format!("{p:?}").contains("Maximize") {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    }
+}

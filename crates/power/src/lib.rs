@@ -1,0 +1,39 @@
+//! # ecp-power — power models for routers, line cards, and links
+//!
+//! Implements the power-consumption model of §2.2.1 of the paper:
+//!
+//! > For each router `i`, `Pc(i)` is the cost in Watts for operating the
+//! > chassis. The power cost for a line card is linearly proportional to
+//! > the number of used ports. [...] `Pl(i→j)` is the cost in Watts for
+//! > using a port on router `i` connected to `j`. Finally, the power cost
+//! > of the optical link amplifier(s) is `Pa(i→j)` and depends solely on
+//! > the link's length.
+//!
+//! Three concrete models match the paper's evaluation (§5.1):
+//!
+//! * [`PowerModel::cisco12000`] — "a typical configuration of a Cisco
+//!   12000 series router with low to medium interface rates — each
+//!   line-card (OC3, OC48, OC192) consumes between 60 and 174 W,
+//!   depending on its operating speed, while the chassis consumes about
+//!   600 W (around 60% of the router's power budget)"; amplifiers draw
+//!   1.2 W per repeater span and are negligible.
+//! * [`PowerModel::alternative_hw`] — the forward-looking model "in
+//!   which the power budget for always-on components (chassis) is
+//!   reduced by factor of 10".
+//! * [`PowerModel::commodity_dc`] — the FatTree commodity-switch model
+//!   "in which the fixed overheads due to fans, switch chips, and
+//!   transceivers amount to about 90% of the peak power budget even if
+//!   there is no traffic".
+//!
+//! A network element whose traffic is removed enters a low-power state
+//! consuming a negligible amount of power (§5.1, citing Nedevschi et
+//! al.); [`PowerModel::sleep_fraction`] models that residual draw
+//! (default 0).
+
+pub mod model;
+pub mod network;
+pub mod thermal;
+
+pub use model::{LineCardClass, PowerModel};
+pub use network::{power_fraction, proportionality_index, PowerBreakdown};
+pub use thermal::ThermalModel;

@@ -1,0 +1,216 @@
+//! Network-wide power evaluation — the objective function of the paper's
+//! optimization:
+//!
+//! ```text
+//! Σ_i X_i [ Pc(i) + Σ_{i→j ∈ A_i} Y(i→j) (Pl(i→j) + Pa(i→j)) ]
+//! ```
+//!
+//! plus reporting helpers used by every figure (power as a percentage of
+//! "original power", i.e. the all-on network).
+
+use crate::model::PowerModel;
+use ecp_topo::{ActiveSet, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Itemized power draw of a network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Watts drawn by powered chassis.
+    pub chassis_w: f64,
+    /// Watts drawn by active line-card ports.
+    pub ports_w: f64,
+    /// Watts drawn by amplifiers of active links.
+    pub amplifiers_w: f64,
+    /// Residual draw of sleeping elements (usually 0).
+    pub sleeping_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total Watts.
+    pub fn total(&self) -> f64 {
+        self.chassis_w + self.ports_w + self.amplifiers_w + self.sleeping_w
+    }
+}
+
+impl PowerModel {
+    /// Evaluate the paper's objective for an active subset: total network
+    /// power in Watts.
+    pub fn network_power(&self, topo: &Topology, active: &ActiveSet) -> f64 {
+        self.network_breakdown(topo, active).total()
+    }
+
+    /// Itemized version of [`PowerModel::network_power`].
+    pub fn network_breakdown(&self, topo: &Topology, active: &ActiveSet) -> PowerBreakdown {
+        let mut b = PowerBreakdown { chassis_w: 0.0, ports_w: 0.0, amplifiers_w: 0.0, sleeping_w: 0.0 };
+        for n in topo.node_ids() {
+            let pc = self.chassis(topo, n);
+            if active.node_on(n) {
+                b.chassis_w += pc;
+            } else {
+                b.sleeping_w += pc * self.sleep_fraction;
+            }
+        }
+        for a in topo.arc_ids() {
+            // Port at the src endpoint of each directed arc; both
+            // directions of a link therefore charge one port each, which
+            // matches `Pl(i→j)` summed over `A_i` in the objective.
+            let pl = self.port(topo, a);
+            // Amplifiers belong to the physical link: charge on the
+            // canonical direction only.
+            let pa = if topo.link_of(a) == a { self.amplifier(topo, a) } else { 0.0 };
+            if active.arc_on(topo, a) {
+                b.ports_w += pl;
+                b.amplifiers_w += pa;
+            } else {
+                b.sleeping_w += (pl + pa) * self.sleep_fraction;
+            }
+        }
+        b
+    }
+
+    /// Power of the fully-on network ("original power" in the figures).
+    pub fn full_power(&self, topo: &Topology) -> f64 {
+        self.network_power(topo, &ActiveSet::all_on(topo))
+    }
+}
+
+/// Power of `active` as a fraction (0–1) of the fully-on network, the
+/// y-axis of Figs. 4, 5, 6 and 8a.
+pub fn power_fraction(model: &PowerModel, topo: &Topology, active: &ActiveSet) -> f64 {
+    let full = model.full_power(topo);
+    if full <= 0.0 {
+        return 1.0;
+    }
+    model.network_power(topo, active) / full
+}
+
+/// Energy-proportionality index over a run: 0 = perfectly flat power
+/// regardless of load (not proportional), 1 = power tracks load exactly.
+///
+/// Defined as `1 - (idle_power / peak_power)` on the observed
+/// (load, power) samples: we take power at the minimum-load sample as
+/// "idle" and at the maximum-load sample as "peak".
+pub fn proportionality_index(samples: &[(f64, f64)]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let (mut min_l, mut max_l) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut p_at_min, mut p_at_max) = (0.0, 0.0);
+    for &(load, power) in samples {
+        if load < min_l {
+            min_l = load;
+            p_at_min = power;
+        }
+        if load > max_l {
+            max_l = load;
+            p_at_max = power;
+        }
+    }
+    if p_at_max <= 0.0 || max_l <= min_l {
+        return 0.0;
+    }
+    (1.0 - p_at_min / p_at_max).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::{NodeId, TopologyBuilder, MBPS, MS};
+
+    fn two_link_topo() -> Topology {
+        // 0 - 1 - 2, 100 Mbps links (OC3 ports: 60 W each side).
+        let mut b = TopologyBuilder::new("t");
+        let n: Vec<NodeId> = (0..3).map(|i| b.add_node(format!("{i}"))).collect();
+        b.add_link(n[0], n[1], 100.0 * MBPS, MS);
+        b.add_link(n[1], n[2], 100.0 * MBPS, MS);
+        b.build()
+    }
+
+    #[test]
+    fn full_power_matches_hand_computation() {
+        let t = two_link_topo();
+        let m = PowerModel::cisco12000();
+        // 3 chassis * 600 + 4 ports * 60 (2 links, one port per arc).
+        let expect = 3.0 * 600.0 + 4.0 * 60.0;
+        assert!((m.full_power(&t) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let t = two_link_topo();
+        let m = PowerModel::cisco12000();
+        let s = ActiveSet::all_on(&t);
+        let b = m.network_breakdown(&t, &s);
+        assert!((b.total() - m.network_power(&t, &s)).abs() < 1e-9);
+        assert_eq!(b.sleeping_w, 0.0);
+    }
+
+    #[test]
+    fn sleeping_link_removes_its_ports() {
+        let t = two_link_topo();
+        let m = PowerModel::cisco12000();
+        let mut s = ActiveSet::all_on(&t);
+        let a = t.find_arc(NodeId(1), NodeId(2)).unwrap();
+        s.set_link(&t, a, false);
+        let b = m.network_breakdown(&t, &s);
+        assert!((b.ports_w - 2.0 * 60.0).abs() < 1e-9, "one link's two ports remain");
+        assert!((b.chassis_w - 3.0 * 600.0).abs() < 1e-9, "chassis still on");
+        // After pruning node 2 (now isolated) the chassis drops too.
+        s.prune_isolated_nodes(&t);
+        let b2 = m.network_breakdown(&t, &s);
+        assert!((b2.chassis_w - 2.0 * 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_off_draws_zero_without_sleep_residual() {
+        let t = two_link_topo();
+        let m = PowerModel::cisco12000();
+        assert_eq!(m.network_power(&t, &ActiveSet::all_off(&t)), 0.0);
+    }
+
+    #[test]
+    fn sleep_fraction_accounted() {
+        let t = two_link_topo();
+        let mut m = PowerModel::cisco12000();
+        m.sleep_fraction = 0.1;
+        let off = m.network_power(&t, &ActiveSet::all_off(&t));
+        assert!((off - 0.1 * m.full_power(&t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_fraction_bounds() {
+        let t = two_link_topo();
+        let m = PowerModel::cisco12000();
+        assert!((power_fraction(&m, &t, &ActiveSet::all_on(&t)) - 1.0).abs() < 1e-12);
+        assert_eq!(power_fraction(&m, &t, &ActiveSet::all_off(&t)), 0.0);
+    }
+
+    #[test]
+    fn commodity_dc_barely_proportional() {
+        // With the commodity model, turning off all ports but keeping
+        // chassis saves only ~10%.
+        let t = two_link_topo();
+        let m = PowerModel::commodity_dc();
+        let mut s = ActiveSet::all_on(&t);
+        for a in t.arc_ids() {
+            s.set_link(&t, a, false);
+        }
+        // Do not prune chassis: mimic "idle but on".
+        let frac = power_fraction(&m, &t, &s);
+        assert!(frac > 0.88, "fixed overheads ~90%: {frac}");
+    }
+
+    #[test]
+    fn proportionality_index_cases() {
+        // Perfectly flat power.
+        let flat = [(0.0, 100.0), (1.0, 100.0)];
+        assert_eq!(proportionality_index(&flat), 0.0);
+        // Perfectly proportional (zero at zero load).
+        let prop = [(0.0, 0.0), (0.5, 50.0), (1.0, 100.0)];
+        assert!((proportionality_index(&prop) - 1.0).abs() < 1e-12);
+        // Halfway.
+        let half = [(0.0, 50.0), (1.0, 100.0)];
+        assert!((proportionality_index(&half) - 0.5).abs() < 1e-12);
+        assert_eq!(proportionality_index(&[]), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! ElasticTree-style fat-tree optimizer (Heller et al., NSDI 2010) —
+//! the baseline the paper compares against in its datacenter experiment
+//! (Fig. 4: "REsPoNse is capable of achieving significant power savings,
+//! matching ElasticTree with their formal solution").
+//!
+//! ElasticTree's *topology-aware heuristic* exploits the fat-tree's
+//! structure to compute, in linear time, how many switches each layer
+//! needs for a given traffic matrix; its greedy bin-packer then assigns
+//! flows leftmost. We implement both steps, then verify the subset with
+//! the multi-commodity oracle, growing it minimally if the analytic
+//! count was too optimistic (the ElasticTree paper applies the same
+//! safety check).
+
+use crate::oracle::{place_flows, OracleConfig};
+use crate::subset::SubsetResult;
+use ecp_power::PowerModel;
+use ecp_topo::gen::FatTreeIndex;
+use ecp_topo::{ActiveSet, NodeId, Topology};
+use ecp_traffic::TrafficMatrix;
+
+/// Pod of a node, if it is an edge or aggregation switch.
+fn pod_of(ix: &FatTreeIndex, n: NodeId) -> Option<usize> {
+    ix.edge
+        .iter()
+        .position(|p| p.contains(&n))
+        .or_else(|| ix.agg.iter().position(|p| p.contains(&n)))
+}
+
+/// ElasticTree topology-aware subset: compute per-layer switch counts
+/// from the traffic matrix, activate the leftmost switches, verify with
+/// the oracle, and grow on failure.
+///
+/// Returns `None` when even the full fat-tree cannot carry the matrix.
+pub fn elastictree_subset(
+    topo: &Topology,
+    ix: &FatTreeIndex,
+    power: &PowerModel,
+    tm: &TrafficMatrix,
+    oracle: &OracleConfig,
+) -> Option<SubsetResult> {
+    let k = ix.edge.len(); // number of pods
+    let half = ix.edge.first().map(Vec::len).unwrap_or(0);
+    assert!(k > 0 && half > 0, "not a fat-tree index");
+    // Uniform link capacity assumed (fat-trees are built that way).
+    let cap = topo.arc(ecp_topo::ArcId(0)).capacity * oracle.margin;
+
+    // Per-pod upward/downward inter-pod traffic and intra-pod
+    // cross-edge traffic.
+    let mut up = vec![0.0; k];
+    let mut down = vec![0.0; k];
+    let mut intra = vec![0.0; k];
+    for d in tm.demands() {
+        let po = pod_of(ix, d.origin);
+        let pd = pod_of(ix, d.dst);
+        match (po, pd) {
+            (Some(a), Some(b)) if a == b => intra[a] += d.rate,
+            (Some(a), Some(b)) => {
+                up[a] += d.rate;
+                down[b] += d.rate;
+            }
+            _ => {} // host-attached or foreign nodes: oracle will cover
+        }
+    }
+
+    // Aggregation switches per pod: enough uplink bandwidth for
+    // inter-pod traffic (each agg owns `half` core uplinks) and at least
+    // one if the pod sends anything across edges.
+    let mut aggs: Vec<usize> = (0..k)
+        .map(|p| {
+            let need = up[p].max(down[p]);
+            let mut a = (need / (cap * half as f64)).ceil() as usize;
+            if a == 0 && (need > 0.0 || intra[p] > 0.0) {
+                a = 1;
+            }
+            a.min(half)
+        })
+        .collect();
+    // Core switches: every core has one link per pod, so pod p can push
+    // at most `cores` × cap into the core layer; cores must also be
+    // reachable, i.e. live in rows whose pod-local agg is active.
+    let need_core = up
+        .iter()
+        .zip(down.iter())
+        .map(|(u, d)| u.max(*d))
+        .fold(0.0, f64::max);
+    let mut cores = (need_core / cap).ceil() as usize;
+    if cores == 0 && up.iter().any(|&u| u > 0.0) {
+        cores = 1;
+    }
+    cores = cores.min(half * half);
+
+    loop {
+        // Rows of active cores: fill row-major; row i requires agg i in
+        // every pod that communicates across pods.
+        let rows_needed = cores.div_ceil(half).max(1);
+        let active = build_active(topo, ix, &aggs, cores, rows_needed);
+        if let Some(routes) = place_flows(topo, Some(&active), tm, oracle) {
+            let mut final_active = active;
+            final_active.prune_isolated_nodes(topo);
+            let power_w = power.network_power(topo, &final_active);
+            return Some(SubsetResult { active: final_active, routes, power_w });
+        }
+        // Grow: first more cores, then more aggs, until full.
+        if cores < half * half {
+            cores += 1;
+        } else if let Some(p) = (0..k).find(|&p| aggs[p] < half) {
+            aggs[p] += 1;
+        } else {
+            return None; // full fat-tree infeasible
+        }
+    }
+}
+
+fn build_active(
+    topo: &Topology,
+    ix: &FatTreeIndex,
+    aggs: &[usize],
+    cores: usize,
+    rows_needed: usize,
+) -> ActiveSet {
+    let half = ix.edge.first().map(Vec::len).unwrap_or(0);
+    let mut s = ActiveSet::all_off(topo);
+    let on_node = |s: &mut ActiveSet, n: NodeId| s.set_node(n, true);
+    // All edge switches stay on (hosts hang off them — ElasticTree keeps
+    // the edge layer powered).
+    for pod in &ix.edge {
+        for &e in pod {
+            on_node(&mut s, e);
+        }
+    }
+    // Leftmost aggs per pod, but at least `rows_needed` in communicating
+    // pods so active core rows stay reachable.
+    for (p, pod) in ix.agg.iter().enumerate() {
+        let count = aggs[p].max(if aggs[p] > 0 { rows_needed.min(half) } else { 0 });
+        for &a in pod.iter().take(count) {
+            on_node(&mut s, a);
+        }
+    }
+    // Leftmost cores, row-major (core index i*half + j is row i).
+    for (ci, &c) in ix.core.iter().enumerate().take(cores) {
+        let _ = ci;
+        on_node(&mut s, c);
+    }
+    // Links: activate every link whose endpoints are both on.
+    for l in topo.link_ids() {
+        let arc = topo.arc(l);
+        if s.node_on(arc.src) && s.node_on(arc.dst) {
+            s.set_link(topo, l, true);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::{fat_tree, FatTreeConfig};
+    use ecp_topo::MBPS;
+    use ecp_traffic::{fat_tree_far_pairs, fat_tree_near_pairs, uniform_matrix};
+
+    fn setup() -> (Topology, FatTreeIndex, PowerModel) {
+        let (t, ix) = fat_tree(&FatTreeConfig { capacity: 10.0 * MBPS, ..Default::default() });
+        (t, ix, PowerModel::commodity_dc())
+    }
+
+    #[test]
+    fn light_far_traffic_uses_minimal_core() {
+        let (t, ix, pm) = setup();
+        let far = fat_tree_far_pairs(&ix);
+        let tm = uniform_matrix(&far, 0.5 * MBPS);
+        let r = elastictree_subset(&t, &ix, &pm, &tm, &OracleConfig::default()).unwrap();
+        assert!(r.routes.is_feasible(&t, &tm, 1.0));
+        // One core and one agg per pod suffice at this load.
+        let cores_on = ix.core.iter().filter(|&&c| r.active.node_on(c)).count();
+        assert!(cores_on <= 2, "light load keeps the core nearly dark: {cores_on}");
+        assert!(r.power_w < pm.full_power(&t));
+    }
+
+    #[test]
+    fn near_traffic_keeps_core_dark() {
+        let (t, ix, pm) = setup();
+        let near = fat_tree_near_pairs(&ix);
+        let tm = uniform_matrix(&near, 2.0 * MBPS);
+        let r = elastictree_subset(&t, &ix, &pm, &tm, &OracleConfig::default()).unwrap();
+        let cores_on = ix.core.iter().filter(|&&c| r.active.node_on(c)).count();
+        assert_eq!(cores_on, 0, "intra-pod traffic needs no core switch");
+    }
+
+    #[test]
+    fn heavy_load_grows_toward_full_fabric() {
+        let (t, ix, pm) = setup();
+        let far = fat_tree_far_pairs(&ix);
+        let light = elastictree_subset(
+            &t,
+            &ix,
+            &pm,
+            &uniform_matrix(&far, 0.5 * MBPS),
+            &OracleConfig::default(),
+        )
+        .unwrap();
+        let heavy = elastictree_subset(
+            &t,
+            &ix,
+            &pm,
+            &uniform_matrix(&far, 8.0 * MBPS),
+            &OracleConfig::default(),
+        )
+        .unwrap();
+        assert!(heavy.power_w > light.power_w, "power scales with load");
+        assert!(
+            heavy.routes.is_feasible(&t, &uniform_matrix(&far, 8.0 * MBPS), 1.0)
+        );
+    }
+
+    #[test]
+    fn infeasible_demand_rejected() {
+        let (t, ix, pm) = setup();
+        let far = fat_tree_far_pairs(&ix);
+        let tm = uniform_matrix(&far, 50.0 * MBPS);
+        assert!(elastictree_subset(&t, &ix, &pm, &tm, &OracleConfig::default()).is_none());
+    }
+
+    #[test]
+    fn close_to_ensemble_optimum() {
+        // ElasticTree's analytic counts should land near the generic
+        // greedy ensemble (both approximate the same MIP).
+        let (t, ix, pm) = setup();
+        let far = fat_tree_far_pairs(&ix);
+        let tm = uniform_matrix(&far, 4.0 * MBPS);
+        let oc = OracleConfig::default();
+        let et = elastictree_subset(&t, &ix, &pm, &tm, &oc).unwrap();
+        let ens = crate::subset::optimal_subset(&t, &pm, &tm, &oc).unwrap();
+        let full = pm.full_power(&t);
+        assert!(
+            (et.power_w - ens.power_w).abs() / full < 0.25,
+            "ElasticTree {:.1}% vs ensemble {:.1}%",
+            100.0 * et.power_w / full,
+            100.0 * ens.power_w / full
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! [`RouteSet`]: one path per OD pair, with load accounting.
+
+use ecp_topo::{ActiveSet, ArcId, NodeId, Path, Topology};
+use ecp_traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An unsplittable routing: each OD pair uses exactly one path (the
+/// paper's binary flow assignment `f(i→j)(O,D) ∈ {0,1}`).
+///
+/// Serialized as a flat path list (the OD keys are recoverable from the
+/// path endpoints), keeping the JSON output human-readable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RouteSet {
+    paths: BTreeMap<(NodeId, NodeId), Path>,
+}
+
+impl Serialize for RouteSet {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let v: Vec<&Path> = self.paths.values().collect();
+        v.serialize(s)
+    }
+}
+
+impl<'de> Deserialize<'de> for RouteSet {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v: Vec<Path> = Vec::deserialize(d)?;
+        Ok(v.into_iter().collect())
+    }
+}
+
+impl RouteSet {
+    /// Empty routing.
+    pub fn new() -> Self {
+        RouteSet { paths: BTreeMap::new() }
+    }
+
+    /// Install (or replace) the path of an OD pair. The path endpoints
+    /// must match the key.
+    pub fn insert(&mut self, path: Path) {
+        let key = (path.origin(), path.destination());
+        self.paths.insert(key, path);
+    }
+
+    /// Path of an OD pair, if routed.
+    pub fn get(&self, origin: NodeId, dst: NodeId) -> Option<&Path> {
+        self.paths.get(&(origin, dst))
+    }
+
+    /// Number of routed pairs.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no pair is routed.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterate `((origin, dst), path)` in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Path)> {
+        self.paths.iter()
+    }
+
+    /// Remove a pair's path.
+    pub fn remove(&mut self, origin: NodeId, dst: NodeId) -> Option<Path> {
+        self.paths.remove(&(origin, dst))
+    }
+
+    /// Whether every demand of `tm` has a route.
+    pub fn covers(&self, tm: &TrafficMatrix) -> bool {
+        tm.demands().iter().all(|d| self.paths.contains_key(&(d.origin, d.dst)))
+    }
+
+    /// Per-arc load (bits/s) when carrying `tm` over these routes.
+    /// Demands without a route are ignored (check [`RouteSet::covers`]
+    /// first if that matters).
+    pub fn link_loads(&self, topo: &Topology, tm: &TrafficMatrix) -> Vec<f64> {
+        let mut load = vec![0.0; topo.arc_count()];
+        for d in tm.demands() {
+            if let Some(p) = self.paths.get(&(d.origin, d.dst)) {
+                if let Some(arcs) = p.arcs(topo) {
+                    for a in arcs {
+                        load[a.idx()] += d.rate;
+                    }
+                }
+            }
+        }
+        load
+    }
+
+    /// Maximum link utilization (load / capacity) over all arcs.
+    pub fn max_utilization(&self, topo: &Topology, tm: &TrafficMatrix) -> f64 {
+        self.link_loads(topo, tm)
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l / topo.arc(ArcId(i as u32)).capacity)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether all demands fit within `margin × capacity` on every arc
+    /// (the paper's safety margin `sm`, §4.5) and every demand is routed.
+    pub fn is_feasible(&self, topo: &Topology, tm: &TrafficMatrix, margin: f64) -> bool {
+        if !self.covers(tm) {
+            return false;
+        }
+        let loads = self.link_loads(topo, tm);
+        loads
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l <= margin * topo.arc(ArcId(i as u32)).capacity + 1e-6)
+    }
+
+    /// Arcs used by at least one routed path.
+    pub fn used_arcs(&self, topo: &Topology) -> Vec<ArcId> {
+        let mut used = vec![false; topo.arc_count()];
+        for p in self.paths.values() {
+            if let Some(arcs) = p.arcs(topo) {
+                for a in arcs {
+                    used[a.idx()] = true;
+                }
+            }
+        }
+        (0..topo.arc_count() as u32).map(ArcId).filter(|a| used[a.idx()]).collect()
+    }
+
+    /// Minimal active set powering exactly the used arcs (plus their
+    /// endpoints). Origin/destination routers of *routed* pairs are kept
+    /// on even if they route nothing through themselves.
+    pub fn active_set(&self, topo: &Topology) -> ActiveSet {
+        let mut s = ActiveSet::from_used_arcs(topo, self.used_arcs(topo));
+        for &(o, d) in self.paths.keys() {
+            s.set_node(o, true);
+            s.set_node(d, true);
+        }
+        s
+    }
+
+    /// Average propagation latency weighted by demand. Unrouted demands
+    /// are skipped.
+    pub fn mean_latency(&self, topo: &Topology, tm: &TrafficMatrix) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for d in tm.demands() {
+            if let Some(p) = self.paths.get(&(d.origin, d.dst)) {
+                num += d.rate * p.latency(topo);
+                den += d.rate;
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+impl FromIterator<Path> for RouteSet {
+    fn from_iter<T: IntoIterator<Item = Path>>(iter: T) -> Self {
+        let mut rs = RouteSet::new();
+        for p in iter {
+            rs.insert(p);
+        }
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::line;
+    use ecp_topo::{MBPS, MS};
+    use ecp_traffic::Demand;
+
+    fn tm(pairs: &[(u32, u32, f64)]) -> TrafficMatrix {
+        TrafficMatrix::new(
+            pairs
+                .iter()
+                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut rs = RouteSet::new();
+        rs.insert(Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]));
+        assert_eq!(rs.len(), 1);
+        assert!(rs.get(NodeId(0), NodeId(2)).is_some());
+        assert!(rs.get(NodeId(2), NodeId(0)).is_none());
+        rs.remove(NodeId(0), NodeId(2));
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn link_loads_accumulate() {
+        let t = line(3, 10.0 * MBPS, MS);
+        let mut rs = RouteSet::new();
+        rs.insert(Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]));
+        rs.insert(Path::new(vec![NodeId(1), NodeId(2)]));
+        let m = tm(&[(0, 2, 2e6), (1, 2, 3e6)]);
+        let loads = rs.link_loads(&t, &m);
+        let a12 = t.find_arc(NodeId(1), NodeId(2)).unwrap();
+        let a01 = t.find_arc(NodeId(0), NodeId(1)).unwrap();
+        assert!((loads[a12.idx()] - 5e6).abs() < 1.0);
+        assert!((loads[a01.idx()] - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn feasibility_margin() {
+        let t = line(3, 10.0 * MBPS, MS);
+        let mut rs = RouteSet::new();
+        rs.insert(Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]));
+        let m = tm(&[(0, 2, 9e6)]);
+        assert!(rs.is_feasible(&t, &m, 1.0));
+        assert!(!rs.is_feasible(&t, &m, 0.5), "90% load exceeds 50% margin");
+        assert!((rs.max_utilization(&t, &m) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncovered_demand_is_infeasible() {
+        let t = line(3, 10.0 * MBPS, MS);
+        let rs = RouteSet::new();
+        let m = tm(&[(0, 2, 1.0)]);
+        assert!(!rs.is_feasible(&t, &m, 1.0));
+        assert!(!rs.covers(&m));
+    }
+
+    #[test]
+    fn active_set_covers_used_elements_only() {
+        let t = line(4, 10.0 * MBPS, MS);
+        let mut rs = RouteSet::new();
+        rs.insert(Path::new(vec![NodeId(0), NodeId(1)]));
+        let s = rs.active_set(&t);
+        assert!(s.node_on(NodeId(0)));
+        assert!(s.node_on(NodeId(1)));
+        assert!(!s.node_on(NodeId(2)));
+        assert!(!s.node_on(NodeId(3)));
+        assert_eq!(s.links_on_count(&t), 1);
+    }
+
+    #[test]
+    fn mean_latency_weighted() {
+        let t = line(3, 10.0 * MBPS, MS);
+        let mut rs = RouteSet::new();
+        rs.insert(Path::new(vec![NodeId(0), NodeId(1), NodeId(2)])); // 2 ms
+        rs.insert(Path::new(vec![NodeId(0), NodeId(1)])); // 1 ms
+        let m = tm(&[(0, 2, 1e6), (0, 1, 3e6)]);
+        // (1*2ms + 3*1ms) / 4 = 1.25 ms
+        assert!((rs.mean_latency(&t, &m) - 1.25 * MS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let rs: RouteSet =
+            vec![Path::new(vec![NodeId(0), NodeId(1)]), Path::new(vec![NodeId(1), NodeId(2)])]
+                .into_iter()
+                .collect();
+        assert_eq!(rs.len(), 2);
+    }
+}

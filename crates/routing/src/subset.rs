@@ -1,0 +1,461 @@
+//! Energy-aware minimal-subset optimizers.
+//!
+//! Given a topology, power model, and traffic matrix, find an active
+//! subset (and a routing on it) minimizing network power — the paper's
+//! NP-hard optimization (§2.2). Four solvers:
+//!
+//! * [`greedy_prune`] — Chiaraviglio-style: "sorts the devices according
+//!   to their power consumption and then tries to power off the devices
+//!   that are most power hungry" (§2.3), re-checking multi-commodity
+//!   feasibility after every tentative switch-off. Routers first (chassis
+//!   dominates), then links.
+//! * [`greente_like`] — GreenTE-flavoured: restrict each OD pair to its
+//!   k shortest paths and greedily route onto the cheapest incremental
+//!   power (§2.3, \[41\]).
+//! * [`exact_small_subset`] — exhaustive link-subset enumeration with
+//!   power pruning; exact, exponential, only for tiny nets (tests and
+//!   the Fig. 3 example).
+//! * [`optimal_subset`] — the reproduction's stand-in for "CPLEX for
+//!   hours": exact on tiny nets, otherwise the best of a greedy-prune
+//!   ensemble over several orderings. DESIGN.md documents this
+//!   substitution.
+
+use crate::oracle::{place_flows, OracleConfig};
+use crate::routeset::RouteSet;
+use ecp_power::PowerModel;
+use ecp_topo::algo::is_connected;
+use ecp_topo::{ActiveSet, ArcId, NodeId, Topology};
+use ecp_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A minimal-subset solution.
+#[derive(Debug, Clone)]
+pub struct SubsetResult {
+    /// Which elements stay powered.
+    pub active: ActiveSet,
+    /// A feasible routing of the input matrix on that subset.
+    pub routes: RouteSet,
+    /// Network power of the subset in Watts.
+    pub power_w: f64,
+}
+
+/// Ordering strategies for the greedy prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneOrder {
+    /// Most power-hungry elements first (Chiaraviglio's heuristic).
+    PowerDesc,
+    /// Least-loaded links first (load under the full-topology routing).
+    LoadAsc,
+    /// Seeded random order (for the ensemble).
+    Random(u64),
+}
+
+/// Endpoints that must stay connected: all origins/destinations of the
+/// matrix.
+fn required_nodes(tm: &TrafficMatrix) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = tm.demands().iter().flat_map(|d| [d.origin, d.dst]).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Greedy power-down: start from the full network and switch off
+/// routers, then links, most-power-hungry first, keeping every tentative
+/// configuration multi-commodity feasible.
+pub fn greedy_prune(
+    topo: &Topology,
+    power: &PowerModel,
+    tm: &TrafficMatrix,
+    oracle: &OracleConfig,
+    order: PruneOrder,
+) -> Option<SubsetResult> {
+    let mut active = ActiveSet::all_on(topo);
+    let mut routes = place_flows(topo, Some(&active), tm, oracle)?;
+    let required = required_nodes(tm);
+
+    // ---- Router pass -------------------------------------------------
+    let mut node_candidates: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|n| !required.contains(n))
+        .collect();
+    let node_power = |n: NodeId| -> f64 {
+        power.chassis(topo, n)
+            + topo.out_arcs(n).iter().map(|&a| power.port(topo, a)).sum::<f64>()
+    };
+    match order {
+        PruneOrder::PowerDesc => node_candidates.sort_by(|&a, &b| {
+            node_power(b).partial_cmp(&node_power(a)).unwrap().then(a.cmp(&b))
+        }),
+        PruneOrder::LoadAsc => {
+            let loads = routes.link_loads(topo, tm);
+            let thru = |n: NodeId| -> f64 {
+                topo.out_arcs(n).iter().map(|&a| loads[a.idx()]).sum()
+            };
+            node_candidates
+                .sort_by(|&a, &b| thru(a).partial_cmp(&thru(b)).unwrap().then(a.cmp(&b)));
+        }
+        PruneOrder::Random(seed) => {
+            node_candidates.shuffle(&mut StdRng::seed_from_u64(seed));
+        }
+    }
+    for n in node_candidates {
+        let mut tentative = active.clone();
+        tentative.set_node(n, false);
+        if !is_connected(topo, &required, Some(&tentative)) {
+            continue;
+        }
+        if let Some(rs) = place_flows(topo, Some(&tentative), tm, oracle) {
+            active = tentative;
+            routes = rs;
+        }
+    }
+
+    // ---- Link pass ----------------------------------------------------
+    let mut link_candidates: Vec<ArcId> = topo
+        .link_ids()
+        .filter(|&l| active.arc_on(topo, l))
+        .collect();
+    match order {
+        PruneOrder::PowerDesc => link_candidates.sort_by(|&a, &b| {
+            power
+                .link_full(topo, b)
+                .partial_cmp(&power.link_full(topo, a))
+                .unwrap()
+                .then(a.cmp(&b))
+        }),
+        PruneOrder::LoadAsc => {
+            let loads = routes.link_loads(topo, tm);
+            let l2 = |l: ArcId| -> f64 {
+                let r = topo.reverse(l);
+                loads[l.idx()] + r.map(|r| loads[r.idx()]).unwrap_or(0.0)
+            };
+            link_candidates.sort_by(|&a, &b| l2(a).partial_cmp(&l2(b)).unwrap().then(a.cmp(&b)));
+        }
+        PruneOrder::Random(seed) => {
+            link_candidates.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x9E37_79B9));
+        }
+    }
+    for l in link_candidates {
+        let mut tentative = active.clone();
+        tentative.set_link(topo, l, false);
+        if !is_connected(topo, &required, Some(&tentative)) {
+            continue;
+        }
+        if let Some(rs) = place_flows(topo, Some(&tentative), tm, oracle) {
+            active = tentative;
+            routes = rs;
+        }
+    }
+
+    active.prune_isolated_nodes(topo);
+    let power_w = power.network_power(topo, &active);
+    Some(SubsetResult { active, routes, power_w })
+}
+
+/// GreenTE-like heuristic: each OD pair is restricted to its `k` shortest
+/// (inverse-capacity) paths; demands are routed, largest first, onto the
+/// candidate path with the lowest *incremental* power, subject to
+/// residual capacity. Elements not used by any flow are switched off.
+pub fn greente_like(
+    topo: &Topology,
+    power: &PowerModel,
+    tm: &TrafficMatrix,
+    k: usize,
+    oracle: &OracleConfig,
+) -> Option<SubsetResult> {
+    use ecp_topo::algo::k_shortest_paths;
+    let w = crate::ospf::invcap_weight(topo);
+
+    let mut demands = tm.demands().to_vec();
+    demands.sort_by(|a, b| b.rate.partial_cmp(&a.rate).unwrap());
+
+    let cap: Vec<f64> = topo.arc_ids().map(|a| topo.arc(a).capacity * oracle.margin).collect();
+    let mut load = vec![0.0; topo.arc_count()];
+    // Power-on state we build up incrementally.
+    let mut node_on = vec![false; topo.node_count()];
+    let mut link_on = vec![false; topo.arc_count()]; // canonical ids
+    let mut routes = RouteSet::new();
+
+    for d in &demands {
+        let candidates = k_shortest_paths(topo, d.origin, d.dst, k, &w, None);
+        if candidates.is_empty() {
+            return None;
+        }
+        // Choose the candidate with min (incremental power, path cost).
+        let mut best: Option<(f64, usize)> = None;
+        'cand: for (ci, p) in candidates.iter().enumerate() {
+            let arcs = match p.arcs(topo) {
+                Some(a) => a,
+                None => continue,
+            };
+            let mut inc = 0.0;
+            for &a in &arcs {
+                if load[a.idx()] + d.rate > cap[a.idx()] + 1e-6 {
+                    continue 'cand;
+                }
+                let l = topo.link_of(a);
+                if !link_on[l.idx()] {
+                    inc += power.link_full(topo, a);
+                }
+                let arc = topo.arc(a);
+                if !node_on[arc.src.idx()] {
+                    inc += power.chassis(topo, arc.src);
+                }
+                if !node_on[arc.dst.idx()] {
+                    inc += power.chassis(topo, arc.dst);
+                }
+            }
+            if best.map(|(b, _)| inc < b - 1e-9).unwrap_or(true) {
+                best = Some((inc, ci));
+            }
+        }
+        let (_, ci) = best?;
+        let p = &candidates[ci];
+        for a in p.arcs(topo).unwrap() {
+            load[a.idx()] += d.rate;
+            link_on[topo.link_of(a).idx()] = true;
+            node_on[topo.arc(a).src.idx()] = true;
+            node_on[topo.arc(a).dst.idx()] = true;
+        }
+        routes.insert(p.clone());
+    }
+
+    let mut active = ActiveSet::all_off(topo);
+    for n in topo.node_ids() {
+        if node_on[n.idx()] {
+            active.set_node(n, true);
+        }
+    }
+    for l in topo.link_ids() {
+        if link_on[l.idx()] {
+            active.set_link(topo, l, true);
+        }
+    }
+    // Endpoints of demands stay on even if they carry no transit.
+    for n in required_nodes(tm) {
+        active.set_node(n, true);
+    }
+    let power_w = power.network_power(topo, &active);
+    Some(SubsetResult { active, routes, power_w })
+}
+
+/// Exhaustive link-subset search — exact, O(2^links)·oracle. Panics if
+/// the topology has more than `max_links` (default guard 16) physical
+/// links.
+pub fn exact_small_subset(
+    topo: &Topology,
+    power: &PowerModel,
+    tm: &TrafficMatrix,
+    oracle: &OracleConfig,
+    max_links: usize,
+) -> Option<SubsetResult> {
+    let links: Vec<ArcId> = topo.link_ids().collect();
+    assert!(
+        links.len() <= max_links,
+        "exact search limited to {max_links} links, topology has {}",
+        links.len()
+    );
+    let required = required_nodes(tm);
+    let mut best: Option<SubsetResult> = None;
+    for mask in 0..(1u64 << links.len()) {
+        let mut active = ActiveSet::all_on(topo);
+        for (i, &l) in links.iter().enumerate() {
+            if mask >> i & 1 == 0 {
+                active.set_link(topo, l, false);
+            }
+        }
+        active.prune_isolated_nodes(topo);
+        let p = power.network_power(topo, &active);
+        if let Some(b) = &best {
+            if p >= b.power_w - 1e-9 {
+                continue; // cannot improve
+            }
+        }
+        if !is_connected(topo, &required, Some(&active)) {
+            continue;
+        }
+        if let Some(routes) = place_flows(topo, Some(&active), tm, oracle) {
+            best = Some(SubsetResult { active, routes, power_w: p });
+        }
+    }
+    best
+}
+
+/// The reproduction's "optimal" solver: exact for tiny topologies,
+/// otherwise best-of-ensemble greedy pruning (power-descending,
+/// load-ascending, and `extra_random` random orders).
+pub fn optimal_subset(
+    topo: &Topology,
+    power: &PowerModel,
+    tm: &TrafficMatrix,
+    oracle: &OracleConfig,
+) -> Option<SubsetResult> {
+    if topo.link_count() <= 12 {
+        return exact_small_subset(topo, power, tm, oracle, 12);
+    }
+    let mut best: Option<SubsetResult> = None;
+    let orders = [
+        PruneOrder::PowerDesc,
+        PruneOrder::LoadAsc,
+        PruneOrder::Random(1),
+        PruneOrder::Random(2),
+    ];
+    for ord in orders {
+        if let Some(r) = greedy_prune(topo, power, tm, oracle, ord) {
+            // 0.5% improvement margin: without it, near-equal optima from
+            // different orders alternate across trace intervals, creating
+            // artificial configuration churn (the canonical PowerDesc
+            // result is kept on ties).
+            if best.as_ref().map(|b| r.power_w < 0.995 * b.power_w).unwrap_or(true) {
+                best = Some(r);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::{fig3, geant, ring};
+    use ecp_topo::{NodeId, MBPS, MS};
+    use ecp_traffic::{gravity_matrix, random_od_pairs, Demand};
+
+    fn tm(pairs: &[(u32, u32, f64)]) -> TrafficMatrix {
+        TrafficMatrix::new(
+            pairs
+                .iter()
+                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn ring_prunes_to_path_under_light_load() {
+        // 5-ring, one small demand: optimal keeps a shortest chain only.
+        let t = ring(5, 10.0 * MBPS, MS);
+        let m = tm(&[(0, 1, 1e6)]);
+        let pm = PowerModel::cisco12000();
+        let r = greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).unwrap();
+        assert!(r.routes.is_feasible(&t, &m, 1.0));
+        // Only nodes 0,1 and link 0-1 should remain.
+        assert_eq!(r.active.nodes_on_count(), 2);
+        assert_eq!(r.active.links_on_count(&t), 1);
+        let full = pm.full_power(&t);
+        assert!(r.power_w < 0.4 * full);
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_small_ring() {
+        let t = ring(5, 10.0 * MBPS, MS);
+        let m = tm(&[(0, 2, 1e6), (1, 4, 1e6)]);
+        let pm = PowerModel::cisco12000();
+        let oc = OracleConfig::default();
+        let exact = exact_small_subset(&t, &pm, &m, &oc, 12).unwrap();
+        let greedy = greedy_prune(&t, &pm, &m, &oc, PruneOrder::PowerDesc).unwrap();
+        assert!(exact.power_w <= greedy.power_w + 1e-6, "exact is a lower bound");
+        // On this easy instance greedy should match exactly.
+        assert!((exact.power_w - greedy.power_w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimal_dispatches_to_exact_for_tiny() {
+        let t = ring(4, 10.0 * MBPS, MS);
+        let m = tm(&[(0, 2, 1e6)]);
+        let pm = PowerModel::cisco12000();
+        let r = optimal_subset(&t, &pm, &m, &OracleConfig::default()).unwrap();
+        // Path 0-1-2 or 0-3-2: 3 nodes, 2 links.
+        assert_eq!(r.active.nodes_on_count(), 3);
+        assert_eq!(r.active.links_on_count(&t), 2);
+    }
+
+    #[test]
+    fn infeasible_demand_returns_none() {
+        let t = ring(4, 10.0 * MBPS, MS);
+        let m = tm(&[(0, 2, 50e6)]);
+        let pm = PowerModel::cisco12000();
+        assert!(greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).is_none());
+    }
+
+    #[test]
+    fn fig3_consolidates_to_middle_path() {
+        // Light demand from A and C to K: the minimal subset keeps one
+        // path; with uniform link power it is a 3-hop path per source,
+        // sharing E-H-K (the paper's always-on choice).
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
+        let m = TrafficMatrix::new(vec![
+            Demand { origin: n.a, dst: n.k, rate: 1e6 },
+            Demand { origin: n.c, dst: n.k, rate: 1e6 },
+        ]);
+        let pm = PowerModel::cisco12000();
+        let r = exact_small_subset(&t, &pm, &m, &OracleConfig::default(), 12).unwrap();
+        // Shared middle: A,C,E,H,K on; D,F,G,J off -> 5 nodes, 4 links.
+        assert_eq!(r.active.nodes_on_count(), 5, "A C E H K");
+        assert_eq!(r.active.links_on_count(&t), 4, "A-E, C-E, E-H, H-K");
+        assert!(r.active.node_on(n.e));
+        assert!(r.active.node_on(n.h));
+        assert!(!r.active.node_on(n.d));
+        assert!(!r.active.node_on(n.j));
+    }
+
+    #[test]
+    fn heavier_load_keeps_more_elements() {
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
+        let pm = PowerModel::cisco12000();
+        let oc = OracleConfig::default();
+        let light = TrafficMatrix::new(vec![
+            Demand { origin: n.a, dst: n.k, rate: 1e6 },
+            Demand { origin: n.c, dst: n.k, rate: 1e6 },
+        ]);
+        let heavy = TrafficMatrix::new(vec![
+            Demand { origin: n.a, dst: n.k, rate: 8e6 },
+            Demand { origin: n.c, dst: n.k, rate: 8e6 },
+        ]);
+        let rl = exact_small_subset(&t, &pm, &light, &oc, 12).unwrap();
+        let rh = exact_small_subset(&t, &pm, &heavy, &oc, 12).unwrap();
+        assert!(
+            rh.power_w > rl.power_w,
+            "heavy demand cannot share the middle link: {} vs {}",
+            rh.power_w,
+            rl.power_w
+        );
+    }
+
+    #[test]
+    fn greente_routes_all_and_saves_power() {
+        let t = geant();
+        let pairs = random_od_pairs(&t, 80, 3);
+        let m = gravity_matrix(&t, &pairs, 2e9);
+        let pm = PowerModel::cisco12000();
+        let r = greente_like(&t, &pm, &m, 4, &OracleConfig::default()).unwrap();
+        assert!(r.routes.is_feasible(&t, &m, 1.0));
+        assert!(r.power_w < pm.full_power(&t), "some element powered off");
+    }
+
+    #[test]
+    fn greedy_prune_on_geant_saves_substantially() {
+        let t = geant();
+        let pairs = random_od_pairs(&t, 80, 3);
+        let m = gravity_matrix(&t, &pairs, 1e9); // light load
+        let pm = PowerModel::cisco12000();
+        let r =
+            greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).unwrap();
+        let frac = r.power_w / pm.full_power(&t);
+        assert!(frac < 0.85, "light load should allow >15% savings, got {frac}");
+        assert!(r.routes.is_feasible(&t, &m, 1.0));
+    }
+
+    #[test]
+    fn ensemble_never_worse_than_single_order() {
+        let t = geant();
+        let pairs = random_od_pairs(&t, 60, 5);
+        let m = gravity_matrix(&t, &pairs, 2e9);
+        let pm = PowerModel::cisco12000();
+        let oc = OracleConfig::default();
+        let single = greedy_prune(&t, &pm, &m, &oc, PruneOrder::PowerDesc).unwrap();
+        let ens = optimal_subset(&t, &pm, &m, &oc).unwrap();
+        assert!(ens.power_w <= single.power_w + 1e-6);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the feasibility oracle and subset
+//! optimizers.
+
+use ecp_power::PowerModel;
+use ecp_routing::subset::{greedy_prune, PruneOrder};
+use ecp_routing::{place_flows, ospf_invcap, OracleConfig};
+use ecp_topo::gen::random_waxman;
+use ecp_topo::{ArcId, NodeId, MBPS};
+use ecp_traffic::{Demand, TrafficMatrix};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = (ecp_topo::Topology, TrafficMatrix)> {
+    (5usize..14, 0u64..300, 1usize..6, 0.1f64..6.0).prop_map(|(n, seed, nd, scale)| {
+        let topo = random_waxman(n, 0.6, 0.3, 10.0 * MBPS, seed);
+        let demands: Vec<Demand> = (0..nd)
+            .map(|i| Demand {
+                origin: NodeId((i % n) as u32),
+                dst: NodeId(((i + n / 2) % n) as u32),
+                rate: scale * 1e6 * ((i + 1) as f64),
+            })
+            .filter(|d| d.origin != d.dst)
+            .collect();
+        (topo, TrafficMatrix::new(demands))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oracle output, when it exists, is always a capacity-feasible
+    /// routing of the full matrix within the margin.
+    #[test]
+    fn oracle_output_is_feasible((topo, tm) in arb_instance(), margin in 0.5f64..1.0) {
+        let oc = OracleConfig { margin, ..Default::default() };
+        if let Some(rs) = place_flows(&topo, None, &tm, &oc) {
+            prop_assert!(rs.covers(&tm));
+            prop_assert!(rs.is_feasible(&topo, &tm, margin));
+            // Loads never exceed margin*capacity on any arc.
+            let loads = rs.link_loads(&topo, &tm);
+            for a in topo.arc_ids() {
+                prop_assert!(loads[a.idx()] <= margin * topo.arc(a).capacity + 1e-6);
+            }
+        }
+    }
+
+    /// Greedy pruning never yields more power than the full network and
+    /// its routing remains feasible on the pruned subset.
+    #[test]
+    fn greedy_prune_sound((topo, tm) in arb_instance()) {
+        let pm = PowerModel::cisco12000();
+        let oc = OracleConfig::default();
+        if let Some(r) = greedy_prune(&topo, &pm, &tm, &oc, PruneOrder::PowerDesc) {
+            prop_assert!(r.power_w <= pm.full_power(&topo) + 1e-6);
+            prop_assert!(r.routes.is_feasible(&topo, &tm, oc.margin));
+            // Every arc the routing uses must be active in the subset.
+            for a in r.routes.used_arcs(&topo) {
+                prop_assert!(r.active.arc_on(&topo, a), "route uses dark arc {a}");
+            }
+            // Power reported matches the active set.
+            prop_assert!((pm.network_power(&topo, &r.active) - r.power_w).abs() < 1e-6);
+        }
+    }
+
+    /// A *tighter* margin can only make instances infeasible, never the
+    /// reverse.
+    #[test]
+    fn margin_monotonicity((topo, tm) in arb_instance()) {
+        let loose = OracleConfig { margin: 1.0, ..Default::default() };
+        let tight = OracleConfig { margin: 0.5, ..Default::default() };
+        if place_flows(&topo, None, &tm, &tight).is_some() {
+            prop_assert!(
+                place_flows(&topo, None, &tm, &loose).is_some(),
+                "feasible at 0.5 margin but infeasible at 1.0"
+            );
+        }
+    }
+
+    /// OSPF-InvCap always routes every reachable pair and its weight
+    /// function prefers the fattest parallel route.
+    #[test]
+    fn ospf_covers_reachable_pairs(topo in (5usize..14, 0u64..300).prop_map(|(n, s)| random_waxman(n, 0.6, 0.3, 10.0 * MBPS, s))) {
+        let pairs: Vec<(NodeId, NodeId)> = (1..topo.node_count() as u32)
+            .map(|i| (NodeId(0), NodeId(i)))
+            .collect();
+        let rs = ospf_invcap(&topo, &pairs, None);
+        // Waxman graphs from the generator are connected by construction.
+        prop_assert_eq!(rs.len(), pairs.len());
+        for (_, p) in rs.iter() {
+            prop_assert!(p.is_valid_in(&topo));
+        }
+    }
+
+    /// Routing loads decompose: the load of each arc equals the sum of
+    /// demands whose path uses it.
+    #[test]
+    fn link_loads_decompose((topo, tm) in arb_instance()) {
+        let oc = OracleConfig::default();
+        if let Some(rs) = place_flows(&topo, None, &tm, &oc) {
+            let loads = rs.link_loads(&topo, &tm);
+            let mut manual = vec![0.0f64; topo.arc_count()];
+            for d in tm.demands() {
+                let p = rs.get(d.origin, d.dst).unwrap();
+                for a in p.arcs(&topo).unwrap() {
+                    manual[a.idx()] += d.rate;
+                }
+            }
+            for a in topo.arc_ids() {
+                prop_assert!((loads[a.idx()] - manual[a.idx()]).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+/// Deterministic regression: the oracle must not mutate its inputs.
+#[test]
+fn oracle_does_not_mutate_inputs() {
+    let topo = random_waxman(8, 0.6, 0.3, 10.0 * MBPS, 1);
+    let tm = TrafficMatrix::new(vec![Demand {
+        origin: NodeId(0),
+        dst: NodeId(4),
+        rate: 1e6,
+    }]);
+    let before = format!("{tm:?}");
+    let _ = place_flows(&topo, None, &tm, &OracleConfig::default());
+    assert_eq!(before, format!("{tm:?}"));
+    let _ = ArcId(0); // keep the import honest
+}

@@ -1,0 +1,119 @@
+//! Reachability and connectivity checks on (sub)topologies.
+//!
+//! The always-on table must keep every OD pair connected; these checks are
+//! the fast feasibility gate used by the minimal-power-tree search before
+//! the (more expensive) capacity feasibility oracle runs.
+
+use crate::active::ActiveSet;
+use crate::graph::{NodeId, Topology};
+
+/// Set of nodes reachable from `src` following active arcs.
+pub fn reachable_from(topo: &Topology, src: NodeId, active: Option<&ActiveSet>) -> Vec<bool> {
+    let mut seen = vec![false; topo.node_count()];
+    if let Some(s) = active {
+        if !s.node_on(src) {
+            return seen;
+        }
+    }
+    let mut stack = vec![src];
+    seen[src.idx()] = true;
+    while let Some(u) = stack.pop() {
+        for &a in topo.out_arcs(u) {
+            let usable = active.map(|s| s.arc_on(topo, a)).unwrap_or(true);
+            if !usable {
+                continue;
+            }
+            let v = topo.arc(a).dst;
+            if !seen[v.idx()] {
+                seen[v.idx()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether every node in `required` can reach every other node in
+/// `required` over active arcs. With paired symmetric arcs this is
+/// equivalent to mutual reachability from any single required node, but
+/// we verify from each required node to stay correct for asymmetric
+/// topologies.
+pub fn is_connected(topo: &Topology, required: &[NodeId], active: Option<&ActiveSet>) -> bool {
+    if required.len() <= 1 {
+        return true;
+    }
+    for &r in required {
+        let seen = reachable_from(topo, r, active);
+        if required.iter().any(|&q| !seen[q.idx()]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::{MBPS, MS};
+
+    fn path4() -> Topology {
+        let mut b = TopologyBuilder::new("path4");
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("{i}"))).collect();
+        for w in n.windows(2) {
+            b.add_link(w[0], w[1], MBPS, MS);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn full_topology_connected() {
+        let t = path4();
+        let all: Vec<NodeId> = t.node_ids().collect();
+        assert!(is_connected(&t, &all, None));
+    }
+
+    #[test]
+    fn cutting_a_link_disconnects() {
+        let t = path4();
+        let all: Vec<NodeId> = t.node_ids().collect();
+        let mut s = ActiveSet::all_on(&t);
+        let mid = t.find_arc(NodeId(1), NodeId(2)).unwrap();
+        s.set_link(&t, mid, false);
+        assert!(!is_connected(&t, &all, Some(&s)));
+        // But each side is still internally connected.
+        assert!(is_connected(&t, &[NodeId(0), NodeId(1)], Some(&s)));
+        assert!(is_connected(&t, &[NodeId(2), NodeId(3)], Some(&s)));
+    }
+
+    #[test]
+    fn reachability_respects_node_state() {
+        let t = path4();
+        let mut s = ActiveSet::all_on(&t);
+        s.set_node(NodeId(1), false);
+        let seen = reachable_from(&t, NodeId(0), Some(&s));
+        assert!(seen[0]);
+        assert!(!seen[1]);
+        assert!(!seen[2]);
+    }
+
+    #[test]
+    fn empty_and_singleton_required_sets() {
+        let t = path4();
+        assert!(is_connected(&t, &[], None));
+        assert!(is_connected(&t, &[NodeId(2)], None));
+    }
+
+    #[test]
+    fn asymmetric_reachability() {
+        // one-way arc 0 -> 1 only
+        let mut b = TopologyBuilder::new("oneway");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_arc(a, c, MBPS, MS);
+        let t = b.build();
+        assert!(reachable_from(&t, NodeId(0), None)[1]);
+        assert!(!reachable_from(&t, NodeId(1), None)[0]);
+        assert!(!is_connected(&t, &[NodeId(0), NodeId(1)], None));
+    }
+}

@@ -1,0 +1,377 @@
+//! Dijkstra shortest paths with pluggable arc weights, active-subset
+//! filtering, and a delay-bounded variant used by REsPoNse-lat
+//! (constraint (4) of the paper).
+
+use crate::active::ActiveSet;
+use crate::graph::{ArcId, NodeId, Topology};
+use crate::path::Path;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Arc weight function type alias. Must return a non-negative, finite
+/// weight; return `f64::INFINITY` to forbid an arc.
+pub type ArcWeight<'a> = dyn Fn(ArcId) -> f64 + 'a;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist with node id as a deterministic tiebreak.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn arc_usable(topo: &Topology, active: Option<&ActiveSet>, a: ArcId) -> bool {
+    match active {
+        Some(s) => s.arc_on(topo, a),
+        None => true,
+    }
+}
+
+/// Single-source shortest path tree. Returns `(dist, parent_arc)` arrays;
+/// unreachable nodes have `dist = INFINITY` and `parent_arc = None`.
+pub fn shortest_path_tree(
+    topo: &Topology,
+    src: NodeId,
+    weight: &ArcWeight,
+    active: Option<&ActiveSet>,
+) -> (Vec<f64>, Vec<Option<ArcId>>) {
+    let n = topo.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<ArcId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    if active.map(|s| s.node_on(src)).unwrap_or(true) {
+        dist[src.idx()] = 0.0;
+        heap.push(HeapItem { dist: 0.0, node: src });
+    }
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.idx()] {
+            continue; // stale entry
+        }
+        for &a in topo.out_arcs(u) {
+            if !arc_usable(topo, active, a) {
+                continue;
+            }
+            let w = weight(a);
+            if !w.is_finite() {
+                continue;
+            }
+            debug_assert!(w >= 0.0, "negative arc weight");
+            let v = topo.arc(a).dst;
+            let nd = d + w;
+            if nd + 1e-15 < dist[v.idx()] {
+                dist[v.idx()] = nd;
+                parent[v.idx()] = Some(a);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    (dist, parent)
+}
+
+fn extract_path(topo: &Topology, parent: &[Option<ArcId>], src: NodeId, dst: NodeId) -> Option<Path> {
+    let mut rev = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        let a = parent[cur.idx()]?;
+        cur = topo.arc(a).src;
+        rev.push(cur);
+    }
+    rev.reverse();
+    Path::try_new(rev)
+}
+
+/// Shortest path from `src` to `dst` under the given weight, restricted
+/// to the active subset if provided. Returns `None` when unreachable.
+pub fn shortest_path(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    weight: &ArcWeight,
+    active: Option<&ActiveSet>,
+) -> Option<Path> {
+    if src == dst {
+        return Some(Path::trivial(src));
+    }
+    let (dist, parent) = shortest_path_tree(topo, src, weight, active);
+    if dist[dst.idx()].is_finite() {
+        extract_path(topo, &parent, src, dst)
+    } else {
+        None
+    }
+}
+
+/// Delay-bounded cheapest path: minimize `weight` subject to total
+/// propagation latency `≤ delay_bound` seconds. This implements the
+/// REsPoNse-lat constraint `delay(O,D) ≤ (1+β)·delay_OSPF(O,D)`.
+///
+/// Uses label-correcting search over (cost, delay) labels with dominance
+/// pruning — exact for the path sizes in this reproduction (≤ a few
+/// hundred nodes) because the Pareto frontier per node stays small.
+pub fn shortest_path_bounded(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    weight: &ArcWeight,
+    delay_bound: f64,
+    active: Option<&ActiveSet>,
+) -> Option<Path> {
+    if src == dst {
+        return Some(Path::trivial(src));
+    }
+    // Lower bound on remaining delay from each node to dst (plain latency
+    // Dijkstra on the reversed graph) for pruning.
+    let lat_to_dst = {
+        let n = topo.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = BinaryHeap::new();
+        if active.map(|s| s.node_on(dst)).unwrap_or(true) {
+            dist[dst.idx()] = 0.0;
+            heap.push(HeapItem { dist: 0.0, node: dst });
+        }
+        while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+            if d > dist[u.idx()] {
+                continue;
+            }
+            for &a in topo.in_arcs(u) {
+                if !arc_usable(topo, active, a) {
+                    continue;
+                }
+                let v = topo.arc(a).src;
+                let nd = d + topo.arc(a).latency;
+                if nd + 1e-15 < dist[v.idx()] {
+                    dist[v.idx()] = nd;
+                    heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+        dist
+    };
+    if lat_to_dst[src.idx()] > delay_bound + 1e-12 {
+        return None; // even the latency-optimal path violates the bound
+    }
+
+    // Labels: per node, a Pareto set of (cost, delay, parent_label).
+    #[derive(Clone)]
+    struct Label {
+        cost: f64,
+        delay: f64,
+        node: NodeId,
+        parent: Option<usize>, // index into `labels`
+        via: Option<ArcId>,
+    }
+    let mut labels: Vec<Label> = Vec::new();
+    let mut pareto: Vec<Vec<usize>> = vec![Vec::new(); topo.node_count()];
+
+    #[derive(PartialEq)]
+    struct QItem {
+        cost: f64,
+        id: usize,
+    }
+    impl Eq for QItem {}
+    impl Ord for QItem {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for QItem {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: BinaryHeap<QItem> = BinaryHeap::new();
+    labels.push(Label { cost: 0.0, delay: 0.0, node: src, parent: None, via: None });
+    pareto[src.idx()].push(0);
+    heap.push(QItem { cost: 0.0, id: 0 });
+
+    while let Some(QItem { cost, id }) = heap.pop() {
+        let lab = labels[id].clone();
+        if cost > lab.cost + 1e-15 {
+            continue;
+        }
+        if lab.node == dst {
+            // First dst label popped = cheapest feasible.
+            let mut rev_nodes = vec![dst];
+            let mut cur = &labels[id];
+            while let Some(p) = cur.parent {
+                cur = &labels[p];
+                rev_nodes.push(cur.node);
+            }
+            rev_nodes.reverse();
+            return Path::try_new(rev_nodes);
+        }
+        for &a in topo.out_arcs(lab.node) {
+            if !arc_usable(topo, active, a) {
+                continue;
+            }
+            let w = weight(a);
+            if !w.is_finite() {
+                continue;
+            }
+            let arc = topo.arc(a);
+            let nd = lab.delay + arc.latency;
+            // Prune if even the best-case remaining delay busts the bound.
+            if nd + lat_to_dst[arc.dst.idx()] > delay_bound + 1e-12 {
+                continue;
+            }
+            let nc = lab.cost + w;
+            // Dominance: skip if an existing label at dst-node is better in
+            // both dimensions.
+            let dominated = pareto[arc.dst.idx()].iter().any(|&li| {
+                labels[li].cost <= nc + 1e-15 && labels[li].delay <= nd + 1e-15
+            });
+            if dominated {
+                continue;
+            }
+            // Loop check: walk ancestors (paths are short; fine).
+            let mut is_loop = false;
+            let mut cur = Some(id);
+            while let Some(ci) = cur {
+                if labels[ci].node == arc.dst {
+                    is_loop = true;
+                    break;
+                }
+                cur = labels[ci].parent;
+            }
+            if is_loop {
+                continue;
+            }
+            let nid = labels.len();
+            labels.push(Label { cost: nc, delay: nd, node: arc.dst, parent: Some(id), via: Some(a) });
+            let _ = labels[nid].via; // silence unused-field lint on some paths
+            pareto[arc.dst.idx()].retain(|&li| {
+                !(labels[li].cost >= nc - 1e-15 && labels[li].delay >= nd - 1e-15)
+            });
+            pareto[arc.dst.idx()].push(nid);
+            heap.push(QItem { cost: nc, id: nid });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::{MBPS, MS};
+
+    /// Diamond: 0 -(fast, expensive)- 1 - 3 and 0 -(slow, cheap)- 2 - 3.
+    fn diamond() -> Topology {
+        let mut b = TopologyBuilder::new("diamond");
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("{i}"))).collect();
+        b.add_link(n[0], n[1], 10.0 * MBPS, 1.0 * MS); // fast
+        b.add_link(n[1], n[3], 10.0 * MBPS, 1.0 * MS);
+        b.add_link(n[0], n[2], 10.0 * MBPS, 10.0 * MS); // slow
+        b.add_link(n[2], n[3], 10.0 * MBPS, 10.0 * MS);
+        b.build()
+    }
+
+    #[test]
+    fn hop_count_shortest() {
+        let t = diamond();
+        let p = shortest_path(&t, NodeId(0), NodeId(3), &|_| 1.0, None).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn latency_weight_picks_fast_branch() {
+        let t = diamond();
+        let p = shortest_path(&t, NodeId(0), NodeId(3), &|a| t.arc(a).latency, None).unwrap();
+        assert!(p.visits(NodeId(1)));
+        assert!(!p.visits(NodeId(2)));
+    }
+
+    #[test]
+    fn forbidden_arcs_are_avoided() {
+        let t = diamond();
+        // Forbid everything through node 1.
+        let w = |a: ArcId| {
+            if t.arc(a).src == NodeId(1) || t.arc(a).dst == NodeId(1) {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        };
+        let p = shortest_path(&t, NodeId(0), NodeId(3), &w, None).unwrap();
+        assert!(p.visits(NodeId(2)));
+    }
+
+    #[test]
+    fn active_set_restricts_search() {
+        let t = diamond();
+        let mut s = ActiveSet::all_on(&t);
+        s.set_node(NodeId(1), false);
+        let p = shortest_path(&t, NodeId(0), NodeId(3), &|_| 1.0, Some(&s)).unwrap();
+        assert!(p.visits(NodeId(2)));
+        s.set_node(NodeId(2), false);
+        assert!(shortest_path(&t, NodeId(0), NodeId(3), &|_| 1.0, Some(&s)).is_none());
+    }
+
+    #[test]
+    fn trivial_path_when_src_eq_dst() {
+        let t = diamond();
+        let p = shortest_path(&t, NodeId(2), NodeId(2), &|_| 1.0, None).unwrap();
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn bounded_variant_respects_delay() {
+        let t = diamond();
+        // Make the slow branch "cheap" in weight so the unconstrained
+        // optimum violates a tight delay bound.
+        let w = |a: ArcId| if t.arc(a).src == NodeId(1) || t.arc(a).dst == NodeId(1) { 10.0 } else { 1.0 };
+        let unbounded = shortest_path(&t, NodeId(0), NodeId(3), &w, None).unwrap();
+        assert!(unbounded.visits(NodeId(2)), "cheap branch preferred without bound");
+        // Bound = 3ms only admits the fast branch (2 ms total).
+        let bounded =
+            shortest_path_bounded(&t, NodeId(0), NodeId(3), &w, 3.0 * MS, None).unwrap();
+        assert!(bounded.visits(NodeId(1)));
+        assert!(bounded.latency(&t) <= 3.0 * MS + 1e-12);
+    }
+
+    #[test]
+    fn bounded_variant_infeasible_bound() {
+        let t = diamond();
+        assert!(shortest_path_bounded(&t, NodeId(0), NodeId(3), &|_| 1.0, 0.5 * MS, None).is_none());
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_when_loose() {
+        let t = diamond();
+        let w = |a: ArcId| 1.0 / t.arc(a).capacity;
+        let p1 = shortest_path(&t, NodeId(0), NodeId(3), &w, None).unwrap();
+        let p2 = shortest_path_bounded(&t, NodeId(0), NodeId(3), &w, 1.0, None).unwrap();
+        assert_eq!(p1.hops(), p2.hops());
+    }
+
+    #[test]
+    fn tree_distances_monotone() {
+        let t = diamond();
+        let (dist, parent) = shortest_path_tree(&t, NodeId(0), &|a| t.arc(a).latency, None);
+        assert_eq!(dist[0], 0.0);
+        assert!(dist[3] > dist[1]);
+        assert!(parent[0].is_none());
+        assert!(parent[3].is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! Dinic max-flow.
+//!
+//! Used for (a) upper-bounding feasible demand between an OD pair when
+//! scaling traffic matrices to "100% load", and (b) counting the number of
+//! link-disjoint paths available for failover planning.
+
+use crate::active::ActiveSet;
+use crate::graph::{NodeId, Topology};
+use std::collections::VecDeque;
+
+#[derive(Clone)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    flow: f64,
+}
+
+/// A reusable max-flow instance built from a topology snapshot.
+pub struct FlowNetwork {
+    edges: Vec<Edge>,
+    /// adjacency: node -> edge indices (even = forward, odd = residual)
+    adj: Vec<Vec<usize>>,
+    n: usize,
+}
+
+impl FlowNetwork {
+    /// Build from active arcs of a topology; capacities in bits/s (or any
+    /// consistent unit). `unit_capacities` replaces every capacity with
+    /// 1.0, turning max-flow into a count of link-disjoint paths.
+    pub fn from_topology(topo: &Topology, active: Option<&ActiveSet>, unit_capacities: bool) -> Self {
+        let n = topo.node_count();
+        let mut fnw = FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); n], n };
+        for a in topo.arc_ids() {
+            let usable = active.map(|s| s.arc_on(topo, a)).unwrap_or(true);
+            if !usable {
+                continue;
+            }
+            let arc = topo.arc(a);
+            let cap = if unit_capacities { 1.0 } else { arc.capacity };
+            fnw.add_edge(arc.src.idx(), arc.dst.idx(), cap);
+        }
+        fnw
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
+        self.adj[u].push(self.edges.len());
+        self.edges.push(Edge { to: v, cap, flow: 0.0 });
+        self.adj[v].push(self.edges.len());
+        self.edges.push(Edge { to: u, cap: 0.0, flow: 0.0 });
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.n];
+        level[s] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &ei in &self.adj[u] {
+                let e = &self.edges[ei];
+                if level[e.to] < 0 && e.cap - e.flow > 1e-9 {
+                    level[e.to] = level[u] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        if level[t] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_push(&mut self, u: usize, t: usize, pushed: f64, level: &[i32], it: &mut [usize]) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.adj[u].len() {
+            let ei = self.adj[u][it[u]];
+            let (to, residual) = {
+                let e = &self.edges[ei];
+                (e.to, e.cap - e.flow)
+            };
+            if residual > 1e-9 && level[to] == level[u] + 1 {
+                let d = self.dfs_push(to, t, pushed.min(residual), level, it);
+                if d > 1e-9 {
+                    self.edges[ei].flow += d;
+                    self.edges[ei ^ 1].flow -= d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+
+    /// Compute the max flow value from `s` to `t`. Resets prior flow.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> f64 {
+        for e in &mut self.edges {
+            e.flow = 0.0;
+        }
+        if s == t {
+            return f64::INFINITY;
+        }
+        let (s, t) = (s.idx(), t.idx());
+        let mut total = 0.0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut it = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut it);
+                if pushed <= 1e-9 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+}
+
+/// Convenience wrapper: max flow between two nodes over active arcs.
+pub fn max_flow(topo: &Topology, s: NodeId, t: NodeId, active: Option<&ActiveSet>) -> f64 {
+    FlowNetwork::from_topology(topo, active, false).max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::{MBPS, MS};
+
+    #[test]
+    fn single_link_flow() {
+        let mut b = TopologyBuilder::new("l");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_link(a, c, 10.0 * MBPS, MS);
+        let t = b.build();
+        let f = max_flow(&t, NodeId(0), NodeId(1), None);
+        assert!((f - 10.0 * MBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        // 0->1->3 and 0->2->3, each 5 Mbps.
+        let mut b = TopologyBuilder::new("diamond");
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("{i}"))).collect();
+        b.add_link(n[0], n[1], 5.0 * MBPS, MS);
+        b.add_link(n[1], n[3], 5.0 * MBPS, MS);
+        b.add_link(n[0], n[2], 5.0 * MBPS, MS);
+        b.add_link(n[2], n[3], 5.0 * MBPS, MS);
+        let t = b.build();
+        let f = max_flow(&t, NodeId(0), NodeId(3), None);
+        assert!((f - 10.0 * MBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        // 0 -10-> 1 -2-> 2
+        let mut b = TopologyBuilder::new("b");
+        let n: Vec<NodeId> = (0..3).map(|i| b.add_node(format!("{i}"))).collect();
+        b.add_link(n[0], n[1], 10.0 * MBPS, MS);
+        b.add_link(n[1], n[2], 2.0 * MBPS, MS);
+        let t = b.build();
+        let f = max_flow(&t, NodeId(0), NodeId(2), None);
+        assert!((f - 2.0 * MBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn unit_capacities_count_disjoint_paths() {
+        let mut b = TopologyBuilder::new("diamond");
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("{i}"))).collect();
+        b.add_link(n[0], n[1], 5.0 * MBPS, MS);
+        b.add_link(n[1], n[3], 5.0 * MBPS, MS);
+        b.add_link(n[0], n[2], 99.0 * MBPS, MS);
+        b.add_link(n[2], n[3], 1.0 * MBPS, MS);
+        let t = b.build();
+        let mut fnw = FlowNetwork::from_topology(&t, None, true);
+        let k = fnw.max_flow(NodeId(0), NodeId(3));
+        assert!((k - 2.0).abs() < 1e-6, "two link-disjoint paths");
+    }
+
+    #[test]
+    fn inactive_subset_blocks_flow() {
+        let mut b = TopologyBuilder::new("l");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_link(a, c, 10.0 * MBPS, MS);
+        let t = b.build();
+        let mut s = ActiveSet::all_on(&t);
+        s.set_link(&t, t.find_arc(NodeId(0), NodeId(1)).unwrap(), false);
+        let f = max_flow(&t, NodeId(0), NodeId(1), Some(&s));
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn flow_to_self_is_infinite() {
+        let mut b = TopologyBuilder::new("l");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        b.add_link(a, c, MBPS, MS);
+        let t = b.build();
+        assert!(max_flow(&t, NodeId(0), NodeId(0), None).is_infinite());
+    }
+}

@@ -1,0 +1,192 @@
+//! Yen's algorithm for loop-free k-shortest paths.
+//!
+//! Used by the GreenTE-like heuristic (`ecp-routing`), which restricts the
+//! energy optimization to the k shortest paths of each OD pair, and by the
+//! energy-critical-path analysis (Fig. 2b) to enumerate path candidates.
+
+use crate::active::ActiveSet;
+use crate::algo::dijkstra::{shortest_path, ArcWeight};
+use crate::graph::{ArcId, NodeId, Topology};
+use crate::path::Path;
+
+/// Compute up to `k` loop-free shortest paths from `src` to `dst` ordered
+/// by total weight. Ties are broken deterministically (lexicographic node
+/// sequence), so results are stable across runs.
+pub fn k_shortest_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: &ArcWeight,
+    active: Option<&ActiveSet>,
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let first = match shortest_path(topo, src, dst, weight, active) {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let path_cost = |p: &Path| -> f64 {
+        p.arcs(topo).map(|arcs| arcs.iter().map(|&a| weight(a)).sum()).unwrap_or(f64::INFINITY)
+    };
+
+    let mut result: Vec<Path> = vec![first];
+    // Candidate pool: (cost, path). Kept sorted ascending by (cost, nodes).
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        let last_nodes = last.nodes().to_vec();
+        // Spur from each node of the previous path.
+        for i in 0..last_nodes.len() - 1 {
+            let spur_node = last_nodes[i];
+            let root: Vec<NodeId> = last_nodes[..=i].to_vec();
+
+            // Arcs removed: the next arc of any accepted path sharing this
+            // root, in both directions of the physical link is NOT removed
+            // (only the directed arc, per Yen).
+            let mut banned_arcs: Vec<ArcId> = Vec::new();
+            for p in &result {
+                let pn = p.nodes();
+                if pn.len() > i && pn[..=i] == root[..] {
+                    if let Some(a) = topo.find_arc(pn[i], pn[i + 1]) {
+                        banned_arcs.push(a);
+                    }
+                }
+            }
+            // Nodes of the root (except the spur node) are banned to keep
+            // paths loop-free.
+            let banned_nodes: Vec<NodeId> = root[..i].to_vec();
+
+            let w = |a: ArcId| {
+                let arc = topo.arc(a);
+                if banned_arcs.contains(&a)
+                    || banned_nodes.contains(&arc.src)
+                    || banned_nodes.contains(&arc.dst)
+                {
+                    f64::INFINITY
+                } else {
+                    weight(a)
+                }
+            };
+            if let Some(spur) = shortest_path(topo, spur_node, dst, &w, active) {
+                let mut total_nodes = root.clone();
+                total_nodes.pop(); // spur path repeats the spur node
+                total_nodes.extend_from_slice(spur.nodes());
+                if let Some(total) = Path::try_new(total_nodes) {
+                    let c = path_cost(&total);
+                    if c.is_finite()
+                        && !result.contains(&total)
+                        && !candidates.iter().any(|(_, p)| *p == total)
+                    {
+                        candidates.push((c, total));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|(ca, pa), (cb, pb)| {
+            ca.partial_cmp(cb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| pa.nodes().cmp(pb.nodes()))
+        });
+        let (_, best) = candidates.remove(0);
+        result.push(best);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::{MBPS, MS};
+
+    /// 0-1-3 (cost 2), 0-2-3 (cost 4), 0-1-2-3 (cost 5), ...
+    fn diamond_weighted() -> Topology {
+        let mut b = TopologyBuilder::new("dw");
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("{i}"))).collect();
+        b.add_link(n[0], n[1], MBPS, 1.0 * MS);
+        b.add_link(n[1], n[3], MBPS, 1.0 * MS);
+        b.add_link(n[0], n[2], MBPS, 2.0 * MS);
+        b.add_link(n[2], n[3], MBPS, 2.0 * MS);
+        b.add_link(n[1], n[2], MBPS, 2.0 * MS);
+        b.build()
+    }
+
+    #[test]
+    fn k1_is_shortest() {
+        let t = diamond_weighted();
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(3), 1, &|a| t.arc(a).latency, None);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn paths_are_ordered_and_distinct() {
+        let t = diamond_weighted();
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(3), 4, &|a| t.arc(a).latency, None);
+        assert!(ps.len() >= 3);
+        let costs: Vec<f64> = ps.iter().map(|p| p.latency(&t)).collect();
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "ordered by cost: {costs:?}");
+        }
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i], ps[j], "paths distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn all_paths_loop_free_and_valid() {
+        let t = diamond_weighted();
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(3), 10, &|a| t.arc(a).latency, None);
+        for p in &ps {
+            assert!(p.is_valid_in(&t));
+            assert_eq!(p.origin(), NodeId(0));
+            assert_eq!(p.destination(), NodeId(3));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count() {
+        let t = diamond_weighted();
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(3), 100, &|_| 1.0, None);
+        // Finite number of simple paths; should terminate and be < 100.
+        assert!(ps.len() < 100);
+        assert!(ps.len() >= 3);
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        let mut b = TopologyBuilder::new("disc");
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let _ = (a, c);
+        let t = b.build();
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(1), 3, &|_| 1.0, None);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn k0_gives_empty() {
+        let t = diamond_weighted();
+        assert!(k_shortest_paths(&t, NodeId(0), NodeId(3), 0, &|_| 1.0, None).is_empty());
+    }
+
+    #[test]
+    fn respects_active_subset() {
+        let t = diamond_weighted();
+        let mut s = ActiveSet::all_on(&t);
+        s.set_node(NodeId(1), false);
+        let ps = k_shortest_paths(&t, NodeId(0), NodeId(3), 5, &|_| 1.0, Some(&s));
+        for p in &ps {
+            assert!(!p.visits(NodeId(1)));
+        }
+        assert!(!ps.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fat-tree datacenter topology (Al-Fares et al., SIGCOMM 2008), the
+//! datacenter substrate of the paper's Figures 2b, 4 and 8b.
+//!
+//! A k-ary fat-tree has `k` pods; each pod holds `k/2` edge (ToR) and
+//! `k/2` aggregation switches; `(k/2)^2` core switches connect the pods.
+//! Every switch has `k` ports. Paper parameters: `k = 4` for the Fig. 4
+//! power experiment and `k = 12` (36 core switches) for the Fig. 2b
+//! energy-critical-path analysis.
+
+use crate::graph::{Node, NodeId, NodeRole, Topology, TopologyBuilder};
+use crate::{GBPS, MS};
+
+/// Configuration for [`fat_tree`].
+#[derive(Debug, Clone)]
+pub struct FatTreeConfig {
+    /// Arity `k` (must be even, ≥ 2). Pods = k, core = (k/2)^2.
+    pub k: usize,
+    /// Link capacity in bits/s (paper: commodity 1 Gbps).
+    pub capacity: f64,
+    /// Per-hop latency in seconds (datacenter: ~0.05 ms).
+    pub latency: f64,
+    /// Attach `k/2` hosts per edge switch. The power model ignores hosts;
+    /// application workloads need them.
+    pub with_hosts: bool,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> Self {
+        FatTreeConfig { k: 4, capacity: GBPS, latency: 0.05 * MS, with_hosts: false }
+    }
+}
+
+/// Identifiers of the switches in a generated fat-tree, in generation
+/// order: cores, then per-pod aggs and edges, then hosts.
+#[derive(Debug, Clone)]
+pub struct FatTreeIndex {
+    /// Core switch ids, length `(k/2)^2`.
+    pub core: Vec<NodeId>,
+    /// `agg[pod]` = aggregation switch ids of that pod, length `k/2`.
+    pub agg: Vec<Vec<NodeId>>,
+    /// `edge[pod]` = edge switch ids of that pod, length `k/2`.
+    pub edge: Vec<Vec<NodeId>>,
+    /// `hosts[pod]` = host ids of that pod (empty without `with_hosts`).
+    pub hosts: Vec<Vec<NodeId>>,
+}
+
+/// Build a k-ary fat-tree; returns the topology and a structural index.
+pub fn fat_tree(cfg: &FatTreeConfig) -> (Topology, FatTreeIndex) {
+    assert!(cfg.k >= 2 && cfg.k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    let k = cfg.k;
+    let half = k / 2;
+    let mut b = TopologyBuilder::new(format!("fat-tree-k{k}"));
+
+    let core: Vec<NodeId> = (0..half * half)
+        .map(|i| {
+            b.add_node_full(Node {
+                name: format!("core{i}"),
+                role: NodeRole::CoreSwitch,
+                level: 0,
+            })
+        })
+        .collect();
+
+    let mut agg = Vec::with_capacity(k);
+    let mut edge = Vec::with_capacity(k);
+    let mut hosts = Vec::with_capacity(k);
+    for pod in 0..k {
+        let a: Vec<NodeId> = (0..half)
+            .map(|i| {
+                b.add_node_full(Node {
+                    name: format!("agg{pod}_{i}"),
+                    role: NodeRole::AggSwitch,
+                    level: 1,
+                })
+            })
+            .collect();
+        let e: Vec<NodeId> = (0..half)
+            .map(|i| {
+                b.add_node_full(Node {
+                    name: format!("edge{pod}_{i}"),
+                    role: NodeRole::TorSwitch,
+                    level: 2,
+                })
+            })
+            .collect();
+        // Pod-internal full bipartite agg <-> edge.
+        for &ai in &a {
+            for &ei in &e {
+                b.add_link(ai, ei, cfg.capacity, cfg.latency);
+            }
+        }
+        let mut h = Vec::new();
+        if cfg.with_hosts {
+            for (ei_idx, &ei) in e.iter().enumerate() {
+                for hi in 0..half {
+                    let host = b.add_node_full(Node {
+                        name: format!("host{pod}_{ei_idx}_{hi}"),
+                        role: NodeRole::Host,
+                        level: 3,
+                    });
+                    b.add_link(ei, host, cfg.capacity, cfg.latency);
+                    h.push(host);
+                }
+            }
+        }
+        agg.push(a);
+        edge.push(e);
+        hosts.push(h);
+    }
+
+    // Core wiring: core switch (i, j) — the j-th switch of core group i —
+    // connects to the i-th aggregation switch of every pod.
+    for i in 0..half {
+        for j in 0..half {
+            let c = core[i * half + j];
+            for pod_aggs in agg.iter() {
+                b.add_link(c, pod_aggs[i], cfg.capacity, cfg.latency);
+            }
+        }
+    }
+
+    let topo = b.build();
+    (topo, FatTreeIndex { core, agg, edge, hosts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{is_connected, k_shortest_paths};
+
+    #[test]
+    fn k4_counts() {
+        let (t, ix) = fat_tree(&FatTreeConfig::default());
+        assert_eq!(ix.core.len(), 4);
+        assert_eq!(ix.agg.iter().map(Vec::len).sum::<usize>(), 8);
+        assert_eq!(ix.edge.iter().map(Vec::len).sum::<usize>(), 8);
+        assert_eq!(t.node_count(), 20);
+        // links: pod-internal 4 per pod * 4 pods = 16; core 4 cores * 4 pods = 16
+        assert_eq!(t.link_count(), 32);
+        let all: Vec<NodeId> = t.node_ids().collect();
+        assert!(is_connected(&t, &all, None));
+    }
+
+    #[test]
+    fn k12_has_36_core_switches() {
+        let cfg = FatTreeConfig { k: 12, ..Default::default() };
+        let (t, ix) = fat_tree(&cfg);
+        assert_eq!(ix.core.len(), 36, "paper's Fig 2b: 36 switches at the core layer");
+        assert_eq!(t.node_count(), 36 + 12 * 12);
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn switch_port_counts_match_arity() {
+        let (t, ix) = fat_tree(&FatTreeConfig::default());
+        for &c in &ix.core {
+            assert_eq!(t.degree(c), 4, "core switch uses k ports");
+        }
+        for pod in &ix.agg {
+            for &a in pod {
+                assert_eq!(t.degree(a), 4, "agg: k/2 down + k/2 up");
+            }
+        }
+        for pod in &ix.edge {
+            for &e in pod {
+                assert_eq!(t.degree(e), 2, "edge without hosts: k/2 up only");
+            }
+        }
+    }
+
+    #[test]
+    fn hosts_attach_to_edges() {
+        let cfg = FatTreeConfig { with_hosts: true, ..Default::default() };
+        let (t, ix) = fat_tree(&cfg);
+        assert_eq!(ix.hosts.iter().map(Vec::len).sum::<usize>(), 16, "k^3/4 hosts");
+        assert_eq!(t.node_count(), 20 + 16);
+        for pod in &ix.edge {
+            for &e in pod {
+                assert_eq!(t.degree(e), 4, "k/2 up + k/2 hosts");
+            }
+        }
+    }
+
+    #[test]
+    fn multipath_between_pods() {
+        let (t, ix) = fat_tree(&FatTreeConfig::default());
+        // Between edge switches in different pods there are >= 4 distinct
+        // shortest 4-hop paths in a k=4 fat-tree.
+        let src = ix.edge[0][0];
+        let dst = ix.edge[1][0];
+        let ps = k_shortest_paths(&t, src, dst, 4, &|_| 1.0, None);
+        assert_eq!(ps.len(), 4);
+        for p in &ps {
+            assert_eq!(p.hops(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_arity_rejected() {
+        fat_tree(&FatTreeConfig { k: 3, ..Default::default() });
+    }
+}

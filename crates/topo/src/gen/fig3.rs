@@ -1,0 +1,130 @@
+//! The worked-example topology of the paper's Figure 3 (also the Click
+//! testbed topology of Figure 7).
+//!
+//! ```text
+//!   A --- D --- G
+//!    \           \
+//!  B - E --- H -- K
+//!    /           /
+//!   C --- F --- J
+//! ```
+//!
+//! Sources `A`, `B`, `C` send toward `K`. REsPoNse chooses `E-H-K` as the
+//! common always-on path; `D-G-K` ("upper") and `F-J-K` ("lower") are
+//! on-demand paths (which double as failover paths in this topology).
+//! The Click experiment (§5.3) uses 10 Mbps links with 16.67 ms latency
+//! and excludes router `B`.
+
+use crate::graph::{NodeId, Topology, TopologyBuilder};
+use crate::{MBPS, MS};
+
+/// Named handles for the Figure-3 nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Nodes {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub c: NodeId,
+    pub d: NodeId,
+    pub e: NodeId,
+    pub f: NodeId,
+    pub g: NodeId,
+    pub h: NodeId,
+    pub j: NodeId,
+    pub k: NodeId,
+}
+
+/// Build the Figure-3 topology.
+///
+/// * `capacity` — per-link capacity in bits/s (Click experiment: 10 Mbps).
+/// * `latency` — per-link latency in seconds (Click experiment: 16.67 ms).
+/// * `include_b` — whether to include router `B` (the Click experiment
+///   omits it; note `B` is still allocated a `NodeId` either way so the
+///   handles stay stable, but without links it is isolated).
+pub fn fig3(capacity: f64, latency: f64, include_b: bool) -> (Topology, Fig3Nodes) {
+    let mut bld = TopologyBuilder::new("fig3");
+    let a = bld.add_node("A");
+    let b = bld.add_node("B");
+    let c = bld.add_node("C");
+    let d = bld.add_node("D");
+    let e = bld.add_node("E");
+    let f = bld.add_node("F");
+    let g = bld.add_node("G");
+    let h = bld.add_node("H");
+    let j = bld.add_node("J");
+    let k = bld.add_node("K");
+
+    // Left fan-in.
+    bld.add_link(a, d, capacity, latency);
+    bld.add_link(a, e, capacity, latency);
+    if include_b {
+        bld.add_link(b, e, capacity, latency);
+    }
+    bld.add_link(c, e, capacity, latency);
+    bld.add_link(c, f, capacity, latency);
+    // Middle column to right column.
+    bld.add_link(d, g, capacity, latency);
+    bld.add_link(e, h, capacity, latency);
+    bld.add_link(f, j, capacity, latency);
+    // Right fan-in to K.
+    bld.add_link(g, k, capacity, latency);
+    bld.add_link(h, k, capacity, latency);
+    bld.add_link(j, k, capacity, latency);
+
+    (bld.build(), Fig3Nodes { a, b, c, d, e, f, g, h, j, k })
+}
+
+/// The Click-testbed variant: 10 Mbps, 16.67 ms, no router B.
+pub fn fig3_click() -> (Topology, Fig3Nodes) {
+    fig3(10.0 * MBPS, 16.67 * MS, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::shortest_path;
+    use crate::path::Path;
+
+    #[test]
+    fn three_routes_from_a_and_c() {
+        let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, true);
+        // A can reach K via D-G (upper) and via E-H (middle).
+        let upper = Path::new(vec![n.a, n.d, n.g, n.k]);
+        let middle_a = Path::new(vec![n.a, n.e, n.h, n.k]);
+        assert!(upper.is_valid_in(&t));
+        assert!(middle_a.is_valid_in(&t));
+        // C via F-J (lower) and via E-H (middle).
+        let lower = Path::new(vec![n.c, n.f, n.j, n.k]);
+        let middle_c = Path::new(vec![n.c, n.e, n.h, n.k]);
+        assert!(lower.is_valid_in(&t));
+        assert!(middle_c.is_valid_in(&t));
+        // B only via E-H.
+        let b_mid = Path::new(vec![n.b, n.e, n.h, n.k]);
+        assert!(b_mid.is_valid_in(&t));
+    }
+
+    #[test]
+    fn click_variant_isolates_b() {
+        let (t, n) = fig3_click();
+        assert!(shortest_path(&t, n.b, n.k, &|_| 1.0, None).is_none());
+        assert!(shortest_path(&t, n.a, n.k, &|_| 1.0, None).is_some());
+    }
+
+    #[test]
+    fn click_parameters() {
+        let (t, n) = fig3_click();
+        let a = t.find_arc(n.e, n.h).unwrap();
+        assert!((t.arc(a).capacity - 10.0 * MBPS).abs() < 1.0);
+        assert!((t.arc(a).latency - 16.67 * MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_are_three_hops() {
+        let (t, n) = fig3_click();
+        let p = shortest_path(&t, n.a, n.k, &|_| 1.0, None).unwrap();
+        assert_eq!(p.hops(), 3);
+        // 2 RTTs over a 3-hop path with 16.67ms links ~ 200 ms, the
+        // adaptation time quoted in §5.3.
+        let one_way = p.latency(&t);
+        assert!((one_way - 50.0 * MS).abs() < 0.2 * MS);
+    }
+}

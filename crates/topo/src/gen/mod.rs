@@ -1,0 +1,25 @@
+//! Deterministic topology generators for every network the paper
+//! evaluates, plus simple shapes for tests and benches.
+//!
+//! | Generator | Paper analogue |
+//! |---|---|
+//! | [`fat_tree`] | FatTree datacenter (k=4 for Fig. 4, k=12 → 36 core for Fig. 2b) |
+//! | [`geant`] | GÉANT European research network (23 PoPs) |
+//! | [`abovenet`] | Rocketfuel Abovenet PoP-level map |
+//! | [`genuity`] | Rocketfuel Genuity PoP-level map |
+//! | [`pop_access`] | Italian-ISP hierarchical core/backbone/metro |
+//! | [`fig3`] | The worked example of the paper's Figure 3 |
+//! | [`line`](fn@line), [`ring`], [`grid`], [`star`], [`full_mesh`] | unit-test shapes |
+//! | [`random_waxman`] | seeded random WANs for scalability benches |
+
+mod dc;
+mod fig3;
+mod isp;
+mod random;
+mod shapes;
+
+pub use dc::{fat_tree, FatTreeConfig, FatTreeIndex};
+pub use fig3::{fig3, fig3_click, Fig3Nodes};
+pub use isp::{abovenet, geant, genuity, pop_access, PopAccessConfig};
+pub use random::{random_waxman, random_waxman_default};
+pub use shapes::{full_mesh, grid, line, ring, star};

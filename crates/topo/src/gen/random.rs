@@ -1,0 +1,98 @@
+//! Seeded random WAN generator (Waxman 1988) for scalability benches.
+
+use crate::graph::{NodeId, Topology, TopologyBuilder};
+use crate::MBPS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a connected Waxman random graph with `n` nodes.
+///
+/// Nodes are placed uniformly in a 3000×2000 km box; each candidate pair
+/// is linked with probability `alpha * exp(-d / (beta * L))`. A spanning
+/// chain guarantees connectivity. Capacities are uniform `capacity`;
+/// latencies follow distance at 200 000 km/s. Deterministic in `seed`.
+pub fn random_waxman(n: usize, alpha: f64, beta: f64, capacity: f64, seed: u64) -> Topology {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.gen_range(0.0..3000.0), rng.gen_range(0.0..2000.0))).collect();
+    let span = (3000.0f64.powi(2) + 2000.0f64.powi(2)).sqrt();
+    let mut b = TopologyBuilder::new(format!("waxman{n}-s{seed}"));
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("w{i}"))).collect();
+
+    let lat = |i: usize, j: usize| {
+        let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+        (d / 200_000.0).max(1e-4)
+    };
+
+    // Spanning chain in index order for guaranteed connectivity.
+    let mut connected = vec![vec![false; n]; n];
+    for i in 0..n - 1 {
+        b.add_link(ids[i], ids[i + 1], capacity, lat(i, i + 1));
+        connected[i][i + 1] = true;
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if connected[i][j] {
+                continue;
+            }
+            let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+            let p = alpha * (-d / (beta * span)).exp();
+            if rng.gen::<f64>() < p {
+                b.add_link(ids[i], ids[j], capacity, lat(i, j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A reasonable default parameterization (`alpha = 0.4`, `beta = 0.14`,
+/// 100 Mbps links) mirroring medium-connectivity ISP maps.
+pub fn random_waxman_default(n: usize, seed: u64) -> Topology {
+    random_waxman(n, 0.4, 0.14, 100.0 * MBPS, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+
+    #[test]
+    fn generated_graph_is_connected() {
+        for seed in 0..5 {
+            let t = random_waxman_default(30, seed);
+            let all: Vec<NodeId> = t.node_ids().collect();
+            assert!(is_connected(&t, &all, None), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_waxman_default(25, 42);
+        let b = random_waxman_default(25, 42);
+        assert_eq!(a.arc_count(), b.arc_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_waxman_default(40, 1);
+        let b = random_waxman_default(40, 2);
+        // Overwhelmingly likely to have different link counts.
+        assert!(a.arc_count() != b.arc_count() || {
+            // fall back to comparing endpoints
+            a.arc_ids().zip(b.arc_ids()).any(|(x, y)| a.arc(x).dst != b.arc(y).dst)
+        });
+    }
+
+    #[test]
+    fn denser_alpha_gives_more_links() {
+        let sparse = random_waxman(40, 0.1, 0.14, MBPS, 7);
+        let dense = random_waxman(40, 0.9, 0.30, MBPS, 7);
+        assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    fn validates() {
+        assert_eq!(random_waxman_default(20, 3).validate(), Ok(()));
+    }
+}

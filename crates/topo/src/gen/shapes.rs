@@ -1,0 +1,154 @@
+//! Elementary topology shapes used by unit tests, property tests, and
+//! micro-benchmarks.
+
+use crate::graph::{NodeId, Topology, TopologyBuilder};
+use crate::{MBPS, MS};
+
+/// A line of `n` nodes: `0 - 1 - ... - n-1`.
+pub fn line(n: usize, capacity: f64, latency: f64) -> Topology {
+    assert!(n >= 2);
+    let mut b = TopologyBuilder::new(format!("line{n}"));
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("l{i}"))).collect();
+    for w in ids.windows(2) {
+        b.add_link(w[0], w[1], capacity, latency);
+    }
+    b.build()
+}
+
+/// A ring of `n` nodes.
+pub fn ring(n: usize, capacity: f64, latency: f64) -> Topology {
+    assert!(n >= 3);
+    let mut b = TopologyBuilder::new(format!("ring{n}"));
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("r{i}"))).collect();
+    for i in 0..n {
+        b.add_link(ids[i], ids[(i + 1) % n], capacity, latency);
+    }
+    b.build()
+}
+
+/// A `w × h` grid.
+pub fn grid(w: usize, h: usize, capacity: f64, latency: f64) -> Topology {
+    assert!(w >= 1 && h >= 1 && w * h >= 2);
+    let mut b = TopologyBuilder::new(format!("grid{w}x{h}"));
+    let mut ids = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            ids.push(b.add_node(format!("g{x}_{y}")));
+        }
+    }
+    for y in 0..h {
+        for x in 0..w {
+            let cur = ids[y * w + x];
+            if x + 1 < w {
+                b.add_link(cur, ids[y * w + x + 1], capacity, latency);
+            }
+            if y + 1 < h {
+                b.add_link(cur, ids[(y + 1) * w + x], capacity, latency);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A star with one hub and `n` leaves.
+pub fn star(n: usize, capacity: f64, latency: f64) -> Topology {
+    assert!(n >= 1);
+    let mut b = TopologyBuilder::new(format!("star{n}"));
+    let hub = b.add_node("hub");
+    for i in 0..n {
+        let leaf = b.add_node(format!("leaf{i}"));
+        b.add_link(hub, leaf, capacity, latency);
+    }
+    b.build()
+}
+
+/// A complete graph on `n` nodes.
+pub fn full_mesh(n: usize, capacity: f64, latency: f64) -> Topology {
+    assert!(n >= 2);
+    let mut b = TopologyBuilder::new(format!("mesh{n}"));
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("m{i}"))).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_link(ids[i], ids[j], capacity, latency);
+        }
+    }
+    b.build()
+}
+
+/// Default shapes with 10 Mbps / 1 ms parameters, convenient in tests.
+#[allow(dead_code)]
+pub mod default {
+    use super::*;
+
+    /// 10 Mbps, 1 ms line.
+    pub fn line(n: usize) -> Topology {
+        super::line(n, 10.0 * MBPS, MS)
+    }
+    /// 10 Mbps, 1 ms ring.
+    pub fn ring(n: usize) -> Topology {
+        super::ring(n, 10.0 * MBPS, MS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{is_connected, shortest_path};
+
+    #[test]
+    fn line_structure() {
+        let t = line(5, MBPS, MS);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 4);
+        let p = shortest_path(&t, NodeId(0), NodeId(4), &|_| 1.0, None).unwrap();
+        assert_eq!(p.hops(), 4);
+    }
+
+    #[test]
+    fn ring_has_two_routes() {
+        let t = ring(6, MBPS, MS);
+        assert_eq!(t.link_count(), 6);
+        let p = shortest_path(&t, NodeId(0), NodeId(3), &|_| 1.0, None).unwrap();
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let t = grid(3, 4, MBPS, MS);
+        assert_eq!(t.node_count(), 12);
+        // links: horizontal 2*4 + vertical 3*3 = 17
+        assert_eq!(t.link_count(), 17);
+        let all: Vec<NodeId> = t.node_ids().collect();
+        assert!(is_connected(&t, &all, None));
+    }
+
+    #[test]
+    fn star_counts() {
+        let t = star(7, MBPS, MS);
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.link_count(), 7);
+        assert_eq!(t.degree(NodeId(0)), 7);
+    }
+
+    #[test]
+    fn mesh_counts() {
+        let t = full_mesh(5, MBPS, MS);
+        assert_eq!(t.link_count(), 10);
+        for n in t.node_ids() {
+            assert_eq!(t.degree(n), 4);
+        }
+    }
+
+    #[test]
+    fn all_shapes_validate() {
+        for t in [
+            line(4, MBPS, MS),
+            ring(5, MBPS, MS),
+            grid(2, 3, MBPS, MS),
+            star(3, MBPS, MS),
+            full_mesh(4, MBPS, MS),
+        ] {
+            assert_eq!(t.validate(), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Loop-free paths through a [`Topology`].
+//!
+//! A [`Path`] is the unit the REsPoNse framework precomputes and installs:
+//! always-on, on-demand, and failover tables are maps from OD pair to
+//! `Path`. Paths are stored as node sequences and resolved to arcs against
+//! a topology on demand, which keeps them readable in JSON output and
+//! cheap to hash/compare when counting energy-critical paths (Fig. 2b).
+
+use crate::graph::{ArcId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple (loop-free) path as a node sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Build a path from a node sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is shorter than 1 node or repeats a node.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path needs at least one node");
+        let mut seen: Vec<NodeId> = nodes.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), nodes.len(), "path must be loop-free: {nodes:?}");
+        Path { nodes }
+    }
+
+    /// Fallible constructor; returns `None` on loops or empty input.
+    pub fn try_new(nodes: Vec<NodeId>) -> Option<Self> {
+        if nodes.is_empty() {
+            return None;
+        }
+        let mut seen: Vec<NodeId> = nodes.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != nodes.len() {
+            return None;
+        }
+        Some(Path { nodes })
+    }
+
+    /// A zero-hop path (origin == destination).
+    pub fn trivial(n: NodeId) -> Self {
+        Path { nodes: vec![n] }
+    }
+
+    /// The node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// First node.
+    pub fn origin(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Number of hops (arcs), i.e. `nodes - 1`.
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether this path visits the given node.
+    pub fn visits(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Resolve the path to arc ids against a topology. Returns `None` if
+    /// some consecutive pair has no connecting arc.
+    pub fn arcs(&self, topo: &Topology) -> Option<Vec<ArcId>> {
+        let mut out = Vec::with_capacity(self.hops());
+        for w in self.nodes.windows(2) {
+            out.push(topo.find_arc(w[0], w[1])?);
+        }
+        Some(out)
+    }
+
+    /// Whether every consecutive pair is connected in `topo`.
+    pub fn is_valid_in(&self, topo: &Topology) -> bool {
+        self.arcs(topo).is_some()
+    }
+
+    /// Total propagation latency along the path, in seconds.
+    ///
+    /// # Panics
+    /// Panics if the path is not valid in `topo`.
+    pub fn latency(&self, topo: &Topology) -> f64 {
+        self.arcs(topo)
+            .expect("path not valid in topology")
+            .iter()
+            .map(|&a| topo.arc(a).latency)
+            .sum()
+    }
+
+    /// Capacity of the tightest arc along the path (bits/s). A trivial
+    /// path has infinite bottleneck.
+    pub fn bottleneck(&self, topo: &Topology) -> f64 {
+        self.arcs(topo)
+            .expect("path not valid in topology")
+            .iter()
+            .map(|&a| topo.arc(a).capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether this path and `other` share any physical link (canonical
+    /// link ids compared, so `i→j` conflicts with `j→i`).
+    pub fn shares_link_with(&self, other: &Path, topo: &Topology) -> bool {
+        let (a, b) = match (self.arcs(topo), other.arcs(topo)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return false,
+        };
+        let la: Vec<ArcId> = a.iter().map(|&x| topo.link_of(x)).collect();
+        b.iter().any(|&x| la.contains(&topo.link_of(x)))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{}", n.0)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use crate::{MBPS, MS};
+
+    fn line3() -> Topology {
+        let mut b = TopologyBuilder::new("line3");
+        let n0 = b.add_node("0");
+        let n1 = b.add_node("1");
+        let n2 = b.add_node("2");
+        b.add_link(n0, n1, 10.0 * MBPS, 2.0 * MS);
+        b.add_link(n1, n2, 5.0 * MBPS, 3.0 * MS);
+        b.build()
+    }
+
+    #[test]
+    fn path_accessors() {
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(p.origin(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(2));
+        assert_eq!(p.hops(), 2);
+        assert!(p.visits(NodeId(1)));
+        assert!(!p.visits(NodeId(7)));
+        assert_eq!(p.to_string(), "0-1-2");
+    }
+
+    #[test]
+    fn latency_and_bottleneck() {
+        let t = line3();
+        let p = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!((p.latency(&t) - 5.0 * MS).abs() < 1e-12);
+        assert!((p.bottleneck(&t) - 5.0 * MBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_path_detected() {
+        let t = line3();
+        let p = Path::new(vec![NodeId(0), NodeId(2)]); // not adjacent
+        assert!(!p.is_valid_in(&t));
+        assert!(p.arcs(&t).is_none());
+    }
+
+    #[test]
+    fn try_new_rejects_loops() {
+        assert!(Path::try_new(vec![NodeId(0), NodeId(1), NodeId(0)]).is_none());
+        assert!(Path::try_new(vec![]).is_none());
+        assert!(Path::try_new(vec![NodeId(3)]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "loop-free")]
+    fn new_panics_on_loop() {
+        Path::new(vec![NodeId(0), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn shares_link_detects_reverse_direction() {
+        let t = line3();
+        let p = Path::new(vec![NodeId(0), NodeId(1)]);
+        let q = Path::new(vec![NodeId(1), NodeId(0)]);
+        assert!(p.shares_link_with(&q, &t), "opposite directions share the physical link");
+        let r = Path::new(vec![NodeId(1), NodeId(2)]);
+        assert!(!p.shares_link_with(&r, &t));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(4));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.origin(), p.destination());
+        let t = line3();
+        let p0 = Path::trivial(NodeId(0));
+        assert!(p0.is_valid_in(&t));
+        assert_eq!(p0.latency(&t), 0.0);
+        assert_eq!(p0.bottleneck(&t), f64::INFINITY);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests on the topology substrate.
+
+use ecp_topo::algo::{k_shortest_paths, max_flow, shortest_path, shortest_path_bounded};
+use ecp_topo::gen::random_waxman;
+use ecp_topo::{ActiveSet, NodeId, MBPS};
+use proptest::prelude::*;
+
+fn arb_topo() -> impl Strategy<Value = ecp_topo::Topology> {
+    (4usize..20, 0u64..500).prop_map(|(n, seed)| random_waxman(n, 0.6, 0.3, 10.0 * MBPS, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra distances satisfy the triangle inequality property:
+    /// d(s, v) <= d(s, u) + w(u, v) for every arc u->v.
+    #[test]
+    fn dijkstra_relaxation_holds(topo in arb_topo()) {
+        let src = NodeId(0);
+        let w = |a: ecp_topo::ArcId| topo.arc(a).latency;
+        let (dist, _) = ecp_topo::algo::shortest_path_tree(&topo, src, &w, None);
+        for a in topo.arc_ids() {
+            let arc = topo.arc(a);
+            let du = dist[arc.src.idx()];
+            let dv = dist[arc.dst.idx()];
+            if du.is_finite() {
+                prop_assert!(dv <= du + arc.latency + 1e-9);
+            }
+        }
+    }
+
+    /// Any path returned by shortest_path is valid, loop-free, and
+    /// connects the endpoints; its cost matches the tree distance.
+    #[test]
+    fn shortest_path_is_consistent(topo in arb_topo(), dst_ix in 1usize..20) {
+        let src = NodeId(0);
+        let dst = NodeId((dst_ix % topo.node_count()) as u32);
+        prop_assume!(src != dst);
+        let w = |a: ecp_topo::ArcId| topo.arc(a).latency;
+        if let Some(p) = shortest_path(&topo, src, dst, &w, None) {
+            prop_assert!(p.is_valid_in(&topo));
+            prop_assert_eq!(p.origin(), src);
+            prop_assert_eq!(p.destination(), dst);
+            let (dist, _) = ecp_topo::algo::shortest_path_tree(&topo, src, &w, None);
+            prop_assert!((p.latency(&topo) - dist[dst.idx()]).abs() < 1e-9);
+        }
+    }
+
+    /// Yen's paths are sorted by cost and pairwise distinct.
+    #[test]
+    fn yen_sorted_distinct(topo in arb_topo(), k in 1usize..6) {
+        let src = NodeId(0);
+        let dst = NodeId((topo.node_count() - 1) as u32);
+        let w = |a: ecp_topo::ArcId| topo.arc(a).latency;
+        let ps = k_shortest_paths(&topo, src, dst, k, &w, None);
+        for win in ps.windows(2) {
+            prop_assert!(win[0].latency(&topo) <= win[1].latency(&topo) + 1e-9);
+            prop_assert_ne!(&win[0], &win[1]);
+        }
+        for p in &ps {
+            prop_assert!(p.is_valid_in(&topo));
+        }
+    }
+
+    /// The delay-bounded search never violates its bound and never beats
+    /// the unbounded optimum.
+    #[test]
+    fn bounded_search_respects_bound(topo in arb_topo(), slack in 1.0f64..3.0) {
+        let src = NodeId(0);
+        let dst = NodeId((topo.node_count() / 2) as u32);
+        prop_assume!(src != dst);
+        let lat = |a: ecp_topo::ArcId| topo.arc(a).latency;
+        let hop = |_: ecp_topo::ArcId| 1.0;
+        if let Some(fastest) = shortest_path(&topo, src, dst, &lat, None) {
+            let bound = fastest.latency(&topo) * slack;
+            if let Some(p) = shortest_path_bounded(&topo, src, dst, &hop, bound, None) {
+                prop_assert!(p.latency(&topo) <= bound + 1e-9);
+                let unbounded = shortest_path(&topo, src, dst, &hop, None).unwrap();
+                prop_assert!(p.hops() >= unbounded.hops());
+            }
+        }
+    }
+
+    /// Max-flow is monotone under link removal.
+    #[test]
+    fn maxflow_monotone_under_removal(topo in arb_topo(), kill in 0usize..8) {
+        let s = NodeId(0);
+        let t = NodeId((topo.node_count() - 1) as u32);
+        let full = max_flow(&topo, s, t, None);
+        let mut active = ActiveSet::all_on(&topo);
+        let links: Vec<_> = topo.link_ids().collect();
+        if !links.is_empty() {
+            active.set_link(&topo, links[kill % links.len()], false);
+        }
+        let reduced = max_flow(&topo, s, t, Some(&active));
+        prop_assert!(reduced <= full + 1e-6);
+    }
+
+    /// from_used_arcs + prune never leaves a powered node without an
+    /// active adjacent link (constraint 3 of the paper's model).
+    #[test]
+    fn active_set_prune_invariant(topo in arb_topo(), n_arcs in 0usize..10) {
+        let arcs: Vec<_> = topo.arc_ids().take(n_arcs).collect();
+        let mut s = ActiveSet::from_used_arcs(&topo, arcs);
+        s.prune_isolated_nodes(&topo);
+        for node in topo.node_ids() {
+            if s.node_on(node) {
+                let any_active = topo
+                    .out_arcs(node)
+                    .iter()
+                    .chain(topo.in_arcs(node).iter())
+                    .any(|&a| s.arc_on(&topo, a));
+                prop_assert!(any_active, "powered node {node} has no active link");
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Capacity-based gravity traffic model (§5.1).
+//!
+//! "We infer traffic demands using a capacity-based gravity model (as in
+//! \[9, 14\]), where the incoming/outgoing flow from each PoP is
+//! proportional to the combined capacity of adjacent links. [...] We
+//! select the origins and destinations at random, as in \[24\]."
+
+use crate::matrix::{Demand, TrafficMatrix};
+use ecp_topo::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Select `count` random OD pairs among edge nodes, deterministically in
+/// `seed`. With `count >= all pairs` every ordered pair is returned.
+pub fn random_od_pairs(topo: &Topology, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let nodes = topo.edge_nodes();
+    let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(nodes.len() * (nodes.len() - 1));
+    for &o in &nodes {
+        for &d in &nodes {
+            if o != d {
+                all.push((o, d));
+            }
+        }
+    }
+    if count >= all.len() {
+        return all;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(count);
+    all.sort(); // deterministic order for downstream iteration
+    all
+}
+
+/// Select OD pairs among a random *subset* of the edge nodes — the
+/// paper's methodology ("we select random subsets of origins and
+/// destinations as in \[24\]", §5.1). Routers outside the subset can still
+/// carry transit traffic but may be powered off entirely when unused.
+///
+/// Picks `node_count` nodes, then up to `pair_count` ordered pairs among
+/// them (all pairs if `pair_count` is larger).
+pub fn random_od_pairs_subset(
+    topo: &Topology,
+    node_count: usize,
+    pair_count: usize,
+    seed: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes = topo.edge_nodes();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(node_count.max(2));
+    let mut all: Vec<(NodeId, NodeId)> = Vec::new();
+    for &o in &nodes {
+        for &d in &nodes {
+            if o != d {
+                all.push((o, d));
+            }
+        }
+    }
+    all.shuffle(&mut rng);
+    all.truncate(pair_count);
+    all.sort();
+    all
+}
+
+/// Gravity matrix over the given OD pairs: demand(O,D) ∝ w(O)·w(D) where
+/// `w` is the combined capacity of adjacent links; the result is scaled
+/// so that the total offered volume equals `total_volume` bits/s.
+pub fn gravity_matrix(
+    topo: &Topology,
+    od_pairs: &[(NodeId, NodeId)],
+    total_volume: f64,
+) -> TrafficMatrix {
+    assert!(total_volume >= 0.0);
+    if od_pairs.is_empty() || total_volume == 0.0 {
+        return TrafficMatrix::empty();
+    }
+    let w: Vec<f64> = topo.node_ids().map(|n| topo.adjacent_capacity(n)).collect();
+    let raw: Vec<f64> = od_pairs.iter().map(|&(o, d)| w[o.idx()] * w[d.idx()]).collect();
+    let sum: f64 = raw.iter().sum();
+    assert!(sum > 0.0, "gravity weights degenerate");
+    TrafficMatrix::new(
+        od_pairs
+            .iter()
+            .zip(&raw)
+            .map(|(&(o, d), &r)| Demand { origin: o, dst: d, rate: total_volume * r / sum })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::{geant, star};
+    use ecp_topo::{MBPS, MS};
+
+    #[test]
+    fn gravity_total_matches() {
+        let t = geant();
+        let pairs = random_od_pairs(&t, 100, 7);
+        let m = gravity_matrix(&t, &pairs, 1e9);
+        assert!((m.total() - 1e9).abs() < 1.0);
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn bigger_pops_attract_more_traffic() {
+        // Star: hub has n× the adjacent capacity of a leaf.
+        let t = star(4, 10.0 * MBPS, MS);
+        let hub = NodeId(0);
+        let l1 = NodeId(1);
+        let l2 = NodeId(2);
+        let pairs = vec![(l1, hub), (l1, l2)];
+        let m = gravity_matrix(&t, &pairs, 1000.0);
+        assert!(
+            m.get(l1, hub) > m.get(l1, l2),
+            "hub-bound demand should exceed leaf-bound demand"
+        );
+        // Ratio equals capacity ratio (4 links vs 1).
+        let ratio = m.get(l1, hub) / m.get(l1, l2);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn od_selection_is_deterministic() {
+        let t = geant();
+        assert_eq!(random_od_pairs(&t, 50, 9), random_od_pairs(&t, 50, 9));
+        assert_ne!(random_od_pairs(&t, 50, 9), random_od_pairs(&t, 50, 10));
+    }
+
+    #[test]
+    fn od_selection_excludes_self_pairs() {
+        let t = geant();
+        for (o, d) in random_od_pairs(&t, 1000, 1) {
+            assert_ne!(o, d);
+        }
+    }
+
+    #[test]
+    fn requesting_all_pairs() {
+        let t = star(3, MBPS, MS); // 4 nodes -> 12 ordered pairs
+        let all = random_od_pairs(&t, usize::MAX, 0);
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = geant();
+        assert!(gravity_matrix(&t, &[], 1e9).is_empty());
+        let pairs = random_od_pairs(&t, 10, 0);
+        assert!(gravity_matrix(&t, &pairs, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # ecp-traffic — traffic matrices, demand models, and trace generators
+//!
+//! Everything the paper's evaluation drives its experiments with:
+//!
+//! * [`TrafficMatrix`] / [`Demand`] — per-OD-pair demand in bits/s.
+//! * [`gravity`] — the capacity-based gravity model used for the
+//!   Rocketfuel topologies ("the incoming/outgoing flow from each PoP is
+//!   proportional to the combined capacity of adjacent links", §5.1).
+//! * [`sine`] — the sinusoidal datacenter demand of Figs. 4 and 8b,
+//!   including the *near* (intra-pod) and *far* (cross-pod) matrix
+//!   structures.
+//! * [`trace`] — seeded synthetic substitutes for the GÉANT TOTEM
+//!   15-minute matrices (15 days) and the Google datacenter 5-minute
+//!   trace (8 days), calibrated to the statistics the paper reports
+//!   (diurnal swings; ≈50% of 5-min intervals changing by ≥20%).
+//! * [`analysis`] — the traffic-deviation CCDF of Fig. 1a and general
+//!   series statistics.
+//!
+//! All generators are deterministic in an explicit `u64` seed.
+
+pub mod analysis;
+pub mod gravity;
+pub mod matrix;
+pub mod sine;
+pub mod trace;
+
+pub use analysis::{deviation_ccdf, peak_durations, DeviationStats};
+pub use gravity::{gravity_matrix, random_od_pairs, random_od_pairs_subset};
+pub use matrix::{Demand, TrafficMatrix};
+pub use sine::{fat_tree_far_pairs, fat_tree_near_pairs, sine_series, uniform_matrix};
+pub use trace::{dc_like_volume_trace, geant_like_trace, Trace};

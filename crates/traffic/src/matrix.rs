@@ -1,0 +1,222 @@
+//! Traffic matrices: the `d(O,D)` of the paper's model.
+
+use ecp_topo::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One origin–destination demand, in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Origin router `O`.
+    pub origin: NodeId,
+    /// Destination router `D`.
+    pub dst: NodeId,
+    /// Offered rate `d(O,D)` in bits/s.
+    pub rate: f64,
+}
+
+/// A traffic matrix: one demand per OD pair, sorted by (origin, dst) for
+/// deterministic iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrafficMatrix {
+    demands: Vec<Demand>,
+}
+
+impl TrafficMatrix {
+    /// Build from a demand list; duplicate OD pairs are summed.
+    pub fn new(mut demands: Vec<Demand>) -> Self {
+        demands.retain(|d| d.origin != d.dst && d.rate > 0.0);
+        demands.sort_by_key(|d| (d.origin, d.dst));
+        let mut merged: Vec<Demand> = Vec::with_capacity(demands.len());
+        for d in demands {
+            match merged.last_mut() {
+                Some(last) if last.origin == d.origin && last.dst == d.dst => last.rate += d.rate,
+                _ => merged.push(d),
+            }
+        }
+        TrafficMatrix { demands: merged }
+    }
+
+    /// Empty matrix.
+    pub fn empty() -> Self {
+        TrafficMatrix { demands: Vec::new() }
+    }
+
+    /// All demands, sorted by (origin, dst).
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// Number of OD pairs with positive demand.
+    pub fn len(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Whether there are no demands.
+    pub fn is_empty(&self) -> bool {
+        self.demands.is_empty()
+    }
+
+    /// Demand rate of one OD pair (0 if absent).
+    pub fn get(&self, origin: NodeId, dst: NodeId) -> f64 {
+        self.demands
+            .binary_search_by_key(&(origin, dst), |d| (d.origin, d.dst))
+            .map(|i| self.demands[i].rate)
+            .unwrap_or(0.0)
+    }
+
+    /// Total offered volume in bits/s.
+    pub fn total(&self) -> f64 {
+        self.demands.iter().map(|d| d.rate).sum()
+    }
+
+    /// Largest single demand.
+    pub fn max_rate(&self) -> f64 {
+        self.demands.iter().map(|d| d.rate).fold(0.0, f64::max)
+    }
+
+    /// The OD pairs present (rate > 0).
+    pub fn od_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.demands.iter().map(|d| (d.origin, d.dst)).collect()
+    }
+
+    /// Uniformly scaled copy (`factor` ≥ 0).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0);
+        TrafficMatrix {
+            demands: self
+                .demands
+                .iter()
+                .filter(|d| d.rate * factor > 0.0)
+                .map(|d| Demand { rate: d.rate * factor, ..*d })
+                .collect(),
+        }
+    }
+
+    /// Element-wise maximum with another matrix — used to build the
+    /// peak-hour matrix `d_peak` from a trace window.
+    pub fn elementwise_max(&self, other: &TrafficMatrix) -> Self {
+        let mut all: Vec<Demand> = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.demands.len() || j < other.demands.len() {
+            let take_left = match (self.demands.get(i), other.demands.get(j)) {
+                (Some(a), Some(b)) => {
+                    if (a.origin, a.dst) == (b.origin, b.dst) {
+                        all.push(Demand { rate: a.rate.max(b.rate), ..*a });
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    (a.origin, a.dst) < (b.origin, b.dst)
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_left {
+                all.push(self.demands[i]);
+                i += 1;
+            } else {
+                all.push(other.demands[j]);
+                j += 1;
+            }
+        }
+        TrafficMatrix { demands: all }
+    }
+
+    /// Replace every rate with `epsilon` — the paper's demand-oblivious
+    /// always-on input ("one can set all flows d(O,D) equal to a small
+    /// value ε (e.g., 1 bit/s)", §4.1).
+    pub fn epsilon_like(&self, epsilon: f64) -> Self {
+        TrafficMatrix {
+            demands: self.demands.iter().map(|d| Demand { rate: epsilon, ..*d }).collect(),
+        }
+    }
+}
+
+impl FromIterator<Demand> for TrafficMatrix {
+    fn from_iter<T: IntoIterator<Item = Demand>>(iter: T) -> Self {
+        TrafficMatrix::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(o: u32, t: u32, r: f64) -> Demand {
+        Demand { origin: NodeId(o), dst: NodeId(t), rate: r }
+    }
+
+    #[test]
+    fn construction_sorts_and_merges() {
+        let m = TrafficMatrix::new(vec![d(1, 0, 5.0), d(0, 1, 3.0), d(0, 1, 2.0)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(NodeId(0), NodeId(1)), 5.0);
+        assert_eq!(m.get(NodeId(1), NodeId(0)), 5.0);
+        assert_eq!(m.total(), 10.0);
+    }
+
+    #[test]
+    fn drops_self_and_zero_demands() {
+        let m = TrafficMatrix::new(vec![d(0, 0, 5.0), d(0, 1, 0.0), d(0, 2, 1.0)]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(NodeId(0), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn get_missing_is_zero() {
+        let m = TrafficMatrix::new(vec![d(0, 1, 3.0)]);
+        assert_eq!(m.get(NodeId(5), NodeId(6)), 0.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let m = TrafficMatrix::new(vec![d(0, 1, 3.0), d(1, 2, 6.0)]);
+        let s = m.scaled(0.5);
+        assert_eq!(s.get(NodeId(0), NodeId(1)), 1.5);
+        assert_eq!(s.total(), 4.5);
+        let z = m.scaled(0.0);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn elementwise_max_merges_keys() {
+        let a = TrafficMatrix::new(vec![d(0, 1, 3.0), d(1, 2, 6.0)]);
+        let b = TrafficMatrix::new(vec![d(0, 1, 5.0), d(2, 3, 1.0)]);
+        let m = a.elementwise_max(&b);
+        assert_eq!(m.get(NodeId(0), NodeId(1)), 5.0);
+        assert_eq!(m.get(NodeId(1), NodeId(2)), 6.0);
+        assert_eq!(m.get(NodeId(2), NodeId(3)), 1.0);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn epsilon_like_preserves_structure() {
+        let a = TrafficMatrix::new(vec![d(0, 1, 3.0), d(1, 2, 6.0)]);
+        let e = a.epsilon_like(1.0);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(e.get(NodeId(1), NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn max_rate_and_od_pairs() {
+        let a = TrafficMatrix::new(vec![d(0, 1, 3.0), d(1, 2, 6.0)]);
+        assert_eq!(a.max_rate(), 6.0);
+        assert_eq!(a.od_pairs(), vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: TrafficMatrix = vec![d(0, 1, 1.0), d(0, 2, 2.0)].into_iter().collect();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = TrafficMatrix::new(vec![d(0, 1, 3.0)]);
+        let js = serde_json::to_string(&a).unwrap();
+        let b: TrafficMatrix = serde_json::from_str(&js).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sinusoidal datacenter demand (Figs. 4, 8b) and the near/far matrix
+//! structures.
+//!
+//! "We experiment with the same sine-wave demand as in \[ElasticTree\] to
+//! have a fair comparison [...]. Each flow takes a value from
+//! [0, 1 Gbps] range, following the sin-wave. We considered two cases:
+//! *near* (highly localized) traffic matrices, where servers communicate
+//! only with other servers in the same pod, and *far* (non-localized)
+//! traffic matrices where servers communicate mostly with servers in
+//! other pods, through the network core."
+
+use crate::matrix::{Demand, TrafficMatrix};
+use ecp_topo::gen::FatTreeIndex;
+use ecp_topo::NodeId;
+
+/// A sine-wave series of `steps` values in `[lo, hi]`, starting and
+/// peaking like a diurnal curve: `lo + (hi-lo) * (1 + sin(2πt/period -
+/// π/2)) / 2` — minimum at t = 0, maximum at t = period/2.
+pub fn sine_series(steps: usize, period: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(period >= 2 && hi >= lo);
+    (0..steps)
+        .map(|t| {
+            let phase = 2.0 * std::f64::consts::PI * (t as f64) / (period as f64)
+                - std::f64::consts::FRAC_PI_2;
+            lo + (hi - lo) * (1.0 + phase.sin()) / 2.0
+        })
+        .collect()
+}
+
+/// *Near* OD pairs of a fat-tree: each edge switch talks to the next edge
+/// switch in its own pod (traffic stays below the aggregation layer).
+pub fn fat_tree_near_pairs(ix: &FatTreeIndex) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::new();
+    for pod in &ix.edge {
+        let m = pod.len();
+        if m < 2 {
+            continue;
+        }
+        for i in 0..m {
+            pairs.push((pod[i], pod[(i + 1) % m]));
+        }
+    }
+    pairs
+}
+
+/// *Far* OD pairs: each edge switch talks to the same-index edge switch
+/// of the next pod, forcing traffic through the core.
+pub fn fat_tree_far_pairs(ix: &FatTreeIndex) -> Vec<(NodeId, NodeId)> {
+    let k = ix.edge.len();
+    let mut pairs = Vec::new();
+    for pod in 0..k {
+        for (i, &e) in ix.edge[pod].iter().enumerate() {
+            let target = ix.edge[(pod + 1) % k][i];
+            pairs.push((e, target));
+        }
+    }
+    pairs
+}
+
+/// A matrix giving every listed OD pair the same `rate`.
+pub fn uniform_matrix(pairs: &[(NodeId, NodeId)], rate: f64) -> TrafficMatrix {
+    TrafficMatrix::new(
+        pairs.iter().map(|&(o, d)| Demand { origin: o, dst: d, rate }).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_topo::gen::{fat_tree, FatTreeConfig};
+
+    #[test]
+    fn sine_bounds_and_phase() {
+        let s = sine_series(100, 100, 10.0, 20.0);
+        assert!((s[0] - 10.0).abs() < 1e-9, "starts at minimum");
+        assert!((s[50] - 20.0).abs() < 1e-9, "peaks mid-period");
+        for &v in &s {
+            assert!((10.0..=20.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sine_is_periodic() {
+        let s = sine_series(200, 100, 0.0, 1.0);
+        for t in 0..100 {
+            assert!((s[t] - s[t + 100]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn near_pairs_stay_in_pod() {
+        let (_, ix) = fat_tree(&FatTreeConfig::default());
+        let pairs = fat_tree_near_pairs(&ix);
+        assert_eq!(pairs.len(), 8, "k=4: 2 edges per pod * 4 pods");
+        for (o, d) in &pairs {
+            let pod_of = |n: &NodeId| ix.edge.iter().position(|p| p.contains(n)).unwrap();
+            assert_eq!(pod_of(o), pod_of(d));
+        }
+    }
+
+    #[test]
+    fn far_pairs_cross_pods() {
+        let (_, ix) = fat_tree(&FatTreeConfig::default());
+        let pairs = fat_tree_far_pairs(&ix);
+        assert_eq!(pairs.len(), 8);
+        for (o, d) in &pairs {
+            let pod_of = |n: &NodeId| ix.edge.iter().position(|p| p.contains(n)).unwrap();
+            assert_ne!(pod_of(o), pod_of(d));
+        }
+    }
+
+    #[test]
+    fn uniform_matrix_rates() {
+        let (_, ix) = fat_tree(&FatTreeConfig::default());
+        let pairs = fat_tree_near_pairs(&ix);
+        let m = uniform_matrix(&pairs, 5.0);
+        assert_eq!(m.len(), pairs.len());
+        assert!((m.total() - 5.0 * pairs.len() as f64).abs() < 1e-9);
+    }
+}

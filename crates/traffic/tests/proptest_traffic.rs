@@ -1,0 +1,99 @@
+//! Property-based tests for traffic matrices and generators.
+
+use ecp_topo::gen::geant;
+use ecp_topo::NodeId;
+use ecp_traffic::{
+    deviation_ccdf, gravity_matrix, random_od_pairs, sine_series, Demand, TrafficMatrix,
+};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = TrafficMatrix> {
+    proptest::collection::vec((0u32..12, 0u32..12, 0.0f64..5e6), 0..20).prop_map(|v| {
+        TrafficMatrix::new(
+            v.into_iter()
+                .map(|(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scaling is linear in total volume and preserves structure.
+    #[test]
+    fn scaling_linear(m in arb_matrix(), f in 0.0f64..4.0) {
+        let s = m.scaled(f);
+        prop_assert!((s.total() - f * m.total()).abs() < 1e-3);
+        if f > 0.0 {
+            prop_assert_eq!(s.len(), m.len());
+            for d in m.demands() {
+                prop_assert!((s.get(d.origin, d.dst) - f * d.rate).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Element-wise max is commutative, idempotent, and dominates both
+    /// operands.
+    #[test]
+    fn elementwise_max_lattice(a in arb_matrix(), b in arb_matrix()) {
+        let ab = a.elementwise_max(&b);
+        let ba = b.elementwise_max(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        prop_assert_eq!(&a.elementwise_max(&a), &a, "idempotent");
+        for d in a.demands() {
+            prop_assert!(ab.get(d.origin, d.dst) >= d.rate - 1e-12);
+        }
+        for d in b.demands() {
+            prop_assert!(ab.get(d.origin, d.dst) >= d.rate - 1e-12);
+        }
+    }
+
+    /// Matrices never store self-demands or non-positive rates.
+    #[test]
+    fn matrix_hygiene(m in arb_matrix()) {
+        for d in m.demands() {
+            prop_assert!(d.origin != d.dst);
+            prop_assert!(d.rate > 0.0);
+        }
+        // Sorted by key.
+        for w in m.demands().windows(2) {
+            prop_assert!((w[0].origin, w[0].dst) < (w[1].origin, w[1].dst));
+        }
+    }
+
+    /// Gravity matrices hit the requested volume and only use requested
+    /// pairs.
+    #[test]
+    fn gravity_volume_exact(count in 1usize..80, seed in 0u64..50, vol in 1e6f64..1e10) {
+        let topo = geant();
+        let pairs = random_od_pairs(&topo, count, seed);
+        let m = gravity_matrix(&topo, &pairs, vol);
+        prop_assert!((m.total() - vol).abs() / vol < 1e-9);
+        prop_assert_eq!(m.len(), pairs.len());
+        for d in m.demands() {
+            prop_assert!(pairs.contains(&(d.origin, d.dst)));
+        }
+    }
+
+    /// Sine series stays within bounds for arbitrary parameters.
+    #[test]
+    fn sine_bounds(steps in 2usize..200, period in 2usize..100, lo in 0.0f64..5.0, span in 0.0f64..5.0) {
+        let hi = lo + span;
+        for v in sine_series(steps, period, lo, hi) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// A CCDF is a CCDF: starts at 1, non-increasing, non-negative.
+    #[test]
+    fn ccdf_shape(series in proptest::collection::vec(proptest::collection::vec(0.01f64..100.0, 2..30), 1..5)) {
+        let c = deviation_ccdf(&series);
+        prop_assert_eq!(c.len(), 101);
+        prop_assert!((c[0].1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+            prop_assert!(w[1].1 >= 0.0);
+        }
+    }
+}

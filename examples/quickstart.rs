@@ -1,0 +1,66 @@
+//! Quickstart: plan REsPoNse paths for a small ISP and inspect the
+//! power savings of the always-on resting state.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use response::prelude::*;
+use response::routing::ospf_invcap;
+use response::topo::gen;
+
+fn main() {
+    // 1. A topology and a power model. `geant()` is a 23-PoP
+    //    European-WAN-like network; `cisco12000()` is the paper's
+    //    representative-hardware model.
+    let topo = gen::geant();
+    let power = PowerModel::cisco12000();
+    println!(
+        "topology: {} ({} routers, {} links), full power {:.1} kW",
+        topo.name(),
+        topo.node_count(),
+        topo.link_count(),
+        power.full_power(&topo) / 1e3
+    );
+
+    // 2. Plan the three energy-critical tables once, off-line.
+    //    The default configuration is the paper's demand-oblivious
+    //    baseline: ε-demand minimal power tree + stress-factor on-demand
+    //    paths + link-disjoint failover.
+    let tables = Planner::new(&topo, &power).plan(&PlannerConfig::default());
+    println!(
+        "planned {} OD pairs, {} paths each; failover fully link-disjoint for {:.0}% of pairs",
+        tables.len(),
+        3,
+        100.0 * tables.failover_disjoint_fraction(&topo)
+    );
+
+    // 3. Compare the always-on resting state against the full network
+    //    and against the OSPF-InvCap footprint.
+    let resting = tables.always_on_active(&topo);
+    let resting_w = power.network_power(&topo, &resting);
+    println!(
+        "always-on state: {} routers + {} links powered -> {:.1} kW ({:.0}% of full)",
+        resting.nodes_on_count(),
+        resting.links_on_count(&topo),
+        resting_w / 1e3,
+        100.0 * resting_w / power.full_power(&topo)
+    );
+
+    let all_pairs: Vec<_> = tables.iter().map(|(&k, _)| k).collect();
+    let ospf = ospf_invcap(&topo, &all_pairs, None);
+    let ospf_w = power.network_power(&topo, &ospf.active_set(&topo));
+    println!(
+        "OSPF-InvCap footprint for the same pairs: {:.1} kW",
+        ospf_w / 1e3
+    );
+
+    // 4. Look at one OD pair's installed paths.
+    let (&(o, d), od) = tables.iter().next().expect("non-empty tables");
+    println!("\nexample pair {o}->{d}:");
+    println!("  always-on : {} ({:.1} ms)", od.always_on, 1e3 * od.always_on.latency(&topo));
+    for p in &od.on_demand {
+        println!("  on-demand : {} ({:.1} ms)", p, 1e3 * p.latency(&topo));
+    }
+    println!("  failover  : {} ({:.1} ms)", od.failover, 1e3 * od.failover.latency(&topo));
+}

@@ -1,0 +1,57 @@
+//! # REsPoNse — identifying and using energy-critical paths
+//!
+//! This is the facade crate of the reproduction of *"Identifying and
+//! Using Energy-Critical Paths"* (Vasić et al., ACM CoNEXT 2011). It
+//! re-exports every subsystem so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`topo`] — topologies, generators, graph algorithms.
+//! * [`power`] — router/link power models and network power evaluation.
+//! * [`traffic`] — traffic matrices, gravity/sine models, trace
+//!   generators and replay.
+//! * [`lp`] — simplex LP / branch-and-bound MIP solver (CPLEX
+//!   substitute).
+//! * [`routing`] — routing schemes, the feasibility oracle, baselines
+//!   (OSPF-InvCap, ECMP, greedy/GreenTE heuristics, optimal subset).
+//! * [`core`] — the REsPoNse framework itself: always-on / on-demand /
+//!   failover planning, energy-critical path analytics, and the
+//!   REsPoNseTE online traffic-engineering logic.
+//! * [`simnet`] — the discrete-event network simulator used for all
+//!   runtime experiments.
+//! * [`apps`] — application-level workloads (streaming, web) running on
+//!   the simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use response::prelude::*;
+//!
+//! // 1. A topology and a power model.
+//! let topo = response::topo::gen::geant();
+//! let power = PowerModel::cisco12000();
+//!
+//! // 2. Plan REsPoNse paths once, off-line.
+//! let plan = Planner::new(&topo, &power).plan(&PlannerConfig::default());
+//!
+//! // 3. Evaluate the power draw of the always-on subset.
+//! let full = power.network_power(&topo, &ActiveSet::all_on(&topo));
+//! let idle = power.network_power(&topo, &plan.always_on_active(&topo));
+//! assert!(idle < full);
+//! ```
+
+pub use ecp_apps as apps;
+pub use ecp_lp as lp;
+pub use ecp_power as power;
+pub use ecp_routing as routing;
+pub use ecp_simnet as simnet;
+pub use ecp_topo as topo;
+pub use ecp_traffic as traffic;
+pub use respons_core as core;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use ecp_power::PowerModel;
+    pub use ecp_topo::{ActiveSet, ArcId, NodeId, Path, Topology, TopologyBuilder};
+    pub use ecp_traffic::TrafficMatrix;
+    pub use respons_core::{PathTables, Planner, PlannerConfig};
+}
