@@ -18,7 +18,11 @@ pub fn tables_from_routes(routes: &RouteSet) -> PathTables {
         t.insert(
             o,
             d,
-            OdPaths { always_on: p.clone(), on_demand: vec![], failover: p.clone() },
+            OdPaths {
+                always_on: p.clone(),
+                on_demand: vec![],
+                failover: p.clone(),
+            },
         );
     }
     t

@@ -84,7 +84,10 @@ impl StreamingResult {
         if self.clients.is_empty() {
             return 0.0;
         }
-        self.clients.iter().map(|c| c.mean_block_latency).sum::<f64>()
+        self.clients
+            .iter()
+            .map(|c| c.mean_block_latency)
+            .sum::<f64>()
             / self.clients.len() as f64
     }
 
@@ -191,10 +194,9 @@ pub fn run_streaming(
         .iter()
         .map(|r| {
             // Blocks the client *should* have played by the end.
-            let expected =
-                (((cfg.duration - r.joined_at - cfg.startup_delay) / cfg.block_duration).floor()
-                    as usize)
-                    .max(1);
+            let expected = (((cfg.duration - r.joined_at - cfg.startup_delay) / cfg.block_duration)
+                .floor() as usize)
+                .max(1);
             let on_time_fraction = r.on_time.min(expected) as f64 / expected as f64;
             ClientStats {
                 node: r.node,
@@ -234,7 +236,10 @@ mod tests {
     fn uncongested_clients_all_play() {
         let (t, tables, n) = setup();
         let pm = PowerModel::cisco12000();
-        let cfg = StreamingConfig { duration: 30.0, ..Default::default() };
+        let cfg = StreamingConfig {
+            duration: 30.0,
+            ..Default::default()
+        };
         // Two clients, 600 kbps each: trivially fits 10 Mbps paths.
         let res = run_streaming(
             &t,
@@ -254,7 +259,11 @@ mod tests {
     fn overload_degrades_playability() {
         let (t, tables, n) = setup();
         let pm = PowerModel::cisco12000();
-        let cfg = StreamingConfig { duration: 30.0, bitrate: 8e6, ..Default::default() };
+        let cfg = StreamingConfig {
+            duration: 30.0,
+            bitrate: 8e6,
+            ..Default::default()
+        };
         // Three 8 Mbps streams toward A exceed every path combination
         // (A reachable via 2 disjoint 10 Mbps paths only).
         let res = run_streaming(
@@ -273,7 +282,10 @@ mod tests {
     fn late_joiners_tracked_separately() {
         let (t, tables, n) = setup();
         let pm = PowerModel::cisco12000();
-        let cfg = StreamingConfig { duration: 20.0, ..Default::default() };
+        let cfg = StreamingConfig {
+            duration: 20.0,
+            ..Default::default()
+        };
         let res = run_streaming(
             &t,
             &pm,
@@ -293,9 +305,11 @@ mod tests {
     fn empty_client_list() {
         let (t, tables, n) = setup();
         let pm = PowerModel::cisco12000();
-        let cfg = StreamingConfig { duration: 5.0, ..Default::default() };
-        let res =
-            run_streaming(&t, &pm, &tables, n.k, &[], &cfg, &SimConfig::default());
+        let cfg = StreamingConfig {
+            duration: 5.0,
+            ..Default::default()
+        };
+        let res = run_streaming(&t, &pm, &tables, n.k, &[], &cfg, &SimConfig::default());
         assert_eq!(res.playable_percent(), 100.0);
         assert_eq!(res.mean_block_latency(), 0.0);
     }

@@ -85,8 +85,8 @@ pub fn specweb_like_sizes(n: usize, seed: u64) -> Vec<f64> {
     (0..n)
         .map(|_| {
             // Irwin–Hall(4) ≈ normal, unit variance after scaling.
-            let z: f64 = ((0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0)
-                / (4.0f64 / 12.0).sqrt();
+            let z: f64 =
+                ((0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0) / (4.0f64 / 12.0).sqrt();
             let bytes = (9.4 + 1.1 * z).exp(); // median e^9.4 ≈ 12.1 KiB
             bytes.clamp(512.0, 2_000_000.0)
         })
@@ -124,7 +124,12 @@ pub fn run_web(
         .iter()
         .map(|&node| {
             let flow = sim.add_flow(tables, server, node, 0.0);
-            WebClient { node, flow, state: ClientState::Thinking { until: 0.0 }, issued: 0 }
+            WebClient {
+                node,
+                flow,
+                state: ClientState::Thinking { until: 0.0 },
+                issued: 0,
+            }
         })
         .collect();
 
@@ -149,7 +154,10 @@ pub fn run_web(
         // Progress transfers using the delivered rate of the last step.
         for c in clients.iter_mut() {
             match c.state {
-                ClientState::Transferring { ref mut remaining_bits, started } => {
+                ClientState::Transferring {
+                    ref mut remaining_bits,
+                    started,
+                } => {
                     let rate = sim.delivered_rate(c.flow).min(cfg.access_rate);
                     *remaining_bits -= rate * cfg.dt;
                     if *remaining_bits <= 0.0 {
@@ -158,7 +166,9 @@ pub fn run_web(
                         c.state = if c.issued >= cfg.requests_per_client {
                             ClientState::Done
                         } else {
-                            ClientState::Thinking { until: t_next + cfg.think_time }
+                            ClientState::Thinking {
+                                until: t_next + cfg.think_time,
+                            }
                         };
                     }
                 }
@@ -166,7 +176,10 @@ pub fn run_web(
                     let size_bits = 8.0 * sizes[rng.gen_range(0..sizes.len())];
                     c.issued += 1;
                     sim.schedule_demand(t, c.flow, cfg.access_rate);
-                    c.state = ClientState::Transferring { remaining_bits: size_bits, started: t };
+                    c.state = ClientState::Transferring {
+                        remaining_bits: size_bits,
+                        started: t,
+                    };
                 }
                 _ => {}
             }
@@ -221,8 +234,19 @@ mod tests {
     fn all_requests_complete_and_latency_positive() {
         let (t, tables, n) = setup();
         let pm = PowerModel::cisco12000();
-        let cfg = WebConfig { requests_per_client: 5, ..Default::default() };
-        let res = run_web(&t, &pm, &tables, n.k, &[n.a, n.c], &cfg, &SimConfig::default());
+        let cfg = WebConfig {
+            requests_per_client: 5,
+            ..Default::default()
+        };
+        let res = run_web(
+            &t,
+            &pm,
+            &tables,
+            n.k,
+            &[n.a, n.c],
+            &cfg,
+            &SimConfig::default(),
+        );
         assert_eq!(res.unfinished, 0);
         assert_eq!(res.latencies.len(), 10);
         for &l in &res.latencies {
@@ -238,7 +262,10 @@ mod tests {
     fn deterministic_in_seed() {
         let (t, tables, n) = setup();
         let pm = PowerModel::cisco12000();
-        let cfg = WebConfig { requests_per_client: 3, ..Default::default() };
+        let cfg = WebConfig {
+            requests_per_client: 3,
+            ..Default::default()
+        };
         let a = run_web(&t, &pm, &tables, n.k, &[n.a], &cfg, &SimConfig::default());
         let b = run_web(&t, &pm, &tables, n.k, &[n.a], &cfg, &SimConfig::default());
         assert_eq!(a.latencies, b.latencies);

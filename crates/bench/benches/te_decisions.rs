@@ -13,7 +13,10 @@ fn te_decisions(c: &mut Criterion) {
     let mut g = c.benchmark_group("te_decide_shares");
     for paths in [2usize, 3, 5] {
         let views: Vec<PathView> = (0..paths)
-            .map(|i| PathView { headroom: (i as f64 + 1.0) * 1e6, available: true })
+            .map(|i| PathView {
+                headroom: (i as f64 + 1.0) * 1e6,
+                available: true,
+            })
             .collect();
         let shares = vec![1.0 / paths as f64; paths];
         g.bench_with_input(BenchmarkId::from_parameter(paths), &paths, |b, _| {

@@ -37,7 +37,10 @@ fn main() {
     let mut out = Vec::new();
     for beta in [None, Some(1.0), Some(0.5), Some(0.25), Some(0.1), Some(0.0)] {
         eprintln!("planning with beta = {beta:?}...");
-        let cfg = PlannerConfig { beta, ..Default::default() };
+        let cfg = PlannerConfig {
+            beta,
+            ..Default::default()
+        };
         let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
         let idle = pm.network_power(&topo, &tables.always_on_active(&topo)) / full;
         // Delay stretch of always-on paths vs OSPF.
@@ -52,7 +55,9 @@ fn main() {
         }
         let mean = stretches.iter().sum::<f64>() / stretches.len().max(1) as f64;
         let max = stretches.iter().cloned().fold(0.0, f64::max);
-        let label = beta.map(|b| format!("{b:.2}")).unwrap_or_else(|| "none".into());
+        let label = beta
+            .map(|b| format!("{b:.2}"))
+            .unwrap_or_else(|| "none".into());
         rows.push(vec![
             label,
             format!("{:.1}%", 100.0 * idle),
@@ -68,10 +73,17 @@ fn main() {
     }
     print_table(
         "Ablation: REsPoNse-lat beta sweep (GEANT-like)",
-        &["beta", "idle power", "mean delay stretch", "max delay stretch"],
+        &[
+            "beta",
+            "idle power",
+            "mean delay stretch",
+            "max delay stretch",
+        ],
         &rows,
     );
-    println!("\npaper: latency bound marginally reduces savings; delay stays within (1+beta)x OSPF");
+    println!(
+        "\npaper: latency bound marginally reduces savings; delay stays within (1+beta)x OSPF"
+    );
     // Tighter beta -> smaller max stretch, weakly higher power.
     let bounded = out
         .iter()

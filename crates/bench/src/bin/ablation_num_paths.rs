@@ -31,7 +31,10 @@ fn main() {
     let topo = geant();
     let pm = PowerModel::cisco12000();
     let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let te = TeConfig { threshold: 1.0, ..Default::default() };
+    let te = TeConfig {
+        threshold: 1.0,
+        ..Default::default()
+    };
     let full = pm.full_power(&topo);
     // Peak-hour demand at 85% of the free-routing max: extra tables only
     // matter when the always-on paths cannot absorb the load.
@@ -46,7 +49,10 @@ fn main() {
     let mut out = Vec::new();
     for n in [2usize, 3, 4, 5] {
         eprintln!("planning with N = {n}...");
-        let cfg = PlannerConfig { num_paths: n, ..Default::default() };
+        let cfg = PlannerConfig {
+            num_paths: n,
+            ..Default::default()
+        };
         let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
         let (_, placed, _, _) = place_matrix(&topo, &tables, &peak_tm, &te);
         let idle = pm.network_power(&topo, &tables.always_on_active(&topo)) / full;
@@ -55,7 +61,11 @@ fn main() {
             format!("{:.1}%", 100.0 * placed),
             format!("{:.1}%", 100.0 * idle),
         ]);
-        out.push(Row { num_paths: n, placed_fraction_at_peak: placed, idle_power_frac: idle });
+        out.push(Row {
+            num_paths: n,
+            placed_fraction_at_peak: placed,
+            idle_power_frac: idle,
+        });
     }
     print_table(
         "Ablation: number of energy-critical paths N (GEANT-like)",
@@ -66,8 +76,11 @@ fn main() {
     let monotone = out
         .windows(2)
         .all(|w| w[1].placed_fraction_at_peak >= w[0].placed_fraction_at_peak - 0.01);
-    println!("measured: capacity monotone in N: {monotone}; idle power constant: {}",
-        out.windows(2).all(|w| (w[1].idle_power_frac - w[0].idle_power_frac).abs() < 1e-6));
+    println!(
+        "measured: capacity monotone in N: {monotone}; idle power constant: {}",
+        out.windows(2)
+            .all(|w| (w[1].idle_power_frac - w[0].idle_power_frac).abs() < 1e-6)
+    );
 
     write_json("ablation_num_paths", &out);
 }

@@ -34,7 +34,10 @@ fn main() {
     let topo = geant();
     let pm = PowerModel::cisco12000();
     let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let te = TeConfig { threshold: 1.0, ..Default::default() };
+    let te = TeConfig {
+        threshold: 1.0,
+        ..Default::default()
+    };
     // Peak-hour demand: 85% of the free-routing maximum — hard enough
     // that poor on-demand choices cannot hide behind spare capacity.
     let oc = ecp_routing::OracleConfig::default();
@@ -51,7 +54,9 @@ fn main() {
     for &f in &fractions {
         eprintln!("planning with exclusion fraction {f}...");
         let cfg = PlannerConfig {
-            strategy: OnDemandStrategy::StressFactor { exclude_fraction: f },
+            strategy: OnDemandStrategy::StressFactor {
+                exclude_fraction: f,
+            },
             ..Default::default()
         };
         let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
@@ -59,7 +64,12 @@ fn main() {
         let peak_power = pm.network_power(&topo, &active) / full;
         let distinct = tables
             .iter()
-            .filter(|(_, p)| p.on_demand.first().map(|od| od != &p.always_on).unwrap_or(false))
+            .filter(|(_, p)| {
+                p.on_demand
+                    .first()
+                    .map(|od| od != &p.always_on)
+                    .unwrap_or(false)
+            })
             .count() as f64
             / tables.len().max(1) as f64;
         rows.push(vec![
@@ -77,11 +87,22 @@ fn main() {
     }
     print_table(
         "Ablation: stress-factor exclusion fraction (GEANT-like, peak-hour demand)",
-        &["excluded links", "peak traffic placed", "peak power", "distinct on-demand paths"],
+        &[
+            "excluded links",
+            "peak traffic placed",
+            "peak power",
+            "distinct on-demand paths",
+        ],
         &rows,
     );
-    let at20 = out.iter().find(|r| (r.exclude_fraction - 0.2).abs() < 1e-9).unwrap();
-    let best = out.iter().map(|r| r.placed_fraction_at_peak).fold(0.0, f64::max);
+    let at20 = out
+        .iter()
+        .find(|r| (r.exclude_fraction - 0.2).abs() < 1e-9)
+        .unwrap();
+    let best = out
+        .iter()
+        .map(|r| r.placed_fraction_at_peak)
+        .fold(0.0, f64::max);
     println!(
         "\npaper: 20% exclusion suffices for peak demands   measured: 20% places {:.1}% of peak (best sweep value {:.1}%)",
         100.0 * at20.placed_fraction_at_peak,

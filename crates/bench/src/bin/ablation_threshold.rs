@@ -6,16 +6,19 @@
 //! margin `sm` trades power savings against reserved headroom.
 //!
 //! We sweep the threshold and report mean power and congestion over the
-//! GÉANT-like replay.
+//! GÉANT-like replay. Ported to the scenario engine: the sweep is a
+//! `SweepRunner` grid over one replay-engine scenario, executed on all
+//! cores in parallel.
 //!
 //! Usage: `--pairs 120 --days 3 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::OracleConfig;
-use ecp_topo::gen::geant;
-use ecp_traffic::{geant_like_trace, random_od_pairs};
-use respons_core::{steady_state_replay, Planner, PlannerConfig, TeConfig};
+use ecp_scenario::{
+    Axis, EngineSpec, MatrixSpec, MetricsSpec, PairsSpec, Param, PowerSpec, ScaleSpec,
+    ScenarioBuilder, SweepRunner,
+};
+use ecp_topo::gen::TopoSpec;
+use ecp_traffic::{Program, Shape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,50 +34,75 @@ fn main() {
     let days: usize = arg("days", 3);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let _oc = OracleConfig::default();
+    // Peak just above the always-on capacity so the threshold choice
+    // matters (like Fig. 5): the replay engine scales the trace to
+    // 1.15 x what the always-on paths alone support.
+    let base = ScenarioBuilder::new("ablation-threshold")
+        .seed(seed)
+        .duration_s(days as f64 * 86_400.0)
+        .topology(TopoSpec::Geant)
+        .power(PowerSpec::Cisco12000)
+        .pairs(PairsSpec::Random { count: pairs_n })
+        .traffic(
+            MatrixSpec::Gravity,
+            ScaleSpec::TotalBps { bps: 1e9 },
+            Program::from_shape(
+                days as f64 * 86_400.0,
+                900.0,
+                Shape::Constant { level: 1.0 },
+            ),
+        )
+        .engine(EngineSpec::Replay {
+            peak_over_always_on: 1.15,
+        })
+        .metrics(MetricsSpec {
+            power_series: false,
+            delivered_series: false,
+            per_path_rates: false,
+        })
+        .build();
 
-    eprintln!("planning once...");
-    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-
-    // Scale the trace to the installed tables (like Fig. 5): peak just
-    // above the always-on capacity so the threshold choice matters.
-    let base = ecp_traffic::gravity_matrix(&topo, &pairs, 1e9);
-    let te_full = TeConfig { threshold: 1.0, ..Default::default() };
-    let aon = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te_full, 1);
-    let peak = 1e9 * aon * 1.15;
-    let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
+    eprintln!("sweeping thresholds over the replay scenario (parallel)...");
+    let sweep = SweepRunner::new(
+        base,
+        vec![Axis::new(Param::Threshold, [0.5, 0.7, 0.9, 0.95, 1.0])],
+    );
+    let result = sweep.run().expect("threshold sweep runs");
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for thr in [0.5, 0.7, 0.9, 0.95, 1.0] {
-        eprintln!("replaying at threshold {thr}...");
-        let te = TeConfig { threshold: thr, ..Default::default() };
-        let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
-        let spilled = rep.points.iter().map(|p| p.spilled_demands as f64).sum::<f64>()
-            / rep.points.len().max(1) as f64;
+    for row in &result.rows {
+        let thr = row.params[0].1;
+        let rep = &row.report;
+        let congested = rep.congested_fraction.unwrap_or(0.0);
+        let spilled = rep.mean_spilled_demands.unwrap_or(0.0);
         rows.push(vec![
             format!("{:.0}%", 100.0 * thr),
-            format!("{:.1}%", 100.0 * rep.mean_power_fraction()),
-            format!("{:.2}%", 100.0 * rep.congested_fraction()),
+            format!("{:.1}%", 100.0 * rep.mean_power_frac),
+            format!("{:.2}%", 100.0 * congested),
             format!("{spilled:.1}"),
         ]);
         out.push(Row {
             threshold: thr,
-            mean_power_frac: rep.mean_power_fraction(),
-            congested_fraction: rep.congested_fraction(),
+            mean_power_frac: rep.mean_power_frac,
+            congested_fraction: congested,
             mean_spilled_demands: spilled,
         });
     }
     print_table(
         "Ablation: utilization threshold sweep (GEANT-like replay)",
-        &["threshold", "mean power", "congested intervals", "mean spilled demands"],
+        &[
+            "threshold",
+            "mean power",
+            "congested intervals",
+            "mean spilled demands",
+        ],
         &rows,
     );
     println!("\npaper: lower thresholds wake on-demand paths sooner (more headroom, more power)");
-    let monotone = out.windows(2).all(|w| w[1].mean_power_frac <= w[0].mean_power_frac + 0.02);
+    let monotone = out
+        .windows(2)
+        .all(|w| w[1].mean_power_frac <= w[0].mean_power_frac + 0.02);
     println!("measured: power weakly decreases as threshold loosens: {monotone}");
 
     write_json("ablation_threshold", &out);

@@ -39,7 +39,10 @@ fn mean_sleep(topo: &Topology, act: &ecp_simnet::ArcActivity, min_gap: f64, wake
             .unwrap_or(fwd);
         // Links that carried nothing at all can sleep fully.
         let carried = act.busy_s[l.idx()] > 0.0
-            || topo.reverse(l).map(|r| act.busy_s[r.idx()] > 0.0).unwrap_or(false);
+            || topo
+                .reverse(l)
+                .map(|r| act.busy_s[r.idx()] > 0.0)
+                .unwrap_or(false);
         acc += if carried { fwd.min(rev) } else { 1.0 };
     }
     acc / links.len() as f64
@@ -56,10 +59,30 @@ fn main() {
     // Spread arrangement (no REsPoNse): each source splits across both
     // of its candidate paths.
     let spread = vec![
-        CbrFlow { path: Path::new(vec![n.a, n.e, n.h, n.k]), rate_bps: rate / 2.0, start: 0.0, stop: dur },
-        CbrFlow { path: Path::new(vec![n.a, n.d, n.g, n.k]), rate_bps: rate / 2.0, start: 0.001, stop: dur },
-        CbrFlow { path: Path::new(vec![n.c, n.e, n.h, n.k]), rate_bps: rate / 2.0, start: 0.002, stop: dur },
-        CbrFlow { path: Path::new(vec![n.c, n.f, n.j, n.k]), rate_bps: rate / 2.0, start: 0.003, stop: dur },
+        CbrFlow {
+            path: Path::new(vec![n.a, n.e, n.h, n.k]),
+            rate_bps: rate / 2.0,
+            start: 0.0,
+            stop: dur,
+        },
+        CbrFlow {
+            path: Path::new(vec![n.a, n.d, n.g, n.k]),
+            rate_bps: rate / 2.0,
+            start: 0.001,
+            stop: dur,
+        },
+        CbrFlow {
+            path: Path::new(vec![n.c, n.e, n.h, n.k]),
+            rate_bps: rate / 2.0,
+            start: 0.002,
+            stop: dur,
+        },
+        CbrFlow {
+            path: Path::new(vec![n.c, n.f, n.j, n.k]),
+            rate_bps: rate / 2.0,
+            start: 0.003,
+            stop: dur,
+        },
     ];
     let (_, act) = run_packet_sim_full(&topo, &spread, &PacketSimConfig::default(), dur * 2.0);
     let spread_sleep = mean_sleep(&topo, &act, min_gap, wake);
@@ -67,8 +90,18 @@ fn main() {
     // Consolidated arrangement (REsPoNse steady state): all traffic on
     // the middle paths; upper/lower fully dark.
     let consolidated = vec![
-        CbrFlow { path: Path::new(vec![n.a, n.e, n.h, n.k]), rate_bps: rate, start: 0.0, stop: dur },
-        CbrFlow { path: Path::new(vec![n.c, n.e, n.h, n.k]), rate_bps: rate, start: 0.001, stop: dur },
+        CbrFlow {
+            path: Path::new(vec![n.a, n.e, n.h, n.k]),
+            rate_bps: rate,
+            start: 0.0,
+            stop: dur,
+        },
+        CbrFlow {
+            path: Path::new(vec![n.c, n.e, n.h, n.k]),
+            rate_bps: rate,
+            start: 0.001,
+            stop: dur,
+        },
     ];
     let (_, act2) =
         run_packet_sim_full(&topo, &consolidated, &PacketSimConfig::default(), dur * 2.0);
@@ -77,7 +110,10 @@ fn main() {
         .link_ids()
         .filter(|l| {
             let fwd = act2.busy_s[l.idx()] > 0.0;
-            let rev = topo.reverse(*l).map(|r| act2.busy_s[r.idx()] > 0.0).unwrap_or(false);
+            let rev = topo
+                .reverse(*l)
+                .map(|r| act2.busy_s[r.idx()] > 0.0)
+                .unwrap_or(false);
             !fwd && !rev
         })
         .count();
@@ -85,9 +121,17 @@ fn main() {
 
     print_table(
         "Opportunistic (per-gap) sleeping vs REsPoNse consolidation, Fig-3 topology",
-        &["arrangement", "mean link sleep fraction", "fully dark links"],
         &[
-            vec!["spread (no REsPoNse)".into(), format!("{:.1}%", 100.0 * spread_sleep), "0".into()],
+            "arrangement",
+            "mean link sleep fraction",
+            "fully dark links",
+        ],
+        &[
+            vec![
+                "spread (no REsPoNse)".into(),
+                format!("{:.1}%", 100.0 * spread_sleep),
+                "0".into(),
+            ],
             vec![
                 "consolidated (REsPoNse)".into(),
                 format!("{:.1}%", 100.0 * consolidated_sleep),
@@ -95,7 +139,9 @@ fn main() {
             ],
         ],
     );
-    println!("\npaper (§2.1.1): inter-packet gaps are often too short to sleep in; buffering helps but");
+    println!(
+        "\npaper (§2.1.1): inter-packet gaps are often too short to sleep in; buffering helps but"
+    );
     println!("loses packets and burns energy on state switches — consolidation creates long idle periods instead.");
     println!(
         "measured: consolidation lifts the mean sleepable fraction from {:.1}% to {:.1}% and darkens {dark} links entirely.",

@@ -86,7 +86,11 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let rate = util * min_cap / clients_n as f64;
 
-    eprintln!("running packet simulations ({} flows at {:.1} Mbps)...", clients_n, rate / 1e6);
+    eprintln!(
+        "running packet simulations ({} flows at {:.1} Mbps)...",
+        clients_n,
+        rate / 1e6
+    );
     let inv = run_scheme(&topo, &t_inv, &pairs, rate);
     let rep = run_scheme(&topo, &t_rep, &pairs, rate);
 
@@ -117,6 +121,10 @@ fn main() {
 
     write_json(
         "extension_packet_latency",
-        &Out { invcap: inv, response: rep, delay_increase_pct: incr },
+        &Out {
+            invcap: inv,
+            response: rep,
+            delay_increase_pct: incr,
+        },
     );
 }

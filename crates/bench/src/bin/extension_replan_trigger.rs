@@ -14,8 +14,7 @@ use ecp_topo::gen::geant;
 use ecp_traffic::{geant_like_trace, gravity_matrix, random_od_pairs_subset};
 use respons_core::replay::max_supported_scale;
 use respons_core::{
-    steady_state_replay, DriftConfig, DriftDetector, Planner, PlannerConfig, ReplanAdvice,
-    TeConfig,
+    steady_state_replay, DriftConfig, DriftDetector, Planner, PlannerConfig, ReplanAdvice, TeConfig,
 };
 use serde::Serialize;
 
@@ -56,7 +55,10 @@ fn main() {
     let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
 
     // Drift detection with a 2-day window.
-    let cfg = DriftConfig { window: 2 * per_day, ..Default::default() };
+    let cfg = DriftConfig {
+        window: 2 * per_day,
+        ..Default::default()
+    };
     let mut det = DriftDetector::new(cfg);
     let mut trigger: Option<usize> = None;
     let mut reasons = Vec::new();
@@ -89,15 +91,12 @@ fn main() {
                 },
                 &pairs,
             );
-            let rep_before = steady_state_replay(
-                &topo,
-                &pm,
-                &tables,
-                &tail,
-                &te,
-            );
+            let rep_before = steady_state_replay(&topo, &pm, &tables, &tail, &te);
             let rep_after = steady_state_replay(&topo, &pm, &replanned, &tail, &te);
-            (rep_before.congested_fraction(), rep_after.congested_fraction())
+            (
+                rep_before.congested_fraction(),
+                rep_after.congested_fraction(),
+            )
         }
         None => (rep.congested_fraction(), rep.congested_fraction()),
     };
@@ -107,11 +106,19 @@ fn main() {
         .chunks(per_day)
         .enumerate()
         .map(|(d, c)| {
-            let cong = c.iter().filter(|p| p.placed_fraction < 1.0 - 1e-9).count() as f64
-                / c.len() as f64;
+            let cong =
+                c.iter().filter(|p| p.placed_fraction < 1.0 - 1e-9).count() as f64 / c.len() as f64;
             let spill = c.iter().filter(|p| p.spilled_demands > 0).count() as f64 / c.len() as f64;
             vec![
-                format!("day {}{}", d + 1, if Some(d) == trigger { "  <- replan advised" } else { "" }),
+                format!(
+                    "day {}{}",
+                    d + 1,
+                    if Some(d) == trigger {
+                        "  <- replan advised"
+                    } else {
+                        ""
+                    }
+                ),
                 format!("{:.0}%", 100.0 * growth.powi(d as i32)),
                 format!("{:.1}%", 100.0 * cong),
                 format!("{:.0}%", 100.0 * spill),
@@ -120,7 +127,12 @@ fn main() {
         .collect();
     print_table(
         "Extension: demand grows 5%/day over tables planned for day 0",
-        &["", "volume vs day 0", "congested intervals", "on-demand in use"],
+        &[
+            "",
+            "volume vs day 0",
+            "congested intervals",
+            "on-demand in use",
+        ],
         &rows,
     );
     println!("\npaper (future work): quantify when changes warrant recomputing the paths");

@@ -46,6 +46,12 @@ fn main() {
 
     write_json(
         "fig1a_traffic_deviation",
-        &Out { days, groups, seed, p_change_ge_20pct: at(20), ccdf },
+        &Out {
+            days,
+            groups,
+            seed,
+            p_change_ge_20pct: at(20),
+            ccdf,
+        },
     );
 }

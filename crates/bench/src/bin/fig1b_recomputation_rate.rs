@@ -60,7 +60,11 @@ fn main() {
         .map(|(d, day)| {
             let mean = day.iter().sum::<f64>() / day.len() as f64;
             let max = day.iter().cloned().fold(0.0, f64::max);
-            vec![format!("day {}", d + 1), format!("{mean:.2}"), format!("{max:.0}")]
+            vec![
+                format!("day {}", d + 1),
+                format!("{mean:.2}"),
+                format!("{max:.0}"),
+            ]
         })
         .collect();
     print_table(

@@ -38,12 +38,18 @@ fn main() {
     let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
     let pm = PowerModel::cisco12000();
 
-    eprintln!("replaying {} intervals; clustering active subsets...", trace.len());
+    eprintln!(
+        "replaying {} intervals; clustering active subsets...",
+        trace.len()
+    );
     let rep = recomputation_rate(&topo, &trace, |tm| optimal_subset(&topo, &pm, tm, &oc));
     let dom = ConfigDominance::from_signatures(&rep.signatures);
 
-    let slices: Vec<f64> =
-        dom.configs.iter().map(|&(_, c)| c as f64 / dom.intervals as f64).collect();
+    let slices: Vec<f64> = dom
+        .configs
+        .iter()
+        .map(|&(_, c)| c as f64 / dom.intervals as f64)
+        .collect();
     let rows: Vec<Vec<String>> = slices
         .iter()
         .enumerate()

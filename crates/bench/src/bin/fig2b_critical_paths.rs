@@ -49,7 +49,10 @@ where
 }
 
 fn paths_for(cov: &[(usize, f64)], target: f64) -> usize {
-    cov.iter().find(|&&(_, c)| c >= target).map(|&(x, _)| x).unwrap_or(cov.len())
+    cov.iter()
+        .find(|&&(_, c)| c >= target)
+        .map(|&(x, _)| x)
+        .unwrap_or(cov.len())
 }
 
 fn main() {
@@ -69,11 +72,16 @@ fn main() {
     let trace = geant_like_trace(&topo, &pairs, geant_days, peak, seed);
     let pm = PowerModel::cisco12000();
     eprintln!("GEANT: replaying {} intervals...", trace.len());
-    let gu = usage_of(&trace, |tm| optimal_subset(&topo, &pm, tm, &oc).map(|r| r.routes));
+    let gu = usage_of(&trace, |tm| {
+        optimal_subset(&topo, &pm, tm, &oc).map(|r| r.routes)
+    });
     let geant_cov: Vec<(usize, f64)> = xs.iter().map(|&x| (x, gu.coverage(x))).collect();
 
     // ---- FatTree (36-core = k=12), driven by the DC volume trace -------
-    let (ft, ix) = fat_tree(&FatTreeConfig { k: fat_k, ..Default::default() });
+    let (ft, ix) = fat_tree(&FatTreeConfig {
+        k: fat_k,
+        ..Default::default()
+    });
     let far = fat_tree_far_pairs(&ix);
     let dc_pm = PowerModel::commodity_dc();
     // Volume series scaled into [0, 0.9 Gbps] per flow, one 15-min-like
@@ -85,8 +93,15 @@ fn main() {
         .step_by(6)
         .map(|&v| uniform_matrix(&far, 0.9 * GBPS * v / vmax))
         .collect();
-    let dc_trace = Trace { name: "dc".into(), interval_s: 1800.0, matrices };
-    eprintln!("FatTree k={fat_k}: replaying {} intervals...", dc_trace.len());
+    let dc_trace = Trace {
+        name: "dc".into(),
+        interval_s: 1800.0,
+        matrices,
+    };
+    eprintln!(
+        "FatTree k={fat_k}: replaying {} intervals...",
+        dc_trace.len()
+    );
     // Single-order greedy pruning on the large fat-tree (the ensemble is
     // unnecessary here: we only need *which paths recur*, and the k=12
     // fat-tree makes the 4x ensemble needlessly slow).

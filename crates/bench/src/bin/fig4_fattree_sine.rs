@@ -31,7 +31,10 @@ fn main() {
     let steps: usize = arg("steps", 40);
     let k: usize = arg("k", 4);
 
-    let (topo, ix) = fat_tree(&FatTreeConfig { k, ..Default::default() });
+    let (topo, ix) = fat_tree(&FatTreeConfig {
+        k,
+        ..Default::default()
+    });
     let pm = PowerModel::commodity_dc();
     let near = fat_tree_near_pairs(&ix);
     let far = fat_tree_far_pairs(&ix);
@@ -101,7 +104,14 @@ fn main() {
         .collect();
     print_table(
         "Fig 4: power vs time, k=4 fat-tree, sinusoidal demand",
-        &["t", "demand (% of 1G)", "ecmp", "REsPoNse(far)", "REsPoNse(near)", "ElasticTree(far)"],
+        &[
+            "t",
+            "demand (% of 1G)",
+            "ecmp",
+            "REsPoNse(far)",
+            "REsPoNse(near)",
+            "ElasticTree(far)",
+        ],
         &rows,
     );
     let near_mean = near_series.iter().sum::<f64>() / steps as f64;

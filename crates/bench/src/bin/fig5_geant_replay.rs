@@ -64,14 +64,14 @@ fn main() {
 
     // Scale the trace to the installed capacity (see header comment).
     let base = ecp_traffic::gravity_matrix(&topo, &pairs, 1e9);
-    let aon_scale =
-        respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 1);
-    let all_scale =
-        respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 3);
+    let aon_scale = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 1);
+    let all_scale = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 3);
     let peak = (1e9 * aon_scale * peak_vs_always_on).min(1e9 * all_scale * 0.95);
     eprintln!(
         "always-on capacity {:.2} Gbps, all-tables {:.2} Gbps, trace peak {:.2} Gbps",
-        aon_scale, all_scale, peak / 1e9
+        aon_scale,
+        all_scale,
+        peak / 1e9
     );
     let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
     eprintln!("replaying {} intervals...", trace.len());

@@ -44,24 +44,35 @@ fn main() {
     let te = TeConfig::default();
 
     eprintln!("scaling gravity demands to the max feasible volume...");
-    let tms: Vec<_> =
-        utils.iter().map(|&u| gravity_at_utilization(&topo, &pairs, &oc, u)).collect();
+    let tms: Vec<_> = utils
+        .iter()
+        .map(|&u| gravity_at_utilization(&topo, &pairs, &oc, u))
+        .collect();
     let peak = tms.last().unwrap().clone();
 
     eprintln!("planning the four REsPoNse variants...");
     let planner = Planner::new(&topo, &pm);
     let t_resp = planner.plan_pairs(&PlannerConfig::default(), &pairs);
     let t_lat = planner.plan_pairs(
-        &PlannerConfig { beta: Some(0.25), ..Default::default() },
+        &PlannerConfig {
+            beta: Some(0.25),
+            ..Default::default()
+        },
         &pairs,
     );
     let t_ospf = planner.plan_pairs(
-        &PlannerConfig { strategy: OnDemandStrategy::Ospf, ..Default::default() },
+        &PlannerConfig {
+            strategy: OnDemandStrategy::Ospf,
+            ..Default::default()
+        },
         &pairs,
     );
     let t_heur = planner.plan_pairs(
         &PlannerConfig {
-            strategy: OnDemandStrategy::Heuristic { k: 4, peak: peak.clone() },
+            strategy: OnDemandStrategy::Heuristic {
+                k: 4,
+                peak: peak.clone(),
+            },
             ..Default::default()
         },
         &pairs,
@@ -107,7 +118,14 @@ fn main() {
     }
     print_table(
         "Fig 6: power (% of original) vs utilization, Genuity topology",
-        &["", "REsPoNse-lat", "REsPoNse", "REsPoNse-ospf", "REsPoNse-heuristic", "Optimal"],
+        &[
+            "",
+            "REsPoNse-lat",
+            "REsPoNse",
+            "REsPoNse-ospf",
+            "REsPoNse-heuristic",
+            "Optimal",
+        ],
         &rows,
     );
     println!("\npaper: ~30% savings at low util; progressive activation with load; optimal lowest");
@@ -116,7 +134,10 @@ fn main() {
         100.0 * (1.0 - out.response[0]),
         (0..utils.len()).all(|i| {
             out.optimal[i]
-                <= out.response[i].min(out.response_lat[i]).min(out.response_ospf[i]) + 1e-9
+                <= out.response[i]
+                    .min(out.response_lat[i])
+                    .min(out.response_ospf[i])
+                    + 1e-9
         })
     );
 

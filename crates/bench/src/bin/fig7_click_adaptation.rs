@@ -8,15 +8,18 @@
 //! link fails; detection + propagation takes 100 ms and waking a link
 //! 10 ms, after which the on-demand/failover paths carry the traffic.
 //!
+//! Ported to the declarative scenario engine: the whole experiment is
+//! one `ecp_scenario::Scenario` value; this binary only formats output.
+//!
 //! Usage: `--duration 8`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_simnet::{SimConfig, Simulation};
-use ecp_topo::gen::fig3_click;
-use ecp_topo::Path;
-use respons_core::tables::OdPaths;
-use respons_core::{PathTables, TeConfig};
+use ecp_scenario::{
+    run_scenario, EventSpec, LinkRef, MatrixSpec, MetricsSpec, PairsSpec, PowerSpec, ScaleSpec,
+    ScenarioBuilder, SimSpec, TablesSpec,
+};
+use ecp_topo::gen::TopoSpec;
+use ecp_traffic::{Program, Shape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,60 +34,54 @@ struct Out {
 
 fn main() {
     let duration: f64 = arg("duration", 8.0);
-    let (topo, n) = fig3_click();
-    let pm = PowerModel::cisco12000();
 
-    // Tables exactly as the paper describes (Fig. 3): middle always-on,
-    // upper/lower on-demand doubling as failover.
-    let mut tables = PathTables::new();
-    tables.insert(
-        n.a,
-        n.k,
-        OdPaths {
-            always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
-            on_demand: vec![Path::new(vec![n.a, n.d, n.g, n.k])],
-            failover: Path::new(vec![n.a, n.d, n.g, n.k]),
-        },
-    );
-    tables.insert(
-        n.c,
-        n.k,
-        OdPaths {
-            always_on: Path::new(vec![n.c, n.e, n.h, n.k]),
-            on_demand: vec![Path::new(vec![n.c, n.f, n.j, n.k])],
-            failover: Path::new(vec![n.c, n.f, n.j, n.k]),
-        },
-    );
+    let scenario = ScenarioBuilder::new("fig7-click-adaptation")
+        .seed(1)
+        .duration_s(duration)
+        .topology(TopoSpec::Fig3Click)
+        .power(PowerSpec::Cisco12000)
+        .pairs(PairsSpec::Fig3)
+        .tables(TablesSpec::Fig3Paper)
+        // 5 flows x ~0.5 Mbps per source (paper: 10 pps each, ~5 Mbps
+        // total across both sources).
+        .traffic(
+            MatrixSpec::Uniform,
+            ScaleSpec::PerFlowBps { bps: 2.5e6 },
+            Program::from_shape(duration, duration, Shape::Constant { level: 1.0 }),
+        )
+        // Max RTT: 6 hops of 16.67 ms ~ 100 ms -> control interval T.
+        .sim(SimSpec {
+            control_interval_s: 0.1,
+            wake_time_s: 0.01,   // "10 ms to wake up a sleeping link"
+            detect_delay_s: 0.1, // "100 ms for the failure to be detected and propagated"
+            sleep_after_s: 0.2,
+            sample_interval_s: 0.05,
+            te_start_s: 5.0, // "REsPoNseTE starts running at t = 5 s"
+            ..Default::default()
+        })
+        // Pre-TE state: traffic spread over both candidate paths.
+        .initial_shares(vec![0.5, 0.5])
+        // Fail the middle link at t = 5.7 s.
+        .event(EventSpec::LinkFail {
+            at: 5.7,
+            link: LinkRef::ByName {
+                from: "E".into(),
+                to: "H".into(),
+            },
+        })
+        .metrics(MetricsSpec {
+            power_series: false,
+            delivered_series: false,
+            per_path_rates: true,
+        })
+        .build();
 
-    // Max RTT: 6 hops of 16.67 ms ~ 100 ms -> control interval T.
-    let cfg = SimConfig {
-        te: TeConfig::default(),
-        control_interval: 0.1,
-        wake_time: 0.01,   // "10 ms to wake up a sleeping link"
-        detect_delay: 0.1, // "100 ms for the failure to be detected and propagated"
-        sleep_after: 0.2,
-        sample_interval: 0.05,
-        te_start: 5.0, // "REsPoNseTE starts running at t = 5 s"
-    };
-    let mut sim = Simulation::new(&topo, &pm, &tables, cfg);
-    // 5 flows x ~0.5 Mbps per source (paper: 10 pps each, ~5 Mbps total
-    // across both sources).
-    let fa = sim.add_flow(&tables, n.a, n.k, 2.5e6);
-    let fc = sim.add_flow(&tables, n.c, n.k, 2.5e6);
-    // Pre-TE state: traffic spread over both candidate paths.
-    sim.set_shares(fa, vec![0.5, 0.5]);
-    sim.set_shares(fc, vec![0.5, 0.5]);
-
-    // Fail the middle link at t = 5.7 s.
-    let eh = topo.find_arc(n.e, n.h).unwrap();
-    sim.schedule_link_failure(5.7, eh);
-    sim.run_until(duration);
+    let report = run_scenario(&scenario).expect("fig7 scenario runs");
 
     // Extract the three series: middle = sum of always-on paths, upper =
     // A's on-demand, lower = C's on-demand.
-    let rec = sim.recorder();
-    let series: Vec<(f64, f64, f64, f64)> = rec
-        .samples()
+    let samples = report.per_path_samples.as_deref().unwrap_or_default();
+    let series: Vec<(f64, f64, f64, f64)> = samples
         .iter()
         .map(|s| {
             let middle = s.per_flow_path_rates[0][0] + s.per_flow_path_rates[1][0];
@@ -108,7 +105,12 @@ fn main() {
         .filter(|&&(t, ..)| (4.0..=7.0).contains(&t))
         .step_by(2)
         .map(|&(t, m, u, l)| {
-            vec![format!("{t:.2}"), format!("{m:.2}"), format!("{u:.2}"), format!("{l:.2}")]
+            vec![
+                format!("{t:.2}"),
+                format!("{m:.2}"),
+                format!("{u:.2}"),
+                format!("{l:.2}"),
+            ]
         })
         .collect();
     print_table(
@@ -116,7 +118,9 @@ fn main() {
         &["t (s)", "middle", "upper", "lower"],
         &rows,
     );
-    println!("\npaper: consolidation ~200 ms after t=5; failover restores traffic after ~110 ms + RTTs");
+    println!(
+        "\npaper: consolidation ~200 ms after t=5; failover restores traffic after ~110 ms + RTTs"
+    );
     match (consolidated, restored) {
         (Some(c), Some(r)) => println!(
             "measured: consolidated at t={c:.2}s ({:.0} ms after TE start); restored at t={r:.2}s ({:.0} ms after failure)",

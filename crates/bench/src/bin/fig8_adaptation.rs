@@ -8,15 +8,18 @@
 //! The datacenter run tracks even more closely (smaller RTT); on-demand
 //! resources wake at t=30 s.
 //!
+//! Ported to the declarative scenario engine: each sub-figure is one
+//! `ecp_scenario::Scenario`; this binary only formats output.
+//!
 //! Usage: `--steps 5`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_simnet::{FlowId, SimConfig, Simulation};
-use ecp_topo::gen::{fat_tree, pop_access, FatTreeConfig, PopAccessConfig};
-use ecp_topo::{NodeId, Topology};
-use ecp_traffic::{fat_tree_far_pairs, gravity_matrix, sine_series, TrafficMatrix};
-use respons_core::{PathTables, Planner, PlannerConfig, TeConfig};
+use ecp_scenario::{
+    run_scenario, MatrixSpec, MetricsSpec, PairsSpec, PowerSpec, ScaleSpec, Scenario,
+    ScenarioBuilder, SimSpec,
+};
+use ecp_topo::gen::TopoSpec;
+use ecp_traffic::{Program, Shape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,97 +35,104 @@ struct Out {
     fat_tree: RunOut,
 }
 
-/// Run one adaptation experiment: step demands every 30 s per the given
-/// per-step matrices.
-fn run(topo: &Topology, pm: &PowerModel, tables: &PathTables, steps: &[TrafficMatrix]) -> RunOut {
-    let cfg = SimConfig {
-        te: TeConfig::default(),
-        control_interval: 0.5,
-        wake_time: 5.0, // "we set the wake-up time to 5 s"
-        detect_delay: 0.5,
-        sleep_after: 2.0,
-        sample_interval: 0.5,
-        te_start: 0.0,
-    };
-    let mut sim = Simulation::new(topo, pm, tables, cfg);
-    // One flow per OD pair present in any step.
-    let mut flows: Vec<((NodeId, NodeId), FlowId)> = Vec::new();
-    for tm in steps {
-        for d in tm.demands() {
-            if !flows.iter().any(|((o, dd), _)| *o == d.origin && *dd == d.dst) {
-                let f = sim.add_flow(tables, d.origin, d.dst, 0.0);
-                flows.push(((d.origin, d.dst), f));
-            }
-        }
+/// The ns-2 experiment simulator settings shared by both runs.
+fn ns2_sim() -> SimSpec {
+    SimSpec {
+        control_interval_s: 0.5,
+        wake_time_s: 5.0, // "we set the wake-up time to 5 s"
+        detect_delay_s: 0.5,
+        sleep_after_s: 2.0,
+        sample_interval_s: 0.5,
+        te_start_s: 0.0,
+        ..Default::default()
     }
-    for (i, tm) in steps.iter().enumerate() {
-        let t = i as f64 * 30.0;
-        for ((o, d), f) in &flows {
-            sim.schedule_demand(t, *f, tm.get(*o, *d));
-        }
-    }
-    let t_end = steps.len() as f64 * 30.0;
-    sim.run_until(t_end);
+}
 
-    let series: Vec<(f64, f64, f64, f64)> = sim
-        .recorder()
-        .samples()
+/// Run one scenario and convert its report into the figure's series.
+fn run(scenario: &Scenario) -> RunOut {
+    let report = run_scenario(scenario).expect("fig8 scenario runs");
+    let power = report.power_series.as_deref().unwrap_or_default();
+    let delivered = report.delivered_series.as_deref().unwrap_or_default();
+    let series: Vec<(f64, f64, f64, f64)> = delivered
         .iter()
-        .map(|s| (s.t, s.offered_total / 1e6, s.delivered_total / 1e6, s.power_frac))
+        .zip(power)
+        .map(|(&(t, off, del), &(_, pf))| (t, off / 1e6, del / 1e6, pf))
         .collect();
-    // Tracking lag: longest time where delivered < 95% of offered.
-    let mut lag: f64 = 0.0;
-    let mut lag_start: Option<f64> = None;
-    for &(t, off, del, _) in &series {
-        if off > 0.0 && del < 0.95 * off {
-            lag_start.get_or_insert(t);
-        } else if let Some(s) = lag_start.take() {
-            lag = lag.max(t - s);
-        }
+    RunOut {
+        series,
+        max_tracking_lag_s: report.max_tracking_lag_s,
     }
-    RunOut { series, max_tracking_lag_s: lag }
 }
 
 fn main() {
     let steps_n: usize = arg("steps", 5);
+    let t_end = steps_n as f64 * 30.0;
 
     // ---- (a) PoP-access ISP -------------------------------------------
-    let topo = pop_access(&PopAccessConfig::default());
-    let pm = PowerModel::cisco12000();
-    let metros = topo.edge_nodes();
     // Two concurrent far flows per metro so that util-100 exceeds what a
     // single (always-on) metro uplink can carry, forcing on-demand
     // wake-ups at the 50->100 transitions.
-    let mut pairs = Vec::new();
-    for i in 0..metros.len() {
-        pairs.push((metros[i], metros[(i + metros.len() / 2) % metros.len()]));
-        pairs.push((metros[i], metros[(i + metros.len() / 3) % metros.len()]));
-    }
-    let oc = ecp_routing::OracleConfig::default();
-    let vmax = ecp_bench::max_feasible_volume(&topo, &pairs, &oc);
-    // util-50 <-> util-100 alternation (the figure's y-axis labels).
-    let steps_a: Vec<TrafficMatrix> = (0..steps_n)
-        .map(|i| {
-            let frac = if i % 2 == 0 { 0.5 } else { 1.0 };
-            gravity_matrix(&topo, &pairs, vmax * frac * 0.9)
+    let scenario_a = ScenarioBuilder::new("fig8a-pop-access")
+        .seed(1)
+        .duration_s(t_end)
+        .topology(TopoSpec::pop_access_default())
+        .power(PowerSpec::Cisco12000)
+        .pairs(PairsSpec::EdgeOffset {
+            denominators: vec![2, 3],
         })
-        .collect();
-    eprintln!("planning PoP-access tables...");
-    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-    eprintln!("running PoP-access adaptation...");
-    let run_a = run(&topo, &pm, &tables, &steps_a);
+        // util-50 <-> util-100 alternation (the figure's y-axis labels).
+        .traffic(
+            MatrixSpec::Gravity,
+            ScaleSpec::MaxFeasibleFraction { fraction: 0.9 },
+            Program::from_shape(
+                t_end,
+                30.0,
+                Shape::Steps {
+                    levels: vec![0.5, 1.0],
+                    step_s: 30.0,
+                },
+            ),
+        )
+        .sim(ns2_sim())
+        .metrics(MetricsSpec {
+            power_series: true,
+            delivered_series: true,
+            per_path_rates: false,
+        })
+        .build();
+    eprintln!("running PoP-access adaptation scenario...");
+    let run_a = run(&scenario_a);
 
     // ---- (b) FatTree ----------------------------------------------------
-    let (ft, ix) = fat_tree(&FatTreeConfig::default());
-    let pm_dc = PowerModel::commodity_dc();
-    let far = fat_tree_far_pairs(&ix);
-    let sine = sine_series(steps_n, steps_n.max(2), 0.1e9, 0.9e9);
-    let steps_b: Vec<TrafficMatrix> =
-        sine.iter().map(|&v| ecp_traffic::uniform_matrix(&far, v)).collect();
-    eprintln!("planning fat-tree tables...");
-    let tables_b = Planner::new(&ft, &pm_dc).plan_pairs(&PlannerConfig::default(), &far);
-    eprintln!("running fat-tree adaptation...");
-    let run_b = run(&ft, &pm_dc, &tables_b, &steps_b);
+    let scenario_b = ScenarioBuilder::new("fig8b-fat-tree")
+        .seed(1)
+        .duration_s(t_end)
+        .topology(TopoSpec::FatTree { k: 4 })
+        .power(PowerSpec::CommodityDc)
+        .pairs(PairsSpec::FatTreeFar)
+        // Per-flow sine in [0.1, 0.9] Gbps sampled every 30 s.
+        .traffic(
+            MatrixSpec::Uniform,
+            ScaleSpec::PerFlowBps { bps: 1.0 },
+            Program::from_shape(
+                t_end,
+                30.0,
+                Shape::Sine {
+                    period_s: steps_n.max(2) as f64 * 30.0,
+                    lo: 0.1e9,
+                    hi: 0.9e9,
+                },
+            ),
+        )
+        .sim(ns2_sim())
+        .metrics(MetricsSpec {
+            power_series: true,
+            delivered_series: true,
+            per_path_rates: false,
+        })
+        .build();
+    eprintln!("running fat-tree adaptation scenario...");
+    let run_b = run(&scenario_b);
 
     for (name, r) in [("8a PoP-access", &run_a), ("8b FatTree", &run_b)] {
         let rows: Vec<Vec<String>> = r
@@ -143,9 +153,20 @@ fn main() {
             &["t (s)", "demand (Mbps)", "sending (Mbps)", "power"],
             &rows,
         );
-        println!("max tracking lag: {:.1} s (wake-up bound: ~5 s + control rounds)", r.max_tracking_lag_s);
+        println!(
+            "max tracking lag: {:.1} s (wake-up bound: ~5 s + control rounds)",
+            r.max_tracking_lag_s
+        );
     }
-    println!("\npaper: rates match demand within a few RTTs; 5 s stalls only when waking resources");
+    println!(
+        "\npaper: rates match demand within a few RTTs; 5 s stalls only when waking resources"
+    );
 
-    write_json("fig8_adaptation", &Out { pop_access: run_a, fat_tree: run_b });
+    write_json(
+        "fig8_adaptation",
+        &Out {
+            pop_access: run_a,
+            fat_tree: run_b,
+        },
+    );
 }

@@ -64,7 +64,10 @@ fn main() {
     eprintln!("planning REsPoNse-lat tables on Abovenet...");
     let planner = Planner::new(&topo, &pm);
     let t_rep = planner.plan_pairs(
-        &PlannerConfig { beta: Some(0.25), ..Default::default() },
+        &PlannerConfig {
+            beta: Some(0.25),
+            ..Default::default()
+        },
         &pairs,
     );
     let t_inv = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
@@ -78,7 +81,10 @@ fn main() {
         sample_interval: 0.5,
         te_start: 0.0,
     };
-    let stream_cfg = StreamingConfig { duration, ..Default::default() };
+    let stream_cfg = StreamingConfig {
+        duration,
+        ..Default::default()
+    };
 
     let mut stats: Vec<Vec<f64>> = vec![Vec::new(); 4]; // replat50 inv50 replat100 inv100
     let mut lat_rep = Vec::new();
@@ -92,16 +98,27 @@ fn main() {
         let mut placement: Vec<(NodeId, f64)> = (0..clients_n)
             .map(|_| (others[rng.gen_range(0..others.len())], 0.0))
             .collect();
-        placement
-            .extend((0..clients_n).map(|_| (others[rng.gen_range(0..others.len())], duration / 2.0)));
+        placement.extend(
+            (0..clients_n).map(|_| (others[rng.gen_range(0..others.len())], duration / 2.0)),
+        );
 
         for (tables, s50, s100, lat_sink, pow_sink) in [
             (&t_rep, 0usize, 2usize, &mut lat_rep, &mut pow_rep),
             (&t_inv, 1, 3, &mut lat_inv, &mut pow_inv),
         ] {
-            eprintln!("run {run}: streaming over {} tables...", if s50 == 0 { "REsPoNse-lat" } else { "InvCap" });
-            let res =
-                run_streaming(&topo, &pm, tables, server, &placement, &stream_cfg, &sim_cfg);
+            eprintln!(
+                "run {run}: streaming over {} tables...",
+                if s50 == 0 { "REsPoNse-lat" } else { "InvCap" }
+            );
+            let res = run_streaming(
+                &topo,
+                &pm,
+                tables,
+                server,
+                &placement,
+                &stream_cfg,
+                &sim_cfg,
+            );
             // 50-client level: only first-wave clients, judged over the
             // whole run... paper plots per-phase; approximate by early
             // joiners vs all.

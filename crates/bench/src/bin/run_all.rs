@@ -12,48 +12,113 @@ fn main() {
         ("fig1a_traffic_deviation", vec![]),
         (
             "fig1b_recomputation_rate",
-            if fast { vec!["--days", "2", "--pairs", "80"] } else { vec![] },
+            if fast {
+                vec!["--days", "2", "--pairs", "80"]
+            } else {
+                vec![]
+            },
         ),
         (
             "fig2a_config_dominance",
-            if fast { vec!["--days", "2", "--pairs", "80"] } else { vec![] },
+            if fast {
+                vec!["--days", "2", "--pairs", "80"]
+            } else {
+                vec![]
+            },
         ),
         (
             "fig2b_critical_paths",
             if fast {
-                vec!["--geant-days", "2", "--dc-days", "2", "--pairs", "60", "--fat-k", "6"]
+                vec![
+                    "--geant-days",
+                    "2",
+                    "--dc-days",
+                    "2",
+                    "--pairs",
+                    "60",
+                    "--fat-k",
+                    "6",
+                ]
             } else {
                 vec![]
             },
         ),
         ("fig4_fattree_sine", vec![]),
-        ("fig5_geant_replay", if fast { vec!["--days", "2", "--pairs", "80"] } else { vec![] }),
-        ("fig6_genuity_utilization", if fast { vec!["--pairs", "80"] } else { vec![] }),
+        (
+            "fig5_geant_replay",
+            if fast {
+                vec!["--days", "2", "--pairs", "80"]
+            } else {
+                vec![]
+            },
+        ),
+        (
+            "fig6_genuity_utilization",
+            if fast { vec!["--pairs", "80"] } else { vec![] },
+        ),
         ("fig7_click_adaptation", vec![]),
         ("fig8_adaptation", vec![]),
         (
             "fig9_streaming",
-            if fast { vec!["--clients", "20", "--duration", "60", "--runs", "2"] } else { vec![] },
+            if fast {
+                vec!["--clients", "20", "--duration", "60", "--runs", "2"]
+            } else {
+                vec![]
+            },
         ),
-        ("text_web_latency", if fast { vec!["--requests", "10"] } else { vec![] }),
-        ("text_alwayson_capacity", if fast { vec!["--pairs", "60"] } else { vec![] }),
-        ("text_failover_coverage", if fast { vec!["--pairs", "60"] } else { vec![] }),
+        (
+            "text_web_latency",
+            if fast {
+                vec!["--requests", "10"]
+            } else {
+                vec![]
+            },
+        ),
+        (
+            "text_alwayson_capacity",
+            if fast { vec!["--pairs", "60"] } else { vec![] },
+        ),
+        (
+            "text_failover_coverage",
+            if fast { vec!["--pairs", "60"] } else { vec![] },
+        ),
         (
             "text_peak_provisioning",
-            if fast { vec!["--days", "3", "--pairs", "60"] } else { vec![] },
+            if fast {
+                vec!["--days", "3", "--pairs", "60"]
+            } else {
+                vec![]
+            },
         ),
         (
             "extension_replan_trigger",
-            if fast { vec!["--days", "6", "--pairs", "60"] } else { vec![] },
+            if fast {
+                vec!["--days", "6", "--pairs", "60"]
+            } else {
+                vec![]
+            },
         ),
         ("extension_packet_latency", vec![]),
         ("extension_opportunistic_sleep", vec![]),
-        ("ablation_stress_exclusion", if fast { vec!["--pairs", "60"] } else { vec![] }),
-        ("ablation_num_paths", if fast { vec!["--pairs", "60"] } else { vec![] }),
-        ("ablation_beta_latency", if fast { vec!["--pairs", "60"] } else { vec![] }),
+        (
+            "ablation_stress_exclusion",
+            if fast { vec!["--pairs", "60"] } else { vec![] },
+        ),
+        (
+            "ablation_num_paths",
+            if fast { vec!["--pairs", "60"] } else { vec![] },
+        ),
+        (
+            "ablation_beta_latency",
+            if fast { vec!["--pairs", "60"] } else { vec![] },
+        ),
         (
             "ablation_threshold",
-            if fast { vec!["--pairs", "60", "--days", "1"] } else { vec![] },
+            if fast {
+                vec!["--pairs", "60", "--days", "1"]
+            } else {
+                vec![]
+            },
         ),
     ];
 

@@ -32,7 +32,10 @@ fn main() {
     let pm = PowerModel::cisco12000();
     let pairs = random_od_pairs(&topo, pairs_n, seed);
     let base = gravity_matrix(&topo, &pairs, 1e9);
-    let te = TeConfig { threshold: 1.0, ..Default::default() };
+    let te = TeConfig {
+        threshold: 1.0,
+        ..Default::default()
+    };
 
     eprintln!("planning...");
     let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);

@@ -56,7 +56,12 @@ fn main() {
     }
     print_table(
         "Single-link-failure coverage of planner output (3 paths per pair)",
-        &["topology", "survivable (pair,link) combos", "fully protected pairs", "critical links"],
+        &[
+            "topology",
+            "survivable (pair,link) combos",
+            "fully protected pairs",
+            "critical links",
+        ],
         &rows,
     );
     println!("\npaper: a single failover path deals with the vast majority of failures");

@@ -72,24 +72,42 @@ fn main() {
     thermal.heat_capacity_j_per_c = thermal.cooling_w_per_c * 2700.0;
     let start = thermal.steady_temp(typical);
     let budget_h = thermal.time_to_limit(start, peak_power) / 3600.0;
-    let series: Vec<(f64, f64)> =
-        power_series.iter().map(|&p| (trace.interval_s, p)).collect();
+    let series: Vec<(f64, f64)> = power_series
+        .iter()
+        .map(|&p| (trace.interval_s, p))
+        .collect();
     let (peak_temp, violated) = thermal.simulate(start, &series);
 
     print_table(
         "Peak provisioning analysis (GEANT-like replay, REsPoNse tables)",
         &["metric", "value"],
         &[
-            vec!["traffic peaks (>90% of max)".into(), peaks.len().to_string()],
+            vec![
+                "traffic peaks (>90% of max)".into(),
+                peaks.len().to_string(),
+            ],
             vec!["mean peak duration".into(), format!("{mean_h:.2} h")],
             vec!["max peak duration".into(), format!("{max_h:.2} h")],
-            vec!["typical (median) power".into(), format!("{:.1} kW", typical / 1e3)],
-            vec!["highest power".into(), format!("{:.1} kW", peak_power / 1e3)],
+            vec![
+                "typical (median) power".into(),
+                format!("{:.1} kW", typical / 1e3),
+            ],
+            vec![
+                "highest power".into(),
+                format!("{:.1} kW", peak_power / 1e3),
+            ],
             vec![
                 "thermal budget at highest power".into(),
-                if budget_h.is_finite() { format!("{budget_h:.2} h") } else { "unlimited".into() },
+                if budget_h.is_finite() {
+                    format!("{budget_h:.2} h")
+                } else {
+                    "unlimited".into()
+                },
             ],
-            vec!["peak temperature over replay".into(), format!("{peak_temp:.1} C")],
+            vec![
+                "peak temperature over replay".into(),
+                format!("{peak_temp:.1} C"),
+            ],
             vec!["limit exceeded".into(), violated.to_string()],
         ],
     );

@@ -53,7 +53,11 @@ fn main() {
     let t_rep = Planner::new(&topo, &pm).plan(&PlannerConfig::default());
     let t_inv = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
 
-    let cfg = WebConfig { requests_per_client: requests, seed, ..Default::default() };
+    let cfg = WebConfig {
+        requests_per_client: requests,
+        seed,
+        ..Default::default()
+    };
     let sim_cfg = SimConfig {
         te: TeConfig::default(),
         control_interval: 0.1,

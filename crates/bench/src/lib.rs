@@ -16,12 +16,12 @@
 //! cargo run --release -p ecp-bench --bin run_all
 //! ```
 
-use ecp_routing::oracle::OracleConfig;
-use ecp_routing::place_flows;
-use ecp_topo::{NodeId, Topology};
-use ecp_traffic::{gravity_matrix, TrafficMatrix};
 use serde::Serialize;
 use std::path::PathBuf;
+
+// Capacity probing moved into `ecp-routing` so the scenario engine can
+// use it; re-exported here for the experiment binaries.
+pub use ecp_routing::capacity::{gravity_at_utilization, max_feasible_volume};
 
 /// Parse `--name value` from argv; fall back to `default`.
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -83,65 +83,12 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
-/// The paper's max-load scaling procedure (§5.1): "we first compute the
-/// maximum traffic load as the traffic volume that the optimal routing
-/// can accommodate if the gravity-determined proportions are kept. We do
-/// this by incrementally increasing the traffic demand by 10% up to a
-/// point where CPLEX cannot find a routing" — our oracle plays CPLEX's
-/// role. Returns the total volume marking 100% load.
-pub fn max_feasible_volume(
-    topo: &Topology,
-    od_pairs: &[(NodeId, NodeId)],
-    oracle: &OracleConfig,
-) -> f64 {
-    let start = topo.total_capacity() * 0.01;
-    let base = gravity_matrix(topo, od_pairs, start);
-    // Find an infeasible upper bound by +10% steps.
-    let feasible = |v: f64| -> bool {
-        let tm = base.scaled(v / start);
-        place_flows(topo, None, &tm, oracle).is_some()
-    };
-    let mut volume = start;
-    if !feasible(volume) {
-        // Even 1% of capacity is too much; shrink instead.
-        while volume > 1.0 && !feasible(volume) {
-            volume /= 2.0;
-        }
-        return volume;
-    }
-    let mut hi = volume;
-    while feasible(hi) {
-        hi *= 1.1;
-    }
-    let mut lo = hi / 1.1;
-    // Refine a little for stable results.
-    for _ in 0..10 {
-        let mid = 0.5 * (lo + hi);
-        if feasible(mid) {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    lo
-}
-
-/// Gravity matrix at a percentage of the maximum feasible load.
-pub fn gravity_at_utilization(
-    topo: &Topology,
-    od_pairs: &[(NodeId, NodeId)],
-    oracle: &OracleConfig,
-    util_percent: f64,
-) -> TrafficMatrix {
-    let max = max_feasible_volume(topo, od_pairs, oracle);
-    gravity_matrix(topo, od_pairs, max * util_percent / 100.0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ecp_routing::{place_flows, OracleConfig};
     use ecp_topo::gen::geant;
-    use ecp_traffic::random_od_pairs;
+    use ecp_traffic::{gravity_matrix, random_od_pairs};
 
     #[test]
     fn max_feasible_volume_is_tight() {
@@ -151,7 +98,10 @@ mod tests {
         let v = max_feasible_volume(&t, &pairs, &oc);
         assert!(v > 0.0);
         let at_100 = gravity_matrix(&t, &pairs, v);
-        assert!(place_flows(&t, None, &at_100, &oc).is_some(), "100% is feasible");
+        assert!(
+            place_flows(&t, None, &at_100, &oc).is_some(),
+            "100% is feasible"
+        );
         let beyond = gravity_matrix(&t, &pairs, v * 1.25);
         assert!(place_flows(&t, None, &beyond, &oc).is_none(), "125% is not");
     }

@@ -105,7 +105,11 @@ mod tests {
         TrafficMatrix::new(
             pairs
                 .iter()
-                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .map(|&(o, d, r)| Demand {
+                    origin: NodeId(o),
+                    dst: NodeId(d),
+                    rate: r,
+                })
                 .collect(),
         )
     }
@@ -153,7 +157,11 @@ mod tests {
             &tm(&[(0, 1, 10.0), (2, 3, 10.0)]),
             1.0,
         );
-        u.record(&rs(&[vec![0, 4, 1], vec![2, 3]]), &tm(&[(0, 1, 10.0), (2, 3, 10.0)]), 1.0);
+        u.record(
+            &rs(&[vec![0, 4, 1], vec![2, 3]]),
+            &tm(&[(0, 1, 10.0), (2, 3, 10.0)]),
+            1.0,
+        );
         // pair (0,1): 2 paths 50/50; pair (2,3): 1 path.
         // coverage(1) = (10 + 20) / 40 = 0.75
         assert!((u.coverage(1) - 0.75).abs() < 1e-12);

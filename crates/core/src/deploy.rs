@@ -29,7 +29,10 @@ pub struct DeviceLimits {
 
 impl Default for DeviceLimits {
     fn default() -> Self {
-        DeviceLimits { tunnels_per_router: 600, tables_per_pair: usize::MAX }
+        DeviceLimits {
+            tunnels_per_router: 600,
+            tables_per_pair: usize::MAX,
+        }
     }
 }
 
@@ -55,7 +58,11 @@ pub fn tunnel_usage(tables: &PathTables, limits: &DeviceLimits) -> DeploymentRep
     let mut per_router: Vec<(NodeId, usize)> = per.into_iter().collect();
     per_router.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let max_tunnels = per_router.first().map(|&(_, c)| c).unwrap_or(0);
-    DeploymentReport { per_router, max_tunnels, fits: max_tunnels <= limits.tunnels_per_router }
+    DeploymentReport {
+        per_router,
+        max_tunnels,
+        fits: max_tunnels <= limits.tunnels_per_router,
+    }
 }
 
 /// Trim the tables to fit the device limits, keeping "the most important
@@ -100,10 +107,7 @@ pub fn deploy_most_important(
 
     for (_, idxs) in by_origin {
         let budget = limits.tunnels_per_router;
-        let mut count: usize = idxs
-            .iter()
-            .map(|&i| distinct_tunnels(&working[i].1))
-            .sum();
+        let mut count: usize = idxs.iter().map(|&i| distinct_tunnels(&working[i].1)).sum();
         if count <= budget {
             continue;
         }
@@ -196,20 +200,33 @@ mod tests {
         let untrimmed = tunnel_usage(&tables, &DeviceLimits::default());
         let max_pairs_per_origin = tables
             .iter()
-            .fold(std::collections::BTreeMap::<NodeId, usize>::new(), |mut m, (&(o, _), _)| {
-                *m.entry(o).or_insert(0) += 1;
-                m
-            })
+            .fold(
+                std::collections::BTreeMap::<NodeId, usize>::new(),
+                |mut m, (&(o, _), _)| {
+                    *m.entry(o).or_insert(0) += 1;
+                    m
+                },
+            )
             .values()
             .copied()
             .max()
             .unwrap();
         let budget = max_pairs_per_origin + 3;
-        assert!(budget < untrimmed.max_tunnels, "test premise: trimming needed");
-        let limits = DeviceLimits { tunnels_per_router: budget, tables_per_pair: usize::MAX };
+        assert!(
+            budget < untrimmed.max_tunnels,
+            "test premise: trimming needed"
+        );
+        let limits = DeviceLimits {
+            tunnels_per_router: budget,
+            tables_per_pair: usize::MAX,
+        };
         let trimmed = deploy_most_important(&tables, &limits, &typical);
         let rep = tunnel_usage(&trimmed, &limits);
-        assert!(rep.fits, "trimming must reach the budget: {}", rep.max_tunnels);
+        assert!(
+            rep.fits,
+            "trimming must reach the budget: {}",
+            rep.max_tunnels
+        );
         // Connectivity survives: every pair still has its always-on path.
         assert_eq!(trimmed.len(), tables.len());
         for (&(o, d), od) in trimmed.iter() {
@@ -230,7 +247,10 @@ mod tests {
         if pairs_of.len() >= 2 {
             let least = distinct_tunnels(pairs_of.first().unwrap().1);
             let most = distinct_tunnels(pairs_of.last().unwrap().1);
-            assert!(most >= least, "important pairs keep at least as many tables");
+            assert!(
+                most >= least,
+                "important pairs keep at least as many tables"
+            );
         }
     }
 
@@ -239,7 +259,10 @@ mod tests {
         // DTR supports two tables: always-on + one more.
         let (t, tables, pairs) = planned();
         let typical = gravity_matrix(&t, &pairs, 1e9);
-        let limits = DeviceLimits { tunnels_per_router: usize::MAX, tables_per_pair: 2 };
+        let limits = DeviceLimits {
+            tunnels_per_router: usize::MAX,
+            tables_per_pair: 2,
+        };
         let trimmed = deploy_most_important(&tables, &limits, &typical);
         for (_, od) in trimmed.iter() {
             assert!(distinct_tunnels(od) <= 2, "DTR allows only two tables");

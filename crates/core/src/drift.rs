@@ -98,7 +98,11 @@ pub struct DriftDetector {
 impl DriftDetector {
     /// New detector.
     pub fn new(cfg: DriftConfig) -> Self {
-        DriftDetector { cfg, congested: VecDeque::new(), spilled: VecDeque::new() }
+        DriftDetector {
+            cfg,
+            congested: VecDeque::new(),
+            spilled: VecDeque::new(),
+        }
     }
 
     /// Feed one interval's observation.
@@ -191,7 +195,10 @@ mod tests {
     }
 
     fn detector(window: usize) -> DriftDetector {
-        DriftDetector::new(DriftConfig { window, ..Default::default() })
+        DriftDetector::new(DriftConfig {
+            window,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -246,7 +253,9 @@ mod tests {
         }
         match d.demand_advice() {
             ReplanAdvice::Replan(rs) => {
-                assert!(rs.iter().any(|r| matches!(r, ReplanReason::AlwaysOnOutgrown { .. })));
+                assert!(rs
+                    .iter()
+                    .any(|r| matches!(r, ReplanReason::AlwaysOnOutgrown { .. })));
             }
             ReplanAdvice::Keep => panic!("100% spill must trigger"),
         }
@@ -280,7 +289,9 @@ mod tests {
         let other = ecp_topo::gen::ring(23, 1e6, 1e-3);
         match d.topology_advice(&other, &tables) {
             ReplanAdvice::Replan(rs) => {
-                assert!(rs.iter().any(|r| matches!(r, ReplanReason::BrokenPaths { .. })));
+                assert!(rs
+                    .iter()
+                    .any(|r| matches!(r, ReplanReason::BrokenPaths { .. })));
             }
             ReplanAdvice::Keep => panic!("foreign topology must break paths"),
         }

@@ -28,7 +28,6 @@ use ecp_topo::algo::{link_disjoint_path, shortest_path, shortest_path_bounded};
 use ecp_topo::{ActiveSet, ArcId, NodeId, Path, Topology};
 use ecp_traffic::TrafficMatrix;
 
-
 /// How on-demand tables are computed (§4.2).
 #[derive(Debug, Clone)]
 pub enum OnDemandStrategy {
@@ -80,10 +79,39 @@ impl Default for PlannerConfig {
         PlannerConfig {
             num_paths: 3,
             beta: None,
-            strategy: OnDemandStrategy::StressFactor { exclude_fraction: 0.2 },
+            strategy: OnDemandStrategy::StressFactor {
+                exclude_fraction: 0.2,
+            },
             offpeak: None,
             oracle: OracleConfig::default(),
         }
+    }
+}
+
+impl PlannerConfig {
+    /// Builder-style `num_paths` override (grid sweeps).
+    pub fn with_num_paths(mut self, num_paths: usize) -> Self {
+        self.num_paths = num_paths;
+        self
+    }
+
+    /// Builder-style latency-slack override; `None` disables the bound.
+    pub fn with_beta(mut self, beta: Option<f64>) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Builder-style oracle safety-margin override (the paper's `sm`).
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.oracle.margin = margin;
+        self
+    }
+
+    /// Builder-style stress-exclusion override; only meaningful with the
+    /// stress-factor on-demand strategy.
+    pub fn with_exclude_fraction(mut self, exclude_fraction: f64) -> Self {
+        self.strategy = OnDemandStrategy::StressFactor { exclude_fraction };
+        self
     }
 }
 
@@ -181,8 +209,10 @@ impl<'a> Planner<'a> {
         let rounds = cfg.num_paths - 2;
         let mut on_demand: Vec<Vec<(NodeId, NodeId, Path)>> = Vec::new();
         // Path sets accumulated so far (per pair), used for stress.
-        let mut assigned: Vec<(NodeId, NodeId, Vec<Path>)> =
-            always_on.iter().map(|(o, d, p)| (*o, *d, vec![p.clone()])).collect();
+        let mut assigned: Vec<(NodeId, NodeId, Vec<Path>)> = always_on
+            .iter()
+            .map(|(o, d, p)| (*o, *d, vec![p.clone()]))
+            .collect();
 
         for round in 0..rounds {
             let table: Vec<(NodeId, NodeId, Path)> = match &cfg.strategy {
@@ -272,10 +302,20 @@ impl<'a> Planner<'a> {
             let od: Vec<Path> = on_demand
                 .iter()
                 .filter_map(|t| {
-                    t.iter().find(|(to, td, _)| to == o && td == d).map(|(_, _, p)| p.clone())
+                    t.iter()
+                        .find(|(to, td, _)| to == o && td == d)
+                        .map(|(_, _, p)| p.clone())
                 })
                 .collect();
-            tables.insert(*o, *d, OdPaths { always_on: aon.clone(), on_demand: od, failover });
+            tables.insert(
+                *o,
+                *d,
+                OdPaths {
+                    always_on: aon.clone(),
+                    on_demand: od,
+                    failover,
+                },
+            );
         }
         tables
     }
@@ -292,7 +332,11 @@ impl<'a> Planner<'a> {
         let eps_tm = TrafficMatrix::new(
             od_pairs
                 .iter()
-                .map(|&(o, d)| ecp_traffic::Demand { origin: o, dst: d, rate: 1.0 })
+                .map(|&(o, d)| ecp_traffic::Demand {
+                    origin: o,
+                    dst: d,
+                    rate: 1.0,
+                })
                 .collect(),
         );
         if let Some(r) = optimal_subset(self.topo, self.power, &eps_tm, &OracleConfig::default()) {
@@ -458,7 +502,10 @@ impl<'a> Planner<'a> {
         let topo = self.topo;
         let mut demands = peak.demands().to_vec();
         demands.sort_by(|a, b| b.rate.partial_cmp(&a.rate).unwrap());
-        let cap: Vec<f64> = topo.arc_ids().map(|a| topo.arc(a).capacity * oracle.margin).collect();
+        let cap: Vec<f64> = topo
+            .arc_ids()
+            .map(|a| topo.arc(a).capacity * oracle.margin)
+            .collect();
         let mut load = vec![0.0; topo.arc_count()];
         let mut grown = on.clone();
         let mut out: Vec<(NodeId, NodeId, Path)> = Vec::new();
@@ -628,7 +675,10 @@ mod tests {
         let pm = PowerModel::cisco12000();
         let pairs = random_od_pairs(&t, 120, 5);
         let beta = 0.25;
-        let cfg = PlannerConfig { beta: Some(beta), ..Default::default() };
+        let cfg = PlannerConfig {
+            beta: Some(beta),
+            ..Default::default()
+        };
         let tables = Planner::new(&t, &pm).plan_pairs(&cfg, &pairs);
         let w = invcap_weight(&t);
         let mut violations = 0;
@@ -648,12 +698,18 @@ mod tests {
         let pairs = random_od_pairs(&t, 120, 5);
         let plain = Planner::new(&t, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
         let lat = Planner::new(&t, &pm).plan_pairs(
-            &PlannerConfig { beta: Some(0.25), ..Default::default() },
+            &PlannerConfig {
+                beta: Some(0.25),
+                ..Default::default()
+            },
             &pairs,
         );
         let p_plain = pm.network_power(&t, &plain.always_on_active(&t));
         let p_lat = pm.network_power(&t, &lat.always_on_active(&t));
-        assert!(p_lat >= p_plain - 1e-6, "latency bound can only add elements");
+        assert!(
+            p_lat >= p_plain - 1e-6,
+            "latency bound can only add elements"
+        );
     }
 
     #[test]
@@ -666,7 +722,12 @@ mod tests {
         // always-on (that is the whole point of extra capacity).
         let distinct = tables
             .iter()
-            .filter(|(_, p)| p.on_demand.first().map(|od| od != &p.always_on).unwrap_or(false))
+            .filter(|(_, p)| {
+                p.on_demand
+                    .first()
+                    .map(|od| od != &p.always_on)
+                    .unwrap_or(false)
+            })
             .count();
         assert!(
             distinct as f64 > 0.3 * tables.len() as f64,
@@ -679,7 +740,10 @@ mod tests {
     fn more_paths_more_tables() {
         let (t, pairs, n) = fig3_pairs();
         let pm = PowerModel::cisco12000();
-        let cfg = PlannerConfig { num_paths: 4, ..Default::default() };
+        let cfg = PlannerConfig {
+            num_paths: 4,
+            ..Default::default()
+        };
         let tables = Planner::new(&t, &pm).plan_pairs(&cfg, &pairs);
         assert_eq!(tables.get(n.a, n.k).unwrap().on_demand.len(), 2);
         assert_eq!(tables.get(n.a, n.k).unwrap().num_paths(), 4);
@@ -690,7 +754,10 @@ mod tests {
         let t = geant();
         let pm = PowerModel::cisco12000();
         let pairs = random_od_pairs(&t, 60, 11);
-        let cfg = PlannerConfig { strategy: OnDemandStrategy::Ospf, ..Default::default() };
+        let cfg = PlannerConfig {
+            strategy: OnDemandStrategy::Ospf,
+            ..Default::default()
+        };
         let tables = Planner::new(&t, &pm).plan_pairs(&cfg, &pairs);
         let w = invcap_weight(&t);
         for (&(o, d), p) in tables.iter() {
@@ -735,7 +802,10 @@ mod tests {
         let pm = PowerModel::cisco12000();
         let pairs = random_od_pairs(&t, 60, 19);
         let dlow = gravity_matrix(&t, &pairs, 5e8);
-        let cfg = PlannerConfig { offpeak: Some(dlow.clone()), ..Default::default() };
+        let cfg = PlannerConfig {
+            offpeak: Some(dlow.clone()),
+            ..Default::default()
+        };
         let tables = Planner::new(&t, &pm).plan_pairs(&cfg, &pairs);
         assert_eq!(tables.len(), pairs.len());
         // The always-on subset must actually carry d_low.
@@ -753,7 +823,10 @@ mod tests {
         let pairs = random_od_pairs(&t, 100, 23);
         let tables = Planner::new(&t, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
         let frac = tables.failover_disjoint_fraction(&t);
-        assert!(frac > 0.6, "GEANT redundancy allows mostly-disjoint failover: {frac}");
+        assert!(
+            frac > 0.6,
+            "GEANT redundancy allows mostly-disjoint failover: {frac}"
+        );
     }
 
     #[test]
@@ -768,7 +841,8 @@ mod tests {
         assert_eq!(top.len(), 2);
         for l in &top {
             let arc = t.arc(*l);
-            let on_middle = [n.e, n.h, n.k].contains(&arc.src) || [n.e, n.h, n.k].contains(&arc.dst);
+            let on_middle =
+                [n.e, n.h, n.k].contains(&arc.src) || [n.e, n.h, n.k].contains(&arc.dst);
             assert!(on_middle, "stressed links lie on the shared middle path");
         }
     }

@@ -58,7 +58,10 @@ impl ReplayReport {
         if self.points.is_empty() {
             return 0.0;
         }
-        self.points.iter().filter(|p| p.placed_fraction < 1.0 - 1e-9).count() as f64
+        self.points
+            .iter()
+            .filter(|p| p.placed_fraction < 1.0 - 1e-9)
+            .count() as f64
             / self.points.len() as f64
     }
 }
@@ -160,8 +163,7 @@ pub fn steady_state_replay(
         .iter()
         .enumerate()
         .map(|(i, tm)| {
-            let (active, placed_fraction, max_util, spilled) =
-                place_matrix(topo, tables, tm, te);
+            let (active, placed_fraction, max_util, spilled) = place_matrix(topo, tables, tm, te);
             let power_w = power.network_power(topo, &active);
             ReplayPoint {
                 t: i as f64 * trace.interval_s,
@@ -173,7 +175,10 @@ pub fn steady_state_replay(
             }
         })
         .collect();
-    ReplayReport { interval_s: trace.interval_s, points }
+    ReplayReport {
+        interval_s: trace.interval_s,
+        points,
+    }
 }
 
 /// Maximum total volume (at fixed matrix proportions) the tables can
@@ -239,15 +244,23 @@ mod tests {
     fn setup() -> (Topology, PathTables, ecp_topo::gen::Fig3Nodes, PowerModel) {
         let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
         let pm = PowerModel::cisco12000();
-        let tables = Planner::new(&t, &pm)
-            .plan_pairs(&PlannerConfig::default(), &[(n.a, n.k), (n.c, n.k)]);
+        let tables =
+            Planner::new(&t, &pm).plan_pairs(&PlannerConfig::default(), &[(n.a, n.k), (n.c, n.k)]);
         (t, tables, n, pm)
     }
 
     fn tmix(n: &ecp_topo::gen::Fig3Nodes, ra: f64, rc: f64) -> TrafficMatrix {
         TrafficMatrix::new(vec![
-            Demand { origin: n.a, dst: n.k, rate: ra },
-            Demand { origin: n.c, dst: n.k, rate: rc },
+            Demand {
+                origin: n.a,
+                dst: n.k,
+                rate: ra,
+            },
+            Demand {
+                origin: n.c,
+                dst: n.k,
+                rate: rc,
+            },
         ])
     }
 
@@ -269,7 +282,10 @@ mod tests {
         let te = TeConfig::default();
         // 8 + 8 Mbps cannot share one 10 Mbps middle link at 90%.
         let (active, placed, _, spilled) = place_matrix(&t, &tables, &tmix(&n, 8e6, 8e6), &te);
-        assert!((placed - 1.0).abs() < 1e-9, "on-demand capacity absorbs the peak");
+        assert!(
+            (placed - 1.0).abs() < 1e-9,
+            "on-demand capacity absorbs the peak"
+        );
         assert!(spilled >= 1);
         let aon = tables.always_on_active(&t);
         assert!(active.nodes_on_count() > aon.nodes_on_count());
@@ -282,7 +298,10 @@ mod tests {
         // 2 x 20 Mbps >> total capacity toward K (3 x 10 Mbps links).
         let (_, placed, max_util, _) = place_matrix(&t, &tables, &tmix(&n, 20e6, 20e6), &te);
         assert!(placed < 1.0);
-        assert!(max_util > 1.0, "spill rule pushes past capacity: {max_util}");
+        assert!(
+            max_util > 1.0,
+            "spill rule pushes past capacity: {max_util}"
+        );
     }
 
     #[test]
@@ -292,16 +311,18 @@ mod tests {
         let trace = Trace {
             name: "updown".into(),
             interval_s: 60.0,
-            matrices: vec![
-                tmix(&n, 1e6, 1e6),
-                tmix(&n, 8e6, 8e6),
-                tmix(&n, 1e6, 1e6),
-            ],
+            matrices: vec![tmix(&n, 1e6, 1e6), tmix(&n, 8e6, 8e6), tmix(&n, 1e6, 1e6)],
         };
         let rep = steady_state_replay(&t, &pm, &tables, &trace, &te);
         assert_eq!(rep.points.len(), 3);
-        assert!(rep.points[1].power_w > rep.points[0].power_w, "peak wakes elements");
-        assert!((rep.points[2].power_w - rep.points[0].power_w).abs() < 1e-6, "returns to sleep");
+        assert!(
+            rep.points[1].power_w > rep.points[0].power_w,
+            "peak wakes elements"
+        );
+        assert!(
+            (rep.points[2].power_w - rep.points[0].power_w).abs() < 1e-6,
+            "returns to sleep"
+        );
         assert_eq!(rep.congested_fraction(), 0.0);
         assert!(rep.mean_power_fraction() < 1.0);
     }
@@ -309,7 +330,10 @@ mod tests {
     #[test]
     fn always_on_supports_roughly_half_of_full_tables() {
         let (t, tables, n, _) = setup();
-        let te = TeConfig { threshold: 1.0, ..Default::default() };
+        let te = TeConfig {
+            threshold: 1.0,
+            ..Default::default()
+        };
         let base = tmix(&n, 1e6, 1e6);
         let only_aon = max_supported_scale(&t, &tables, &base, &te, 1);
         let all = max_supported_scale(&t, &tables, &base, &te, 3);
@@ -318,7 +342,10 @@ mod tests {
         // base -> scale 5 if shared, capped by the shared E-H link);
         // full tables give each source its own branch (scale 10).
         let ratio = only_aon / all;
-        assert!((0.3..=0.7).contains(&ratio), "always-on carries ~half: {ratio}");
+        assert!(
+            (0.3..=0.7).contains(&ratio),
+            "always-on carries ~half: {ratio}"
+        );
     }
 
     #[test]
@@ -328,7 +355,11 @@ mod tests {
             &t,
             &pm,
             &tables,
-            &Trace { name: "e".into(), interval_s: 1.0, matrices: vec![] },
+            &Trace {
+                name: "e".into(),
+                interval_s: 1.0,
+                matrices: vec![],
+            },
             &TeConfig::default(),
         );
         assert!(rep.points.is_empty());

@@ -53,8 +53,7 @@ pub fn single_link_failure_coverage(topo: &Topology, tables: &PathTables) -> Res
             .map(|p| {
                 p.arcs(topo)
                     .map(|arcs| {
-                        let mut ls: Vec<ArcId> =
-                            arcs.iter().map(|&a| topo.link_of(a)).collect();
+                        let mut ls: Vec<ArcId> = arcs.iter().map(|&a| topo.link_of(a)).collect();
                         ls.sort_unstable();
                         ls.dedup();
                         ls
@@ -136,9 +135,17 @@ mod tests {
             },
         );
         let rep = single_link_failure_coverage(&t, &pt);
-        assert_eq!(rep.coverage(), 0.0, "identical paths: no failure survivable");
+        assert_eq!(
+            rep.coverage(),
+            0.0,
+            "identical paths: no failure survivable"
+        );
         assert_eq!(rep.pairs_fully_protected, 0.0);
-        assert_eq!(rep.critical_links.len(), 3, "each of the 3 links is critical");
+        assert_eq!(
+            rep.critical_links.len(),
+            3,
+            "each of the 3 links is critical"
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl<'de> Deserialize<'de> for PathTables {
 impl PathTables {
     /// Empty tables.
     pub fn new() -> Self {
-        PathTables { tables: BTreeMap::new() }
+        PathTables {
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Install the paths of one OD pair.

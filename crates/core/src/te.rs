@@ -30,7 +30,7 @@ pub struct PathView {
 }
 
 /// REsPoNseTE configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TeConfig {
     /// Target maximum link utilization (the ISP's SLO knob; activating
     /// on-demand paths *sooner* than saturation, §4.4).
@@ -45,7 +45,11 @@ pub struct TeConfig {
 
 impl Default for TeConfig {
     fn default() -> Self {
-        TeConfig { threshold: 0.9, step: 0.7, min_share: 1e-3 }
+        TeConfig {
+            threshold: 0.9,
+            step: 0.7,
+            min_share: 1e-3,
+        }
     }
 }
 
@@ -161,11 +165,17 @@ mod tests {
     use super::*;
 
     fn up(headroom: f64) -> PathView {
-        PathView { headroom, available: true }
+        PathView {
+            headroom,
+            available: true,
+        }
     }
 
     fn down() -> PathView {
-        PathView { headroom: 0.0, available: false }
+        PathView {
+            headroom: 0.0,
+            available: false,
+        }
     }
 
     #[test]
@@ -174,7 +184,10 @@ mod tests {
         let paths = [up(10e6), up(10e6)];
         // Start spread 50/50; demand 5 Mbps fits entirely on always-on.
         let (shares, rounds) = converge_shares(5e6, &paths, &[0.5, 0.5], &cfg, 50);
-        assert!((shares[0] - 1.0).abs() < 1e-3, "all traffic on always-on: {shares:?}");
+        assert!(
+            (shares[0] - 1.0).abs() < 1e-3,
+            "all traffic on always-on: {shares:?}"
+        );
         assert!(shares[1] < 1e-3);
         assert!(rounds < 30, "geometric convergence");
     }
@@ -185,7 +198,10 @@ mod tests {
         // Always-on can absorb 4 Mbps, demand is 10 Mbps.
         let paths = [up(4e6), up(20e6)];
         let (shares, _) = converge_shares(10e6, &paths, &[1.0, 0.0], &cfg, 50);
-        assert!((shares[0] - 0.4).abs() < 0.02, "always-on filled to headroom: {shares:?}");
+        assert!(
+            (shares[0] - 0.4).abs() < 0.02,
+            "always-on filled to headroom: {shares:?}"
+        );
         assert!((shares[1] - 0.6).abs() < 0.02, "excess on on-demand");
     }
 
@@ -204,7 +220,10 @@ mod tests {
         let paths = [up(1e6), up(1e6)];
         let (shares, _) = converge_shares(10e6, &paths, &[1.0, 0.0], &cfg, 50);
         let sum: f64 = shares.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9, "shares always sum to 1: {shares:?}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "shares always sum to 1: {shares:?}"
+        );
         // Both paths filled; excess lands on the last one.
         assert!(shares[1] > shares[0]);
     }
@@ -229,12 +248,18 @@ mod tests {
         let cfg = TeConfig::default();
         let paths = [up(-5e6), up(20e6)];
         let (shares, _) = converge_shares(5e6, &paths, &[1.0, 0.0], &cfg, 50);
-        assert!(shares[0] < 1e-3, "overloaded always-on evacuated: {shares:?}");
+        assert!(
+            shares[0] < 1e-3,
+            "overloaded always-on evacuated: {shares:?}"
+        );
     }
 
     #[test]
     fn step_bounds_movement() {
-        let cfg = TeConfig { step: 0.5, ..Default::default() };
+        let cfg = TeConfig {
+            step: 0.5,
+            ..Default::default()
+        };
         let paths = [up(10e6), up(10e6)];
         let s1 = decide_shares(5e6, &paths, &[0.0, 1.0], &cfg);
         // Target is [1, 0]; one round with step .5 moves halfway.

@@ -10,7 +10,10 @@ use respons_core::{Planner, PlannerConfig};
 fn arb_views() -> impl Strategy<Value = Vec<PathView>> {
     proptest::collection::vec(
         ((-5e6f64..20e6), proptest::bool::weighted(0.85)).prop_map(|(headroom, available)| {
-            PathView { headroom, available }
+            PathView {
+                headroom,
+                available,
+            }
         }),
         1..5,
     )

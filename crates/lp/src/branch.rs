@@ -35,7 +35,10 @@ pub struct MipConfig {
 
 impl Default for MipConfig {
     fn default() -> Self {
-        MipConfig { max_nodes: 50_000, int_tol: 1e-6 }
+        MipConfig {
+            max_nodes: 50_000,
+            int_tol: 1e-6,
+        }
     }
 }
 
@@ -69,7 +72,10 @@ impl Eq for Node {}
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want best (smallest) bound first.
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 impl PartialOrd for Node {
@@ -112,20 +118,38 @@ pub fn solve_mip(p: &Problem, cfg: &MipConfig) -> MipSolution {
         let s = solve_lp(p);
         match s.status {
             LpStatus::Optimal => {
-                heap.push(Node { bound: norm(s.objective), bounds: Vec::new() });
+                heap.push(Node {
+                    bound: norm(s.objective),
+                    bounds: Vec::new(),
+                });
             }
             LpStatus::Infeasible => {
-                return MipSolution { status: MipStatus::Infeasible, objective: 0.0, values: vec![], nodes: 1 }
+                return MipSolution {
+                    status: MipStatus::Infeasible,
+                    objective: 0.0,
+                    values: vec![],
+                    nodes: 1,
+                }
             }
             LpStatus::Unbounded => root_unbounded = true,
             LpStatus::IterationLimit => {
-                return MipSolution { status: MipStatus::Budget, objective: 0.0, values: vec![], nodes: 1 }
+                return MipSolution {
+                    status: MipStatus::Budget,
+                    objective: 0.0,
+                    values: vec![],
+                    nodes: 1,
+                }
             }
         }
         if root_unbounded {
             // With bounded integer vars the MIP may still be bounded, but
             // our models never hit this; report honestly.
-            return MipSolution { status: MipStatus::Unbounded, objective: 0.0, values: vec![], nodes: 1 };
+            return MipSolution {
+                status: MipStatus::Unbounded,
+                objective: 0.0,
+                values: vec![],
+                nodes: 1,
+            };
         }
     }
 
@@ -138,12 +162,23 @@ pub fn solve_mip(p: &Problem, cfg: &MipConfig) -> MipSolution {
         }
         if nodes >= cfg.max_nodes {
             let (status, objective, values) = match incumbent {
-                Some((obj, vals)) => {
-                    (MipStatus::Budget, if p.sense == Sense::Minimize { obj } else { -obj }, vals)
-                }
+                Some((obj, vals)) => (
+                    MipStatus::Budget,
+                    if p.sense == Sense::Minimize {
+                        obj
+                    } else {
+                        -obj
+                    },
+                    vals,
+                ),
                 None => (MipStatus::Budget, 0.0, vec![]),
             };
-            return MipSolution { status, objective, values, nodes };
+            return MipSolution {
+                status,
+                objective,
+                values,
+                nodes,
+            };
         }
         nodes += 1;
 
@@ -182,7 +217,11 @@ pub fn solve_mip(p: &Problem, cfg: &MipConfig) -> MipSolution {
                     vals[v.0] = vals[v.0].round();
                 }
                 let obj = norm(p.objective_value(&vals));
-                if incumbent.as_ref().map(|(i, _)| obj < *i - 1e-12).unwrap_or(true) {
+                if incumbent
+                    .as_ref()
+                    .map(|(i, _)| obj < *i - 1e-12)
+                    .unwrap_or(true)
+                {
                     incumbent = Some((obj, vals));
                 }
             }
@@ -220,11 +259,20 @@ pub fn solve_mip(p: &Problem, cfg: &MipConfig) -> MipSolution {
     match incumbent {
         Some((obj, vals)) => MipSolution {
             status: MipStatus::Optimal,
-            objective: if p.sense == Sense::Minimize { obj } else { -obj },
+            objective: if p.sense == Sense::Minimize {
+                obj
+            } else {
+                -obj
+            },
             values: vals,
             nodes,
         },
-        None => MipSolution { status: MipStatus::Infeasible, objective: 0.0, values: vec![], nodes },
+        None => MipSolution {
+            status: MipStatus::Infeasible,
+            objective: 0.0,
+            values: vec![],
+            nodes,
+        },
     }
 }
 
@@ -304,10 +352,18 @@ mod tests {
     #[test]
     fn budget_returns_incumbent_or_empty() {
         let mut p = Problem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| p.add_binary(format!("x{i}"), (i + 1) as f64)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| p.add_binary(format!("x{i}"), (i + 1) as f64))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         p.add_constraint(&terms, Cmp::Le, 4.0);
-        let s = solve_mip(&p, &MipConfig { max_nodes: 1, int_tol: 1e-6 });
+        let s = solve_mip(
+            &p,
+            &MipConfig {
+                max_nodes: 1,
+                int_tol: 1e-6,
+            },
+        );
         assert!(matches!(s.status, MipStatus::Budget | MipStatus::Optimal));
     }
 
@@ -355,10 +411,14 @@ mod tests {
             let nv = rng.gen_range(2..6usize);
             let nc = rng.gen_range(1..4usize);
             let mut p = Problem::new(Sense::Maximize);
-            let vars: Vec<_> =
-                (0..nv).map(|i| p.add_binary(format!("b{i}"), rng.gen_range(-4.0..6.0))).collect();
+            let vars: Vec<_> = (0..nv)
+                .map(|i| p.add_binary(format!("b{i}"), rng.gen_range(-4.0..6.0)))
+                .collect();
             for _ in 0..nc {
-                let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-2.0..4.0))).collect();
+                let terms: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(-2.0..4.0)))
+                    .collect();
                 p.add_constraint(&terms, Cmp::Le, rng.gen_range(0.0..6.0));
             }
             // Brute force over 2^nv assignments.
@@ -376,7 +436,11 @@ mod tests {
             match best {
                 Some(bf) => {
                     assert_eq!(s.status, MipStatus::Optimal, "trial {trial}");
-                    assert!((s.objective - bf).abs() < 1e-5, "trial {trial}: bb {} vs bf {bf}", s.objective);
+                    assert!(
+                        (s.objective - bf).abs() < 1e-5,
+                        "trial {trial}: bb {} vs bf {bf}",
+                        s.objective
+                    );
                     assert!(p.is_feasible(&s.values, 1e-5));
                 }
                 None => assert_eq!(s.status, MipStatus::Infeasible, "trial {trial}"),

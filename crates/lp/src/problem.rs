@@ -66,15 +66,34 @@ pub struct Problem {
 impl Problem {
     /// Start an empty model.
     pub fn new(sense: Sense) -> Self {
-        Problem { sense, vars: Vec::new(), constraints: Vec::new() }
+        Problem {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Add a continuous variable with bounds `[lower, upper]` and the
     /// given objective coefficient. Returns its id.
-    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         assert!(lower <= upper, "empty variable domain");
-        assert!(lower.is_finite(), "lower bound must be finite (shifted standard form)");
-        self.vars.push(Variable { name: name.into(), lower, upper, integer: false, objective });
+        assert!(
+            lower.is_finite(),
+            "lower bound must be finite (shifted standard form)"
+        );
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            integer: false,
+            objective,
+        });
         VarId(self.vars.len() - 1)
     }
 
@@ -111,7 +130,11 @@ impl Problem {
             }
         }
         merged.retain(|&(_, c)| c != 0.0);
-        self.constraints.push(RawConstraint { terms: merged, cmp, rhs });
+        self.constraints.push(RawConstraint {
+            terms: merged,
+            cmp,
+            rhs,
+        });
     }
 
     /// Number of variables.
@@ -158,7 +181,11 @@ impl Problem {
 
     /// Evaluate the objective at a point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars.iter().zip(x).map(|(v, &xi)| v.objective * xi).sum()
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.objective * xi)
+            .sum()
     }
 
     /// Check primal feasibility of a point within tolerance.

@@ -132,7 +132,9 @@ impl Tableau {
                     let ratio = self.rows[r][self.n] / a;
                     let better = ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && row.map(|pr: usize| self.basis[r] < self.basis[pr]).unwrap_or(false));
+                            && row
+                                .map(|pr: usize| self.basis[r] < self.basis[pr])
+                                .unwrap_or(false));
                     if better {
                         best_ratio = ratio;
                         row = Some(r);
@@ -163,11 +165,19 @@ pub fn solve_lp(p: &Problem) -> LpSolution {
     let mut rows: Vec<Row> = Vec::new();
     for c in &p.constraints {
         let shift: f64 = c.terms.iter().map(|&(v, co)| co * lower[v]).sum();
-        rows.push(Row { coeffs: c.terms.clone(), cmp: c.cmp, rhs: c.rhs - shift });
+        rows.push(Row {
+            coeffs: c.terms.clone(),
+            cmp: c.cmp,
+            rhs: c.rhs - shift,
+        });
     }
     for (i, v) in p.vars.iter().enumerate() {
         if v.upper.is_finite() {
-            rows.push(Row { coeffs: vec![(i, 1.0)], cmp: Cmp::Le, rhs: v.upper - v.lower });
+            rows.push(Row {
+                coeffs: vec![(i, 1.0)],
+                cmp: Cmp::Le,
+                rhs: v.upper - v.lower,
+            });
         }
     }
     let m = rows.len();
@@ -180,12 +190,12 @@ pub fn solve_lp(p: &Problem) -> LpSolution {
         let rhs_neg = r.rhs < -EPS;
         let cmp = effective_cmp(r.cmp, rhs_neg);
         match cmp {
-            Cmp::Le => n_slack += 1,              // slack, basic
+            Cmp::Le => n_slack += 1, // slack, basic
             Cmp::Ge => {
-                n_slack += 1;                      // surplus
-                n_art += 1;                        // artificial, basic
+                n_slack += 1; // surplus
+                n_art += 1; // artificial, basic
             }
-            Cmp::Eq => n_art += 1,                 // artificial, basic
+            Cmp::Eq => n_art += 1, // artificial, basic
         }
     }
     let n = nv + n_slack + n_art;
@@ -249,7 +259,12 @@ pub fn solve_lp(p: &Problem) -> LpSolution {
         }
         let st = t.optimize(max_iters);
         if st == LpStatus::IterationLimit {
-            return LpSolution { status: st, objective: 0.0, values: vec![0.0; nv], iterations: t.iterations };
+            return LpSolution {
+                status: st,
+                objective: 0.0,
+                values: vec![0.0; nv],
+                iterations: t.iterations,
+            };
         }
         let phase1_obj = -t.obj[n];
         if phase1_obj > 1e-7 {
@@ -304,7 +319,12 @@ pub fn solve_lp(p: &Problem) -> LpSolution {
     }
     let st = t.optimize(max_iters);
     if st != LpStatus::Optimal {
-        return LpSolution { status: st, objective: 0.0, values: vec![0.0; nv], iterations: t.iterations };
+        return LpSolution {
+            status: st,
+            objective: 0.0,
+            values: vec![0.0; nv],
+            iterations: t.iterations,
+        };
     }
 
     // Read out shifted values, then unshift.
@@ -317,7 +337,12 @@ pub fn solve_lp(p: &Problem) -> LpSolution {
     }
     let values: Vec<f64> = (0..nv).map(|i| y[i] + lower[i]).collect();
     let objective = p.objective_value(&values);
-    LpSolution { status: LpStatus::Optimal, objective, values, iterations: t.iterations }
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+        iterations: t.iterations,
+    }
 }
 
 /// After normalizing to non-negative rhs (multiplying by -1 when needed),
@@ -451,8 +476,16 @@ mod tests {
         let x2 = p.add_var("x2", 0.0, f64::INFINITY, -57.0);
         let x3 = p.add_var("x3", 0.0, f64::INFINITY, -9.0);
         let x4 = p.add_var("x4", 0.0, f64::INFINITY, -24.0);
-        p.add_constraint(&[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)], Cmp::Le, 0.0);
-        p.add_constraint(&[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)], Cmp::Le, 0.0);
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Cmp::Le,
+            0.0,
+        );
         p.add_constraint(&[(x1, 1.0)], Cmp::Le, 1.0);
         let s = solve_lp(&p);
         assert_eq!(s.status, LpStatus::Optimal);
@@ -481,13 +514,26 @@ mod tests {
         for _ in 0..60 {
             let nv = rng.gen_range(2..6);
             let nc = rng.gen_range(1..6);
-            let mut p = Problem::new(if rng.gen() { Sense::Minimize } else { Sense::Maximize });
+            let mut p = Problem::new(if rng.gen() {
+                Sense::Minimize
+            } else {
+                Sense::Maximize
+            });
             let vars: Vec<_> = (0..nv)
-                .map(|i| p.add_var(format!("v{i}"), 0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0)))
+                .map(|i| {
+                    p.add_var(
+                        format!("v{i}"),
+                        0.0,
+                        rng.gen_range(1.0..10.0),
+                        rng.gen_range(-5.0..5.0),
+                    )
+                })
                 .collect();
             for _ in 0..nc {
-                let terms: Vec<_> =
-                    vars.iter().map(|&v| (v, rng.gen_range(-3.0..3.0))).collect();
+                let terms: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(-3.0..3.0)))
+                    .collect();
                 let cmp = match rng.gen_range(0..3) {
                     0 => Cmp::Le,
                     1 => Cmp::Ge,
@@ -498,9 +544,15 @@ mod tests {
             let s = solve_lp(&p);
             if s.status == LpStatus::Optimal {
                 optimal += 1;
-                assert!(p.is_feasible(&s.values, 1e-5), "solver returned infeasible point");
+                assert!(
+                    p.is_feasible(&s.values, 1e-5),
+                    "solver returned infeasible point"
+                );
             }
         }
-        assert!(optimal > 10, "sanity: some instances should be solvable ({optimal})");
+        assert!(
+            optimal > 10,
+            "sanity: some instances should be solvable ({optimal})"
+        );
     }
 }

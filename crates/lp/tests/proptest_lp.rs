@@ -13,8 +13,11 @@ fn arb_lp() -> impl Strategy<Value = Problem> {
         proptest::bool::ANY,
     )
         .prop_map(|(nv, nc, coef, maximize)| {
-            let mut p =
-                Problem::new(if maximize { Sense::Maximize } else { Sense::Minimize });
+            let mut p = Problem::new(if maximize {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            });
             let mut it = coef.into_iter();
             let vars: Vec<_> = (0..nv)
                 .map(|i| {
@@ -24,10 +27,13 @@ fn arb_lp() -> impl Strategy<Value = Problem> {
                 })
                 .collect();
             for _ in 0..nc {
-                let terms: Vec<_> =
-                    vars.iter().map(|&v| (v, it.next().unwrap())).collect();
+                let terms: Vec<_> = vars.iter().map(|&v| (v, it.next().unwrap())).collect();
                 let rhs = it.next().unwrap() + 2.0;
-                let cmp = if it.next().unwrap() > 0.0 { Cmp::Le } else { Cmp::Ge };
+                let cmp = if it.next().unwrap() > 0.0 {
+                    Cmp::Le
+                } else {
+                    Cmp::Ge
+                };
                 p.add_constraint(&terms, cmp, rhs);
             }
             p

@@ -91,7 +91,11 @@ impl PowerModel {
     /// The "alternative hardware model in which the power budget for
     /// always-on components (chassis) is reduced by factor of 10" (§5.1).
     pub fn alternative_hw() -> Self {
-        PowerModel { name: "alternative-hw".into(), chassis_w: 60.0, ..Self::cisco12000() }
+        PowerModel {
+            name: "alternative-hw".into(),
+            chassis_w: 60.0,
+            ..Self::cisco12000()
+        }
     }
 
     /// Commodity datacenter switch model (§5.1): fixed overheads (fans,
@@ -156,10 +160,19 @@ mod tests {
 
     #[test]
     fn line_card_classes() {
-        assert_eq!(LineCardClass::for_capacity(100.0 * MBPS), LineCardClass::Oc3);
-        assert_eq!(LineCardClass::for_capacity(622.0 * MBPS), LineCardClass::Oc3);
+        assert_eq!(
+            LineCardClass::for_capacity(100.0 * MBPS),
+            LineCardClass::Oc3
+        );
+        assert_eq!(
+            LineCardClass::for_capacity(622.0 * MBPS),
+            LineCardClass::Oc3
+        );
         assert_eq!(LineCardClass::for_capacity(2.5 * GBPS), LineCardClass::Oc48);
-        assert_eq!(LineCardClass::for_capacity(10.0 * GBPS), LineCardClass::Oc192);
+        assert_eq!(
+            LineCardClass::for_capacity(10.0 * GBPS),
+            LineCardClass::Oc192
+        );
         assert_eq!(LineCardClass::Oc3.watts(), 60.0);
         assert_eq!(LineCardClass::Oc192.watts(), 174.0);
     }

@@ -41,7 +41,12 @@ impl PowerModel {
 
     /// Itemized version of [`PowerModel::network_power`].
     pub fn network_breakdown(&self, topo: &Topology, active: &ActiveSet) -> PowerBreakdown {
-        let mut b = PowerBreakdown { chassis_w: 0.0, ports_w: 0.0, amplifiers_w: 0.0, sleeping_w: 0.0 };
+        let mut b = PowerBreakdown {
+            chassis_w: 0.0,
+            ports_w: 0.0,
+            amplifiers_w: 0.0,
+            sleeping_w: 0.0,
+        };
         for n in topo.node_ids() {
             let pc = self.chassis(topo, n);
             if active.node_on(n) {
@@ -57,7 +62,11 @@ impl PowerModel {
             let pl = self.port(topo, a);
             // Amplifiers belong to the physical link: charge on the
             // canonical direction only.
-            let pa = if topo.link_of(a) == a { self.amplifier(topo, a) } else { 0.0 };
+            let pa = if topo.link_of(a) == a {
+                self.amplifier(topo, a)
+            } else {
+                0.0
+            };
             if active.arc_on(topo, a) {
                 b.ports_w += pl;
                 b.amplifiers_w += pa;
@@ -153,7 +162,10 @@ mod tests {
         let a = t.find_arc(NodeId(1), NodeId(2)).unwrap();
         s.set_link(&t, a, false);
         let b = m.network_breakdown(&t, &s);
-        assert!((b.ports_w - 2.0 * 60.0).abs() < 1e-9, "one link's two ports remain");
+        assert!(
+            (b.ports_w - 2.0 * 60.0).abs() < 1e-9,
+            "one link's two ports remain"
+        );
         assert!((b.chassis_w - 3.0 * 600.0).abs() < 1e-9, "chassis still on");
         // After pruning node 2 (now isolated) the chassis drops too.
         s.prune_isolated_nodes(&t);

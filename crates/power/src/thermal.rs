@@ -103,13 +103,19 @@ mod tests {
         // Typical 10 kW row settles 5 °C under a 35 °C limit, 25 °C
         // ambient; thermal time constant tau = C/G = 30 minutes.
         let m = ThermalModel::provisioned_for(10_000.0, 25.0, 35.0, 5.0, 1.0);
-        ThermalModel { heat_capacity_j_per_c: m.cooling_w_per_c * 1800.0, ..m }
+        ThermalModel {
+            heat_capacity_j_per_c: m.cooling_w_per_c * 1800.0,
+            ..m
+        }
     }
 
     #[test]
     fn provisioning_hits_the_margin() {
         let m = model();
-        assert!((m.steady_temp(10_000.0) - 30.0).abs() < 1e-9, "typical settles at limit - margin");
+        assert!(
+            (m.steady_temp(10_000.0) - 30.0).abs() < 1e-9,
+            "typical settles at limit - margin"
+        );
         assert!(m.steady_temp(5_000.0) < 30.0, "lighter load runs cooler");
     }
 

@@ -98,7 +98,11 @@ pub fn elastictree_subset(
             let mut final_active = active;
             final_active.prune_isolated_nodes(topo);
             let power_w = power.network_power(topo, &final_active);
-            return Some(SubsetResult { active: final_active, routes, power_w });
+            return Some(SubsetResult {
+                active: final_active,
+                routes,
+                power_w,
+            });
         }
         // Grow: first more cores, then more aggs, until full.
         if cores < half * half {
@@ -131,7 +135,11 @@ fn build_active(
     // Leftmost aggs per pod, but at least `rows_needed` in communicating
     // pods so active core rows stay reachable.
     for (p, pod) in ix.agg.iter().enumerate() {
-        let count = aggs[p].max(if aggs[p] > 0 { rows_needed.min(half) } else { 0 });
+        let count = aggs[p].max(if aggs[p] > 0 {
+            rows_needed.min(half)
+        } else {
+            0
+        });
         for &a in pod.iter().take(count) {
             on_node(&mut s, a);
         }
@@ -159,7 +167,10 @@ mod tests {
     use ecp_traffic::{fat_tree_far_pairs, fat_tree_near_pairs, uniform_matrix};
 
     fn setup() -> (Topology, FatTreeIndex, PowerModel) {
-        let (t, ix) = fat_tree(&FatTreeConfig { capacity: 10.0 * MBPS, ..Default::default() });
+        let (t, ix) = fat_tree(&FatTreeConfig {
+            capacity: 10.0 * MBPS,
+            ..Default::default()
+        });
         (t, ix, PowerModel::commodity_dc())
     }
 
@@ -172,7 +183,10 @@ mod tests {
         assert!(r.routes.is_feasible(&t, &tm, 1.0));
         // One core and one agg per pod suffice at this load.
         let cores_on = ix.core.iter().filter(|&&c| r.active.node_on(c)).count();
-        assert!(cores_on <= 2, "light load keeps the core nearly dark: {cores_on}");
+        assert!(
+            cores_on <= 2,
+            "light load keeps the core nearly dark: {cores_on}"
+        );
         assert!(r.power_w < pm.full_power(&t));
     }
 
@@ -207,9 +221,9 @@ mod tests {
         )
         .unwrap();
         assert!(heavy.power_w > light.power_w, "power scales with load");
-        assert!(
-            heavy.routes.is_feasible(&t, &uniform_matrix(&far, 8.0 * MBPS), 1.0)
-        );
+        assert!(heavy
+            .routes
+            .is_feasible(&t, &uniform_matrix(&far, 8.0 * MBPS), 1.0));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! * [`recompute`] — the paper's *recomputation rate* metric (§3.2,
 //!   Fig. 1b) and the routing-configuration dominance analysis (Fig. 2a).
 
+pub mod capacity;
 pub mod elastictree;
 pub mod oracle;
 pub mod ospf;
@@ -32,11 +33,10 @@ pub mod relaxation;
 pub mod routeset;
 pub mod subset;
 
+pub use capacity::{gravity_at_utilization, max_feasible_volume};
 pub use elastictree::elastictree_subset;
 pub use oracle::{place_flows, OracleConfig};
 pub use ospf::{ecmp_routes, ospf_invcap, EcmpRoutes};
 pub use recompute::{recomputation_rate, ConfigDominance, RecomputationReport};
 pub use routeset::RouteSet;
-pub use subset::{
-    exact_small_subset, greedy_prune, greente_like, optimal_subset, SubsetResult,
-};
+pub use subset::{exact_small_subset, greedy_prune, greente_like, optimal_subset, SubsetResult};

@@ -43,7 +43,12 @@ pub struct OracleConfig {
 
 impl Default for OracleConfig {
     fn default() -> Self {
-        OracleConfig { margin: 1.0, restarts: 3, reroute_passes: 2, seed: 0xEC9 }
+        OracleConfig {
+            margin: 1.0,
+            restarts: 3,
+            reroute_passes: 2,
+            seed: 0xEC9,
+        }
     }
 }
 
@@ -86,7 +91,10 @@ fn try_place(
     order: &[Demand],
     cfg: &OracleConfig,
 ) -> Option<RouteSet> {
-    let cap: Vec<f64> = topo.arc_ids().map(|a| topo.arc(a).capacity * cfg.margin).collect();
+    let cap: Vec<f64> = topo
+        .arc_ids()
+        .map(|a| topo.arc(a).capacity * cfg.margin)
+        .collect();
     let mut load = vec![0.0; topo.arc_count()];
     let mut rs = RouteSet::new();
     let mut pending: Vec<Demand> = order.to_vec();
@@ -169,12 +177,18 @@ fn route_one(
     load: &[f64],
     d: &Demand,
 ) -> Option<ecp_topo::Path> {
-    let cmax = topo.arc_ids().map(|a| topo.arc(a).capacity).fold(0.0, f64::max);
+    let cmax = topo
+        .arc_ids()
+        .map(|a| topo.arc(a).capacity)
+        .fold(0.0, f64::max);
     let static_w = |a: ArcId| cmax / topo.arc(a).capacity;
     if let Some(p) = shortest_path(topo, d.origin, d.dst, &static_w, active) {
         let fits = p
             .arcs(topo)
-            .map(|arcs| arcs.iter().all(|&a| load[a.idx()] + d.rate <= cap[a.idx()] + 1e-6))
+            .map(|arcs| {
+                arcs.iter()
+                    .all(|&a| load[a.idx()] + d.rate <= cap[a.idx()] + 1e-6)
+            })
             .unwrap_or(false);
         if fits {
             return Some(p);
@@ -201,7 +215,11 @@ mod tests {
         TrafficMatrix::new(
             pairs
                 .iter()
-                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .map(|&(o, d, r)| Demand {
+                    origin: NodeId(o),
+                    dst: NodeId(d),
+                    rate: r,
+                })
                 .collect(),
         )
     }
@@ -242,8 +260,14 @@ mod tests {
         let t = line(3, 10.0 * MBPS, MS);
         let m = tm(&[(0, 2, 6e6)]);
         assert!(place_flows(&t, None, &m, &OracleConfig::default()).is_some());
-        let tight = OracleConfig { margin: 0.5, ..Default::default() };
-        assert!(place_flows(&t, None, &m, &tight).is_none(), "6 Mbps > 50% of 10 Mbps");
+        let tight = OracleConfig {
+            margin: 0.5,
+            ..Default::default()
+        };
+        assert!(
+            place_flows(&t, None, &m, &tight).is_none(),
+            "6 Mbps > 50% of 10 Mbps"
+        );
     }
 
     #[test]
@@ -331,7 +355,10 @@ mod tests {
 
     #[test]
     fn fat_tree_full_bisection_feasible() {
-        let (t, ix) = fat_tree(&FatTreeConfig { capacity: 10.0 * MBPS, ..Default::default() });
+        let (t, ix) = fat_tree(&FatTreeConfig {
+            capacity: 10.0 * MBPS,
+            ..Default::default()
+        });
         let pairs = ecp_traffic::fat_tree_far_pairs(&ix);
         let m = ecp_traffic::uniform_matrix(&pairs, 9e6);
         let rs = place_flows(&t, None, &m, &OracleConfig::default())

@@ -16,7 +16,10 @@ use ecp_traffic::TrafficMatrix;
 /// O(1) for numerical comfort.
 pub fn invcap_weight(topo: &Topology) -> impl Fn(ArcId) -> f64 + '_ {
     // Scale by the max capacity so the best link has weight 1.
-    let cmax = topo.arc_ids().map(|a| topo.arc(a).capacity).fold(0.0, f64::max);
+    let cmax = topo
+        .arc_ids()
+        .map(|a| topo.arc(a).capacity)
+        .fold(0.0, f64::max);
     move |a: ArcId| cmax / topo.arc(a).capacity
 }
 
@@ -99,11 +102,7 @@ impl EcmpRoutes {
 
 /// Compute ECMP routes: enumerate up to `max_paths` shortest paths by
 /// hop count and keep those whose cost ties the minimum.
-pub fn ecmp_routes(
-    topo: &Topology,
-    od_pairs: &[(NodeId, NodeId)],
-    max_paths: usize,
-) -> EcmpRoutes {
+pub fn ecmp_routes(topo: &Topology, od_pairs: &[(NodeId, NodeId)], max_paths: usize) -> EcmpRoutes {
     let mut out = EcmpRoutes::default();
     for &(o, d) in od_pairs {
         let ps = k_shortest_paths(topo, o, d, max_paths, &|_| 1.0, None);
@@ -183,7 +182,11 @@ mod tests {
         let src = ix.edge[0][0];
         let dst = ix.edge[2][1];
         let e = ecmp_routes(&t, &[(src, dst)], 8);
-        let tm = TrafficMatrix::new(vec![Demand { origin: src, dst, rate: 8e6 }]);
+        let tm = TrafficMatrix::new(vec![Demand {
+            origin: src,
+            dst,
+            rate: 8e6,
+        }]);
         let loads = e.link_loads(&t, &tm);
         // First-hop arcs from the edge switch each carry rate/2 (two agg
         // uplinks, each leading to 2 cores).

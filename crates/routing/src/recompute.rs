@@ -91,7 +91,13 @@ where
         signatures.push(sig);
         prev_sig = Some(sig);
     }
-    RecomputationReport { interval_s: trace.interval_s, changed, power_w, signatures, failures }
+    RecomputationReport {
+        interval_s: trace.interval_s,
+        changed,
+        power_w,
+        signatures,
+        failures,
+    }
 }
 
 /// Routing-configuration dominance: how much trace time each distinct
@@ -113,7 +119,10 @@ impl ConfigDominance {
         }
         let mut configs: Vec<(u64, usize)> = counts.into_iter().collect();
         configs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        ConfigDominance { configs, intervals: signatures.len() }
+        ConfigDominance {
+            configs,
+            intervals: signatures.len(),
+        }
     }
 
     /// Number of distinct configurations (the paper observes 13 on
@@ -128,7 +137,10 @@ impl ConfigDominance {
         if self.intervals == 0 {
             return 0.0;
         }
-        self.configs.first().map(|&(_, c)| c as f64 / self.intervals as f64).unwrap_or(0.0)
+        self.configs
+            .first()
+            .map(|&(_, c)| c as f64 / self.intervals as f64)
+            .unwrap_or(0.0)
     }
 }
 
@@ -180,10 +192,22 @@ mod tests {
         let oc = OracleConfig::default();
         // Alternate between one light demand and two heavy opposing
         // demands that need both sides of the ring.
-        let light = TrafficMatrix::new(vec![Demand { origin: NodeId(0), dst: NodeId(2), rate: 1e6 }]);
+        let light = TrafficMatrix::new(vec![Demand {
+            origin: NodeId(0),
+            dst: NodeId(2),
+            rate: 1e6,
+        }]);
         let heavy = TrafficMatrix::new(vec![
-            Demand { origin: NodeId(0), dst: NodeId(2), rate: 9e6 },
-            Demand { origin: NodeId(1), dst: NodeId(3), rate: 9e6 },
+            Demand {
+                origin: NodeId(0),
+                dst: NodeId(2),
+                rate: 9e6,
+            },
+            Demand {
+                origin: NodeId(1),
+                dst: NodeId(3),
+                rate: 9e6,
+            },
         ]);
         let trace = Trace {
             name: "swing".into(),

@@ -27,12 +27,7 @@ pub enum FlowFeasibility {
     Unknown,
 }
 
-fn commodity_conservation(
-    p: &mut Problem,
-    topo: &Topology,
-    x: &[Vec<VarId>],
-    tm: &TrafficMatrix,
-) {
+fn commodity_conservation(p: &mut Problem, topo: &Topology, x: &[Vec<VarId>], tm: &TrafficMatrix) {
     for (k, d) in tm.demands().iter().enumerate() {
         for n in topo.node_ids() {
             let mut terms: Vec<(VarId, f64)> = Vec::new();
@@ -154,7 +149,11 @@ mod tests {
         TrafficMatrix::new(
             pairs
                 .iter()
-                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .map(|&(o, d, r)| Demand {
+                    origin: NodeId(o),
+                    dst: NodeId(d),
+                    rate: r,
+                })
                 .collect(),
         )
     }
@@ -162,7 +161,10 @@ mod tests {
     #[test]
     fn feasible_when_capacity_suffices() {
         let t = line(3, 10.0 * MBPS, MS);
-        assert_eq!(splittable_feasible(&t, &tm(&[(0, 2, 5e6)]), 1.0), FlowFeasibility::Feasible);
+        assert_eq!(
+            splittable_feasible(&t, &tm(&[(0, 2, 5e6)]), 1.0),
+            FlowFeasibility::Feasible
+        );
     }
 
     #[test]
@@ -219,6 +221,9 @@ mod tests {
     #[test]
     fn empty_matrix_feasible() {
         let t = line(3, 10.0 * MBPS, MS);
-        assert_eq!(splittable_feasible(&t, &TrafficMatrix::empty(), 1.0), FlowFeasibility::Feasible);
+        assert_eq!(
+            splittable_feasible(&t, &TrafficMatrix::empty(), 1.0),
+            FlowFeasibility::Feasible
+        );
     }
 }

@@ -32,7 +32,9 @@ impl<'de> Deserialize<'de> for RouteSet {
 impl RouteSet {
     /// Empty routing.
     pub fn new() -> Self {
-        RouteSet { paths: BTreeMap::new() }
+        RouteSet {
+            paths: BTreeMap::new(),
+        }
     }
 
     /// Install (or replace) the path of an OD pair. The path endpoints
@@ -69,7 +71,9 @@ impl RouteSet {
 
     /// Whether every demand of `tm` has a route.
     pub fn covers(&self, tm: &TrafficMatrix) -> bool {
-        tm.demands().iter().all(|d| self.paths.contains_key(&(d.origin, d.dst)))
+        tm.demands()
+            .iter()
+            .all(|d| self.paths.contains_key(&(d.origin, d.dst)))
     }
 
     /// Per-arc load (bits/s) when carrying `tm` over these routes.
@@ -121,7 +125,10 @@ impl RouteSet {
                 }
             }
         }
-        (0..topo.arc_count() as u32).map(ArcId).filter(|a| used[a.idx()]).collect()
+        (0..topo.arc_count() as u32)
+            .map(ArcId)
+            .filter(|a| used[a.idx()])
+            .collect()
     }
 
     /// Minimal active set powering exactly the used arcs (plus their
@@ -176,7 +183,11 @@ mod tests {
         TrafficMatrix::new(
             pairs
                 .iter()
-                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .map(|&(o, d, r)| Demand {
+                    origin: NodeId(o),
+                    dst: NodeId(d),
+                    rate: r,
+                })
                 .collect(),
         )
     }
@@ -252,10 +263,12 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let rs: RouteSet =
-            vec![Path::new(vec![NodeId(0), NodeId(1)]), Path::new(vec![NodeId(1), NodeId(2)])]
-                .into_iter()
-                .collect();
+        let rs: RouteSet = vec![
+            Path::new(vec![NodeId(0), NodeId(1)]),
+            Path::new(vec![NodeId(1), NodeId(2)]),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(rs.len(), 2);
     }
 }

@@ -55,7 +55,11 @@ pub enum PruneOrder {
 /// Endpoints that must stay connected: all origins/destinations of the
 /// matrix.
 fn required_nodes(tm: &TrafficMatrix) -> Vec<NodeId> {
-    let mut v: Vec<NodeId> = tm.demands().iter().flat_map(|d| [d.origin, d.dst]).collect();
+    let mut v: Vec<NodeId> = tm
+        .demands()
+        .iter()
+        .flat_map(|d| [d.origin, d.dst])
+        .collect();
     v.sort_unstable();
     v.dedup();
     v
@@ -76,23 +80,27 @@ pub fn greedy_prune(
     let required = required_nodes(tm);
 
     // ---- Router pass -------------------------------------------------
-    let mut node_candidates: Vec<NodeId> = topo
-        .node_ids()
-        .filter(|n| !required.contains(n))
-        .collect();
+    let mut node_candidates: Vec<NodeId> =
+        topo.node_ids().filter(|n| !required.contains(n)).collect();
     let node_power = |n: NodeId| -> f64 {
         power.chassis(topo, n)
-            + topo.out_arcs(n).iter().map(|&a| power.port(topo, a)).sum::<f64>()
+            + topo
+                .out_arcs(n)
+                .iter()
+                .map(|&a| power.port(topo, a))
+                .sum::<f64>()
     };
     match order {
         PruneOrder::PowerDesc => node_candidates.sort_by(|&a, &b| {
-            node_power(b).partial_cmp(&node_power(a)).unwrap().then(a.cmp(&b))
+            node_power(b)
+                .partial_cmp(&node_power(a))
+                .unwrap()
+                .then(a.cmp(&b))
         }),
         PruneOrder::LoadAsc => {
             let loads = routes.link_loads(topo, tm);
-            let thru = |n: NodeId| -> f64 {
-                topo.out_arcs(n).iter().map(|&a| loads[a.idx()]).sum()
-            };
+            let thru =
+                |n: NodeId| -> f64 { topo.out_arcs(n).iter().map(|&a| loads[a.idx()]).sum() };
             node_candidates
                 .sort_by(|&a, &b| thru(a).partial_cmp(&thru(b)).unwrap().then(a.cmp(&b)));
         }
@@ -151,7 +159,11 @@ pub fn greedy_prune(
 
     active.prune_isolated_nodes(topo);
     let power_w = power.network_power(topo, &active);
-    Some(SubsetResult { active, routes, power_w })
+    Some(SubsetResult {
+        active,
+        routes,
+        power_w,
+    })
 }
 
 /// GreenTE-like heuristic: each OD pair is restricted to its `k` shortest
@@ -171,7 +183,10 @@ pub fn greente_like(
     let mut demands = tm.demands().to_vec();
     demands.sort_by(|a, b| b.rate.partial_cmp(&a.rate).unwrap());
 
-    let cap: Vec<f64> = topo.arc_ids().map(|a| topo.arc(a).capacity * oracle.margin).collect();
+    let cap: Vec<f64> = topo
+        .arc_ids()
+        .map(|a| topo.arc(a).capacity * oracle.margin)
+        .collect();
     let mut load = vec![0.0; topo.arc_count()];
     // Power-on state we build up incrementally.
     let mut node_on = vec![false; topo.node_count()];
@@ -238,7 +253,11 @@ pub fn greente_like(
         active.set_node(n, true);
     }
     let power_w = power.network_power(topo, &active);
-    Some(SubsetResult { active, routes, power_w })
+    Some(SubsetResult {
+        active,
+        routes,
+        power_w,
+    })
 }
 
 /// Exhaustive link-subset search — exact, O(2^links)·oracle. Panics if
@@ -277,7 +296,11 @@ pub fn exact_small_subset(
             continue;
         }
         if let Some(routes) = place_flows(topo, Some(&active), tm, oracle) {
-            best = Some(SubsetResult { active, routes, power_w: p });
+            best = Some(SubsetResult {
+                active,
+                routes,
+                power_w: p,
+            });
         }
     }
     best
@@ -308,7 +331,11 @@ pub fn optimal_subset(
             // different orders alternate across trace intervals, creating
             // artificial configuration churn (the canonical PowerDesc
             // result is kept on ties).
-            if best.as_ref().map(|b| r.power_w < 0.995 * b.power_w).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| r.power_w < 0.995 * b.power_w)
+                .unwrap_or(true)
+            {
                 best = Some(r);
             }
         }
@@ -327,7 +354,11 @@ mod tests {
         TrafficMatrix::new(
             pairs
                 .iter()
-                .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .map(|&(o, d, r)| Demand {
+                    origin: NodeId(o),
+                    dst: NodeId(d),
+                    rate: r,
+                })
                 .collect(),
         )
     }
@@ -355,7 +386,10 @@ mod tests {
         let oc = OracleConfig::default();
         let exact = exact_small_subset(&t, &pm, &m, &oc, 12).unwrap();
         let greedy = greedy_prune(&t, &pm, &m, &oc, PruneOrder::PowerDesc).unwrap();
-        assert!(exact.power_w <= greedy.power_w + 1e-6, "exact is a lower bound");
+        assert!(
+            exact.power_w <= greedy.power_w + 1e-6,
+            "exact is a lower bound"
+        );
         // On this easy instance greedy should match exactly.
         assert!((exact.power_w - greedy.power_w).abs() < 1e-6);
     }
@@ -376,7 +410,9 @@ mod tests {
         let t = ring(4, 10.0 * MBPS, MS);
         let m = tm(&[(0, 2, 50e6)]);
         let pm = PowerModel::cisco12000();
-        assert!(greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).is_none());
+        assert!(
+            greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).is_none()
+        );
     }
 
     #[test]
@@ -386,8 +422,16 @@ mod tests {
         // sharing E-H-K (the paper's always-on choice).
         let (t, n) = fig3(10.0 * MBPS, 16.67 * MS, false);
         let m = TrafficMatrix::new(vec![
-            Demand { origin: n.a, dst: n.k, rate: 1e6 },
-            Demand { origin: n.c, dst: n.k, rate: 1e6 },
+            Demand {
+                origin: n.a,
+                dst: n.k,
+                rate: 1e6,
+            },
+            Demand {
+                origin: n.c,
+                dst: n.k,
+                rate: 1e6,
+            },
         ]);
         let pm = PowerModel::cisco12000();
         let r = exact_small_subset(&t, &pm, &m, &OracleConfig::default(), 12).unwrap();
@@ -406,12 +450,28 @@ mod tests {
         let pm = PowerModel::cisco12000();
         let oc = OracleConfig::default();
         let light = TrafficMatrix::new(vec![
-            Demand { origin: n.a, dst: n.k, rate: 1e6 },
-            Demand { origin: n.c, dst: n.k, rate: 1e6 },
+            Demand {
+                origin: n.a,
+                dst: n.k,
+                rate: 1e6,
+            },
+            Demand {
+                origin: n.c,
+                dst: n.k,
+                rate: 1e6,
+            },
         ]);
         let heavy = TrafficMatrix::new(vec![
-            Demand { origin: n.a, dst: n.k, rate: 8e6 },
-            Demand { origin: n.c, dst: n.k, rate: 8e6 },
+            Demand {
+                origin: n.a,
+                dst: n.k,
+                rate: 8e6,
+            },
+            Demand {
+                origin: n.c,
+                dst: n.k,
+                rate: 8e6,
+            },
         ]);
         let rl = exact_small_subset(&t, &pm, &light, &oc, 12).unwrap();
         let rh = exact_small_subset(&t, &pm, &heavy, &oc, 12).unwrap();
@@ -440,10 +500,12 @@ mod tests {
         let pairs = random_od_pairs(&t, 80, 3);
         let m = gravity_matrix(&t, &pairs, 1e9); // light load
         let pm = PowerModel::cisco12000();
-        let r =
-            greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).unwrap();
+        let r = greedy_prune(&t, &pm, &m, &OracleConfig::default(), PruneOrder::PowerDesc).unwrap();
         let frac = r.power_w / pm.full_power(&t);
-        assert!(frac < 0.85, "light load should allow >15% savings, got {frac}");
+        assert!(
+            frac < 0.85,
+            "light load should allow >15% savings, got {frac}"
+        );
         assert!(r.routes.is_feasible(&t, &m, 1.0));
     }
 

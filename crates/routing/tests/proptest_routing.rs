@@ -3,7 +3,7 @@
 
 use ecp_power::PowerModel;
 use ecp_routing::subset::{greedy_prune, PruneOrder};
-use ecp_routing::{place_flows, ospf_invcap, OracleConfig};
+use ecp_routing::{ospf_invcap, place_flows, OracleConfig};
 use ecp_topo::gen::random_waxman;
 use ecp_topo::{ArcId, NodeId, MBPS};
 use ecp_traffic::{Demand, TrafficMatrix};

@@ -1,0 +1,539 @@
+//! Scenario execution: spec → topology/tables/schedule → engine → report.
+
+use crate::spec::{
+    EngineSpec, EventSpec, LinkRef, MatrixSpec, NodeRef, PairsSpec, ScaleSpec, Scenario, TablesSpec,
+};
+use ecp_routing::{max_feasible_volume, OracleConfig};
+use ecp_simnet::{Sample, SimEvent, Simulation};
+use ecp_topo::gen::BuiltTopology;
+use ecp_topo::{ArcId, NodeId, Path, Topology};
+use ecp_traffic::{
+    fat_tree_far_pairs, fat_tree_near_pairs, geant_like_trace, gravity_matrix, uniform_matrix,
+    TrafficMatrix,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use respons_core::tables::OdPaths;
+use respons_core::{steady_state_replay, PathTables, Planner, TeConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The result of one scenario run. Serializable; with fixed spec + seed
+/// the JSON rendering is byte-identical across runs and thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// `"simnet"` or `"replay"`.
+    pub engine: String,
+    /// Number of recorder samples / replay intervals.
+    pub samples: usize,
+    /// Mean network power as a fraction of the fully-on network.
+    pub mean_power_frac: f64,
+    /// Delivered ÷ offered, aggregated over samples with offered > 0
+    /// (simnet engine; replay reports placed fraction).
+    pub mean_delivered_fraction: f64,
+    /// Longest stretch with delivered < 95 % of offered (seconds;
+    /// simnet engine only, 0 otherwise).
+    pub max_tracking_lag_s: f64,
+    /// Fraction of congested intervals (replay engine only).
+    pub congested_fraction: Option<f64>,
+    /// Mean number of unplaceable demands per interval (replay only).
+    pub mean_spilled_demands: Option<f64>,
+    /// `(t, power_frac)` series, if selected.
+    pub power_series: Option<Vec<(f64, f64)>>,
+    /// `(t, offered, delivered)` series in bits/s, if selected.
+    pub delivered_series: Option<Vec<(f64, f64, f64)>>,
+    /// Full recorder samples (per-flow per-path rates), if selected.
+    pub per_path_samples: Option<Vec<Sample>>,
+}
+
+/// Everything the engine resolved from the spec before running —
+/// exposed so thin wrappers (the ported figure binaries) can reuse the
+/// exact planner/pairs context for their extra outputs.
+pub struct ResolvedScenario {
+    /// The built topology (+ generator indices).
+    pub built: BuiltTopology,
+    /// The power model.
+    pub power: ecp_power::PowerModel,
+    /// OD pairs in flow order.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Installed tables.
+    pub tables: PathTables,
+}
+
+/// Run a scenario end to end.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+    let resolved = resolve(scenario)?;
+    run_resolved(scenario, &resolved)
+}
+
+/// Resolve the static parts of a scenario (topology, pairs, tables)
+/// without running it.
+pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, String> {
+    let built = scenario.topology.build();
+    let power = scenario.power.build();
+    let pairs = resolve_pairs(&built, &scenario.pairs, scenario.seed)?;
+    let tables = match scenario.tables {
+        TablesSpec::Planned => {
+            Planner::new(&built.topo, &power).plan_pairs(&scenario.planner.to_config(), &pairs)
+        }
+        TablesSpec::Fig3Paper => fig3_paper_tables(&built)?,
+    };
+    Ok(ResolvedScenario {
+        built,
+        power,
+        pairs,
+        tables,
+    })
+}
+
+/// Run a scenario against an already-resolved context.
+pub fn run_resolved(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+) -> Result<ScenarioReport, String> {
+    match scenario.engine {
+        EngineSpec::Simnet => run_simnet(scenario, resolved),
+        EngineSpec::Replay {
+            peak_over_always_on,
+        } => run_replay(scenario, resolved, peak_over_always_on),
+    }
+}
+
+// ---- pair/table resolution ------------------------------------------------
+
+fn resolve_pairs(
+    built: &BuiltTopology,
+    spec: &PairsSpec,
+    seed: u64,
+) -> Result<Vec<(NodeId, NodeId)>, String> {
+    match spec {
+        PairsSpec::Random { count } => Ok(ecp_traffic::random_od_pairs(&built.topo, *count, seed)),
+        PairsSpec::EdgeOffset { denominators } => {
+            let nodes = built.topo.edge_nodes();
+            let n = nodes.len();
+            if n < 2 {
+                return Err("EdgeOffset needs at least two edge nodes".into());
+            }
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for &d in denominators {
+                    if d == 0 {
+                        return Err("EdgeOffset denominator must be positive".into());
+                    }
+                    let j = (i + n / d) % n;
+                    if i != j {
+                        pairs.push((nodes[i], nodes[j]));
+                    }
+                }
+            }
+            Ok(pairs)
+        }
+        PairsSpec::FatTreeFar => {
+            let ix = built
+                .fat_tree
+                .as_ref()
+                .ok_or("FatTreeFar needs a fat-tree topology")?;
+            Ok(fat_tree_far_pairs(ix))
+        }
+        PairsSpec::FatTreeNear => {
+            let ix = built
+                .fat_tree
+                .as_ref()
+                .ok_or("FatTreeNear needs a fat-tree topology")?;
+            Ok(fat_tree_near_pairs(ix))
+        }
+        PairsSpec::Fig3 => {
+            let n = built
+                .fig3
+                .as_ref()
+                .ok_or("Fig3 pairs need the Fig3Click topology")?;
+            Ok(vec![(n.a, n.k), (n.c, n.k)])
+        }
+    }
+}
+
+/// The hand-built Fig.-3 tables exactly as the paper describes: middle
+/// always-on, upper/lower on-demand doubling as failover.
+fn fig3_paper_tables(built: &BuiltTopology) -> Result<PathTables, String> {
+    let n = built
+        .fig3
+        .as_ref()
+        .ok_or("Fig3Paper tables need the Fig3Click topology")?;
+    let mut tables = PathTables::new();
+    tables.insert(
+        n.a,
+        n.k,
+        OdPaths {
+            always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
+            on_demand: vec![Path::new(vec![n.a, n.d, n.g, n.k])],
+            failover: Path::new(vec![n.a, n.d, n.g, n.k]),
+        },
+    );
+    tables.insert(
+        n.c,
+        n.k,
+        OdPaths {
+            always_on: Path::new(vec![n.c, n.e, n.h, n.k]),
+            on_demand: vec![Path::new(vec![n.c, n.f, n.j, n.k])],
+            failover: Path::new(vec![n.c, n.f, n.j, n.k]),
+        },
+    );
+    Ok(tables)
+}
+
+// ---- traffic schedule -----------------------------------------------------
+
+/// Demand schedule: at each `(t, matrix)` point every flow's offered
+/// rate switches to its entry in the matrix.
+fn demand_schedule(
+    scenario: &Scenario,
+    topo: &Topology,
+    pairs: &[(NodeId, NodeId)],
+) -> Result<Vec<(f64, TrafficMatrix)>, String> {
+    let points = scenario.traffic.program.sample();
+    if points.is_empty() {
+        return Err("traffic program has no segments".into());
+    }
+    let volume_of: Box<dyn Fn(f64) -> f64> = match scenario.traffic.scale {
+        ScaleSpec::MaxFeasibleFraction { fraction } => {
+            let vmax = max_feasible_volume(topo, pairs, &OracleConfig::default());
+            Box::new(move |level| vmax * level * fraction)
+        }
+        ScaleSpec::TotalBps { bps } => Box::new(move |level| bps * level),
+        ScaleSpec::PerFlowBps { bps } => Box::new(move |level| bps * level),
+    };
+    let per_flow = matches!(scenario.traffic.scale, ScaleSpec::PerFlowBps { .. });
+    points
+        .into_iter()
+        .map(|(t, level)| {
+            let v = volume_of(level);
+            let tm = match (scenario.traffic.matrix, per_flow) {
+                (MatrixSpec::Uniform, true) => uniform_matrix(pairs, v),
+                (MatrixSpec::Uniform, false) => {
+                    uniform_matrix(pairs, v / pairs.len().max(1) as f64)
+                }
+                (MatrixSpec::Gravity, false) => gravity_matrix(topo, pairs, v),
+                (MatrixSpec::Gravity, true) => {
+                    return Err("PerFlowBps scale requires the Uniform matrix".into())
+                }
+            };
+            Ok((t, tm))
+        })
+        .collect()
+}
+
+// ---- event resolution -----------------------------------------------------
+
+fn resolve_link(topo: &Topology, link: &LinkRef) -> Result<ArcId, String> {
+    match link {
+        LinkRef::ByName { from, to } => {
+            let f = topo
+                .find_node(from)
+                .ok_or_else(|| format!("unknown node `{from}`"))?;
+            let t = topo
+                .find_node(to)
+                .ok_or_else(|| format!("unknown node `{to}`"))?;
+            topo.find_arc(f, t)
+                .or_else(|| topo.find_arc(t, f))
+                .ok_or_else(|| format!("no link between `{from}` and `{to}`"))
+        }
+        LinkRef::ByIndex { index } => topo
+            .link_ids()
+            .nth(*index)
+            .ok_or_else(|| format!("link index {index} out of range")),
+    }
+}
+
+fn resolve_node(topo: &Topology, node: &NodeRef) -> Result<NodeId, String> {
+    match node {
+        NodeRef::ByName { name } => topo
+            .find_node(name)
+            .ok_or_else(|| format!("unknown node `{name}`")),
+        NodeRef::ByIndex { index } => {
+            if (*index as usize) < topo.node_count() {
+                Ok(NodeId(*index))
+            } else {
+                Err(format!("node index {index} out of range"))
+            }
+        }
+    }
+}
+
+/// Links of a correlated cascade: breadth-first from a seed-chosen
+/// epicenter, so consecutive failures share endpoints/regions the way
+/// real fiber-cut or power-domain incidents do.
+fn correlated_links(topo: &Topology, seed: u64, count: usize) -> Vec<ArcId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epicenter = NodeId(rng.gen_range(0..topo.node_count() as u32));
+    let mut seen_nodes = vec![false; topo.node_count()];
+    let mut chosen: Vec<ArcId> = Vec::new();
+    let mut queue = VecDeque::from([epicenter]);
+    seen_nodes[epicenter.idx()] = true;
+    while let Some(n) = queue.pop_front() {
+        if chosen.len() >= count {
+            break;
+        }
+        for l in topo.link_ids() {
+            let arc = topo.arc(l);
+            if arc.src != n && arc.dst != n {
+                continue;
+            }
+            if !chosen.contains(&l) && chosen.len() < count {
+                chosen.push(l);
+            }
+            for m in [arc.src, arc.dst] {
+                if !seen_nodes[m.idx()] {
+                    seen_nodes[m.idx()] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    chosen
+}
+
+fn schedule_events(
+    scenario: &Scenario,
+    topo: &Topology,
+    sim: &mut Simulation<'_>,
+) -> Result<(), String> {
+    for ev in &scenario.events {
+        match ev {
+            EventSpec::LinkFail { at, link } => {
+                let arc = resolve_link(topo, link)?;
+                sim.schedule(*at, SimEvent::LinkFail { arc });
+            }
+            EventSpec::LinkRepair { at, link } => {
+                let arc = resolve_link(topo, link)?;
+                sim.schedule(*at, SimEvent::LinkRepair { arc });
+            }
+            EventSpec::NodeFail { at, node } => {
+                let node = resolve_node(topo, node)?;
+                sim.schedule(*at, SimEvent::NodeFail { node });
+            }
+            EventSpec::NodeRepair { at, node } => {
+                let node = resolve_node(topo, node)?;
+                sim.schedule(*at, SimEvent::NodeRepair { node });
+            }
+            EventSpec::SetWakeTime { at, wake_time_s } => {
+                sim.schedule(
+                    *at,
+                    SimEvent::SetWakeTime {
+                        wake_time: *wake_time_s,
+                    },
+                );
+            }
+            EventSpec::SetThreshold { at, threshold } => {
+                let te = TeConfig {
+                    threshold: *threshold,
+                    ..scenario.sim.to_config().te
+                };
+                sim.schedule(*at, SimEvent::SetTeConfig { te });
+            }
+            EventSpec::FailureBurst {
+                start,
+                count,
+                spacing_s,
+                repair_after_s,
+                seed_salt,
+            } => {
+                let links = correlated_links(topo, scenario.seed ^ seed_salt, *count);
+                for (i, arc) in links.into_iter().enumerate() {
+                    let t = start + i as f64 * spacing_s;
+                    sim.schedule(t, SimEvent::LinkFail { arc });
+                    if *repair_after_s > 0.0 {
+                        sim.schedule(t + repair_after_s, SimEvent::LinkRepair { arc });
+                    }
+                }
+            }
+            EventSpec::MaintenanceWindow {
+                start,
+                duration_s,
+                node,
+            } => {
+                let node = resolve_node(topo, node)?;
+                sim.schedule(*start, SimEvent::NodeFail { node });
+                sim.schedule(start + duration_s, SimEvent::NodeRepair { node });
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- engines --------------------------------------------------------------
+
+fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<ScenarioReport, String> {
+    let topo = &resolved.built.topo;
+    let schedule = demand_schedule(scenario, topo, &resolved.pairs)?;
+    let mut sim = Simulation::new(
+        topo,
+        &resolved.power,
+        &resolved.tables,
+        scenario.sim.to_config(),
+    );
+
+    // One flow per OD pair; initial rate = the schedule's t = 0 level.
+    let initial = &schedule[0].1;
+    let flows: Vec<_> = resolved
+        .pairs
+        .iter()
+        .map(|&(o, d)| {
+            (
+                sim.add_flow(&resolved.tables, o, d, initial.get(o, d)),
+                o,
+                d,
+            )
+        })
+        .collect();
+    for (t, tm) in schedule.iter().skip(1) {
+        for &(f, o, d) in &flows {
+            sim.schedule(
+                *t,
+                SimEvent::DemandChange {
+                    flow: f,
+                    rate: tm.get(o, d),
+                },
+            );
+        }
+    }
+    if let Some(shares) = &scenario.initial_shares {
+        for &(f, ..) in &flows {
+            sim.set_shares(f, shares.clone());
+        }
+    }
+    schedule_events(scenario, topo, &mut sim)?;
+    sim.run_until(scenario.duration_s);
+
+    let samples = sim.recorder().samples();
+    let mut offered_sum = 0.0;
+    let mut delivered_sum = 0.0;
+    let mut power_sum = 0.0;
+    let mut lag: f64 = 0.0;
+    let mut lag_start: Option<f64> = None;
+    for s in samples {
+        power_sum += s.power_frac;
+        offered_sum += s.offered_total;
+        delivered_sum += s.delivered_total;
+        if s.offered_total > 0.0 && s.delivered_total < 0.95 * s.offered_total {
+            lag_start.get_or_insert(s.t);
+        } else if let Some(start) = lag_start.take() {
+            lag = lag.max(s.t - start);
+        }
+    }
+    if let Some(start) = lag_start {
+        lag = lag.max(scenario.duration_s - start);
+    }
+    let n = samples.len().max(1) as f64;
+    Ok(ScenarioReport {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        engine: "simnet".into(),
+        samples: samples.len(),
+        mean_power_frac: power_sum / n,
+        mean_delivered_fraction: if offered_sum > 0.0 {
+            delivered_sum / offered_sum
+        } else {
+            1.0
+        },
+        max_tracking_lag_s: lag,
+        congested_fraction: None,
+        mean_spilled_demands: None,
+        power_series: scenario
+            .metrics
+            .power_series
+            .then(|| samples.iter().map(|s| (s.t, s.power_frac)).collect()),
+        delivered_series: scenario.metrics.delivered_series.then(|| {
+            samples
+                .iter()
+                .map(|s| (s.t, s.offered_total, s.delivered_total))
+                .collect()
+        }),
+        per_path_samples: scenario.metrics.per_path_rates.then(|| samples.to_vec()),
+    })
+}
+
+fn run_replay(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    peak_over_always_on: f64,
+) -> Result<ScenarioReport, String> {
+    // The replay engine drives demand from a synthesized GÉANT-like
+    // trace, not from the traffic program, and supports no scripted
+    // events — reject specs that would otherwise be silently ignored.
+    if !scenario.events.is_empty() {
+        return Err("the Replay engine does not support scripted events; use Simnet".into());
+    }
+    if scenario.traffic.program.segments.len() != 1
+        || !matches!(
+            scenario.traffic.program.segments[0].shape,
+            ecp_traffic::Shape::Constant { .. }
+        )
+    {
+        return Err(
+            "the Replay engine synthesizes its own diurnal trace; the traffic program must be a \
+             single Constant segment (use Simnet for shaped programs)"
+                .into(),
+        );
+    }
+    let base_volume =
+        match scenario.traffic.scale {
+            ScaleSpec::TotalBps { bps } => bps,
+            ScaleSpec::MaxFeasibleFraction { .. } | ScaleSpec::PerFlowBps { .. } => return Err(
+                "the Replay engine requires ScaleSpec::TotalBps (the trace peak is derived from \
+                 the always-on capacity, scaled by `peak_over_always_on`)"
+                    .into(),
+            ),
+        };
+    if scenario.traffic.matrix != MatrixSpec::Gravity {
+        return Err("the Replay engine uses the gravity matrix structure".into());
+    }
+    let topo = &resolved.built.topo;
+    // Scale the trace to the installed tables (the ablation binaries'
+    // procedure): peak = what the always-on paths alone support, times
+    // the configured factor.
+    let base = gravity_matrix(topo, &resolved.pairs, base_volume);
+    let te_full = TeConfig {
+        threshold: 1.0,
+        ..Default::default()
+    };
+    let aon = respons_core::replay::max_supported_scale(topo, &resolved.tables, &base, &te_full, 1);
+    let peak = base_volume * aon * peak_over_always_on;
+    let days = ((scenario.duration_s / 86_400.0).ceil() as usize).max(1);
+    let trace = geant_like_trace(topo, &resolved.pairs, days, peak, scenario.seed);
+
+    let te = TeConfig {
+        threshold: scenario.sim.te_threshold,
+        step: scenario.sim.te_step,
+        min_share: scenario.sim.te_min_share,
+    };
+    let rep = steady_state_replay(topo, &resolved.power, &resolved.tables, &trace, &te);
+    let spilled = rep
+        .points
+        .iter()
+        .map(|p| p.spilled_demands as f64)
+        .sum::<f64>()
+        / rep.points.len().max(1) as f64;
+    let placed =
+        rep.points.iter().map(|p| p.placed_fraction).sum::<f64>() / rep.points.len().max(1) as f64;
+    Ok(ScenarioReport {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        engine: "replay".into(),
+        samples: rep.points.len(),
+        mean_power_frac: rep.mean_power_fraction(),
+        mean_delivered_fraction: placed,
+        max_tracking_lag_s: 0.0,
+        congested_fraction: Some(rep.congested_fraction()),
+        mean_spilled_demands: Some(spilled),
+        power_series: scenario
+            .metrics
+            .power_series
+            .then(|| rep.points.iter().map(|p| (p.t, p.power_frac)).collect()),
+        delivered_series: None,
+        per_path_samples: None,
+    })
+}

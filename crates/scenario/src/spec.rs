@@ -1,0 +1,524 @@
+//! The declarative scenario model: every knob of an experiment as data.
+
+use ecp_topo::gen::TopoSpec;
+use ecp_traffic::Program;
+use serde::{Deserialize, Serialize};
+
+/// A complete, self-contained experiment description. Serializable to
+/// TOML/JSON; buildable with [`ScenarioBuilder`](crate::ScenarioBuilder).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (report labels, file names).
+    pub name: String,
+    /// Master determinism seed: every random choice in the scenario
+    /// (OD sampling, event targets, traces) derives from it.
+    pub seed: u64,
+    /// Total simulated / replayed duration in seconds. For the replay
+    /// engine this is rounded up to whole trace intervals.
+    pub duration_s: f64,
+    /// Which network to build.
+    pub topology: TopoSpec,
+    /// Which power model prices it.
+    pub power: PowerSpec,
+    /// Which OD pairs carry traffic.
+    pub pairs: PairsSpec,
+    /// Offered-load program over time.
+    pub traffic: TrafficSpec,
+    /// How the REsPoNse tables are obtained.
+    pub tables: TablesSpec,
+    /// Planner knobs (used when `tables` is `Planned`).
+    pub planner: PlannerSpec,
+    /// Execution engine: packet-level simnet or steady-state replay.
+    pub engine: EngineSpec,
+    /// Simulator knobs (used by the simnet engine).
+    pub sim: SimSpec,
+    /// Timed perturbations injected into the run.
+    pub events: Vec<EventSpec>,
+    /// Pre-TE share spread applied to every flow (e.g. Fig. 7 starts
+    /// with traffic split over both candidate paths). Length must match
+    /// the installed (deduplicated) path count of each flow.
+    pub initial_shares: Option<Vec<f64>>,
+    /// Which recorder outputs the report keeps.
+    pub metrics: MetricsSpec,
+}
+
+/// Power model choice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerSpec {
+    /// Cisco 12000-class chassis/linecard model (ISP experiments).
+    Cisco12000,
+    /// Commodity datacenter switch model.
+    CommodityDc,
+}
+
+impl PowerSpec {
+    /// Instantiate the model.
+    pub fn build(&self) -> ecp_power::PowerModel {
+        match self {
+            PowerSpec::Cisco12000 => ecp_power::PowerModel::cisco12000(),
+            PowerSpec::CommodityDc => ecp_power::PowerModel::commodity_dc(),
+        }
+    }
+}
+
+/// OD-pair selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PairsSpec {
+    /// `count` distinct ordered pairs of edge nodes, sampled with the
+    /// scenario seed.
+    Random {
+        /// Number of pairs.
+        count: usize,
+    },
+    /// For each edge node `i` (of `n`), a pair to the node `n/d` slots
+    /// ahead for every denominator `d` — the Fig.-8a "two concurrent far
+    /// flows per metro" pattern with `denominators = [2, 3]`.
+    EdgeOffset {
+        /// Offset denominators.
+        denominators: Vec<usize>,
+    },
+    /// Cross-pod fat-tree pairs (requires a fat-tree topology).
+    FatTreeFar,
+    /// Intra-pod fat-tree pairs (requires a fat-tree topology).
+    FatTreeNear,
+    /// The paper's Fig.-3 sources: A→K and C→K (requires `Fig3Click`).
+    Fig3,
+}
+
+/// Base-matrix structure: how a total volume is split across pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MatrixSpec {
+    /// Capacity-weighted gravity model (ISP maps, §5.1).
+    Gravity,
+    /// Every pair gets the same rate.
+    Uniform,
+}
+
+/// What a traffic-program level of `1.0` means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScaleSpec {
+    /// Fraction of the maximum feasible volume (oracle-computed, the
+    /// paper's §5.1 procedure): level `l` offers `l × fraction × max`.
+    MaxFeasibleFraction {
+        /// Fraction of the max feasible volume at level 1.0.
+        fraction: f64,
+    },
+    /// Absolute total volume in bits/s at level 1.0, split per matrix.
+    TotalBps {
+        /// Total offered bits/s at level 1.0.
+        bps: f64,
+    },
+    /// Absolute per-flow rate in bits/s at level 1.0 (uniform only).
+    PerFlowBps {
+        /// Per-flow bits/s at level 1.0.
+        bps: f64,
+    },
+}
+
+/// The offered-load side of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Split structure.
+    pub matrix: MatrixSpec,
+    /// Meaning of level 1.0.
+    pub scale: ScaleSpec,
+    /// Level over time.
+    pub program: Program,
+}
+
+/// Where the routing tables come from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TablesSpec {
+    /// Run the REsPoNse planner with [`PlannerSpec`].
+    Planned,
+    /// The hand-built Fig.-3 tables of the paper (middle always-on,
+    /// upper/lower on-demand doubling as failover). Requires the
+    /// `Fig3Click` topology and `Fig3` pairs.
+    Fig3Paper,
+}
+
+/// Planner parameters — the usual sweep axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerSpec {
+    /// Energy-critical paths per OD pair (`N`, paper: 3).
+    pub num_paths: usize,
+    /// REsPoNse-lat latency slack β; `None` disables the bound.
+    pub beta: Option<f64>,
+    /// Oracle safety margin `sm` (usable capacity fraction).
+    pub margin: f64,
+    /// Stress-factor link-exclusion fraction.
+    pub exclude_fraction: f64,
+}
+
+impl Default for PlannerSpec {
+    fn default() -> Self {
+        PlannerSpec {
+            num_paths: 3,
+            beta: None,
+            margin: 1.0,
+            exclude_fraction: 0.2,
+        }
+    }
+}
+
+impl PlannerSpec {
+    /// Convert to the core planner configuration.
+    pub fn to_config(&self) -> respons_core::PlannerConfig {
+        respons_core::PlannerConfig::default()
+            .with_num_paths(self.num_paths)
+            .with_beta(self.beta)
+            .with_margin(self.margin)
+            .with_exclude_fraction(self.exclude_fraction)
+    }
+}
+
+/// Execution engine choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// Event-driven fluid simulation (`ecp-simnet`): full dynamics —
+    /// wake-ups, failures, TE rounds, per-path rates.
+    Simnet,
+    /// Steady-state trace replay (`respons_core::replay`) over a
+    /// GÉANT-like trace: per-interval placement, no transient dynamics.
+    /// `duration_s` is rounded up to whole days of 900-second
+    /// intervals. Constraints (violations are errors, not silently
+    /// ignored): no scripted `events`, a single `Constant` traffic
+    /// segment, `Gravity` matrix, and `TotalBps` scale (the base
+    /// volume whose always-on-supported multiple sets the trace peak).
+    Replay {
+        /// Peak volume as a multiple of what the always-on paths alone
+        /// support (the ablation binaries use 1.15).
+        peak_over_always_on: f64,
+    },
+}
+
+/// Simulator knobs mapped onto `ecp_simnet::SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimSpec {
+    /// TE target utilization threshold.
+    pub te_threshold: f64,
+    /// TE gain per control round.
+    pub te_step: f64,
+    /// TE minimum share before zeroing.
+    pub te_min_share: f64,
+    /// Control interval `T` in seconds.
+    pub control_interval_s: f64,
+    /// Link wake-up time in seconds.
+    pub wake_time_s: f64,
+    /// Failure detection + propagation delay in seconds.
+    pub detect_delay_s: f64,
+    /// Idle drain time before a link sleeps, in seconds.
+    pub sleep_after_s: f64,
+    /// Recorder sampling interval in seconds.
+    pub sample_interval_s: f64,
+    /// TE does nothing before this time (seconds).
+    pub te_start_s: f64,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        let d = ecp_simnet::SimConfig::default();
+        SimSpec {
+            te_threshold: d.te.threshold,
+            te_step: d.te.step,
+            te_min_share: d.te.min_share,
+            control_interval_s: d.control_interval,
+            wake_time_s: d.wake_time,
+            detect_delay_s: d.detect_delay,
+            sleep_after_s: d.sleep_after,
+            sample_interval_s: d.sample_interval,
+            te_start_s: d.te_start,
+        }
+    }
+}
+
+impl SimSpec {
+    /// Convert to the simulator configuration.
+    pub fn to_config(&self) -> ecp_simnet::SimConfig {
+        ecp_simnet::SimConfig {
+            te: respons_core::TeConfig {
+                threshold: self.te_threshold,
+                step: self.te_step,
+                min_share: self.te_min_share,
+            },
+            control_interval: self.control_interval_s,
+            wake_time: self.wake_time_s,
+            detect_delay: self.detect_delay_s,
+            sleep_after: self.sleep_after_s,
+            sample_interval: self.sample_interval_s,
+            te_start: self.te_start_s,
+        }
+    }
+}
+
+/// Reference to a physical link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkRef {
+    /// By endpoint node names (exact match, either direction).
+    ByName {
+        /// One endpoint.
+        from: String,
+        /// The other endpoint.
+        to: String,
+    },
+    /// By canonical link index (position in `Topology::link_ids`).
+    ByIndex {
+        /// Canonical link position.
+        index: usize,
+    },
+}
+
+/// Reference to a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// By node name (exact match).
+    ByName {
+        /// The name.
+        name: String,
+    },
+    /// By node id.
+    ByIndex {
+        /// The id.
+        index: u32,
+    },
+}
+
+/// A timed scripted perturbation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventSpec {
+    /// Fail one link.
+    LinkFail {
+        /// When (seconds).
+        at: f64,
+        /// Which link.
+        link: LinkRef,
+    },
+    /// Repair one link.
+    LinkRepair {
+        /// When (seconds).
+        at: f64,
+        /// Which link.
+        link: LinkRef,
+    },
+    /// Fail every link adjacent to a node.
+    NodeFail {
+        /// When (seconds).
+        at: f64,
+        /// Which node.
+        node: NodeRef,
+    },
+    /// Repair every link adjacent to a node.
+    NodeRepair {
+        /// When (seconds).
+        at: f64,
+        /// Which node.
+        node: NodeRef,
+    },
+    /// Change the link wake-up time mid-run.
+    SetWakeTime {
+        /// When (seconds).
+        at: f64,
+        /// New wake time (seconds).
+        wake_time_s: f64,
+    },
+    /// Retune the online TE threshold mid-run.
+    SetThreshold {
+        /// When (seconds).
+        at: f64,
+        /// New utilization threshold.
+        threshold: f64,
+    },
+    /// A cascade of correlated link failures: `count` links picked by
+    /// breadth-first proximity to a seed-chosen epicenter node, failing
+    /// one after another every `spacing_s`, each repaired
+    /// `repair_after_s` after it failed.
+    FailureBurst {
+        /// Cascade start (seconds).
+        start: f64,
+        /// Number of links to fail.
+        count: usize,
+        /// Seconds between consecutive failures.
+        spacing_s: f64,
+        /// Per-link time-to-repair (seconds); `0` disables repair.
+        repair_after_s: f64,
+        /// Salt mixed into the scenario seed for epicenter choice.
+        seed_salt: u64,
+    },
+    /// A maintenance window: the node's links all fail at `start` and
+    /// are repaired `duration_s` later. Chain several to model rolling
+    /// maintenance.
+    MaintenanceWindow {
+        /// Window start (seconds).
+        start: f64,
+        /// Window length (seconds).
+        duration_s: f64,
+        /// Which node is serviced.
+        node: NodeRef,
+    },
+}
+
+/// Which outputs the scenario report retains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSpec {
+    /// Keep the `(t, power_frac)` series.
+    pub power_series: bool,
+    /// Keep the `(t, offered, delivered)` series.
+    pub delivered_series: bool,
+    /// Keep full per-flow per-path rate samples.
+    pub per_path_rates: bool,
+}
+
+impl Default for MetricsSpec {
+    fn default() -> Self {
+        MetricsSpec {
+            power_series: true,
+            delivered_series: true,
+            per_path_rates: false,
+        }
+    }
+}
+
+impl Scenario {
+    /// Parse a scenario from a TOML document.
+    pub fn from_toml(doc: &str) -> Result<Self, String> {
+        toml::from_str(doc).map_err(|e| e.to_string())
+    }
+
+    /// Render the scenario as a TOML document.
+    pub fn to_toml(&self) -> String {
+        toml::to_string(self).expect("scenario serializes")
+    }
+}
+
+/// Fluent constructor for [`Scenario`] with sensible defaults: GÉANT
+/// topology, 40 random gravity pairs at 60 % of max feasible volume,
+/// planned tables, simnet engine, no events.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Start from defaults with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                seed: 1,
+                duration_s: 10.0,
+                topology: TopoSpec::Geant,
+                power: PowerSpec::Cisco12000,
+                pairs: PairsSpec::Random { count: 40 },
+                traffic: TrafficSpec {
+                    matrix: MatrixSpec::Gravity,
+                    scale: ScaleSpec::MaxFeasibleFraction { fraction: 0.6 },
+                    program: Program::from_shape(
+                        10.0,
+                        1.0,
+                        ecp_traffic::Shape::Constant { level: 1.0 },
+                    ),
+                },
+                tables: TablesSpec::Planned,
+                planner: PlannerSpec::default(),
+                engine: EngineSpec::Simnet,
+                sim: SimSpec::default(),
+                events: Vec::new(),
+                initial_shares: None,
+                metrics: MetricsSpec::default(),
+            },
+        }
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Set the duration (seconds).
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.scenario.duration_s = duration_s;
+        self
+    }
+
+    /// Set the topology spec.
+    pub fn topology(mut self, spec: TopoSpec) -> Self {
+        self.scenario.topology = spec;
+        self
+    }
+
+    /// Set the power model.
+    pub fn power(mut self, spec: PowerSpec) -> Self {
+        self.scenario.power = spec;
+        self
+    }
+
+    /// Set the OD-pair spec.
+    pub fn pairs(mut self, spec: PairsSpec) -> Self {
+        self.scenario.pairs = spec;
+        self
+    }
+
+    /// Set the traffic spec.
+    pub fn traffic(mut self, matrix: MatrixSpec, scale: ScaleSpec, program: Program) -> Self {
+        self.scenario.traffic = TrafficSpec {
+            matrix,
+            scale,
+            program,
+        };
+        self
+    }
+
+    /// Set the tables source.
+    pub fn tables(mut self, spec: TablesSpec) -> Self {
+        self.scenario.tables = spec;
+        self
+    }
+
+    /// Set the planner spec.
+    pub fn planner(mut self, spec: PlannerSpec) -> Self {
+        self.scenario.planner = spec;
+        self
+    }
+
+    /// Set the engine.
+    pub fn engine(mut self, spec: EngineSpec) -> Self {
+        self.scenario.engine = spec;
+        self
+    }
+
+    /// Set the simulator knobs.
+    pub fn sim(mut self, spec: SimSpec) -> Self {
+        self.scenario.sim = spec;
+        self
+    }
+
+    /// Append one scripted event.
+    pub fn event(mut self, event: EventSpec) -> Self {
+        self.scenario.events.push(event);
+        self
+    }
+
+    /// Append several scripted events.
+    pub fn events(mut self, events: impl IntoIterator<Item = EventSpec>) -> Self {
+        self.scenario.events.extend(events);
+        self
+    }
+
+    /// Set the pre-TE share spread.
+    pub fn initial_shares(mut self, shares: Vec<f64>) -> Self {
+        self.scenario.initial_shares = Some(shares);
+        self
+    }
+
+    /// Set the metrics selection.
+    pub fn metrics(mut self, spec: MetricsSpec) -> Self {
+        self.scenario.metrics = spec;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Scenario {
+        self.scenario
+    }
+}

@@ -39,6 +39,8 @@ pub mod packet;
 pub mod recorder;
 pub mod sim;
 
-pub use packet::{run_packet_sim, run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats};
+pub use packet::{
+    run_packet_sim, run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats,
+};
 pub use recorder::{Recorder, Sample};
-pub use sim::{FlowId, LinkPowerState, SimConfig, Simulation};
+pub use sim::{FlowId, LinkPowerState, SimConfig, SimEvent, Simulation};

@@ -32,7 +32,10 @@ pub struct PacketSimConfig {
 
 impl Default for PacketSimConfig {
     fn default() -> Self {
-        PacketSimConfig { packet_bytes: 1500.0, queue_packets: 100 }
+        PacketSimConfig {
+            packet_bytes: 1500.0,
+            queue_packets: 100,
+        }
     }
 }
 
@@ -157,7 +160,11 @@ pub fn run_packet_sim_full(
     // Resolve paths to arc lists once.
     let paths: Vec<Vec<ArcId>> = flows
         .iter()
-        .map(|f| f.path.arcs(topo).expect("flow path must resolve in topology"))
+        .map(|f| {
+            f.path
+                .arcs(topo)
+                .expect("flow path must resolve in topology")
+        })
         .collect();
     let bits = cfg.packet_bytes * 8.0;
 
@@ -259,8 +266,16 @@ pub fn run_packet_sim_full(
             let mut d = delays[i].clone();
             d.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let delivered = d.len();
-            let mean = if delivered > 0 { d.iter().sum::<f64>() / delivered as f64 } else { 0.0 };
-            let p99 = if delivered > 0 { d[(delivered - 1) * 99 / 100] } else { 0.0 };
+            let mean = if delivered > 0 {
+                d.iter().sum::<f64>() / delivered as f64
+            } else {
+                0.0
+            };
+            let p99 = if delivered > 0 {
+                d[(delivered - 1) * 99 / 100]
+            } else {
+                0.0
+            };
             // Drain-aware throughput window: queued backlog drains past
             // `stop`, so we extend the window by the worst observed delay
             // (an upper bound on drain time) — otherwise an overloaded
@@ -277,7 +292,14 @@ pub fn run_packet_sim_full(
             }
         })
         .collect();
-    (stats, ArcActivity { busy_s: busy_total, gaps, horizon })
+    (
+        stats,
+        ArcActivity {
+            busy_s: busy_total,
+            gaps,
+            horizon,
+        },
+    )
 }
 
 /// Enqueue one packet on `path[hop]`: FIFO service at the arc's rate,
@@ -319,7 +341,11 @@ fn transmit(
     heap.push(QEv {
         t: done + arc.latency,
         ord: *ord,
-        ev: Ev::Arrive { flow, hop: hop + 1, born },
+        ev: Ev::Arrive {
+            flow,
+            hop: hop + 1,
+            born,
+        },
     });
 }
 
@@ -352,7 +378,11 @@ mod tests {
         assert_eq!(s.sent, s.delivered);
         // ~ rate * window / packet_bits packets.
         let expect = (1.0 * MBPS * 2.0 / 12000.0) as usize;
-        assert!((s.sent as i64 - expect as i64).abs() <= 1, "{} vs {expect}", s.sent);
+        assert!(
+            (s.sent as i64 - expect as i64).abs() <= 1,
+            "{} vs {expect}",
+            s.sent
+        );
         // Delay = 2 hops x (serialization 1.2 ms + prop 1 ms) = 4.4 ms.
         assert!((s.mean_delay - 2.0 * (12000.0 / (10.0 * MBPS) + MS)).abs() < 1e-4);
         assert!(s.mean_queue_delay < 1e-4, "no queueing when alone");
@@ -404,13 +434,20 @@ mod tests {
             alone[0].mean_delay
         );
         assert!(shared[1].mean_queue_delay > 1e-4, "late flow queues");
-        assert_eq!(shared[0].dropped + shared[1].dropped, 0, "90% load: no drops");
+        assert_eq!(
+            shared[0].dropped + shared[1].dropped,
+            0,
+            "90% load: no drops"
+        );
     }
 
     #[test]
     fn queue_capacity_bounds_backlog_delay() {
         let t = line(2, 10.0 * MBPS, MS);
-        let cfg = PacketSimConfig { queue_packets: 5, ..Default::default() };
+        let cfg = PacketSimConfig {
+            queue_packets: 5,
+            ..Default::default()
+        };
         let stats = run_packet_sim(&t, &[flow(vec![0, 1], 30.0 * MBPS, 0.0, 1.0)], &cfg, 10.0);
         let s = &stats[0];
         // Max queueing = 6 service times (5 queued + 1 in service).
@@ -440,7 +477,10 @@ mod tests {
         let t = line(2, 10.0 * MBPS, MS);
         let stats = run_packet_sim(
             &t,
-            &[flow(vec![0, 1], 0.0, 0.0, 1.0), flow(vec![0, 1], 1e6, 5.0, 5.0)],
+            &[
+                flow(vec![0, 1], 0.0, 0.0, 1.0),
+                flow(vec![0, 1], 1e6, 5.0, 5.0),
+            ],
             &PacketSimConfig::default(),
             10.0,
         );

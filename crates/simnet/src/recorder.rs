@@ -30,7 +30,9 @@ pub struct Recorder {
 impl Recorder {
     /// Empty recorder.
     pub fn new() -> Self {
-        Recorder { samples: Vec::new() }
+        Recorder {
+            samples: Vec::new(),
+        }
     }
 
     /// Append a sample.
@@ -60,7 +62,10 @@ impl Recorder {
 
     /// The `(t, delivered_total)` series.
     pub fn delivered_series(&self) -> Vec<(f64, f64)> {
-        self.samples.iter().map(|s| (s.t, s.delivered_total)).collect()
+        self.samples
+            .iter()
+            .map(|s| (s.t, s.delivered_total))
+            .collect()
     }
 
     /// Delivered-rate series of one path of one flow.

@@ -59,6 +59,52 @@ impl Default for SimConfig {
     }
 }
 
+/// An externally injectable simulation event — the hook the scenario
+/// engine (`ecp-scenario`) scripts against. Everything an experiment can
+/// do to a running network is expressible as a timed `SimEvent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// Change a flow's offered rate.
+    DemandChange {
+        /// Target flow.
+        flow: FlowId,
+        /// New offered rate (bits/s).
+        rate: f64,
+    },
+    /// Fail a physical link (both directions).
+    LinkFail {
+        /// Either arc of the link.
+        arc: ArcId,
+    },
+    /// Repair a physical link.
+    LinkRepair {
+        /// Either arc of the link.
+        arc: ArcId,
+    },
+    /// Fail every link adjacent to a node (router outage / maintenance).
+    NodeFail {
+        /// The node going down.
+        node: NodeId,
+    },
+    /// Repair every link adjacent to a node.
+    NodeRepair {
+        /// The node coming back.
+        node: NodeId,
+    },
+    /// Change the link wake-up time (e.g. modelling a hardware swap or a
+    /// deeper sleep state) from this moment on.
+    SetWakeTime {
+        /// New wake-up delay in seconds.
+        wake_time: f64,
+    },
+    /// Reconfigure the online TE element (threshold/step/min-share) from
+    /// this moment on.
+    SetTeConfig {
+        /// New TE parameters.
+        te: TeConfig,
+    },
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Event {
     Control,
@@ -66,10 +112,16 @@ enum Event {
     DemandChange(FlowId, f64),
     LinkFail(ArcId),
     LinkRepair(ArcId),
+    NodeFail(NodeId),
+    NodeRepair(NodeId),
     FailureKnown(ArcId),
     RepairKnown(ArcId),
+    NodeFailureKnown(NodeId),
+    NodeRepairKnown(NodeId),
     WakeDone(ArcId),
     SleepCheck(ArcId),
+    SetWakeTime(f64),
+    SetTeConfig(TeConfig),
 }
 
 struct QItem {
@@ -125,9 +177,14 @@ pub struct Simulation<'a> {
     /// Indexed by canonical link id.
     link_state: Vec<LinkPowerState>,
     link_failed: Vec<bool>,
+    /// Nodes currently failed (maintenance/outage). A link is down if it
+    /// is failed itself OR either endpoint node is failed — the causes
+    /// are tracked separately so overlapping failure scripts compose.
+    node_failed: Vec<bool>,
     /// What the agents currently believe about failures (updated after
     /// the detection delay).
     link_failed_known: Vec<bool>,
+    node_failed_known: Vec<bool>,
     full_power_w: f64,
     recorder: Recorder,
     /// Links that must never sleep (the always-on set).
@@ -172,7 +229,9 @@ impl<'a> Simulation<'a> {
             flows: Vec::new(),
             link_state,
             link_failed: vec![false; n_arcs],
+            node_failed: vec![false; topo.node_count()],
             link_failed_known: vec![false; n_arcs],
+            node_failed_known: vec![false; topo.node_count()],
             full_power_w: power.full_power(topo),
             recorder: Recorder::new(),
             always_on_links,
@@ -184,7 +243,11 @@ impl<'a> Simulation<'a> {
 
     fn push(&mut self, t: f64, ev: Event) {
         self.seq += 1;
-        self.queue.push(QItem { t, seq: self.seq, ev });
+        self.queue.push(QItem {
+            t,
+            seq: self.seq,
+            ev,
+        });
     }
 
     /// Current simulation time.
@@ -212,7 +275,14 @@ impl<'a> Simulation<'a> {
         let n = uniq.len();
         let mut shares = vec![0.0; n];
         shares[0] = 1.0; // start aggregated on the always-on path
-        self.flows.push(Flow { origin: o, dst: d, offered, paths: uniq, path_arcs, shares });
+        self.flows.push(Flow {
+            origin: o,
+            dst: d,
+            offered,
+            paths: uniq,
+            path_arcs,
+            shares,
+        });
         FlowId(self.flows.len() - 1)
     }
 
@@ -231,15 +301,47 @@ impl<'a> Simulation<'a> {
         self.push(t, Event::LinkRepair(a));
     }
 
+    /// Inject any scriptable [`SimEvent`] at time `t` — the generic
+    /// entry point used by the scenario engine.
+    pub fn schedule(&mut self, t: f64, ev: SimEvent) {
+        let internal = match ev {
+            SimEvent::DemandChange { flow, rate } => Event::DemandChange(flow, rate),
+            SimEvent::LinkFail { arc } => Event::LinkFail(arc),
+            SimEvent::LinkRepair { arc } => Event::LinkRepair(arc),
+            SimEvent::NodeFail { node } => Event::NodeFail(node),
+            SimEvent::NodeRepair { node } => Event::NodeRepair(node),
+            SimEvent::SetWakeTime { wake_time } => Event::SetWakeTime(wake_time),
+            SimEvent::SetTeConfig { te } => Event::SetTeConfig(te),
+        };
+        self.push(t, internal);
+    }
+
+    /// Time of the next pending event. The queue is never empty (control
+    /// and sampling self-perpetuate), so this is `None` only before the
+    /// constructor finishes.
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.queue.peek().map(|q| q.t)
+    }
+
+    /// Process exactly one pending event and return its time — the
+    /// pausable stepping API. Callers can interleave `step` with state
+    /// inspection (`power_w`, `delivered_rate`, …) or with injecting new
+    /// events via [`Simulation::schedule`], then resume with either more
+    /// `step` calls or [`Simulation::run_until`].
+    pub fn step(&mut self) -> Option<f64> {
+        let QItem { t, ev, .. } = self.queue.pop()?;
+        self.now = t.max(self.now);
+        self.handle(ev);
+        Some(t)
+    }
+
     /// Run until `t_end` (inclusive of events at `t_end`).
     pub fn run_until(&mut self, t_end: f64) {
         while let Some(top) = self.queue.peek() {
             if top.t > t_end + 1e-12 {
                 break;
             }
-            let QItem { t, ev, .. } = self.queue.pop().unwrap();
-            self.now = t.max(self.now);
-            self.handle(ev);
+            self.step();
         }
         self.now = self.now.max(t_end);
     }
@@ -259,7 +361,9 @@ impl<'a> Simulation<'a> {
     pub fn per_path_delivered(&self, f: FlowId) -> Vec<f64> {
         let loads = self.arc_loads();
         let flow = &self.flows[f.0];
-        (0..flow.paths.len()).map(|pi| self.path_delivery(flow, pi, &loads)).collect()
+        (0..flow.paths.len())
+            .map(|pi| self.path_delivery(flow, pi, &loads))
+            .collect()
     }
 
     /// Current network power in Watts.
@@ -300,6 +404,20 @@ impl<'a> Simulation<'a> {
                 self.link_failed[l.idx()] = false;
                 self.push(self.now + self.cfg.detect_delay, Event::RepairKnown(a));
             }
+            Event::NodeFail(n) => {
+                self.node_failed[n.idx()] = true;
+                self.push(self.now + self.cfg.detect_delay, Event::NodeFailureKnown(n));
+            }
+            Event::NodeRepair(n) => {
+                self.node_failed[n.idx()] = false;
+                self.push(self.now + self.cfg.detect_delay, Event::NodeRepairKnown(n));
+            }
+            Event::SetWakeTime(w) => {
+                self.cfg.wake_time = w;
+            }
+            Event::SetTeConfig(te) => {
+                self.cfg.te = te;
+            }
             Event::FailureKnown(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = true;
@@ -310,6 +428,14 @@ impl<'a> Simulation<'a> {
             Event::RepairKnown(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = false;
+            }
+            Event::NodeFailureKnown(n) => {
+                self.node_failed_known[n.idx()] = true;
+                // React immediately, like FailureKnown.
+                self.control_round();
+            }
+            Event::NodeRepairKnown(n) => {
+                self.node_failed_known[n.idx()] = false;
             }
             Event::WakeDone(a) => {
                 let l = self.topo.link_of(a);
@@ -333,6 +459,26 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Whether a link is effectively down: failed itself or adjacent to
+    /// a failed node.
+    fn link_down(&self, a: ArcId) -> bool {
+        let l = self.topo.link_of(a);
+        let arc = self.topo.arc(l);
+        self.link_failed[l.idx()]
+            || self.node_failed[arc.src.idx()]
+            || self.node_failed[arc.dst.idx()]
+    }
+
+    /// What agents believe about a link being down (post detection
+    /// delay), from either cause.
+    fn link_down_known(&self, a: ArcId) -> bool {
+        let l = self.topo.link_of(a);
+        let arc = self.topo.arc(l);
+        self.link_failed_known[l.idx()]
+            || self.node_failed_known[arc.src.idx()]
+            || self.node_failed_known[arc.dst.idx()]
+    }
+
     /// Delivered (transmitted) load per arc: only ready paths carry
     /// traffic.
     fn arc_loads(&self) -> Vec<f64> {
@@ -354,8 +500,7 @@ impl<'a> Simulation<'a> {
     fn path_ready(&self, arcs: &[ArcId]) -> bool {
         arcs.iter().all(|&a| {
             let l = self.topo.link_of(a);
-            !self.link_failed[l.idx()]
-                && matches!(self.link_state[l.idx()], LinkPowerState::Active)
+            !self.link_down(l) && matches!(self.link_state[l.idx()], LinkPowerState::Active)
         })
     }
 
@@ -432,18 +577,18 @@ impl<'a> Simulation<'a> {
                 .enumerate()
                 .map(|(pi, arcs)| {
                     let own = fl.offered * fl.shares[pi];
-                    let failed = arcs.iter().any(|&a| {
-                        self.link_failed_known[self.topo.link_of(a).idx()]
-                    });
+                    let failed = arcs.iter().any(|&a| self.link_down_known(a));
                     let headroom = arcs
                         .iter()
                         .map(|&a| {
-                            let others =
-                                (loads[a.idx()] - own).max(0.0);
+                            let others = (loads[a.idx()] - own).max(0.0);
                             threshold * self.topo.arc(a).capacity - others
                         })
                         .fold(f64::INFINITY, f64::min);
-                    PathView { headroom, available: !failed }
+                    PathView {
+                        headroom,
+                        available: !failed,
+                    }
                 })
                 .collect();
             new_shares.push(decide_shares(fl.offered, &views, &fl.shares, &self.cfg.te));
@@ -487,8 +632,8 @@ impl<'a> Simulation<'a> {
     pub fn active_set(&self) -> ActiveSet {
         let mut s = ActiveSet::all_off(self.topo);
         for l in self.topo.link_ids() {
-            let on = !self.link_failed[l.idx()]
-                && !matches!(self.link_state[l.idx()], LinkPowerState::Sleeping);
+            let on =
+                !self.link_down(l) && !matches!(self.link_state[l.idx()], LinkPowerState::Sleeping);
             if on {
                 s.set_link(self.topo, l, true);
                 s.set_node(self.topo.arc(l).src, true);
@@ -510,8 +655,9 @@ impl<'a> Simulation<'a> {
         let mut per_flow: Vec<Vec<f64>> = Vec::with_capacity(self.flows.len());
         for fl in &self.flows {
             offered_total += fl.offered;
-            let rates: Vec<f64> =
-                (0..fl.paths.len()).map(|pi| self.path_delivery(fl, pi, &loads)).collect();
+            let rates: Vec<f64> = (0..fl.paths.len())
+                .map(|pi| self.path_delivery(fl, pi, &loads))
+                .collect();
             delivered_total += rates.iter().sum::<f64>();
             per_flow.push(rates);
         }
@@ -600,9 +746,15 @@ mod tests {
         sim.schedule_demand(1.0, fa, 6e6);
         sim.schedule_demand(1.0, fc, 6e6);
         sim.run_until(3.0);
-        assert!(sim.sleeping_links() < sleeping_before, "on-demand links woke up");
+        assert!(
+            sim.sleeping_links() < sleeping_before,
+            "on-demand links woke up"
+        );
         let da = sim.delivered_rate(fa);
-        assert!((da - 6e6).abs() < 1e4, "full demand delivered after spill: {da}");
+        assert!(
+            (da - 6e6).abs() < 1e4,
+            "full demand delivered after spill: {da}"
+        );
     }
 
     #[test]
@@ -618,7 +770,10 @@ mod tests {
         sim.schedule_link_failure(1.0, eh);
         sim.run_until(1.05);
         // Before detection (100 ms), traffic is black-holed.
-        assert!(sim.delivered_rate(fa) < 1e5, "traffic lost before detection");
+        assert!(
+            sim.delivered_rate(fa) < 1e5,
+            "traffic lost before detection"
+        );
         sim.run_until(2.0);
         // After detection + wake, delivery is restored on the failover.
         let da = sim.delivered_rate(fa);
@@ -676,7 +831,10 @@ mod tests {
         // sim notice and then watch consolidation timing.
         sim.run_until(0.5);
         let rates = sim.per_path_delivered(fa);
-        assert!(rates[1] < 1e4, "within ~0.5s the on-demand share was drained: {rates:?}");
+        assert!(
+            rates[1] < 1e4,
+            "within ~0.5s the on-demand share was drained: {rates:?}"
+        );
     }
 
     #[test]
@@ -692,6 +850,125 @@ mod tests {
         assert!(last.t <= 1.0 + 1e-9);
         assert!(last.power_frac > 0.0 && last.power_frac < 1.0);
         assert!((last.offered_total - 2.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn node_failure_fails_all_adjacent_links_and_repairs() {
+        let (t, n, pt) = click_setup();
+        let pm = ecp_power::PowerModel::cisco12000();
+        let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
+        let fa = sim.add_flow(&pt, n.a, n.k, 2.5e6);
+        // Kill router E: the always-on path A-E-H-K dies, failover takes
+        // over; repairing E brings traffic back to always-on.
+        sim.schedule(1.0, SimEvent::NodeFail { node: n.e });
+        sim.schedule(3.0, SimEvent::NodeRepair { node: n.e });
+        sim.run_until(2.5);
+        let rates = sim.per_path_delivered(fa);
+        assert_eq!(rates[0], 0.0, "always-on path through E dead");
+        assert!(rates[1] > 2.4e6, "failover carries: {rates:?}");
+        sim.run_until(5.0);
+        let rates = sim.per_path_delivered(fa);
+        assert!(
+            rates[0] > 2.4e6,
+            "back on always-on after node repair: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn node_repair_does_not_resurrect_independently_failed_link() {
+        let (t, n, pt) = click_setup();
+        let pm = ecp_power::PowerModel::cisco12000();
+        let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
+        let fa = sim.add_flow(&pt, n.a, n.k, 2.5e6);
+        // The link E-H fails on its own until t = 6; independently, node
+        // E has a maintenance window ending at t = 2. The node repair
+        // must NOT bring E-H back early.
+        let eh = t.find_arc(n.e, n.h).unwrap();
+        sim.schedule_link_failure(0.5, eh);
+        sim.schedule_link_repair(6.0, eh);
+        sim.schedule(1.0, SimEvent::NodeFail { node: n.e });
+        sim.schedule(2.0, SimEvent::NodeRepair { node: n.e });
+        sim.run_until(4.0);
+        let rates = sim.per_path_delivered(fa);
+        assert_eq!(
+            rates[0], 0.0,
+            "E-H still failed after node repair: {rates:?}"
+        );
+        assert!(rates[1] > 2.4e6, "failover carries meanwhile: {rates:?}");
+        sim.run_until(8.0);
+        let rates = sim.per_path_delivered(fa);
+        assert!(
+            rates[0] > 2.4e6,
+            "back on always-on after the real repair: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn wake_time_reconfiguration_applies_at_event_time() {
+        let (t, n, pt) = click_setup();
+        let pm = ecp_power::PowerModel::cisco12000();
+        let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
+        let fa = sim.add_flow(&pt, n.a, n.k, 2e6);
+        sim.run_until(1.0);
+        // Make wake-ups very slow, then overload the always-on path.
+        sim.schedule(1.0, SimEvent::SetWakeTime { wake_time: 4.0 });
+        sim.schedule_demand(1.5, fa, 9.5e6);
+        sim.run_until(3.0);
+        // The on-demand path is still waking: demand cannot be met.
+        assert!(sim.delivered_rate(fa) < 9.5e6 - 1e4, "stalled on slow wake");
+        sim.run_until(7.0);
+        assert!(
+            (sim.delivered_rate(fa) - 9.5e6).abs() < 1e4,
+            "met after the long wake"
+        );
+    }
+
+    #[test]
+    fn te_reconfiguration_changes_spill_behavior() {
+        let (t, n, pt) = click_setup();
+        let pm = ecp_power::PowerModel::cisco12000();
+        let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
+        let fa = sim.add_flow(&pt, n.a, n.k, 4e6);
+        sim.run_until(1.0);
+        // 4 Mbps on a 10 Mbps link is fine at threshold 0.9; dropping the
+        // threshold to 0.3 (3 Mbps budget) forces a spill to on-demand.
+        let before = sim.per_path_delivered(fa);
+        assert!(before[1] < 1e3, "no spill at default threshold: {before:?}");
+        let te = TeConfig {
+            threshold: 0.3,
+            ..Default::default()
+        };
+        sim.schedule(1.0, SimEvent::SetTeConfig { te });
+        sim.run_until(3.0);
+        let after = sim.per_path_delivered(fa);
+        assert!(
+            after[1] > 1e5,
+            "tighter threshold spills to on-demand: {after:?}"
+        );
+    }
+
+    #[test]
+    fn stepping_api_is_equivalent_to_run_until() {
+        let run_with = |stepping: bool| {
+            let (t, n, pt) = click_setup();
+            let pm = ecp_power::PowerModel::cisco12000();
+            let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
+            let fa = sim.add_flow(&pt, n.a, n.k, 2.5e6);
+            sim.schedule_demand(1.0, fa, 7e6);
+            if stepping {
+                while sim.next_event_time().is_some_and(|t| t <= 3.0) {
+                    sim.step();
+                }
+            } else {
+                sim.run_until(3.0);
+            }
+            sim.recorder()
+                .samples()
+                .iter()
+                .map(|s| (s.power_w, s.delivered_total))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_with(true), run_with(false));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct ActiveSet {
 impl ActiveSet {
     /// Everything powered on.
     pub fn all_on(topo: &Topology) -> Self {
-        ActiveSet { nodes_on: vec![true; topo.node_count()], links_on: vec![true; topo.arc_count()] }
+        ActiveSet {
+            nodes_on: vec![true; topo.node_count()],
+            links_on: vec![true; topo.arc_count()],
+        }
     }
 
     /// Everything powered off.

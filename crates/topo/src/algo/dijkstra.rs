@@ -58,7 +58,10 @@ pub fn shortest_path_tree(
     let mut heap = BinaryHeap::new();
     if active.map(|s| s.node_on(src)).unwrap_or(true) {
         dist[src.idx()] = 0.0;
-        heap.push(HeapItem { dist: 0.0, node: src });
+        heap.push(HeapItem {
+            dist: 0.0,
+            node: src,
+        });
     }
     while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
         if d > dist[u.idx()] {
@@ -85,7 +88,12 @@ pub fn shortest_path_tree(
     (dist, parent)
 }
 
-fn extract_path(topo: &Topology, parent: &[Option<ArcId>], src: NodeId, dst: NodeId) -> Option<Path> {
+fn extract_path(
+    topo: &Topology,
+    parent: &[Option<ArcId>],
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Path> {
     let mut rev = vec![dst];
     let mut cur = dst;
     while cur != src {
@@ -143,7 +151,10 @@ pub fn shortest_path_bounded(
         let mut heap = BinaryHeap::new();
         if active.map(|s| s.node_on(dst)).unwrap_or(true) {
             dist[dst.idx()] = 0.0;
-            heap.push(HeapItem { dist: 0.0, node: dst });
+            heap.push(HeapItem {
+                dist: 0.0,
+                node: dst,
+            });
         }
         while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
             if d > dist[u.idx()] {
@@ -201,7 +212,13 @@ pub fn shortest_path_bounded(
     }
 
     let mut heap: BinaryHeap<QItem> = BinaryHeap::new();
-    labels.push(Label { cost: 0.0, delay: 0.0, node: src, parent: None, via: None });
+    labels.push(Label {
+        cost: 0.0,
+        delay: 0.0,
+        node: src,
+        parent: None,
+        via: None,
+    });
     pareto[src.idx()].push(0);
     heap.push(QItem { cost: 0.0, id: 0 });
 
@@ -238,9 +255,9 @@ pub fn shortest_path_bounded(
             let nc = lab.cost + w;
             // Dominance: skip if an existing label at dst-node is better in
             // both dimensions.
-            let dominated = pareto[arc.dst.idx()].iter().any(|&li| {
-                labels[li].cost <= nc + 1e-15 && labels[li].delay <= nd + 1e-15
-            });
+            let dominated = pareto[arc.dst.idx()]
+                .iter()
+                .any(|&li| labels[li].cost <= nc + 1e-15 && labels[li].delay <= nd + 1e-15);
             if dominated {
                 continue;
             }
@@ -258,11 +275,16 @@ pub fn shortest_path_bounded(
                 continue;
             }
             let nid = labels.len();
-            labels.push(Label { cost: nc, delay: nd, node: arc.dst, parent: Some(id), via: Some(a) });
-            let _ = labels[nid].via; // silence unused-field lint on some paths
-            pareto[arc.dst.idx()].retain(|&li| {
-                !(labels[li].cost >= nc - 1e-15 && labels[li].delay >= nd - 1e-15)
+            labels.push(Label {
+                cost: nc,
+                delay: nd,
+                node: arc.dst,
+                parent: Some(id),
+                via: Some(a),
             });
+            let _ = labels[nid].via; // silence unused-field lint on some paths
+            pareto[arc.dst.idx()]
+                .retain(|&li| !(labels[li].cost >= nc - 1e-15 && labels[li].delay >= nd - 1e-15));
             pareto[arc.dst.idx()].push(nid);
             heap.push(QItem { cost: nc, id: nid });
         }
@@ -340,12 +362,20 @@ mod tests {
         let t = diamond();
         // Make the slow branch "cheap" in weight so the unconstrained
         // optimum violates a tight delay bound.
-        let w = |a: ArcId| if t.arc(a).src == NodeId(1) || t.arc(a).dst == NodeId(1) { 10.0 } else { 1.0 };
+        let w = |a: ArcId| {
+            if t.arc(a).src == NodeId(1) || t.arc(a).dst == NodeId(1) {
+                10.0
+            } else {
+                1.0
+            }
+        };
         let unbounded = shortest_path(&t, NodeId(0), NodeId(3), &w, None).unwrap();
-        assert!(unbounded.visits(NodeId(2)), "cheap branch preferred without bound");
+        assert!(
+            unbounded.visits(NodeId(2)),
+            "cheap branch preferred without bound"
+        );
         // Bound = 3ms only admits the fast branch (2 ms total).
-        let bounded =
-            shortest_path_bounded(&t, NodeId(0), NodeId(3), &w, 3.0 * MS, None).unwrap();
+        let bounded = shortest_path_bounded(&t, NodeId(0), NodeId(3), &w, 3.0 * MS, None).unwrap();
         assert!(bounded.visits(NodeId(1)));
         assert!(bounded.latency(&t) <= 3.0 * MS + 1e-12);
     }
@@ -353,7 +383,9 @@ mod tests {
     #[test]
     fn bounded_variant_infeasible_bound() {
         let t = diamond();
-        assert!(shortest_path_bounded(&t, NodeId(0), NodeId(3), &|_| 1.0, 0.5 * MS, None).is_none());
+        assert!(
+            shortest_path_bounded(&t, NodeId(0), NodeId(3), &|_| 1.0, 0.5 * MS, None).is_none()
+        );
     }
 
     #[test]

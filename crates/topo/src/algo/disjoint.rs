@@ -65,7 +65,9 @@ pub fn link_disjoint_path(
     let overlap = path
         .arcs(topo)
         .map(|arcs| {
-            arcs.iter().filter(|&&a| avoid_links.contains(&topo.link_of(a))).count()
+            arcs.iter()
+                .filter(|&&a| avoid_links.contains(&topo.link_of(a)))
+                .count()
         })
         .unwrap_or(0);
     Some((path, overlap))

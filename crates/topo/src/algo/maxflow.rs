@@ -27,9 +27,17 @@ impl FlowNetwork {
     /// Build from active arcs of a topology; capacities in bits/s (or any
     /// consistent unit). `unit_capacities` replaces every capacity with
     /// 1.0, turning max-flow into a count of link-disjoint paths.
-    pub fn from_topology(topo: &Topology, active: Option<&ActiveSet>, unit_capacities: bool) -> Self {
+    pub fn from_topology(
+        topo: &Topology,
+        active: Option<&ActiveSet>,
+        unit_capacities: bool,
+    ) -> Self {
         let n = topo.node_count();
-        let mut fnw = FlowNetwork { edges: Vec::new(), adj: vec![Vec::new(); n], n };
+        let mut fnw = FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            n,
+        };
         for a in topo.arc_ids() {
             let usable = active.map(|s| s.arc_on(topo, a)).unwrap_or(true);
             if !usable {
@@ -44,9 +52,17 @@ impl FlowNetwork {
 
     fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
         self.adj[u].push(self.edges.len());
-        self.edges.push(Edge { to: v, cap, flow: 0.0 });
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            flow: 0.0,
+        });
         self.adj[v].push(self.edges.len());
-        self.edges.push(Edge { to: u, cap: 0.0, flow: 0.0 });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0.0,
+            flow: 0.0,
+        });
     }
 
     fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
@@ -70,7 +86,14 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs_push(&mut self, u: usize, t: usize, pushed: f64, level: &[i32], it: &mut [usize]) -> f64 {
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> f64 {
         if u == t {
             return pushed;
         }

@@ -28,7 +28,9 @@ pub fn k_shortest_paths(
         None => return Vec::new(),
     };
     let path_cost = |p: &Path| -> f64 {
-        p.arcs(topo).map(|arcs| arcs.iter().map(|&a| weight(a)).sum()).unwrap_or(f64::INFINITY)
+        p.arcs(topo)
+            .map(|arcs| arcs.iter().map(|&a| weight(a)).sum())
+            .unwrap_or(f64::INFINITY)
     };
 
     let mut result: Vec<Path> = vec![first];

@@ -26,7 +26,12 @@ pub struct FatTreeConfig {
 
 impl Default for FatTreeConfig {
     fn default() -> Self {
-        FatTreeConfig { k: 4, capacity: GBPS, latency: 0.05 * MS, with_hosts: false }
+        FatTreeConfig {
+            k: 4,
+            capacity: GBPS,
+            latency: 0.05 * MS,
+            with_hosts: false,
+        }
     }
 }
 
@@ -46,7 +51,10 @@ pub struct FatTreeIndex {
 
 /// Build a k-ary fat-tree; returns the topology and a structural index.
 pub fn fat_tree(cfg: &FatTreeConfig) -> (Topology, FatTreeIndex) {
-    assert!(cfg.k >= 2 && cfg.k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    assert!(
+        cfg.k >= 2 && cfg.k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let k = cfg.k;
     let half = k / 2;
     let mut b = TopologyBuilder::new(format!("fat-tree-k{k}"));
@@ -120,7 +128,15 @@ pub fn fat_tree(cfg: &FatTreeConfig) -> (Topology, FatTreeIndex) {
     }
 
     let topo = b.build();
-    (topo, FatTreeIndex { core, agg, edge, hosts })
+    (
+        topo,
+        FatTreeIndex {
+            core,
+            agg,
+            edge,
+            hosts,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -143,9 +159,16 @@ mod tests {
 
     #[test]
     fn k12_has_36_core_switches() {
-        let cfg = FatTreeConfig { k: 12, ..Default::default() };
+        let cfg = FatTreeConfig {
+            k: 12,
+            ..Default::default()
+        };
         let (t, ix) = fat_tree(&cfg);
-        assert_eq!(ix.core.len(), 36, "paper's Fig 2b: 36 switches at the core layer");
+        assert_eq!(
+            ix.core.len(),
+            36,
+            "paper's Fig 2b: 36 switches at the core layer"
+        );
         assert_eq!(t.node_count(), 36 + 12 * 12);
         assert_eq!(t.validate(), Ok(()));
     }
@@ -170,9 +193,16 @@ mod tests {
 
     #[test]
     fn hosts_attach_to_edges() {
-        let cfg = FatTreeConfig { with_hosts: true, ..Default::default() };
+        let cfg = FatTreeConfig {
+            with_hosts: true,
+            ..Default::default()
+        };
         let (t, ix) = fat_tree(&cfg);
-        assert_eq!(ix.hosts.iter().map(Vec::len).sum::<usize>(), 16, "k^3/4 hosts");
+        assert_eq!(
+            ix.hosts.iter().map(Vec::len).sum::<usize>(),
+            16,
+            "k^3/4 hosts"
+        );
         assert_eq!(t.node_count(), 20 + 16);
         for pod in &ix.edge {
             for &e in pod {
@@ -198,6 +228,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "even")]
     fn odd_arity_rejected() {
-        fat_tree(&FatTreeConfig { k: 3, ..Default::default() });
+        fat_tree(&FatTreeConfig {
+            k: 3,
+            ..Default::default()
+        });
     }
 }

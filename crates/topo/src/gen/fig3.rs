@@ -70,7 +70,21 @@ pub fn fig3(capacity: f64, latency: f64, include_b: bool) -> (Topology, Fig3Node
     bld.add_link(h, k, capacity, latency);
     bld.add_link(j, k, capacity, latency);
 
-    (bld.build(), Fig3Nodes { a, b, c, d, e, f, g, h, j, k })
+    (
+        bld.build(),
+        Fig3Nodes {
+            a,
+            b,
+            c,
+            d,
+            e,
+            f,
+            g,
+            h,
+            j,
+            k,
+        },
+    )
 }
 
 /// The Click-testbed variant: 10 Mbps, 16.67 ms, no router B.

@@ -109,7 +109,13 @@ pub fn geant() -> Topology {
     let mut b = TopologyBuilder::new("geant-like");
     let ids: Vec<NodeId> = cities
         .iter()
-        .map(|(name, _, _)| b.add_node_full(Node { name: (*name).into(), role: NodeRole::Core, level: 0 }))
+        .map(|(name, _, _)| {
+            b.add_node_full(Node {
+                name: (*name).into(),
+                role: NodeRole::Core,
+                level: 0,
+            })
+        })
         .collect();
     for &(i, j, tier) in links {
         let km = dist((cities[i].1, cities[i].2), (cities[j].1, cities[j].2));
@@ -144,7 +150,9 @@ fn rocketfuel_like(name: &str, n: usize, target_links: usize, seed: u64) -> Topo
 
     let mut links: Vec<(usize, usize)> = Vec::new();
     let has = |links: &Vec<(usize, usize)>, a: usize, b: usize| {
-        links.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        links
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
     };
     for i in 0..n {
         let a = order[i];
@@ -179,12 +187,22 @@ fn rocketfuel_like(name: &str, n: usize, target_links: usize, seed: u64) -> Topo
 
     let mut b = TopologyBuilder::new(name);
     let ids: Vec<NodeId> = (0..n)
-        .map(|i| b.add_node_full(Node { name: format!("pop{i}"), role: NodeRole::Core, level: 0 }))
+        .map(|i| {
+            b.add_node_full(Node {
+                name: format!("pop{i}"),
+                role: NodeRole::Core,
+                level: 0,
+            })
+        })
         .collect();
     for &(i, j) in &links {
         // Paper rule (from TeXCP): 100 Mbps if connected to an endpoint of
         // degree < 7, else 52 Mbps.
-        let cap = if degree[i] < 7 || degree[j] < 7 { 100.0 * MBPS } else { 52.0 * MBPS };
+        let cap = if degree[i] < 7 || degree[j] < 7 {
+            100.0 * MBPS
+        } else {
+            52.0 * MBPS
+        };
         let km = dist(pos[i], pos[j]);
         b.add_link(ids[i], ids[j], cap, lat_from_km(km));
         b.set_last_link_length(km);
@@ -242,7 +260,13 @@ pub fn pop_access(cfg: &PopAccessConfig) -> Topology {
     assert!(cfg.core >= 2 && cfg.backbone >= 2 && cfg.metro >= 1);
     let mut b = TopologyBuilder::new("pop-access");
     let core: Vec<NodeId> = (0..cfg.core)
-        .map(|i| b.add_node_full(Node { name: format!("core{i}"), role: NodeRole::Core, level: 0 }))
+        .map(|i| {
+            b.add_node_full(Node {
+                name: format!("core{i}"),
+                role: NodeRole::Core,
+                level: 0,
+            })
+        })
         .collect();
     let backbone: Vec<NodeId> = (0..cfg.backbone)
         .map(|i| {
@@ -254,7 +278,13 @@ pub fn pop_access(cfg: &PopAccessConfig) -> Topology {
         })
         .collect();
     let metro: Vec<NodeId> = (0..cfg.metro)
-        .map(|i| b.add_node_full(Node { name: format!("metro{i}"), role: NodeRole::Edge, level: 2 }))
+        .map(|i| {
+            b.add_node_full(Node {
+                name: format!("metro{i}"),
+                role: NodeRole::Edge,
+                level: 2,
+            })
+        })
         .collect();
 
     // Core full mesh, ~1 ms links (national scale).
@@ -312,7 +342,10 @@ mod tests {
         let t = geant();
         for a in t.arc_ids() {
             let lat = t.arc(a).latency;
-            assert!(lat > 0.0 && lat < 0.1, "intra-Europe/transatlantic: 0-100 ms, got {lat}");
+            assert!(
+                lat > 0.0 && lat < 0.1,
+                "intra-Europe/transatlantic: 0-100 ms, got {lat}"
+            );
         }
         // A transatlantic link (touching NewYork, node 21) must be the slowest.
         let max_arc = t
@@ -358,8 +391,15 @@ mod tests {
             let arc = t.arc(a);
             let d_src = t.degree(arc.src);
             let d_dst = t.degree(arc.dst);
-            let expect = if d_src < 7 || d_dst < 7 { 100.0 * MBPS } else { 52.0 * MBPS };
-            assert!((arc.capacity - expect).abs() < 1.0, "capacity rule violated");
+            let expect = if d_src < 7 || d_dst < 7 {
+                100.0 * MBPS
+            } else {
+                52.0 * MBPS
+            };
+            assert!(
+                (arc.capacity - expect).abs() < 1.0,
+                "capacity rule violated"
+            );
         }
     }
 
@@ -395,7 +435,10 @@ mod tests {
         let (src, dst) = (metros[0], metros[8]);
         let p1 = shortest_path(&t, src, dst, &|_| 1.0, None).unwrap();
         let (_, overlap) = link_disjoint_path(&t, src, dst, &[&p1], &|_| 1.0, None).unwrap();
-        assert_eq!(overlap, 0, "hierarchy provides disjoint metro-to-metro paths");
+        assert_eq!(
+            overlap, 0,
+            "hierarchy provides disjoint metro-to-metro paths"
+        );
     }
 
     #[test]

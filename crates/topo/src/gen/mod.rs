@@ -17,9 +17,11 @@ mod fig3;
 mod isp;
 mod random;
 mod shapes;
+mod spec;
 
 pub use dc::{fat_tree, FatTreeConfig, FatTreeIndex};
 pub use fig3::{fig3, fig3_click, Fig3Nodes};
 pub use isp::{abovenet, geant, genuity, pop_access, PopAccessConfig};
 pub use random::{random_waxman, random_waxman_default};
 pub use shapes::{full_mesh, grid, line, ring, star};
+pub use spec::{BuiltTopology, TopoSpec};

@@ -14,8 +14,9 @@ use rand::{Rng, SeedableRng};
 pub fn random_waxman(n: usize, alpha: f64, beta: f64, capacity: f64, seed: u64) -> Topology {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
-    let pos: Vec<(f64, f64)> =
-        (0..n).map(|_| (rng.gen_range(0.0..3000.0), rng.gen_range(0.0..2000.0))).collect();
+    let pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..3000.0), rng.gen_range(0.0..2000.0)))
+        .collect();
     let span = (3000.0f64.powi(2) + 2000.0f64.powi(2)).sqrt();
     let mut b = TopologyBuilder::new(format!("waxman{n}-s{seed}"));
     let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("w{i}"))).collect();
@@ -78,10 +79,14 @@ mod tests {
         let a = random_waxman_default(40, 1);
         let b = random_waxman_default(40, 2);
         // Overwhelmingly likely to have different link counts.
-        assert!(a.arc_count() != b.arc_count() || {
-            // fall back to comparing endpoints
-            a.arc_ids().zip(b.arc_ids()).any(|(x, y)| a.arc(x).dst != b.arc(y).dst)
-        });
+        assert!(
+            a.arc_count() != b.arc_count() || {
+                // fall back to comparing endpoints
+                a.arc_ids()
+                    .zip(b.arc_ids())
+                    .any(|(x, y)| a.arc(x).dst != b.arc(y).dst)
+            }
+        );
     }
 
     #[test]

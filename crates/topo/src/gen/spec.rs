@@ -1,0 +1,199 @@
+//! Spec-driven topology construction: a serializable [`TopoSpec`] that
+//! names any generator in this module plus its parameters, so
+//! experiments can carry their topology as data (TOML/JSON) instead of
+//! code. Used by the `ecp-scenario` crate.
+
+use super::{
+    abovenet, fat_tree, fig3_click, geant, genuity, pop_access, random_waxman, FatTreeConfig,
+    FatTreeIndex, Fig3Nodes, PopAccessConfig,
+};
+use crate::{Topology, GBPS};
+use serde::{Deserialize, Serialize};
+
+/// A declarative topology choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopoSpec {
+    /// GÉANT-like European research network (23 PoPs).
+    Geant,
+    /// Rocketfuel-style Abovenet PoP map (19 PoPs).
+    Abovenet,
+    /// Rocketfuel-style Genuity PoP map (42 PoPs).
+    Genuity,
+    /// The paper's Figure-3 Click-testbed topology (9 routers, no B).
+    Fig3Click,
+    /// Hierarchical Italian-ISP-like core/backbone/metro design.
+    PopAccess {
+        /// Fully-meshed core routers.
+        core: usize,
+        /// Backbone routers (dual-homed + ring).
+        backbone: usize,
+        /// Metro routers (dual-homed).
+        metro: usize,
+    },
+    /// FatTree datacenter of arity `k`.
+    FatTree {
+        /// Arity (even, ≥ 2).
+        k: usize,
+    },
+    /// Seeded random Waxman WAN.
+    Waxman {
+        /// Node count.
+        nodes: usize,
+        /// Waxman α (link-probability scale).
+        alpha: f64,
+        /// Waxman β (distance decay).
+        beta: f64,
+        /// Link capacity in bits/s.
+        capacity: f64,
+        /// Generation seed.
+        seed: u64,
+    },
+}
+
+/// A built topology plus the generator-specific indices some consumers
+/// need (fat-tree pod structure, Fig.-3 node handles).
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// The graph.
+    pub topo: Topology,
+    /// Pod/core structure when built from [`TopoSpec::FatTree`].
+    pub fat_tree: Option<FatTreeIndex>,
+    /// Node handles when built from [`TopoSpec::Fig3Click`].
+    pub fig3: Option<Fig3Nodes>,
+}
+
+impl TopoSpec {
+    /// Construct the topology this spec describes.
+    pub fn build(&self) -> BuiltTopology {
+        match *self {
+            TopoSpec::Geant => BuiltTopology {
+                topo: geant(),
+                fat_tree: None,
+                fig3: None,
+            },
+            TopoSpec::Abovenet => BuiltTopology {
+                topo: abovenet(),
+                fat_tree: None,
+                fig3: None,
+            },
+            TopoSpec::Genuity => BuiltTopology {
+                topo: genuity(),
+                fat_tree: None,
+                fig3: None,
+            },
+            TopoSpec::Fig3Click => {
+                let (topo, nodes) = fig3_click();
+                BuiltTopology {
+                    topo,
+                    fat_tree: None,
+                    fig3: Some(nodes),
+                }
+            }
+            TopoSpec::PopAccess {
+                core,
+                backbone,
+                metro,
+            } => {
+                let cfg = PopAccessConfig {
+                    core,
+                    backbone,
+                    metro,
+                    ..Default::default()
+                };
+                BuiltTopology {
+                    topo: pop_access(&cfg),
+                    fat_tree: None,
+                    fig3: None,
+                }
+            }
+            TopoSpec::FatTree { k } => {
+                let cfg = FatTreeConfig {
+                    k,
+                    ..Default::default()
+                };
+                let (topo, index) = fat_tree(&cfg);
+                BuiltTopology {
+                    topo,
+                    fat_tree: Some(index),
+                    fig3: None,
+                }
+            }
+            TopoSpec::Waxman {
+                nodes,
+                alpha,
+                beta,
+                capacity,
+                seed,
+            } => BuiltTopology {
+                topo: random_waxman(nodes, alpha, beta, capacity, seed),
+                fat_tree: None,
+                fig3: None,
+            },
+        }
+    }
+
+    /// The default PoP-access spec (matches `PopAccessConfig::default`).
+    pub fn pop_access_default() -> Self {
+        let d = PopAccessConfig::default();
+        TopoSpec::PopAccess {
+            core: d.core,
+            backbone: d.backbone,
+            metro: d.metro,
+        }
+    }
+
+    /// A small Waxman WAN spec for tests and sweeps.
+    pub fn small_waxman(nodes: usize, seed: u64) -> Self {
+        TopoSpec::Waxman {
+            nodes,
+            alpha: 0.6,
+            beta: 0.3,
+            capacity: 10.0 * GBPS,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_expected_topologies() {
+        assert_eq!(TopoSpec::Geant.build().topo.node_count(), 23);
+        let ft = TopoSpec::FatTree { k: 4 }.build();
+        assert!(ft.fat_tree.is_some());
+        assert_eq!(ft.fat_tree.unwrap().edge.len(), 4, "k pods");
+        let f3 = TopoSpec::Fig3Click.build();
+        assert!(f3.fig3.is_some());
+        let pa = TopoSpec::PopAccess {
+            core: 2,
+            backbone: 4,
+            metro: 6,
+        }
+        .build();
+        assert_eq!(pa.topo.node_count(), 12);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            TopoSpec::Geant,
+            TopoSpec::Fig3Click,
+            TopoSpec::pop_access_default(),
+            TopoSpec::FatTree { k: 6 },
+            TopoSpec::small_waxman(12, 7),
+        ] {
+            let js = serde_json::to_string(&spec).unwrap();
+            let back: TopoSpec = serde_json::from_str(&js).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn waxman_spec_is_deterministic() {
+        let a = TopoSpec::small_waxman(10, 3).build().topo;
+        let b = TopoSpec::small_waxman(10, 3).build().topo;
+        assert_eq!(a.arc_count(), b.arc_count());
+    }
+}

@@ -87,7 +87,11 @@ pub struct Node {
 impl Node {
     /// A core node with the given name.
     pub fn core(name: impl Into<String>) -> Self {
-        Node { name: name.into(), role: NodeRole::Core, level: 0 }
+        Node {
+            name: name.into(),
+            role: NodeRole::Core,
+            level: 0,
+        }
     }
 }
 
@@ -202,7 +206,15 @@ impl Topology {
     /// Find the arc `src → dst`, if one exists (first match on parallel
     /// arcs).
     pub fn find_arc(&self, src: NodeId, dst: NodeId) -> Option<ArcId> {
-        self.out[src.idx()].iter().copied().find(|&a| self.arcs[a.idx()].dst == dst)
+        self.out[src.idx()]
+            .iter()
+            .copied()
+            .find(|&a| self.arcs[a.idx()].dst == dst)
+    }
+
+    /// Find a node by its name (exact match).
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_ids().find(|&n| self.node(n).name == name)
     }
 
     /// Degree of a node counting outgoing arcs.
@@ -212,14 +224,19 @@ impl Topology {
 
     /// Nodes with the given role.
     pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.node(n).role == role).collect()
+        self.node_ids()
+            .filter(|&n| self.node(n).role == role)
+            .collect()
     }
 
     /// Edge nodes (plausible traffic origins/destinations). Falls back to
     /// *all* nodes when the topology is flat (no role marked edge), which
     /// is how the paper treats PoP-level ISP maps.
     pub fn edge_nodes(&self) -> Vec<NodeId> {
-        let e: Vec<NodeId> = self.node_ids().filter(|&n| self.node(n).role.is_edge()).collect();
+        let e: Vec<NodeId> = self
+            .node_ids()
+            .filter(|&n| self.node(n).role.is_edge())
+            .collect();
         if e.is_empty() {
             self.node_ids().collect()
         } else {
@@ -230,8 +247,14 @@ impl Topology {
     /// Total capacity of arcs adjacent (in or out) to `i`; the gravity
     /// traffic model weights PoPs by this quantity.
     pub fn adjacent_capacity(&self, i: NodeId) -> f64 {
-        let o: f64 = self.out[i.idx()].iter().map(|&a| self.arcs[a.idx()].capacity).sum();
-        let inn: f64 = self.inc[i.idx()].iter().map(|&a| self.arcs[a.idx()].capacity).sum();
+        let o: f64 = self.out[i.idx()]
+            .iter()
+            .map(|&a| self.arcs[a.idx()].capacity)
+            .sum();
+        let inn: f64 = self.inc[i.idx()]
+            .iter()
+            .map(|&a| self.arcs[a.idx()].capacity)
+            .sum();
         o + inn
     }
 
@@ -265,7 +288,9 @@ impl Topology {
                     return Err(format!("reverse pairing of arc {i} is not symmetric"));
                 }
                 if a.src != b.dst || a.dst != b.src {
-                    return Err(format!("reverse of arc {i} does not connect same endpoints"));
+                    return Err(format!(
+                        "reverse of arc {i} does not connect same endpoints"
+                    ));
                 }
             }
         }
@@ -303,7 +328,12 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Start a new topology with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        TopologyBuilder { name: name.into(), nodes: Vec::new(), arcs: Vec::new(), reverse: Vec::new() }
+        TopologyBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            arcs: Vec::new(),
+            reverse: Vec::new(),
+        }
     }
 
     /// Add a core node, returning its id.
@@ -322,14 +352,26 @@ impl TopologyBuilder {
     pub fn add_arc(&mut self, src: NodeId, dst: NodeId, capacity: f64, latency: f64) -> ArcId {
         assert_ne!(src, dst, "self-loop arcs are not allowed");
         let id = ArcId(self.arcs.len() as u32);
-        self.arcs.push(Arc { src, dst, capacity, latency, length_km: 0.0 });
+        self.arcs.push(Arc {
+            src,
+            dst,
+            capacity,
+            latency,
+            length_km: 0.0,
+        });
         self.reverse.push(None);
         id
     }
 
     /// Add a bidirectional link as a pair of mutually-reverse arcs with
     /// identical capacity and latency. Returns `(forward, backward)`.
-    pub fn add_link(&mut self, a: NodeId, b: NodeId, capacity: f64, latency: f64) -> (ArcId, ArcId) {
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: f64,
+        latency: f64,
+    ) -> (ArcId, ArcId) {
         self.add_link_asym(a, b, capacity, capacity, latency)
     }
 

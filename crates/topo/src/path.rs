@@ -198,7 +198,10 @@ mod tests {
         let t = line3();
         let p = Path::new(vec![NodeId(0), NodeId(1)]);
         let q = Path::new(vec![NodeId(1), NodeId(0)]);
-        assert!(p.shares_link_with(&q, &t), "opposite directions share the physical link");
+        assert!(
+            p.shares_link_with(&q, &t),
+            "opposite directions share the physical link"
+        );
         let r = Path::new(vec![NodeId(1), NodeId(2)]);
         assert!(!p.shares_link_with(&r, &t));
     }

@@ -47,7 +47,12 @@ impl DeviationStats {
     /// Compute over a series; empty input yields zeros.
     pub fn of(series: &[f64]) -> Self {
         if series.is_empty() {
-            return DeviationStats { mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+            return DeviationStats {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
         }
         let n = series.len() as f64;
         let mean = series.iter().sum::<f64>() / n;
@@ -58,7 +63,12 @@ impl DeviationStats {
         } else {
             0.0
         };
-        DeviationStats { mean, min, max, stddev: var.sqrt() }
+        DeviationStats {
+            mean,
+            min,
+            max,
+            stddev: var.sqrt(),
+        }
     }
 }
 
@@ -151,8 +161,15 @@ mod tests {
     #[test]
     fn peak_durations_edge_cases() {
         assert!(peak_durations(&[], 900.0, 5.0).is_empty());
-        assert!(peak_durations(&[1.0, 2.0], 900.0, 5.0).is_empty(), "never above");
-        assert_eq!(peak_durations(&[9.0, 9.0], 900.0, 5.0), vec![1800.0], "always above");
+        assert!(
+            peak_durations(&[1.0, 2.0], 900.0, 5.0).is_empty(),
+            "never above"
+        );
+        assert_eq!(
+            peak_durations(&[9.0, 9.0], 900.0, 5.0),
+            vec![1800.0],
+            "always above"
+        );
         // Exactly at the threshold is not a peak (strict >).
         assert!(peak_durations(&[5.0, 5.0], 900.0, 5.0).is_empty());
     }

@@ -77,14 +77,21 @@ pub fn gravity_matrix(
         return TrafficMatrix::empty();
     }
     let w: Vec<f64> = topo.node_ids().map(|n| topo.adjacent_capacity(n)).collect();
-    let raw: Vec<f64> = od_pairs.iter().map(|&(o, d)| w[o.idx()] * w[d.idx()]).collect();
+    let raw: Vec<f64> = od_pairs
+        .iter()
+        .map(|&(o, d)| w[o.idx()] * w[d.idx()])
+        .collect();
     let sum: f64 = raw.iter().sum();
     assert!(sum > 0.0, "gravity weights degenerate");
     TrafficMatrix::new(
         od_pairs
             .iter()
             .zip(&raw)
-            .map(|(&(o, d), &r)| Demand { origin: o, dst: d, rate: total_volume * r / sum })
+            .map(|(&(o, d), &r)| Demand {
+                origin: o,
+                dst: d,
+                rate: total_volume * r / sum,
+            })
             .collect(),
     )
 }

@@ -15,17 +15,22 @@
 //!   (diurnal swings; ≈50% of 5-min intervals changing by ≥20%).
 //! * [`analysis`] — the traffic-deviation CCDF of Fig. 1a and general
 //!   series statistics.
+//! * [`program`] — composable piecewise traffic programs (plateaus,
+//!   step alternations, sine/diurnal curves, ramps, flash crowds) that
+//!   compile to sparse demand schedules for the scenario engine.
 //!
 //! All generators are deterministic in an explicit `u64` seed.
 
 pub mod analysis;
 pub mod gravity;
 pub mod matrix;
+pub mod program;
 pub mod sine;
 pub mod trace;
 
 pub use analysis::{deviation_ccdf, peak_durations, DeviationStats};
 pub use gravity::{gravity_matrix, random_od_pairs, random_od_pairs_subset};
 pub use matrix::{Demand, TrafficMatrix};
+pub use program::{Program, Segment, Shape};
 pub use sine::{fat_tree_far_pairs, fat_tree_near_pairs, sine_series, uniform_matrix};
 pub use trace::{dc_like_volume_trace, geant_like_trace, Trace};

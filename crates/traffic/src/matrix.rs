@@ -38,7 +38,9 @@ impl TrafficMatrix {
 
     /// Empty matrix.
     pub fn empty() -> Self {
-        TrafficMatrix { demands: Vec::new() }
+        TrafficMatrix {
+            demands: Vec::new(),
+        }
     }
 
     /// All demands, sorted by (origin, dst).
@@ -87,7 +89,10 @@ impl TrafficMatrix {
                 .demands
                 .iter()
                 .filter(|d| d.rate * factor > 0.0)
-                .map(|d| Demand { rate: d.rate * factor, ..*d })
+                .map(|d| Demand {
+                    rate: d.rate * factor,
+                    ..*d
+                })
                 .collect(),
         }
     }
@@ -101,7 +106,10 @@ impl TrafficMatrix {
             let take_left = match (self.demands.get(i), other.demands.get(j)) {
                 (Some(a), Some(b)) => {
                     if (a.origin, a.dst) == (b.origin, b.dst) {
-                        all.push(Demand { rate: a.rate.max(b.rate), ..*a });
+                        all.push(Demand {
+                            rate: a.rate.max(b.rate),
+                            ..*a
+                        });
                         i += 1;
                         j += 1;
                         continue;
@@ -128,7 +136,14 @@ impl TrafficMatrix {
     /// value ε (e.g., 1 bit/s)", §4.1).
     pub fn epsilon_like(&self, epsilon: f64) -> Self {
         TrafficMatrix {
-            demands: self.demands.iter().map(|d| Demand { rate: epsilon, ..*d }).collect(),
+            demands: self
+                .demands
+                .iter()
+                .map(|d| Demand {
+                    rate: epsilon,
+                    ..*d
+                })
+                .collect(),
         }
     }
 }
@@ -144,7 +159,11 @@ mod tests {
     use super::*;
 
     fn d(o: u32, t: u32, r: f64) -> Demand {
-        Demand { origin: NodeId(o), dst: NodeId(t), rate: r }
+        Demand {
+            origin: NodeId(o),
+            dst: NodeId(t),
+            rate: r,
+        }
     }
 
     #[test]
@@ -203,7 +222,10 @@ mod tests {
     fn max_rate_and_od_pairs() {
         let a = TrafficMatrix::new(vec![d(0, 1, 3.0), d(1, 2, 6.0)]);
         assert_eq!(a.max_rate(), 6.0);
-        assert_eq!(a.od_pairs(), vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        assert_eq!(
+            a.od_pairs(),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]
+        );
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Composable piecewise traffic programs.
+//!
+//! A [`Program`] is a sequence of [`Segment`]s, each describing the
+//! evolution of a *relative demand level* over its duration with one
+//! [`Shape`]: constant plateaus, step alternations (Fig. 8a's
+//! util-50/util-100 switching), sine waves (Figs. 4/8b), diurnal curves,
+//! linear ramps, and flash crowds. Programs compile to a sparse
+//! `(time, level)` schedule via [`Program::sample`]; the scenario engine
+//! (`ecp-scenario`) maps levels to traffic matrices and injects them as
+//! demand-change events.
+//!
+//! Levels are dimensionless; the consumer decides what `1.0` means
+//! (e.g. the maximum feasible volume, or a per-flow peak rate in bits/s
+//! — see the scenario engine's scale spec).
+
+use serde::{Deserialize, Serialize};
+
+/// The level curve within one segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// A flat plateau.
+    Constant {
+        /// The level.
+        level: f64,
+    },
+    /// Cycle through `levels`, holding each for `step_s` seconds —
+    /// the aggressive every-30-s demand switching of Fig. 8.
+    Steps {
+        /// Levels to cycle through.
+        levels: Vec<f64>,
+        /// Hold time per level (seconds).
+        step_s: f64,
+    },
+    /// Sine wave from `lo` (at segment start) up to `hi` half a period
+    /// later, like the ElasticTree-style datacenter demand.
+    Sine {
+        /// Full period in seconds.
+        period_s: f64,
+        /// Minimum level.
+        lo: f64,
+        /// Maximum level.
+        hi: f64,
+    },
+    /// Diurnal curve: trough (`night × peak`) at 04:00, peak at 16:00,
+    /// smooth sine in between; segment time 0 is midnight.
+    Diurnal {
+        /// Peak level.
+        peak: f64,
+        /// Night level as a fraction of `peak`, in `[0, 1]`.
+        night: f64,
+    },
+    /// Linear ramp across the whole segment.
+    Ramp {
+        /// Level at segment start.
+        from: f64,
+        /// Level at segment end.
+        to: f64,
+    },
+    /// A flash crowd: hold `base`, ramp to `peak` over `ramp_s` starting
+    /// at `start_s` (relative to the segment), hold for `hold_s`, decay
+    /// back to `base` over `decay_s`.
+    FlashCrowd {
+        /// Quiescent level.
+        base: f64,
+        /// Crowd level.
+        peak: f64,
+        /// Onset time within the segment (seconds).
+        start_s: f64,
+        /// Ramp-up duration (seconds).
+        ramp_s: f64,
+        /// Plateau duration (seconds).
+        hold_s: f64,
+        /// Decay duration (seconds).
+        decay_s: f64,
+    },
+}
+
+impl Shape {
+    /// Level at time `t` (seconds) relative to the segment start.
+    pub fn level_at(&self, t: f64) -> f64 {
+        match self {
+            Shape::Constant { level } => *level,
+            Shape::Steps { levels, step_s } => {
+                if levels.is_empty() {
+                    return 0.0;
+                }
+                let idx = (t / step_s).floor().max(0.0) as usize % levels.len();
+                levels[idx]
+            }
+            Shape::Sine { period_s, lo, hi } => {
+                let phase = 2.0 * std::f64::consts::PI * t / period_s - std::f64::consts::FRAC_PI_2;
+                lo + (hi - lo) * (1.0 + phase.sin()) / 2.0
+            }
+            Shape::Diurnal { peak, night } => {
+                let day = 86_400.0;
+                let phase = 2.0 * std::f64::consts::PI * (t % day - 4.0 * 3600.0) / day
+                    - std::f64::consts::FRAC_PI_2;
+                let floor = night * peak;
+                floor + (peak - floor) * (1.0 + phase.sin()) / 2.0
+            }
+            Shape::Ramp { .. } => {
+                // Needs the segment duration; handled by `Segment`.
+                unreachable!("Ramp is sampled through Segment::level_at")
+            }
+            Shape::FlashCrowd {
+                base,
+                peak,
+                start_s,
+                ramp_s,
+                hold_s,
+                decay_s,
+            } => {
+                if t < *start_s {
+                    *base
+                } else if t < start_s + ramp_s {
+                    base + (peak - base) * (t - start_s) / ramp_s
+                } else if t < start_s + ramp_s + hold_s {
+                    *peak
+                } else if t < start_s + ramp_s + hold_s + decay_s {
+                    peak - (peak - base) * (t - start_s - ramp_s - hold_s) / decay_s
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+}
+
+/// One piece of a [`Program`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// How long this segment lasts (seconds).
+    pub duration_s: f64,
+    /// Sampling interval for continuous shapes (seconds). Step-wise
+    /// shapes emit points only where the level actually changes.
+    pub interval_s: f64,
+    /// The level curve.
+    pub shape: Shape,
+}
+
+impl Segment {
+    /// Level at time `t` relative to the segment start (clamped into the
+    /// segment).
+    pub fn level_at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, self.duration_s);
+        match &self.shape {
+            Shape::Ramp { from, to } => {
+                if self.duration_s <= 0.0 {
+                    *to
+                } else {
+                    from + (to - from) * (t / self.duration_s)
+                }
+            }
+            other => other.level_at(t),
+        }
+    }
+
+    /// Sample points `(t_rel, level)` within this segment, starting at
+    /// `t = 0`, deduplicating consecutive equal levels.
+    fn sample_into(&self, offset: f64, out: &mut Vec<(f64, f64)>) {
+        let push = |out: &mut Vec<(f64, f64)>, t: f64, level: f64| {
+            if let Some(&(_, last)) = out.last() {
+                if (last - level).abs() < 1e-12 {
+                    return;
+                }
+            }
+            out.push((t, level));
+        };
+        match &self.shape {
+            Shape::Constant { level } => push(out, offset, *level),
+            Shape::Steps { levels, step_s } => {
+                if levels.is_empty() {
+                    return;
+                }
+                let n = (self.duration_s / step_s).ceil() as usize;
+                for i in 0..n.max(1) {
+                    let t = i as f64 * step_s;
+                    if t >= self.duration_s && i > 0 {
+                        break;
+                    }
+                    push(out, offset + t, levels[i % levels.len()]);
+                }
+            }
+            _ => {
+                let interval = self.interval_s.max(1e-9);
+                let n = (self.duration_s / interval).ceil() as usize;
+                for i in 0..n.max(1) {
+                    let t = i as f64 * interval;
+                    if t >= self.duration_s && i > 0 {
+                        break;
+                    }
+                    push(out, offset + t, self.level_at(t));
+                }
+            }
+        }
+    }
+}
+
+/// A piecewise traffic program: segments played back to back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The segments, in playback order.
+    pub segments: Vec<Segment>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Program {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Single-segment program.
+    pub fn from_shape(duration_s: f64, interval_s: f64, shape: Shape) -> Self {
+        Program {
+            segments: vec![Segment {
+                duration_s,
+                interval_s,
+                shape,
+            }],
+        }
+    }
+
+    /// Append a segment (builder style).
+    pub fn then(mut self, duration_s: f64, interval_s: f64, shape: Shape) -> Self {
+        self.segments.push(Segment {
+            duration_s,
+            interval_s,
+            shape,
+        });
+        self
+    }
+
+    /// Total duration (seconds).
+    pub fn duration_s(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration_s).sum()
+    }
+
+    /// Compile to a sparse, time-ordered `(t, level)` schedule starting
+    /// at `t = 0`. Consecutive duplicate levels are elided.
+    pub fn sample(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut offset = 0.0;
+        for seg in &self.segments {
+            seg.sample_into(offset, &mut out);
+            offset += seg.duration_s;
+        }
+        out
+    }
+
+    /// Level at absolute program time `t`.
+    pub fn level_at(&self, mut t: f64) -> f64 {
+        for seg in &self.segments {
+            if t <= seg.duration_s {
+                return seg.level_at(t);
+            }
+            t -= seg.duration_s;
+        }
+        self.segments
+            .last()
+            .map(|s| s.level_at(s.duration_s))
+            .unwrap_or(0.0)
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_match_fig8_alternation() {
+        // util-50 / util-100 alternation every 30 s for 5 steps.
+        let p = Program::from_shape(
+            150.0,
+            30.0,
+            Shape::Steps {
+                levels: vec![0.5, 1.0],
+                step_s: 30.0,
+            },
+        );
+        let s = p.sample();
+        assert_eq!(
+            s,
+            vec![
+                (0.0, 0.5),
+                (30.0, 1.0),
+                (60.0, 0.5),
+                (90.0, 1.0),
+                (120.0, 0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn sine_matches_sine_series() {
+        // The legacy sine_series and a Sine shape sampled at the step
+        // interval must agree.
+        let steps = 10;
+        let series = crate::sine_series(steps, steps, 0.1, 0.9);
+        let p = Program::from_shape(
+            steps as f64 * 30.0,
+            30.0,
+            Shape::Sine {
+                period_s: steps as f64 * 30.0,
+                lo: 0.1,
+                hi: 0.9,
+            },
+        );
+        for (i, &v) in series.iter().enumerate() {
+            let got = p.level_at(i as f64 * 30.0);
+            assert!((got - v).abs() < 1e-9, "step {i}: {got} vs {v}");
+        }
+    }
+
+    #[test]
+    fn segments_compose_sequentially() {
+        let p = Program::from_shape(10.0, 1.0, Shape::Constant { level: 0.2 }).then(
+            10.0,
+            1.0,
+            Shape::Ramp { from: 0.2, to: 1.0 },
+        );
+        assert_eq!(p.duration_s(), 20.0);
+        assert!((p.level_at(5.0) - 0.2).abs() < 1e-12);
+        assert!((p.level_at(15.0) - 0.6).abs() < 1e-12);
+        assert!((p.level_at(20.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flash_crowd_phases() {
+        let shape = Shape::FlashCrowd {
+            base: 0.3,
+            peak: 1.0,
+            start_s: 10.0,
+            ramp_s: 5.0,
+            hold_s: 20.0,
+            decay_s: 10.0,
+        };
+        assert!((shape.level_at(0.0) - 0.3).abs() < 1e-12);
+        assert!((shape.level_at(12.5) - 0.65).abs() < 1e-12);
+        assert!((shape.level_at(20.0) - 1.0).abs() < 1e-12);
+        assert!((shape.level_at(40.0) - 0.65).abs() < 1e-12);
+        assert!((shape.level_at(60.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_trough_and_peak() {
+        let shape = Shape::Diurnal {
+            peak: 1.0,
+            night: 0.4,
+        };
+        let at4 = shape.level_at(4.0 * 3600.0);
+        let at16 = shape.level_at(16.0 * 3600.0);
+        assert!((at4 - 0.4).abs() < 1e-9, "trough at 04:00: {at4}");
+        assert!((at16 - 1.0).abs() < 1e-9, "peak at 16:00: {at16}");
+    }
+
+    #[test]
+    fn sample_elides_duplicates_and_is_sorted() {
+        let p = Program::from_shape(60.0, 10.0, Shape::Constant { level: 0.5 }).then(
+            60.0,
+            10.0,
+            Shape::Constant { level: 0.5 },
+        );
+        assert_eq!(p.sample(), vec![(0.0, 0.5)]);
+        let p2 = Program::from_shape(
+            100.0,
+            10.0,
+            Shape::Sine {
+                period_s: 100.0,
+                lo: 0.0,
+                hi: 1.0,
+            },
+        );
+        let s = p2.sample();
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(s.len() >= 9);
+    }
+
+    #[test]
+    fn program_serializes_round_trip() {
+        let p = Program::from_shape(
+            30.0,
+            5.0,
+            Shape::Steps {
+                levels: vec![0.1, 0.9],
+                step_s: 15.0,
+            },
+        )
+        .then(
+            50.0,
+            5.0,
+            Shape::FlashCrowd {
+                base: 0.2,
+                peak: 0.9,
+                start_s: 5.0,
+                ramp_s: 2.0,
+                hold_s: 10.0,
+                decay_s: 8.0,
+            },
+        );
+        let js = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -60,7 +60,14 @@ pub fn fat_tree_far_pairs(ix: &FatTreeIndex) -> Vec<(NodeId, NodeId)> {
 /// A matrix giving every listed OD pair the same `rate`.
 pub fn uniform_matrix(pairs: &[(NodeId, NodeId)], rate: f64) -> TrafficMatrix {
     TrafficMatrix::new(
-        pairs.iter().map(|&(o, d)| Demand { origin: o, dst: d, rate }).collect(),
+        pairs
+            .iter()
+            .map(|&(o, d)| Demand {
+                origin: o,
+                dst: d,
+                rate,
+            })
+            .collect(),
     )
 }
 

@@ -117,7 +117,11 @@ pub fn geant_like_trace(
         // Short-term multiplicative noise on the aggregate (sigma such
         // that most 15-min changes stay modest, with occasional bursts).
         let agg_noise: f64 = (rng.gen::<f64>() * 2.0 - 1.0) * 0.06;
-        let spike = if rng.gen::<f64>() < 0.01 { 1.0 + rng.gen::<f64>() * 0.5 } else { 1.0 };
+        let spike = if rng.gen::<f64>() < 0.01 {
+            1.0 + rng.gen::<f64>() * 0.5
+        } else {
+            1.0
+        };
         let volume = base_volume * week_mult * di * (1.0 + agg_noise) * spike;
 
         // Per-OD walk update (slow: sigma 0.02/step, mean-reverting).
@@ -139,7 +143,11 @@ pub fn geant_like_trace(
         }
         matrices.push(TrafficMatrix::new(demands));
     }
-    Trace { name: format!("geant-like-{days}d"), interval_s, matrices }
+    Trace {
+        name: format!("geant-like-{days}d"),
+        interval_s,
+        matrices,
+    }
 }
 
 /// Generate DC-like 5-minute volume series (one per monitored flow
@@ -254,9 +262,7 @@ mod tests {
         // "in almost 50% cases the traffic changes at least by 20%").
         let at20 = ccdf
             .iter()
-            .min_by(|a, b| {
-                (a.0 - 20.0).abs().partial_cmp(&(b.0 - 20.0).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.0 - 20.0).abs().partial_cmp(&(b.0 - 20.0).abs()).unwrap())
             .unwrap()
             .1;
         assert!(

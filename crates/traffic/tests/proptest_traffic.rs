@@ -11,7 +11,11 @@ fn arb_matrix() -> impl Strategy<Value = TrafficMatrix> {
     proptest::collection::vec((0u32..12, 0u32..12, 0.0f64..5e6), 0..20).prop_map(|v| {
         TrafficMatrix::new(
             v.into_iter()
-                .map(|(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+                .map(|(o, d, r)| Demand {
+                    origin: NodeId(o),
+                    dst: NodeId(d),
+                    rate: r,
+                })
                 .collect(),
         )
     })

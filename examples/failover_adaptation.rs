@@ -14,8 +14,10 @@ use response::simnet::{SimConfig, Simulation};
 use response::topo::gen::fig3_click;
 
 fn main() {
-    let fail_at: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5.7);
+    let fail_at: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.7);
 
     let (topo, n) = fig3_click();
     let power = PowerModel::cisco12000();

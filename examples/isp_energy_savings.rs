@@ -20,7 +20,10 @@ fn main() {
     let pairs = random_od_pairs_subset(&topo, 17, 150, 42);
     let planner = Planner::new(&topo, &power);
     let tables = planner.plan_pairs(&PlannerConfig::default(), &pairs);
-    println!("planned {} OD pairs once — no recomputation for the whole replay", tables.len());
+    println!(
+        "planned {} OD pairs once — no recomputation for the whole replay",
+        tables.len()
+    );
 
     // Scale a synthetic diurnal trace so daytime peaks occasionally need
     // the on-demand paths.
@@ -41,7 +44,10 @@ fn main() {
     println!("\nday  mean power  min..max");
     for (d, chunk) in report.points.chunks(per_day).enumerate() {
         let mean = chunk.iter().map(|p| p.power_frac).sum::<f64>() / chunk.len() as f64;
-        let min = chunk.iter().map(|p| p.power_frac).fold(f64::INFINITY, f64::min);
+        let min = chunk
+            .iter()
+            .map(|p| p.power_frac)
+            .fold(f64::INFINITY, f64::min);
         let max = chunk.iter().map(|p| p.power_frac).fold(0.0, f64::max);
         println!(
             "{:>3}  {:>9.1}%  {:.1}%..{:.1}%",

@@ -58,9 +58,17 @@ fn main() {
     // 4. Look at one OD pair's installed paths.
     let (&(o, d), od) = tables.iter().next().expect("non-empty tables");
     println!("\nexample pair {o}->{d}:");
-    println!("  always-on : {} ({:.1} ms)", od.always_on, 1e3 * od.always_on.latency(&topo));
+    println!(
+        "  always-on : {} ({:.1} ms)",
+        od.always_on,
+        1e3 * od.always_on.latency(&topo)
+    );
     for p in &od.on_demand {
         println!("  on-demand : {} ({:.1} ms)", p, 1e3 * p.latency(&topo));
     }
-    println!("  failover  : {} ({:.1} ms)", od.failover, 1e3 * od.failover.latency(&topo));
+    println!(
+        "  failover  : {} ({:.1} ms)",
+        od.failover,
+        1e3 * od.failover.latency(&topo)
+    );
 }

@@ -22,8 +22,13 @@ fn main() {
     let pairs: Vec<(NodeId, NodeId)> = clients.iter().map(|&c| (server, c)).collect();
 
     // REsPoNse-lat (latency-bounded) vs the conventional OSPF baseline.
-    let t_rep = Planner::new(&topo, &power)
-        .plan_pairs(&PlannerConfig { beta: Some(0.25), ..Default::default() }, &pairs);
+    let t_rep = Planner::new(&topo, &power).plan_pairs(
+        &PlannerConfig {
+            beta: Some(0.25),
+            ..Default::default()
+        },
+        &pairs,
+    );
     let t_inv = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
 
     // 30 clients join at t=0, 30 more at t=30 (load step).
@@ -33,7 +38,10 @@ fn main() {
         placement.push((clients[(i * 7) % clients.len()], 30.0));
     }
 
-    let scfg = StreamingConfig { duration: 60.0, ..Default::default() };
+    let scfg = StreamingConfig {
+        duration: 60.0,
+        ..Default::default()
+    };
     let sim_cfg = SimConfig {
         te: TeConfig::default(),
         control_interval: 0.2,
@@ -44,7 +52,11 @@ fn main() {
         te_start: 0.0,
     };
 
-    println!("streaming 600 kbps to {} clients on {}...", placement.len(), topo.name());
+    println!(
+        "streaming 600 kbps to {} clients on {}...",
+        placement.len(),
+        topo.name()
+    );
     for (name, tables) in [("REsPoNse-lat", &t_rep), ("OSPF-InvCap", &t_inv)] {
         let res = run_streaming(&topo, &power, tables, server, &placement, &scfg, &sim_cfg);
         println!(

@@ -17,7 +17,12 @@
 //!   failover planning, energy-critical path analytics, and the
 //!   REsPoNseTE online traffic-engineering logic.
 //! * [`simnet`] — the discrete-event network simulator used for all
-//!   runtime experiments.
+//!   runtime experiments, with scriptable event injection and a
+//!   pausable stepping API.
+//! * [`scenario`] — declarative experiments: serializable `Scenario`
+//!   values (topology spec + traffic program + event script + metrics
+//!   selection, from TOML or a builder) and a rayon-parallel
+//!   `SweepRunner` for parameter grids.
 //! * [`apps`] — application-level workloads (streaming, web) running on
 //!   the simulator.
 //!
@@ -43,6 +48,7 @@ pub use ecp_apps as apps;
 pub use ecp_lp as lp;
 pub use ecp_power as power;
 pub use ecp_routing as routing;
+pub use ecp_scenario as scenario;
 pub use ecp_simnet as simnet;
 pub use ecp_topo as topo;
 pub use ecp_traffic as traffic;

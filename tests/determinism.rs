@@ -14,9 +14,17 @@ fn pipeline_fingerprint(seed: u64) -> String {
     let tables = Planner::new(&topo, &power).plan_pairs(&PlannerConfig::default(), &pairs);
     let trace = geant_like_trace(&topo, &pairs, 1, 2e9, seed);
     let rep = steady_state_replay(&topo, &power, &tables, &trace, &TeConfig::default());
-    let powers: Vec<String> =
-        rep.points.iter().step_by(8).map(|p| format!("{:.6}", p.power_frac)).collect();
-    format!("{}|{}", serde_json::to_string(&tables).unwrap().len(), powers.join(","))
+    let powers: Vec<String> = rep
+        .points
+        .iter()
+        .step_by(8)
+        .map(|p| format!("{:.6}", p.power_frac))
+        .collect();
+    format!(
+        "{}|{}",
+        serde_json::to_string(&tables).unwrap().len(),
+        powers.join(",")
+    )
 }
 
 #[test]

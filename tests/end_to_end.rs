@@ -33,14 +33,20 @@ fn plan_replay_simulate_geant() {
     let rep = steady_state_replay(&topo, &power, &tables, &trace, &te);
     assert_eq!(rep.points.len(), trace.len());
     assert!(rep.mean_power_fraction() < 1.0);
-    assert!(rep.congested_fraction() < 0.2, "night traffic must fit comfortably");
+    assert!(
+        rep.congested_fraction() < 0.2,
+        "night traffic must fit comfortably"
+    );
 
     // Drive the event simulator with the same tables.
     let mut sim = Simulation::new(&topo, &power, &tables, SimConfig::default());
     let (o, d) = pairs[0];
     let f = sim.add_flow(&tables, o, d, 1e6);
     sim.run_until(2.0);
-    assert!((sim.delivered_rate(f) - 1e6).abs() < 1.0, "uncongested flow fully delivered");
+    assert!(
+        (sim.delivered_rate(f) - 1e6).abs() < 1.0,
+        "uncongested flow fully delivered"
+    );
     assert!(sim.power_w() <= power.full_power(&topo));
 }
 
@@ -48,7 +54,11 @@ fn plan_replay_simulate_geant() {
 fn fig3_example_matches_paper_narrative() {
     // The paper's worked example: A, B, C share the always-on middle
     // path E-H-K; D-G-K and F-J-K stay dark until needed.
-    let (topo, n) = gen::fig3(10.0 * response::topo::MBPS, 16.67 * response::topo::MS, true);
+    let (topo, n) = gen::fig3(
+        10.0 * response::topo::MBPS,
+        16.67 * response::topo::MS,
+        true,
+    );
     let power = PowerModel::cisco12000();
     let pairs = vec![(n.a, n.k), (n.b, n.k), (n.c, n.k)];
     let tables = Planner::new(&topo, &power).plan_pairs(&PlannerConfig::default(), &pairs);
@@ -61,8 +71,14 @@ fn fig3_example_matches_paper_narrative() {
         );
     }
     let resting = tables.always_on_active(&topo);
-    assert!(!resting.node_on(n.d) || !resting.node_on(n.g), "upper path dark");
-    assert!(!resting.node_on(n.f) || !resting.node_on(n.j), "lower path dark");
+    assert!(
+        !resting.node_on(n.d) || !resting.node_on(n.g),
+        "upper path dark"
+    );
+    assert!(
+        !resting.node_on(n.f) || !resting.node_on(n.j),
+        "lower path dark"
+    );
 }
 
 #[test]
@@ -81,7 +97,10 @@ fn streaming_over_planned_paths_plays() {
         &tables,
         server,
         &placement,
-        &StreamingConfig { duration: 20.0, ..Default::default() },
+        &StreamingConfig {
+            duration: 20.0,
+            ..Default::default()
+        },
         &SimConfig::default(),
     );
     assert_eq!(res.playable_percent(), 100.0, "{:?}", res.clients);

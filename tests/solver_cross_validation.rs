@@ -4,9 +4,7 @@
 
 use response::lp::{solve_mip, Cmp, MipConfig, MipStatus, Problem, Sense};
 use response::power::PowerModel;
-use response::routing::relaxation::{
-    min_power_lower_bound, splittable_feasible, FlowFeasibility,
-};
+use response::routing::relaxation::{min_power_lower_bound, splittable_feasible, FlowFeasibility};
 use response::routing::{exact_small_subset, place_flows, OracleConfig};
 use response::topo::gen::{random_waxman, ring};
 use response::topo::{NodeId, MBPS, MS};
@@ -16,7 +14,11 @@ fn tm(pairs: &[(u32, u32, f64)]) -> TrafficMatrix {
     TrafficMatrix::new(
         pairs
             .iter()
-            .map(|&(o, d, r)| Demand { origin: NodeId(o), dst: NodeId(d), rate: r })
+            .map(|&(o, d, r)| Demand {
+                origin: NodeId(o),
+                dst: NodeId(d),
+                rate: r,
+            })
             .collect(),
     )
 }
@@ -28,11 +30,7 @@ fn oracle_success_implies_lp_feasible() {
     let oc = OracleConfig::default();
     for seed in 0..10u64 {
         let topo = random_waxman(8, 0.6, 0.3, 10.0 * MBPS, seed);
-        let m = tm(&[
-            (0, 5, 3e6),
-            (1, 6, 2e6),
-            (2, 7, 4e6),
-        ]);
+        let m = tm(&[(0, 5, 3e6), (1, 6, 2e6), (2, 7, 4e6)]);
         if place_flows(&topo, None, &m, &oc).is_some() {
             assert_eq!(
                 splittable_feasible(&topo, &m, 1.0),

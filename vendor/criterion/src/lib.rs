@@ -1,0 +1,156 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the harness surface this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_with_input, finish}`,
+//! `BenchmarkId::{new, from_parameter}`, and `Bencher::iter`. Timing is
+//! a simple best-of-samples wall-clock measurement printed to stdout —
+//! no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque measurement context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            best: Duration::MAX,
+            iters: 0,
+            samples: self.sample_size,
+        };
+        f(&mut bencher, input);
+        let per_iter = if bencher.iters > 0 {
+            bencher.best.as_nanos() as f64 / bencher.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "  {:<30} {:>12.1} ns/iter (best of {})",
+            id.0, per_iter, self.sample_size
+        );
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Function name + parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing driver passed to the benchmark closure.
+pub struct Bencher {
+    best: Duration,
+    iters: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time the routine; keeps the best sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the iteration count to ~2 ms per sample.
+        let start = Instant::now();
+        let mut calibration_iters: u64 = 0;
+        while start.elapsed() < Duration::from_millis(2) {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let iters = calibration_iters.max(1);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt < self.best {
+                self.best = dt;
+            }
+        }
+        self.iters = iters;
+    }
+}
+
+/// Prevent the optimizer from eliding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), `prop_assert*!`
+//! / `prop_assume!`, [`Strategy`] with `prop_map`, range strategies over
+//! integers and floats, tuple strategies, `collection::vec`, and
+//! `bool::{ANY, weighted}`. Cases are generated from a per-test
+//! deterministic seed; failing inputs are reported through `Debug`
+//! formatting. Shrinking is not implemented — a failure reports the
+//! original case.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Test-case generation RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG from a test-name seed.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            lo
+        } else {
+            self.0.gen_range(lo..hi)
+        }
+    }
+}
+
+/// Error raised inside a test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — discard the case.
+    Reject(String),
+    /// `prop_assert*!` failed — fail the test.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// Generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty proptest range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let hi = (rng.unit() * span as f64) as u128 % span;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                // Degenerate ranges (`x..x`) collapse to the start value.
+                self.start + (rng.unit() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $ix:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+
+    /// Size specification: a fixed count or a half-open range.
+    pub trait IntoSize: Clone {
+        /// Draw a size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn pick(&self, _: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+
+    impl IntoSize for std::ops::Range<i32> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start.max(0) as usize, self.end.max(0) as usize)
+        }
+    }
+
+    /// `Vec` strategy with element strategy and size spec.
+    pub fn vec<S: Strategy, Z: IntoSize>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSize> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::{Strategy, TestRng};
+
+    /// Fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Fair-coin strategy instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit() < 0.5
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+
+    /// Output of [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit() < self.0
+        }
+    }
+}
+
+/// Commonly-used re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Run the body of one generated case; used by the [`proptest!`] macro.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while passed < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest `{name}`: too many rejected cases ({} passed of {} wanted)",
+                passed, config.cases
+            );
+        }
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed: {msg}");
+            }
+        }
+    }
+}
+
+/// The proptest entry macro: wraps `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::run_cases(stringify!($name), &__config, |__rng| {
+                    $(let $pat = $crate::Strategy::new_value(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) at {}:{}",
+                stringify!($a), stringify!($b), __a, __b, file!(), line!()
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}; {}) at {}:{}",
+                stringify!($a), stringify!($b), __a, __b, format!($($fmt)*), file!(), line!()
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?}) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless the hypothesis holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(v in (0u32..5, 0u32..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 8);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0usize..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn assume_discards(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(1), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Covers the data-parallel surface this workspace uses:
+//! `into_par_iter()` / `par_iter()` + `map` + `collect::<Vec<_>>()`,
+//! `current_num_threads`, and `ThreadPoolBuilder::num_threads(..)
+//! .build().install(..)` for pinning the worker count. Items are
+//! dispatched to scoped OS threads through an atomic cursor; results are
+//! written back by index, so output order (and therefore every
+//! deterministic pipeline built on top) is independent of the number of
+//! worker threads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A (virtual) pool: holds only the configured width; workers are scoped
+/// threads spawned per parallel call.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count governing parallel calls
+    /// made inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// returning results in input order.
+fn parallel_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                let result = f(item);
+                *out[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker wrote result"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (owned items).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter;
+    /// Convert.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over materialized items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item (executed in parallel at `collect` time).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Execute in parallel and collect into `C`, preserving input order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(T) -> C::ParItem + Sync,
+        C: FromParallelResults,
+        C::ParItem: Send,
+    {
+        C::from_ordered_vec(parallel_map(self.items, self.f))
+    }
+}
+
+/// Collection buildable from ordered parallel results.
+pub trait FromParallelResults {
+    /// Element type produced by the mapped iterator.
+    type ParItem;
+    /// Build from the in-order result vector.
+    fn from_ordered_vec(items: Vec<Self::ParItem>) -> Self;
+}
+
+impl<R> FromParallelResults for Vec<R> {
+    type ParItem = R;
+    fn from_ordered_vec(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Commonly-used re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..100usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let work = |items: Vec<u64>, threads: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                items
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(x) ^ 0xABCD)
+                    .collect()
+            })
+        };
+        let items: Vec<u64> = (0..500).collect();
+        let a = work(items.clone(), 1);
+        let b = work(items.clone(), 4);
+        let c = work(items, 13);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,308 @@
+//! `Serialize` / `FromValue` / `Deserialize` impls for std types.
+
+use crate::de::Error as DeErrorTrait;
+use crate::{to_value, Deserialize, Deserializer, FromValue, Serialize, Serializer, Value};
+
+// Every `Deserialize` impl is the same boilerplate over `FromValue`.
+macro_rules! deserialize_via_from_value {
+    () => {
+        fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+            Self::from_value(deserializer.take_value()?)
+                .map_err(<__D::Error as DeErrorTrait>::custom)
+        }
+    };
+}
+
+// ---- integers -------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.collect_value(Value::I64(*self as i64))
+            }
+        }
+        impl FromValue for $t {
+            fn from_value(value: Value) -> Result<Self, String> {
+                value
+                    .as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| format!("expected integer, got {}", value.kind()))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            deserialize_via_from_value!();
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as u64;
+                let value = match i64::try_from(v) {
+                    Ok(i) => Value::I64(i),
+                    Err(_) => Value::U64(v),
+                };
+                serializer.collect_value(value)
+            }
+        }
+        impl FromValue for $t {
+            fn from_value(value: Value) -> Result<Self, String> {
+                value
+                    .as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| format!("expected unsigned integer, got {}", value.kind()))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            deserialize_via_from_value!();
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+// ---- floats, bool, strings ------------------------------------------------
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.collect_value(Value::F64(*self as f64))
+            }
+        }
+        impl FromValue for $t {
+            fn from_value(value: Value) -> Result<Self, String> {
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| format!("expected number, got {}", value.kind()))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            deserialize_via_from_value!();
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Bool(*self))
+    }
+}
+impl FromValue for bool {
+    fn from_value(value: Value) -> Result<Self, String> {
+        value
+            .as_bool()
+            .ok_or_else(|| format!("expected bool, got {}", value.kind()))
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    deserialize_via_from_value!();
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Str(self.clone()))
+    }
+}
+impl FromValue for String {
+    fn from_value(value: Value) -> Result<Self, String> {
+        match value {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {}", other.kind())),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    deserialize_via_from_value!();
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Str(self.to_string()))
+    }
+}
+
+// ---- references and smart pointers ---------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+impl<T: FromValue> FromValue for Box<T> {
+    fn from_value(value: Value) -> Result<Self, String> {
+        T::from_value(value).map(Box::new)
+    }
+}
+impl<'de, T: FromValue> Deserialize<'de> for Box<T> {
+    deserialize_via_from_value!();
+}
+
+// ---- Option ---------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.collect_value(to_value(v)),
+            None => serializer.collect_value(Value::Null),
+        }
+    }
+}
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(value: Value) -> Result<Self, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn from_missing() -> Result<Self, String> {
+        Ok(None)
+    }
+}
+impl<'de, T: FromValue> Deserialize<'de> for Option<T> {
+    deserialize_via_from_value!();
+}
+
+// ---- sequences ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(value: Value) -> Result<Self, String> {
+        match value {
+            Value::Array(items) => items.into_iter().map(T::from_value).collect(),
+            other => Err(format!("expected array, got {}", other.kind())),
+        }
+    }
+    // A missing list field reads as empty — keeps declarative configs
+    // (TOML scenarios) concise.
+    fn from_missing() -> Result<Self, String> {
+        Ok(Vec::new())
+    }
+}
+impl<'de, T: FromValue> Deserialize<'de> for Vec<T> {
+    deserialize_via_from_value!();
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Array(self.iter().map(to_value).collect()))
+    }
+}
+
+// ---- maps -----------------------------------------------------------------
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let m = self.iter().map(|(k, v)| (k.clone(), to_value(v))).collect();
+        serializer.collect_value(Value::Object(m))
+    }
+}
+impl<V: FromValue> FromValue for std::collections::BTreeMap<String, V> {
+    fn from_value(value: Value) -> Result<Self, String> {
+        match value {
+            Value::Object(m) => m
+                .into_iter()
+                .map(|(k, v)| V::from_value(v).map(|v| (k, v)))
+                .collect(),
+            other => Err(format!("expected object, got {}", other.kind())),
+        }
+    }
+}
+impl<'de, V: FromValue> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    deserialize_via_from_value!();
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $ix:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.collect_value(Value::Array(vec![$(to_value(&self.$ix)),+]))
+            }
+        }
+        impl<$($name: FromValue),+> FromValue for ($($name,)+) {
+            fn from_value(value: Value) -> Result<Self, String> {
+                match value {
+                    Value::Array(mut items) => {
+                        let expected = [$( stringify!($ix) ),+].len();
+                        if items.len() != expected {
+                            return Err(format!(
+                                "expected {}-tuple, got array of {}", expected, items.len()
+                            ));
+                        }
+                        Ok(($(crate::from_value_index::<$name>(&mut items, $ix)?,)+))
+                    }
+                    other => Err(format!("expected array, got {}", other.kind())),
+                }
+            }
+        }
+        impl<'de, $($name: FromValue),+> Deserialize<'de> for ($($name,)+) {
+            deserialize_via_from_value!();
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(Value::Null)
+    }
+}
+impl FromValue for () {
+    fn from_value(_: Value) -> Result<Self, String> {
+        Ok(())
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    deserialize_via_from_value!();
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_value(self.clone())
+    }
+}
+impl FromValue for Value {
+    fn from_value(value: Value) -> Result<Self, String> {
+        Ok(value)
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    deserialize_via_from_value!();
+}

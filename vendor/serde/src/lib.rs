@@ -1,0 +1,147 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a minimal serde whose public surface matches what this codebase uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive`
+//!   proc-macro crate, re-exported here),
+//! * manual impls of the form
+//!   `fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`
+//!   that delegate to container impls (`Vec`, tuples, references),
+//! * `serde_json`/`toml` front-ends layered on the [`Value`] tree.
+//!
+//! Everything funnels through [`Value`]: serializers collect a value
+//! tree, deserializers hand one out. This trades serde's zero-copy
+//! streaming for a few hundred lines of dependency-free code — fine for
+//! experiment configs and result files.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+/// A type that can render itself into a [`Value`] through any
+/// [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sink for a serialized [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Successful output type.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Accept the fully-built value.
+    fn collect_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be rebuilt from a [`Value`] provided by any
+/// [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Source of a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type; must support custom messages.
+    type Error: de::Error;
+    /// Yield the underlying value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Conversion from an owned [`Value`]; the workhorse behind every
+/// [`Deserialize`] impl (derived impls implement both traits).
+pub trait FromValue: Sized {
+    /// Build `Self` from a value tree.
+    fn from_value(value: Value) -> Result<Self, String>;
+    /// Called when a struct field is absent; overridden by `Option`.
+    fn from_missing() -> Result<Self, String> {
+        Err("missing field".to_string())
+    }
+}
+
+/// Serialize any value into a [`Value`] tree (infallible).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    struct ValueSerializer;
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = core::convert::Infallible;
+        fn collect_value(self, value: Value) -> Result<Value, Self::Error> {
+            Ok(value)
+        }
+    }
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Extract and convert a named struct field during deserialization.
+pub fn from_value_field<T: FromValue>(map: &mut Map, key: &str) -> Result<T, String> {
+    match map.remove(key) {
+        Some(v) => T::from_value(v).map_err(|e| format!("field `{key}`: {e}")),
+        None => T::from_missing().map_err(|_| format!("missing field `{key}`")),
+    }
+}
+
+/// Extract and convert a positional element during deserialization.
+pub fn from_value_index<T: FromValue>(items: &mut [Value], index: usize) -> Result<T, String> {
+    if index < items.len() {
+        T::from_value(std::mem::replace(&mut items[index], Value::Null))
+            .map_err(|e| format!("element {index}: {e}"))
+    } else {
+        Err(format!("missing element {index}"))
+    }
+}
+
+pub mod ser {
+    //! Serialization-side helpers (kept for path compatibility).
+    pub use crate::{Serialize, Serializer};
+}
+
+pub mod de {
+    //! Deserialization-side helpers.
+    use crate::Value;
+
+    /// Error constraint for [`crate::Deserializer`] error types.
+    pub trait Error: Sized {
+        /// Build an error from a display-able message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// String-backed deserialization error.
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    /// Deserializer over an owned, already-parsed [`Value`].
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> crate::Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Marker bound matching serde's `DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,392 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro` tokens (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this workspace actually
+//! derives on: non-generic named structs, tuple structs, unit structs,
+//! and enums with unit / tuple / struct variants. Representation matches
+//! serde's external conventions (newtype transparency, unit variants as
+//! strings, `{"Variant": ...}` for data-carrying variants).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct S;`
+    Unit,
+    /// `struct S { a: T, b: U }` — field names in order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    Tuple(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+// ---- token-level parsing --------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including expanded doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match iter.next() {
+            None | Some(TokenTree::Punct(_)) => Shape::Unit, // `struct S;`
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    Input { name, shape }
+}
+
+/// Count comma-separated items at angle-bracket depth 0 (tuple fields).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                items += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        items += 1;
+    }
+    items
+}
+
+/// Field names of a named-struct body, skipping attributes and
+/// visibility, and skipping type tokens up to the field-separating comma.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Skip visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        }
+        // Expect `:`, then skip the type until a depth-0 comma.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:`, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_items(g.stream());
+                iter.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to the next depth-0 comma (also skips `= discr`).
+        for tt in iter.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), ::serde::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+        Shape::Tuple(1) => "::serde::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("::serde::to_value({b})")).collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner}); \
+                             ::serde::Value::Object(__m) }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("{ let mut __fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert(::std::string::String::from(\"{f}\"), ::serde::to_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__fm) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner}); \
+                             ::serde::Value::Object(__m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         __serializer.collect_value({body})\n}}\n}}\n"
+    )
+}
+
+fn gen_from_value(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => format!("{{ let _ = __value; Ok({name}) }}"),
+        Shape::Named(fields) => {
+            let mut ctor = String::new();
+            for f in fields {
+                ctor.push_str(&format!(
+                    "{f}: ::serde::from_value_field(&mut __m, \"{f}\")?,\n"
+                ));
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Object(mut __m) => Ok({name} {{\n{ctor}}}),\n\
+                 __other => Err(format!(\"expected object for {name}, got {{}}\", __other.kind())),\n}}"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::serde::FromValue::from_value(__value).map({name})")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::from_value_index(&mut __a, {i})?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Array(mut __a) => {{\n\
+                 if __a.len() != {n} {{ return Err(format!(\"expected {n} elements for {name}, got {{}}\", __a.len())); }}\n\
+                 Ok({name}({items}))\n}}\n\
+                 __other => Err(format!(\"expected array for {name}, got {{}}\", __other.kind())),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::serde::FromValue::from_value(__inner).map({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::from_value_index(&mut __a, {i})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::Value::Array(mut __a) => Ok({name}::{vn}({items})),\n\
+                             __other => Err(format!(\"expected array for {name}::{vn}, got {{}}\", __other.kind())),\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut ctor = String::new();
+                        for f in fields {
+                            ctor.push_str(&format!(
+                                "{f}: ::serde::from_value_field(&mut __fm, \"{f}\")?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::Value::Object(mut __fm) => Ok({name}::{vn} {{\n{ctor}}}),\n\
+                             __other => Err(format!(\"expected object for {name}::{vn}, got {{}}\", __other.kind())),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(format!(\"unknown variant {{}} for {name}\", __other)),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.into_iter().next().unwrap();\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => Err(format!(\"unknown variant {{}} for {name}\", __other)),\n}}\n}}\n\
+                 __other => Err(format!(\"expected variant for {name}, got {{}}\", __other.kind())),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::FromValue for {name} {{\n\
+         fn from_value(__value: ::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+         {body}\n}}\n}}\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         match __deserializer.take_value() {{\n\
+         Ok(__v) => match <{name} as ::serde::FromValue>::from_value(__v) {{\n\
+         Ok(__out) => Ok(__out),\n\
+         Err(__e) => Err(<__D::Error as ::serde::de::Error>::custom(__e)),\n}},\n\
+         Err(__e) => Err(__e),\n}}\n}}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize must parse")
+}
+
+/// Derive `serde::Deserialize` (also emits the `FromValue` impl used by
+/// container deserialization).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_from_value(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize must parse")
+}

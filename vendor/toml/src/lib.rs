@@ -1,0 +1,695 @@
+//! Offline TOML serialization/deserialization over the vendored serde's
+//! [`Value`] tree.
+//!
+//! Supports the TOML subset scenario files use: bare/quoted keys,
+//! dotted keys, `[table]` and `[[array-of-table]]` headers, basic and
+//! literal strings, integers (with underscores), floats, booleans,
+//! inline arrays and inline tables, and `#` comments. Dates are not
+//! supported. Serialization renders tables depth-first with scalar keys
+//! before sub-tables, which round-trips everything this parser accepts.
+
+pub use serde::{Map, Value};
+
+/// TOML error (parse or convert).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Deserialize a value from a TOML document.
+pub fn from_str<T>(s: &str) -> Result<T, Error>
+where
+    T: for<'de> serde::Deserialize<'de>,
+{
+    let value = parse_document(s)?;
+    T::deserialize(serde::de::ValueDeserializer(value)).map_err(|e| Error(e.0))
+}
+
+/// Serialize a value to a TOML document string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::to_value(value);
+    let Value::Object(map) = v else {
+        return Err(Error("top-level TOML value must be a table".into()));
+    };
+    let mut out = String::new();
+    write_table(&mut out, &map, &mut Vec::new());
+    Ok(out)
+}
+
+// ---- writer ---------------------------------------------------------------
+
+fn is_inline(v: &Value) -> bool {
+    match v {
+        Value::Object(_) => false,
+        Value::Array(items) => !items.iter().any(|i| matches!(i, Value::Object(_))),
+        _ => true,
+    }
+}
+
+fn write_table(out: &mut String, map: &Map, path: &mut Vec<String>) {
+    // Scalar and inline-array keys first. TOML has no null, so `None`
+    // fields are omitted (the deserializer restores them as missing).
+    for (k, v) in map {
+        if matches!(v, Value::Null) {
+            continue;
+        }
+        if is_inline(v) {
+            out.push_str(&format!("{} = {}\n", key_str(k), inline_value(v)));
+        }
+    }
+    // Sub-tables and arrays of tables.
+    for (k, v) in map {
+        match v {
+            Value::Object(sub) => {
+                path.push(k.clone());
+                out.push_str(&format!("\n[{}]\n", path_str(path)));
+                write_table(out, sub, path);
+                path.pop();
+            }
+            Value::Array(items) if !is_inline(v) => {
+                for item in items {
+                    let Value::Object(sub) = item else {
+                        // Mixed arrays of tables and scalars are not
+                        // representable; encode scalars as one-key tables.
+                        continue;
+                    };
+                    path.push(k.clone());
+                    out.push_str(&format!("\n[[{}]]\n", path_str(path)));
+                    write_table(out, sub, path);
+                    path.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn path_str(path: &[String]) -> String {
+    path.iter()
+        .map(|p| key_str(p))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn key_str(k: &str) -> String {
+    let bare = !k.is_empty()
+        && k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        k.to_string()
+    } else {
+        format!("\"{}\"", k.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+fn inline_value(v: &Value) -> String {
+    match v {
+        Value::Null => "\"\"".to_string(), // TOML has no null; empty string
+        Value::Bool(b) => b.to_string(),
+        Value::I64(i) => i.to_string(),
+        Value::U64(u) => u.to_string(),
+        Value::F64(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            } else if f.is_nan() {
+                "nan".to_string()
+            } else if *f > 0.0 {
+                "inf".to_string()
+            } else {
+                "-inf".to_string()
+            }
+        }
+        Value::Str(s) => format!(
+            "\"{}\"",
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+                .replace('\r', "\\r")
+        ),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(inline_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Object(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{} = {}", key_str(k), inline_value(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+    }
+}
+
+// ---- parser ---------------------------------------------------------------
+
+fn parse_document(s: &str) -> Result<Value, Error> {
+    let mut root = Map::new();
+    // Path of the table currently being filled; `true` marks the last
+    // element of an array-of-tables.
+    let mut current_path: Vec<String> = Vec::new();
+    let mut p = Cursor {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    loop {
+        p.skip_ws_comments_newlines();
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == Some(b'[') {
+            p.bump();
+            let array_of_tables = p.peek() == Some(b'[');
+            if array_of_tables {
+                p.bump();
+            }
+            let path = p.parse_key_path()?;
+            p.expect(b']')?;
+            if array_of_tables {
+                p.expect(b']')?;
+            }
+            p.require_line_end()?;
+            if array_of_tables {
+                push_array_table(&mut root, &path)?;
+            } else {
+                ensure_table(&mut root, &path)?;
+            }
+            current_path = path;
+        } else {
+            let path = p.parse_key_path()?;
+            p.expect(b'=')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            p.require_line_end()?;
+            let table = navigate(&mut root, &current_path)
+                .ok_or_else(|| Error("internal: current table vanished".into()))?;
+            insert_dotted(table, &path, value)?;
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+/// Walk to the table at `path`, following the last element of any
+/// array-of-tables on the way.
+fn navigate<'a>(root: &'a mut Map, path: &[String]) -> Option<&'a mut Map> {
+    let mut cur = root;
+    for k in path {
+        let entry = cur.get_mut(k)?;
+        cur = match entry {
+            Value::Object(m) => m,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Object(m)) => m,
+                _ => return None,
+            },
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+fn ensure_table(root: &mut Map, path: &[String]) -> Result<(), Error> {
+    let mut cur = root;
+    for k in path {
+        let entry = cur
+            .entry(k.clone())
+            .or_insert_with(|| Value::Object(Map::new()));
+        cur = match entry {
+            Value::Object(m) => m,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Object(m)) => m,
+                _ => return Err(Error(format!("key `{k}` is not a table"))),
+            },
+            _ => return Err(Error(format!("key `{k}` is not a table"))),
+        };
+    }
+    Ok(())
+}
+
+fn push_array_table(root: &mut Map, path: &[String]) -> Result<(), Error> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| Error("empty array-of-tables header".into()))?;
+    ensure_table(root, parents)?;
+    let parent = navigate(root, parents).ok_or_else(|| Error("bad parent table".into()))?;
+    match parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()))
+    {
+        Value::Array(items) => {
+            items.push(Value::Object(Map::new()));
+            Ok(())
+        }
+        _ => Err(Error(format!("key `{last}` is not an array of tables"))),
+    }
+}
+
+fn insert_dotted(table: &mut Map, path: &[String], value: Value) -> Result<(), Error> {
+    let (last, parents) = path.split_last().ok_or_else(|| Error("empty key".into()))?;
+    let mut cur = table;
+    for k in parents {
+        let entry = cur
+            .entry(k.clone())
+            .or_insert_with(|| Value::Object(Map::new()));
+        cur = match entry {
+            Value::Object(m) => m,
+            _ => return Err(Error(format!("dotted key `{k}` is not a table"))),
+        };
+    }
+    if cur.insert(last.clone(), value).is_some() {
+        return Err(Error(format!("duplicate key `{last}`")));
+    }
+    Ok(())
+}
+
+/// Render an optional byte for error messages.
+fn show_byte(b: Option<u8>) -> String {
+    match b {
+        Some(c) => format!("`{}`", c as char),
+        None => "end of input".to_string(),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comment(&mut self) {
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn skip_ws_comments_newlines(&mut self) {
+        loop {
+            self.skip_ws();
+            self.skip_comment();
+            if matches!(self.peek(), Some(b'\n' | b'\r')) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        self.skip_ws();
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn require_line_end(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        self.skip_comment();
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b'\r') => {
+                self.pos += 1;
+                if self.peek() == Some(b'\n') {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            Some(c) => Err(Error(format!("expected end of line, got `{}`", c as char))),
+        }
+    }
+
+    fn parse_key_path(&mut self) -> Result<Vec<String>, Error> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_ws();
+            path.push(self.parse_key()?);
+            self.skip_ws();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn parse_key(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+            }
+            other => Err(Error(format!(
+                "expected key, got {} at byte {}",
+                show_byte(other),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string().map(Value::Str),
+            Some(b'\'') => self.parse_literal_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            Some(c) if c == b'+' || c == b'-' || c.is_ascii_digit() || c == b'n' || c == b'i' => {
+                self.parse_number()
+            }
+            other => Err(Error(format!(
+                "expected value, got {} at byte {}",
+                show_byte(other),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Value::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Value::Bool(false))
+        } else {
+            Err(Error(format!("bad boolean at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if matches!(self.peek(), Some(b'+' | b'-')) {
+            self.pos += 1;
+        }
+        if self.bytes[self.pos..].starts_with(b"inf") || self.bytes[self.pos..].starts_with(b"nan")
+        {
+            self.pos += 3;
+            let text: String = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            let f = match text.trim_start_matches('+') {
+                "inf" => f64::INFINITY,
+                "-inf" => f64::NEG_INFINITY,
+                _ => f64::NAN,
+            };
+            return Ok(Value::F64(f));
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    // Allow a sign right after an exponent marker.
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = String::from_utf8_lossy(&self.bytes[start..self.pos]).replace('_', "");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws_comments_newlines();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_ws_comments_newlines();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let path = self.parse_key_path()?;
+            self.expect(b'=')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            insert_dotted(&mut map, &path, value)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                other => return Err(Error(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        // Multiline basic strings ("""...""") included.
+        if self.bytes[self.pos..].starts_with(b"\"\"\"") {
+            self.pos += 3;
+            if self.peek() == Some(b'\n') {
+                self.pos += 1; // trim the newline right after the opener
+            }
+            let mut out = String::new();
+            loop {
+                if self.bytes[self.pos..].starts_with(b"\"\"\"") {
+                    self.pos += 3;
+                    return Ok(out);
+                }
+                match self.bump() {
+                    Some(b'\\') => self.push_escape(&mut out)?,
+                    Some(c) => self.push_byte(&mut out, c)?,
+                    None => return Err(Error("unterminated multiline string".into())),
+                }
+            }
+        }
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.push_escape(&mut out)?,
+                Some(b'\n') | None => return Err(Error("unterminated string".into())),
+                Some(c) => self.push_byte(&mut out, c)?,
+            }
+        }
+    }
+
+    fn push_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'n') => out.push('\n'),
+            Some(b't') => out.push('\t'),
+            Some(b'r') => out.push('\r'),
+            Some(b'b') => out.push('\u{8}'),
+            Some(b'f') => out.push('\u{c}'),
+            Some(b'u') | Some(b'U') => {
+                let len = if self.bytes[self.pos - 1] == b'u' {
+                    4
+                } else {
+                    8
+                };
+                let mut code = 0u32;
+                for _ in 0..len {
+                    let c = self.bump().ok_or_else(|| Error("eof in \\u".into()))?;
+                    code = code * 16
+                        + (c as char)
+                            .to_digit(16)
+                            .ok_or_else(|| Error("bad hex".into()))?;
+                }
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            other => return Err(Error(format!("bad escape {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn push_byte(&mut self, out: &mut String, c: u8) -> Result<(), Error> {
+        if c < 0x80 {
+            out.push(c as char);
+            return Ok(());
+        }
+        let start = self.pos - 1;
+        let len = match c {
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        };
+        let end = (start + len).min(self.bytes.len());
+        let chunk =
+            std::str::from_utf8(&self.bytes[start..end]).map_err(|_| Error("bad UTF-8".into()))?;
+        out.push_str(chunk);
+        self.pos = end;
+        Ok(())
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, Error> {
+        self.expect(b'\'')?;
+        let start = self.pos;
+        while !matches!(self.peek(), None | Some(b'\'') | Some(b'\n')) {
+            self.pos += 1;
+        }
+        if self.peek() != Some(b'\'') {
+            return Err(Error("unterminated literal string".into()));
+        }
+        let out = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.pos += 1;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_values() {
+        let doc = r#"
+# experiment
+name = "demo"
+count = 3
+ratio = 0.5
+flags = [true, false]
+
+[topology]
+kind = "fat_tree"
+k = 4
+
+[[events]]
+at = 1.5
+kind = "fail"
+
+[[events]]
+at = 2.5
+kind = "repair"
+"#;
+        let v: Value = from_str(doc).unwrap();
+        let Value::Object(m) = v else { panic!() };
+        assert_eq!(m["name"], Value::Str("demo".into()));
+        assert_eq!(m["count"], Value::I64(3));
+        assert_eq!(m["ratio"], Value::F64(0.5));
+        let Value::Object(topo) = &m["topology"] else {
+            panic!()
+        };
+        assert_eq!(topo["k"], Value::I64(4));
+        let Value::Array(events) = &m["events"] else {
+            panic!()
+        };
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn inline_tables_and_dotted_keys() {
+        let doc = "point = { x = 1, y = 2 }\nnested.deep.key = \"v\"\n";
+        let v: Value = from_str(doc).unwrap();
+        let Value::Object(m) = v else { panic!() };
+        let Value::Object(pt) = &m["point"] else {
+            panic!()
+        };
+        assert_eq!(pt["y"], Value::I64(2));
+        let Value::Object(n1) = &m["nested"] else {
+            panic!()
+        };
+        let Value::Object(n2) = &n1["deep"] else {
+            panic!()
+        };
+        assert_eq!(n2["key"], Value::Str("v".into()));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let mut inner = Map::new();
+        inner.insert("k".into(), Value::I64(4));
+        inner.insert("label".into(), Value::Str("a b".into()));
+        let mut m = Map::new();
+        m.insert("alpha".into(), Value::F64(1.0));
+        m.insert("topology".into(), Value::Object(inner));
+        m.insert(
+            "events".into(),
+            Value::Array(vec![
+                Value::Object(Map::from([("at".to_string(), Value::F64(0.5))])),
+                Value::Object(Map::from([("at".to_string(), Value::F64(1.5))])),
+            ]),
+        );
+        let original = Value::Object(m);
+        let doc = to_string(&original).unwrap();
+        let back: Value = from_str(&doc).unwrap();
+        assert_eq!(original, back);
+    }
+}
