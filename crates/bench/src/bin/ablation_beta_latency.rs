@@ -4,15 +4,13 @@
 //! "REsPoNse-lat marginally reduces the savings while keeping the
 //! latency acceptable" (Fig. 6 discussion).
 //!
+//! A `SweepRunner` grid over one scenario's β axis with the
+//! `table_stats` analysis; this binary only formats output.
+//!
 //! Usage: `--pairs 120 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::ospf::invcap_weight;
-use ecp_topo::algo::shortest_path;
-use ecp_topo::gen::geant;
-use ecp_traffic::random_od_pairs;
-use respons_core::{Planner, PlannerConfig};
+use ecp_scenario::{Axis, Param, SweepRunner};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,48 +25,36 @@ fn main() {
     let pairs_n: usize = arg("pairs", 120);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let full = pm.full_power(&topo);
-    let w = invcap_weight(&topo);
+    // Negative axis value = no latency bound.
+    let base = ecp_bench::scenarios::ablation_base("ablation-beta", pairs_n, seed);
+    let sweep = SweepRunner::new(
+        base,
+        vec![Axis::new(Param::Beta, [-1.0, 1.0, 0.5, 0.25, 0.1, 0.0])],
+    );
+    eprintln!("sweeping beta over the planner (parallel)...");
+    let result = sweep.run().expect("beta sweep runs");
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for beta in [None, Some(1.0), Some(0.5), Some(0.25), Some(0.1), Some(0.0)] {
-        eprintln!("planning with beta = {beta:?}...");
-        let cfg = PlannerConfig {
-            beta,
-            ..Default::default()
+    for row in &result.rows {
+        let beta = row.params[0].1;
+        let ts = row.report.table_stats.expect("table_stats selected");
+        let label = if beta < 0.0 {
+            "none".to_string()
+        } else {
+            format!("{beta:.2}")
         };
-        let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
-        let idle = pm.network_power(&topo, &tables.always_on_active(&topo)) / full;
-        // Delay stretch of always-on paths vs OSPF.
-        let mut stretches = Vec::new();
-        for (&(o, d), p) in tables.iter() {
-            if let Some(sp) = shortest_path(&topo, o, d, &w, None) {
-                let base = sp.latency(&topo);
-                if base > 0.0 {
-                    stretches.push(p.always_on.latency(&topo) / base);
-                }
-            }
-        }
-        let mean = stretches.iter().sum::<f64>() / stretches.len().max(1) as f64;
-        let max = stretches.iter().cloned().fold(0.0, f64::max);
-        let label = beta
-            .map(|b| format!("{b:.2}"))
-            .unwrap_or_else(|| "none".into());
         rows.push(vec![
             label,
-            format!("{:.1}%", 100.0 * idle),
-            format!("{mean:.2}x"),
-            format!("{max:.2}x"),
+            format!("{:.1}%", 100.0 * ts.idle_power_frac),
+            format!("{:.2}x", ts.mean_delay_stretch),
+            format!("{:.2}x", ts.max_delay_stretch),
         ]);
         out.push(Row {
-            beta: beta.unwrap_or(f64::INFINITY),
-            idle_power_frac: idle,
-            mean_delay_stretch: mean,
-            max_delay_stretch: max,
+            beta: if beta < 0.0 { f64::INFINITY } else { beta },
+            idle_power_frac: ts.idle_power_frac,
+            mean_delay_stretch: ts.mean_delay_stretch,
+            max_delay_stretch: ts.max_delay_stretch,
         });
     }
     print_table(

@@ -4,17 +4,14 @@
 //! redundant FatTree (Fig. 2b); "if the routing memory is limited we can
 //! deploy only the most important routing tables".
 //!
-//! We sweep `N` and report the supported volume and the idle power of
-//! the always-on state (which `N` does not affect — a sanity check).
+//! A `SweepRunner` grid over the `num_paths` axis of a single-interval
+//! peak-hour replay (85% of the free-routing max) with `table_stats`;
+//! this binary only formats output.
 //!
 //! Usage: `--pairs 120 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_topo::gen::geant;
-use ecp_traffic::{gravity_matrix, random_od_pairs};
-use respons_core::replay::place_matrix;
-use respons_core::{Planner, PlannerConfig, TeConfig};
+use ecp_scenario::{Axis, Param, SweepRunner};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -28,43 +25,26 @@ fn main() {
     let pairs_n: usize = arg("pairs", 120);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let te = TeConfig {
-        threshold: 1.0,
-        ..Default::default()
-    };
-    let full = pm.full_power(&topo);
-    // Peak-hour demand at 85% of the free-routing max: extra tables only
-    // matter when the always-on paths cannot absorb the load.
-    let oc = ecp_routing::OracleConfig::default();
-    let peak_tm = gravity_matrix(
-        &topo,
-        &pairs,
-        ecp_bench::max_feasible_volume(&topo, &pairs, &oc) * 0.85,
-    );
+    let base = ecp_bench::scenarios::ablation_base("ablation-num-paths", pairs_n, seed);
+    let sweep = SweepRunner::new(base, vec![Axis::new(Param::NumPaths, [2.0, 3.0, 4.0, 5.0])]);
+    eprintln!("sweeping N over the planner (parallel)...");
+    let result = sweep.run().expect("num-paths sweep runs");
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for n in [2usize, 3, 4, 5] {
-        eprintln!("planning with N = {n}...");
-        let cfg = PlannerConfig {
-            num_paths: n,
-            ..Default::default()
-        };
-        let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
-        let (_, placed, _, _) = place_matrix(&topo, &tables, &peak_tm, &te);
-        let idle = pm.network_power(&topo, &tables.always_on_active(&topo)) / full;
+    for row in &result.rows {
+        let n = row.params[0].1 as usize;
+        let ts = row.report.table_stats.expect("table_stats selected");
+        let placed = row.report.mean_delivered_fraction;
         rows.push(vec![
             n.to_string(),
             format!("{:.1}%", 100.0 * placed),
-            format!("{:.1}%", 100.0 * idle),
+            format!("{:.1}%", 100.0 * ts.idle_power_frac),
         ]);
         out.push(Row {
             num_paths: n,
             placed_fraction_at_peak: placed,
-            idle_power_frac: idle,
+            idle_power_frac: ts.idle_power_frac,
         });
     }
     print_table(

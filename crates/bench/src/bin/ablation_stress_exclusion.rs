@@ -5,18 +5,13 @@
 //! that together with the always-on paths can accommodate peak-hour
 //! traffic demands."
 //!
-//! We sweep the exclusion fraction and report (a) the max volume the
-//! combined tables support and (b) the idle power of the always-on +
-//! first-on-demand activation.
+//! A `SweepRunner` grid over the `exclude_fraction` axis of the
+//! peak-hour replay with `table_stats`; this binary only formats output.
 //!
 //! Usage: `--pairs 120 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_topo::gen::geant;
-use ecp_traffic::{gravity_matrix, random_od_pairs};
-use respons_core::replay::place_matrix;
-use respons_core::{OnDemandStrategy, Planner, PlannerConfig, TeConfig};
+use ecp_scenario::{Axis, Param, SweepRunner};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,58 +26,35 @@ fn main() {
     let pairs_n: usize = arg("pairs", 120);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let te = TeConfig {
-        threshold: 1.0,
-        ..Default::default()
-    };
-    // Peak-hour demand: 85% of the free-routing maximum — hard enough
-    // that poor on-demand choices cannot hide behind spare capacity.
-    let oc = ecp_routing::OracleConfig::default();
-    let peak_tm = gravity_matrix(
-        &topo,
-        &pairs,
-        ecp_bench::max_feasible_volume(&topo, &pairs, &oc) * 0.85,
+    let base = ecp_bench::scenarios::ablation_base("ablation-stress-exclusion", pairs_n, seed);
+    let sweep = SweepRunner::new(
+        base,
+        vec![Axis::new(
+            Param::ExcludeFraction,
+            [0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+        )],
     );
-    let full = pm.full_power(&topo);
+    eprintln!("sweeping the exclusion fraction over the planner (parallel)...");
+    let result = sweep.run().expect("stress-exclusion sweep runs");
 
-    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
     let mut out = Vec::new();
     let mut rows = Vec::new();
-    for &f in &fractions {
-        eprintln!("planning with exclusion fraction {f}...");
-        let cfg = PlannerConfig {
-            strategy: OnDemandStrategy::StressFactor {
-                exclude_fraction: f,
-            },
-            ..Default::default()
-        };
-        let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, &pairs);
-        let (active, placed, _, _) = place_matrix(&topo, &tables, &peak_tm, &te);
-        let peak_power = pm.network_power(&topo, &active) / full;
-        let distinct = tables
-            .iter()
-            .filter(|(_, p)| {
-                p.on_demand
-                    .first()
-                    .map(|od| od != &p.always_on)
-                    .unwrap_or(false)
-            })
-            .count() as f64
-            / tables.len().max(1) as f64;
+    for row in &result.rows {
+        let f = row.params[0].1;
+        let ts = row.report.table_stats.expect("table_stats selected");
+        let placed = row.report.mean_delivered_fraction;
+        let peak_power = row.report.mean_power_frac;
         rows.push(vec![
             format!("{:.0}%", 100.0 * f),
             format!("{:.1}%", 100.0 * placed),
             format!("{:.1}%", 100.0 * peak_power),
-            format!("{:.0}%", 100.0 * distinct),
+            format!("{:.0}%", 100.0 * ts.distinct_on_demand_fraction),
         ]);
         out.push(Row {
             exclude_fraction: f,
             placed_fraction_at_peak: placed,
             peak_power_frac: peak_power,
-            distinct_on_demand_fraction: distinct,
+            distinct_on_demand_fraction: ts.distinct_on_demand_fraction,
         });
     }
     print_table(

@@ -13,12 +13,7 @@
 //! Usage: `--pairs 120 --days 3 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_scenario::{
-    Axis, EngineSpec, MatrixSpec, MetricsSpec, PairsSpec, Param, PowerSpec, ScaleSpec,
-    ScenarioBuilder, SweepRunner,
-};
-use ecp_topo::gen::TopoSpec;
-use ecp_traffic::{Program, Shape};
+use ecp_scenario::{Axis, Param, SweepRunner};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,30 +32,7 @@ fn main() {
     // Peak just above the always-on capacity so the threshold choice
     // matters (like Fig. 5): the replay engine scales the trace to
     // 1.15 x what the always-on paths alone support.
-    let base = ScenarioBuilder::new("ablation-threshold")
-        .seed(seed)
-        .duration_s(days as f64 * 86_400.0)
-        .topology(TopoSpec::Geant)
-        .power(PowerSpec::Cisco12000)
-        .pairs(PairsSpec::Random { count: pairs_n })
-        .traffic(
-            MatrixSpec::Gravity,
-            ScaleSpec::TotalBps { bps: 1e9 },
-            Program::from_shape(
-                days as f64 * 86_400.0,
-                900.0,
-                Shape::Constant { level: 1.0 },
-            ),
-        )
-        .engine(EngineSpec::Replay {
-            peak_over_always_on: 1.15,
-        })
-        .metrics(MetricsSpec {
-            power_series: false,
-            delivered_series: false,
-            per_path_rates: false,
-        })
-        .build();
+    let base = ecp_bench::scenarios::ablation_threshold(pairs_n, days, seed);
 
     eprintln!("sweeping thresholds over the replay scenario (parallel)...");
     let sweep = SweepRunner::new(

@@ -4,18 +4,15 @@
 //! The paper's background argues that per-element opportunistic sleeping
 //! (Gupta & Singh: sleep in inter-packet gaps; Nedevschi et al.: buffer
 //! upstream to lengthen the gaps) is limited, motivating network-wide
-//! traffic shifting instead. We quantify that on the Fig-3 topology:
-//! run packets through the engine with traffic *spread* over all paths
-//! (no REsPoNse) and measure how much each link could sleep given a
-//! minimum usable gap and a wake penalty; compare with the consolidated
-//! REsPoNse arrangement where whole paths go idle.
+//! traffic shifting instead. Two packet-engine scenarios on the Fig-3
+//! topology quantify that: traffic *spread* over all installed paths
+//! (no REsPoNse) vs the consolidated always-on arrangement, each with
+//! the gap-sleep analysis enabled.
 //!
 //! Usage: `--rate-mbps 2.5 --min-gap-ms 10 --wake-ms 10`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_simnet::{run_packet_sim_full, CbrFlow, PacketSimConfig};
-use ecp_topo::gen::fig3_click;
-use ecp_topo::{Path, Topology};
+use ecp_scenario::{run_scenario, SleepStats};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,26 +23,15 @@ struct Out {
     consolidated_sleep_fraction: f64,
 }
 
-fn mean_sleep(topo: &Topology, act: &ecp_simnet::ArcActivity, min_gap: f64, wake: f64) -> f64 {
-    let links: Vec<_> = topo.link_ids().collect();
-    let mut acc = 0.0;
-    for &l in &links {
-        // A physical link sleeps only when BOTH directions are idle; we
-        // approximate with the direction that sleeps less.
-        let fwd = act.opportunistic_sleep_fraction(l.idx(), min_gap, wake);
-        let rev = topo
-            .reverse(l)
-            .map(|r| act.opportunistic_sleep_fraction(r.idx(), min_gap, wake))
-            .unwrap_or(fwd);
-        // Links that carried nothing at all can sleep fully.
-        let carried = act.busy_s[l.idx()] > 0.0
-            || topo
-                .reverse(l)
-                .map(|r| act.busy_s[r.idx()] > 0.0)
-                .unwrap_or(false);
-        acc += if carried { fwd.min(rev) } else { 1.0 };
-    }
-    acc / links.len() as f64
+fn sleep_of(rate: f64, min_gap: f64, wake: f64, spread: bool) -> SleepStats {
+    run_scenario(&ecp_bench::scenarios::extension_opportunistic_sleep(
+        rate, min_gap, wake, spread,
+    ))
+    .expect("extension_sleep scenario runs")
+    .packet
+    .expect("packet detail")
+    .sleep
+    .expect("sleep analysis selected")
 }
 
 fn main() {
@@ -53,71 +39,9 @@ fn main() {
     let min_gap: f64 = arg("min-gap-ms", 10.0) * 1e-3;
     let wake: f64 = arg("wake-ms", 10.0) * 1e-3;
 
-    let (topo, n) = fig3_click();
-    let dur = 10.0;
-
-    // Spread arrangement (no REsPoNse): each source splits across both
-    // of its candidate paths.
-    let spread = vec![
-        CbrFlow {
-            path: Path::new(vec![n.a, n.e, n.h, n.k]),
-            rate_bps: rate / 2.0,
-            start: 0.0,
-            stop: dur,
-        },
-        CbrFlow {
-            path: Path::new(vec![n.a, n.d, n.g, n.k]),
-            rate_bps: rate / 2.0,
-            start: 0.001,
-            stop: dur,
-        },
-        CbrFlow {
-            path: Path::new(vec![n.c, n.e, n.h, n.k]),
-            rate_bps: rate / 2.0,
-            start: 0.002,
-            stop: dur,
-        },
-        CbrFlow {
-            path: Path::new(vec![n.c, n.f, n.j, n.k]),
-            rate_bps: rate / 2.0,
-            start: 0.003,
-            stop: dur,
-        },
-    ];
-    let (_, act) = run_packet_sim_full(&topo, &spread, &PacketSimConfig::default(), dur * 2.0);
-    let spread_sleep = mean_sleep(&topo, &act, min_gap, wake);
-
-    // Consolidated arrangement (REsPoNse steady state): all traffic on
-    // the middle paths; upper/lower fully dark.
-    let consolidated = vec![
-        CbrFlow {
-            path: Path::new(vec![n.a, n.e, n.h, n.k]),
-            rate_bps: rate,
-            start: 0.0,
-            stop: dur,
-        },
-        CbrFlow {
-            path: Path::new(vec![n.c, n.e, n.h, n.k]),
-            rate_bps: rate,
-            start: 0.001,
-            stop: dur,
-        },
-    ];
-    let (_, act2) =
-        run_packet_sim_full(&topo, &consolidated, &PacketSimConfig::default(), dur * 2.0);
-    let total_links = topo.link_count();
-    let dark = topo
-        .link_ids()
-        .filter(|l| {
-            let fwd = act2.busy_s[l.idx()] > 0.0;
-            let rev = topo
-                .reverse(*l)
-                .map(|r| act2.busy_s[r.idx()] > 0.0)
-                .unwrap_or(false);
-            !fwd && !rev
-        })
-        .count();
-    let consolidated_sleep = mean_sleep(&topo, &act2, min_gap, wake);
+    let spread = sleep_of(rate, min_gap, wake, true);
+    let consolidated = sleep_of(rate, min_gap, wake, false);
+    let (dark, total_links) = (consolidated.dark_links, consolidated.total_links);
 
     print_table(
         "Opportunistic (per-gap) sleeping vs REsPoNse consolidation, Fig-3 topology",
@@ -129,12 +53,12 @@ fn main() {
         &[
             vec![
                 "spread (no REsPoNse)".into(),
-                format!("{:.1}%", 100.0 * spread_sleep),
+                format!("{:.1}%", 100.0 * spread.mean_sleep_fraction),
                 "0".into(),
             ],
             vec![
                 "consolidated (REsPoNse)".into(),
-                format!("{:.1}%", 100.0 * consolidated_sleep),
+                format!("{:.1}%", 100.0 * consolidated.mean_sleep_fraction),
                 format!("{dark}/{total_links}"),
             ],
         ],
@@ -145,17 +69,17 @@ fn main() {
     println!("loses packets and burns energy on state switches — consolidation creates long idle periods instead.");
     println!(
         "measured: consolidation lifts the mean sleepable fraction from {:.1}% to {:.1}% and darkens {dark} links entirely.",
-        100.0 * spread_sleep,
-        100.0 * consolidated_sleep
+        100.0 * spread.mean_sleep_fraction,
+        100.0 * consolidated.mean_sleep_fraction
     );
 
     write_json(
         "extension_opportunistic_sleep",
         &Out {
-            spread_mean_sleep_fraction: spread_sleep,
+            spread_mean_sleep_fraction: spread.mean_sleep_fraction,
             consolidated_sleeping_links: dark,
             total_links,
-            consolidated_sleep_fraction: consolidated_sleep,
+            consolidated_sleep_fraction: consolidated.mean_sleep_fraction,
         },
     );
 }

@@ -4,19 +4,13 @@
 //! consolidating traffic onto energy-critical paths. Two mechanisms
 //! contribute: (a) longer paths (propagation + store-and-forward) and
 //! (b) queueing on the busier consolidated links. The fluid simulator
-//! captures only (a); this binary runs the same flows through the
-//! event-per-packet engine to quantify (b) as well.
+//! captures only (a); the packet-engine scenarios run the same flows
+//! through the event-per-packet engine to quantify (b) as well.
 //!
 //! Usage: `--util 0.6 --clients 4 --seed 1`
 
-use ecp_apps::tables_from_routes;
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::ospf_invcap;
-use ecp_simnet::{run_packet_sim, CbrFlow, PacketSimConfig};
-use ecp_topo::gen::abovenet;
-use ecp_topo::{NodeId, Topology};
-use respons_core::{PathTables, Planner, PlannerConfig};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,29 +28,17 @@ struct Out {
     delay_increase_pct: f64,
 }
 
-fn run_scheme(
-    topo: &Topology,
-    tables: &PathTables,
-    pairs: &[(NodeId, NodeId)],
-    rate: f64,
-) -> SchemeOut {
-    let flows: Vec<CbrFlow> = pairs
-        .iter()
-        .enumerate()
-        .map(|(i, &(o, d))| CbrFlow {
-            path: tables.get(o, d).unwrap().always_on.clone(),
-            rate_bps: rate,
-            start: i as f64 * 1e-4, // phase offsets avoid sync artifacts
-            stop: 2.0,
-        })
-        .collect();
-    let stats = run_packet_sim(topo, &flows, &PacketSimConfig::default(), 10.0);
-    let n = stats.len() as f64;
+fn run_scheme(util: f64, clients: usize, invcap: bool) -> SchemeOut {
+    let report = run_scenario(&ecp_bench::scenarios::extension_packet_latency(
+        util, clients, invcap,
+    ))
+    .expect("extension_packet scenario runs");
+    let p = report.packet.expect("packet detail");
     SchemeOut {
-        mean_delay_ms: 1e3 * stats.iter().map(|s| s.mean_delay).sum::<f64>() / n,
-        p99_delay_ms: 1e3 * stats.iter().map(|s| s.p99_delay).fold(0.0, f64::max),
-        queue_delay_ms: 1e3 * stats.iter().map(|s| s.mean_queue_delay).sum::<f64>() / n,
-        dropped: stats.iter().map(|s| s.dropped).sum(),
+        mean_delay_ms: 1e3 * p.mean_delay_s,
+        p99_delay_ms: 1e3 * p.max_p99_delay_s,
+        queue_delay_ms: 1e3 * p.mean_queue_delay_s,
+        dropped: p.dropped,
     }
 }
 
@@ -65,34 +47,9 @@ fn main() {
     let clients_n: usize = arg("clients", 4);
     let _seed: u64 = arg("seed", 1);
 
-    let topo = abovenet();
-    let pm = PowerModel::cisco12000();
-    let mut by_degree: Vec<NodeId> = topo.node_ids().collect();
-    by_degree.sort_by_key(|&n| topo.degree(n));
-    let server = by_degree[0];
-    let clients: Vec<NodeId> = by_degree[1..1 + clients_n].to_vec();
-    let pairs: Vec<(NodeId, NodeId)> = clients.iter().map(|&c| (server, c)).collect();
-
-    eprintln!("planning...");
-    let t_rep = Planner::new(&topo, &pm).plan(&PlannerConfig::default());
-    let t_inv = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
-
-    // Per-flow rate such that the server's busiest first-hop link runs
-    // at ~`util` under consolidation.
-    let min_cap = topo
-        .out_arcs(server)
-        .iter()
-        .map(|&a| topo.arc(a).capacity)
-        .fold(f64::INFINITY, f64::min);
-    let rate = util * min_cap / clients_n as f64;
-
-    eprintln!(
-        "running packet simulations ({} flows at {:.1} Mbps)...",
-        clients_n,
-        rate / 1e6
-    );
-    let inv = run_scheme(&topo, &t_inv, &pairs, rate);
-    let rep = run_scheme(&topo, &t_rep, &pairs, rate);
+    eprintln!("running packet simulations ({clients_n} flows at {util} utilization)...");
+    let inv = run_scheme(util, clients_n, true);
+    let rep = run_scheme(util, clients_n, false);
 
     let incr = 100.0 * (rep.mean_delay_ms - inv.mean_delay_ms) / inv.mean_delay_ms;
     print_table(

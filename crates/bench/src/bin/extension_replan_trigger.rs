@@ -2,20 +2,15 @@
 //! at which topology changes would warrant recomputing the
 //! energy-critical paths."
 //!
-//! We grow the offered traffic 5% per simulated day over a GÉANT-like
-//! replay and report when the drift detector advises replanning — and
-//! what replanning at that moment recovers.
+//! A `DriftReplan`-mode replay: the offered traffic grows 5% per
+//! simulated day over tables planned for day 0, the drift detector
+//! advises when to replan, and the engine quantifies what replanning at
+//! that moment recovers. This binary only formats output.
 //!
 //! Usage: `--days 12 --growth 1.05 --pairs 120 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_topo::gen::geant;
-use ecp_traffic::{geant_like_trace, gravity_matrix, random_od_pairs_subset};
-use respons_core::replay::max_supported_scale;
-use respons_core::{
-    steady_state_replay, DriftConfig, DriftDetector, Planner, PlannerConfig, ReplanAdvice, TeConfig,
-};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,82 +28,26 @@ fn main() {
     let pairs_n: usize = arg("pairs", 120);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs_subset(&topo, 17, pairs_n, seed);
-    let te = TeConfig::default();
+    eprintln!("planning against today's demand envelope and replaying...");
+    let scenario = ecp_bench::scenarios::extension_replan_trigger(days, growth, pairs_n, seed);
+    let report = run_scenario(&scenario).expect("extension_replan scenario runs");
+    let detail = report.replay.expect("replay detail");
+    let drift = detail.drift.expect("DriftReplan mode yields drift stats");
+    let placed = detail.placed_series.expect("delivered series selected");
+    let spilled = detail.spilled_series.expect("delivered series selected");
 
-    eprintln!("planning against today's demand envelope...");
-    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-    let base = gravity_matrix(&topo, &pairs, 1e9);
-    let aon = max_supported_scale(&topo, &tables, &base, &te, 1);
-    let day0_peak = 1e9 * aon * 1.0;
+    let per_day = (86_400.0 / detail.interval_s) as usize;
+    let trigger = drift.trigger_interval.map(|i| i / per_day);
+    let (before, after) = (drift.congested_before, drift.congested_after);
+    let reasons = drift.reasons;
 
-    // One growing trace: day d's volume is day0 * growth^d.
-    let mut trace = geant_like_trace(&topo, &pairs, days, day0_peak, seed);
-    let per_day = (86_400.0 / trace.interval_s) as usize;
-    for (i, m) in trace.matrices.iter_mut().enumerate() {
-        let day = i / per_day;
-        *m = m.scaled(growth.powi(day as i32));
-    }
-
-    let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
-
-    // Drift detection with a 2-day window.
-    let cfg = DriftConfig {
-        window: 2 * per_day,
-        ..Default::default()
-    };
-    let mut det = DriftDetector::new(cfg);
-    let mut trigger: Option<usize> = None;
-    let mut reasons = Vec::new();
-    for (i, p) in rep.points.iter().enumerate() {
-        det.observe(p);
-        if trigger.is_none() {
-            if let ReplanAdvice::Replan(rs) = det.demand_advice() {
-                trigger = Some(i / per_day);
-                reasons = rs.iter().map(|r| format!("{r:?}")).collect();
-            }
-        }
-    }
-
-    // What replanning at the trigger recovers: replan against the
-    // triggered day's peak envelope and replay the remaining days.
-    let (before, after) = match trigger {
-        Some(day) => {
-            let start = day * per_day;
-            let tail = ecp_traffic::Trace {
-                name: "tail".into(),
-                interval_s: trace.interval_s,
-                matrices: trace.matrices[start..].to_vec(),
-            };
-            let tail_peak = tail.peak_matrix();
-            let replanned = Planner::new(&topo, &pm).plan_pairs(
-                &PlannerConfig {
-                    offpeak: Some(tail.offpeak_matrix()),
-                    strategy: respons_core::OnDemandStrategy::PeakMatrix(tail_peak),
-                    ..Default::default()
-                },
-                &pairs,
-            );
-            let rep_before = steady_state_replay(&topo, &pm, &tables, &tail, &te);
-            let rep_after = steady_state_replay(&topo, &pm, &replanned, &tail, &te);
-            (
-                rep_before.congested_fraction(),
-                rep_after.congested_fraction(),
-            )
-        }
-        None => (rep.congested_fraction(), rep.congested_fraction()),
-    };
-
-    let rows: Vec<Vec<String>> = rep
-        .points
+    let rows: Vec<Vec<String>> = placed
         .chunks(per_day)
+        .zip(spilled.chunks(per_day))
         .enumerate()
-        .map(|(d, c)| {
-            let cong =
-                c.iter().filter(|p| p.placed_fraction < 1.0 - 1e-9).count() as f64 / c.len() as f64;
-            let spill = c.iter().filter(|p| p.spilled_demands > 0).count() as f64 / c.len() as f64;
+        .map(|(d, (pc, sc))| {
+            let cong = pc.iter().filter(|&&p| p < 1.0 - 1e-9).count() as f64 / pc.len() as f64;
+            let spill = sc.iter().filter(|&&s| s > 0).count() as f64 / sc.len() as f64;
             vec![
                 format!(
                     "day {}{}",

@@ -1,14 +1,15 @@
 //! Figure 1a — CCDF of 5-minute traffic change in a datacenter.
 //!
 //! Paper: "in almost 50% cases the traffic changes at least by 20%
-//! percent over a 5-min interval" (Google production trace). We replay
-//! the DC-like synthetic trace and print the CCDF.
+//! percent over a 5-min interval" (Google production trace). The
+//! scenario replays the DC-like synthetic trace in `TraceStats` mode;
+//! this binary only formats the CCDF.
 //!
 //! Usage: `cargo run --release -p ecp-bench --bin fig1a_traffic_deviation
 //! [--days 8] [--groups 50] [--seed 11]`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_traffic::{dc_like_volume_trace, deviation_ccdf};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,8 +27,12 @@ fn main() {
     let groups: usize = arg("groups", 50);
     let seed: u64 = arg("seed", 11);
 
-    let series = dc_like_volume_trace(groups, days, seed);
-    let ccdf = deviation_ccdf(&series);
+    let scenario = ecp_bench::scenarios::fig1a(days, groups, seed);
+    let report = run_scenario(&scenario).expect("fig1a scenario runs");
+    let ccdf = report
+        .replay
+        .and_then(|r| r.deviation_ccdf)
+        .expect("TraceStats mode yields a CCDF");
     let at = |pct: usize| ccdf[pct].1;
 
     let rows: Vec<Vec<String>> = [0usize, 5, 10, 20, 30, 40, 50, 60, 80, 100]

@@ -5,19 +5,13 @@
 //! four per hour (the maximum possible for our trace), even for the
 //! 15-minute interval granularity."
 //!
-//! We recompute the minimal network subset (the `optimal` scheme) for
-//! every 15-minute matrix of the GÉANT-like trace and count the
-//! intervals whose active element set changed.
+//! The scenario replays the GÉANT-like trace in `Recompute` mode
+//! (optimal subset per interval); this binary only formats output.
 //!
-//! Usage: `--days 15 --pairs 150 --seed 1 --volume-frac 0.6`
+//! Usage: `--days 15 --pairs 150 --seed 1 --volume-frac 0.5`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::oracle::OracleConfig;
-use ecp_routing::recompute::recomputation_rate;
-use ecp_routing::subset::optimal_subset;
-use ecp_topo::gen::geant;
-use ecp_traffic::{geant_like_trace, random_od_pairs};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,21 +31,16 @@ fn main() {
     let seed: u64 = arg("seed", 1);
     let volume_frac: f64 = arg("volume-frac", 0.5);
 
-    let topo = geant();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let oc = OracleConfig::default();
-    let peak_volume = ecp_bench::max_feasible_volume(&topo, &pairs, &oc) * volume_frac;
-    let trace = geant_like_trace(&topo, &pairs, days, peak_volume, seed);
-    let pm = PowerModel::cisco12000();
+    let scenario =
+        ecp_bench::scenarios::optimal_recompute_geant("fig1b", days, pairs_n, volume_frac, seed);
+    eprintln!("replaying {days} days, recomputing the optimal subset each interval...");
+    let report = run_scenario(&scenario).expect("fig1b scenario runs");
+    let rec = report
+        .replay
+        .and_then(|r| r.recompute)
+        .expect("Recompute mode yields rates");
 
-    eprintln!(
-        "replaying {} intervals ({} days), recomputing the optimal subset each time...",
-        trace.len(),
-        days
-    );
-    let rep = recomputation_rate(&topo, &trace, |tm| optimal_subset(&topo, &pm, tm, &oc));
-
-    let hourly = rep.hourly_rate();
+    let hourly = rec.hourly_rate;
     let max_rate = hourly.iter().cloned().fold(0.0, f64::max);
     // Print a daily summary (360 hourly samples would be unreadable).
     let rows: Vec<Vec<String>> = hourly
@@ -74,7 +63,7 @@ fn main() {
     );
     println!(
         "\npaper: rate goes up to 4/hour (trace-granularity bound)   measured max: {max_rate:.0}/hour, mean: {:.2}/hour",
-        rep.mean_rate_per_hour()
+        rec.mean_rate_per_hour
     );
 
     write_json(
@@ -82,11 +71,11 @@ fn main() {
         &Out {
             days,
             pairs: pairs_n,
-            total_changes: rep.total_changes(),
-            mean_rate_per_hour: rep.mean_rate_per_hour(),
+            total_changes: rec.total_changes,
+            mean_rate_per_hour: rec.mean_rate_per_hour,
             max_rate_per_hour: max_rate,
             hourly_rate: hourly,
-            optimizer_failures: rep.failures,
+            optimizer_failures: rec.failures,
         },
     );
 }

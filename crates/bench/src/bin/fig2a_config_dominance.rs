@@ -5,15 +5,13 @@
 //! routing configurations (13 slices) is still large, beyond the
 //! capabilities of today's network elements."
 //!
+//! The scenario replays the GÉANT-like trace in `Recompute` mode; this
+//! binary only formats the dominance slices.
+//!
 //! Usage: `--days 15 --pairs 120 --seed 1 --volume-frac 0.42`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::oracle::OracleConfig;
-use ecp_routing::recompute::{recomputation_rate, ConfigDominance};
-use ecp_routing::subset::optimal_subset;
-use ecp_topo::gen::geant;
-use ecp_traffic::{geant_like_trace, random_od_pairs};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -31,26 +29,17 @@ fn main() {
     let seed: u64 = arg("seed", 1);
     let volume_frac: f64 = arg("volume-frac", 0.42);
 
-    let topo = geant();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let oc = OracleConfig::default();
-    let peak = ecp_bench::max_feasible_volume(&topo, &pairs, &oc) * volume_frac;
-    let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
-    let pm = PowerModel::cisco12000();
+    let scenario =
+        ecp_bench::scenarios::optimal_recompute_geant("fig2a", days, pairs_n, volume_frac, seed);
+    eprintln!("replaying {days} days; clustering active subsets...");
+    let report = run_scenario(&scenario).expect("fig2a scenario runs");
+    let rec = report
+        .replay
+        .and_then(|r| r.recompute)
+        .expect("Recompute mode yields dominance");
 
-    eprintln!(
-        "replaying {} intervals; clustering active subsets...",
-        trace.len()
-    );
-    let rep = recomputation_rate(&topo, &trace, |tm| optimal_subset(&topo, &pm, tm, &oc));
-    let dom = ConfigDominance::from_signatures(&rep.signatures);
-
-    let slices: Vec<f64> = dom
-        .configs
-        .iter()
-        .map(|&(_, c)| c as f64 / dom.intervals as f64)
-        .collect();
-    let rows: Vec<Vec<String>> = slices
+    let rows: Vec<Vec<String>> = rec
+        .slices
         .iter()
         .enumerate()
         .take(15)
@@ -63,8 +52,8 @@ fn main() {
     );
     println!(
         "\npaper: dominant config ~60% of time, 13 configs total   measured: {:.1}% dominant, {} configs",
-        100.0 * dom.dominant_fraction(),
-        dom.distinct()
+        100.0 * rec.dominant_fraction,
+        rec.distinct_configurations
     );
 
     write_json(
@@ -72,9 +61,9 @@ fn main() {
         &Out {
             days,
             pairs: pairs_n,
-            distinct_configurations: dom.distinct(),
-            dominant_fraction: dom.dominant_fraction(),
-            slices,
+            distinct_configurations: rec.distinct_configurations,
+            dominant_fraction: rec.dominant_fraction,
+            slices: rec.slices,
         },
     );
 }

@@ -6,19 +6,14 @@
 //! cover all traffic. [FatTree with 36 core switches:] 5 precomputed
 //! paths are enough to carry the traffic matrices over an 8-day period."
 //!
+//! Two `Recompute`-mode replay scenarios (GÉANT/optimal and
+//! fat-tree/greedy-prune over the DC volume trace) accumulate the
+//! per-pair path usage; this binary only formats the coverage curves.
+//!
 //! Usage: `--geant-days 15 --dc-days 8 --pairs 120 --fat-k 12 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::oracle::OracleConfig;
-use ecp_routing::subset::optimal_subset;
-use ecp_topo::gen::{fat_tree, geant, FatTreeConfig};
-use ecp_topo::GBPS;
-use ecp_traffic::{
-    dc_like_volume_trace, fat_tree_far_pairs, geant_like_trace, random_od_pairs, uniform_matrix,
-    Trace, TrafficMatrix,
-};
-use respons_core::critical::PathUsage;
+use ecp_scenario::{run_scenario, Scenario};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,23 +24,13 @@ struct Out {
     fattree_paths_for_98pct: usize,
 }
 
-/// Replay a trace with per-interval recomputed subsets, accumulating
-/// path usage.
-fn usage_of<F>(trace: &Trace, mut optimize: F) -> PathUsage
-where
-    F: FnMut(&TrafficMatrix) -> Option<ecp_routing::RouteSet>,
-{
-    let mut usage = PathUsage::new();
-    let mut last_routes = None;
-    for tm in &trace.matrices {
-        if let Some(rs) = optimize(tm) {
-            usage.record(&rs, tm, trace.interval_s);
-            last_routes = Some(rs);
-        } else if let Some(rs) = &last_routes {
-            usage.record(rs, tm, trace.interval_s);
-        }
-    }
-    usage
+fn coverage_of(scenario: &Scenario) -> Vec<(usize, f64)> {
+    run_scenario(scenario)
+        .expect("fig2b scenario runs")
+        .replay
+        .and_then(|r| r.recompute)
+        .expect("Recompute mode yields coverage")
+        .coverage
 }
 
 fn paths_for(cov: &[(usize, f64)], target: f64) -> usize {
@@ -62,69 +47,26 @@ fn main() {
     let fat_k: usize = arg("fat-k", 12);
     let seed: u64 = arg("seed", 1);
     let volume_frac: f64 = arg("volume-frac", 0.42);
-    let xs = [1usize, 2, 3, 4, 5];
 
-    // ---- GÉANT ---------------------------------------------------------
-    let topo = geant();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let oc = OracleConfig::default();
-    let peak = ecp_bench::max_feasible_volume(&topo, &pairs, &oc) * volume_frac;
-    let trace = geant_like_trace(&topo, &pairs, geant_days, peak, seed);
-    let pm = PowerModel::cisco12000();
-    eprintln!("GEANT: replaying {} intervals...", trace.len());
-    let gu = usage_of(&trace, |tm| {
-        optimal_subset(&topo, &pm, tm, &oc).map(|r| r.routes)
-    });
-    let geant_cov: Vec<(usize, f64)> = xs.iter().map(|&x| (x, gu.coverage(x))).collect();
+    eprintln!("GEANT: replaying {geant_days} days (optimal subsets)...");
+    let geant_cov = coverage_of(&ecp_bench::scenarios::optimal_recompute_geant(
+        "fig2b-geant",
+        geant_days,
+        pairs_n,
+        volume_frac,
+        seed,
+    ));
+    eprintln!("FatTree k={fat_k}: replaying {dc_days} days (greedy pruning)...");
+    let fat_cov = coverage_of(&ecp_bench::scenarios::fig2b_fattree(fat_k, dc_days, seed));
 
-    // ---- FatTree (36-core = k=12), driven by the DC volume trace -------
-    let (ft, ix) = fat_tree(&FatTreeConfig {
-        k: fat_k,
-        ..Default::default()
-    });
-    let far = fat_tree_far_pairs(&ix);
-    let dc_pm = PowerModel::commodity_dc();
-    // Volume series scaled into [0, 0.9 Gbps] per flow, one 15-min-like
-    // step per point (subsampled: DC trace is 5-min).
-    let vol = &dc_like_volume_trace(1, dc_days, seed)[0];
-    let vmax = vol.iter().cloned().fold(0.0, f64::max);
-    let matrices: Vec<TrafficMatrix> = vol
+    let rows: Vec<Vec<String>> = geant_cov
         .iter()
-        .step_by(6)
-        .map(|&v| uniform_matrix(&far, 0.9 * GBPS * v / vmax))
-        .collect();
-    let dc_trace = Trace {
-        name: "dc".into(),
-        interval_s: 1800.0,
-        matrices,
-    };
-    eprintln!(
-        "FatTree k={fat_k}: replaying {} intervals...",
-        dc_trace.len()
-    );
-    // Single-order greedy pruning on the large fat-tree (the ensemble is
-    // unnecessary here: we only need *which paths recur*, and the k=12
-    // fat-tree makes the 4x ensemble needlessly slow).
-    let fu = usage_of(&dc_trace, |tm| {
-        ecp_routing::subset::greedy_prune(
-            &ft,
-            &dc_pm,
-            tm,
-            &oc,
-            ecp_routing::subset::PruneOrder::PowerDesc,
-        )
-        .map(|r| r.routes)
-    });
-    let fat_cov: Vec<(usize, f64)> = xs.iter().map(|&x| (x, fu.coverage(x))).collect();
-
-    let rows: Vec<Vec<String>> = xs
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| {
+        .zip(&fat_cov)
+        .map(|(&(x, g), &(_, f))| {
             vec![
                 x.to_string(),
-                format!("{:.1}%", 100.0 * geant_cov[i].1),
-                format!("{:.1}%", 100.0 * fat_cov[i].1),
+                format!("{:.1}%", 100.0 * g),
+                format!("{:.1}%", 100.0 * f),
             ]
         })
         .collect();

@@ -6,13 +6,14 @@
 //! matrix cheaper than the *far* (cross-core) one; REsPoNse matches
 //! ElasticTree's formal solution (their points coincide).
 //!
+//! Two `Program`-trace replay scenarios (near/far); the far one carries
+//! the ECMP, ElasticTree, and optimal baselines. This binary only
+//! formats output.
+//!
 //! Usage: `--steps 40 --k 4`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_topo::gen::{fat_tree, FatTreeConfig};
-use ecp_traffic::{fat_tree_far_pairs, fat_tree_near_pairs, sine_series, uniform_matrix, Trace};
-use respons_core::{steady_state_replay, Planner, PlannerConfig, TeConfig};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,68 +28,45 @@ struct Out {
     optimal_far_mean: f64,
 }
 
+fn power_series(report: &ecp_scenario::ScenarioReport) -> Vec<f64> {
+    report
+        .power_series
+        .as_deref()
+        .expect("power series selected")
+        .iter()
+        .map(|&(_, f)| f)
+        .collect()
+}
+
 fn main() {
     let steps: usize = arg("steps", 40);
     let k: usize = arg("k", 4);
 
-    let (topo, ix) = fat_tree(&FatTreeConfig {
-        k,
-        ..Default::default()
-    });
-    let pm = PowerModel::commodity_dc();
-    let near = fat_tree_near_pairs(&ix);
-    let far = fat_tree_far_pairs(&ix);
-    // Sine demand in [0, 1 Gbps] per flow, like ElasticTree's experiment
-    // (0.9 cap keeps the peak strictly feasible per link).
-    let demand = sine_series(steps, steps, 0.02e9, 0.9e9);
+    let near = ecp_bench::scenarios::fig4(steps, k, false);
+    let far = ecp_bench::scenarios::fig4(steps, k, true);
+    let near_report = run_scenario(&near).expect("fig4 near runs");
+    let far_report = run_scenario(&far).expect("fig4 far runs");
 
-    let te = TeConfig::default();
-    let mut series = Vec::new();
-    for (name, pairs) in [("near", &near), ("far", &far)] {
-        // Datacenter configuration: demand-aware on-demand tables against
-        // the sine peak (matching ElasticTree's formal solution) and the
-        // 5 energy-critical paths Fig. 2b prescribes for fat-trees.
-        let cfg = PlannerConfig {
-            num_paths: 5,
-            strategy: respons_core::OnDemandStrategy::PeakMatrix(uniform_matrix(pairs, 0.9e9)),
-            ..Default::default()
-        };
-        let tables = Planner::new(&topo, &pm).plan_pairs(&cfg, pairs);
-        let trace = Trace {
-            name: name.to_string(),
-            interval_s: 1.0,
-            matrices: demand.iter().map(|&v| uniform_matrix(pairs, v)).collect(),
-        };
-        let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
-        series.push((name, rep));
-    }
-
-    // ECMP baseline: every equal-cost path in use -> the whole fabric
-    // stays on.
-    let ecmp = ecp_routing::ecmp_routes(&topo, &far, 16);
-    let ecmp_frac = ecp_power::power_fraction(&pm, &topo, &ecmp.active_set(&topo));
-
-    // ElasticTree baseline: its topology-aware optimizer recomputed at
-    // every step of the sine wave (that is what ElasticTree does at
-    // runtime).
-    let oc = ecp_routing::OracleConfig::default();
-    let elastictree: Vec<f64> = demand
-        .iter()
-        .map(|&v| {
-            let tm = uniform_matrix(&far, v);
-            ecp_routing::elastictree_subset(&topo, &ix, &pm, &tm, &oc)
-                .map(|r| r.power_w / pm.full_power(&topo))
-                .unwrap_or(f64::NAN)
-        })
+    let near_series = power_series(&near_report);
+    let far_series = power_series(&far_report);
+    let demand: Vec<f64> = (0..steps)
+        .map(|i| far.traffic.program.level_at(i as f64))
         .collect();
-    // "Optimal" reference at the far peak for the coincidence claim.
-    let peak_tm = uniform_matrix(&far, 0.9e9);
-    let opt = ecp_routing::optimal_subset(&topo, &pm, &peak_tm, &oc)
-        .map(|r| r.power_w / pm.full_power(&topo))
-        .unwrap_or(f64::NAN);
+    let compare = |name: &str| -> Vec<f64> {
+        far_report
+            .replay
+            .as_ref()
+            .expect("replay detail")
+            .comparisons
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.series.clone())
+            .expect("baseline computed")
+    };
+    let ecmp_frac = compare("ecmp")[0];
+    let elastictree = compare("elastictree");
+    let opt = compare("optimal_at_peak")[0];
 
-    let near_series: Vec<f64> = series[0].1.points.iter().map(|p| p.power_frac).collect();
-    let far_series: Vec<f64> = series[1].1.points.iter().map(|p| p.power_frac).collect();
     let rows: Vec<Vec<String>> = (0..steps)
         .step_by((steps / 10).max(1))
         .map(|i| {
@@ -135,7 +113,7 @@ fn main() {
             ecmp_power_frac: ecmp_frac,
             near_series,
             far_series,
-            elastictree_series: elastictree.clone(),
+            elastictree_series: elastictree,
             near_mean,
             far_mean,
             optimal_far_mean: opt,

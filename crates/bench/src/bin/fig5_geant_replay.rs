@@ -6,14 +6,16 @@
 //! [...] there was no need to recompute the on-demand paths — a single
 //! computation [...] was sufficient for the 15-day period."
 //!
-//! Usage: `--days 15 --pairs 150 --nodes 17 --seed 1 --peak-frac 1.15`
+//! Two replay scenarios: today's hardware derives the trace peak from
+//! its always-on capacity; the alternative-hardware run replays the
+//! *same* trace (peak pinned to the first run's resolved value) over
+//! tables planned with the chassis/10 model. OSPF has no sleeping
+//! capability at all, so its draw is flat 100%.
+//!
+//! Usage: `--days 15 --pairs 150 --nodes 19 --seed 1 --peak-frac 1.15`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::{ospf_invcap, OracleConfig};
-use ecp_topo::gen::geant;
-use ecp_traffic::{geant_like_trace, random_od_pairs_subset};
-use respons_core::{steady_state_replay, Planner, PlannerConfig, TeConfig};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,74 +36,55 @@ fn main() {
     let days: usize = arg("days", 15);
     let pairs_n: usize = arg("pairs", 150);
     let seed: u64 = arg("seed", 1);
-    // Diurnal peak relative to the always-on tables' capacity: slightly
-    // above 1.0 so daytime peaks occasionally wake on-demand paths —
-    // the paper's "low to medium level of traffic" regime (GÉANT was
-    // heavily overprovisioned; its TOTEM volumes sat far below link
-    // capacity).
     let peak_vs_always_on: f64 = arg("peak-frac", 1.15);
-
     let nodes_n: usize = arg("nodes", 19);
-    let topo = geant();
-    // Random subset of PoPs as origins/destinations (paper methodology);
-    // the remaining PoPs are pure transit and may sleep entirely.
-    let pairs = random_od_pairs_subset(&topo, nodes_n, pairs_n, seed);
-    let _oc = OracleConfig::default();
-    let te = TeConfig::default();
-
-    // OSPF-InvCap baseline: a conventional network has no sleeping
-    // capability at all — every chassis and line card stays powered, so
-    // its draw is the full "original power" (the paper's flat ~100%
-    // OSPF curve). We still compute the routing to verify coverage.
-    let pm = PowerModel::cisco12000();
-    let ospf = ospf_invcap(&topo, &pairs, None);
-    assert!(ospf.covers(&ecp_traffic::gravity_matrix(&topo, &pairs, 1.0)));
     let ospf_frac = 1.0;
 
-    // REsPoNse with today's hardware: plan once, replay 15 days.
-    eprintln!("planning REsPoNse tables once (cisco12000)...");
-    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-
-    // Scale the trace to the installed capacity (see header comment).
-    let base = ecp_traffic::gravity_matrix(&topo, &pairs, 1e9);
-    let aon_scale = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 1);
-    let all_scale = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 3);
-    let peak = (1e9 * aon_scale * peak_vs_always_on).min(1e9 * all_scale * 0.95);
+    eprintln!("planning REsPoNse tables once (cisco12000) and replaying...");
+    let scenario = ecp_bench::scenarios::fig5(days, pairs_n, nodes_n, peak_vs_always_on, seed);
+    let report = run_scenario(&scenario).expect("fig5 scenario runs");
+    let detail = report.replay.as_ref().expect("replay detail");
+    let peak = detail.trace_peak_bps.expect("resolved trace peak");
     eprintln!(
-        "always-on capacity {:.2} Gbps, all-tables {:.2} Gbps, trace peak {:.2} Gbps",
-        aon_scale,
-        all_scale,
+        "trace peak {:.2} Gbps; alternative-hardware replay...",
         peak / 1e9
     );
-    let trace = geant_like_trace(&topo, &pairs, days, peak, seed);
-    eprintln!("replaying {} intervals...", trace.len());
-    let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
+    let alt = ecp_bench::scenarios::fig5_alt_hw(days, pairs_n, nodes_n, peak, seed);
+    let report_alt = run_scenario(&alt).expect("fig5 alt-hw scenario runs");
 
-    // Alternative hardware: chassis/10; plan with its own model.
-    let pm_alt = PowerModel::alternative_hw();
-    let tables_alt = Planner::new(&topo, &pm_alt).plan_pairs(&PlannerConfig::default(), &pairs);
-    let rep_alt = steady_state_replay(&topo, &pm_alt, &tables_alt, &trace, &te);
+    let power: Vec<f64> = report
+        .power_series
+        .as_deref()
+        .expect("power series selected")
+        .iter()
+        .map(|&(_, f)| f)
+        .collect();
+    let power_alt: Vec<f64> = report_alt
+        .power_series
+        .as_deref()
+        .unwrap()
+        .iter()
+        .map(|&(_, f)| f)
+        .collect();
 
-    let per_day = (86_400.0 / trace.interval_s) as usize;
-    let daily: Vec<f64> = rep
-        .points
+    let per_day = (86_400.0 / detail.interval_s) as usize;
+    let daily: Vec<f64> = power
         .chunks(per_day)
-        .map(|c| c.iter().map(|p| p.power_frac).sum::<f64>() / c.len() as f64)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
         .collect();
     let rows: Vec<Vec<String>> = daily
         .iter()
         .enumerate()
         .map(|(d, f)| {
-            let alt = rep_alt.points[d * per_day..((d + 1) * per_day).min(rep_alt.points.len())]
+            let alt_mean = power_alt[d * per_day..((d + 1) * per_day).min(power_alt.len())]
                 .iter()
-                .map(|p| p.power_frac)
                 .sum::<f64>()
                 / per_day as f64;
             vec![
                 format!("day {}", d + 1),
                 format!("{:.1}%", 100.0 * ospf_frac),
                 format!("{:.1}%", 100.0 * f),
-                format!("{:.1}%", 100.0 * alt),
+                format!("{:.1}%", 100.0 * alt_mean),
             ]
         })
         .collect();
@@ -111,21 +94,17 @@ fn main() {
         &rows,
     );
 
-    let mean = rep.mean_power_fraction();
-    let mean_alt = rep_alt.mean_power_fraction();
+    let mean = report.mean_power_frac;
+    let mean_alt = report_alt.mean_power_frac;
     let savings_today = 100.0 * (ospf_frac - mean) / ospf_frac;
     let savings_alt = 100.0 * (ospf_frac - mean_alt) / ospf_frac;
-    let var = rep
-        .points
-        .iter()
-        .map(|p| (p.power_frac - mean).powi(2))
-        .sum::<f64>()
-        / rep.points.len().max(1) as f64;
+    let var = power.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / power.len().max(1) as f64;
+    let congested = report.congested_fraction.unwrap_or(0.0);
     println!("\npaper: ~30% savings today, ~42% with alternative HW; power varies little; 0 recomputations");
     println!(
         "measured: savings {savings_today:.1}% (today), {savings_alt:.1}% (alt HW); power stddev {:.2}pp; congested intervals {:.2}%",
         100.0 * var.sqrt(),
-        100.0 * rep.congested_fraction()
+        100.0 * congested
     );
 
     write_json(
@@ -138,7 +117,7 @@ fn main() {
             response_alt_hw_mean_frac: mean_alt,
             savings_today_pct: savings_today,
             savings_alt_hw_pct: savings_alt,
-            congested_fraction: rep.congested_fraction(),
+            congested_fraction: congested,
             power_stddev: var.sqrt(),
             daily_mean_frac: daily,
         },

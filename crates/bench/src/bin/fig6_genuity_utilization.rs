@@ -6,16 +6,14 @@
 //! REsPoNse-ospf still exhibits energy proportionality; Optimal bounds
 //! them all from below.
 //!
+//! Four planner-variant scenarios × three utilization levels, each a
+//! single-interval `Program` replay (resolved once per variant, re-run
+//! per level); the first variant also computes the optimal bound.
+//!
 //! Usage: `--pairs 160 --nodes 26 --seed 1`
 
-use ecp_bench::{arg, gravity_at_utilization, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::subset::optimal_subset;
-use ecp_routing::OracleConfig;
-use ecp_topo::gen::genuity;
-use ecp_traffic::random_od_pairs_subset;
-use respons_core::replay::place_matrix;
-use respons_core::{OnDemandStrategy, Planner, PlannerConfig, TeConfig};
+use ecp_bench::{arg, print_table, write_json};
+use ecp_scenario::{resolve, run_resolved, StrategySpec};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -35,87 +33,71 @@ fn main() {
     let seed: u64 = arg("seed", 1);
     let utils = [10.0, 50.0, 100.0];
 
-    let topo = genuity();
-    let pm = PowerModel::cisco12000();
-    let oc = OracleConfig::default();
-    // Random subset of PoPs as origins/destinations (paper methodology,
-    // "we select the origins and destinations at random, as in [24]").
-    let pairs = random_od_pairs_subset(&topo, nodes_n, pairs_n, seed);
-    let te = TeConfig::default();
-
-    eprintln!("scaling gravity demands to the max feasible volume...");
-    let tms: Vec<_> = utils
-        .iter()
-        .map(|&u| gravity_at_utilization(&topo, &pairs, &oc, u))
-        .collect();
-    let peak = tms.last().unwrap().clone();
-
-    eprintln!("planning the four REsPoNse variants...");
-    let planner = Planner::new(&topo, &pm);
-    let t_resp = planner.plan_pairs(&PlannerConfig::default(), &pairs);
-    let t_lat = planner.plan_pairs(
-        &PlannerConfig {
-            beta: Some(0.25),
-            ..Default::default()
-        },
-        &pairs,
-    );
-    let t_ospf = planner.plan_pairs(
-        &PlannerConfig {
-            strategy: OnDemandStrategy::Ospf,
-            ..Default::default()
-        },
-        &pairs,
-    );
-    let t_heur = planner.plan_pairs(
-        &PlannerConfig {
-            strategy: OnDemandStrategy::Heuristic {
+    // (label, strategy, beta, carries-the-optimal-bound)
+    let variants: [(&str, StrategySpec, Option<f64>, bool); 4] = [
+        ("REsPoNse-lat", StrategySpec::StressFactor, Some(0.25), true),
+        ("REsPoNse", StrategySpec::StressFactor, None, false),
+        ("REsPoNse-ospf", StrategySpec::Ospf, None, false),
+        (
+            "REsPoNse-heuristic",
+            StrategySpec::Heuristic {
                 k: 4,
-                peak: peak.clone(),
+                peak_level: 1.0,
             },
-            ..Default::default()
-        },
-        &pairs,
-    );
+            None,
+            false,
+        ),
+    ];
 
-    let full = pm.full_power(&topo);
-    let frac_of = |tables: &respons_core::PathTables, tm| {
-        let (active, _, _, _) = place_matrix(&topo, tables, tm, &te);
-        pm.network_power(&topo, &active) / full
-    };
-
-    let mut out = Out {
-        utils: utils.to_vec(),
-        response_lat: vec![],
-        response: vec![],
-        response_ospf: vec![],
-        response_heuristic: vec![],
-        optimal: vec![],
-    };
-    let mut rows = Vec::new();
-    for (i, tm) in tms.iter().enumerate() {
-        eprintln!("evaluating util-{}...", utils[i]);
-        let lat = frac_of(&t_lat, tm);
-        let resp = frac_of(&t_resp, tm);
-        let ospf = frac_of(&t_ospf, tm);
-        let heur = frac_of(&t_heur, tm);
-        let opt = optimal_subset(&topo, &pm, tm, &oc)
-            .map(|r| r.power_w / full)
-            .unwrap_or(f64::NAN);
-        rows.push(vec![
-            format!("util-{}", utils[i]),
-            format!("{:.1}%", 100.0 * lat),
-            format!("{:.1}%", 100.0 * resp),
-            format!("{:.1}%", 100.0 * ospf),
-            format!("{:.1}%", 100.0 * heur),
-            format!("{:.1}%", 100.0 * opt),
-        ]);
-        out.response_lat.push(lat);
-        out.response.push(resp);
-        out.response_ospf.push(ospf);
-        out.response_heuristic.push(heur);
-        out.optimal.push(opt);
+    // power[variant][util], optimal[util]
+    let mut power = vec![vec![0.0; utils.len()]; variants.len()];
+    let mut optimal = vec![0.0; utils.len()];
+    for (vi, (label, strategy, beta, with_optimal)) in variants.iter().enumerate() {
+        eprintln!("planning {label}...");
+        let base =
+            ecp_bench::scenarios::fig6(pairs_n, nodes_n, seed, *strategy, *beta, 100.0, false);
+        let resolved = resolve(&base).expect("fig6 variant resolves");
+        for (ui, &u) in utils.iter().enumerate() {
+            let s = ecp_bench::scenarios::fig6(
+                pairs_n,
+                nodes_n,
+                seed,
+                *strategy,
+                *beta,
+                u,
+                *with_optimal,
+            );
+            let report = run_resolved(&s, &resolved).expect("fig6 level runs");
+            power[vi][ui] = report.mean_power_frac;
+            if *with_optimal {
+                optimal[ui] = report
+                    .replay
+                    .as_ref()
+                    .and_then(|r| r.comparisons.first())
+                    .map(|c| c.series[0])
+                    .expect("optimal bound computed");
+            }
+        }
     }
+
+    let out = Out {
+        utils: utils.to_vec(),
+        response_lat: power[0].clone(),
+        response: power[1].clone(),
+        response_ospf: power[2].clone(),
+        response_heuristic: power[3].clone(),
+        optimal: optimal.clone(),
+    };
+    let rows: Vec<Vec<String>> = utils
+        .iter()
+        .enumerate()
+        .map(|(ui, u)| {
+            let mut row = vec![format!("util-{u}")];
+            row.extend((0..variants.len()).map(|vi| format!("{:.1}%", 100.0 * power[vi][ui])));
+            row.push(format!("{:.1}%", 100.0 * optimal[ui]));
+            row
+        })
+        .collect();
     print_table(
         "Fig 6: power (% of original) vs utilization, Genuity topology",
         &[

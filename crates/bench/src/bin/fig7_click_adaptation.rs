@@ -14,12 +14,7 @@
 //! Usage: `--duration 8`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_scenario::{
-    run_scenario, EventSpec, LinkRef, MatrixSpec, MetricsSpec, PairsSpec, PowerSpec, ScaleSpec,
-    ScenarioBuilder, SimSpec, TablesSpec,
-};
-use ecp_topo::gen::TopoSpec;
-use ecp_traffic::{Program, Shape};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -35,47 +30,7 @@ struct Out {
 fn main() {
     let duration: f64 = arg("duration", 8.0);
 
-    let scenario = ScenarioBuilder::new("fig7-click-adaptation")
-        .seed(1)
-        .duration_s(duration)
-        .topology(TopoSpec::Fig3Click)
-        .power(PowerSpec::Cisco12000)
-        .pairs(PairsSpec::Fig3)
-        .tables(TablesSpec::Fig3Paper)
-        // 5 flows x ~0.5 Mbps per source (paper: 10 pps each, ~5 Mbps
-        // total across both sources).
-        .traffic(
-            MatrixSpec::Uniform,
-            ScaleSpec::PerFlowBps { bps: 2.5e6 },
-            Program::from_shape(duration, duration, Shape::Constant { level: 1.0 }),
-        )
-        // Max RTT: 6 hops of 16.67 ms ~ 100 ms -> control interval T.
-        .sim(SimSpec {
-            control_interval_s: 0.1,
-            wake_time_s: 0.01,   // "10 ms to wake up a sleeping link"
-            detect_delay_s: 0.1, // "100 ms for the failure to be detected and propagated"
-            sleep_after_s: 0.2,
-            sample_interval_s: 0.05,
-            te_start_s: 5.0, // "REsPoNseTE starts running at t = 5 s"
-            ..Default::default()
-        })
-        // Pre-TE state: traffic spread over both candidate paths.
-        .initial_shares(vec![0.5, 0.5])
-        // Fail the middle link at t = 5.7 s.
-        .event(EventSpec::LinkFail {
-            at: 5.7,
-            link: LinkRef::ByName {
-                from: "E".into(),
-                to: "H".into(),
-            },
-        })
-        .metrics(MetricsSpec {
-            power_series: false,
-            delivered_series: false,
-            per_path_rates: true,
-        })
-        .build();
-
+    let scenario = ecp_bench::scenarios::fig7(duration);
     let report = run_scenario(&scenario).expect("fig7 scenario runs");
 
     // Extract the three series: middle = sum of always-on paths, upper =

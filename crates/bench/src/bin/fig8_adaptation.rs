@@ -14,12 +14,7 @@
 //! Usage: `--steps 5`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_scenario::{
-    run_scenario, MatrixSpec, MetricsSpec, PairsSpec, PowerSpec, ScaleSpec, Scenario,
-    ScenarioBuilder, SimSpec,
-};
-use ecp_topo::gen::TopoSpec;
-use ecp_traffic::{Program, Shape};
+use ecp_scenario::{run_scenario, Scenario};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,19 +28,6 @@ struct RunOut {
 struct Out {
     pop_access: RunOut,
     fat_tree: RunOut,
-}
-
-/// The ns-2 experiment simulator settings shared by both runs.
-fn ns2_sim() -> SimSpec {
-    SimSpec {
-        control_interval_s: 0.5,
-        wake_time_s: 5.0, // "we set the wake-up time to 5 s"
-        detect_delay_s: 0.5,
-        sleep_after_s: 2.0,
-        sample_interval_s: 0.5,
-        te_start_s: 0.0,
-        ..Default::default()
-    }
 }
 
 /// Run one scenario and convert its report into the figure's series.
@@ -66,73 +48,16 @@ fn run(scenario: &Scenario) -> RunOut {
 
 fn main() {
     let steps_n: usize = arg("steps", 5);
-    let t_end = steps_n as f64 * 30.0;
 
-    // ---- (a) PoP-access ISP -------------------------------------------
-    // Two concurrent far flows per metro so that util-100 exceeds what a
-    // single (always-on) metro uplink can carry, forcing on-demand
-    // wake-ups at the 50->100 transitions.
-    let scenario_a = ScenarioBuilder::new("fig8a-pop-access")
-        .seed(1)
-        .duration_s(t_end)
-        .topology(TopoSpec::pop_access_default())
-        .power(PowerSpec::Cisco12000)
-        .pairs(PairsSpec::EdgeOffset {
-            denominators: vec![2, 3],
-        })
-        // util-50 <-> util-100 alternation (the figure's y-axis labels).
-        .traffic(
-            MatrixSpec::Gravity,
-            ScaleSpec::MaxFeasibleFraction { fraction: 0.9 },
-            Program::from_shape(
-                t_end,
-                30.0,
-                Shape::Steps {
-                    levels: vec![0.5, 1.0],
-                    step_s: 30.0,
-                },
-            ),
-        )
-        .sim(ns2_sim())
-        .metrics(MetricsSpec {
-            power_series: true,
-            delivered_series: true,
-            per_path_rates: false,
-        })
-        .build();
+    // (a) PoP-access ISP: two concurrent far flows per metro so that
+    // util-100 exceeds what a single (always-on) metro uplink can
+    // carry, forcing on-demand wake-ups at the 50->100 transitions.
     eprintln!("running PoP-access adaptation scenario...");
-    let run_a = run(&scenario_a);
+    let run_a = run(&ecp_bench::scenarios::fig8a(steps_n));
 
-    // ---- (b) FatTree ----------------------------------------------------
-    let scenario_b = ScenarioBuilder::new("fig8b-fat-tree")
-        .seed(1)
-        .duration_s(t_end)
-        .topology(TopoSpec::FatTree { k: 4 })
-        .power(PowerSpec::CommodityDc)
-        .pairs(PairsSpec::FatTreeFar)
-        // Per-flow sine in [0.1, 0.9] Gbps sampled every 30 s.
-        .traffic(
-            MatrixSpec::Uniform,
-            ScaleSpec::PerFlowBps { bps: 1.0 },
-            Program::from_shape(
-                t_end,
-                30.0,
-                Shape::Sine {
-                    period_s: steps_n.max(2) as f64 * 30.0,
-                    lo: 0.1e9,
-                    hi: 0.9e9,
-                },
-            ),
-        )
-        .sim(ns2_sim())
-        .metrics(MetricsSpec {
-            power_series: true,
-            delivered_series: true,
-            per_path_rates: false,
-        })
-        .build();
+    // (b) FatTree under a per-flow sine in [0.1, 0.9] Gbps.
     eprintln!("running fat-tree adaptation scenario...");
-    let run_b = run(&scenario_b);
+    let run_b = run(&ecp_bench::scenarios::fig8b(steps_n));
 
     for (name, r) in [("8a PoP-access", &run_a), ("8b FatTree", &run_b)] {
         let rows: Vec<Vec<String>> = r

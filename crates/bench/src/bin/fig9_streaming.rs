@@ -6,20 +6,14 @@
 //! under REsPoNse-lat and OSPF-InvCap at both load levels, and the
 //! average block retrieval latency increases by about 5%.
 //!
-//! Box-plot statistics come from repeated seeded runs.
+//! Two app-engine scenarios (REsPoNse-lat vs OSPF-InvCap tables) with
+//! identical seeded client placements; box-plot statistics come from the
+//! per-run report entries.
 //!
 //! Usage: `--clients 50 --duration 120 --runs 3`
 
-use ecp_apps::{run_streaming, tables_from_routes, StreamingConfig};
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::ospf_invcap;
-use ecp_simnet::SimConfig;
-use ecp_topo::gen::abovenet;
-use ecp_topo::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use respons_core::{Planner, PlannerConfig, TeConfig};
+use ecp_scenario::{run_scenario, AppDetail, StreamingRunStats};
 use serde::Serialize;
 
 #[derive(Serialize, Clone, Copy)]
@@ -48,88 +42,47 @@ struct Out {
     invcap_power_frac: f64,
 }
 
+fn streaming_runs(report: ecp_scenario::ScenarioReport) -> Vec<StreamingRunStats> {
+    match report.app {
+        Some(AppDetail::Streaming { runs }) => runs,
+        _ => panic!("fig9 expects a streaming report"),
+    }
+}
+
 fn main() {
     let clients_n: usize = arg("clients", 50);
     let duration: f64 = arg("duration", 120.0);
     let runs: usize = arg("runs", 3);
 
-    let topo = abovenet();
-    let pm = PowerModel::cisco12000();
-    let server = NodeId(0);
-    let others: Vec<NodeId> = topo.node_ids().filter(|&n| n != server).collect();
-    let pairs: Vec<(NodeId, NodeId)> = others.iter().map(|&n| (server, n)).collect();
-
-    // REsPoNse-lat tables (the §5.4 configuration) and the InvCap
-    // baseline.
-    eprintln!("planning REsPoNse-lat tables on Abovenet...");
-    let planner = Planner::new(&topo, &pm);
-    let t_rep = planner.plan_pairs(
-        &PlannerConfig {
-            beta: Some(0.25),
-            ..Default::default()
-        },
-        &pairs,
+    eprintln!("streaming over REsPoNse-lat tables ({runs} runs)...");
+    let rep = streaming_runs(
+        run_scenario(&ecp_bench::scenarios::fig9(
+            clients_n, duration, runs, false,
+        ))
+        .expect("fig9 REsPoNse-lat scenario runs"),
     );
-    let t_inv = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
+    eprintln!("streaming over InvCap tables ({runs} runs)...");
+    let inv = streaming_runs(
+        run_scenario(&ecp_bench::scenarios::fig9(clients_n, duration, runs, true))
+            .expect("fig9 InvCap scenario runs"),
+    );
 
-    let sim_cfg = SimConfig {
-        te: TeConfig::default(),
-        control_interval: 0.2,
-        wake_time: 0.1,
-        detect_delay: 0.2,
-        sleep_after: 1.0,
-        sample_interval: 0.5,
-        te_start: 0.0,
+    // 50-client level: first-wave clients judged over the whole run;
+    // 100-client level: all clients (paper plots per phase; approximated
+    // by early joiners vs all).
+    let first_wave = |rs: &[StreamingRunStats]| -> Vec<f64> {
+        rs.iter().map(|r| r.wave_playable_pct[0]).collect()
     };
-    let stream_cfg = StreamingConfig {
-        duration,
-        ..Default::default()
-    };
+    let overall =
+        |rs: &[StreamingRunStats]| -> Vec<f64> { rs.iter().map(|r| r.playable_pct).collect() };
+    let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let bs = [
+        boxstat(&first_wave(&rep)),
+        boxstat(&first_wave(&inv)),
+        boxstat(&overall(&rep)),
+        boxstat(&overall(&inv)),
+    ];
 
-    let mut stats: Vec<Vec<f64>> = vec![Vec::new(); 4]; // replat50 inv50 replat100 inv100
-    let mut lat_rep = Vec::new();
-    let mut lat_inv = Vec::new();
-    let mut pow_rep = Vec::new();
-    let mut pow_inv = Vec::new();
-    for run in 0..runs {
-        let mut rng = StdRng::seed_from_u64(run as u64 + 7);
-        // First wave at t=0, second at duration/2 (scaled from the
-        // paper's 300 s on a 600+ s run).
-        let mut placement: Vec<(NodeId, f64)> = (0..clients_n)
-            .map(|_| (others[rng.gen_range(0..others.len())], 0.0))
-            .collect();
-        placement.extend(
-            (0..clients_n).map(|_| (others[rng.gen_range(0..others.len())], duration / 2.0)),
-        );
-
-        for (tables, s50, s100, lat_sink, pow_sink) in [
-            (&t_rep, 0usize, 2usize, &mut lat_rep, &mut pow_rep),
-            (&t_inv, 1, 3, &mut lat_inv, &mut pow_inv),
-        ] {
-            eprintln!(
-                "run {run}: streaming over {} tables...",
-                if s50 == 0 { "REsPoNse-lat" } else { "InvCap" }
-            );
-            let res = run_streaming(
-                &topo,
-                &pm,
-                tables,
-                server,
-                &placement,
-                &stream_cfg,
-                &sim_cfg,
-            );
-            // 50-client level: only first-wave clients, judged over the
-            // whole run... paper plots per-phase; approximate by early
-            // joiners vs all.
-            stats[s50].push(res.playable_percent_where(|c| c.joined_at == 0.0));
-            stats[s100].push(res.playable_percent());
-            lat_sink.push(res.mean_block_latency());
-            pow_sink.push(res.mean_power_fraction);
-        }
-    }
-
-    let bs: Vec<BoxStat> = stats.iter().map(|v| boxstat(v)).collect();
     let rows: Vec<Vec<String>> = ["REP-lat50", "InvCap50", "REP-lat100", "InvCap100"]
         .iter()
         .enumerate()
@@ -147,11 +100,11 @@ fn main() {
         &["", "min", "mean", "max"],
         &rows,
     );
-    let mlr = lat_rep.iter().sum::<f64>() / lat_rep.len() as f64;
-    let mli = lat_inv.iter().sum::<f64>() / lat_inv.len() as f64;
+    let mlr = mean(rep.iter().map(|r| r.mean_block_latency_s).collect());
+    let mli = mean(inv.iter().map(|r| r.mean_block_latency_s).collect());
     let lat_incr = 100.0 * (mlr - mli) / mli;
-    let prf = pow_rep.iter().sum::<f64>() / pow_rep.len() as f64;
-    let pif = pow_inv.iter().sum::<f64>() / pow_inv.len() as f64;
+    let prf = mean(rep.iter().map(|r| r.mean_power_fraction).collect());
+    let pif = mean(inv.iter().map(|r| r.mean_power_fraction).collect());
     println!("\npaper: playable % essentially equal across schemes; block latency +~5% under REsPoNse-lat");
     println!(
         "measured: block latency +{lat_incr:.1}%; power REsPoNse-lat {:.1}% vs InvCap {:.1}%",

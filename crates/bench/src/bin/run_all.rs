@@ -1,140 +1,33 @@
-//! Run every figure/ablation binary in sequence (scaled-down defaults
-//! suitable for a single sitting; pass-through of `--fast` shrinks the
-//! heavy replays further).
+//! Run every experiment binary in the scenario registry in sequence
+//! (scaled-down defaults suitable for a single sitting; `--fast`
+//! applies each entry's registered scaled-down arguments).
 //!
 //! `cargo run --release -p ecp-bench --bin run_all [-- --fast true]`
 
+use ecp_bench::scenarios::registry;
 use std::process::Command;
 
 fn main() {
     let fast: bool = ecp_bench::arg("fast", false);
-    let bins: Vec<(&str, Vec<&str>)> = vec![
-        ("fig1a_traffic_deviation", vec![]),
-        (
-            "fig1b_recomputation_rate",
-            if fast {
-                vec!["--days", "2", "--pairs", "80"]
-            } else {
-                vec![]
-            },
-        ),
-        (
-            "fig2a_config_dominance",
-            if fast {
-                vec!["--days", "2", "--pairs", "80"]
-            } else {
-                vec![]
-            },
-        ),
-        (
-            "fig2b_critical_paths",
-            if fast {
-                vec![
-                    "--geant-days",
-                    "2",
-                    "--dc-days",
-                    "2",
-                    "--pairs",
-                    "60",
-                    "--fat-k",
-                    "6",
-                ]
-            } else {
-                vec![]
-            },
-        ),
-        ("fig4_fattree_sine", vec![]),
-        (
-            "fig5_geant_replay",
-            if fast {
-                vec!["--days", "2", "--pairs", "80"]
-            } else {
-                vec![]
-            },
-        ),
-        (
-            "fig6_genuity_utilization",
-            if fast { vec!["--pairs", "80"] } else { vec![] },
-        ),
-        ("fig7_click_adaptation", vec![]),
-        ("fig8_adaptation", vec![]),
-        (
-            "fig9_streaming",
-            if fast {
-                vec!["--clients", "20", "--duration", "60", "--runs", "2"]
-            } else {
-                vec![]
-            },
-        ),
-        (
-            "text_web_latency",
-            if fast {
-                vec!["--requests", "10"]
-            } else {
-                vec![]
-            },
-        ),
-        (
-            "text_alwayson_capacity",
-            if fast { vec!["--pairs", "60"] } else { vec![] },
-        ),
-        (
-            "text_failover_coverage",
-            if fast { vec!["--pairs", "60"] } else { vec![] },
-        ),
-        (
-            "text_peak_provisioning",
-            if fast {
-                vec!["--days", "3", "--pairs", "60"]
-            } else {
-                vec![]
-            },
-        ),
-        (
-            "extension_replan_trigger",
-            if fast {
-                vec!["--days", "6", "--pairs", "60"]
-            } else {
-                vec![]
-            },
-        ),
-        ("extension_packet_latency", vec![]),
-        ("extension_opportunistic_sleep", vec![]),
-        (
-            "ablation_stress_exclusion",
-            if fast { vec!["--pairs", "60"] } else { vec![] },
-        ),
-        (
-            "ablation_num_paths",
-            if fast { vec!["--pairs", "60"] } else { vec![] },
-        ),
-        (
-            "ablation_beta_latency",
-            if fast { vec!["--pairs", "60"] } else { vec![] },
-        ),
-        (
-            "ablation_threshold",
-            if fast {
-                vec!["--pairs", "60", "--days", "1"]
-            } else {
-                vec![]
-            },
-        ),
-    ];
-
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("locate binary dir");
     let mut failures = Vec::new();
-    for (bin, args) in &bins {
-        println!("\n########## {bin} {} ##########", args.join(" "));
-        let status = Command::new(exe_dir.join(bin)).args(args).status();
+    for exp in registry() {
+        let args: &[&str] = if fast { exp.fast_args } else { &[] };
+        println!(
+            "\n########## {} [{}] {} ##########",
+            exp.name,
+            exp.kind,
+            args.join(" ")
+        );
+        let status = Command::new(exe_dir.join(exp.name)).args(args).status();
         match status {
             Ok(s) if s.success() => {}
             other => {
-                eprintln!("!! {bin} failed: {other:?}");
-                failures.push(*bin);
+                eprintln!("!! {} failed: {other:?}", exp.name);
+                failures.push(exp.name);
             }
         }
     }

@@ -76,6 +76,7 @@ fn main() {
             power_series: true,
             delivered_series: true,
             per_path_rates: false,
+            ..Default::default()
         })
         .build();
 

@@ -43,6 +43,7 @@ fn main() {
             power_series: false,
             delivered_series: false,
             per_path_rates: false,
+            ..Default::default()
         })
         .build();
 

@@ -4,16 +4,13 @@
 //! traffic volume that can be carried by the Cisco-recommended OSPF
 //! paths."
 //!
+//! Two scenarios with the `table_capacity` probe (REsPoNse tables vs
+//! OSPF-InvCap); this binary only formats output.
+//!
 //! Usage: `--pairs 120 --seed 1`
 
-use ecp_apps::tables_from_routes;
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::ospf_invcap;
-use ecp_topo::gen::geant;
-use ecp_traffic::{gravity_matrix, random_od_pairs};
-use respons_core::replay::max_supported_scale;
-use respons_core::{Planner, PlannerConfig, TeConfig};
+use ecp_scenario::run_scenario;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,35 +21,29 @@ struct Out {
     always_on_over_ospf: f64,
 }
 
+fn capacity(pairs: usize, seed: u64, invcap: bool) -> ecp_scenario::CapacityStats {
+    run_scenario(&ecp_bench::scenarios::text_alwayson(pairs, seed, invcap))
+        .expect("text_alwayson scenario runs")
+        .capacity
+        .expect("table_capacity probe selected")
+}
+
 fn main() {
     let pairs_n: usize = arg("pairs", 120);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs(&topo, pairs_n, seed);
-    let base = gravity_matrix(&topo, &pairs, 1e9);
-    let te = TeConfig {
-        threshold: 1.0,
-        ..Default::default()
-    };
+    eprintln!("planning and scaling to capacity...");
+    let rep = capacity(pairs_n, seed, false);
+    let ospf = capacity(pairs_n, seed, true);
 
-    eprintln!("planning...");
-    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-    let ospf_tables = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
-
-    eprintln!("scaling to capacity...");
-    let aon = max_supported_scale(&topo, &tables, &base, &te, 1) * base.total();
-    let full = max_supported_scale(&topo, &tables, &base, &te, 3) * base.total();
-    let ospf = max_supported_scale(&topo, &ospf_tables, &base, &te, 1) * base.total();
-
-    let ratio = aon / ospf;
+    let (aon, full, ospf_vol) = (rep.always_on_bps, rep.full_tables_bps, ospf.always_on_bps);
+    let ratio = aon / ospf_vol;
     print_table(
         "Max supported volume at fixed gravity proportions (GEANT-like)",
         &["routing", "volume (Gbps)"],
         &[
             vec!["always-on only".into(), format!("{:.2}", aon / 1e9)],
-            vec!["OSPF-InvCap".into(), format!("{:.2}", ospf / 1e9)],
+            vec!["OSPF-InvCap".into(), format!("{:.2}", ospf_vol / 1e9)],
             vec!["all 3 REsPoNse tables".into(), format!("{:.2}", full / 1e9)],
         ],
     );
@@ -65,7 +56,7 @@ fn main() {
         "text_alwayson_capacity",
         &Out {
             always_on_volume: aon,
-            ospf_volume: ospf,
+            ospf_volume: ospf_vol,
             full_tables_volume: full,
             always_on_over_ospf: ratio,
         },

@@ -6,14 +6,14 @@
 //! vast majority of failures, without causing any disconnectivity in
 //! the network."
 //!
+//! One scenario per ISP map with the `failover_coverage` sweep; this
+//! binary only formats output.
+//!
 //! Usage: `--pairs 150 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_topo::gen::{abovenet, geant, genuity};
-use ecp_topo::Topology;
-use ecp_traffic::random_od_pairs;
-use respons_core::{single_link_failure_coverage, Planner, PlannerConfig};
+use ecp_scenario::run_scenario;
+use ecp_topo::gen::TopoSpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,28 +24,27 @@ struct Row {
     critical_links: usize,
 }
 
-fn analyze(topo: &Topology, pairs_n: usize, seed: u64) -> Row {
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs(topo, pairs_n, seed);
-    let tables = Planner::new(topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-    let rep = single_link_failure_coverage(topo, &tables);
-    Row {
-        topology: topo.name().to_string(),
-        coverage: rep.coverage(),
-        pairs_fully_protected: rep.pairs_fully_protected,
-        critical_links: rep.critical_links.len(),
-    }
-}
-
 fn main() {
     let pairs_n: usize = arg("pairs", 150);
     let seed: u64 = arg("seed", 1);
 
     let mut out = Vec::new();
     let mut rows = Vec::new();
-    for topo in [geant(), abovenet(), genuity()] {
-        eprintln!("planning and sweeping failures on {}...", topo.name());
-        let r = analyze(&topo, pairs_n, seed);
+    for (name, spec) in [
+        ("geant-like", TopoSpec::Geant),
+        ("abovenet-like", TopoSpec::Abovenet),
+        ("genuity-like", TopoSpec::Genuity),
+    ] {
+        eprintln!("planning and sweeping failures on {name}...");
+        let report = run_scenario(&ecp_bench::scenarios::text_failover(spec, pairs_n, seed))
+            .expect("text_failover scenario runs");
+        let f = report.failover.expect("failover_coverage sweep selected");
+        let r = Row {
+            topology: name.to_string(),
+            coverage: f.coverage,
+            pairs_fully_protected: f.pairs_fully_protected,
+            critical_links: f.critical_links,
+        };
         rows.push(vec![
             r.topology.clone(),
             format!("{:.1}%", 100.0 * r.coverage),

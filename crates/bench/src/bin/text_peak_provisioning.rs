@@ -7,18 +7,16 @@
 //! thermodynamic models can estimate how long the peak utilization can
 //! be accommodated without extra cooling."
 //!
-//! We (1) measure peak durations on the GÉANT-like trace, and (2) feed
-//! the Fig-5 power series into a lumped-capacitance thermal model whose
-//! cooling is provisioned for the *typical* (median) draw, checking that
-//! the observed peaks fit within the thermal budget.
+//! The replay scenario exposes the trace volume series (peak durations)
+//! and the Watt series (thermal budget); this binary runs the lumped-
+//! capacitance model over them and formats output.
 //!
 //! Usage: `--days 15 --pairs 150 --seed 1`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::{PowerModel, ThermalModel};
-use ecp_topo::gen::geant;
-use ecp_traffic::{geant_like_trace, peak_durations, random_od_pairs_subset};
-use respons_core::{steady_state_replay, Planner, PlannerConfig, TeConfig};
+use ecp_power::ThermalModel;
+use ecp_scenario::run_scenario;
+use ecp_traffic::peak_durations;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,28 +36,20 @@ fn main() {
     let pairs_n: usize = arg("pairs", 150);
     let seed: u64 = arg("seed", 1);
 
-    let topo = geant();
-    let pm = PowerModel::cisco12000();
-    let pairs = random_od_pairs_subset(&topo, 17, pairs_n, seed);
-    let te = TeConfig::default();
-
     eprintln!("planning and replaying...");
-    let tables = Planner::new(&topo, &pm).plan_pairs(&PlannerConfig::default(), &pairs);
-    let base = ecp_traffic::gravity_matrix(&topo, &pairs, 1e9);
-    let aon = respons_core::replay::max_supported_scale(&topo, &tables, &base, &te, 1);
-    let trace = geant_like_trace(&topo, &pairs, days, 1e9 * aon * 1.15, seed);
-    let rep = steady_state_replay(&topo, &pm, &tables, &trace, &te);
+    let report = run_scenario(&ecp_bench::scenarios::text_peak(days, pairs_n, seed))
+        .expect("text_peak scenario runs");
+    let detail = report.replay.expect("replay detail");
+    let volume = detail.volume_series.expect("volume series selected");
+    let power_series = detail.power_w_series.expect("power series selected");
 
     // (1) Peak durations — the paper's *trace analysis*: excursions of
     // the offered traffic volume above 90% of its maximum.
-    let volume = trace.volume_series();
     let vmax = volume.iter().cloned().fold(0.0, f64::max);
-    let peaks = peak_durations(&volume, trace.interval_s, 0.9 * vmax);
+    let peaks = peak_durations(&volume, detail.interval_s, 0.9 * vmax);
     let mean_h = peaks.iter().sum::<f64>() / peaks.len().max(1) as f64 / 3600.0;
     let max_h = peaks.iter().cloned().fold(0.0, f64::max) / 3600.0;
 
-    // Power series for the thermal budget.
-    let power_series: Vec<f64> = rep.points.iter().map(|p| p.power_w).collect();
     let mut sorted = power_series.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let typical = sorted[sorted.len() / 2];
@@ -74,7 +64,7 @@ fn main() {
     let budget_h = thermal.time_to_limit(start, peak_power) / 3600.0;
     let series: Vec<(f64, f64)> = power_series
         .iter()
-        .map(|&p| (trace.interval_s, p))
+        .map(|&p| (detail.interval_s, p))
         .collect();
     let (peak_temp, violated) = thermal.simulate(start, &series);
 

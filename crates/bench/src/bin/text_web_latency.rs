@@ -6,16 +6,13 @@
 //! run httperf-like closed loops over 100 SPECweb2005-banking-like
 //! files.
 //!
+//! Two app-engine scenarios differing only in their tables; this binary
+//! only formats output.
+//!
 //! Usage: `--requests 40 --seed 2005`
 
-use ecp_apps::{run_web, tables_from_routes, WebConfig};
 use ecp_bench::{arg, print_table, write_json};
-use ecp_power::PowerModel;
-use ecp_routing::ospf_invcap;
-use ecp_simnet::SimConfig;
-use ecp_topo::gen::abovenet;
-use ecp_topo::NodeId;
-use respons_core::{Planner, PlannerConfig, TeConfig};
+use ecp_scenario::{run_scenario, AppDetail};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,67 +26,60 @@ struct Out {
     invcap_power_frac: f64,
 }
 
+struct WebRun {
+    mean: f64,
+    p95: f64,
+    requests: usize,
+    power: f64,
+}
+
+fn web_run(invcap: bool, requests: usize, seed: u64) -> WebRun {
+    let report = run_scenario(&ecp_bench::scenarios::text_web(requests, seed, invcap))
+        .expect("text_web scenario runs");
+    match report.app {
+        Some(AppDetail::Web {
+            latencies,
+            mean_latency_s,
+            p95_latency_s,
+            mean_power_fraction,
+            ..
+        }) => WebRun {
+            mean: mean_latency_s,
+            p95: p95_latency_s,
+            requests: latencies.len(),
+            power: mean_power_fraction,
+        },
+        _ => panic!("text_web expects a web report"),
+    }
+}
+
 fn main() {
     let requests: usize = arg("requests", 40);
     let seed: u64 = arg("seed", 2005);
 
-    let topo = abovenet();
-    let pm = PowerModel::cisco12000();
-    // One server + four client stubs, all low-degree nodes ("stub
-    // nodes").
-    let mut by_degree: Vec<NodeId> = topo.node_ids().collect();
-    by_degree.sort_by_key(|&n| topo.degree(n));
-    let server = by_degree[0];
-    let clients: Vec<NodeId> = by_degree[1..5].to_vec();
-    let pairs: Vec<(NodeId, NodeId)> = clients.iter().map(|&c| (server, c)).collect();
-
-    eprintln!("planning tables...");
-    // Plain REsPoNse (the paper's wording: "when we switch from
-    // OSPF-InvCap to REsPoNse"); without the latency bound the
-    // min-power paths may stretch, which is exactly what the +9% result
-    // measures. The operator plans tables for *all* PoP pairs — the web
-    // application then uses the (server, client) entries of that
-    // network-wide plan.
-    let t_rep = Planner::new(&topo, &pm).plan(&PlannerConfig::default());
-    let t_inv = tables_from_routes(&ospf_invcap(&topo, &pairs, None));
-
-    let cfg = WebConfig {
-        requests_per_client: requests,
-        seed,
-        ..Default::default()
-    };
-    let sim_cfg = SimConfig {
-        te: TeConfig::default(),
-        control_interval: 0.1,
-        wake_time: 0.05,
-        detect_delay: 0.1,
-        sleep_after: 0.5,
-        sample_interval: 0.2,
-        te_start: 0.0,
-    };
     eprintln!("running web workload over REsPoNse...");
-    let rep = run_web(&topo, &pm, &t_rep, server, &clients, &cfg, &sim_cfg);
+    let rep = web_run(false, requests, seed);
     eprintln!("running web workload over InvCap...");
-    let inv = run_web(&topo, &pm, &t_inv, server, &clients, &cfg, &sim_cfg);
+    let inv = web_run(true, requests, seed);
 
-    let incr = 100.0 * (rep.mean_latency() - inv.mean_latency()) / inv.mean_latency();
+    let incr = 100.0 * (rep.mean - inv.mean) / inv.mean;
     print_table(
         "Web retrieval latency (SPECweb-like workload, Abovenet)",
         &["scheme", "mean (ms)", "p95 (ms)", "requests", "power"],
         &[
             vec![
                 "OSPF-InvCap".into(),
-                format!("{:.1}", 1e3 * inv.mean_latency()),
-                format!("{:.1}", 1e3 * inv.percentile(95.0)),
-                inv.latencies.len().to_string(),
-                format!("{:.1}%", 100.0 * inv.mean_power_fraction),
+                format!("{:.1}", 1e3 * inv.mean),
+                format!("{:.1}", 1e3 * inv.p95),
+                inv.requests.to_string(),
+                format!("{:.1}%", 100.0 * inv.power),
             ],
             vec![
                 "REsPoNse".into(),
-                format!("{:.1}", 1e3 * rep.mean_latency()),
-                format!("{:.1}", 1e3 * rep.percentile(95.0)),
-                rep.latencies.len().to_string(),
-                format!("{:.1}%", 100.0 * rep.mean_power_fraction),
+                format!("{:.1}", 1e3 * rep.mean),
+                format!("{:.1}", 1e3 * rep.p95),
+                rep.requests.to_string(),
+                format!("{:.1}%", 100.0 * rep.power),
             ],
         ],
     );
@@ -98,13 +88,13 @@ fn main() {
     write_json(
         "text_web_latency",
         &Out {
-            rep_mean_latency_s: rep.mean_latency(),
-            invcap_mean_latency_s: inv.mean_latency(),
+            rep_mean_latency_s: rep.mean,
+            invcap_mean_latency_s: inv.mean,
             latency_increase_pct: incr,
-            rep_p95_s: rep.percentile(95.0),
-            invcap_p95_s: inv.percentile(95.0),
-            rep_power_frac: rep.mean_power_fraction,
-            invcap_power_frac: inv.mean_power_fraction,
+            rep_p95_s: rep.p95,
+            invcap_p95_s: inv.p95,
+            rep_power_frac: rep.power,
+            invcap_power_frac: inv.power,
         },
     );
 }

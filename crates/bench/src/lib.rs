@@ -19,6 +19,8 @@
 use serde::Serialize;
 use std::path::PathBuf;
 
+pub mod scenarios;
+
 // Capacity probing moved into `ecp-routing` so the scenario engine can
 // use it; re-exported here for the experiment binaries.
 pub use ecp_routing::capacity::{gravity_at_utilization, max_feasible_volume};

@@ -1,0 +1,21 @@
+//! The shipped TOML scenario documents must parse to exactly the
+//! registry's builder-constructed scenarios (so the two never drift).
+
+use ecp_scenario::Scenario;
+
+#[test]
+fn packet_latency_toml_matches_registry() {
+    let doc = include_str!("../../../examples/extension_packet_latency.toml");
+    let parsed = Scenario::from_toml(doc).expect("packet example parses");
+    assert_eq!(
+        parsed,
+        ecp_bench::scenarios::extension_packet_latency(0.6, 4, false)
+    );
+}
+
+#[test]
+fn fig5_toml_matches_registry() {
+    let doc = include_str!("../../../examples/fig5_geant_replay.toml");
+    let parsed = Scenario::from_toml(doc).expect("fig5 example parses");
+    assert_eq!(parsed, ecp_bench::scenarios::fig5(15, 150, 19, 1.15, 1));
+}

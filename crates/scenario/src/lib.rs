@@ -19,6 +19,16 @@
 //! Scenarios are buildable three ways: the [`ScenarioBuilder`] fluent
 //! API, TOML ([`Scenario::from_toml`]), or JSON via serde.
 //!
+//! Four execution engines share the spec ([`EngineSpec`]): the
+//! event-driven fluid simulator (`Simnet`), steady-state trace replay
+//! (`Replay` — trace selection via [`TraceSpec`]/[`PeakSpec`],
+//! per-interval modes via [`ReplayMode`] including subset
+//! recomputation, deviation statistics, windowing, and drift-replan
+//! analysis), the event-per-packet engine (`Packet` — queueing-level
+//! latency and gap-sleep analysis), and the §5.4 application workloads
+//! (`App` — streaming and web). The experiment harness in `ecp-bench`
+//! builds every figure/ablation binary from these pieces.
+//!
 //! ## TOML example
 //!
 //! ```
@@ -83,9 +93,15 @@ pub mod run;
 pub mod spec;
 pub mod sweep;
 
-pub use run::{resolve, run_resolved, run_scenario, ResolvedScenario, ScenarioReport};
+pub use run::{
+    resolve, run_resolved, run_scenario, AppDetail, CapacityStats, CompareResult, DriftStats,
+    FailoverStats, PacketDetail, RecomputeStats, ReplayDetail, ResolvedScenario, ScenarioReport,
+    SleepStats, StreamingRunStats, TableStats,
+};
 pub use spec::{
-    EngineSpec, EventSpec, LinkRef, MatrixSpec, MetricsSpec, NodeRef, PairsSpec, PlannerSpec,
-    PowerSpec, ScaleSpec, Scenario, ScenarioBuilder, SimSpec, TablesSpec, TrafficSpec,
+    AppSpec, CompareSpec, EngineSpec, EventSpec, FlowProgram, LinkRef, MatrixSpec, MetricsSpec,
+    NodeRef, PacketPlacement, PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, PlannerSpec,
+    PowerSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario, ScenarioBuilder, SimSpec, SleepSpec,
+    StrategySpec, SubsetScheme, TablesSpec, TraceSpec, TrafficSpec, WaveSpec, WindowSpec,
 };
 pub use sweep::{Axis, Param, SweepReport, SweepRow, SweepRunner};

@@ -1,22 +1,35 @@
 //! Scenario execution: spec → topology/tables/schedule → engine → report.
 
 use crate::spec::{
-    EngineSpec, EventSpec, LinkRef, MatrixSpec, NodeRef, PairsSpec, ScaleSpec, Scenario, TablesSpec,
+    AppSpec, CompareSpec, EngineSpec, EventSpec, LinkRef, MatrixSpec, NodeRef, PacketPlacement,
+    PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario,
+    SubsetScheme, TablesSpec, TraceSpec,
 };
-use ecp_routing::{max_feasible_volume, OracleConfig};
-use ecp_simnet::{Sample, SimEvent, Simulation};
+use ecp_routing::subset::PruneOrder;
+use ecp_routing::{
+    elastictree_subset, max_feasible_volume, ospf_invcap, recomputation_rate, ConfigDominance,
+    OracleConfig, RouteSet,
+};
+use ecp_simnet::{
+    run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats, Sample, SimEvent,
+    Simulation,
+};
 use ecp_topo::gen::BuiltTopology;
 use ecp_topo::{ArcId, NodeId, Path, Topology};
 use ecp_traffic::{
-    fat_tree_far_pairs, fat_tree_near_pairs, geant_like_trace, gravity_matrix, uniform_matrix,
-    TrafficMatrix,
+    deviation_ccdf, fat_tree_far_pairs, fat_tree_near_pairs, geant_like_trace, gravity_matrix,
+    uniform_matrix, Program, Trace, TrafficMatrix,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use respons_core::replay::max_supported_scale;
 use respons_core::tables::OdPaths;
-use respons_core::{steady_state_replay, PathTables, Planner, TeConfig};
+use respons_core::{
+    steady_state_replay, DriftConfig, DriftDetector, PathTables, PathUsage, Planner, ReplanAdvice,
+    TeConfig,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// The result of one scenario run. Serializable; with fixed spec + seed
 /// the JSON rendering is byte-identical across runs and thread counts.
@@ -26,14 +39,17 @@ pub struct ScenarioReport {
     pub name: String,
     /// Seed the run used.
     pub seed: u64,
-    /// `"simnet"` or `"replay"`.
+    /// `"simnet"`, `"replay"`, `"packet"`, `"app-streaming"`, or
+    /// `"app-web"`.
     pub engine: String,
-    /// Number of recorder samples / replay intervals.
+    /// Number of recorder samples / replay intervals / packet flows /
+    /// app runs.
     pub samples: usize,
     /// Mean network power as a fraction of the fully-on network.
     pub mean_power_frac: f64,
     /// Delivered ÷ offered, aggregated over samples with offered > 0
-    /// (simnet engine; replay reports placed fraction).
+    /// (simnet engine; replay reports placed fraction, packet reports
+    /// delivered packets).
     pub mean_delivered_fraction: f64,
     /// Longest stretch with delivered < 95 % of offered (seconds;
     /// simnet engine only, 0 otherwise).
@@ -48,6 +64,196 @@ pub struct ScenarioReport {
     pub delivered_series: Option<Vec<(f64, f64, f64)>>,
     /// Full recorder samples (per-flow per-path rates), if selected.
     pub per_path_samples: Option<Vec<Sample>>,
+    /// Replay-engine detail (trace, per-interval series, recomputation
+    /// metrics, drift analysis, baselines).
+    #[serde(default)]
+    pub replay: Option<ReplayDetail>,
+    /// Packet-engine detail (per-flow delay/loss, sleep analysis).
+    #[serde(default)]
+    pub packet: Option<PacketDetail>,
+    /// App-engine detail (streaming runs / web latencies).
+    #[serde(default)]
+    pub app: Option<AppDetail>,
+    /// Installed-table analysis, if `metrics.table_stats`.
+    #[serde(default)]
+    pub table_stats: Option<TableStats>,
+    /// Supported-volume probe, if `metrics.table_capacity`.
+    #[serde(default)]
+    pub capacity: Option<CapacityStats>,
+    /// Single-link-failure sweep, if `metrics.failover_coverage`.
+    #[serde(default)]
+    pub failover: Option<FailoverStats>,
+}
+
+/// Analysis of the installed tables themselves (no engine needed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Power fraction of the always-on resting state.
+    pub idle_power_frac: f64,
+    /// Mean always-on-path latency stretch vs the OSPF shortest path.
+    pub mean_delay_stretch: f64,
+    /// Worst always-on-path latency stretch vs the OSPF shortest path.
+    pub max_delay_stretch: f64,
+    /// Fraction of pairs whose first on-demand path differs from their
+    /// always-on path.
+    pub distinct_on_demand_fraction: f64,
+}
+
+/// Maximum supported volume at the traffic spec's proportions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityStats {
+    /// Volume the always-on paths alone support, bits/s.
+    pub always_on_bps: f64,
+    /// Volume all installed tables support, bits/s.
+    pub full_tables_bps: f64,
+}
+
+/// Single-link-failure coverage of the installed tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailoverStats {
+    /// Fraction of (pair, on-path link) combinations with a surviving
+    /// installed path.
+    pub coverage: f64,
+    /// Fraction of pairs surviving every single-link failure.
+    pub pairs_fully_protected: f64,
+    /// Links whose failure disconnects at least one pair.
+    pub critical_links: usize,
+}
+
+/// Recomputation / dominance / coverage metrics of a `Recompute` replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecomputeStats {
+    /// Total configuration changes over the trace.
+    pub total_changes: usize,
+    /// Mean changes per hour.
+    pub mean_rate_per_hour: f64,
+    /// Changes per trace hour (the Fig. 1b series).
+    pub hourly_rate: Vec<f64>,
+    /// Intervals where the optimizer failed (previous config kept).
+    pub failures: usize,
+    /// Distinct routing configurations observed (Fig. 2a).
+    pub distinct_configurations: usize,
+    /// Time share of the most common configuration.
+    pub dominant_fraction: f64,
+    /// Time share per configuration, descending.
+    pub slices: Vec<f64>,
+    /// `(x, fraction of traffic covered by the top-x paths per pair)`
+    /// for `x = 1..=5` (Fig. 2b).
+    pub coverage: Vec<(usize, f64)>,
+}
+
+/// Drift-detection outcome of a `DriftReplan` replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftStats {
+    /// First interval at which replanning was advised, if any.
+    pub trigger_interval: Option<usize>,
+    /// The detector's reasons at the trigger.
+    pub reasons: Vec<String>,
+    /// Congested fraction of the post-trigger tail under the original
+    /// tables.
+    pub congested_before: f64,
+    /// Congested fraction of the tail after replanning at the trigger.
+    pub congested_after: f64,
+}
+
+/// One comparison baseline alongside a replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareResult {
+    /// Baseline name (see [`CompareSpec::name`]).
+    pub name: String,
+    /// Power fraction per interval (constant baselines emit one value).
+    pub series: Vec<f64>,
+}
+
+/// Replay-engine detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayDetail {
+    /// Seconds per interval of the driving trace.
+    pub interval_s: f64,
+    /// Resolved trace peak, bits/s (GÉANT-like traces).
+    pub trace_peak_bps: Option<f64>,
+    /// Power in Watts per interval, if `metrics.power_series`.
+    pub power_w_series: Option<Vec<f64>>,
+    /// Placed fraction per interval, if `metrics.delivered_series`.
+    pub placed_series: Option<Vec<f64>>,
+    /// Spilled-demand count per interval, if `metrics.delivered_series`.
+    pub spilled_series: Option<Vec<usize>>,
+    /// Offered volume per interval, if `metrics.delivered_series`.
+    pub volume_series: Option<Vec<f64>>,
+    /// `(percent, fraction of intervals changing ≥ percent)` CCDF
+    /// (`TraceStats` mode).
+    pub deviation_ccdf: Option<Vec<(f64, f64)>>,
+    /// Recomputation metrics (`Recompute` mode).
+    pub recompute: Option<RecomputeStats>,
+    /// Drift/replan outcome (`DriftReplan` mode).
+    pub drift: Option<DriftStats>,
+    /// Comparison baselines, in spec order.
+    pub comparisons: Vec<CompareResult>,
+}
+
+/// Opportunistic-sleep outcome of a packet run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepStats {
+    /// Mean sleepable fraction across physical links (both directions
+    /// must be idle; uncarried links sleep fully).
+    pub mean_sleep_fraction: f64,
+    /// Links that carried no packet in either direction.
+    pub dark_links: usize,
+    /// Physical links in the topology.
+    pub total_links: usize,
+}
+
+/// Packet-engine detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketDetail {
+    /// Per-flow statistics, in flow order.
+    pub flows: Vec<PacketStats>,
+    /// Mean of the per-flow mean delays, seconds.
+    pub mean_delay_s: f64,
+    /// Worst per-flow p99 delay, seconds.
+    pub max_p99_delay_s: f64,
+    /// Mean of the per-flow queueing components, seconds.
+    pub mean_queue_delay_s: f64,
+    /// Total packets dropped.
+    pub dropped: usize,
+    /// Gap-sleep analysis, if requested.
+    pub sleep: Option<SleepStats>,
+}
+
+/// One streaming run's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingRunStats {
+    /// Playable percentage per join wave, in wave order.
+    pub wave_playable_pct: Vec<f64>,
+    /// Playable percentage over all clients.
+    pub playable_pct: f64,
+    /// Mean block retrieval latency across clients, seconds.
+    pub mean_block_latency_s: f64,
+    /// Mean network power fraction over the run.
+    pub mean_power_fraction: f64,
+}
+
+/// App-engine detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppDetail {
+    /// Streaming workload: one entry per run.
+    Streaming {
+        /// Per-run statistics.
+        runs: Vec<StreamingRunStats>,
+    },
+    /// Web workload outcome.
+    Web {
+        /// Retrieval latency of every completed request, seconds.
+        latencies: Vec<f64>,
+        /// Mean retrieval latency, seconds.
+        mean_latency_s: f64,
+        /// 95th-percentile retrieval latency, seconds.
+        p95_latency_s: f64,
+        /// Requests unfinished at the end of the run.
+        unfinished: usize,
+        /// Mean network power fraction over the run.
+        mean_power_fraction: f64,
+    },
 }
 
 /// Everything the engine resolved from the spec before running —
@@ -77,8 +283,20 @@ pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, String> {
     let power = scenario.power.build();
     let pairs = resolve_pairs(&built, &scenario.pairs, scenario.seed)?;
     let tables = match scenario.tables {
-        TablesSpec::Planned => {
-            Planner::new(&built.topo, &power).plan_pairs(&scenario.planner.to_config(), &pairs)
+        TablesSpec::Planned | TablesSpec::PlannedAllPairs => {
+            let peak = match scenario.planner.peak_level() {
+                Some(level) => Some(offered_matrix(scenario, &built.topo, &pairs)?.at(level)?),
+                None => None,
+            };
+            let cfg = scenario.planner.to_config(peak);
+            let planner = Planner::new(&built.topo, &power);
+            match scenario.tables {
+                TablesSpec::Planned => planner.plan_pairs(&cfg, &pairs),
+                _ => planner.plan(&cfg),
+            }
+        }
+        TablesSpec::OspfInvCap => {
+            ecp_apps::tables_from_routes(&ospf_invcap(&built.topo, &pairs, None))
         }
         TablesSpec::Fig3Paper => fig3_paper_tables(&built)?,
     };
@@ -95,12 +313,14 @@ pub fn run_resolved(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
 ) -> Result<ScenarioReport, String> {
-    match scenario.engine {
+    let mut report = match &scenario.engine {
         EngineSpec::Simnet => run_simnet(scenario, resolved),
-        EngineSpec::Replay {
-            peak_over_always_on,
-        } => run_replay(scenario, resolved, peak_over_always_on),
-    }
+        EngineSpec::Replay(spec) => run_replay(scenario, resolved, spec),
+        EngineSpec::Packet(spec) => run_packet(scenario, resolved, spec),
+        EngineSpec::App(spec) => run_app(scenario, resolved, spec),
+    }?;
+    attach_table_metrics(scenario, resolved, &mut report)?;
+    Ok(report)
 }
 
 // ---- pair/table resolution ------------------------------------------------
@@ -112,6 +332,12 @@ fn resolve_pairs(
 ) -> Result<Vec<(NodeId, NodeId)>, String> {
     match spec {
         PairsSpec::Random { count } => Ok(ecp_traffic::random_od_pairs(&built.topo, *count, seed)),
+        PairsSpec::RandomSubset { nodes, count } => Ok(ecp_traffic::random_od_pairs_subset(
+            &built.topo,
+            *nodes,
+            *count,
+            seed,
+        )),
         PairsSpec::EdgeOffset { denominators } => {
             let nodes = built.topo.edge_nodes();
             let n = nodes.len();
@@ -153,6 +379,42 @@ fn resolve_pairs(
                 .ok_or("Fig3 pairs need the Fig3Click topology")?;
             Ok(vec![(n.a, n.k), (n.c, n.k)])
         }
+        PairsSpec::Star { center } => {
+            let c = resolve_node(&built.topo, center)?;
+            Ok(built
+                .topo
+                .node_ids()
+                .filter(|&n| n != c)
+                .map(|n| (c, n))
+                .collect())
+        }
+        PairsSpec::StarByDegree { clients } => {
+            let mut by_degree: Vec<NodeId> = built.topo.node_ids().collect();
+            if by_degree.len() < clients + 1 {
+                return Err(format!(
+                    "StarByDegree needs {} nodes, topology has {}",
+                    clients + 1,
+                    by_degree.len()
+                ));
+            }
+            by_degree.sort_by_key(|&n| built.topo.degree(n));
+            let server = by_degree[0];
+            Ok(by_degree[1..1 + clients]
+                .iter()
+                .map(|&c| (server, c))
+                .collect())
+        }
+        PairsSpec::Explicit { pairs } => pairs
+            .iter()
+            .map(|(o, d)| {
+                let o = resolve_node(&built.topo, o)?;
+                let d = resolve_node(&built.topo, d)?;
+                if o == d {
+                    return Err(format!("explicit pair {o} -> {d} is a self-loop"));
+                }
+                Ok((o, d))
+            })
+            .collect(),
     }
 }
 
@@ -185,7 +447,69 @@ fn fig3_paper_tables(built: &BuiltTopology) -> Result<PathTables, String> {
     Ok(tables)
 }
 
-// ---- traffic schedule -----------------------------------------------------
+// ---- traffic matrices -----------------------------------------------------
+
+/// Program levels → traffic matrices for one scenario: the scale maps a
+/// level to a volume (caching the oracle's max-feasible probe), the
+/// matrix spec maps a volume to per-pair demands.
+struct OfferedMatrix<'a> {
+    scenario: &'a Scenario,
+    topo: &'a Topology,
+    pairs: &'a [(NodeId, NodeId)],
+    /// `MaxFeasibleFraction` base volume, computed once on demand.
+    vmax: std::cell::OnceCell<f64>,
+}
+
+fn offered_matrix<'a>(
+    scenario: &'a Scenario,
+    topo: &'a Topology,
+    pairs: &'a [(NodeId, NodeId)],
+) -> Result<OfferedMatrix<'a>, String> {
+    if matches!(scenario.traffic.scale, ScaleSpec::PerFlowBps { .. })
+        && scenario.traffic.matrix == MatrixSpec::Gravity
+    {
+        return Err("PerFlowBps scale requires the Uniform matrix".into());
+    }
+    Ok(OfferedMatrix {
+        scenario,
+        topo,
+        pairs,
+        vmax: std::cell::OnceCell::new(),
+    })
+}
+
+impl OfferedMatrix<'_> {
+    /// Total (or per-flow, for `PerFlowBps`) volume at a program level.
+    fn volume(&self, level: f64) -> f64 {
+        match self.scenario.traffic.scale {
+            ScaleSpec::MaxFeasibleFraction { fraction } => {
+                let vmax = *self.vmax.get_or_init(|| {
+                    max_feasible_volume(self.topo, self.pairs, &OracleConfig::default())
+                });
+                vmax * level * fraction
+            }
+            ScaleSpec::TotalBps { bps } => bps * level,
+            ScaleSpec::PerFlowBps { bps } => bps * level,
+        }
+    }
+
+    /// The offered matrix at a program level.
+    fn at(&self, level: f64) -> Result<TrafficMatrix, String> {
+        let v = self.volume(level);
+        let per_flow = matches!(self.scenario.traffic.scale, ScaleSpec::PerFlowBps { .. });
+        match (self.scenario.traffic.matrix, per_flow) {
+            (MatrixSpec::Uniform, true) => Ok(uniform_matrix(self.pairs, v)),
+            (MatrixSpec::Uniform, false) => Ok(uniform_matrix(
+                self.pairs,
+                v / self.pairs.len().max(1) as f64,
+            )),
+            (MatrixSpec::Gravity, false) => Ok(gravity_matrix(self.topo, self.pairs, v)),
+            (MatrixSpec::Gravity, true) => {
+                Err("PerFlowBps scale requires the Uniform matrix".into())
+            }
+        }
+    }
+}
 
 /// Demand schedule: at each `(t, matrix)` point every flow's offered
 /// rate switches to its entry in the matrix.
@@ -198,31 +522,10 @@ fn demand_schedule(
     if points.is_empty() {
         return Err("traffic program has no segments".into());
     }
-    let volume_of: Box<dyn Fn(f64) -> f64> = match scenario.traffic.scale {
-        ScaleSpec::MaxFeasibleFraction { fraction } => {
-            let vmax = max_feasible_volume(topo, pairs, &OracleConfig::default());
-            Box::new(move |level| vmax * level * fraction)
-        }
-        ScaleSpec::TotalBps { bps } => Box::new(move |level| bps * level),
-        ScaleSpec::PerFlowBps { bps } => Box::new(move |level| bps * level),
-    };
-    let per_flow = matches!(scenario.traffic.scale, ScaleSpec::PerFlowBps { .. });
+    let offered = offered_matrix(scenario, topo, pairs)?;
     points
         .into_iter()
-        .map(|(t, level)| {
-            let v = volume_of(level);
-            let tm = match (scenario.traffic.matrix, per_flow) {
-                (MatrixSpec::Uniform, true) => uniform_matrix(pairs, v),
-                (MatrixSpec::Uniform, false) => {
-                    uniform_matrix(pairs, v / pairs.len().max(1) as f64)
-                }
-                (MatrixSpec::Gravity, false) => gravity_matrix(topo, pairs, v),
-                (MatrixSpec::Gravity, true) => {
-                    return Err("PerFlowBps scale requires the Uniform matrix".into())
-                }
-            };
-            Ok((t, tm))
-        })
+        .map(|(t, level)| Ok((t, offered.at(level)?)))
         .collect()
 }
 
@@ -364,11 +667,115 @@ fn schedule_events(
     Ok(())
 }
 
-// ---- engines --------------------------------------------------------------
+// ---- shared helpers -------------------------------------------------------
+
+/// The scenario's TE configuration (shared by the simnet and replay
+/// engines).
+fn scenario_te(scenario: &Scenario) -> TeConfig {
+    TeConfig {
+        threshold: scenario.sim.te_threshold,
+        step: scenario.sim.te_step,
+        min_share: scenario.sim.te_min_share,
+    }
+}
+
+/// Require that the pairs share one origin (star workloads); returns it.
+fn common_origin(pairs: &[(NodeId, NodeId)]) -> Result<NodeId, String> {
+    let &(server, _) = pairs.first().ok_or("the scenario has no OD pairs")?;
+    if pairs.iter().any(|&(o, _)| o != server) {
+        return Err("this engine needs a common origin (use Star/StarByDegree pairs)".into());
+    }
+    Ok(server)
+}
+
+/// Installed-table analyses driven by the metrics selection.
+fn attach_table_metrics(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    report: &mut ScenarioReport,
+) -> Result<(), String> {
+    let topo = &resolved.built.topo;
+    let tables = &resolved.tables;
+    if scenario.metrics.table_stats {
+        let full = resolved.power.full_power(topo);
+        let idle = resolved
+            .power
+            .network_power(topo, &tables.always_on_active(topo))
+            / full;
+        let w = ecp_routing::ospf::invcap_weight(topo);
+        let mut stretches = Vec::new();
+        for (&(o, d), p) in tables.iter() {
+            if let Some(sp) = ecp_topo::algo::shortest_path(topo, o, d, &w, None) {
+                let base = sp.latency(topo);
+                if base > 0.0 {
+                    stretches.push(p.always_on.latency(topo) / base);
+                }
+            }
+        }
+        let mean = stretches.iter().sum::<f64>() / stretches.len().max(1) as f64;
+        let max = stretches.iter().cloned().fold(0.0, f64::max);
+        let distinct = tables
+            .iter()
+            .filter(|(_, p)| {
+                p.on_demand
+                    .first()
+                    .map(|od| od != &p.always_on)
+                    .unwrap_or(false)
+            })
+            .count() as f64
+            / tables.len().max(1) as f64;
+        report.table_stats = Some(TableStats {
+            idle_power_frac: idle,
+            mean_delay_stretch: mean,
+            max_delay_stretch: max,
+            distinct_on_demand_fraction: distinct,
+        });
+    }
+    if scenario.metrics.table_capacity {
+        let base = offered_matrix(scenario, topo, &resolved.pairs)?.at(1.0)?;
+        let te = scenario_te(scenario);
+        let aon = max_supported_scale(topo, tables, &base, &te, 1);
+        let all = max_supported_scale(topo, tables, &base, &te, 3);
+        report.capacity = Some(CapacityStats {
+            always_on_bps: aon * base.total(),
+            full_tables_bps: all * base.total(),
+        });
+    }
+    if scenario.metrics.failover_coverage {
+        let rep = respons_core::single_link_failure_coverage(topo, tables);
+        report.failover = Some(FailoverStats {
+            coverage: rep.coverage(),
+            pairs_fully_protected: rep.pairs_fully_protected,
+            critical_links: rep.critical_links.len(),
+        });
+    }
+    Ok(())
+}
+
+// ---- simnet engine --------------------------------------------------------
 
 fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<ScenarioReport, String> {
     let topo = &resolved.built.topo;
     let schedule = demand_schedule(scenario, topo, &resolved.pairs)?;
+    let mut overrides: HashMap<usize, &Program> = HashMap::new();
+    for fp in &scenario.traffic.per_flow {
+        if fp.flow >= resolved.pairs.len() {
+            return Err(format!(
+                "per-flow program references flow {} but only {} pairs resolved",
+                fp.flow,
+                resolved.pairs.len()
+            ));
+        }
+        if overrides.insert(fp.flow, &fp.program).is_some() {
+            return Err(format!("duplicate per-flow program for flow {}", fp.flow));
+        }
+    }
+    // Per-flow overrides modulate the flow's level-1.0 base rate.
+    let base1 = if overrides.is_empty() {
+        None
+    } else {
+        Some(offered_matrix(scenario, topo, &resolved.pairs)?.at(1.0)?)
+    };
     let mut sim = Simulation::new(
         topo,
         &resolved.power,
@@ -376,21 +783,26 @@ fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<Scenar
         scenario.sim.to_config(),
     );
 
-    // One flow per OD pair; initial rate = the schedule's t = 0 level.
+    // One flow per OD pair; initial rate = the schedule's t = 0 level
+    // (or the override program's).
     let initial = &schedule[0].1;
     let flows: Vec<_> = resolved
         .pairs
         .iter()
-        .map(|&(o, d)| {
-            (
-                sim.add_flow(&resolved.tables, o, d, initial.get(o, d)),
-                o,
-                d,
-            )
+        .enumerate()
+        .map(|(i, &(o, d))| {
+            let rate = match overrides.get(&i) {
+                Some(p) => p.level_at(0.0) * base1.as_ref().expect("base matrix").get(o, d),
+                None => initial.get(o, d),
+            };
+            (sim.add_flow(&resolved.tables, o, d, rate), o, d)
         })
         .collect();
     for (t, tm) in schedule.iter().skip(1) {
-        for &(f, o, d) in &flows {
+        for (i, &(f, o, d)) in flows.iter().enumerate() {
+            if overrides.contains_key(&i) {
+                continue;
+            }
             sim.schedule(
                 *t,
                 SimEvent::DemandChange {
@@ -398,6 +810,24 @@ fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<Scenar
                     rate: tm.get(o, d),
                 },
             );
+        }
+    }
+    // Iterate the (validated) spec list, not the map: same-timestamp
+    // events tie-break by insertion order, which must not depend on
+    // hash-map iteration for reports to stay byte-identical.
+    for fp in &scenario.traffic.per_flow {
+        let (f, o, d) = flows[fp.flow];
+        let base_rate = base1.as_ref().expect("base matrix").get(o, d);
+        for (t, level) in fp.program.sample() {
+            if t > 0.0 {
+                sim.schedule(
+                    t,
+                    SimEvent::DemandChange {
+                        flow: f,
+                        rate: level * base_rate,
+                    },
+                );
+            }
         }
     }
     if let Some(shares) = &scenario.initial_shares {
@@ -453,20 +883,146 @@ fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<Scenar
                 .collect()
         }),
         per_path_samples: scenario.metrics.per_path_rates.then(|| samples.to_vec()),
+        replay: None,
+        packet: None,
+        app: None,
+        table_stats: None,
+        capacity: None,
+        failover: None,
     })
 }
 
-fn run_replay(
+// ---- replay engine --------------------------------------------------------
+
+/// The trace a replay runs over, plus its resolved peak (if any).
+struct ResolvedTrace {
+    trace: Trace,
+    peak_bps: Option<f64>,
+    /// Raw DC volume series (all groups), for `TraceStats`.
+    dc_series: Option<Vec<Vec<f64>>>,
+}
+
+fn build_trace(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
-    peak_over_always_on: f64,
-) -> Result<ScenarioReport, String> {
-    // The replay engine drives demand from a synthesized GÉANT-like
-    // trace, not from the traffic program, and supports no scripted
-    // events — reject specs that would otherwise be silently ignored.
-    if !scenario.events.is_empty() {
-        return Err("the Replay engine does not support scripted events; use Simnet".into());
+    spec: &ReplaySpec,
+) -> Result<ResolvedTrace, String> {
+    let topo = &resolved.built.topo;
+    let days = ((scenario.duration_s / 86_400.0).ceil() as usize).max(1);
+    match &spec.trace {
+        TraceSpec::GeantLike { peak } => {
+            require_constant_program(scenario)?;
+            if scenario.traffic.matrix != MatrixSpec::Gravity {
+                return Err("the GeantLike trace uses the gravity matrix structure".into());
+            }
+            let peak_bps = match *peak {
+                PeakSpec::OverAlwaysOn {
+                    factor,
+                    cap_over_full,
+                    use_sim_te,
+                } => {
+                    let base_volume =
+                        match scenario.traffic.scale {
+                            ScaleSpec::TotalBps { bps } => bps,
+                            _ => return Err(
+                                "PeakSpec::OverAlwaysOn requires ScaleSpec::TotalBps (the gravity \
+                                 base whose always-on-supported multiple sets the trace peak)"
+                                    .into(),
+                            ),
+                        };
+                    let base = gravity_matrix(topo, &resolved.pairs, base_volume);
+                    let te = if use_sim_te {
+                        scenario_te(scenario)
+                    } else {
+                        TeConfig {
+                            threshold: 1.0,
+                            ..Default::default()
+                        }
+                    };
+                    let aon = max_supported_scale(topo, &resolved.tables, &base, &te, 1);
+                    let mut peak = base_volume * aon * factor;
+                    if let Some(cap) = cap_over_full {
+                        let all = max_supported_scale(topo, &resolved.tables, &base, &te, 3);
+                        peak = peak.min(base_volume * all * cap);
+                    }
+                    peak
+                }
+                PeakSpec::MaxFeasibleFraction { fraction } => {
+                    max_feasible_volume(topo, &resolved.pairs, &OracleConfig::default()) * fraction
+                }
+                PeakSpec::TotalBps { bps } => bps,
+            };
+            Ok(ResolvedTrace {
+                trace: geant_like_trace(topo, &resolved.pairs, days, peak_bps, scenario.seed),
+                peak_bps: Some(peak_bps),
+                dc_series: None,
+            })
+        }
+        TraceSpec::DcLike { groups, subsample } => {
+            require_constant_program(scenario)?;
+            if *groups == 0 || *subsample == 0 {
+                return Err("DcLike needs groups >= 1 and subsample >= 1".into());
+            }
+            if scenario.traffic.matrix != MatrixSpec::Uniform {
+                return Err("the DcLike trace uses the Uniform matrix structure".into());
+            }
+            let per_flow_peak_bps =
+                match scenario.traffic.scale {
+                    ScaleSpec::PerFlowBps { bps } => bps,
+                    _ => return Err(
+                        "the DcLike trace requires ScaleSpec::PerFlowBps (the per-flow rate at \
+                         the volume-series maximum)"
+                            .into(),
+                    ),
+                };
+            let series = ecp_traffic::dc_like_volume_trace(*groups, days, scenario.seed);
+            let vol = &series[0];
+            let vmax = vol.iter().cloned().fold(0.0, f64::max);
+            let matrices: Vec<TrafficMatrix> = vol
+                .iter()
+                .step_by(*subsample)
+                .map(|&v| uniform_matrix(&resolved.pairs, per_flow_peak_bps * v / vmax))
+                .collect();
+            Ok(ResolvedTrace {
+                trace: Trace {
+                    name: format!("dc-like-{days}d"),
+                    interval_s: 300.0 * *subsample as f64,
+                    matrices,
+                },
+                peak_bps: None,
+                dc_series: Some(series),
+            })
+        }
+        TraceSpec::Program => {
+            let interval = scenario
+                .traffic
+                .program
+                .segments
+                .first()
+                .ok_or("traffic program has no segments")?
+                .interval_s;
+            if interval <= 0.0 {
+                return Err("program interval must be positive".into());
+            }
+            let n = ((scenario.duration_s / interval).ceil() as usize).max(1);
+            let offered = offered_matrix(scenario, topo, &resolved.pairs)?;
+            let matrices = (0..n)
+                .map(|i| offered.at(scenario.traffic.program.level_at(i as f64 * interval)))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ResolvedTrace {
+                trace: Trace {
+                    name: "program".into(),
+                    interval_s: interval,
+                    matrices,
+                },
+                peak_bps: None,
+                dc_series: None,
+            })
+        }
     }
+}
+
+fn require_constant_program(scenario: &Scenario) -> Result<(), String> {
     if scenario.traffic.program.segments.len() != 1
         || !matches!(
             scenario.traffic.program.segments[0].shape,
@@ -474,66 +1030,648 @@ fn run_replay(
         )
     {
         return Err(
-            "the Replay engine synthesizes its own diurnal trace; the traffic program must be a \
-             single Constant segment (use Simnet for shaped programs)"
+            "this trace synthesizes its own demand curve; the traffic program must be a single \
+             Constant segment (use TraceSpec::Program or the Simnet engine for shaped programs)"
                 .into(),
         );
     }
-    let base_volume =
-        match scenario.traffic.scale {
-            ScaleSpec::TotalBps { bps } => bps,
-            ScaleSpec::MaxFeasibleFraction { .. } | ScaleSpec::PerFlowBps { .. } => return Err(
-                "the Replay engine requires ScaleSpec::TotalBps (the trace peak is derived from \
-                 the always-on capacity, scaled by `peak_over_always_on`)"
-                    .into(),
-            ),
-        };
-    if scenario.traffic.matrix != MatrixSpec::Gravity {
-        return Err("the Replay engine uses the gravity matrix structure".into());
-    }
-    let topo = &resolved.built.topo;
-    // Scale the trace to the installed tables (the ablation binaries'
-    // procedure): peak = what the always-on paths alone support, times
-    // the configured factor.
-    let base = gravity_matrix(topo, &resolved.pairs, base_volume);
-    let te_full = TeConfig {
-        threshold: 1.0,
-        ..Default::default()
-    };
-    let aon = respons_core::replay::max_supported_scale(topo, &resolved.tables, &base, &te_full, 1);
-    let peak = base_volume * aon * peak_over_always_on;
-    let days = ((scenario.duration_s / 86_400.0).ceil() as usize).max(1);
-    let trace = geant_like_trace(topo, &resolved.pairs, days, peak, scenario.seed);
+    Ok(())
+}
 
-    let te = TeConfig {
-        threshold: scenario.sim.te_threshold,
-        step: scenario.sim.te_step,
-        min_share: scenario.sim.te_min_share,
-    };
-    let rep = steady_state_replay(topo, &resolved.power, &resolved.tables, &trace, &te);
+/// An empty replay-side report skeleton.
+fn replay_report(scenario: &Scenario, engine: &str) -> ScenarioReport {
+    ScenarioReport {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        engine: engine.into(),
+        samples: 0,
+        mean_power_frac: 0.0,
+        mean_delivered_fraction: 1.0,
+        max_tracking_lag_s: 0.0,
+        congested_fraction: None,
+        mean_spilled_demands: None,
+        power_series: None,
+        delivered_series: None,
+        per_path_samples: None,
+        replay: None,
+        packet: None,
+        app: None,
+        table_stats: None,
+        capacity: None,
+        failover: None,
+    }
+}
+
+fn run_replay(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    spec: &ReplaySpec,
+) -> Result<ScenarioReport, String> {
+    // The replay engine drives demand from its trace, not from scripted
+    // events — reject specs that would otherwise be silently ignored.
+    if !scenario.events.is_empty() {
+        return Err("the Replay engine does not support scripted events; use Simnet".into());
+    }
+    if !scenario.traffic.per_flow.is_empty() {
+        return Err("the Replay engine does not support per-flow programs; use Simnet".into());
+    }
+    let mut rt = build_trace(scenario, resolved, spec)?;
+
+    if let Some(growth) = spec.growth_per_day {
+        let per_day = ((86_400.0 / rt.trace.interval_s) as usize).max(1);
+        for (i, m) in rt.trace.matrices.iter_mut().enumerate() {
+            let day = i / per_day;
+            *m = m.scaled(growth.powi(day as i32));
+        }
+    }
+    if let Some(w) = spec.window {
+        if w.start >= w.end {
+            return Err(format!("replay window [{}, {}) is empty", w.start, w.end));
+        }
+        let end = w.end.min(rt.trace.matrices.len());
+        if w.start >= end {
+            return Err(format!(
+                "replay window starts at {} but the trace has {} intervals",
+                w.start,
+                rt.trace.matrices.len()
+            ));
+        }
+        rt.trace.matrices = rt.trace.matrices[w.start..end].to_vec();
+    }
+
+    match spec.mode {
+        ReplayMode::Tables => run_replay_tables(scenario, resolved, spec, &rt),
+        ReplayMode::Recompute { scheme } => run_replay_recompute(scenario, resolved, &rt, scheme),
+        ReplayMode::TraceStats => run_replay_trace_stats(scenario, &rt),
+        ReplayMode::DriftReplan { window_intervals } => {
+            run_replay_drift(scenario, resolved, &rt, window_intervals)
+        }
+    }
+    .map(|mut report| {
+        if let Some(detail) = report.replay.as_mut() {
+            detail.trace_peak_bps = rt.peak_bps;
+        }
+        report
+    })
+}
+
+/// Shared aggregation of a `steady_state_replay` outcome into a report.
+fn tables_replay_report(
+    scenario: &Scenario,
+    rep: &respons_core::ReplayReport,
+    trace: &Trace,
+) -> ScenarioReport {
+    let n = rep.points.len().max(1) as f64;
     let spilled = rep
         .points
         .iter()
         .map(|p| p.spilled_demands as f64)
         .sum::<f64>()
-        / rep.points.len().max(1) as f64;
-    let placed =
-        rep.points.iter().map(|p| p.placed_fraction).sum::<f64>() / rep.points.len().max(1) as f64;
-    Ok(ScenarioReport {
-        name: scenario.name.clone(),
-        seed: scenario.seed,
-        engine: "replay".into(),
-        samples: rep.points.len(),
-        mean_power_frac: rep.mean_power_fraction(),
-        mean_delivered_fraction: placed,
-        max_tracking_lag_s: 0.0,
-        congested_fraction: Some(rep.congested_fraction()),
-        mean_spilled_demands: Some(spilled),
-        power_series: scenario
+        / n;
+    let placed = rep.points.iter().map(|p| p.placed_fraction).sum::<f64>() / n;
+    let mut report = replay_report(scenario, "replay");
+    report.samples = rep.points.len();
+    report.mean_power_frac = rep.mean_power_fraction();
+    report.mean_delivered_fraction = placed;
+    report.congested_fraction = Some(rep.congested_fraction());
+    report.mean_spilled_demands = Some(spilled);
+    report.power_series = scenario
+        .metrics
+        .power_series
+        .then(|| rep.points.iter().map(|p| (p.t, p.power_frac)).collect());
+    report.replay = Some(ReplayDetail {
+        interval_s: trace.interval_s,
+        trace_peak_bps: None,
+        power_w_series: scenario
             .metrics
             .power_series
-            .then(|| rep.points.iter().map(|p| (p.t, p.power_frac)).collect()),
-        delivered_series: None,
-        per_path_samples: None,
-    })
+            .then(|| rep.points.iter().map(|p| p.power_w).collect()),
+        placed_series: scenario
+            .metrics
+            .delivered_series
+            .then(|| rep.points.iter().map(|p| p.placed_fraction).collect()),
+        spilled_series: scenario
+            .metrics
+            .delivered_series
+            .then(|| rep.points.iter().map(|p| p.spilled_demands).collect()),
+        volume_series: scenario
+            .metrics
+            .delivered_series
+            .then(|| trace.volume_series()),
+        deviation_ccdf: None,
+        recompute: None,
+        drift: None,
+        comparisons: Vec::new(),
+    });
+    report
+}
+
+fn run_replay_tables(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    spec: &ReplaySpec,
+    rt: &ResolvedTrace,
+) -> Result<ScenarioReport, String> {
+    let topo = &resolved.built.topo;
+    let te = scenario_te(scenario);
+    let rep = steady_state_replay(topo, &resolved.power, &resolved.tables, &rt.trace, &te);
+    let mut report = tables_replay_report(scenario, &rep, &rt.trace);
+
+    let full = resolved.power.full_power(topo);
+    let oc = OracleConfig::default();
+    let mut comparisons = Vec::new();
+    for c in &spec.comparisons {
+        let series = match c {
+            CompareSpec::Ecmp { fanout } => {
+                let routes = ecp_routing::ecmp_routes(topo, &resolved.pairs, *fanout);
+                vec![ecp_power::power_fraction(
+                    &resolved.power,
+                    topo,
+                    &routes.active_set(topo),
+                )]
+            }
+            CompareSpec::ElasticTree => {
+                let ix = resolved
+                    .built
+                    .fat_tree
+                    .as_ref()
+                    .ok_or("the ElasticTree comparison needs a fat-tree topology")?;
+                rt.trace
+                    .matrices
+                    .iter()
+                    .map(|tm| {
+                        elastictree_subset(topo, ix, &resolved.power, tm, &oc)
+                            .map(|r| r.power_w / full)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect()
+            }
+            CompareSpec::OptimalPerInterval => rt
+                .trace
+                .matrices
+                .iter()
+                .map(|tm| {
+                    ecp_routing::optimal_subset(topo, &resolved.power, tm, &oc)
+                        .map(|r| r.power_w / full)
+                        .unwrap_or(f64::NAN)
+                })
+                .collect(),
+            CompareSpec::OptimalAtPeak { peak_level } => {
+                let tm = offered_matrix(scenario, topo, &resolved.pairs)?.at(*peak_level)?;
+                vec![ecp_routing::optimal_subset(topo, &resolved.power, &tm, &oc)
+                    .map(|r| r.power_w / full)
+                    .unwrap_or(f64::NAN)]
+            }
+        };
+        comparisons.push(CompareResult {
+            name: c.name().into(),
+            series,
+        });
+    }
+    if let Some(detail) = report.replay.as_mut() {
+        detail.comparisons = comparisons;
+    }
+    Ok(report)
+}
+
+fn run_replay_recompute(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    rt: &ResolvedTrace,
+    scheme: SubsetScheme,
+) -> Result<ScenarioReport, String> {
+    let topo = &resolved.built.topo;
+    let pm = &resolved.power;
+    let oc = OracleConfig::default();
+    // Wrap the optimizer so one pass yields both the recomputation-rate
+    // metrics and the energy-critical-path usage (with last-success
+    // fallback on optimizer failures, like the Fig. 2b procedure).
+    let mut usage = PathUsage::new();
+    let mut last_routes: Option<RouteSet> = None;
+    let interval_s = rt.trace.interval_s;
+    let rep = recomputation_rate(topo, &rt.trace, |tm| {
+        let result = match scheme {
+            SubsetScheme::Optimal => ecp_routing::optimal_subset(topo, pm, tm, &oc),
+            SubsetScheme::GreedyPrunePowerDesc => {
+                ecp_routing::greedy_prune(topo, pm, tm, &oc, PruneOrder::PowerDesc)
+            }
+        };
+        match &result {
+            Some(r) => {
+                usage.record(&r.routes, tm, interval_s);
+                last_routes = Some(r.routes.clone());
+            }
+            None => {
+                if let Some(rs) = &last_routes {
+                    usage.record(rs, tm, interval_s);
+                }
+            }
+        }
+        result
+    });
+    let dom = ConfigDominance::from_signatures(&rep.signatures);
+    let hourly = rep.hourly_rate();
+    let full = pm.full_power(topo);
+    let coverage: Vec<(usize, f64)> = (1..=5).map(|x| (x, usage.coverage(x))).collect();
+
+    let mut report = replay_report(scenario, "replay");
+    report.samples = rt.trace.matrices.len();
+    report.mean_power_frac =
+        rep.power_w.iter().sum::<f64>() / (rep.power_w.len().max(1) as f64 * full);
+    report.power_series = scenario.metrics.power_series.then(|| {
+        rep.power_w
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as f64 * interval_s, w / full))
+            .collect()
+    });
+    report.replay = Some(ReplayDetail {
+        interval_s,
+        trace_peak_bps: None,
+        power_w_series: scenario.metrics.power_series.then(|| rep.power_w.clone()),
+        placed_series: None,
+        spilled_series: None,
+        volume_series: scenario
+            .metrics
+            .delivered_series
+            .then(|| rt.trace.volume_series()),
+        deviation_ccdf: None,
+        recompute: Some(RecomputeStats {
+            total_changes: rep.total_changes(),
+            mean_rate_per_hour: rep.mean_rate_per_hour(),
+            hourly_rate: hourly,
+            failures: rep.failures,
+            distinct_configurations: dom.distinct(),
+            dominant_fraction: dom.dominant_fraction(),
+            slices: dom
+                .configs
+                .iter()
+                .map(|&(_, c)| c as f64 / dom.intervals.max(1) as f64)
+                .collect(),
+            coverage,
+        }),
+        drift: None,
+        comparisons: Vec::new(),
+    });
+    Ok(report)
+}
+
+fn run_replay_trace_stats(
+    scenario: &Scenario,
+    rt: &ResolvedTrace,
+) -> Result<ScenarioReport, String> {
+    // The deviation CCDF runs over the raw generator series where one
+    // exists (all DC groups, unsubsampled), else over the trace volume.
+    let series: Vec<Vec<f64>> = match &rt.dc_series {
+        Some(s) => s.clone(),
+        None => vec![rt.trace.volume_series()],
+    };
+    let ccdf = deviation_ccdf(&series);
+    let mut report = replay_report(scenario, "replay");
+    report.samples = series.first().map(Vec::len).unwrap_or(0);
+    report.replay = Some(ReplayDetail {
+        interval_s: rt.trace.interval_s,
+        trace_peak_bps: None,
+        power_w_series: None,
+        placed_series: None,
+        spilled_series: None,
+        volume_series: scenario
+            .metrics
+            .delivered_series
+            .then(|| rt.trace.volume_series()),
+        deviation_ccdf: Some(ccdf),
+        recompute: None,
+        drift: None,
+        comparisons: Vec::new(),
+    });
+    Ok(report)
+}
+
+fn run_replay_drift(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    rt: &ResolvedTrace,
+    window_intervals: usize,
+) -> Result<ScenarioReport, String> {
+    let topo = &resolved.built.topo;
+    let te = scenario_te(scenario);
+    let rep = steady_state_replay(topo, &resolved.power, &resolved.tables, &rt.trace, &te);
+
+    let cfg = DriftConfig {
+        window: window_intervals.max(1),
+        ..Default::default()
+    };
+    let mut det = DriftDetector::new(cfg);
+    let mut trigger: Option<usize> = None;
+    let mut reasons = Vec::new();
+    for (i, p) in rep.points.iter().enumerate() {
+        det.observe(p);
+        if trigger.is_none() {
+            if let ReplanAdvice::Replan(rs) = det.demand_advice() {
+                trigger = Some(i);
+                reasons = rs.iter().map(|r| format!("{r:?}")).collect();
+            }
+        }
+    }
+
+    // What replanning at the trigger recovers: replan against the tail's
+    // demand envelope and replay the remaining intervals with both sets.
+    let (before, after) = match trigger {
+        Some(i) => {
+            let tail = Trace {
+                name: "tail".into(),
+                interval_s: rt.trace.interval_s,
+                matrices: rt.trace.matrices[i..].to_vec(),
+            };
+            // The replan always targets the tail's own peak envelope, so
+            // the spec's strategy (and any peak matrix it would need) is
+            // deliberately not consulted here.
+            let replan_cfg = respons_core::PlannerConfig {
+                offpeak: Some(tail.offpeak_matrix()),
+                strategy: respons_core::OnDemandStrategy::PeakMatrix(tail.peak_matrix()),
+                ..respons_core::PlannerConfig::default()
+                    .with_num_paths(scenario.planner.num_paths)
+                    .with_beta(scenario.planner.beta)
+                    .with_margin(scenario.planner.margin)
+            };
+            let replanned =
+                Planner::new(topo, &resolved.power).plan_pairs(&replan_cfg, &resolved.pairs);
+            let rep_before =
+                steady_state_replay(topo, &resolved.power, &resolved.tables, &tail, &te);
+            let rep_after = steady_state_replay(topo, &resolved.power, &replanned, &tail, &te);
+            (
+                rep_before.congested_fraction(),
+                rep_after.congested_fraction(),
+            )
+        }
+        None => (rep.congested_fraction(), rep.congested_fraction()),
+    };
+
+    let mut report = tables_replay_report(scenario, &rep, &rt.trace);
+    if let Some(detail) = report.replay.as_mut() {
+        detail.drift = Some(DriftStats {
+            trigger_interval: trigger,
+            reasons,
+            congested_before: before,
+            congested_after: after,
+        });
+    }
+    Ok(report)
+}
+
+// ---- packet engine --------------------------------------------------------
+
+/// Mean sleepable fraction across physical links: a link sleeps only
+/// when BOTH directions are idle (approximated by the direction that
+/// sleeps less); links that carried nothing sleep fully.
+fn mean_sleep(topo: &Topology, act: &ArcActivity, min_gap: f64, wake: f64) -> f64 {
+    let links: Vec<_> = topo.link_ids().collect();
+    let mut acc = 0.0;
+    for &l in &links {
+        let fwd = act.opportunistic_sleep_fraction(l.idx(), min_gap, wake);
+        let rev = topo
+            .reverse(l)
+            .map(|r| act.opportunistic_sleep_fraction(r.idx(), min_gap, wake))
+            .unwrap_or(fwd);
+        let carried = act.busy_s[l.idx()] > 0.0
+            || topo
+                .reverse(l)
+                .map(|r| act.busy_s[r.idx()] > 0.0)
+                .unwrap_or(false);
+        acc += if carried { fwd.min(rev) } else { 1.0 };
+    }
+    acc / links.len().max(1) as f64
+}
+
+fn run_packet(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    spec: &PacketSpec,
+) -> Result<ScenarioReport, String> {
+    if !scenario.events.is_empty() {
+        return Err("the Packet engine does not support scripted events; use Simnet".into());
+    }
+    if !scenario.traffic.per_flow.is_empty() {
+        return Err("the Packet engine does not support per-flow programs".into());
+    }
+    let topo = &resolved.built.topo;
+    let per_pair_rate = match spec.rate {
+        PacketRateSpec::PerFlowBps { bps } => bps,
+        PacketRateSpec::OriginUtilization { frac } => {
+            let origin = common_origin(&resolved.pairs)?;
+            let min_cap = topo
+                .out_arcs(origin)
+                .iter()
+                .map(|&a| topo.arc(a).capacity)
+                .fold(f64::INFINITY, f64::min);
+            if !min_cap.is_finite() {
+                return Err("the common origin has no outgoing links".into());
+            }
+            frac * min_cap / resolved.pairs.len() as f64
+        }
+    };
+
+    let mut flows: Vec<CbrFlow> = Vec::new();
+    for &(o, d) in &resolved.pairs {
+        let od = resolved
+            .tables
+            .get(o, d)
+            .ok_or_else(|| format!("no installed table for pair {o} -> {d}"))?;
+        let paths: Vec<Path> = match spec.placement {
+            PacketPlacement::AlwaysOn => vec![od.always_on.clone()],
+            PacketPlacement::SpreadAll => {
+                let mut distinct: Vec<Path> = Vec::new();
+                for p in od.all() {
+                    if !distinct.iter().any(|q| q == p) {
+                        distinct.push(p.clone());
+                    }
+                }
+                distinct
+            }
+        };
+        let rate = per_pair_rate / paths.len() as f64;
+        for path in paths {
+            flows.push(CbrFlow {
+                path,
+                rate_bps: rate,
+                start: flows.len() as f64 * spec.phase_offset_s,
+                stop: spec.stop_s,
+            });
+        }
+    }
+
+    let cfg = PacketSimConfig {
+        packet_bytes: spec.packet_bytes,
+        queue_packets: spec.queue_packets,
+    };
+    let (stats, act) = run_packet_sim_full(topo, &flows, &cfg, scenario.duration_s);
+
+    let n = stats.len().max(1) as f64;
+    let sent: usize = stats.iter().map(|s| s.sent).sum();
+    let delivered: usize = stats.iter().map(|s| s.delivered).sum();
+    let sleep = spec.sleep.map(|s| {
+        let dark = topo
+            .link_ids()
+            .filter(|l| {
+                let fwd = act.busy_s[l.idx()] > 0.0;
+                let rev = topo
+                    .reverse(*l)
+                    .map(|r| act.busy_s[r.idx()] > 0.0)
+                    .unwrap_or(false);
+                !fwd && !rev
+            })
+            .count();
+        SleepStats {
+            mean_sleep_fraction: mean_sleep(topo, &act, s.min_gap_s, s.wake_s),
+            dark_links: dark,
+            total_links: topo.link_count(),
+        }
+    });
+
+    // Power of the configuration these flows keep awake: used arcs (+
+    // endpoints), everything else asleep.
+    let used: Vec<ArcId> = flows
+        .iter()
+        .flat_map(|f| f.path.arcs(topo).unwrap_or_default())
+        .collect();
+    let active = ecp_topo::ActiveSet::from_used_arcs(topo, used);
+    let power_frac = ecp_power::power_fraction(&resolved.power, topo, &active);
+
+    let mut report = replay_report(scenario, "packet");
+    report.samples = stats.len();
+    report.mean_power_frac = power_frac;
+    report.mean_delivered_fraction = if sent > 0 {
+        delivered as f64 / sent as f64
+    } else {
+        1.0
+    };
+    report.packet = Some(PacketDetail {
+        mean_delay_s: stats.iter().map(|s| s.mean_delay).sum::<f64>() / n,
+        max_p99_delay_s: stats.iter().map(|s| s.p99_delay).fold(0.0, f64::max),
+        mean_queue_delay_s: stats.iter().map(|s| s.mean_queue_delay).sum::<f64>() / n,
+        dropped: stats.iter().map(|s| s.dropped).sum(),
+        flows: stats,
+        sleep,
+    });
+    Ok(report)
+}
+
+// ---- app engine -----------------------------------------------------------
+
+fn run_app(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    spec: &AppSpec,
+) -> Result<ScenarioReport, String> {
+    if !scenario.events.is_empty() {
+        return Err("the App engine does not support scripted events; use Simnet".into());
+    }
+    if !scenario.traffic.per_flow.is_empty() {
+        return Err("the App engine does not support per-flow programs".into());
+    }
+    let topo = &resolved.built.topo;
+    let server = common_origin(&resolved.pairs)?;
+    let clients: Vec<NodeId> = resolved.pairs.iter().map(|&(_, d)| d).collect();
+    for &(o, d) in &resolved.pairs {
+        if resolved.tables.get(o, d).is_none() {
+            return Err(format!(
+                "no installed table for pair {o} -> {d} (is the destination reachable?)"
+            ));
+        }
+    }
+    let sim_cfg = scenario.sim.to_config();
+
+    match spec {
+        AppSpec::Streaming {
+            bitrate,
+            block_duration_s,
+            startup_delay_s,
+            dt_s,
+            playable_threshold,
+            waves,
+            runs,
+        } => {
+            if waves.is_empty() || *runs == 0 {
+                return Err("Streaming needs at least one wave and one run".into());
+            }
+            let cfg = ecp_apps::StreamingConfig {
+                bitrate: *bitrate,
+                block_duration: *block_duration_s,
+                startup_delay: *startup_delay_s,
+                duration: scenario.duration_s,
+                dt: *dt_s,
+                playable_threshold: *playable_threshold,
+            };
+            let mut run_stats = Vec::with_capacity(*runs);
+            for r in 0..*runs {
+                let mut rng = StdRng::seed_from_u64(scenario.seed + r as u64);
+                let mut placement: Vec<(NodeId, f64)> = Vec::new();
+                for w in waves {
+                    placement.extend(
+                        (0..w.clients).map(|_| (clients[rng.gen_range(0..clients.len())], w.at_s)),
+                    );
+                }
+                let res = ecp_apps::run_streaming(
+                    topo,
+                    &resolved.power,
+                    &resolved.tables,
+                    server,
+                    &placement,
+                    &cfg,
+                    &sim_cfg,
+                );
+                run_stats.push(StreamingRunStats {
+                    wave_playable_pct: waves
+                        .iter()
+                        .map(|w| res.playable_percent_where(|c| c.joined_at == w.at_s))
+                        .collect(),
+                    playable_pct: res.playable_percent(),
+                    mean_block_latency_s: res.mean_block_latency(),
+                    mean_power_fraction: res.mean_power_fraction,
+                });
+            }
+            let mut report = replay_report(scenario, "app-streaming");
+            report.samples = run_stats.len();
+            report.mean_power_frac = run_stats.iter().map(|r| r.mean_power_fraction).sum::<f64>()
+                / run_stats.len() as f64;
+            report.app = Some(AppDetail::Streaming { runs: run_stats });
+            Ok(report)
+        }
+        AppSpec::Web {
+            num_files,
+            requests_per_client,
+            think_time_s,
+            access_rate_bps,
+            dt_s,
+        } => {
+            let cfg = ecp_apps::WebConfig {
+                num_files: *num_files,
+                requests_per_client: *requests_per_client,
+                think_time: *think_time_s,
+                access_rate: *access_rate_bps,
+                dt: *dt_s,
+                seed: scenario.seed,
+            };
+            let res = ecp_apps::run_web(
+                topo,
+                &resolved.power,
+                &resolved.tables,
+                server,
+                &clients,
+                &cfg,
+                &sim_cfg,
+            );
+            let mut report = replay_report(scenario, "app-web");
+            report.samples = res.latencies.len();
+            report.mean_power_frac = res.mean_power_fraction;
+            report.app = Some(AppDetail::Web {
+                mean_latency_s: res.mean_latency(),
+                p95_latency_s: res.percentile(95.0),
+                unfinished: res.unfinished,
+                mean_power_fraction: res.mean_power_fraction,
+                latencies: res.latencies,
+            });
+            Ok(report)
+        }
+    }
 }

@@ -47,6 +47,9 @@ pub struct Scenario {
 pub enum PowerSpec {
     /// Cisco 12000-class chassis/linecard model (ISP experiments).
     Cisco12000,
+    /// Forward-looking hardware: chassis power budget reduced 10× (the
+    /// paper's "alternative hardware" of Fig. 5).
+    AlternativeHw,
     /// Commodity datacenter switch model.
     CommodityDc,
 }
@@ -56,6 +59,7 @@ impl PowerSpec {
     pub fn build(&self) -> ecp_power::PowerModel {
         match self {
             PowerSpec::Cisco12000 => ecp_power::PowerModel::cisco12000(),
+            PowerSpec::AlternativeHw => ecp_power::PowerModel::alternative_hw(),
             PowerSpec::CommodityDc => ecp_power::PowerModel::commodity_dc(),
         }
     }
@@ -67,6 +71,15 @@ pub enum PairsSpec {
     /// `count` distinct ordered pairs of edge nodes, sampled with the
     /// scenario seed.
     Random {
+        /// Number of pairs.
+        count: usize,
+    },
+    /// `count` pairs drawn among a seed-chosen subset of `nodes` PoPs —
+    /// the paper's "select the origins and destinations at random"
+    /// methodology where the remaining PoPs are pure transit.
+    RandomSubset {
+        /// Size of the PoP subset acting as origins/destinations.
+        nodes: usize,
         /// Number of pairs.
         count: usize,
     },
@@ -83,6 +96,23 @@ pub enum PairsSpec {
     FatTreeNear,
     /// The paper's Fig.-3 sources: A→K and C→K (requires `Fig3Click`).
     Fig3,
+    /// One pair from `center` to every other node, in node-id order —
+    /// the Fig.-9 streaming-source pattern.
+    Star {
+        /// The common origin.
+        center: NodeRef,
+    },
+    /// The lowest-degree node (a "stub") serving the next `clients`
+    /// lowest-degree nodes — the §5.4 web/packet-latency pattern.
+    StarByDegree {
+        /// Number of client stubs.
+        clients: usize,
+    },
+    /// An explicit OD-pair list, in order.
+    Explicit {
+        /// `(origin, destination)` references.
+        pairs: Vec<(NodeRef, NodeRef)>,
+    },
 }
 
 /// Base-matrix structure: how a total volume is split across pairs.
@@ -115,6 +145,17 @@ pub enum ScaleSpec {
     },
 }
 
+/// A per-flow traffic override: the referenced flow ignores the global
+/// program and follows its own, with levels multiplying the flow's base
+/// (level-1.0) matrix rate. Simnet engine only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowProgram {
+    /// Flow index (position in the resolved OD-pair list).
+    pub flow: usize,
+    /// The flow's own level curve.
+    pub program: Program,
+}
+
 /// The offered-load side of a scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficSpec {
@@ -124,17 +165,56 @@ pub struct TrafficSpec {
     pub scale: ScaleSpec,
     /// Level over time.
     pub program: Program,
+    /// Per-flow program overrides (simnet engine only).
+    #[serde(default)]
+    pub per_flow: Vec<FlowProgram>,
 }
 
 /// Where the routing tables come from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TablesSpec {
-    /// Run the REsPoNse planner with [`PlannerSpec`].
+    /// Run the REsPoNse planner with [`PlannerSpec`] over the scenario's
+    /// OD pairs.
     Planned,
+    /// Run the planner over **all** node pairs of the topology (the
+    /// operator plans the whole network; the experiment then uses the
+    /// entries its pairs need) — the §5.4 methodology.
+    PlannedAllPairs,
+    /// OSPF-InvCap single-path routing packaged as degenerate tables
+    /// (always-on = failover = the OSPF path, nothing sleeps on those
+    /// routes) — the paper's baseline scheme.
+    OspfInvCap,
     /// The hand-built Fig.-3 tables of the paper (middle always-on,
     /// upper/lower on-demand doubling as failover). Requires the
     /// `Fig3Click` topology and `Fig3` pairs.
     Fig3Paper,
+}
+
+/// On-demand path construction strategy (§4.2) as data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum StrategySpec {
+    /// Stress-factor construction excluding
+    /// [`PlannerSpec::exclude_fraction`] of the most stressed links (the
+    /// paper's default).
+    #[default]
+    StressFactor,
+    /// On-demand = the OSPF shortest paths (REsPoNse-ospf).
+    Ospf,
+    /// Traffic-aware heuristic with `k` candidate paths against the
+    /// scenario's offered matrix at level `peak_level`
+    /// (REsPoNse-heuristic).
+    Heuristic {
+        /// Candidate paths per pair.
+        k: usize,
+        /// Program level defining the peak matrix.
+        peak_level: f64,
+    },
+    /// On-demand planned directly against the scenario's offered matrix
+    /// at level `peak_level` (demand-aware datacenter configuration).
+    PeakOffered {
+        /// Program level defining the peak matrix.
+        peak_level: f64,
+    },
 }
 
 /// Planner parameters — the usual sweep axes.
@@ -148,6 +228,9 @@ pub struct PlannerSpec {
     pub margin: f64,
     /// Stress-factor link-exclusion fraction.
     pub exclude_fraction: f64,
+    /// On-demand construction strategy.
+    #[serde(default)]
+    pub strategy: StrategySpec,
 }
 
 impl Default for PlannerSpec {
@@ -157,18 +240,362 @@ impl Default for PlannerSpec {
             beta: None,
             margin: 1.0,
             exclude_fraction: 0.2,
+            strategy: StrategySpec::StressFactor,
         }
     }
 }
 
 impl PlannerSpec {
-    /// Convert to the core planner configuration.
-    pub fn to_config(&self) -> respons_core::PlannerConfig {
-        respons_core::PlannerConfig::default()
+    /// Convert to the core planner configuration. [`StrategySpec`]
+    /// variants needing the offered peak matrix are resolved by the
+    /// engine (`crate::run::resolve`), which passes it here.
+    pub fn to_config(
+        &self,
+        peak: Option<ecp_traffic::TrafficMatrix>,
+    ) -> respons_core::PlannerConfig {
+        let base = respons_core::PlannerConfig::default()
             .with_num_paths(self.num_paths)
             .with_beta(self.beta)
-            .with_margin(self.margin)
-            .with_exclude_fraction(self.exclude_fraction)
+            .with_margin(self.margin);
+        match (self.strategy, peak) {
+            (StrategySpec::StressFactor, _) => base.with_exclude_fraction(self.exclude_fraction),
+            (StrategySpec::Ospf, _) => respons_core::PlannerConfig {
+                strategy: respons_core::OnDemandStrategy::Ospf,
+                ..base
+            },
+            (StrategySpec::Heuristic { k, .. }, Some(peak)) => respons_core::PlannerConfig {
+                strategy: respons_core::OnDemandStrategy::Heuristic { k, peak },
+                ..base
+            },
+            (StrategySpec::PeakOffered { .. }, Some(peak)) => respons_core::PlannerConfig {
+                strategy: respons_core::OnDemandStrategy::PeakMatrix(peak),
+                ..base
+            },
+            (s, None) => unreachable!("strategy {s:?} needs a peak matrix"),
+        }
+    }
+
+    /// The program level this strategy wants the offered peak matrix at,
+    /// if any.
+    pub fn peak_level(&self) -> Option<f64> {
+        match self.strategy {
+            StrategySpec::StressFactor | StrategySpec::Ospf => None,
+            StrategySpec::Heuristic { peak_level, .. }
+            | StrategySpec::PeakOffered { peak_level } => Some(peak_level),
+        }
+    }
+}
+
+/// How the trace peak of a replay is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PeakSpec {
+    /// Peak = the volume the always-on paths alone support (at the
+    /// traffic spec's gravity proportions) × `factor`; optionally capped
+    /// at `cap_over_full` × what all installed tables support. Requires
+    /// `TotalBps` scale (the base matrix). `use_sim_te` probes capacity
+    /// with the scenario's TE threshold instead of 1.0.
+    OverAlwaysOn {
+        /// Multiple of the always-on-supported volume.
+        factor: f64,
+        /// Optional cap as a fraction of the all-tables capacity.
+        #[serde(default)]
+        cap_over_full: Option<f64>,
+        /// Probe capacity at the scenario TE threshold (else at 1.0).
+        #[serde(default)]
+        use_sim_te: bool,
+    },
+    /// Peak = the oracle's maximum feasible volume × `fraction` (the
+    /// paper's §5.1 scaling procedure).
+    MaxFeasibleFraction {
+        /// Fraction of the maximum feasible volume.
+        fraction: f64,
+    },
+    /// Absolute peak volume in bits/s.
+    TotalBps {
+        /// The peak.
+        bps: f64,
+    },
+}
+
+/// Which trace drives a replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// Synthetic GÉANT-like 15-minute diurnal trace (the TOTEM
+    /// substitute); `duration_s` is rounded up to whole days.
+    GeantLike {
+        /// How the trace peak is derived.
+        peak: PeakSpec,
+    },
+    /// Synthetic Google-DC-like 5-minute volume series. Group 0 drives
+    /// per-pair matrices whose per-flow rate at the series maximum is
+    /// the traffic spec's `PerFlowBps` value (requires the `Uniform`
+    /// matrix); every `subsample`-th point is replayed.
+    DcLike {
+        /// Number of monitored flow groups (extra groups only feed
+        /// `TraceStats`).
+        groups: usize,
+        /// Keep every `subsample`-th 5-minute point (≥ 1).
+        subsample: usize,
+    },
+    /// Compile the scenario's own traffic program into a trace: one
+    /// matrix per program interval (the Fig. 4 sine, the Fig. 6
+    /// utilization points).
+    Program,
+}
+
+/// Replay only the intervals `[start, end)` of the driving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// First interval replayed.
+    pub start: usize,
+    /// One past the last interval replayed.
+    pub end: usize,
+}
+
+/// Per-interval subset recomputation scheme ([`ReplayMode::Recompute`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SubsetScheme {
+    /// The LP-ensemble minimal subset (the paper's `optimal`).
+    Optimal,
+    /// Single-order greedy pruning, highest power first (fast; used on
+    /// large fat-trees).
+    GreedyPrunePowerDesc,
+}
+
+/// What a replay computes per interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ReplayMode {
+    /// Steady-state placement over the installed tables (the default).
+    #[default]
+    Tables,
+    /// Recompute the minimal subset each interval — recomputation rate,
+    /// configuration dominance, and energy-critical-path coverage
+    /// (Figs. 1b, 2a, 2b).
+    Recompute {
+        /// The subset optimizer.
+        scheme: SubsetScheme,
+    },
+    /// Volume-series statistics only (Fig. 1a's deviation CCDF); no
+    /// placement.
+    TraceStats,
+    /// Tables replay + drift detection; at the first replan advice,
+    /// replan against the remaining trace's envelope and replay the
+    /// tail with both table sets (the §6 future-work experiment).
+    DriftReplan {
+        /// Sliding-window length in intervals for the detector.
+        window_intervals: usize,
+    },
+}
+
+/// A per-interval comparison baseline computed alongside a `Tables`
+/// replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CompareSpec {
+    /// ECMP over up to `fanout` equal-cost paths: the whole fabric stays
+    /// on (one constant value).
+    Ecmp {
+        /// Maximum equal-cost paths per pair.
+        fanout: usize,
+    },
+    /// ElasticTree's topology-aware optimizer recomputed every interval
+    /// (fat-tree topologies only).
+    ElasticTree,
+    /// The minimal subset for each interval's matrix.
+    OptimalPerInterval,
+    /// The minimal subset for the offered matrix at program level
+    /// `peak_level` (one constant value).
+    OptimalAtPeak {
+        /// Program level defining the peak matrix.
+        peak_level: f64,
+    },
+}
+
+impl CompareSpec {
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompareSpec::Ecmp { .. } => "ecmp",
+            CompareSpec::ElasticTree => "elastictree",
+            CompareSpec::OptimalPerInterval => "optimal",
+            CompareSpec::OptimalAtPeak { .. } => "optimal_at_peak",
+        }
+    }
+}
+
+/// The trace-replay engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplaySpec {
+    /// Which trace drives the replay.
+    pub trace: TraceSpec,
+    /// What is computed per interval.
+    #[serde(default)]
+    pub mode: ReplayMode,
+    /// Optional interval window.
+    #[serde(default)]
+    pub window: Option<WindowSpec>,
+    /// Compound daily demand growth applied to the trace (day `d`
+    /// scaled by `growth^d`) — the replan-trigger experiment.
+    #[serde(default)]
+    pub growth_per_day: Option<f64>,
+    /// Comparison baselines (Tables mode only).
+    #[serde(default)]
+    pub comparisons: Vec<CompareSpec>,
+}
+
+/// How the packet engine derives each flow's CBR rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PacketRateSpec {
+    /// Every flow offers `bps`.
+    PerFlowBps {
+        /// The rate.
+        bps: f64,
+    },
+    /// The flows jointly load the common origin's thinnest outgoing
+    /// link to `frac` utilization (requires a shared origin).
+    OriginUtilization {
+        /// Target utilization of the bottleneck first hop.
+        frac: f64,
+    },
+}
+
+/// Which installed path(s) each packet flow is pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PacketPlacement {
+    /// One flow per OD pair on its always-on path (the consolidated
+    /// REsPoNse steady state).
+    AlwaysOn,
+    /// One flow per distinct installed path of each pair, splitting the
+    /// pair's rate evenly (traffic spread, no REsPoNse).
+    SpreadAll,
+}
+
+/// Opportunistic-sleep analysis knobs (§2.1.1): a link direction can
+/// only sleep in inter-packet gaps of at least `min_gap_s`, paying
+/// `wake_s` to wake.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepSpec {
+    /// Minimum usable gap, seconds.
+    pub min_gap_s: f64,
+    /// Wake-up penalty per used gap, seconds.
+    pub wake_s: f64,
+}
+
+/// The event-per-packet engine configuration (queueing-level latency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketSpec {
+    /// Packet size in bytes.
+    pub packet_bytes: f64,
+    /// Output-queue capacity per arc, packets.
+    pub queue_packets: usize,
+    /// Per-flow rate derivation.
+    pub rate: PacketRateSpec,
+    /// Emission stops at this time; the engine then drains queues until
+    /// `duration_s`.
+    pub stop_s: f64,
+    /// Flow `i` starts at `i × phase_offset_s` (avoids pathological
+    /// source synchronization).
+    pub phase_offset_s: f64,
+    /// Path pinning.
+    pub placement: PacketPlacement,
+    /// Optional opportunistic-sleep gap analysis.
+    #[serde(default)]
+    pub sleep: Option<SleepSpec>,
+}
+
+impl Default for PacketSpec {
+    fn default() -> Self {
+        let d = ecp_simnet::PacketSimConfig::default();
+        PacketSpec {
+            packet_bytes: d.packet_bytes,
+            queue_packets: d.queue_packets,
+            rate: PacketRateSpec::PerFlowBps { bps: 1e6 },
+            stop_s: 1.0,
+            phase_offset_s: 1e-4,
+            placement: PacketPlacement::AlwaysOn,
+            sleep: None,
+        }
+    }
+}
+
+/// One join wave of streaming clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveSpec {
+    /// Clients joining in this wave.
+    pub clients: usize,
+    /// Join time, seconds.
+    pub at_s: f64,
+}
+
+/// An application workload driven over the fluid simulator (§5.4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AppSpec {
+    /// BulletMedia-like live streaming from the pairs' common origin;
+    /// clients are placed on seed-chosen destination nodes per wave.
+    Streaming {
+        /// Stream bitrate, bits/s (paper: 600 kbps).
+        bitrate: f64,
+        /// Media block length, seconds of content.
+        block_duration_s: f64,
+        /// Startup buffering before playback, seconds.
+        startup_delay_s: f64,
+        /// Client integration step, seconds.
+        dt_s: f64,
+        /// A client "can play" if at least this fraction of blocks met
+        /// their deadlines.
+        playable_threshold: f64,
+        /// Join waves, in order.
+        waves: Vec<WaveSpec>,
+        /// Repeated runs with per-run seeds `seed + r` (box statistics).
+        runs: usize,
+    },
+    /// Apache/httperf-like closed-loop web workload: the pairs' common
+    /// origin serves, every destination runs a client loop.
+    Web {
+        /// Distinct static files (paper: 100).
+        num_files: usize,
+        /// Sequential requests per client.
+        requests_per_client: usize,
+        /// Think time between response and next request, seconds.
+        think_time_s: f64,
+        /// Client access-link cap, bits/s.
+        access_rate_bps: f64,
+        /// Integration step, seconds.
+        dt_s: f64,
+    },
+}
+
+impl AppSpec {
+    /// The paper's Fig.-9 streaming configuration: two waves of `clients`
+    /// at `t = 0` and `t = second_wave_at_s`.
+    pub fn streaming_default(clients: usize, second_wave_at_s: f64, runs: usize) -> Self {
+        let d = ecp_apps::StreamingConfig::default();
+        AppSpec::Streaming {
+            bitrate: d.bitrate,
+            block_duration_s: d.block_duration,
+            startup_delay_s: d.startup_delay,
+            dt_s: d.dt,
+            playable_threshold: d.playable_threshold,
+            waves: vec![
+                WaveSpec { clients, at_s: 0.0 },
+                WaveSpec {
+                    clients,
+                    at_s: second_wave_at_s,
+                },
+            ],
+            runs,
+        }
+    }
+
+    /// The paper's §5.4 web configuration with `requests` per client.
+    pub fn web_default(requests: usize) -> Self {
+        let d = ecp_apps::WebConfig::default();
+        AppSpec::Web {
+            num_files: d.num_files,
+            requests_per_client: requests,
+            think_time_s: d.think_time,
+            access_rate_bps: d.access_rate,
+            dt_s: d.dt,
+        }
     }
 }
 
@@ -178,18 +605,40 @@ pub enum EngineSpec {
     /// Event-driven fluid simulation (`ecp-simnet`): full dynamics —
     /// wake-ups, failures, TE rounds, per-path rates.
     Simnet,
-    /// Steady-state trace replay (`respons_core::replay`) over a
-    /// GÉANT-like trace: per-interval placement, no transient dynamics.
-    /// `duration_s` is rounded up to whole days of 900-second
-    /// intervals. Constraints (violations are errors, not silently
-    /// ignored): no scripted `events`, a single `Constant` traffic
-    /// segment, `Gravity` matrix, and `TotalBps` scale (the base
-    /// volume whose always-on-supported multiple sets the trace peak).
-    Replay {
-        /// Peak volume as a multiple of what the always-on paths alone
-        /// support (the ablation binaries use 1.15).
-        peak_over_always_on: f64,
-    },
+    /// Steady-state trace replay (`respons_core::replay`): per-interval
+    /// placement / recomputation over a [`TraceSpec`], no transient
+    /// dynamics. Constraints (violations are errors, not silently
+    /// ignored): no scripted `events`, no per-flow programs, and for
+    /// non-`Program` traces a single `Constant` traffic segment with the
+    /// `Gravity` matrix.
+    Replay(ReplaySpec),
+    /// Event-per-packet simulation (`ecp_simnet::packet`): CBR flows on
+    /// installed paths, per-packet latency/loss, queueing decomposition,
+    /// inter-packet-gap sleep analysis.
+    Packet(PacketSpec),
+    /// Application workload (`ecp_apps`) over the fluid simulator.
+    App(AppSpec),
+}
+
+impl EngineSpec {
+    /// The classic always-on-scaled GÉANT replay (compatibility
+    /// shorthand for the pre-existing `Replay { peak_over_always_on }`
+    /// behavior).
+    pub fn replay_over_always_on(factor: f64) -> Self {
+        EngineSpec::Replay(ReplaySpec {
+            trace: TraceSpec::GeantLike {
+                peak: PeakSpec::OverAlwaysOn {
+                    factor,
+                    cap_over_full: None,
+                    use_sim_te: false,
+                },
+            },
+            mode: ReplayMode::Tables,
+            window: None,
+            growth_per_day: None,
+            comparisons: Vec::new(),
+        })
+    }
 }
 
 /// Simulator knobs mapped onto `ecp_simnet::SimConfig`.
@@ -366,6 +815,19 @@ pub struct MetricsSpec {
     pub delivered_series: bool,
     /// Keep full per-flow per-path rate samples.
     pub per_path_rates: bool,
+    /// Analyze the installed tables (idle power, delay stretch vs OSPF,
+    /// distinct on-demand paths) into
+    /// [`ScenarioReport::table_stats`](crate::ScenarioReport).
+    #[serde(default)]
+    pub table_stats: bool,
+    /// Probe the tables' supported volume (always-on prefix vs all
+    /// tables) into [`ScenarioReport::capacity`](crate::ScenarioReport).
+    #[serde(default)]
+    pub table_capacity: bool,
+    /// Sweep single-link failures over the installed tables into
+    /// [`ScenarioReport::failover`](crate::ScenarioReport).
+    #[serde(default)]
+    pub failover_coverage: bool,
 }
 
 impl Default for MetricsSpec {
@@ -374,6 +836,9 @@ impl Default for MetricsSpec {
             power_series: true,
             delivered_series: true,
             per_path_rates: false,
+            table_stats: false,
+            table_capacity: false,
+            failover_coverage: false,
         }
     }
 }
@@ -417,6 +882,7 @@ impl ScenarioBuilder {
                         1.0,
                         ecp_traffic::Shape::Constant { level: 1.0 },
                     ),
+                    per_flow: Vec::new(),
                 },
                 tables: TablesSpec::Planned,
                 planner: PlannerSpec::default(),
@@ -465,7 +931,17 @@ impl ScenarioBuilder {
             matrix,
             scale,
             program,
+            per_flow: Vec::new(),
         };
+        self
+    }
+
+    /// Add a per-flow program override (simnet engine only).
+    pub fn flow_program(mut self, flow: usize, program: Program) -> Self {
+        self.scenario
+            .traffic
+            .per_flow
+            .push(FlowProgram { flow, program });
         self
     }
 

@@ -45,6 +45,7 @@ fn arb_scenario() -> impl Strategy<Value = ecp_scenario::Scenario> {
                     power_series: true,
                     delivered_series: true,
                     per_path_rates: true,
+                    ..Default::default()
                 })
                 .build()
         },
@@ -160,9 +161,7 @@ fn replay_rejects_unsupported_spec_fields() {
             ecp_scenario::ScaleSpec::TotalBps { bps: 1e9 },
             Program::from_shape(1800.0, 900.0, Shape::Constant { level: 1.0 }),
         )
-        .engine(EngineSpec::Replay {
-            peak_over_always_on: 1.1,
-        });
+        .engine(EngineSpec::replay_over_always_on(1.1));
 
     // Events are not supported by the replay engine.
     let with_events = base

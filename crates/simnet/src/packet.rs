@@ -53,7 +53,7 @@ pub struct CbrFlow {
 }
 
 /// Per-flow outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PacketStats {
     /// Packets emitted by the source.
     pub sent: usize,

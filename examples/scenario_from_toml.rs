@@ -1,5 +1,6 @@
-//! Declarative experiments: load a scenario from TOML, run it, and
-//! sweep one of its parameters — no experiment wiring code at all.
+//! Declarative experiments: load scenarios from TOML (inline and from
+//! the shipped `examples/*.toml` documents), run them, and sweep one of
+//! their parameters — no experiment wiring code at all.
 //!
 //! ```text
 //! cargo run --release --example scenario_from_toml
@@ -96,4 +97,20 @@ fn main() {
             row.report.mean_delivered_fraction
         );
     }
+
+    // 3. A shipped document: the §5.4 packet-latency experiment runs on
+    // the event-per-packet engine straight from its TOML file.
+    let doc = include_str!("extension_packet_latency.toml");
+    let packet = Scenario::from_toml(doc).expect("valid packet scenario TOML");
+    let report = run_scenario(&packet).expect("packet scenario runs");
+    let detail = report.packet.expect("packet engine detail");
+    println!(
+        "\n`{}` ({} flows): mean delay {:.2} ms, p99 {:.2} ms, queueing {:.3} ms, {} drops",
+        report.name,
+        detail.flows.len(),
+        1e3 * detail.mean_delay_s,
+        1e3 * detail.max_p99_delay_s,
+        1e3 * detail.mean_queue_delay_s,
+        detail.dropped
+    );
 }

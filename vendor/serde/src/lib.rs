@@ -88,6 +88,19 @@ pub fn from_value_field<T: FromValue>(map: &mut Map, key: &str) -> Result<T, Str
     }
 }
 
+/// Extract and convert a named struct field, substituting
+/// `Default::default()` when the field is absent — the implementation
+/// behind `#[serde(default)]` in the vendored derive.
+pub fn from_value_field_or_default<T: FromValue + Default>(
+    map: &mut Map,
+    key: &str,
+) -> Result<T, String> {
+    match map.remove(key) {
+        Some(v) => T::from_value(v).map_err(|e| format!("field `{key}`: {e}")),
+        None => Ok(T::default()),
+    }
+}
+
 /// Extract and convert a positional element during deserialization.
 pub fn from_value_index<T: FromValue>(items: &mut [Value], index: usize) -> Result<T, String> {
     if index < items.len() {

@@ -1,0 +1,100 @@
+//! Coverage for the derive extensions this workspace depends on:
+//! `#[serde(default)]` on named fields (structs and enum struct
+//! variants) and enum struct-variants in general.
+
+use serde::{Deserialize, FromValue, Serialize};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Knobs {
+    required: f64,
+    #[serde(default)]
+    optional_count: usize,
+    #[serde(default)]
+    optional_list: Vec<f64>,
+    #[serde(default)]
+    optional_flag: bool,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Engine {
+    Plain,
+    Tuned {
+        gain: f64,
+        #[serde(default)]
+        window: Option<u64>,
+        #[serde(default)]
+        mode: Mode,
+    },
+}
+
+#[derive(Debug, PartialEq, Default, Serialize, Deserialize)]
+enum Mode {
+    #[default]
+    Fast,
+    Thorough,
+}
+
+fn roundtrip<T: Serialize + FromValue>(v: &T) -> T {
+    T::from_value(serde::to_value(v)).expect("round trip")
+}
+
+#[test]
+fn missing_defaulted_struct_fields_fall_back() {
+    let mut m = serde::Map::new();
+    m.insert("required".into(), serde::to_value(&1.5f64));
+    let k = Knobs::from_value(serde::Value::Object(m)).expect("defaults fill in");
+    assert_eq!(
+        k,
+        Knobs {
+            required: 1.5,
+            optional_count: 0,
+            optional_list: vec![],
+            optional_flag: false,
+        }
+    );
+}
+
+#[test]
+fn missing_required_field_still_errors() {
+    let err = Knobs::from_value(serde::Value::Object(serde::Map::new())).unwrap_err();
+    assert!(err.contains("required"), "{err}");
+}
+
+#[test]
+fn present_defaulted_fields_parse_normally() {
+    let full = Knobs {
+        required: 2.0,
+        optional_count: 7,
+        optional_list: vec![0.5, 0.9],
+        optional_flag: true,
+    };
+    assert_eq!(roundtrip(&full), full);
+}
+
+#[test]
+fn enum_struct_variant_with_defaulted_fields() {
+    // Full value round-trips...
+    let full = Engine::Tuned {
+        gain: 0.7,
+        window: Some(96),
+        mode: Mode::Thorough,
+    };
+    assert_eq!(roundtrip(&full), full);
+    assert_eq!(roundtrip(&Engine::Plain), Engine::Plain);
+
+    // ...and a document written before `window`/`mode` existed still
+    // deserializes (the point of `#[serde(default)]`).
+    let mut fields = serde::Map::new();
+    fields.insert("gain".into(), serde::to_value(&0.25f64));
+    let mut m = serde::Map::new();
+    m.insert("Tuned".into(), serde::Value::Object(fields));
+    let got = Engine::from_value(serde::Value::Object(m)).expect("old-shape variant parses");
+    assert_eq!(
+        got,
+        Engine::Tuned {
+            gain: 0.25,
+            window: None,
+            mode: Mode::Fast,
+        }
+    );
+}

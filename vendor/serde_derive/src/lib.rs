@@ -6,6 +6,11 @@
 //! and enums with unit / tuple / struct variants. Representation matches
 //! serde's external conventions (newtype transparency, unit variants as
 //! strings, `{"Variant": ...}` for data-carrying variants).
+//!
+//! One field attribute is supported: `#[serde(default)]` on named fields
+//! (of structs and enum struct-variants) substitutes `Default::default()`
+//! when the field is absent from the input — so specs can grow new knobs
+//! without invalidating existing TOML/JSON documents.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -13,12 +18,19 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     /// `struct S;`
     Unit,
-    /// `struct S { a: T, b: U }` — field names in order.
-    Named(Vec<String>),
+    /// `struct S { a: T, b: U }` — fields in order.
+    Named(Vec<Field>),
     /// `struct S(T, U);` — field count.
     Tuple(usize),
     /// `enum E { ... }`
     Enum(Vec<Variant>),
+}
+
+/// One named field and its parsed serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent input → `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -29,7 +41,7 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Input {
@@ -117,16 +129,37 @@ fn count_top_level_items(stream: TokenStream) -> usize {
     items
 }
 
-/// Field names of a named-struct body, skipping attributes and
-/// visibility, and skipping type tokens up to the field-separating comma.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether an attribute group (the `[...]` tokens) is `serde(default)`.
+fn is_serde_default(group: &TokenStream) -> bool {
+    let mut iter = group.clone().into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut inner = args.stream().into_iter();
+            matches!(
+                (inner.next(), inner.next()),
+                (Some(TokenTree::Ident(arg)), None) if arg.to_string() == "default"
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Fields of a named-struct body, skipping visibility, collecting
+/// `#[serde(...)]` attributes, and skipping type tokens up to the
+/// field-separating comma.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut names = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        // Skip attributes.
+        // Collect serde attributes; skip everything else (doc comments).
+        let mut default = false;
         while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             iter.next();
-            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                default |= is_serde_default(&g.stream());
+            }
         }
         // Skip visibility.
         if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
@@ -138,7 +171,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             }
         }
         match iter.next() {
-            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => names.push(Field {
+                name: id.to_string(),
+                default,
+            }),
             None => break,
             other => panic!("serde derive: expected field name, got {other:?}"),
         }
@@ -206,6 +242,7 @@ fn gen_serialize(input: &Input) -> String {
         Shape::Named(fields) => {
             let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "__m.insert(::std::string::String::from(\"{f}\"), ::serde::to_value(&self.{f}));\n"
                 ));
@@ -245,9 +282,14 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     VariantShape::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::from("{ let mut __fm = ::serde::Map::new();\n");
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "__fm.insert(::std::string::String::from(\"{f}\"), ::serde::to_value({f}));\n"
                             ));
@@ -272,17 +314,31 @@ fn gen_serialize(input: &Input) -> String {
     )
 }
 
+/// Constructor lines `field: <extract>?` for a named field list taken
+/// out of the map variable `map_var`; `#[serde(default)]` fields fall
+/// back to `Default::default()` when absent.
+fn named_field_ctor(fields: &[Field], map_var: &str) -> String {
+    let mut ctor = String::new();
+    for f in fields {
+        let name = &f.name;
+        let extract = if f.default {
+            "from_value_field_or_default"
+        } else {
+            "from_value_field"
+        };
+        ctor.push_str(&format!(
+            "{name}: ::serde::{extract}(&mut {map_var}, \"{name}\")?,\n"
+        ));
+    }
+    ctor
+}
+
 fn gen_from_value(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.shape {
         Shape::Unit => format!("{{ let _ = __value; Ok({name}) }}"),
         Shape::Named(fields) => {
-            let mut ctor = String::new();
-            for f in fields {
-                ctor.push_str(&format!(
-                    "{f}: ::serde::from_value_field(&mut __m, \"{f}\")?,\n"
-                ));
-            }
+            let ctor = named_field_ctor(fields, "__m");
             format!(
                 "match __value {{\n\
                  ::serde::Value::Object(mut __m) => Ok({name} {{\n{ctor}}}),\n\
@@ -331,12 +387,7 @@ fn gen_from_value(input: &Input) -> String {
                         ));
                     }
                     VariantShape::Named(fields) => {
-                        let mut ctor = String::new();
-                        for f in fields {
-                            ctor.push_str(&format!(
-                                "{f}: ::serde::from_value_field(&mut __fm, \"{f}\")?,\n"
-                            ));
-                        }
+                        let ctor = named_field_ctor(fields, "__fm");
                         data_arms.push_str(&format!(
                             "\"{vn}\" => match __inner {{\n\
                              ::serde::Value::Object(mut __fm) => Ok({name}::{vn} {{\n{ctor}}}),\n\
@@ -373,7 +424,7 @@ fn gen_from_value(input: &Input) -> String {
 }
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     gen_serialize(&parsed)
@@ -383,7 +434,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 /// Derive `serde::Deserialize` (also emits the `FromValue` impl used by
 /// container deserialization).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     gen_from_value(&parsed)
