@@ -1,0 +1,165 @@
+//! The campaign CLI: run, shard-work, inspect, and report whole
+//! evaluation campaigns (`ecp-campaign`) with the experiment registry
+//! (`ecp_bench::scenarios::campaign_registry`) resolving `registry =
+//! "<id>"` entries.
+//!
+//! ```text
+//! campaign run    <campaign.toml> [--shards N] [--workers inprocess|subprocess]
+//!                                 [--out DIR] [--threads T] [--force]
+//! campaign worker <campaign.toml> --shard k/N [--out DIR] [--threads T]
+//! campaign report <campaign.toml> [--out DIR]
+//! campaign list   <campaign.toml> [--out DIR]
+//! ```
+//!
+//! `run` executes every entry (sharded in-process by default, or across
+//! `--workers subprocess` re-invocations of this binary), streams each
+//! `ScenarioReport` into the content-addressed result store under the
+//! output directory, prints `stats: runs=... executed=... cached=...`,
+//! and writes the comparison artifacts. A second `run` of the same
+//! campaign reports `executed=0`: every run is served from the store.
+//! Scenario failures (e.g. unsupported spec combinations) are recorded
+//! as failed runs, not aborts; the process exits 0 unless the campaign
+//! itself cannot run.
+
+use ecp_campaign::{exec, report, CampaignError, CampaignSpec, ResultStore, Workers};
+use std::path::Path;
+use std::process::exit;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign <run|worker|report|list> <campaign.toml> \
+         [--shards N] [--workers inprocess|subprocess] [--shard k/N] \
+         [--out DIR] [--threads T] [--force]"
+    );
+    exit(2)
+}
+
+fn load(spec_path: &str, out: Option<&str>) -> Result<(CampaignSpec, ResultStore), CampaignError> {
+    let spec = CampaignSpec::from_path(Path::new(spec_path))?;
+    let store = ResultStore::open(&spec.resolved_output_dir(out))?;
+    Ok((spec, store))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(spec_path)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let out = flag(&args, "--out");
+    let threads = flag(&args, "--threads").and_then(|t| t.parse().ok());
+    let resolver = |id: &str| ecp_bench::scenarios::campaign_scenario(id);
+
+    let result: Result<(), CampaignError> = (|| {
+        let (spec, store) = load(spec_path, out.as_deref())?;
+        let opts = exec::ExecOptions {
+            threads,
+            force: has_flag(&args, "--force"),
+        };
+        match cmd.as_str() {
+            "run" => {
+                let shards = flag(&args, "--shards")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| spec.shard_count());
+                let mode = flag(&args, "--workers").unwrap_or_else(|| "inprocess".into());
+                let workers = match mode.as_str() {
+                    "inprocess" => Workers::InProcess,
+                    "subprocess" => {
+                        let program = std::env::current_exe()
+                            .map_err(|e| CampaignError::Worker(format!("locate self: {e}")))?;
+                        let mut worker_args = vec!["worker".to_string(), spec_path.clone()];
+                        worker_args.push("--out".into());
+                        worker_args.push(
+                            spec.resolved_output_dir(out.as_deref())
+                                .display()
+                                .to_string(),
+                        );
+                        if let Some(t) = threads {
+                            worker_args.push("--threads".into());
+                            worker_args.push(t.to_string());
+                        }
+                        Workers::Subprocess(exec::WorkerCommand {
+                            program,
+                            args: worker_args,
+                        })
+                    }
+                    other => {
+                        return Err(CampaignError::Spec(format!(
+                            "unknown worker mode `{other}`"
+                        )))
+                    }
+                };
+                let stats = exec::execute(&spec, &resolver, &store, shards, &opts, &workers)?;
+                println!("stats: {stats}");
+                let (_, paths) = report::generate(
+                    &spec,
+                    &resolver,
+                    &store,
+                    &spec.resolved_output_dir(out.as_deref()),
+                )?;
+                for p in paths {
+                    println!("[campaign] wrote {}", p.display());
+                }
+                Ok(())
+            }
+            "worker" => {
+                let shard = flag(&args, "--shard")
+                    .as_deref()
+                    .and_then(exec::parse_shard)
+                    .ok_or_else(|| {
+                        CampaignError::Spec("worker needs a valid --shard k/N".into())
+                    })?;
+                let stats = exec::run_shard(&spec, &resolver, &store, shard, &opts)?;
+                println!("shard {}/{}: {stats}", shard.0, shard.1);
+                Ok(())
+            }
+            "report" => {
+                let (_, paths) = report::generate(
+                    &spec,
+                    &resolver,
+                    &store,
+                    &spec.resolved_output_dir(out.as_deref()),
+                )?;
+                for p in paths {
+                    println!("[campaign] wrote {}", p.display());
+                }
+                Ok(())
+            }
+            "list" => {
+                let units = exec::expand(&spec, &resolver)?;
+                let shards = spec.shard_count();
+                for u in &units {
+                    let hash = ecp_campaign::run_hash(&u.scenario);
+                    let state = if store.contains(&hash) {
+                        "cached"
+                    } else {
+                        "pending"
+                    };
+                    println!(
+                        "{:>4}  shard {}  {:7}  {}  {} [{}]",
+                        u.global,
+                        u.shard(shards),
+                        state,
+                        hash,
+                        u.entry,
+                        u.scenario.name
+                    );
+                }
+                Ok(())
+            }
+            _ => usage(),
+        }
+    })();
+
+    if let Err(e) = result {
+        eprintln!("campaign: {e}");
+        exit(1);
+    }
+}

@@ -1,40 +1,88 @@
-//! Run every experiment binary in the scenario registry in sequence
-//! (scaled-down defaults suitable for a single sitting; `--fast`
-//! applies each entry's registered scaled-down arguments).
+//! Run the whole evaluation: a thin wrapper over the checked-in
+//! full-registry campaign (`examples/campaign_full_registry.toml`),
+//! which names every experiment family in the scenario registry.
 //!
-//! `cargo run --release -p ecp-bench --bin run_all [-- --fast true]`
+//! Sharded execution, cache/resume, and the comparison artifacts all
+//! come from `ecp-campaign` — re-running skips every cached run, and
+//! the Markdown/CSV/JSON report lands next to the stored runs. The
+//! shard count defaults to the spec's `shards` setting.
+//!
+//! `cargo run --release -p ecp-bench --bin run_all [-- --spec PATH
+//!  --shards 4 --workers subprocess]`
+//!
+//! (`--workers subprocess` re-invokes the sibling `campaign` binary as
+//! `campaign worker --shard k/N`; build it first.)
 
-use ecp_bench::scenarios::registry;
-use std::process::Command;
+use ecp_bench::arg;
+use ecp_campaign::{exec, report, CampaignError, CampaignSpec, ResultStore, Workers};
+use std::process::exit;
 
 fn main() {
-    let fast: bool = ecp_bench::arg("fast", false);
-    let exe_dir = std::env::current_exe()
-        .ok()
-        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
-        .expect("locate binary dir");
-    let mut failures = Vec::new();
-    for exp in registry() {
-        let args: &[&str] = if fast { exp.fast_args } else { &[] };
-        println!(
-            "\n########## {} [{}] {} ##########",
-            exp.name,
-            exp.kind,
-            args.join(" ")
-        );
-        let status = Command::new(exe_dir.join(exp.name)).args(args).status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("!! {} failed: {other:?}", exp.name);
-                failures.push(exp.name);
+    let spec_path: String = arg("spec", "examples/campaign_full_registry.toml".to_string());
+    let mode: String = arg("workers", "inprocess".to_string());
+    let resolver = |id: &str| ecp_bench::scenarios::campaign_scenario(id);
+
+    let run = || -> Result<exec::ExecStats, CampaignError> {
+        let spec = CampaignSpec::from_path(spec_path.as_ref())?;
+        let shards: usize = arg("shards", spec.shard_count());
+        let out = spec.resolved_output_dir(None);
+        let store = ResultStore::open(&out)?;
+        let workers = match mode.as_str() {
+            "inprocess" => Workers::InProcess,
+            "subprocess" => {
+                // Workers are `campaign worker` re-invocations (the
+                // sibling binary owns the worker subcommand).
+                let program = std::env::current_exe()
+                    .ok()
+                    .and_then(|p| p.parent().map(|d| d.join("campaign")))
+                    .ok_or_else(|| CampaignError::Worker("locate campaign binary".into()))?;
+                if !program.exists() {
+                    return Err(CampaignError::Worker(format!(
+                        "{} not found — build it first (`cargo build --release -p ecp-bench \
+                         --bin campaign`) or use --workers inprocess",
+                        program.display()
+                    )));
+                }
+                Workers::Subprocess(exec::WorkerCommand {
+                    program,
+                    args: vec![
+                        "worker".into(),
+                        spec_path.clone(),
+                        "--out".into(),
+                        out.display().to_string(),
+                    ],
+                })
             }
+            other => {
+                return Err(CampaignError::Spec(format!(
+                    "unknown worker mode `{other}`"
+                )))
+            }
+        };
+        let stats = exec::execute(
+            &spec,
+            &resolver,
+            &store,
+            shards,
+            &exec::ExecOptions::default(),
+            &workers,
+        )?;
+        report::generate(&spec, &resolver, &store, &out)?;
+        Ok(stats)
+    };
+
+    match run() {
+        Ok(stats) => {
+            println!("stats: {stats}");
+            if stats.failed > 0 {
+                eprintln!("{} runs recorded failures; see the report", stats.failed);
+                exit(1);
+            }
+            println!("all experiments completed; see the campaign report");
         }
-    }
-    if failures.is_empty() {
-        println!("\nall experiments completed; results under results/");
-    } else {
-        eprintln!("\nfailed experiments: {failures:?}");
-        std::process::exit(1);
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            exit(1);
+        }
     }
 }

@@ -13,67 +13,14 @@
 //! Usage: `--duration 120 --fails 4 --seed 11`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_scenario::{
-    run_scenario, EventSpec, MatrixSpec, MetricsSpec, PairsSpec, PowerSpec, ScaleSpec,
-    ScenarioBuilder, SimSpec,
-};
-use ecp_topo::gen::TopoSpec;
-use ecp_traffic::{Program, Shape};
+use ecp_scenario::run_scenario;
 
 fn main() {
     let duration: f64 = arg("duration", 120.0);
     let fails: usize = arg("fails", 4);
     let seed: u64 = arg("seed", 11);
 
-    let scenario = ScenarioBuilder::new("cascade-during-flash-crowd")
-        .seed(seed)
-        .duration_s(duration)
-        .topology(TopoSpec::Geant)
-        .power(PowerSpec::Cisco12000)
-        .pairs(PairsSpec::Random { count: 80 })
-        .traffic(
-            MatrixSpec::Gravity,
-            ScaleSpec::MaxFeasibleFraction { fraction: 1.0 },
-            // Quiet at 35 %, ramp to 95 % at t = 30 s over 20 s, hold
-            // 40 s, decay back over 20 s.
-            Program::from_shape(
-                duration,
-                2.0,
-                Shape::FlashCrowd {
-                    base: 0.35,
-                    peak: 0.95,
-                    start_s: 30.0,
-                    ramp_s: 20.0,
-                    hold_s: 40.0,
-                    decay_s: 20.0,
-                },
-            ),
-        )
-        .sim(SimSpec {
-            control_interval_s: 0.5,
-            wake_time_s: 1.0,
-            detect_delay_s: 0.5,
-            sleep_after_s: 2.0,
-            sample_interval_s: 0.5,
-            te_start_s: 0.0,
-            ..Default::default()
-        })
-        // The cascade lands mid-ramp: four correlated failures, 2 s
-        // apart, each repaired 25 s later.
-        .event(EventSpec::FailureBurst {
-            start: 40.0,
-            count: fails,
-            spacing_s: 2.0,
-            repair_after_s: 25.0,
-            seed_salt: 0xCA5CADE,
-        })
-        .metrics(MetricsSpec {
-            power_series: true,
-            delivered_series: true,
-            per_path_rates: false,
-            ..Default::default()
-        })
-        .build();
+    let scenario = ecp_bench::scenarios::cascade_flashcrowd(duration, fails, seed);
 
     let report = run_scenario(&scenario).expect("cascade scenario runs");
 

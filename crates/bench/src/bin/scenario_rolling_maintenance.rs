@@ -16,69 +16,14 @@
 //! Usage: `--windows 4 --window-mins 45 --seed 3`
 
 use ecp_bench::{arg, print_table, write_json};
-use ecp_scenario::{
-    run_scenario, EventSpec, MatrixSpec, MetricsSpec, NodeRef, PairsSpec, PowerSpec, ScaleSpec,
-    ScenarioBuilder, SimSpec,
-};
-use ecp_topo::gen::TopoSpec;
-use ecp_traffic::{Program, Shape};
+use ecp_scenario::run_scenario;
 
 fn main() {
     let windows: usize = arg("windows", 4);
     let window_mins: f64 = arg("window-mins", 45.0);
     let seed: u64 = arg("seed", 3);
 
-    let day = 86_400.0;
-    let window_s = window_mins * 60.0;
-    // Roll across backbone routers bb0, bb1, ... starting 01:00, back to
-    // back with a 15-minute settle gap.
-    let events: Vec<EventSpec> = (0..windows)
-        .map(|i| EventSpec::MaintenanceWindow {
-            start: 3_600.0 + i as f64 * (window_s + 900.0),
-            duration_s: window_s,
-            node: NodeRef::ByName {
-                name: format!("bb{i}"),
-            },
-        })
-        .collect();
-
-    let scenario = ScenarioBuilder::new("rolling-maintenance-diurnal")
-        .seed(seed)
-        .duration_s(day)
-        .topology(TopoSpec::pop_access_default())
-        .power(PowerSpec::Cisco12000)
-        .pairs(PairsSpec::EdgeOffset {
-            denominators: vec![2, 3],
-        })
-        .traffic(
-            MatrixSpec::Gravity,
-            ScaleSpec::MaxFeasibleFraction { fraction: 0.3 },
-            Program::from_shape(
-                day,
-                900.0,
-                Shape::Diurnal {
-                    peak: 1.0,
-                    night: 0.3,
-                },
-            ),
-        )
-        .sim(SimSpec {
-            control_interval_s: 1.0,
-            wake_time_s: 1.0,
-            detect_delay_s: 1.0,
-            sleep_after_s: 120.0,
-            sample_interval_s: 300.0,
-            te_start_s: 0.0,
-            ..Default::default()
-        })
-        .events(events)
-        .metrics(MetricsSpec {
-            power_series: true,
-            delivered_series: true,
-            per_path_rates: false,
-            ..Default::default()
-        })
-        .build();
+    let scenario = ecp_bench::scenarios::rolling_maintenance(windows, window_mins, seed);
 
     let report = run_scenario(&scenario).expect("maintenance scenario runs");
 

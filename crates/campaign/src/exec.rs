@@ -1,0 +1,377 @@
+//! Campaign execution: entry expansion, deterministic sharding, and
+//! the in-process / subprocess executors.
+
+use crate::spec::CampaignSpec;
+use crate::store::{run_hash, ResultStore, RunFailure, StoredRun};
+use crate::{CampaignError, Resolver};
+use ecp_scenario::{run_scenario, Axis, Param, Scenario, SweepRunner};
+use rayon::prelude::*;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// One concrete run of a campaign.
+#[derive(Debug, Clone)]
+pub struct RunUnit {
+    /// Entry the run belongs to.
+    pub entry: String,
+    /// Index within the entry's expansion.
+    pub index: usize,
+    /// Global run index across the campaign — the shard partition key.
+    pub global: usize,
+    /// Sweep/seed parameter assignment of this run.
+    pub params: Vec<(String, f64)>,
+    /// The fully-resolved scenario.
+    pub scenario: Scenario,
+}
+
+impl RunUnit {
+    /// Which of `shards` this run belongs to.
+    pub fn shard(&self, shards: usize) -> usize {
+        self.global % shards.max(1)
+    }
+}
+
+/// Expand a campaign into its runs, in deterministic order: entries in
+/// spec order, instances in row-major grid order (sweep axes outermost,
+/// then the `seeds` axis, then `repeats`). Every worker expands the
+/// same spec to the same list, which is what makes sharding by global
+/// index coordination-free.
+pub fn expand(spec: &CampaignSpec, resolver: Resolver) -> Result<Vec<RunUnit>, CampaignError> {
+    spec.validate()?;
+    let mut out: Vec<RunUnit> = Vec::new();
+    for e in &spec.entries {
+        let mut base = match (&e.registry, &e.scenario) {
+            (Some(id), None) => resolver(id).ok_or_else(|| {
+                CampaignError::Spec(format!(
+                    "entry `{}`: unknown registry id `{id}` (this worker may resolve no registry)",
+                    e.name
+                ))
+            })?,
+            (None, Some(s)) => s.clone(),
+            _ => unreachable!("validated: exactly one base source"),
+        };
+        for s in &e.set {
+            s.param.apply(&mut base, s.value);
+        }
+        let mut axes: Vec<Axis> = e.sweep.clone();
+        if !e.seeds.is_empty() {
+            axes.push(Axis::new(Param::Seed, e.seeds.iter().map(|&s| s as f64)));
+        }
+        let mut runner = SweepRunner::new(base, axes);
+        if let Some(n) = e.repeats {
+            runner = runner.replicates(n);
+        }
+        let instances = if runner.axes.is_empty() {
+            vec![(Vec::new(), runner.base.clone())]
+        } else {
+            runner.instances()
+        };
+        for (index, (params, scenario)) in instances.into_iter().enumerate() {
+            out.push(RunUnit {
+                entry: e.name.clone(),
+                index,
+                global: out.len(),
+                params,
+                scenario,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a `k/N` shard designator (`k < N`, `N ≥ 1`).
+pub fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (k, n) = s.split_once('/')?;
+    let (k, n) = (k.parse().ok()?, n.parse().ok()?);
+    (n >= 1 && k < n).then_some((k, n))
+}
+
+/// Execution options shared by the executors.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker-thread count for the in-process rayon pool (`None` = all
+    /// cores).
+    pub threads: Option<usize>,
+    /// Ignore cached runs and recompute everything.
+    pub force: bool,
+}
+
+/// What an executor did. `failed` counts runs whose *stored* outcome is
+/// a scenario failure (cached or fresh) — failures are campaign data,
+/// not executor errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Runs considered (shard-local for [`run_shard`]).
+    pub runs: usize,
+    /// Distinct run hashes among them.
+    pub unique: usize,
+    /// Hashes actually executed this invocation.
+    pub executed: usize,
+    /// Hashes served from the result store.
+    pub cached: usize,
+    /// Hashes whose stored outcome is a failure.
+    pub failed: usize,
+}
+
+impl ExecStats {
+    /// Accumulate another shard's stats.
+    pub fn merge(&mut self, other: ExecStats) {
+        self.runs += other.runs;
+        self.unique += other.unique;
+        self.executed += other.executed;
+        self.cached += other.cached;
+        self.failed += other.failed;
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runs={} unique={} executed={} cached={} failed={}",
+            self.runs, self.unique, self.executed, self.cached, self.failed
+        )
+    }
+}
+
+/// Execute shard `k` of `n` in-process. Runs are deduplicated by hash,
+/// cached results are skipped (unless `force`), and each fresh result —
+/// report or typed scenario failure — is streamed to the store as it
+/// completes.
+pub fn run_shard(
+    spec: &CampaignSpec,
+    resolver: Resolver,
+    store: &ResultStore,
+    shard: (usize, usize),
+    opts: &ExecOptions,
+) -> Result<ExecStats, CampaignError> {
+    let (k, n) = shard;
+    if n == 0 || k >= n {
+        return Err(CampaignError::Spec(format!("invalid shard {k}/{n}")));
+    }
+    let units = expand(spec, resolver)?;
+    let mine: Vec<&RunUnit> = units.iter().filter(|u| u.shard(n) == k).collect();
+    let mut jobs: Vec<(String, &RunUnit)> = Vec::new();
+    for u in &mine {
+        let hash = run_hash(&u.scenario);
+        if !jobs.iter().any(|(h, _)| *h == hash) {
+            jobs.push((hash, u));
+        }
+    }
+
+    let execute = || -> Vec<Result<(usize, usize, usize), CampaignError>> {
+        jobs.par_iter()
+            .map(|(hash, u)| {
+                if !opts.force {
+                    if let Some(cached) = store.load(hash) {
+                        return Ok((0, 1, cached.failure.is_some() as usize));
+                    }
+                }
+                let (report, failure) = match run_scenario(&u.scenario) {
+                    Ok(r) => (Some(r), None),
+                    Err(e) => (
+                        None,
+                        Some(RunFailure {
+                            kind: e.kind().into(),
+                            message: e.to_string(),
+                        }),
+                    ),
+                };
+                let failed = failure.is_some() as usize;
+                store.save(&StoredRun {
+                    code_salt: crate::CODE_SALT.into(),
+                    hash: hash.clone(),
+                    name: u.scenario.name.clone(),
+                    seed: u.scenario.seed,
+                    params: u.params.clone(),
+                    report,
+                    failure,
+                })?;
+                Ok((1, 0, failed))
+            })
+            .collect()
+    };
+    let results = match opts.threads {
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .map_err(|e| CampaignError::Spec(e.to_string()))?
+            .install(execute),
+        None => execute(),
+    };
+
+    let mut stats = ExecStats {
+        runs: mine.len(),
+        unique: jobs.len(),
+        ..Default::default()
+    };
+    for r in results {
+        let (executed, cached, failed) = r?;
+        stats.executed += executed;
+        stats.cached += cached;
+        stats.failed += failed;
+    }
+    Ok(stats)
+}
+
+/// The campaign's distinct run hashes, in expansion order.
+fn unique_hashes(units: &[RunUnit]) -> Vec<String> {
+    let mut hashes: Vec<String> = Vec::new();
+    for u in units {
+        let h = run_hash(&u.scenario);
+        if !hashes.contains(&h) {
+            hashes.push(h);
+        }
+    }
+    hashes
+}
+
+/// Campaign-level stats computed from the store after execution —
+/// identical no matter which shard layout or worker mode ran (a hash
+/// duplicated across shards is still one unique run).
+fn audit_stats(
+    store: &ResultStore,
+    hashes: &[String],
+    runs: usize,
+    cached_before: usize,
+) -> Result<ExecStats, CampaignError> {
+    let mut failed = 0;
+    let mut present = 0;
+    for h in hashes {
+        if let Some(run) = store.load(h) {
+            present += 1;
+            failed += run.failure.is_some() as usize;
+        }
+    }
+    if present < hashes.len() {
+        return Err(CampaignError::Worker(format!(
+            "{} of {} runs missing from the store after execution",
+            hashes.len() - present,
+            hashes.len()
+        )));
+    }
+    Ok(ExecStats {
+        runs,
+        unique: hashes.len(),
+        executed: hashes.len() - cached_before,
+        cached: cached_before,
+        failed,
+    })
+}
+
+/// Execute a whole campaign in-process: every shard of `shards`, in
+/// order. (The shard walk is observationally identical to one pass over
+/// all runs — it exists so in-process and subprocess execution share
+/// the exact same partition.) Stats are audited globally from the
+/// store, so they match the subprocess path exactly even when one hash
+/// appears in several shards.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    resolver: Resolver,
+    store: &ResultStore,
+    shards: usize,
+    opts: &ExecOptions,
+) -> Result<ExecStats, CampaignError> {
+    let shards = shards.max(1);
+    let units = expand(spec, resolver)?;
+    let hashes = unique_hashes(&units);
+    let cached_before = if opts.force {
+        0
+    } else {
+        hashes.iter().filter(|h| store.contains(h)).count()
+    };
+    for k in 0..shards {
+        run_shard(spec, resolver, store, (k, shards), opts)?;
+    }
+    audit_stats(store, &hashes, units.len(), cached_before)
+}
+
+/// Worker selection for [`execute`].
+#[derive(Debug, Clone)]
+pub enum Workers {
+    /// Shards run in this process via rayon.
+    InProcess,
+    /// One subprocess per shard, launched from this command.
+    Subprocess(WorkerCommand),
+}
+
+/// Execute a campaign with the chosen worker mode (the shared body of
+/// the `campaign` CLI and `run_all`). `ExecOptions::force` is
+/// in-process only — subprocess workers are spawned without it, so
+/// combining the two is an error rather than a silent no-op.
+pub fn execute(
+    spec: &CampaignSpec,
+    resolver: Resolver,
+    store: &ResultStore,
+    shards: usize,
+    opts: &ExecOptions,
+    workers: &Workers,
+) -> Result<ExecStats, CampaignError> {
+    match workers {
+        Workers::InProcess => run_campaign(spec, resolver, store, shards, opts),
+        Workers::Subprocess(cmd) => {
+            if opts.force {
+                return Err(CampaignError::Spec(
+                    "force is in-process only; use in-process workers".into(),
+                ));
+            }
+            run_campaign_subprocess(spec, resolver, store, shards, cmd)
+        }
+    }
+}
+
+/// How to launch a worker subprocess: `program args... --shard k/N`.
+/// The bench `campaign` CLI re-invokes itself (`campaign worker <spec>
+/// --out <dir>`); tests use the registry-less `campaign_worker` binary.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Worker executable.
+    pub program: PathBuf,
+    /// Arguments before the `--shard k/N` pair.
+    pub args: Vec<String>,
+}
+
+/// Execute a campaign across `shards` worker subprocesses, one per
+/// shard, then audit the store: every expanded run must be present.
+/// The returned stats are computed by the parent from the store (so
+/// they are exact even though workers share nothing but the directory).
+pub fn run_campaign_subprocess(
+    spec: &CampaignSpec,
+    resolver: Resolver,
+    store: &ResultStore,
+    shards: usize,
+    worker: &WorkerCommand,
+) -> Result<ExecStats, CampaignError> {
+    let shards = shards.max(1);
+    let units = expand(spec, resolver)?;
+    let hashes = unique_hashes(&units);
+    let cached_before = hashes.iter().filter(|h| store.contains(h)).count();
+
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    for k in 0..shards {
+        let child = Command::new(&worker.program)
+            .args(&worker.args)
+            .arg("--shard")
+            .arg(format!("{k}/{shards}"))
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| {
+                CampaignError::Worker(format!("spawn {}: {e}", worker.program.display()))
+            })?;
+        children.push((k, child));
+    }
+    // Wait for every worker before reporting failures, so no child is
+    // left running detached against the store.
+    let mut worker_errors: Vec<String> = Vec::new();
+    for (k, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => worker_errors.push(format!("shard {k}/{shards} exited with {status}")),
+            Err(e) => worker_errors.push(format!("wait for shard {k}: {e}")),
+        }
+    }
+    if !worker_errors.is_empty() {
+        return Err(CampaignError::Worker(worker_errors.join("; ")));
+    }
+    audit_stats(store, &hashes, units.len(), cached_before)
+}

@@ -1,0 +1,155 @@
+//! The content-addressed result store.
+//!
+//! Every run is stored as `runs/<hash>.json` under the campaign's
+//! output directory, where the hash covers the fully-resolved scenario
+//! (the seed and every expanded parameter are part of the scenario
+//! document) plus [`CODE_SALT`]. Properties this buys:
+//!
+//! * **Resume** — re-running a campaign skips every run whose file is
+//!   already present (scenarios are deterministic, so the cached report
+//!   is the report).
+//! * **Shard independence** — workers never coordinate: a run's file
+//!   name is a pure function of its content, so any shard layout
+//!   produces the same file set, byte for byte.
+//! * **Invalidation** — bump [`CODE_SALT`] when engine semantics
+//!   change; stale files (salt mismatch) are treated as misses and
+//!   overwritten in place.
+//!
+//! Writes go through a unique temp file renamed into place, so
+//! concurrent writers of the same hash (two entries sharing a scenario,
+//! or a re-run racing a stale shard) are safe: both write identical
+//! bytes and the last rename wins atomically.
+
+use crate::CampaignError;
+use ecp_scenario::ScenarioReport;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Code-version salt mixed into every run hash. Bump when scenario
+/// execution semantics change so cached reports are recomputed.
+pub const CODE_SALT: &str = "ecp-campaign-v1";
+
+/// 64-bit FNV-1a over `bytes` from an explicit basis.
+fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Content hash of one run: 128 hex-encoded bits over the salt plus the
+/// scenario's canonical JSON rendering (field order is declaration
+/// order, so the rendering is stable).
+pub fn run_hash(scenario: &ecp_scenario::Scenario) -> String {
+    let json = serde_json::to_string(scenario).expect("scenario serializes");
+    let payload = format!("{CODE_SALT}\n{json}");
+    let b = payload.as_bytes();
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(0xcbf2_9ce4_8422_2325, b),
+        fnv1a64(0x6c62_272e_07bb_0142, b)
+    )
+}
+
+/// A recorded scenario failure (kind from
+/// [`ecp_scenario::ScenarioError::kind`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunFailure {
+    /// Stable failure kind (`"unsupported"`, `"invalid"`, `"parse"`).
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// One stored run: outcome plus enough identity to read the store
+/// without re-expanding the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredRun {
+    /// [`CODE_SALT`] at write time; mismatches read as cache misses.
+    pub code_salt: String,
+    /// The run's content hash (also the file name).
+    pub hash: String,
+    /// Expanded scenario name.
+    pub name: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Sweep/seed parameter assignment that produced the scenario.
+    pub params: Vec<(String, f64)>,
+    /// The report, if the scenario ran.
+    #[serde(default)]
+    pub report: Option<ScenarioReport>,
+    /// The failure, if it did not.
+    #[serde(default)]
+    pub failure: Option<RunFailure>,
+}
+
+/// A campaign's on-disk run store.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    runs: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ResultStore {
+    /// Open (creating if needed) the store under a campaign output
+    /// directory.
+    pub fn open(output_dir: &Path) -> Result<Self, CampaignError> {
+        let runs = output_dir.join("runs");
+        std::fs::create_dir_all(&runs)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", runs.display())))?;
+        Ok(ResultStore { runs })
+    }
+
+    /// The directory run files live in.
+    pub fn runs_dir(&self) -> &Path {
+        &self.runs
+    }
+
+    /// The file a hash is stored at.
+    pub fn path(&self, hash: &str) -> PathBuf {
+        self.runs.join(format!("{hash}.json"))
+    }
+
+    /// Load a stored run; `None` on missing, unparsable, or
+    /// salt-mismatched files (all of which read as cache misses).
+    pub fn load(&self, hash: &str) -> Option<StoredRun> {
+        let doc = std::fs::read_to_string(self.path(hash)).ok()?;
+        let run: StoredRun = serde_json::from_str(&doc).ok()?;
+        (run.code_salt == CODE_SALT).then_some(run)
+    }
+
+    /// Whether a valid cached run exists. Cheap: probes the file head
+    /// for the salt field (we write it first) instead of deserializing
+    /// the whole report; falls back to a miss on anything unexpected.
+    pub fn contains(&self, hash: &str) -> bool {
+        use std::io::Read;
+        let Ok(mut f) = std::fs::File::open(self.path(hash)) else {
+            return false;
+        };
+        let mut head = [0u8; 256];
+        let Ok(n) = f.read(&mut head) else {
+            return false;
+        };
+        let probe = format!("\"code_salt\": \"{CODE_SALT}\"");
+        String::from_utf8_lossy(&head[..n]).contains(&probe)
+    }
+
+    /// Persist a run (unique temp file + atomic rename).
+    pub fn save(&self, run: &StoredRun) -> Result<(), CampaignError> {
+        let body = serde_json::to_string_pretty(run).expect("stored run serializes");
+        let tmp = self.runs.join(format!(
+            ".{}.{}.{}.tmp",
+            run.hash,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let io = |e: std::io::Error, what: &str| CampaignError::Io(format!("{what}: {e}"));
+        std::fs::write(&tmp, body).map_err(|e| io(e, "write run"))?;
+        std::fs::rename(&tmp, self.path(&run.hash)).map_err(|e| io(e, "publish run"))?;
+        Ok(())
+    }
+}

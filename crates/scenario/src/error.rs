@@ -1,0 +1,78 @@
+//! Typed scenario failures.
+//!
+//! Engines used to reject unsupported spec combinations with bare
+//! `String` errors; the campaign layer (`ecp-campaign`) needs to tell
+//! "this spec combination is unsupported" apart from "this spec is
+//! broken" so a failed entry can be recorded in the result store with a
+//! stable kind instead of aborting a whole shard.
+
+/// Why a scenario could not be resolved or run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The spec combines features the selected engine does not support
+    /// (scripted events with the Replay engine, shaped programs with a
+    /// synthetic trace, ...). The spec may be fine for another engine.
+    Unsupported {
+        /// Engine that rejected the spec (`"replay"`, `"packet"`,
+        /// `"app"`).
+        engine: &'static str,
+        /// What was rejected, with a hint at the supported route.
+        feature: String,
+    },
+    /// The spec is invalid or unresolvable regardless of engine (bad
+    /// node/link references, empty programs, inconsistent scales, ...).
+    Invalid(String),
+    /// The spec document itself could not be parsed.
+    Parse(String),
+}
+
+impl ScenarioError {
+    /// Construct an engine-rejection error.
+    pub fn unsupported(engine: &'static str, feature: impl Into<String>) -> Self {
+        ScenarioError::Unsupported {
+            engine,
+            feature: feature.into(),
+        }
+    }
+
+    /// Construct an invalid-spec error.
+    pub fn invalid(what: impl Into<String>) -> Self {
+        ScenarioError::Invalid(what.into())
+    }
+
+    /// Stable machine-readable kind (`"unsupported"`, `"invalid"`,
+    /// `"parse"`), used by result stores.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioError::Unsupported { .. } => "unsupported",
+            ScenarioError::Invalid(_) => "invalid",
+            ScenarioError::Parse(_) => "parse",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Unsupported { engine, feature } => {
+                write!(f, "the {engine} engine does not support {feature}")
+            }
+            ScenarioError::Invalid(what) => write!(f, "invalid scenario: {what}"),
+            ScenarioError::Parse(what) => write!(f, "scenario parse error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<String> for ScenarioError {
+    fn from(s: String) -> Self {
+        ScenarioError::Invalid(s)
+    }
+}
+
+impl From<&str> for ScenarioError {
+    fn from(s: &str) -> Self {
+        ScenarioError::Invalid(s.into())
+    }
+}

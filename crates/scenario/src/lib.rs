@@ -89,10 +89,12 @@
 //! and the order-preserving parallel map make sweep results independent
 //! of the worker-thread count.
 
+pub mod error;
 pub mod run;
 pub mod spec;
 pub mod sweep;
 
+pub use error::ScenarioError;
 pub use run::{
     resolve, run_resolved, run_scenario, AppDetail, CapacityStats, CompareResult, DriftStats,
     FailoverStats, PacketDetail, RecomputeStats, ReplayDetail, ResolvedScenario, ScenarioReport,

@@ -1,5 +1,6 @@
 //! Scenario execution: spec → topology/tables/schedule → engine → report.
 
+use crate::error::ScenarioError;
 use crate::spec::{
     AppSpec, CompareSpec, EngineSpec, EventSpec, LinkRef, MatrixSpec, NodeRef, PacketPlacement,
     PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario,
@@ -271,14 +272,14 @@ pub struct ResolvedScenario {
 }
 
 /// Run a scenario end to end.
-pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, String> {
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
     let resolved = resolve(scenario)?;
     run_resolved(scenario, &resolved)
 }
 
 /// Resolve the static parts of a scenario (topology, pairs, tables)
 /// without running it.
-pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, String> {
+pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, ScenarioError> {
     let built = scenario.topology.build();
     let power = scenario.power.build();
     let pairs = resolve_pairs(&built, &scenario.pairs, scenario.seed)?;
@@ -312,7 +313,7 @@ pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, String> {
 pub fn run_resolved(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     let mut report = match &scenario.engine {
         EngineSpec::Simnet => run_simnet(scenario, resolved),
         EngineSpec::Replay(spec) => run_replay(scenario, resolved, spec),
@@ -329,7 +330,7 @@ fn resolve_pairs(
     built: &BuiltTopology,
     spec: &PairsSpec,
     seed: u64,
-) -> Result<Vec<(NodeId, NodeId)>, String> {
+) -> Result<Vec<(NodeId, NodeId)>, ScenarioError> {
     match spec {
         PairsSpec::Random { count } => Ok(ecp_traffic::random_od_pairs(&built.topo, *count, seed)),
         PairsSpec::RandomSubset { nodes, count } => Ok(ecp_traffic::random_od_pairs_subset(
@@ -395,7 +396,8 @@ fn resolve_pairs(
                     "StarByDegree needs {} nodes, topology has {}",
                     clients + 1,
                     by_degree.len()
-                ));
+                )
+                .into());
             }
             by_degree.sort_by_key(|&n| built.topo.degree(n));
             let server = by_degree[0];
@@ -410,7 +412,7 @@ fn resolve_pairs(
                 let o = resolve_node(&built.topo, o)?;
                 let d = resolve_node(&built.topo, d)?;
                 if o == d {
-                    return Err(format!("explicit pair {o} -> {d} is a self-loop"));
+                    return Err(format!("explicit pair {o} -> {d} is a self-loop").into());
                 }
                 Ok((o, d))
             })
@@ -420,7 +422,7 @@ fn resolve_pairs(
 
 /// The hand-built Fig.-3 tables exactly as the paper describes: middle
 /// always-on, upper/lower on-demand doubling as failover.
-fn fig3_paper_tables(built: &BuiltTopology) -> Result<PathTables, String> {
+fn fig3_paper_tables(built: &BuiltTopology) -> Result<PathTables, ScenarioError> {
     let n = built
         .fig3
         .as_ref()
@@ -464,7 +466,7 @@ fn offered_matrix<'a>(
     scenario: &'a Scenario,
     topo: &'a Topology,
     pairs: &'a [(NodeId, NodeId)],
-) -> Result<OfferedMatrix<'a>, String> {
+) -> Result<OfferedMatrix<'a>, ScenarioError> {
     if matches!(scenario.traffic.scale, ScaleSpec::PerFlowBps { .. })
         && scenario.traffic.matrix == MatrixSpec::Gravity
     {
@@ -494,7 +496,7 @@ impl OfferedMatrix<'_> {
     }
 
     /// The offered matrix at a program level.
-    fn at(&self, level: f64) -> Result<TrafficMatrix, String> {
+    fn at(&self, level: f64) -> Result<TrafficMatrix, ScenarioError> {
         let v = self.volume(level);
         let per_flow = matches!(self.scenario.traffic.scale, ScaleSpec::PerFlowBps { .. });
         match (self.scenario.traffic.matrix, per_flow) {
@@ -517,7 +519,7 @@ fn demand_schedule(
     scenario: &Scenario,
     topo: &Topology,
     pairs: &[(NodeId, NodeId)],
-) -> Result<Vec<(f64, TrafficMatrix)>, String> {
+) -> Result<Vec<(f64, TrafficMatrix)>, ScenarioError> {
     let points = scenario.traffic.program.sample();
     if points.is_empty() {
         return Err("traffic program has no segments".into());
@@ -531,7 +533,7 @@ fn demand_schedule(
 
 // ---- event resolution -----------------------------------------------------
 
-fn resolve_link(topo: &Topology, link: &LinkRef) -> Result<ArcId, String> {
+fn resolve_link(topo: &Topology, link: &LinkRef) -> Result<ArcId, ScenarioError> {
     match link {
         LinkRef::ByName { from, to } => {
             let f = topo
@@ -542,25 +544,27 @@ fn resolve_link(topo: &Topology, link: &LinkRef) -> Result<ArcId, String> {
                 .ok_or_else(|| format!("unknown node `{to}`"))?;
             topo.find_arc(f, t)
                 .or_else(|| topo.find_arc(t, f))
-                .ok_or_else(|| format!("no link between `{from}` and `{to}`"))
+                .ok_or_else(|| {
+                    ScenarioError::invalid(format!("no link between `{from}` and `{to}`"))
+                })
         }
         LinkRef::ByIndex { index } => topo
             .link_ids()
             .nth(*index)
-            .ok_or_else(|| format!("link index {index} out of range")),
+            .ok_or_else(|| ScenarioError::invalid(format!("link index {index} out of range"))),
     }
 }
 
-fn resolve_node(topo: &Topology, node: &NodeRef) -> Result<NodeId, String> {
+fn resolve_node(topo: &Topology, node: &NodeRef) -> Result<NodeId, ScenarioError> {
     match node {
         NodeRef::ByName { name } => topo
             .find_node(name)
-            .ok_or_else(|| format!("unknown node `{name}`")),
+            .ok_or_else(|| ScenarioError::invalid(format!("unknown node `{name}`"))),
         NodeRef::ByIndex { index } => {
             if (*index as usize) < topo.node_count() {
                 Ok(NodeId(*index))
             } else {
-                Err(format!("node index {index} out of range"))
+                Err(format!("node index {index} out of range").into())
             }
         }
     }
@@ -603,7 +607,7 @@ fn schedule_events(
     scenario: &Scenario,
     topo: &Topology,
     sim: &mut Simulation<'_>,
-) -> Result<(), String> {
+) -> Result<(), ScenarioError> {
     for ev in &scenario.events {
         match ev {
             EventSpec::LinkFail { at, link } => {
@@ -680,7 +684,7 @@ fn scenario_te(scenario: &Scenario) -> TeConfig {
 }
 
 /// Require that the pairs share one origin (star workloads); returns it.
-fn common_origin(pairs: &[(NodeId, NodeId)]) -> Result<NodeId, String> {
+fn common_origin(pairs: &[(NodeId, NodeId)]) -> Result<NodeId, ScenarioError> {
     let &(server, _) = pairs.first().ok_or("the scenario has no OD pairs")?;
     if pairs.iter().any(|&(o, _)| o != server) {
         return Err("this engine needs a common origin (use Star/StarByDegree pairs)".into());
@@ -693,7 +697,7 @@ fn attach_table_metrics(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
     report: &mut ScenarioReport,
-) -> Result<(), String> {
+) -> Result<(), ScenarioError> {
     let topo = &resolved.built.topo;
     let tables = &resolved.tables;
     if scenario.metrics.table_stats {
@@ -754,7 +758,10 @@ fn attach_table_metrics(
 
 // ---- simnet engine --------------------------------------------------------
 
-fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<ScenarioReport, String> {
+fn run_simnet(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+) -> Result<ScenarioReport, ScenarioError> {
     let topo = &resolved.built.topo;
     let schedule = demand_schedule(scenario, topo, &resolved.pairs)?;
     let mut overrides: HashMap<usize, &Program> = HashMap::new();
@@ -764,10 +771,11 @@ fn run_simnet(scenario: &Scenario, resolved: &ResolvedScenario) -> Result<Scenar
                 "per-flow program references flow {} but only {} pairs resolved",
                 fp.flow,
                 resolved.pairs.len()
-            ));
+            )
+            .into());
         }
         if overrides.insert(fp.flow, &fp.program).is_some() {
-            return Err(format!("duplicate per-flow program for flow {}", fp.flow));
+            return Err(format!("duplicate per-flow program for flow {}", fp.flow).into());
         }
     }
     // Per-flow overrides modulate the flow's level-1.0 base rate.
@@ -906,14 +914,17 @@ fn build_trace(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
     spec: &ReplaySpec,
-) -> Result<ResolvedTrace, String> {
+) -> Result<ResolvedTrace, ScenarioError> {
     let topo = &resolved.built.topo;
     let days = ((scenario.duration_s / 86_400.0).ceil() as usize).max(1);
     match &spec.trace {
         TraceSpec::GeantLike { peak } => {
             require_constant_program(scenario)?;
             if scenario.traffic.matrix != MatrixSpec::Gravity {
-                return Err("the GeantLike trace uses the gravity matrix structure".into());
+                return Err(ScenarioError::unsupported(
+                    "replay",
+                    "non-Gravity matrices with the GeantLike trace",
+                ));
             }
             let peak_bps = match *peak {
                 PeakSpec::OverAlwaysOn {
@@ -924,11 +935,11 @@ fn build_trace(
                     let base_volume =
                         match scenario.traffic.scale {
                             ScaleSpec::TotalBps { bps } => bps,
-                            _ => return Err(
-                                "PeakSpec::OverAlwaysOn requires ScaleSpec::TotalBps (the gravity \
-                                 base whose always-on-supported multiple sets the trace peak)"
-                                    .into(),
-                            ),
+                            _ => return Err(ScenarioError::unsupported(
+                                "replay",
+                                "PeakSpec::OverAlwaysOn without ScaleSpec::TotalBps (the gravity \
+                                 base whose always-on-supported multiple sets the trace peak)",
+                            )),
                         };
                     let base = gravity_matrix(topo, &resolved.pairs, base_volume);
                     let te = if use_sim_te {
@@ -964,17 +975,21 @@ fn build_trace(
                 return Err("DcLike needs groups >= 1 and subsample >= 1".into());
             }
             if scenario.traffic.matrix != MatrixSpec::Uniform {
-                return Err("the DcLike trace uses the Uniform matrix structure".into());
+                return Err(ScenarioError::unsupported(
+                    "replay",
+                    "non-Uniform matrices with the DcLike trace",
+                ));
             }
-            let per_flow_peak_bps =
-                match scenario.traffic.scale {
-                    ScaleSpec::PerFlowBps { bps } => bps,
-                    _ => return Err(
-                        "the DcLike trace requires ScaleSpec::PerFlowBps (the per-flow rate at \
-                         the volume-series maximum)"
-                            .into(),
-                    ),
-                };
+            let per_flow_peak_bps = match scenario.traffic.scale {
+                ScaleSpec::PerFlowBps { bps } => bps,
+                _ => {
+                    return Err(ScenarioError::unsupported(
+                        "replay",
+                        "the DcLike trace without ScaleSpec::PerFlowBps (the per-flow rate at \
+                         the volume-series maximum)",
+                    ))
+                }
+            };
             let series = ecp_traffic::dc_like_volume_trace(*groups, days, scenario.seed);
             let vol = &series[0];
             let vmax = vol.iter().cloned().fold(0.0, f64::max);
@@ -1022,18 +1037,19 @@ fn build_trace(
     }
 }
 
-fn require_constant_program(scenario: &Scenario) -> Result<(), String> {
+fn require_constant_program(scenario: &Scenario) -> Result<(), ScenarioError> {
     if scenario.traffic.program.segments.len() != 1
         || !matches!(
             scenario.traffic.program.segments[0].shape,
             ecp_traffic::Shape::Constant { .. }
         )
     {
-        return Err(
-            "this trace synthesizes its own demand curve; the traffic program must be a single \
-             Constant segment (use TraceSpec::Program or the Simnet engine for shaped programs)"
-                .into(),
-        );
+        return Err(ScenarioError::unsupported(
+            "replay",
+            "shaped traffic programs with a synthetic trace: the trace synthesizes its own \
+             demand curve, so the program must be a single Constant segment (use \
+             TraceSpec::Program or the Simnet engine for shaped programs)",
+        ));
     }
     Ok(())
 }
@@ -1066,14 +1082,20 @@ fn run_replay(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
     spec: &ReplaySpec,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     // The replay engine drives demand from its trace, not from scripted
     // events — reject specs that would otherwise be silently ignored.
     if !scenario.events.is_empty() {
-        return Err("the Replay engine does not support scripted events; use Simnet".into());
+        return Err(ScenarioError::unsupported(
+            "replay",
+            "scripted events (use the Simnet engine)",
+        ));
     }
     if !scenario.traffic.per_flow.is_empty() {
-        return Err("the Replay engine does not support per-flow programs; use Simnet".into());
+        return Err(ScenarioError::unsupported(
+            "replay",
+            "per-flow programs (use the Simnet engine)",
+        ));
     }
     let mut rt = build_trace(scenario, resolved, spec)?;
 
@@ -1086,7 +1108,7 @@ fn run_replay(
     }
     if let Some(w) = spec.window {
         if w.start >= w.end {
-            return Err(format!("replay window [{}, {}) is empty", w.start, w.end));
+            return Err(format!("replay window [{}, {}) is empty", w.start, w.end).into());
         }
         let end = w.end.min(rt.trace.matrices.len());
         if w.start >= end {
@@ -1094,7 +1116,8 @@ fn run_replay(
                 "replay window starts at {} but the trace has {} intervals",
                 w.start,
                 rt.trace.matrices.len()
-            ));
+            )
+            .into());
         }
         rt.trace.matrices = rt.trace.matrices[w.start..end].to_vec();
     }
@@ -1171,7 +1194,7 @@ fn run_replay_tables(
     resolved: &ResolvedScenario,
     spec: &ReplaySpec,
     rt: &ResolvedTrace,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     let topo = &resolved.built.topo;
     let te = scenario_te(scenario);
     let rep = steady_state_replay(topo, &resolved.power, &resolved.tables, &rt.trace, &te);
@@ -1239,7 +1262,7 @@ fn run_replay_recompute(
     resolved: &ResolvedScenario,
     rt: &ResolvedTrace,
     scheme: SubsetScheme,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     let topo = &resolved.built.topo;
     let pm = &resolved.power;
     let oc = OracleConfig::default();
@@ -1319,7 +1342,7 @@ fn run_replay_recompute(
 fn run_replay_trace_stats(
     scenario: &Scenario,
     rt: &ResolvedTrace,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     // The deviation CCDF runs over the raw generator series where one
     // exists (all DC groups, unsubsampled), else over the trace volume.
     let series: Vec<Vec<f64>> = match &rt.dc_series {
@@ -1352,7 +1375,7 @@ fn run_replay_drift(
     resolved: &ResolvedScenario,
     rt: &ResolvedTrace,
     window_intervals: usize,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     let topo = &resolved.built.topo;
     let te = scenario_te(scenario);
     let rep = steady_state_replay(topo, &resolved.power, &resolved.tables, &rt.trace, &te);
@@ -1447,12 +1470,15 @@ fn run_packet(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
     spec: &PacketSpec,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     if !scenario.events.is_empty() {
-        return Err("the Packet engine does not support scripted events; use Simnet".into());
+        return Err(ScenarioError::unsupported(
+            "packet",
+            "scripted events (use the Simnet engine)",
+        ));
     }
     if !scenario.traffic.per_flow.is_empty() {
-        return Err("the Packet engine does not support per-flow programs".into());
+        return Err(ScenarioError::unsupported("packet", "per-flow programs"));
     }
     let topo = &resolved.built.topo;
     let per_pair_rate = match spec.rate {
@@ -1562,12 +1588,15 @@ fn run_app(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
     spec: &AppSpec,
-) -> Result<ScenarioReport, String> {
+) -> Result<ScenarioReport, ScenarioError> {
     if !scenario.events.is_empty() {
-        return Err("the App engine does not support scripted events; use Simnet".into());
+        return Err(ScenarioError::unsupported(
+            "app",
+            "scripted events (use the Simnet engine)",
+        ));
     }
     if !scenario.traffic.per_flow.is_empty() {
-        return Err("the App engine does not support per-flow programs".into());
+        return Err(ScenarioError::unsupported("app", "per-flow programs"));
     }
     let topo = &resolved.built.topo;
     let server = common_origin(&resolved.pairs)?;
@@ -1576,7 +1605,8 @@ fn run_app(
         if resolved.tables.get(o, d).is_none() {
             return Err(format!(
                 "no installed table for pair {o} -> {d} (is the destination reachable?)"
-            ));
+            )
+            .into());
         }
     }
     let sim_cfg = scenario.sim.to_config();

@@ -845,8 +845,8 @@ impl Default for MetricsSpec {
 
 impl Scenario {
     /// Parse a scenario from a TOML document.
-    pub fn from_toml(doc: &str) -> Result<Self, String> {
-        toml::from_str(doc).map_err(|e| e.to_string())
+    pub fn from_toml(doc: &str) -> Result<Self, crate::ScenarioError> {
+        toml::from_str(doc).map_err(|e| crate::ScenarioError::Parse(e.to_string()))
     }
 
     /// Render the scenario as a TOML document.

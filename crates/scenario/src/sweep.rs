@@ -1,7 +1,8 @@
 //! Parameter-grid expansion and the parallel sweep runner.
 
+use crate::error::ScenarioError;
 use crate::run::{run_scenario, ScenarioReport};
-use crate::spec::Scenario;
+use crate::spec::{ScaleSpec, Scenario};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,10 @@ pub enum Param {
     WakeTime,
     /// The master seed (value rounded to u64) — replication axis.
     Seed,
+    /// Multiplies the traffic scale (`MaxFeasibleFraction` fraction or
+    /// the `TotalBps`/`PerFlowBps` rate) by the value — the load-level
+    /// axis of A/B comparison campaigns.
+    LoadScale,
 }
 
 impl Param {
@@ -35,10 +40,13 @@ impl Param {
             Param::ExcludeFraction => "exclude_fraction",
             Param::WakeTime => "wake_time_s",
             Param::Seed => "seed",
+            Param::LoadScale => "load_scale",
         }
     }
 
-    fn apply(&self, scenario: &mut Scenario, value: f64) {
+    /// Write the value into the scenario (public so campaign entry
+    /// overrides can reuse the same knob set as sweeps).
+    pub fn apply(&self, scenario: &mut Scenario, value: f64) {
         match self {
             Param::Threshold => scenario.sim.te_threshold = value,
             Param::NumPaths => scenario.planner.num_paths = value.max(2.0).round() as usize,
@@ -47,6 +55,10 @@ impl Param {
             Param::ExcludeFraction => scenario.planner.exclude_fraction = value,
             Param::WakeTime => scenario.sim.wake_time_s = value,
             Param::Seed => scenario.seed = value.max(0.0) as u64,
+            Param::LoadScale => match &mut scenario.traffic.scale {
+                ScaleSpec::MaxFeasibleFraction { fraction } => *fraction *= value,
+                ScaleSpec::TotalBps { bps } | ScaleSpec::PerFlowBps { bps } => *bps *= value,
+            },
         }
     }
 }
@@ -125,10 +137,12 @@ impl SweepRunner {
     }
 
     /// Add a replication axis: `n` runs with distinct deterministic
-    /// seeds derived from the base seed.
+    /// seeds derived from the base seed. Seeds are masked to 53 bits so
+    /// the f64 axis representation is exact (the axis value IS the
+    /// seed the run uses).
     pub fn replicates(mut self, n: usize) -> Self {
         let seeds = (0..n)
-            .map(|i| mix_seed(self.base.seed, i as u64) as f64)
+            .map(|i| (mix_seed(self.base.seed, i as u64) & ((1 << 53) - 1)) as f64)
             .collect();
         self.axes.push(Axis {
             param: Param::Seed,
@@ -197,20 +211,21 @@ impl SweepRunner {
                     | Param::Margin
                     | Param::ExcludeFraction
                     | Param::Seed
+                    | Param::LoadScale
             )
         })
     }
 
     /// Execute every instance in parallel and aggregate the reports.
     /// Fails if any instance fails.
-    pub fn run(&self) -> Result<SweepReport, String> {
+    pub fn run(&self) -> Result<SweepReport, ScenarioError> {
         let instances = self.instances();
         let shared = if self.axes_affect_resolution() {
             None
         } else {
             Some(crate::run::resolve(&self.base)?)
         };
-        let execute = || -> Vec<Result<SweepRow, String>> {
+        let execute = || -> Vec<Result<SweepRow, ScenarioError>> {
             instances
                 .into_par_iter()
                 .map(|(params, scenario)| {
@@ -226,7 +241,7 @@ impl SweepRunner {
             Some(n) => rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
-                .map_err(|e| e.to_string())?
+                .map_err(|e| ScenarioError::invalid(e.to_string()))?
                 .install(execute),
             None => execute(),
         };

@@ -59,7 +59,10 @@ fn explicit_pairs_resolve_in_order() {
             )],
         })
         .build();
-    assert!(run_scenario(&bad).unwrap_err().contains("self-loop"));
+    assert!(run_scenario(&bad)
+        .unwrap_err()
+        .to_string()
+        .contains("self-loop"));
 }
 
 #[test]
@@ -98,7 +101,10 @@ fn per_flow_program_overrides_one_flow() {
             Program::from_shape(1.0, 1.0, Shape::Constant { level: 1.0 }),
         )
         .build();
-    assert!(run_scenario(&bad).unwrap_err().contains("flow 7"));
+    assert!(run_scenario(&bad)
+        .unwrap_err()
+        .to_string()
+        .contains("flow 7"));
     let dup = fig3_base("per-flow-dup")
         .flow_program(
             0,
@@ -109,7 +115,10 @@ fn per_flow_program_overrides_one_flow() {
             Program::from_shape(1.0, 1.0, Shape::Constant { level: 0.5 }),
         )
         .build();
-    assert!(run_scenario(&dup).unwrap_err().contains("duplicate"));
+    assert!(run_scenario(&dup)
+        .unwrap_err()
+        .to_string()
+        .contains("duplicate"));
 }
 
 #[test]
@@ -166,7 +175,10 @@ fn app_engines_need_a_common_origin() {
         .tables(TablesSpec::Planned)
         .engine(EngineSpec::App(AppSpec::web_default(2)))
         .build();
-    assert!(run_scenario(&web).unwrap_err().contains("common origin"));
+    assert!(run_scenario(&web)
+        .unwrap_err()
+        .to_string()
+        .contains("common origin"));
 }
 
 #[test]
@@ -219,7 +231,7 @@ fn app_rejects_unreachable_star_destinations() {
         })
         .engine(EngineSpec::App(AppSpec::web_default(1)))
         .build();
-    let err = run_scenario(&scenario).unwrap_err();
+    let err = run_scenario(&scenario).unwrap_err().to_string();
     assert!(err.contains("no installed table"), "{err}");
 }
 
@@ -275,7 +287,9 @@ fn replay_window_selects_intervals() {
         .collect();
     assert_eq!(f, w);
     // Degenerate windows error.
-    let err = run_scenario(&small_replay(Some(WindowSpec { start: 5, end: 5 }))).unwrap_err();
+    let err = run_scenario(&small_replay(Some(WindowSpec { start: 5, end: 5 })))
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("empty"), "{err}");
 }
 

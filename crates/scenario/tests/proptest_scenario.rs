@@ -171,7 +171,7 @@ fn replay_rejects_unsupported_spec_fields() {
             wake_time_s: 1.0,
         })
         .build();
-    let err = run_scenario(&with_events).unwrap_err();
+    let err = run_scenario(&with_events).unwrap_err().to_string();
     assert!(err.contains("events"), "{err}");
 
     // Shaped programs are not supported either.
@@ -183,7 +183,7 @@ fn replay_rejects_unsupported_spec_fields() {
             Program::from_shape(1800.0, 900.0, Shape::Ramp { from: 0.1, to: 1.0 }),
         )
         .build();
-    let err = run_scenario(&shaped).unwrap_err();
+    let err = run_scenario(&shaped).unwrap_err().to_string();
     assert!(err.contains("Constant"), "{err}");
 
     // Non-TotalBps scales are rejected.
@@ -194,7 +194,7 @@ fn replay_rejects_unsupported_spec_fields() {
             Program::from_shape(1800.0, 900.0, Shape::Constant { level: 1.0 }),
         )
         .build();
-    let err = run_scenario(&scaled).unwrap_err();
+    let err = run_scenario(&scaled).unwrap_err().to_string();
     assert!(err.contains("TotalBps"), "{err}");
 }
 

@@ -23,6 +23,10 @@
 //!   values (topology spec + traffic program + event script + metrics
 //!   selection, from TOML or a builder) and a rayon-parallel
 //!   `SweepRunner` for parameter grids.
+//! * [`campaign`] — whole-evaluation orchestration: multi-scenario
+//!   campaign specs, deterministic sharded execution (in-process or
+//!   across worker subprocesses), a content-addressed cached result
+//!   store, and Markdown/CSV/JSON comparison reports.
 //! * [`apps`] — application-level workloads (streaming, web) running on
 //!   the simulator.
 //!
@@ -45,6 +49,7 @@
 //! ```
 
 pub use ecp_apps as apps;
+pub use ecp_campaign as campaign;
 pub use ecp_lp as lp;
 pub use ecp_power as power;
 pub use ecp_routing as routing;
