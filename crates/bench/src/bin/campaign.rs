@@ -5,10 +5,10 @@
 //!
 //! ```text
 //! campaign run    <campaign.toml> [--shards N] [--workers inprocess|subprocess]
-//!                                 [--out DIR] [--threads T] [--force]
-//! campaign worker <campaign.toml> --shard k/N [--out DIR] [--threads T]
-//! campaign report <campaign.toml> [--out DIR]
-//! campaign list   <campaign.toml> [--out DIR]
+//!                                 [--out DIR] [--threads T] [--force] [--only SUB]
+//! campaign worker <campaign.toml> --shard k/N [--out DIR] [--threads T] [--only SUB]
+//! campaign report <campaign.toml> [--out DIR] [--only SUB]
+//! campaign list   <campaign.toml> [--out DIR] [--only SUB]
 //! ```
 //!
 //! `run` executes every entry (sharded in-process by default, or across
@@ -20,6 +20,11 @@
 //! Scenario failures (e.g. unsupported spec combinations) are recorded
 //! as failed runs, not aborts; the process exits 0 unless the campaign
 //! itself cannot run.
+//!
+//! `--only SUB` restricts every command to the entries whose name
+//! contains `SUB` — iterate on one A/B entry without re-expanding the
+//! whole TOML. Results land in the same store, so a later full run
+//! reuses them.
 
 use ecp_campaign::{exec, report, CampaignError, CampaignSpec, ResultStore, Workers};
 use std::path::Path;
@@ -37,14 +42,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign <run|worker|report|list> <campaign.toml> \
          [--shards N] [--workers inprocess|subprocess] [--shard k/N] \
-         [--out DIR] [--threads T] [--force]"
+         [--out DIR] [--threads T] [--force] [--only ENTRY-SUBSTRING]"
     );
     exit(2)
 }
 
-fn load(spec_path: &str, out: Option<&str>) -> Result<(CampaignSpec, ResultStore), CampaignError> {
-    let spec = CampaignSpec::from_path(Path::new(spec_path))?;
+fn load(
+    spec_path: &str,
+    out: Option<&str>,
+    only: Option<&str>,
+) -> Result<(CampaignSpec, ResultStore), CampaignError> {
+    let mut spec = CampaignSpec::from_path(Path::new(spec_path))?;
+    // The store location never depends on the filter: partial runs
+    // share their cache with full runs.
     let store = ResultStore::open(&spec.resolved_output_dir(out))?;
+    if let Some(filter) = only {
+        spec.retain_matching(filter)?;
+    }
     Ok((spec, store))
 }
 
@@ -54,11 +68,12 @@ fn main() {
         usage()
     };
     let out = flag(&args, "--out");
+    let only = flag(&args, "--only");
     let threads = flag(&args, "--threads").and_then(|t| t.parse().ok());
     let resolver = |id: &str| ecp_bench::scenarios::campaign_scenario(id);
 
     let result: Result<(), CampaignError> = (|| {
-        let (spec, store) = load(spec_path, out.as_deref())?;
+        let (spec, store) = load(spec_path, out.as_deref(), only.as_deref())?;
         let opts = exec::ExecOptions {
             threads,
             force: has_flag(&args, "--force"),
@@ -84,6 +99,10 @@ fn main() {
                         if let Some(t) = threads {
                             worker_args.push("--threads".into());
                             worker_args.push(t.to_string());
+                        }
+                        if let Some(o) = &only {
+                            worker_args.push("--only".into());
+                            worker_args.push(o.clone());
                         }
                         Workers::Subprocess(exec::WorkerCommand {
                             program,

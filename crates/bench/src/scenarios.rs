@@ -10,10 +10,10 @@
 //! executes the checked-in full-registry campaign.
 
 use ecp_scenario::{
-    AppSpec, CompareSpec, EngineSpec, EventSpec, LinkRef, MatrixSpec, MetricsSpec, NodeRef,
-    PacketPlacement, PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, PlannerSpec, PowerSpec,
-    ReplayMode, ReplaySpec, ScaleSpec, Scenario, ScenarioBuilder, SimSpec, SleepSpec, StrategySpec,
-    SubsetScheme, TablesSpec, TraceSpec,
+    AppSpec, CompareSpec, ControlSpec, EngineSpec, EventSpec, LinkRef, MatrixSpec, MetricsSpec,
+    NodeRef, PacketPlacement, PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, PlannerSpec,
+    PowerSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario, ScenarioBuilder, SimSpec, SleepSpec,
+    StrategySpec, SubsetScheme, TablesSpec, TraceSpec,
 };
 use ecp_topo::gen::TopoSpec;
 use ecp_topo::GBPS;
@@ -891,6 +891,71 @@ pub fn geant_load(invcap: bool) -> Scenario {
     .build()
 }
 
+// ---- TE control-loop stability (PR 4) -------------------------------------
+
+/// The control policies the stability family compares, with their
+/// default damping parameters, keyed by **registry id** — the single
+/// source of truth shared by the `te_stability` binary and
+/// [`campaign_registry`], so the two can never disagree on a policy's
+/// parameters. Display labels come from [`ControlSpec::label`].
+pub fn te_stability_policies() -> Vec<(&'static str, ControlSpec)> {
+    vec![
+        ("te-stability-undamped", ControlSpec::Undamped),
+        ("te-stability-ewma", ControlSpec::Ewma { alpha: 0.3 }),
+        (
+            "te-stability-hysteresis",
+            ControlSpec::Hysteresis {
+                gap: 0.2,
+                dead_band: 0.02,
+            },
+        ),
+        (
+            "te-stability-damped-step",
+            ControlSpec::DampedStep {
+                damp: 0.5,
+                cooldown_rounds: 2,
+            },
+        ),
+        ("te-stability-desync", ControlSpec::Desync { salt: 1 }),
+    ]
+}
+
+/// Sustained overload with coupled flows on the PoP-access ISP — the
+/// TE-dynamics failure mode from the ROADMAP: every metro's agents
+/// observe the same freed headroom simultaneously, re-aggregate
+/// together, overload the shared always-on uplinks again, and spill
+/// again. Wake-up (5 s) and drain (2 s) delays turn that cycle into a
+/// standing delivery-shortfall oscillation under the undamped policy;
+/// the damped [`ControlSpec`] variants are measured against it via the
+/// attached stability analysis.
+pub fn te_stability(duration: f64, load: f64, control: ControlSpec) -> Scenario {
+    ScenarioBuilder::new(format!("te-stability-{}", control.label()))
+        .seed(1)
+        .duration_s(duration)
+        .topology(TopoSpec::pop_access_default())
+        .power(PowerSpec::Cisco12000)
+        // Seed-sampled metro pairs (two per metro on average, like the
+        // Fig.-8a pattern, but seed-sensitive so campaign replicates
+        // actually vary) sharing the metro uplinks — the coupling that
+        // makes simultaneous re-aggregation collective.
+        .pairs(PairsSpec::Random { count: 44 })
+        .traffic(
+            MatrixSpec::Gravity,
+            ScaleSpec::MaxFeasibleFraction { fraction: load },
+            Program::from_shape(duration, 30.0, Shape::Constant { level: 1.0 }),
+        )
+        .sim(ns2_sim())
+        .control(control)
+        .metrics(MetricsSpec {
+            power_series: true,
+            delivered_series: true,
+            per_path_rates: true,
+            stability: true,
+            ..Default::default()
+        })
+        .build()
+}
+
 // ---- the campaign registry ------------------------------------------------
 
 /// The campaign registry: every experiment family as a self-contained,
@@ -980,6 +1045,15 @@ pub fn campaign_registry() -> Vec<(&'static str, Scenario)> {
             rolling_maintenance(2, 45.0, 3),
         ),
     ]
+    .into_iter()
+    // The TE-stability family derives from te_stability_policies(),
+    // the single source of truth for the policy parameterizations.
+    .chain(
+        te_stability_policies()
+            .into_iter()
+            .map(|(id, control)| (id, te_stability(150.0, 0.7, control))),
+    )
+    .collect()
 }
 
 /// Look one registry id up (the [`ecp_campaign::Resolver`] `ecp-bench`

@@ -134,6 +134,81 @@ fn fig5_scenario_matches_seed_pipeline() {
     assert_eq!(series_of(&report_alt), alt_series);
 }
 
+/// Fig. 7 — the seed pipeline: the hand-wired Click-testbed adaptation
+/// run (paper tables, spread pre-TE shares, TE start at t = 5 s, middle
+/// link failing at t = 5.7 s). The scenario engine must reproduce the
+/// recorder series **sample for sample, including the t = 0 sample**:
+/// historically the engine was documented as differing from the seed in
+/// that first sample, so this test both pins parity and states the
+/// resolved behavior — the series starts from the true initial state
+/// (shares spread 50/50, both candidate paths awake and delivering)
+/// *before* any control round has run.
+#[test]
+fn fig7_scenario_matches_seed_pipeline_including_t0() {
+    use ecp_simnet::{SimConfig, Simulation};
+    use ecp_topo::gen::fig3_click;
+    use ecp_topo::Path;
+    use respons_core::tables::OdPaths;
+    use respons_core::PathTables;
+
+    let duration = 8.0;
+    let (topo, n) = fig3_click();
+    let pm = PowerModel::cisco12000();
+    let mut tables = PathTables::new();
+    tables.insert(
+        n.a,
+        n.k,
+        OdPaths {
+            always_on: Path::new(vec![n.a, n.e, n.h, n.k]),
+            on_demand: vec![Path::new(vec![n.a, n.d, n.g, n.k])],
+            failover: Path::new(vec![n.a, n.d, n.g, n.k]),
+        },
+    );
+    tables.insert(
+        n.c,
+        n.k,
+        OdPaths {
+            always_on: Path::new(vec![n.c, n.e, n.h, n.k]),
+            on_demand: vec![Path::new(vec![n.c, n.f, n.j, n.k])],
+            failover: Path::new(vec![n.c, n.f, n.j, n.k]),
+        },
+    );
+    let cfg = SimConfig {
+        te: TeConfig::default(),
+        control_interval: 0.1,
+        wake_time: 0.01,
+        detect_delay: 0.1,
+        sleep_after: 0.2,
+        sample_interval: 0.05,
+        te_start: 5.0,
+    };
+    let mut sim = Simulation::new(&topo, &pm, &tables, cfg);
+    let fa = sim.add_flow(&tables, n.a, n.k, 2.5e6);
+    let fc = sim.add_flow(&tables, n.c, n.k, 2.5e6);
+    sim.set_shares(fa, vec![0.5, 0.5]);
+    sim.set_shares(fc, vec![0.5, 0.5]);
+    let eh = topo.find_arc(n.e, n.h).unwrap();
+    sim.schedule_link_failure(5.7, eh);
+    sim.run_until(duration);
+    let seed_samples = sim.recorder().samples().to_vec();
+
+    let report = run_scenario(&ecp_bench::scenarios::fig7(duration)).unwrap();
+    let engine_samples = report.per_path_samples.as_deref().unwrap();
+    assert_eq!(engine_samples, &seed_samples[..], "bit-identical series");
+
+    // The t = 0 sample is the true pre-TE initial state: both flows
+    // spread 50/50, every candidate path delivering its half.
+    let first = &engine_samples[0];
+    assert_eq!(first.t, 0.0);
+    assert_eq!(
+        first.per_flow_path_rates,
+        vec![vec![1.25e6, 1.25e6], vec![1.25e6, 1.25e6]],
+        "series starts from the spread initial state, not a post-round one"
+    );
+    assert_eq!(first.offered_total, 5e6);
+    assert_eq!(first.delivered_total, 5e6);
+}
+
 /// Fig. 9 — the seed pipeline: seeded client waves streaming over
 /// REsPoNse-lat and OSPF-InvCap tables on Abovenet.
 #[test]

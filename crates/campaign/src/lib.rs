@@ -57,7 +57,7 @@ pub use report::{
     RunRow,
 };
 pub use spec::{CampaignSpec, EntrySpec, SetSpec};
-pub use store::{run_hash, ResultStore, RunFailure, StoredRun, CODE_SALT};
+pub use store::{content_hash, run_hash, ResultStore, RunFailure, StoredRun, CODE_SALT};
 
 /// A registry lookup: maps an entry's `registry = "..."` id to a
 /// scenario. `ecp-bench` supplies its experiment registry here; workers

@@ -226,6 +226,30 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// Keep only the entries whose name contains `filter` — the
+    /// `campaign ... --only <substring>` iteration aid, so a single A/B
+    /// entry can be re-run without expanding the whole campaign. The
+    /// baseline designation is dropped when the baseline entry is
+    /// filtered away (deltas need it in the run set). Cached results
+    /// are shared with full runs either way: run hashes depend only on
+    /// the scenarios, not on the entry set.
+    pub fn retain_matching(&mut self, filter: &str) -> Result<(), CampaignError> {
+        let all: Vec<String> = self.entries.iter().map(|e| e.name.clone()).collect();
+        self.entries.retain(|e| e.name.contains(filter));
+        if self.entries.is_empty() {
+            return Err(CampaignError::Spec(format!(
+                "--only `{filter}` matches no entry (have: {})",
+                all.join(", ")
+            )));
+        }
+        if let Some(b) = &self.baseline {
+            if !self.entries.iter().any(|e| &e.name == b) {
+                self.baseline = None;
+            }
+        }
+        Ok(())
+    }
+
     /// The spec's shard count (≥ 1).
     pub fn shard_count(&self) -> usize {
         self.shards.unwrap_or(1).max(1)
@@ -239,5 +263,50 @@ impl CampaignSpec {
             (None, Some(o)) => PathBuf::from(o),
             (None, None) => PathBuf::from("results").join("campaigns").join(&self.name),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecp_scenario::ScenarioBuilder;
+
+    fn three_entry_spec() -> CampaignSpec {
+        let s = ScenarioBuilder::new("s").build();
+        CampaignSpec::new("only-test")
+            .entry(EntrySpec::inline("undamped", s.clone()))
+            .entry(EntrySpec::inline("ewma", s.clone()))
+            .entry(EntrySpec::inline("ewma-alpha", s))
+            .with_baseline("undamped")
+    }
+
+    #[test]
+    fn retain_matching_filters_by_substring() {
+        let mut spec = three_entry_spec();
+        spec.retain_matching("ewma").unwrap();
+        let names: Vec<&str> = spec.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["ewma", "ewma-alpha"]);
+        // The baseline was filtered out: deltas are dropped, not dangling.
+        assert_eq!(spec.baseline, None);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn retain_matching_keeps_surviving_baseline() {
+        let mut spec = three_entry_spec();
+        spec.retain_matching("am").unwrap(); // "undamped" only
+        assert_eq!(spec.entries.len(), 1);
+        assert_eq!(spec.baseline.as_deref(), Some("undamped"));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn retain_matching_rejects_empty_match() {
+        let mut spec = three_entry_spec();
+        let err = spec.retain_matching("nope").unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Spec(ref m) if m.contains("matches no entry")),
+            "{err}"
+        );
     }
 }

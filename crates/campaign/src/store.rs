@@ -40,18 +40,24 @@ fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Content hash of one run: 128 hex-encoded bits over the salt plus the
+/// 128 hex-encoded bits of FNV-1a over `bytes` (two independent bases)
+/// — the content-hash construction behind run-file names, exposed for
+/// other golden/content-addressing uses (e.g. the bench parity tests).
+pub fn content_hash(bytes: &[u8]) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv1a64(0xcbf2_9ce4_8422_2325, bytes),
+        fnv1a64(0x6c62_272e_07bb_0142, bytes)
+    )
+}
+
+/// Content hash of one run: [`content_hash`] over the salt plus the
 /// scenario's canonical JSON rendering (field order is declaration
 /// order, so the rendering is stable).
 pub fn run_hash(scenario: &ecp_scenario::Scenario) -> String {
     let json = serde_json::to_string(scenario).expect("scenario serializes");
     let payload = format!("{CODE_SALT}\n{json}");
-    let b = payload.as_bytes();
-    format!(
-        "{:016x}{:016x}",
-        fnv1a64(0xcbf2_9ce4_8422_2325, b),
-        fnv1a64(0x6c62_272e_07bb_0142, b)
-    )
+    content_hash(payload.as_bytes())
 }
 
 /// A recorded scenario failure (kind from

@@ -1,0 +1,710 @@
+//! The control-policy interface and its implementations.
+//!
+//! Every policy reuses the two halves of the original REsPoNseTE
+//! decision ([`respons_core::te`]): the priority water-filling target
+//! ([`waterfill_target`]) and the bounded-step tracking with share
+//! hygiene ([`apply_step`]). Damping variants modulate what flows into
+//! those halves — the observed headroom (EWMA), the target choice
+//! (hysteresis), the gain (damped step), or the observation instant
+//! (desynchronization) — never the hygiene itself, so every policy
+//! keeps the invariants the simulator relies on (shares in `[0, 1]`,
+//! summing to 1 when a path is available, failed paths vacated in one
+//! round).
+
+use respons_core::te::{apply_step, decide_shares, waterfill_target, PathView, TeConfig};
+
+/// Everything one agent knows at decision time.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// The agent's stable index (flow order in the simulation).
+    pub agent: usize,
+    /// Current time (seconds) — the instant the observation was taken.
+    pub t: f64,
+    /// The agent's offered rate (bits/s).
+    pub offered: f64,
+    /// Per-installed-path view in priority order (always-on first).
+    pub paths: &'a [PathView],
+    /// Current share vector.
+    pub current: &'a [f64],
+    /// The TE configuration in force (threshold / step / min-share;
+    /// reconfigurable mid-run via `SimEvent::SetTeConfig`).
+    pub te: &'a TeConfig,
+}
+
+/// An online TE control policy: per-agent share decisions, optionally
+/// at per-agent staggered instants.
+pub trait ControlPolicy: Send {
+    /// Stable policy name (reports, labels).
+    fn name(&self) -> &'static str;
+
+    /// The agent's observation phase offset within one control
+    /// interval, in `[0, interval)`. `0` means the agent decides at the
+    /// round boundary, batched with every other phase-0 agent on one
+    /// simultaneous load snapshot — the original behavior. A positive
+    /// phase makes the simulator re-observe loads at `round start +
+    /// phase` for this agent alone, which is what breaks simultaneous
+    /// observation.
+    fn phase(&self, agent: usize, interval: f64) -> f64 {
+        let _ = (agent, interval);
+        0.0
+    }
+
+    /// Compute the agent's new share vector.
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64>;
+}
+
+// ---- Undamped (the baseline) ----------------------------------------------
+
+/// The original REsPoNseTE decision, unchanged: water-fill + bounded
+/// step on the raw snapshot. Bit-identical to the pre-policy TE path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Undamped;
+
+impl ControlPolicy for Undamped {
+    fn name(&self) -> &'static str {
+        "undamped"
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        decide_shares(obs.offered, obs.paths, obs.current, obs.te)
+    }
+}
+
+// ---- EWMA-smoothed headroom -----------------------------------------------
+
+/// [`Ewma`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaCfg {
+    /// Smoothing gain in `(0, 1]`: the smoothed headroom moves
+    /// `alpha` of the way to each new observation. `1.0` disables
+    /// smoothing (identical to [`Undamped`]).
+    pub alpha: f64,
+}
+
+impl Default for EwmaCfg {
+    fn default() -> Self {
+        EwmaCfg { alpha: 0.5 }
+    }
+}
+
+/// Exponentially-smoothed headroom estimation: the agent decides
+/// against the trend of each path's headroom instead of one round's
+/// transient, so a single round of collectively-freed headroom no
+/// longer triggers a collective re-aggregation.
+///
+/// Availability is never smoothed — failure reaction stays immediate —
+/// and a path's estimate resets to the raw observation whenever its
+/// availability flips (stale pre-failure values must not linger).
+#[derive(Debug, Clone, Default)]
+pub struct Ewma {
+    cfg: EwmaCfg,
+    /// Per agent: smoothed headroom + the availability it was built
+    /// under, per path.
+    state: Vec<Vec<(f64, bool)>>,
+}
+
+impl Ewma {
+    /// A policy with the given parameters.
+    pub fn new(cfg: EwmaCfg) -> Self {
+        Ewma {
+            cfg,
+            state: Vec::new(),
+        }
+    }
+}
+
+impl ControlPolicy for Ewma {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        if self.state.len() <= obs.agent {
+            self.state.resize(obs.agent + 1, Vec::new());
+        }
+        let mem = &mut self.state[obs.agent];
+        if mem.len() != obs.paths.len() {
+            *mem = obs
+                .paths
+                .iter()
+                .map(|p| (p.headroom, p.available))
+                .collect();
+        }
+        let alpha = self.cfg.alpha;
+        let views: Vec<PathView> = obs
+            .paths
+            .iter()
+            .zip(mem.iter_mut())
+            .map(|(p, m)| {
+                if p.available != m.1 {
+                    *m = (p.headroom, p.available);
+                } else {
+                    // Multiplicative form: exact pass-through at
+                    // `alpha = 1` (bit-parity with `Undamped`).
+                    m.0 = alpha * p.headroom + (1.0 - alpha) * m.0;
+                }
+                PathView {
+                    headroom: m.0,
+                    available: p.available,
+                }
+            })
+            .collect();
+        decide_shares(obs.offered, &views, obs.current, obs.te)
+    }
+}
+
+// ---- Hysteresis -------------------------------------------------------------
+
+/// [`Hysteresis`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HysteresisCfg {
+    /// Re-aggregation margin in `[0, 1)`: traffic only moves *back*
+    /// toward higher-priority paths if it still fits with every
+    /// headroom shrunk by this fraction. Spilling uses full headroom.
+    pub gap: f64,
+    /// Dead-band: target moves with an L1 distance below this are
+    /// ignored (the agent holds), suppressing dribble reconfigurations.
+    pub dead_band: f64,
+}
+
+impl Default for HysteresisCfg {
+    fn default() -> Self {
+        HysteresisCfg {
+            gap: 0.15,
+            dead_band: 0.02,
+        }
+    }
+}
+
+/// Asymmetric spill / re-aggregate thresholds. Spilling to on-demand
+/// paths stays eager (SLO protection, full headroom); re-aggregating
+/// back requires the demand to fit within `1 - gap` of the observed
+/// headroom, so the collective "everyone saw the freed headroom"
+/// pull-back only happens when there is genuine margin. A dead-band
+/// suppresses moves too small to matter.
+#[derive(Debug, Clone, Default)]
+pub struct Hysteresis {
+    cfg: HysteresisCfg,
+}
+
+impl Hysteresis {
+    /// A policy with the given parameters.
+    pub fn new(cfg: HysteresisCfg) -> Self {
+        Hysteresis { cfg }
+    }
+
+    /// Share mass beyond the first available (highest-priority usable)
+    /// path — the "spill measure" mode transitions are defined on.
+    fn spill_mass(paths: &[PathView], shares: &[f64]) -> f64 {
+        match paths.iter().position(|p| p.available) {
+            Some(first) => shares
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != first)
+                .map(|(_, &s)| s)
+                .sum(),
+            None => 0.0,
+        }
+    }
+}
+
+impl ControlPolicy for Hysteresis {
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        const EPS: f64 = 1e-9;
+        let t_spill = waterfill_target(obs.offered, obs.paths);
+        let shrunk: Vec<PathView> = obs
+            .paths
+            .iter()
+            .map(|p| PathView {
+                headroom: p.headroom * (1.0 - self.cfg.gap),
+                available: p.available,
+            })
+            .collect();
+        let t_reagg = waterfill_target(obs.offered, &shrunk);
+
+        let cur = Self::spill_mass(obs.paths, obs.current);
+        let target: &[f64] = if Self::spill_mass(obs.paths, &t_spill) > cur + EPS {
+            // The SLO needs more spill: act on the raw observation.
+            &t_spill
+        } else if Self::spill_mass(obs.paths, &t_reagg) < cur - EPS {
+            // Re-aggregation fits even under shrunk headroom: pull back,
+            // but only as far as the conservative target.
+            &t_reagg
+        } else {
+            // Inside the hysteresis band: hold.
+            obs.current
+        };
+        let moved: f64 = target
+            .iter()
+            .zip(obs.current)
+            .map(|(&t, &c)| (t - c).abs())
+            .sum();
+        let target = if moved < self.cfg.dead_band {
+            obs.current
+        } else {
+            target
+        };
+        apply_step(
+            obs.paths,
+            obs.current,
+            target,
+            obs.te.step,
+            obs.te.min_share,
+        )
+    }
+}
+
+// ---- Damped step ------------------------------------------------------------
+
+/// [`DampedStep`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DampedStepCfg {
+    /// Gain damping in `[0, 1)`: the effective step shrinks by up to
+    /// this fraction as the agent's spill fraction (share of offered
+    /// rate that does not fit the first available path) approaches 1.
+    /// `0.0` leaves the gain untouched.
+    pub damp: f64,
+    /// After any actual share move, the agent holds for this many
+    /// control rounds. `0` disables the cooldown (identical to
+    /// [`Undamped`] when `damp` is also 0).
+    pub cooldown_rounds: u32,
+}
+
+impl Default for DampedStepCfg {
+    fn default() -> Self {
+        DampedStepCfg {
+            damp: 0.5,
+            cooldown_rounds: 2,
+        }
+    }
+}
+
+/// Load-proportional gain scaling with a per-flow cooldown: the closer
+/// an agent is to overload, the smaller its tracking step — heavily
+/// loaded agents stop slamming their full gain into the same freed
+/// headroom at once — and each reconfiguration is followed by a few
+/// quiet rounds in which the network's reaction can be observed.
+#[derive(Debug, Clone, Default)]
+pub struct DampedStep {
+    cfg: DampedStepCfg,
+    /// Remaining cooldown rounds per agent.
+    cool: Vec<u32>,
+}
+
+impl DampedStep {
+    /// A policy with the given parameters.
+    pub fn new(cfg: DampedStepCfg) -> Self {
+        DampedStep {
+            cfg,
+            cool: Vec::new(),
+        }
+    }
+}
+
+impl ControlPolicy for DampedStep {
+    fn name(&self) -> &'static str {
+        "damped-step"
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        if self.cool.len() <= obs.agent {
+            self.cool.resize(obs.agent + 1, 0);
+        }
+        if self.cool[obs.agent] > 0 {
+            self.cool[obs.agent] -= 1;
+            // Hold: no tracking move, but hygiene still runs so failed
+            // paths are vacated immediately.
+            return apply_step(
+                obs.paths,
+                obs.current,
+                obs.current,
+                obs.te.step,
+                obs.te.min_share,
+            );
+        }
+        let spill_frac = match obs.paths.iter().position(|p| p.available) {
+            Some(first) if obs.offered > 0.0 => {
+                ((obs.offered - obs.paths[first].headroom.max(0.0)) / obs.offered).clamp(0.0, 1.0)
+            }
+            _ => 0.0,
+        };
+        let step = obs.te.step * (1.0 - self.cfg.damp * spill_frac);
+        let target = waterfill_target(obs.offered, obs.paths);
+        let new = apply_step(obs.paths, obs.current, &target, step, obs.te.min_share);
+        let moved: f64 = new
+            .iter()
+            .zip(obs.current)
+            .map(|(&a, &b)| (a - b).abs())
+            .sum();
+        if moved > 1e-6 {
+            self.cool[obs.agent] = self.cfg.cooldown_rounds;
+        }
+        new
+    }
+}
+
+// ---- Desynchronization ------------------------------------------------------
+
+/// Seeded per-agent phase jitter: agent `i` observes at `round start +
+/// uᵢ · interval` with `uᵢ ∈ [0, 1)` derived deterministically from the
+/// salt, so agents see each other's fresh moves instead of a shared
+/// stale snapshot. The decision itself is the undamped one.
+#[derive(Debug, Clone, Copy)]
+pub struct Desync {
+    salt: u64,
+}
+
+impl Desync {
+    /// A policy with the given phase salt.
+    pub fn new(salt: u64) -> Self {
+        Desync { salt }
+    }
+
+    /// The agent's deterministic phase fraction in `[0, 1)`.
+    pub fn phase_fraction(&self, agent: usize) -> f64 {
+        splitmix64(self.salt ^ (agent as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as f64
+            / (u64::MAX as f64 + 1.0)
+    }
+}
+
+impl Default for Desync {
+    fn default() -> Self {
+        Desync { salt: 1 }
+    }
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ControlPolicy for Desync {
+    fn name(&self) -> &'static str {
+        "desync"
+    }
+
+    fn phase(&self, agent: usize, interval: f64) -> f64 {
+        self.phase_fraction(agent) * interval
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        decide_shares(obs.offered, obs.paths, obs.current, obs.te)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up(headroom: f64) -> PathView {
+        PathView {
+            headroom,
+            available: true,
+        }
+    }
+
+    fn down() -> PathView {
+        PathView {
+            headroom: 0.0,
+            available: false,
+        }
+    }
+
+    fn obs<'a>(
+        offered: f64,
+        paths: &'a [PathView],
+        current: &'a [f64],
+        te: &'a TeConfig,
+    ) -> Observation<'a> {
+        Observation {
+            agent: 0,
+            t: 0.0,
+            offered,
+            paths,
+            current,
+            te,
+        }
+    }
+
+    #[test]
+    fn undamped_equals_decide_shares() {
+        let te = TeConfig::default();
+        let paths = [up(4e6), up(20e6)];
+        let cur = [1.0, 0.0];
+        let mut p = Undamped;
+        assert_eq!(
+            p.decide(&obs(10e6, &paths, &cur, &te)),
+            decide_shares(10e6, &paths, &cur, &te)
+        );
+    }
+
+    #[test]
+    fn ewma_alpha_one_equals_undamped() {
+        let te = TeConfig::default();
+        let mut e = Ewma::new(EwmaCfg { alpha: 1.0 });
+        let mut u = Undamped;
+        let mut cur = vec![0.5, 0.5];
+        // Several rounds with varying headroom: alpha = 1 keeps no
+        // memory, so the trajectory matches the baseline exactly.
+        for (h0, rate) in [(4e6, 10e6), (8e6, 6e6), (1e6, 9e6), (6e6, 2e6)] {
+            let paths = [up(h0), up(20e6)];
+            let a = e.decide(&obs(rate, &paths, &cur, &te));
+            let b = u.decide(&obs(rate, &paths, &cur, &te));
+            assert_eq!(a, b);
+            cur = a;
+        }
+    }
+
+    #[test]
+    fn ewma_smooths_transient_headroom_collapse() {
+        let te = TeConfig::default();
+        let mut e = Ewma::new(EwmaCfg { alpha: 0.2 });
+        let paths_ok = [up(10e6), up(20e6)];
+        let cur = vec![1.0, 0.0];
+        // Warm the estimate up on comfortable headroom.
+        for _ in 0..10 {
+            e.decide(&obs(5e6, &paths_ok, &cur, &te));
+        }
+        // One transiently terrible observation must not evacuate the
+        // always-on path the way the raw decision would.
+        let paths_bad = [up(-5e6), up(20e6)];
+        let smoothed = e.decide(&obs(5e6, &paths_bad, &cur, &te));
+        let raw = Undamped.decide(&obs(5e6, &paths_bad, &cur, &te));
+        assert!(
+            smoothed[0] > raw[0] + 0.3,
+            "smoothed keeps traffic aggregated: {smoothed:?} vs raw {raw:?}"
+        );
+    }
+
+    #[test]
+    fn ewma_failure_reaction_is_immediate() {
+        let te = TeConfig::default();
+        let mut e = Ewma::new(EwmaCfg { alpha: 0.1 });
+        let cur = vec![1.0, 0.0];
+        for _ in 0..5 {
+            e.decide(&obs(5e6, &[up(10e6), up(20e6)], &cur, &te));
+        }
+        let shares = e.decide(&obs(5e6, &[down(), up(20e6)], &cur, &te));
+        assert_eq!(shares[0], 0.0, "failed path vacated in one round");
+        assert!((shares[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hysteresis_spills_eagerly_but_reaggregates_with_margin() {
+        let te = TeConfig::default();
+        let mut h = Hysteresis::new(HysteresisCfg {
+            gap: 0.2,
+            dead_band: 0.0,
+        });
+        // Overload: spill must act like the baseline.
+        let paths = [up(4e6), up(20e6)];
+        let cur = vec![1.0, 0.0];
+        let spill = h.decide(&obs(10e6, &paths, &cur, &te));
+        let base = Undamped.decide(&obs(10e6, &paths, &cur, &te));
+        assert_eq!(spill, base, "spilling is not delayed");
+
+        // Borderline: 5 Mbps offered, 2.2 Mbps headroom. The raw target
+        // would pull back a little (spill 0.56 < current 0.6), but the
+        // 20 %-shrunk headroom supports even less (spill 0.648), so the
+        // agent is inside the hysteresis band and holds.
+        let paths = [up(2.2e6), up(20e6)];
+        let cur = vec![0.4, 0.6];
+        let held = h.decide(&obs(5e6, &paths, &cur, &te));
+        assert_eq!(held, cur, "inside the hysteresis band: hold");
+
+        // Partial margin: re-aggregation proceeds, but only toward the
+        // conservative (shrunk-headroom) target, not the raw one.
+        let paths = [up(5.5e6), up(20e6)];
+        let back = h.decide(&obs(5e6, &paths, &cur, &te));
+        let raw = Undamped.decide(&obs(5e6, &paths, &cur, &te));
+        assert!(back[0] > cur[0] + 0.2, "re-aggregates: {back:?}");
+        assert!(
+            back[0] < raw[0] - 0.05,
+            "conservative target: {back:?} vs raw {raw:?}"
+        );
+
+        // Ample margin: pulls everything back like the baseline.
+        let paths = [up(9e6), up(20e6)];
+        let back = h.decide(&obs(5e6, &paths, &cur, &te));
+        assert!(
+            back[0] > cur[0] + 0.3,
+            "re-aggregates with margin: {back:?}"
+        );
+    }
+
+    #[test]
+    fn hysteresis_dead_band_suppresses_dribbles() {
+        let te = TeConfig::default();
+        let mut h = Hysteresis::new(HysteresisCfg {
+            gap: 0.0,
+            dead_band: 0.05,
+        });
+        let paths = [up(10e6), up(10e6)];
+        // Target is [1, 0]; current is within the dead band of it.
+        let cur = vec![0.98, 0.02];
+        assert_eq!(h.decide(&obs(5e6, &paths, &cur, &te)), cur);
+        // Far from target: moves normally.
+        let cur = vec![0.5, 0.5];
+        let moved = h.decide(&obs(5e6, &paths, &cur, &te));
+        assert!(moved[0] > 0.8, "{moved:?}");
+    }
+
+    #[test]
+    fn hysteresis_vacates_failed_paths_even_when_holding() {
+        let te = TeConfig::default();
+        let mut h = Hysteresis::new(HysteresisCfg {
+            gap: 0.9,
+            dead_band: 0.5,
+        });
+        let paths = [down(), up(20e6)];
+        let shares = h.decide(&obs(5e6, &paths, &[1.0, 0.0], &te));
+        assert_eq!(shares[0], 0.0);
+        assert!((shares[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damped_step_zero_config_equals_undamped() {
+        let te = TeConfig::default();
+        let mut d = DampedStep::new(DampedStepCfg {
+            damp: 0.0,
+            cooldown_rounds: 0,
+        });
+        let mut u = Undamped;
+        let mut cur = vec![0.0, 1.0];
+        for _ in 0..6 {
+            let paths = [up(10e6), up(10e6)];
+            let a = d.decide(&obs(5e6, &paths, &cur, &te));
+            let b = u.decide(&obs(5e6, &paths, &cur, &te));
+            assert_eq!(a, b);
+            cur = a;
+        }
+    }
+
+    #[test]
+    fn damped_step_shrinks_gain_under_load() {
+        let te = TeConfig::default();
+        // Fully damped at full spill: offered 10 M, headroom 0 on the
+        // priority path -> spill_frac 1 -> step scaled by (1 - damp).
+        let mut d = DampedStep::new(DampedStepCfg {
+            damp: 0.5,
+            cooldown_rounds: 0,
+        });
+        let paths = [up(0.0), up(20e6)];
+        let cur = vec![1.0, 0.0];
+        let damped = d.decide(&obs(10e6, &paths, &cur, &te));
+        let raw = Undamped.decide(&obs(10e6, &paths, &cur, &te));
+        assert!(
+            damped[1] < raw[1] - 0.1,
+            "half the gain moves less: {damped:?} vs {raw:?}"
+        );
+    }
+
+    #[test]
+    fn damped_step_cooldown_holds_after_a_move() {
+        let te = TeConfig::default();
+        let mut d = DampedStep::new(DampedStepCfg {
+            damp: 0.0,
+            cooldown_rounds: 2,
+        });
+        let paths = [up(10e6), up(10e6)];
+        let s1 = d.decide(&obs(5e6, &paths, &[0.0, 1.0], &te));
+        assert!(s1[0] > 0.5, "first round moves");
+        let s2 = d.decide(&obs(5e6, &paths, &s1, &te));
+        assert_eq!(s2, s1, "cooldown round 1 holds");
+        let s3 = d.decide(&obs(5e6, &paths, &s2, &te));
+        assert_eq!(s3, s2, "cooldown round 2 holds");
+        let s4 = d.decide(&obs(5e6, &paths, &s3, &te));
+        assert!(s4[0] > s3[0], "moves again after the cooldown");
+    }
+
+    #[test]
+    fn desync_phases_are_deterministic_spread_and_bounded() {
+        let d = Desync::new(7);
+        let interval = 0.5;
+        let phases: Vec<f64> = (0..64).map(|i| d.phase(i, interval)).collect();
+        assert_eq!(
+            phases,
+            (0..64).map(|i| d.phase(i, interval)).collect::<Vec<_>>()
+        );
+        assert!(phases.iter().all(|&p| (0.0..interval).contains(&p)));
+        // Jitter actually spreads agents out.
+        let distinct = {
+            let mut v = phases.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.dedup();
+            v.len()
+        };
+        assert!(distinct > 48, "phases are spread: {distinct} distinct");
+        // A different salt jitters differently.
+        assert_ne!(
+            phases,
+            (0..64)
+                .map(|i| Desync::new(8).phase(i, interval))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_policies_keep_share_invariants() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let te = TeConfig::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut policies: Vec<Box<dyn ControlPolicy>> = vec![
+            Box::new(Undamped),
+            Box::new(Ewma::new(EwmaCfg { alpha: 0.3 })),
+            Box::new(Hysteresis::new(HysteresisCfg::default())),
+            Box::new(DampedStep::new(DampedStepCfg::default())),
+            Box::new(Desync::new(3)),
+        ];
+        for _ in 0..300 {
+            let n = rng.gen_range(1..5);
+            let paths: Vec<PathView> = (0..n)
+                .map(|_| PathView {
+                    headroom: rng.gen_range(-5e6..20e6),
+                    available: rng.gen_bool(0.8),
+                })
+                .collect();
+            let mut cur: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let s: f64 = cur.iter().sum();
+            if s > 0.0 {
+                cur.iter_mut().for_each(|v| *v /= s);
+            }
+            let rate = rng.gen_range(0.0..20e6);
+            let agent = rng.gen_range(0..4);
+            for p in policies.iter_mut() {
+                let o = Observation {
+                    agent,
+                    t: 0.0,
+                    offered: rate,
+                    paths: &paths,
+                    current: &cur,
+                    te: &te,
+                };
+                let new = p.decide(&o);
+                let sum: f64 = new.iter().sum();
+                assert!(
+                    new.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)),
+                    "{}: {new:?}",
+                    p.name()
+                );
+                assert!(
+                    (sum - 1.0).abs() < 1e-6 || sum == 0.0,
+                    "{}: sum {sum} {new:?}",
+                    p.name()
+                );
+                for (i, pv) in paths.iter().enumerate() {
+                    if !pv.available {
+                        assert_eq!(new[i], 0.0, "{}: failed path vacated", p.name());
+                    }
+                }
+            }
+        }
+    }
+}

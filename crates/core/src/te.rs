@@ -71,9 +71,16 @@ pub fn decide_shares(
 ) -> Vec<f64> {
     assert_eq!(paths.len(), current.len());
     assert!(!paths.is_empty());
-    let n = paths.len();
+    let target = waterfill_target(offered_rate, paths);
+    apply_step(paths, current, &target, cfg.step, cfg.min_share)
+}
 
-    // ---- target by priority water-filling -----------------------------
+/// The target allocation of one control round: the offered rate
+/// water-filled into the paths' headroom in priority order (the first
+/// half of [`decide_shares`], exposed so alternative control policies —
+/// `ecp-control` — can reuse it against modified path views).
+pub fn waterfill_target(offered_rate: f64, paths: &[PathView]) -> Vec<f64> {
+    let n = paths.len();
     let mut target = vec![0.0; n];
     if offered_rate <= 0.0 {
         // Nothing to send: target everything to the always-on path so the
@@ -106,12 +113,25 @@ pub fn decide_shares(
             }
         }
     }
+    target
+}
 
-    // ---- bounded-step tracking (stability) ----------------------------
+/// Bounded-step tracking toward a target plus share hygiene (the second
+/// half of [`decide_shares`]): move `step` of the gap, vacate
+/// unavailable paths immediately, drop dust below `min_share`, clamp,
+/// and renormalize. Exposed for `ecp-control` policies that modulate
+/// the target or the gain but keep the stability mechanism.
+pub fn apply_step(
+    paths: &[PathView],
+    current: &[f64],
+    target: &[f64],
+    step: f64,
+    min_share: f64,
+) -> Vec<f64> {
     let mut new: Vec<f64> = current
         .iter()
-        .zip(&target)
-        .map(|(&c, &t)| c + cfg.step * (t - c))
+        .zip(target)
+        .map(|(&c, &t)| c + step * (t - c))
         .collect();
     // Unavailable paths are vacated immediately (failure reaction is not
     // rate-limited; the paper shifts traffic off failed paths promptly).
@@ -122,7 +142,7 @@ pub fn decide_shares(
     }
     // Hygiene: clamp, drop dust, renormalize.
     for v in new.iter_mut() {
-        if *v < cfg.min_share {
+        if *v < min_share {
             *v = 0.0;
         }
         *v = v.clamp(0.0, 1.0);

@@ -101,9 +101,10 @@ pub use run::{
     SleepStats, StreamingRunStats, TableStats,
 };
 pub use spec::{
-    AppSpec, CompareSpec, EngineSpec, EventSpec, FlowProgram, LinkRef, MatrixSpec, MetricsSpec,
-    NodeRef, PacketPlacement, PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, PlannerSpec,
-    PowerSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario, ScenarioBuilder, SimSpec, SleepSpec,
-    StrategySpec, SubsetScheme, TablesSpec, TraceSpec, TrafficSpec, WaveSpec, WindowSpec,
+    AppSpec, CompareSpec, ControlSpec, EngineSpec, EventSpec, FlowProgram, LinkRef, MatrixSpec,
+    MetricsSpec, NodeRef, PacketPlacement, PacketRateSpec, PacketSpec, PairsSpec, PeakSpec,
+    PlannerSpec, PowerSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario, ScenarioBuilder, SimSpec,
+    SleepSpec, StrategySpec, SubsetScheme, TablesSpec, TraceSpec, TrafficSpec, WaveSpec,
+    WindowSpec,
 };
 pub use sweep::{Axis, Param, SweepReport, SweepRow, SweepRunner};

@@ -2,10 +2,11 @@
 
 use crate::error::ScenarioError;
 use crate::spec::{
-    AppSpec, CompareSpec, EngineSpec, EventSpec, LinkRef, MatrixSpec, NodeRef, PacketPlacement,
-    PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, ReplayMode, ReplaySpec, ScaleSpec, Scenario,
-    SubsetScheme, TablesSpec, TraceSpec,
+    AppSpec, CompareSpec, ControlSpec, EngineSpec, EventSpec, LinkRef, MatrixSpec, NodeRef,
+    PacketPlacement, PacketRateSpec, PacketSpec, PairsSpec, PeakSpec, ReplayMode, ReplaySpec,
+    ScaleSpec, Scenario, SubsetScheme, TablesSpec, TraceSpec,
 };
+use ecp_control::{StabilityConfig, StabilityReport, StabilitySample};
 use ecp_routing::subset::PruneOrder;
 use ecp_routing::{
     elastictree_subset, max_feasible_volume, ospf_invcap, recomputation_rate, ConfigDominance,
@@ -84,6 +85,10 @@ pub struct ScenarioReport {
     /// Single-link-failure sweep, if `metrics.failover_coverage`.
     #[serde(default)]
     pub failover: Option<FailoverStats>,
+    /// Control-loop stability analysis (`ecp-control`), if
+    /// `metrics.stability` (simnet engine only).
+    #[serde(default)]
+    pub stability: Option<StabilityReport>,
 }
 
 /// Analysis of the installed tables themselves (no engine needed).
@@ -314,6 +319,33 @@ pub fn run_resolved(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
 ) -> Result<ScenarioReport, ScenarioError> {
+    scenario
+        .control
+        .validate()
+        .map_err(ScenarioError::Invalid)?;
+    if !matches!(scenario.engine, EngineSpec::Simnet) {
+        // The control loop only exists in the event-driven simulator;
+        // reject specs whose policy or stability selection would
+        // otherwise be silently ignored.
+        let engine = match &scenario.engine {
+            EngineSpec::Replay(_) => "replay",
+            EngineSpec::Packet(_) => "packet",
+            EngineSpec::App(_) => "app",
+            EngineSpec::Simnet => unreachable!(),
+        };
+        if scenario.control != ControlSpec::Undamped {
+            return Err(ScenarioError::unsupported(
+                engine,
+                "control policies (use the Simnet engine)",
+            ));
+        }
+        if scenario.metrics.stability {
+            return Err(ScenarioError::unsupported(
+                engine,
+                "stability analysis (use the Simnet engine)",
+            ));
+        }
+    }
     let mut report = match &scenario.engine {
         EngineSpec::Simnet => run_simnet(scenario, resolved),
         EngineSpec::Replay(spec) => run_replay(scenario, resolved, spec),
@@ -784,11 +816,12 @@ fn run_simnet(
     } else {
         Some(offered_matrix(scenario, topo, &resolved.pairs)?.at(1.0)?)
     };
-    let mut sim = Simulation::new(
+    let mut sim = Simulation::with_policy(
         topo,
         &resolved.power,
         &resolved.tables,
         scenario.sim.to_config(),
+        scenario.control.build(),
     );
 
     // One flow per OD pair; initial rate = the schedule's t = 0 level
@@ -865,6 +898,18 @@ fn run_simnet(
     if let Some(start) = lag_start {
         lag = lag.max(scenario.duration_s - start);
     }
+    let stability = scenario.metrics.stability.then(|| {
+        let series: Vec<StabilitySample> = samples
+            .iter()
+            .map(|s| StabilitySample {
+                t: s.t,
+                offered: s.offered_total,
+                delivered: s.delivered_total,
+                per_flow_path_rates: s.per_flow_path_rates.clone(),
+            })
+            .collect();
+        ecp_control::analyze(&series, &StabilityConfig::default())
+    });
     let n = samples.len().max(1) as f64;
     Ok(ScenarioReport {
         name: scenario.name.clone(),
@@ -897,6 +942,7 @@ fn run_simnet(
         table_stats: None,
         capacity: None,
         failover: None,
+        stability,
     })
 }
 
@@ -1075,6 +1121,7 @@ fn replay_report(scenario: &Scenario, engine: &str) -> ScenarioReport {
         table_stats: None,
         capacity: None,
         failover: None,
+        stability: None,
     }
 }
 

@@ -32,6 +32,10 @@ pub struct Scenario {
     pub engine: EngineSpec,
     /// Simulator knobs (used by the simnet engine).
     pub sim: SimSpec,
+    /// Online TE control-loop policy (simnet engine; default
+    /// [`ControlSpec::Undamped`], the original hard-wired behavior).
+    #[serde(default)]
+    pub control: ControlSpec,
     /// Timed perturbations injected into the run.
     pub events: Vec<EventSpec>,
     /// Pre-TE share spread applied to every flow (e.g. Fig. 7 starts
@@ -700,6 +704,119 @@ impl SimSpec {
     }
 }
 
+/// The online TE control-loop policy (`ecp-control`) as data: which
+/// damping mechanism the simnet engine's REsPoNseTE agents run with.
+/// `Undamped` is the paper's behavior and the baseline of every damping
+/// A/B campaign (`examples/campaign_te_damping.toml`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ControlSpec {
+    /// The original hard-wired decision
+    /// ([`respons_core::te::decide_shares`]), bit-identical.
+    #[default]
+    Undamped,
+    /// EWMA-smoothed headroom estimation.
+    Ewma {
+        /// Smoothing gain in `(0, 1]`; `1.0` disables smoothing.
+        alpha: f64,
+    },
+    /// Separate spill / re-aggregate thresholds plus a dead-band.
+    Hysteresis {
+        /// Re-aggregation headroom margin in `[0, 1)`.
+        gap: f64,
+        /// Minimum L1 target move; smaller moves are held.
+        #[serde(default)]
+        dead_band: f64,
+    },
+    /// Load-proportional gain scaling with a per-flow cooldown.
+    DampedStep {
+        /// Gain damping in `[0, 1)` at full spill.
+        damp: f64,
+        /// Hold rounds after each reconfiguration.
+        #[serde(default)]
+        cooldown_rounds: u32,
+    },
+    /// Seeded per-agent observation phase jitter.
+    Desync {
+        /// Phase salt (mixed with the agent index).
+        salt: u64,
+    },
+}
+
+impl ControlSpec {
+    /// Stable policy name for reports and labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControlSpec::Undamped => "undamped",
+            ControlSpec::Ewma { .. } => "ewma",
+            ControlSpec::Hysteresis { .. } => "hysteresis",
+            ControlSpec::DampedStep { .. } => "damped-step",
+            ControlSpec::Desync { .. } => "desync",
+        }
+    }
+
+    /// Check parameter ranges; the message becomes a
+    /// [`crate::ScenarioError::Invalid`] so campaigns record malformed
+    /// specs as failed entries instead of panicking a shard.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ControlSpec::Undamped | ControlSpec::Desync { .. } => Ok(()),
+            ControlSpec::Ewma { alpha } => {
+                if alpha > 0.0 && alpha <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("control Ewma alpha must be in (0, 1], got {alpha}"))
+                }
+            }
+            ControlSpec::Hysteresis { gap, dead_band } => {
+                if !(0.0..1.0).contains(&gap) {
+                    Err(format!(
+                        "control Hysteresis gap must be in [0, 1), got {gap}"
+                    ))
+                } else if dead_band >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "control Hysteresis dead_band must be non-negative, got {dead_band}"
+                    ))
+                }
+            }
+            ControlSpec::DampedStep { damp, .. } => {
+                if (0.0..1.0).contains(&damp) {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "control DampedStep damp must be in [0, 1), got {damp}"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Instantiate the policy (validated parameters assumed).
+    pub fn build(&self) -> Box<dyn ecp_control::ControlPolicy> {
+        match *self {
+            ControlSpec::Undamped => Box::new(ecp_control::Undamped),
+            ControlSpec::Ewma { alpha } => {
+                Box::new(ecp_control::Ewma::new(ecp_control::EwmaCfg { alpha }))
+            }
+            ControlSpec::Hysteresis { gap, dead_band } => {
+                Box::new(ecp_control::Hysteresis::new(ecp_control::HysteresisCfg {
+                    gap,
+                    dead_band,
+                }))
+            }
+            ControlSpec::DampedStep {
+                damp,
+                cooldown_rounds,
+            } => Box::new(ecp_control::DampedStep::new(ecp_control::DampedStepCfg {
+                damp,
+                cooldown_rounds,
+            })),
+            ControlSpec::Desync { salt } => Box::new(ecp_control::Desync::new(salt)),
+        }
+    }
+}
+
 /// Reference to a physical link.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LinkRef {
@@ -828,6 +945,12 @@ pub struct MetricsSpec {
     /// [`ScenarioReport::failover`](crate::ScenarioReport).
     #[serde(default)]
     pub failover_coverage: bool,
+    /// Run the `ecp-control` stability analyzer over the recorded
+    /// series into [`ScenarioReport::stability`](crate::ScenarioReport)
+    /// (simnet engine only): oscillation cycles, delivery-shortfall
+    /// fraction, settling time, reconfiguration churn.
+    #[serde(default)]
+    pub stability: bool,
 }
 
 impl Default for MetricsSpec {
@@ -839,6 +962,7 @@ impl Default for MetricsSpec {
             table_stats: false,
             table_capacity: false,
             failover_coverage: false,
+            stability: false,
         }
     }
 }
@@ -888,6 +1012,7 @@ impl ScenarioBuilder {
                 planner: PlannerSpec::default(),
                 engine: EngineSpec::Simnet,
                 sim: SimSpec::default(),
+                control: ControlSpec::default(),
                 events: Vec::new(),
                 initial_shares: None,
                 metrics: MetricsSpec::default(),
@@ -966,6 +1091,12 @@ impl ScenarioBuilder {
     /// Set the simulator knobs.
     pub fn sim(mut self, spec: SimSpec) -> Self {
         self.scenario.sim = spec;
+        self
+    }
+
+    /// Set the online TE control policy.
+    pub fn control(mut self, spec: ControlSpec) -> Self {
+        self.scenario.control = spec;
         self
     }
 

@@ -2,7 +2,7 @@
 
 use crate::error::ScenarioError;
 use crate::run::{run_scenario, ScenarioReport};
-use crate::spec::{ScaleSpec, Scenario};
+use crate::spec::{ControlSpec, ScaleSpec, Scenario};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +27,15 @@ pub enum Param {
     /// the `TotalBps`/`PerFlowBps` rate) by the value — the load-level
     /// axis of A/B comparison campaigns.
     LoadScale,
+    /// `control = Ewma { alpha: value }` — the smoothing-gain axis of
+    /// damping A/B campaigns.
+    EwmaAlpha,
+    /// `control = Hysteresis { gap: value, .. }` (an existing
+    /// Hysteresis spec keeps its dead-band).
+    HystGap,
+    /// `control = DampedStep { damp: value, .. }` (an existing
+    /// DampedStep spec keeps its cooldown).
+    StepDamp,
 }
 
 impl Param {
@@ -41,6 +50,9 @@ impl Param {
             Param::WakeTime => "wake_time_s",
             Param::Seed => "seed",
             Param::LoadScale => "load_scale",
+            Param::EwmaAlpha => "ewma_alpha",
+            Param::HystGap => "hyst_gap",
+            Param::StepDamp => "step_damp",
         }
     }
 
@@ -59,6 +71,29 @@ impl Param {
                 ScaleSpec::MaxFeasibleFraction { fraction } => *fraction *= value,
                 ScaleSpec::TotalBps { bps } | ScaleSpec::PerFlowBps { bps } => *bps *= value,
             },
+            Param::EwmaAlpha => scenario.control = ControlSpec::Ewma { alpha: value },
+            Param::HystGap => {
+                let dead_band = match scenario.control {
+                    ControlSpec::Hysteresis { dead_band, .. } => dead_band,
+                    _ => 0.0,
+                };
+                scenario.control = ControlSpec::Hysteresis {
+                    gap: value,
+                    dead_band,
+                };
+            }
+            Param::StepDamp => {
+                let cooldown_rounds = match scenario.control {
+                    ControlSpec::DampedStep {
+                        cooldown_rounds, ..
+                    } => cooldown_rounds,
+                    _ => 0,
+                };
+                scenario.control = ControlSpec::DampedStep {
+                    damp: value,
+                    cooldown_rounds,
+                };
+            }
         }
     }
 }

@@ -1,0 +1,235 @@
+//! Control-spec behavior at the scenario layer: validation, engine
+//! gating, sweep axes, and the stability analyzer attachment.
+
+use ecp_scenario::{
+    run_scenario, Axis, ControlSpec, EngineSpec, MatrixSpec, MetricsSpec, PairsSpec, Param,
+    ScaleSpec, Scenario, ScenarioBuilder, ScenarioError, SweepRunner,
+};
+use ecp_topo::gen::TopoSpec;
+use ecp_traffic::{Program, Shape};
+
+/// A small deterministic simnet scenario that actually exercises the
+/// control loop (step overload program over a seeded Waxman WAN).
+fn base(control: ControlSpec) -> Scenario {
+    ScenarioBuilder::new("control-test")
+        .seed(5)
+        .duration_s(6.0)
+        .topology(TopoSpec::small_waxman(10, 5))
+        .pairs(PairsSpec::Random { count: 6 })
+        .traffic(
+            MatrixSpec::Gravity,
+            ScaleSpec::MaxFeasibleFraction { fraction: 0.9 },
+            Program::from_shape(
+                6.0,
+                1.0,
+                Shape::Steps {
+                    levels: vec![0.5, 1.2],
+                    step_s: 1.5,
+                },
+            ),
+        )
+        .control(control)
+        .metrics(MetricsSpec {
+            power_series: true,
+            delivered_series: true,
+            per_path_rates: true,
+            stability: true,
+            ..Default::default()
+        })
+        .build()
+}
+
+#[test]
+fn every_policy_runs_and_attaches_stability() {
+    for control in [
+        ControlSpec::Undamped,
+        ControlSpec::Ewma { alpha: 0.4 },
+        ControlSpec::Hysteresis {
+            gap: 0.2,
+            dead_band: 0.02,
+        },
+        ControlSpec::DampedStep {
+            damp: 0.5,
+            cooldown_rounds: 2,
+        },
+        ControlSpec::Desync { salt: 9 },
+    ] {
+        let report = run_scenario(&base(control)).unwrap();
+        let st = report
+            .stability
+            .unwrap_or_else(|| panic!("{}: stability attached", control.label()));
+        assert!(st.duration_s > 5.0, "{}: {st:?}", control.label());
+        assert!(
+            report.mean_delivered_fraction > 0.5,
+            "{}: delivers most traffic",
+            control.label()
+        );
+    }
+}
+
+#[test]
+fn malformed_control_values_are_typed_invalid_errors() {
+    let cases = [
+        ControlSpec::Ewma { alpha: 0.0 },
+        ControlSpec::Ewma { alpha: 1.5 },
+        ControlSpec::Ewma { alpha: f64::NAN },
+        ControlSpec::Hysteresis {
+            gap: -0.1,
+            dead_band: 0.0,
+        },
+        ControlSpec::Hysteresis {
+            gap: 1.0,
+            dead_band: 0.0,
+        },
+        ControlSpec::Hysteresis {
+            gap: 0.2,
+            dead_band: -1.0,
+        },
+        ControlSpec::DampedStep {
+            damp: 1.0,
+            cooldown_rounds: 0,
+        },
+        ControlSpec::DampedStep {
+            damp: -0.5,
+            cooldown_rounds: 0,
+        },
+    ];
+    for control in cases {
+        let err = run_scenario(&base(control)).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Invalid(_)),
+            "{control:?}: got {err:?}"
+        );
+        assert_eq!(err.kind(), "invalid");
+    }
+}
+
+#[test]
+fn non_simnet_engines_reject_control_and_stability() {
+    // Replay engine + a damped policy: Unsupported, not silently ignored.
+    let mut s = base(ControlSpec::Ewma { alpha: 0.5 });
+    s.traffic.program = Program::from_shape(6.0, 1.0, Shape::Constant { level: 1.0 });
+    s.engine = EngineSpec::replay_over_always_on(1.0);
+    s.traffic.scale = ScaleSpec::TotalBps { bps: 1e9 };
+    s.metrics.stability = false;
+    let err = run_scenario(&s).unwrap_err();
+    assert_eq!(err.kind(), "unsupported", "{err}");
+
+    // Replay engine + stability metrics: also Unsupported.
+    s.control = ControlSpec::Undamped;
+    s.metrics.stability = true;
+    let err = run_scenario(&s).unwrap_err();
+    assert_eq!(err.kind(), "unsupported", "{err}");
+}
+
+#[test]
+fn control_spec_round_trips_through_toml() {
+    for control in [
+        ControlSpec::Undamped,
+        ControlSpec::Ewma { alpha: 0.25 },
+        ControlSpec::Hysteresis {
+            gap: 0.1,
+            dead_band: 0.05,
+        },
+        ControlSpec::DampedStep {
+            damp: 0.3,
+            cooldown_rounds: 4,
+        },
+        ControlSpec::Desync { salt: 42 },
+    ] {
+        let s = base(control);
+        let doc = s.to_toml();
+        let back = Scenario::from_toml(&doc).unwrap();
+        assert_eq!(back, s, "round-trip of {}", control.label());
+    }
+}
+
+#[test]
+fn missing_control_field_defaults_to_undamped() {
+    let mut s = base(ControlSpec::Undamped);
+    s.metrics.stability = false;
+    let doc = s.to_toml();
+    assert!(doc.contains("control = \"Undamped\""), "serialized: {doc}");
+    let stripped: String = doc
+        .lines()
+        .filter(|l| !l.contains("control = "))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let back = Scenario::from_toml(&stripped).unwrap();
+    assert_eq!(back.control, ControlSpec::Undamped);
+    assert_eq!(back, s, "pre-PR-4 documents parse identically");
+}
+
+#[test]
+fn control_params_sweep_and_label() {
+    let runner = SweepRunner::new(
+        base(ControlSpec::Undamped),
+        vec![
+            Axis::new(Param::EwmaAlpha, [0.3, 0.7]),
+            Axis::new(Param::LoadScale, [0.5]),
+        ],
+    );
+    let instances = runner.instances();
+    assert_eq!(instances.len(), 2);
+    assert_eq!(instances[0].0[0], ("ewma_alpha".to_string(), 0.3));
+    assert_eq!(instances[0].1.control, ControlSpec::Ewma { alpha: 0.3 });
+    assert_eq!(instances[1].1.control, ControlSpec::Ewma { alpha: 0.7 });
+
+    // HystGap / StepDamp preserve the non-swept knob of an existing spec
+    // of the same family, and fall back to defaults otherwise.
+    let mut s = base(ControlSpec::Hysteresis {
+        gap: 0.0,
+        dead_band: 0.07,
+    });
+    Param::HystGap.apply(&mut s, 0.3);
+    assert_eq!(
+        s.control,
+        ControlSpec::Hysteresis {
+            gap: 0.3,
+            dead_band: 0.07
+        }
+    );
+    let mut s = base(ControlSpec::DampedStep {
+        damp: 0.0,
+        cooldown_rounds: 5,
+    });
+    Param::StepDamp.apply(&mut s, 0.4);
+    assert_eq!(
+        s.control,
+        ControlSpec::DampedStep {
+            damp: 0.4,
+            cooldown_rounds: 5
+        }
+    );
+    let mut s = base(ControlSpec::Undamped);
+    Param::StepDamp.apply(&mut s, 0.4);
+    assert_eq!(
+        s.control,
+        ControlSpec::DampedStep {
+            damp: 0.4,
+            cooldown_rounds: 0
+        }
+    );
+}
+
+/// The degenerate parameterizations of the damping policies must
+/// reproduce the undamped run byte for byte (`alpha = 1` keeps no
+/// memory; `damp = 0, cooldown = 0` never scales or holds).
+#[test]
+fn degenerate_damping_equals_undamped_bytes() {
+    let undamped = serde_json::to_string(&run_scenario(&base(ControlSpec::Undamped)).unwrap())
+        .unwrap()
+        .replace("\"name\":\"control-test\"", "");
+    for control in [
+        ControlSpec::Ewma { alpha: 1.0 },
+        ControlSpec::DampedStep {
+            damp: 0.0,
+            cooldown_rounds: 0,
+        },
+    ] {
+        let got = serde_json::to_string(&run_scenario(&base(control)).unwrap())
+            .unwrap()
+            .replace("\"name\":\"control-test\"", "");
+        assert_eq!(got, undamped, "{}", control.label());
+    }
+}

@@ -1,9 +1,10 @@
 //! The simulation core.
 
 use crate::recorder::{Recorder, Sample};
+use ecp_control::{ControlPolicy, Observation, Undamped};
 use ecp_power::PowerModel;
 use ecp_topo::{ActiveSet, ArcId, NodeId, Path, Topology};
-use respons_core::te::{decide_shares, PathView, TeConfig};
+use respons_core::te::{PathView, TeConfig};
 use respons_core::PathTables;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -108,6 +109,9 @@ pub enum SimEvent {
 #[derive(Debug, Clone, PartialEq)]
 enum Event {
     Control,
+    /// One phase-jittered agent's decision within a control round
+    /// (scheduled by desynchronizing policies; observes fresh loads).
+    AgentControl(usize),
     Sample,
     DemandChange(FlowId, f64),
     LinkFail(ArcId),
@@ -189,6 +193,10 @@ pub struct Simulation<'a> {
     recorder: Recorder,
     /// Links that must never sleep (the always-on set).
     always_on_links: Vec<bool>,
+    /// The online TE control policy driving every agent's share
+    /// decisions (default: [`ecp_control::Undamped`], the original
+    /// hard-wired `decide_shares` behavior).
+    policy: Box<dyn ControlPolicy>,
 }
 
 impl<'a> Simulation<'a> {
@@ -200,6 +208,18 @@ impl<'a> Simulation<'a> {
         power: &'a PowerModel,
         tables: &PathTables,
         cfg: SimConfig,
+    ) -> Self {
+        Self::with_policy(topo, power, tables, cfg, Box::new(Undamped))
+    }
+
+    /// Like [`Simulation::new`], but with an explicit online TE control
+    /// policy (`ecp-control`) instead of the default [`Undamped`] one.
+    pub fn with_policy(
+        topo: &'a Topology,
+        power: &'a PowerModel,
+        tables: &PathTables,
+        cfg: SimConfig,
+        policy: Box<dyn ControlPolicy>,
     ) -> Self {
         let n_arcs = topo.arc_count();
         let mut always_on_links = vec![false; n_arcs];
@@ -235,6 +255,7 @@ impl<'a> Simulation<'a> {
             full_power_w: power.full_power(topo),
             recorder: Recorder::new(),
             always_on_links,
+            policy,
         };
         sim.push(cfg.control_interval, Event::Control);
         sim.push(0.0, Event::Sample);
@@ -384,8 +405,11 @@ impl<'a> Simulation<'a> {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Control => {
-                self.control_round();
+                self.control_round(false);
                 self.push(self.now + self.cfg.control_interval, Event::Control);
+            }
+            Event::AgentControl(fi) => {
+                self.agent_control(fi);
             }
             Event::Sample => {
                 self.take_sample();
@@ -422,8 +446,9 @@ impl<'a> Simulation<'a> {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = true;
                 // React immediately rather than waiting for the next tick
-                // (failure handling is not rate-limited, §4.4).
-                self.control_round();
+                // (failure handling is not rate-limited, §4.4) — every
+                // agent, regardless of observation phase.
+                self.control_round(true);
             }
             Event::RepairKnown(a) => {
                 let l = self.topo.link_of(a);
@@ -432,7 +457,7 @@ impl<'a> Simulation<'a> {
             Event::NodeFailureKnown(n) => {
                 self.node_failed_known[n.idx()] = true;
                 // React immediately, like FailureKnown.
-                self.control_round();
+                self.control_round(true);
             }
             Event::NodeRepairKnown(n) => {
                 self.node_failed_known[n.idx()] = false;
@@ -560,62 +585,80 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// One REsPoNseTE control round: every agent updates its shares.
-    fn control_round(&mut self) {
-        if self.now + 1e-12 < self.cfg.te_start {
-            return;
-        }
-        let loads = self.arc_loads();
+    /// What one agent sees of its paths given an arc-load snapshot.
+    fn flow_views(&self, fi: usize, loads: &[f64]) -> Vec<PathView> {
         let threshold = self.cfg.te.threshold;
-        // Compute all updates first (agents act on the same observation,
-        // like simultaneous probe replies), then apply.
-        let mut new_shares: Vec<Vec<f64>> = Vec::with_capacity(self.flows.len());
-        for fl in &self.flows {
-            let views: Vec<PathView> = fl
-                .path_arcs
-                .iter()
-                .enumerate()
-                .map(|(pi, arcs)| {
-                    let own = fl.offered * fl.shares[pi];
-                    let failed = arcs.iter().any(|&a| self.link_down_known(a));
-                    let headroom = arcs
-                        .iter()
-                        .map(|&a| {
-                            let others = (loads[a.idx()] - own).max(0.0);
-                            threshold * self.topo.arc(a).capacity - others
-                        })
-                        .fold(f64::INFINITY, f64::min);
-                    PathView {
-                        headroom,
-                        available: !failed,
+        let fl = &self.flows[fi];
+        fl.path_arcs
+            .iter()
+            .enumerate()
+            .map(|(pi, arcs)| {
+                let own = fl.offered * fl.shares[pi];
+                let failed = arcs.iter().any(|&a| self.link_down_known(a));
+                let headroom = arcs
+                    .iter()
+                    .map(|&a| {
+                        let others = (loads[a.idx()] - own).max(0.0);
+                        threshold * self.topo.arc(a).capacity - others
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                PathView {
+                    headroom,
+                    available: !failed,
+                }
+            })
+            .collect()
+    }
+
+    /// One agent's observe + decide against a load snapshot (shared by
+    /// the batched round and the phase-jittered path, so both always
+    /// construct the observation identically).
+    fn decide_flow(&mut self, fi: usize, loads: &[f64]) -> Vec<f64> {
+        let te = self.cfg.te;
+        let views = self.flow_views(fi, loads);
+        let current = self.flows[fi].shares.clone();
+        let obs = Observation {
+            agent: fi,
+            t: self.now,
+            offered: self.flows[fi].offered,
+            paths: &views,
+            current: &current,
+            te: &te,
+        };
+        self.policy.decide(&obs)
+    }
+
+    /// Install one flow's new shares; collect the links to wake or
+    /// sleep-check for [`Simulation::commit_power_transitions`].
+    fn apply_flow_shares(
+        &mut self,
+        fi: usize,
+        shares: Vec<f64>,
+        to_wake: &mut Vec<ArcId>,
+        to_sleepcheck: &mut Vec<ArcId>,
+    ) {
+        let changed: Vec<usize> = (0..shares.len())
+            .filter(|&i| (shares[i] - self.flows[fi].shares[i]).abs() > 1e-12)
+            .collect();
+        self.flows[fi].shares = shares;
+        for pi in changed {
+            let fl = &self.flows[fi];
+            let active_now = fl.offered * fl.shares[pi] > 0.0;
+            for &a in &fl.path_arcs[pi] {
+                let l = self.topo.link_of(a);
+                if active_now {
+                    if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
+                        to_wake.push(l);
                     }
-                })
-                .collect();
-            new_shares.push(decide_shares(fl.offered, &views, &fl.shares, &self.cfg.te));
-        }
-        // Apply; trigger wakes and sleep checks.
-        let mut to_wake: Vec<ArcId> = Vec::new();
-        let mut to_sleepcheck: Vec<ArcId> = Vec::new();
-        for (fi, shares) in new_shares.into_iter().enumerate() {
-            let changed: Vec<usize> = (0..shares.len())
-                .filter(|&i| (shares[i] - self.flows[fi].shares[i]).abs() > 1e-12)
-                .collect();
-            self.flows[fi].shares = shares;
-            for pi in changed {
-                let fl = &self.flows[fi];
-                let active_now = fl.offered * fl.shares[pi] > 0.0;
-                for &a in &fl.path_arcs[pi] {
-                    let l = self.topo.link_of(a);
-                    if active_now {
-                        if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
-                            to_wake.push(l);
-                        }
-                    } else {
-                        to_sleepcheck.push(l);
-                    }
+                } else {
+                    to_sleepcheck.push(l);
                 }
             }
         }
+    }
+
+    /// Schedule the wake-ups and sleep checks a share change triggered.
+    fn commit_power_transitions(&mut self, to_wake: Vec<ArcId>, to_sleepcheck: Vec<ArcId>) {
         for l in to_wake {
             if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
                 let due = self.now + self.cfg.wake_time;
@@ -626,6 +669,63 @@ impl<'a> Simulation<'a> {
         for l in to_sleepcheck {
             self.push(self.now + self.cfg.sleep_after, Event::SleepCheck(l));
         }
+    }
+
+    /// One REsPoNseTE control round: every agent updates its shares.
+    ///
+    /// Agents whose policy phase is zero act as before: all updates are
+    /// computed against one shared load snapshot (simultaneous probe
+    /// replies), then applied together. Agents with a positive phase
+    /// (desynchronizing policies) are deferred to their own
+    /// [`Event::AgentControl`] instant within the round, where they
+    /// observe *fresh* loads. `immediate` rounds (failure reaction, not
+    /// rate-limited per §4.4) ignore phases.
+    fn control_round(&mut self, immediate: bool) {
+        if self.now + 1e-12 < self.cfg.te_start {
+            return;
+        }
+        let loads = self.arc_loads();
+        let interval = self.cfg.control_interval;
+        // Compute phase-0 updates first (same observation), defer the
+        // phase-jittered agents.
+        let mut new_shares: Vec<(usize, Vec<f64>)> = Vec::with_capacity(self.flows.len());
+        let mut phased: Vec<(usize, f64)> = Vec::new();
+        for fi in 0..self.flows.len() {
+            let phase = if immediate {
+                0.0
+            } else {
+                self.policy.phase(fi, interval)
+            };
+            if phase > 0.0 {
+                phased.push((fi, phase));
+                continue;
+            }
+            let shares = self.decide_flow(fi, &loads);
+            new_shares.push((fi, shares));
+        }
+        // Apply; trigger wakes and sleep checks.
+        let mut to_wake: Vec<ArcId> = Vec::new();
+        let mut to_sleepcheck: Vec<ArcId> = Vec::new();
+        for (fi, shares) in new_shares {
+            self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck);
+        }
+        self.commit_power_transitions(to_wake, to_sleepcheck);
+        for (fi, phase) in phased {
+            self.push(self.now + phase, Event::AgentControl(fi));
+        }
+    }
+
+    /// One phase-jittered agent's decision against fresh loads.
+    fn agent_control(&mut self, fi: usize) {
+        if self.now + 1e-12 < self.cfg.te_start || fi >= self.flows.len() {
+            return;
+        }
+        let loads = self.arc_loads();
+        let shares = self.decide_flow(fi, &loads);
+        let mut to_wake: Vec<ArcId> = Vec::new();
+        let mut to_sleepcheck: Vec<ArcId> = Vec::new();
+        self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck);
+        self.commit_power_transitions(to_wake, to_sleepcheck);
     }
 
     /// Power-state view of the network right now.
@@ -969,6 +1069,68 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run_with(true), run_with(false));
+    }
+
+    #[test]
+    fn desync_policy_still_converges_and_is_deterministic() {
+        let run = || {
+            let (t, n, pt) = click_setup();
+            let pm = ecp_power::PowerModel::cisco12000();
+            let mut sim = Simulation::with_policy(
+                &t,
+                &pm,
+                &pt,
+                click_cfg(),
+                Box::new(ecp_control::Desync::new(11)),
+            );
+            let fa = sim.add_flow(&pt, n.a, n.k, 2.5e6);
+            let fc = sim.add_flow(&pt, n.c, n.k, 2.5e6);
+            sim.set_shares(fa, vec![0.5, 0.5]);
+            sim.set_shares(fc, vec![0.5, 0.5]);
+            sim.run_until(3.0);
+            let rates_a = sim.per_path_delivered(fa);
+            let rates_c = sim.per_path_delivered(fc);
+            // Phase-jittered agents still aggregate on the always-on path.
+            assert!(rates_a[0] > 2.4e6, "aggregated: {rates_a:?}");
+            assert!(rates_c[0] > 2.4e6, "aggregated: {rates_c:?}");
+            sim.recorder()
+                .samples()
+                .iter()
+                .map(|s| (s.power_w, s.delivered_total))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn damped_policies_still_fail_over_promptly() {
+        let policies: Vec<Box<dyn ecp_control::ControlPolicy>> = vec![
+            Box::new(ecp_control::Ewma::new(ecp_control::EwmaCfg { alpha: 0.3 })),
+            Box::new(ecp_control::Hysteresis::new(
+                ecp_control::HysteresisCfg::default(),
+            )),
+            Box::new(ecp_control::DampedStep::new(
+                ecp_control::DampedStepCfg::default(),
+            )),
+            Box::new(ecp_control::Desync::new(5)),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let (t, n, pt) = click_setup();
+            let pm = ecp_power::PowerModel::cisco12000();
+            let mut sim = Simulation::with_policy(&t, &pm, &pt, click_cfg(), policy);
+            let fa = sim.add_flow(&pt, n.a, n.k, 2.5e6);
+            let _fc = sim.add_flow(&pt, n.c, n.k, 2.5e6);
+            sim.run_until(1.0);
+            let eh = t.find_arc(n.e, n.h).unwrap();
+            sim.schedule_link_failure(1.0, eh);
+            sim.run_until(2.0);
+            let da = sim.delivered_rate(fa);
+            assert!(
+                (da - 2.5e6).abs() < 1e4,
+                "{name}: restored on failover within detection + rounds: {da}"
+            );
+        }
     }
 
     #[test]

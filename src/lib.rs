@@ -16,9 +16,12 @@
 //! * [`core`] — the REsPoNse framework itself: always-on / on-demand /
 //!   failover planning, energy-critical path analytics, and the
 //!   REsPoNseTE online traffic-engineering logic.
+//! * [`control`] — pluggable online TE control-loop policies (undamped
+//!   baseline, EWMA smoothing, hysteresis, damped step,
+//!   desynchronization) and the control-stability analyzer.
 //! * [`simnet`] — the discrete-event network simulator used for all
-//!   runtime experiments, with scriptable event injection and a
-//!   pausable stepping API.
+//!   runtime experiments, with scriptable event injection, a pausable
+//!   stepping API, and policy-driven TE agents.
 //! * [`scenario`] — declarative experiments: serializable `Scenario`
 //!   values (topology spec + traffic program + event script + metrics
 //!   selection, from TOML or a builder) and a rayon-parallel
@@ -50,6 +53,7 @@
 
 pub use ecp_apps as apps;
 pub use ecp_campaign as campaign;
+pub use ecp_control as control;
 pub use ecp_lp as lp;
 pub use ecp_power as power;
 pub use ecp_routing as routing;
