@@ -1,0 +1,115 @@
+//! The incremental-load-accounting hot kernels (ISSUE 5).
+//!
+//! Three layers of the online TE loop's per-round cost:
+//!
+//! * `arc_loads`: the from-scratch O(flows × paths × arcs) scan vs the
+//!   O(arcs) snapshot of the incrementally-maintained vector — the
+//!   observation every control round, sample, and delivery query needs.
+//! * `te_kernel`: the decision halves (`waterfill_target` +
+//!   `apply_step`) one agent runs per round.
+//! * `end_to_end`: whole te-stability scenarios (scaled down) under
+//!   both accounting modes — the number BENCH_simnet.json tracks at
+//!   full duration.
+//!
+//! Run offline with `cargo bench -p ecp-bench --bench load_accounting`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecp_scenario::ControlSpec;
+use ecp_simnet::{LoadAccounting, SimConfig, Simulation};
+use respons_core::te::{apply_step, waterfill_target, PathView};
+
+/// A running te-stability simulation (PoP-access ISP, 44 gravity
+/// pairs), advanced past the initial transient so the share state is
+/// the oscillating steady state the accounting has to keep up with.
+fn warmed_sim(
+    resolved: &ecp_scenario::ResolvedScenario,
+) -> (Simulation<'_>, Vec<ecp_simnet::FlowId>) {
+    let cfg = SimConfig {
+        control_interval: 0.5,
+        wake_time: 5.0,
+        detect_delay: 0.5,
+        sleep_after: 2.0,
+        sample_interval: 0.5,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(&resolved.built.topo, &resolved.power, &resolved.tables, cfg);
+    // Pin the mode: the kernel comparison must measure the maintained
+    // vector even if ECP_LOAD_ACCOUNTING=scratch is exported.
+    sim.set_load_accounting(LoadAccounting::Incremental);
+    let flows = resolved
+        .pairs
+        .iter()
+        .map(|&(o, d)| sim.add_flow(&resolved.tables, o, d, 2e7))
+        .collect();
+    sim.run_until(5.0);
+    (sim, flows)
+}
+
+fn arc_loads(c: &mut Criterion) {
+    let scenario = ecp_bench::scenarios::te_stability(10.0, 0.7, ControlSpec::Undamped);
+    let resolved = ecp_scenario::resolve(&scenario).expect("te-stability resolves");
+    let (sim, _) = warmed_sim(&resolved);
+    let mut g = c.benchmark_group("arc_loads");
+    g.bench_with_input(BenchmarkId::from_parameter("scratch"), &(), |b, _| {
+        b.iter(|| sim.arc_loads_scratch())
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("incremental"), &(), |b, _| {
+        // What a control round pays with incremental accounting: one
+        // O(arcs) snapshot of the maintained vector.
+        b.iter(|| sim.current_arc_loads().to_vec())
+    });
+    g.finish();
+}
+
+fn te_kernel(c: &mut Criterion) {
+    let te = respons_core::TeConfig::default();
+    let mut g = c.benchmark_group("waterfill_apply_step");
+    for paths in [2usize, 3, 5] {
+        let views: Vec<PathView> = (0..paths)
+            .map(|i| PathView {
+                headroom: (i as f64 - 0.5) * 4e6,
+                available: true,
+            })
+            .collect();
+        let current = vec![1.0 / paths as f64; paths];
+        g.bench_with_input(BenchmarkId::from_parameter(paths), &paths, |b, _| {
+            b.iter(|| {
+                let target = waterfill_target(1.2e7, &views);
+                apply_step(&views, &current, &target, te.step, te.min_share)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let restore = ecp_simnet::default_load_accounting();
+    let mut g = c.benchmark_group("te_stability_10s_end_to_end");
+    g.sample_size(10);
+    for (label, control) in [
+        ("undamped", ControlSpec::Undamped),
+        ("desync", ControlSpec::Desync { salt: 1 }),
+    ] {
+        let scenario = ecp_bench::scenarios::te_stability(10.0, 0.7, control);
+        let resolved = ecp_scenario::resolve(&scenario).expect("te-stability resolves");
+        for mode in [LoadAccounting::Scratch, LoadAccounting::Incremental] {
+            ecp_simnet::set_default_load_accounting(mode);
+            let id = format!(
+                "{label}/{}",
+                if mode == LoadAccounting::Scratch {
+                    "scratch"
+                } else {
+                    "incremental"
+                }
+            );
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
+                b.iter(|| ecp_scenario::run_resolved(&scenario, &resolved).expect("runs"))
+            });
+        }
+    }
+    g.finish();
+    ecp_simnet::set_default_load_accounting(restore);
+}
+
+criterion_group!(benches, arc_loads, te_kernel, end_to_end);
+criterion_main!(benches);

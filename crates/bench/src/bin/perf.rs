@@ -1,0 +1,200 @@
+//! End-to-end perf harness — the first point of the repo's BENCH
+//! trajectory (ISSUE 5).
+//!
+//! Times representative registry scenarios under both load-accounting
+//! modes of `ecp-simnet` — `Scratch` (the pre-incremental engine:
+//! every load query rescans all flows × paths × arcs) and
+//! `Incremental` (per-arc dirty recompute) — verifies the two produce
+//! byte-identical reports, and emits `BENCH_simnet.json` with the
+//! before/after wall-clock and speedups.
+//!
+//! ```text
+//! cargo run --release -p ecp-bench --bin perf                  # full (150 s te-stability family)
+//! cargo run --release -p ecp-bench --bin perf -- --quick 1 \
+//!     --ceiling-s 120 --out BENCH_simnet.json                  # CI smoke: scaled runs + wall-clock ceiling
+//! ```
+//!
+//! Timing is best-of-`--iters` per (scenario, mode); planning
+//! (topology build, Dijkstra/Yen, oracle probes) happens once per
+//! scenario through `ecp_scenario::resolve` and is excluded, so the
+//! numbers isolate the simulator hot loop the incremental accounting
+//! targets. Criterion microbenches of the individual kernels live in
+//! `crates/bench/benches/{load_accounting,routing_paths}.rs`.
+
+use ecp_bench::{arg, print_table};
+use ecp_scenario::{run_resolved, ScenarioReport};
+use ecp_simnet::{set_default_load_accounting, LoadAccounting};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ScenarioTiming {
+    id: String,
+    samples: usize,
+    scratch_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchFile {
+    /// Schema tag; bump on layout changes.
+    schema: &'static str,
+    quick: bool,
+    iters: usize,
+    te_stability_duration_s: f64,
+    te_stability_load: f64,
+    /// Network/agent multiplier of the te-stability measurement points
+    /// (`te_stability_scaled`): 1 = the golden-pinned registry shape.
+    te_stability_scale: usize,
+    /// The te-stability family: sustained-overload coupled flows on
+    /// the PoP-access ISP, one entry per control policy. The regime
+    /// the ≥5× (≥20× desync) end-to-end target is measured in.
+    te_stability: Vec<ScenarioTiming>,
+    /// Other representative simnet registry scenarios (CI-scaled).
+    representative: Vec<ScenarioTiming>,
+    min_te_stability_speedup: f64,
+    /// Wall-clock of running the whole te-stability family end to end,
+    /// before (scratch) and after (incremental + decision skipping).
+    family_scratch_ms: f64,
+    family_incremental_ms: f64,
+    family_speedup: f64,
+}
+
+/// Best-of-`iters` wall-clock of one scenario under one accounting
+/// mode; returns (millis, last report).
+fn time_mode(
+    scenario: &ecp_scenario::Scenario,
+    resolved: &ecp_scenario::ResolvedScenario,
+    mode: LoadAccounting,
+    iters: usize,
+) -> (f64, ScenarioReport) {
+    set_default_load_accounting(mode);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let report = run_resolved(scenario, resolved).expect("perf scenario runs");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(report);
+    }
+    (best, last.expect("at least one iteration"))
+}
+
+fn time_scenario(id: &str, scenario: &ecp_scenario::Scenario, iters: usize) -> ScenarioTiming {
+    let resolved = ecp_scenario::resolve(scenario).expect("perf scenario resolves");
+    // Untimed warmup: populates the resolution's lazy caches (the
+    // max-feasible oracle probe) and the allocator, so both arms time
+    // only the simulation even at --iters 1.
+    let _ = run_resolved(scenario, &resolved).expect("perf scenario runs");
+    let (scratch_ms, scratch_report) =
+        time_mode(scenario, &resolved, LoadAccounting::Scratch, iters);
+    let (incremental_ms, incremental_report) =
+        time_mode(scenario, &resolved, LoadAccounting::Incremental, iters);
+    let identical = serde_json::to_string(&scratch_report).expect("report serializes")
+        == serde_json::to_string(&incremental_report).expect("report serializes");
+    assert!(
+        identical,
+        "{id}: incremental report diverged from the scratch oracle"
+    );
+    ScenarioTiming {
+        id: id.to_string(),
+        samples: incremental_report.samples,
+        scratch_ms,
+        incremental_ms,
+        speedup: scratch_ms / incremental_ms.max(1e-9),
+        reports_identical: identical,
+    }
+}
+
+fn main() {
+    let quick: usize = arg("quick", 0);
+    let quick = quick != 0;
+    let iters: usize = arg("iters", if quick { 1 } else { 3 });
+    let duration: f64 = arg("duration", if quick { 20.0 } else { 150.0 });
+    let load: f64 = arg("load", 0.7);
+    let scale: usize = arg("scale", if quick { 1 } else { 8 });
+    let ceiling_s: f64 = arg("ceiling-s", 0.0);
+    let out: String = arg("out", "BENCH_simnet.json".to_string());
+
+    let mut te_stability = Vec::new();
+    for (id, control) in ecp_bench::scenarios::te_stability_policies() {
+        let scenario = ecp_bench::scenarios::te_stability_scaled(duration, load, control, scale);
+        te_stability.push(time_scenario(id, &scenario, iters));
+    }
+
+    let representative_ids = [
+        "fig7-click-adaptation",
+        "fig8a-pop-access",
+        "scenario-cascade-flashcrowd",
+        "scenario-rolling-maintenance",
+    ];
+    let mut representative = Vec::new();
+    for id in representative_ids {
+        let scenario = ecp_bench::scenarios::campaign_scenario(id)
+            .unwrap_or_else(|| panic!("unknown registry id {id}"));
+        representative.push(time_scenario(id, &scenario, iters));
+    }
+
+    let min_speedup = te_stability
+        .iter()
+        .map(|t| t.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let family_scratch_ms: f64 = te_stability.iter().map(|t| t.scratch_ms).sum();
+    let family_incremental_ms: f64 = te_stability.iter().map(|t| t.incremental_ms).sum();
+    let family_speedup = family_scratch_ms / family_incremental_ms.max(1e-9);
+
+    let rows: Vec<Vec<String>> = te_stability
+        .iter()
+        .chain(&representative)
+        .map(|t| {
+            vec![
+                t.id.clone(),
+                format!("{:.1}", t.scratch_ms),
+                format!("{:.1}", t.incremental_ms),
+                format!("{:.1}x", t.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("end-to-end wall-clock, best of {iters} (scratch vs incremental)"),
+        &["scenario", "scratch (ms)", "incremental (ms)", "speedup"],
+        &rows,
+    );
+    println!("min te-stability speedup: {min_speedup:.1}x");
+    println!(
+        "te-stability family end-to-end: {family_scratch_ms:.0} ms scratch vs \
+         {family_incremental_ms:.0} ms incremental ({family_speedup:.1}x)"
+    );
+
+    if ceiling_s > 0.0 {
+        for t in &te_stability {
+            assert!(
+                t.incremental_ms / 1e3 <= ceiling_s,
+                "{} took {:.1} s incremental, over the {ceiling_s} s ceiling",
+                t.id,
+                t.incremental_ms / 1e3
+            );
+        }
+        println!("ceiling ok: every te-stability run under {ceiling_s} s");
+    }
+
+    let file = BenchFile {
+        schema: "ecp-bench-perf/1",
+        quick,
+        iters,
+        te_stability_duration_s: duration,
+        te_stability_load: load,
+        te_stability_scale: scale,
+        te_stability,
+        representative,
+        min_te_stability_speedup: min_speedup,
+        family_scratch_ms,
+        family_incremental_ms,
+        family_speedup,
+    };
+    let body = serde_json::to_string_pretty(&file).expect("bench file serializes");
+    std::fs::write(&out, body + "\n").expect("write bench file");
+    println!("wrote {out}");
+}

@@ -903,6 +903,13 @@ pub fn te_stability_policies() -> Vec<(&'static str, ControlSpec)> {
         ("te-stability-undamped", ControlSpec::Undamped),
         ("te-stability-ewma", ControlSpec::Ewma { alpha: 0.3 }),
         (
+            "te-stability-adaptive-ewma",
+            ControlSpec::AdaptiveEwma {
+                alpha_min: 0.2,
+                alpha_max: 1.0,
+            },
+        ),
+        (
             "te-stability-hysteresis",
             ControlSpec::Hysteresis {
                 gap: 0.2,
@@ -929,16 +936,36 @@ pub fn te_stability_policies() -> Vec<(&'static str, ControlSpec)> {
 /// the damped [`ControlSpec`] variants are measured against it via the
 /// attached stability analysis.
 pub fn te_stability(duration: f64, load: f64, control: ControlSpec) -> Scenario {
+    te_stability_scaled(duration, load, control, 1)
+}
+
+/// [`te_stability`] at `scale`× the network/agent count: `scale`× the
+/// metro and backbone tiers and `scale`× the OD pairs, same coupling
+/// regime. `scale = 1` is exactly the registry family (golden-pinned);
+/// larger scales are the perf harness's measurement points, where the
+/// O(flows × paths × arcs) scans the incremental accounting removes
+/// actually dominate the control loop.
+pub fn te_stability_scaled(
+    duration: f64,
+    load: f64,
+    control: ControlSpec,
+    scale: usize,
+) -> Scenario {
+    let scale = scale.max(1);
     ScenarioBuilder::new(format!("te-stability-{}", control.label()))
         .seed(1)
         .duration_s(duration)
-        .topology(TopoSpec::pop_access_default())
+        .topology(TopoSpec::PopAccess {
+            core: 4,
+            backbone: 8 * scale,
+            metro: 16 * scale,
+        })
         .power(PowerSpec::Cisco12000)
         // Seed-sampled metro pairs (two per metro on average, like the
         // Fig.-8a pattern, but seed-sensitive so campaign replicates
         // actually vary) sharing the metro uplinks — the coupling that
         // makes simultaneous re-aggregation collective.
-        .pairs(PairsSpec::Random { count: 44 })
+        .pairs(PairsSpec::Random { count: 44 * scale })
         .traffic(
             MatrixSpec::Gravity,
             ScaleSpec::MaxFeasibleFraction { fraction: load },

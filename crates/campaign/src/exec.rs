@@ -4,7 +4,7 @@
 use crate::spec::CampaignSpec;
 use crate::store::{run_hash, ResultStore, RunFailure, StoredRun};
 use crate::{CampaignError, Resolver};
-use ecp_scenario::{run_scenario, Axis, Param, Scenario, SweepRunner};
+use ecp_scenario::{Axis, Param, ResolveCache, Scenario, SweepRunner};
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -159,6 +159,10 @@ pub fn run_shard(
         }
     }
 
+    // Shard-wide memo of planner/routing artifacts: grid points that
+    // only vary engine-side knobs (threshold, load, control policy,
+    // seed with non-sampled pairs) plan once instead of per run.
+    let resolve_cache = ResolveCache::new();
     let execute = || -> Vec<Result<(usize, usize, usize), CampaignError>> {
         jobs.par_iter()
             .map(|(hash, u)| {
@@ -167,7 +171,7 @@ pub fn run_shard(
                         return Ok((0, 1, cached.failure.is_some() as usize));
                     }
                 }
-                let (report, failure) = match run_scenario(&u.scenario) {
+                let (report, failure) = match resolve_cache.run(&u.scenario) {
                     Ok(r) => (Some(r), None),
                     Err(e) => (
                         None,

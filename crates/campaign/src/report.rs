@@ -13,6 +13,19 @@ use crate::{CampaignError, Resolver};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
+/// Control-loop stability headline numbers of one run, present when
+/// the scenario selected `metrics.stability` (`ecp-control` analyzer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityMetrics {
+    /// Fraction of offered samples delivering below the shortfall
+    /// threshold.
+    pub shortfall_fraction: f64,
+    /// Dominant oscillation period, seconds (`None` below two cycles).
+    pub dominant_period_s: Option<f64>,
+    /// Settling time of the delivered series, seconds.
+    pub settling_time_s: Option<f64>,
+}
+
 /// The headline metrics of one successful run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -26,6 +39,9 @@ pub struct RunMetrics {
     pub congested_fraction: Option<f64>,
     /// Samples / intervals / flows / app runs behind the means.
     pub samples: usize,
+    /// Stability analysis, when the run recorded one.
+    #[serde(default)]
+    pub stability: Option<StabilityMetrics>,
 }
 
 impl RunMetrics {
@@ -36,6 +52,11 @@ impl RunMetrics {
             max_tracking_lag_s: r.max_tracking_lag_s,
             congested_fraction: r.congested_fraction,
             samples: r.samples,
+            stability: r.stability.as_ref().map(|s| StabilityMetrics {
+                shortfall_fraction: s.shortfall_fraction,
+                dominant_period_s: s.dominant_period_s,
+                settling_time_s: s.settling_time_s,
+            }),
         }
     }
 }
@@ -94,6 +115,14 @@ pub struct EntrySummary {
     pub max_tracking_lag_s: Option<f64>,
     /// Mean congested fraction over ok runs reporting one.
     pub mean_congested_fraction: Option<f64>,
+    /// Mean delivery-shortfall fraction over ok runs with a stability
+    /// analysis.
+    pub mean_shortfall_fraction: Option<f64>,
+    /// Mean dominant oscillation period (seconds) over ok runs whose
+    /// analysis detected one.
+    pub mean_dominant_period_s: Option<f64>,
+    /// Worst settling time (seconds) over ok runs reporting one.
+    pub max_settling_time_s: Option<f64>,
     /// Entry-level delta vs the baseline entry.
     pub vs_baseline: Option<BaselineDelta>,
 }
@@ -188,6 +217,18 @@ pub fn summarize(
         let power: Vec<f64> = oks.iter().map(|m| m.mean_power_frac).collect();
         let delivered: Vec<f64> = oks.iter().map(|m| m.mean_delivered_fraction).collect();
         let congested: Vec<f64> = oks.iter().filter_map(|m| m.congested_fraction).collect();
+        let shortfall: Vec<f64> = oks
+            .iter()
+            .filter_map(|m| m.stability.map(|s| s.shortfall_fraction))
+            .collect();
+        let period: Vec<f64> = oks
+            .iter()
+            .filter_map(|m| m.stability.and_then(|s| s.dominant_period_s))
+            .collect();
+        let settle: Vec<f64> = oks
+            .iter()
+            .filter_map(|m| m.stability.and_then(|s| s.settling_time_s))
+            .collect();
         entries.push(EntrySummary {
             entry: e.name.clone(),
             runs: rows.len(),
@@ -202,6 +243,10 @@ pub fn summarize(
             max_tracking_lag_s: (!oks.is_empty())
                 .then(|| oks.iter().map(|m| m.max_tracking_lag_s).fold(0.0, f64::max)),
             mean_congested_fraction: mean(&congested),
+            mean_shortfall_fraction: mean(&shortfall),
+            mean_dominant_period_s: mean(&period),
+            max_settling_time_s: (!settle.is_empty())
+                .then(|| settle.iter().cloned().fold(0.0, f64::max)),
             vs_baseline: None,
         });
     }
@@ -274,13 +319,13 @@ impl CampaignSummary {
         out.push_str("## Entries\n\n");
         out.push_str(
             "| entry | runs | ok | failed | missing | power | delivered | max lag (s) \
-             | congested | Δ power | Δ delivered |\n\
-             |---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+             | congested | shortfall | period (s) | settle (s) | Δ power | Δ delivered |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
         );
         for e in &self.entries {
             let (dp, dd) = fmt_delta(e.vs_baseline);
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 e.entry,
                 e.runs,
                 e.ok,
@@ -290,14 +335,18 @@ impl CampaignSummary {
                 fmt_opt(e.mean_delivered_fraction),
                 fmt_opt(e.max_tracking_lag_s),
                 fmt_opt(e.mean_congested_fraction),
+                fmt_opt(e.mean_shortfall_fraction),
+                fmt_opt(e.mean_dominant_period_s),
+                fmt_opt(e.max_settling_time_s),
                 dp,
                 dd,
             ));
         }
         out.push_str("\n## Runs\n\n");
         out.push_str(
-            "| entry | # | params | status | power | delivered | lag (s) | Δ power | detail |\n\
-             |---|---:|---|---|---:|---:|---:|---:|---|\n",
+            "| entry | # | params | status | power | delivered | lag (s) | shortfall \
+             | Δ power | detail |\n\
+             |---|---:|---|---|---:|---:|---:|---:|---:|---|\n",
         );
         for r in &self.runs {
             let (dp, _) = fmt_delta(r.vs_baseline);
@@ -307,7 +356,7 @@ impl CampaignSummary {
                 (None, None) => "-".into(),
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 r.entry,
                 r.index,
                 fmt_params(&r.params),
@@ -315,6 +364,10 @@ impl CampaignSummary {
                 fmt_opt(r.metrics.map(|m| m.mean_power_frac)),
                 fmt_opt(r.metrics.map(|m| m.mean_delivered_fraction)),
                 fmt_opt(r.metrics.map(|m| m.max_tracking_lag_s)),
+                fmt_opt(
+                    r.metrics
+                        .and_then(|m| m.stability.map(|s| s.shortfall_fraction))
+                ),
                 dp,
                 detail,
             ));
@@ -327,13 +380,15 @@ impl CampaignSummary {
         let mut out = String::from(
             "campaign,entry,run,name,params,hash,status,mean_power_frac,\
              mean_delivered_fraction,max_tracking_lag_s,congested_fraction,samples,\
+             shortfall_fraction,dominant_period_s,settling_time_s,\
              delta_power_vs_baseline,delta_delivered_vs_baseline,failure_kind\n",
         );
         let opt = |v: Option<f64>| v.map(|v| format!("{v}")).unwrap_or_default();
         for r in &self.runs {
             let m = r.metrics;
+            let stab = m.and_then(|m| m.stability);
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.campaign,
                 r.entry,
                 r.index,
@@ -346,6 +401,9 @@ impl CampaignSummary {
                 opt(m.map(|m| m.max_tracking_lag_s)),
                 opt(m.and_then(|m| m.congested_fraction)),
                 m.map(|m| m.samples.to_string()).unwrap_or_default(),
+                opt(stab.map(|s| s.shortfall_fraction)),
+                opt(stab.and_then(|s| s.dominant_period_s)),
+                opt(stab.and_then(|s| s.settling_time_s)),
                 opt(r.vs_baseline.map(|d| d.power_delta)),
                 opt(r.vs_baseline.map(|d| d.delivered_delta)),
                 r.failure.as_ref().map(|f| f.kind.as_str()).unwrap_or(""),

@@ -20,6 +20,10 @@
 //!   variant is measured against.
 //! * [`Ewma`] — smoothed headroom estimation (gain `alpha`); agents
 //!   react to the trend, not to one round's transient.
+//! * [`AdaptiveEwma`] — load-dependent smoothing: the gain
+//!   interpolates from `alpha_max` (light load, raw tracking) down to
+//!   `alpha_min` as the agent's overload pressure rises, so damping
+//!   concentrates where the oscillation lives.
 //! * [`Hysteresis`] — separate spill / re-aggregate thresholds plus a
 //!   dead-band: spilling stays eager, re-aggregation requires margin.
 //! * [`DampedStep`] — load-proportional gain scaling with a per-flow
@@ -39,7 +43,7 @@ pub mod policy;
 pub mod stability;
 
 pub use policy::{
-    ControlPolicy, DampedStep, DampedStepCfg, Desync, Ewma, EwmaCfg, Hysteresis, HysteresisCfg,
-    Observation, Undamped,
+    AdaptiveEwma, AdaptiveEwmaCfg, ControlPolicy, DampedStep, DampedStepCfg, Desync, Ewma, EwmaCfg,
+    Hysteresis, HysteresisCfg, Observation, Undamped,
 };
 pub use stability::{analyze, StabilityConfig, StabilityReport, StabilitySample};

@@ -51,6 +51,20 @@ pub trait ControlPolicy: Send {
 
     /// Compute the agent's new share vector.
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64>;
+
+    /// Whether [`ControlPolicy::decide`] is a **pure function of the
+    /// observation's** `(offered, paths, current, te)` — independent of
+    /// `t`, call count, and any internal state. When true, the
+    /// simulator may skip an agent's decision entirely while its
+    /// observation is unchanged (the skipped call would have returned
+    /// the shares already in place), which with incremental load
+    /// accounting turns quiescent control rounds into no-ops.
+    /// Policies with memory (EWMA estimates, cooldown counters) must
+    /// return `false`: their state evolves on every call even under
+    /// identical observations.
+    fn memoryless(&self) -> bool {
+        false
+    }
 }
 
 // ---- Undamped (the baseline) ----------------------------------------------
@@ -67,6 +81,10 @@ impl ControlPolicy for Undamped {
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
         decide_shares(obs.offered, obs.paths, obs.current, obs.te)
+    }
+
+    fn memoryless(&self) -> bool {
+        true
     }
 }
 
@@ -87,14 +105,53 @@ impl Default for EwmaCfg {
     }
 }
 
-/// Exponentially-smoothed headroom estimation: the agent decides
-/// against the trend of each path's headroom instead of one round's
-/// transient, so a single round of collectively-freed headroom no
-/// longer triggers a collective re-aggregation.
+/// The shared EWMA core of [`Ewma`] and [`AdaptiveEwma`]: fold one
+/// observation into the per-agent smoothed-headroom memory at gain
+/// `alpha` and return the smoothed views.
 ///
 /// Availability is never smoothed — failure reaction stays immediate —
 /// and a path's estimate resets to the raw observation whenever its
-/// availability flips (stale pre-failure values must not linger).
+/// availability flips (stale pre-failure values must not linger). The
+/// multiplicative update form gives exact pass-through at `alpha = 1`
+/// (bit-parity with [`Undamped`]).
+fn ewma_views(
+    state: &mut Vec<Vec<(f64, bool)>>,
+    obs: &Observation<'_>,
+    alpha: f64,
+) -> Vec<PathView> {
+    if state.len() <= obs.agent {
+        state.resize(obs.agent + 1, Vec::new());
+    }
+    let mem = &mut state[obs.agent];
+    if mem.len() != obs.paths.len() {
+        *mem = obs
+            .paths
+            .iter()
+            .map(|p| (p.headroom, p.available))
+            .collect();
+    }
+    obs.paths
+        .iter()
+        .zip(mem.iter_mut())
+        .map(|(p, m)| {
+            if p.available != m.1 {
+                *m = (p.headroom, p.available);
+            } else {
+                m.0 = alpha * p.headroom + (1.0 - alpha) * m.0;
+            }
+            PathView {
+                headroom: m.0,
+                available: p.available,
+            }
+        })
+        .collect()
+}
+
+/// Exponentially-smoothed headroom estimation: the agent decides
+/// against the trend of each path's headroom instead of one round's
+/// transient, so a single round of collectively-freed headroom no
+/// longer triggers a collective re-aggregation. (Smoothing semantics:
+/// see [`ewma_views`].)
 #[derive(Debug, Clone, Default)]
 pub struct Ewma {
     cfg: EwmaCfg,
@@ -119,36 +176,87 @@ impl ControlPolicy for Ewma {
     }
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
-        if self.state.len() <= obs.agent {
-            self.state.resize(obs.agent + 1, Vec::new());
+        let views = ewma_views(&mut self.state, obs, self.cfg.alpha);
+        decide_shares(obs.offered, &views, obs.current, obs.te)
+    }
+}
+
+// ---- Adaptive-alpha EWMA ----------------------------------------------------
+
+/// [`AdaptiveEwma`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveEwmaCfg {
+    /// Heaviest smoothing gain in `(0, 1]`, used at full overload
+    /// pressure (the oscillation-prone regime). Must not exceed
+    /// `alpha_max`.
+    pub alpha_min: f64,
+    /// Lightest smoothing gain in `(0, 1]`, used when the agent's
+    /// demand fits its first available path comfortably. `1.0` makes
+    /// the light-load behavior exactly [`Undamped`], preserving the
+    /// Fig.-7 adaptation latency.
+    pub alpha_max: f64,
+}
+
+impl Default for AdaptiveEwmaCfg {
+    fn default() -> Self {
+        AdaptiveEwmaCfg {
+            alpha_min: 0.2,
+            alpha_max: 1.0,
         }
-        let mem = &mut self.state[obs.agent];
-        if mem.len() != obs.paths.len() {
-            *mem = obs
-                .paths
-                .iter()
-                .map(|p| (p.headroom, p.available))
-                .collect();
+    }
+}
+
+/// Load-dependent smoothing (the ROADMAP's adaptive-alpha follow-up to
+/// [`Ewma`]): the effective gain interpolates between `alpha_max` and
+/// `alpha_min` with the agent's *raw* overload pressure — the fraction
+/// of its offered rate that does not fit the first available path's
+/// observed headroom. Lightly-loaded agents track observations almost
+/// raw (no added latency where the fixed-alpha EWMA pays some), while
+/// agents in the collective spill/re-aggregate regime smooth heavily
+/// exactly where the oscillation lives.
+///
+/// Like [`Ewma`], availability is never smoothed and a path's estimate
+/// resets to the raw observation when its availability flips, so
+/// failure reaction stays immediate (the shared [`ewma_views`] core).
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveEwma {
+    cfg: AdaptiveEwmaCfg,
+    /// Per agent: smoothed headroom + the availability it was built
+    /// under, per path.
+    state: Vec<Vec<(f64, bool)>>,
+}
+
+impl AdaptiveEwma {
+    /// A policy with the given parameters.
+    pub fn new(cfg: AdaptiveEwmaCfg) -> Self {
+        AdaptiveEwma {
+            cfg,
+            state: Vec::new(),
         }
-        let alpha = self.cfg.alpha;
-        let views: Vec<PathView> = obs
-            .paths
-            .iter()
-            .zip(mem.iter_mut())
-            .map(|(p, m)| {
-                if p.available != m.1 {
-                    *m = (p.headroom, p.available);
-                } else {
-                    // Multiplicative form: exact pass-through at
-                    // `alpha = 1` (bit-parity with `Undamped`).
-                    m.0 = alpha * p.headroom + (1.0 - alpha) * m.0;
-                }
-                PathView {
-                    headroom: m.0,
-                    available: p.available,
-                }
-            })
-            .collect();
+    }
+
+    /// The agent's overload pressure in `[0, 1]` from the raw
+    /// observation: 0 when the offered rate fits the first available
+    /// path's headroom, 1 when none of it does.
+    fn pressure(obs: &Observation<'_>) -> f64 {
+        match obs.paths.iter().position(|p| p.available) {
+            Some(first) if obs.offered > 0.0 => {
+                ((obs.offered - obs.paths[first].headroom.max(0.0)) / obs.offered).clamp(0.0, 1.0)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl ControlPolicy for AdaptiveEwma {
+    fn name(&self) -> &'static str {
+        "adaptive-ewma"
+    }
+
+    fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        let pressure = Self::pressure(obs);
+        let alpha = self.cfg.alpha_max - (self.cfg.alpha_max - self.cfg.alpha_min) * pressure;
+        let views = ewma_views(&mut self.state, obs, alpha);
         decide_shares(obs.offered, &views, obs.current, obs.te)
     }
 }
@@ -255,6 +363,10 @@ impl ControlPolicy for Hysteresis {
             obs.te.step,
             obs.te.min_share,
         )
+    }
+
+    fn memoryless(&self) -> bool {
+        true
     }
 }
 
@@ -396,6 +508,10 @@ impl ControlPolicy for Desync {
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
         decide_shares(obs.offered, obs.paths, obs.current, obs.te)
     }
+
+    fn memoryless(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +607,79 @@ mod tests {
             e.decide(&obs(5e6, &[up(10e6), up(20e6)], &cur, &te));
         }
         let shares = e.decide(&obs(5e6, &[down(), up(20e6)], &cur, &te));
+        assert_eq!(shares[0], 0.0, "failed path vacated in one round");
+        assert!((shares[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_ewma_degenerate_config_equals_undamped() {
+        let te = TeConfig::default();
+        let mut a = AdaptiveEwma::new(AdaptiveEwmaCfg {
+            alpha_min: 1.0,
+            alpha_max: 1.0,
+        });
+        let mut u = Undamped;
+        let mut cur = vec![0.5, 0.5];
+        for (h0, rate) in [(4e6, 10e6), (8e6, 6e6), (1e6, 9e6), (6e6, 2e6)] {
+            let paths = [up(h0), up(20e6)];
+            let got = a.decide(&obs(rate, &paths, &cur, &te));
+            let want = u.decide(&obs(rate, &paths, &cur, &te));
+            assert_eq!(got, want);
+            cur = got;
+        }
+    }
+
+    #[test]
+    fn adaptive_ewma_is_raw_at_light_load_and_smooth_under_pressure() {
+        let te = TeConfig::default();
+        let cfg = AdaptiveEwmaCfg {
+            alpha_min: 0.1,
+            alpha_max: 1.0,
+        };
+
+        // Light load (offered well within the first path's headroom):
+        // pressure is 0, alpha is alpha_max = 1, so the decision equals
+        // the raw undamped one even after a history of different
+        // observations.
+        let mut a = AdaptiveEwma::new(cfg);
+        let cur = vec![0.6, 0.4];
+        for _ in 0..5 {
+            a.decide(&obs(2e6, &[up(3e6), up(20e6)], &cur, &te));
+        }
+        let paths = [up(9e6), up(20e6)];
+        let light = a.decide(&obs(2e6, &paths, &cur, &te));
+        let raw = Undamped.decide(&obs(2e6, &paths, &cur, &te));
+        assert_eq!(light, raw, "no smoothing without overload pressure");
+
+        // Overload pressure: after warming the estimate on comfortable
+        // headroom, one transiently terrible overloaded observation is
+        // heavily smoothed (like the fixed-alpha EWMA would).
+        let mut a = AdaptiveEwma::new(cfg);
+        let cur = vec![1.0, 0.0];
+        for _ in 0..10 {
+            a.decide(&obs(5e6, &[up(10e6), up(20e6)], &cur, &te));
+        }
+        let paths_bad = [up(-5e6), up(20e6)];
+        let smoothed = a.decide(&obs(5e6, &paths_bad, &cur, &te));
+        let raw = Undamped.decide(&obs(5e6, &paths_bad, &cur, &te));
+        assert!(
+            smoothed[0] > raw[0] + 0.3,
+            "pressure engages the smoothing: {smoothed:?} vs raw {raw:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_ewma_failure_reaction_is_immediate() {
+        let te = TeConfig::default();
+        let mut a = AdaptiveEwma::new(AdaptiveEwmaCfg {
+            alpha_min: 0.05,
+            alpha_max: 0.5,
+        });
+        let cur = vec![1.0, 0.0];
+        for _ in 0..5 {
+            a.decide(&obs(5e6, &[up(10e6), up(20e6)], &cur, &te));
+        }
+        let shares = a.decide(&obs(5e6, &[down(), up(20e6)], &cur, &te));
         assert_eq!(shares[0], 0.0, "failed path vacated in one round");
         assert!((shares[1] - 1.0).abs() < 1e-9);
     }
@@ -659,6 +848,7 @@ mod tests {
         let mut policies: Vec<Box<dyn ControlPolicy>> = vec![
             Box::new(Undamped),
             Box::new(Ewma::new(EwmaCfg { alpha: 0.3 })),
+            Box::new(AdaptiveEwma::new(AdaptiveEwmaCfg::default())),
             Box::new(Hysteresis::new(HysteresisCfg::default())),
             Box::new(DampedStep::new(DampedStepCfg::default())),
             Box::new(Desync::new(3)),

@@ -96,9 +96,9 @@ pub mod sweep;
 
 pub use error::ScenarioError;
 pub use run::{
-    resolve, run_resolved, run_scenario, AppDetail, CapacityStats, CompareResult, DriftStats,
-    FailoverStats, PacketDetail, RecomputeStats, ReplayDetail, ResolvedScenario, ScenarioReport,
-    SleepStats, StreamingRunStats, TableStats,
+    resolution_key, resolve, run_resolved, run_scenario, AppDetail, CapacityStats, CompareResult,
+    DriftStats, FailoverStats, PacketDetail, RecomputeStats, ReplayDetail, ResolveCache,
+    ResolvedScenario, ScenarioReport, SleepStats, StreamingRunStats, TableStats,
 };
 pub use spec::{
     AppSpec, CompareSpec, ControlSpec, EngineSpec, EventSpec, FlowProgram, LinkRef, MatrixSpec,

@@ -274,6 +274,23 @@ pub struct ResolvedScenario {
     pub pairs: Vec<(NodeId, NodeId)>,
     /// Installed tables.
     pub tables: PathTables,
+    /// Cached oracle probe of the maximum feasible volume over
+    /// `pairs` — computed at most once per resolution and shared by
+    /// every run against it (and, through [`ResolveCache`], by every
+    /// sweep grid point with the same resolution key). Before this
+    /// cache the probe re-ran inside *every* `run_resolved` call,
+    /// a flat per-run cost that dwarfed short simulations.
+    vmax: std::sync::OnceLock<f64>,
+}
+
+impl ResolvedScenario {
+    /// The oracle's maximum feasible volume at this context's pairs
+    /// (the paper's §5.1 scaling base), probed on first use.
+    pub fn max_feasible_volume(&self) -> f64 {
+        *self.vmax.get_or_init(|| {
+            max_feasible_volume(&self.built.topo, &self.pairs, &OracleConfig::default())
+        })
+    }
 }
 
 /// Run a scenario end to end.
@@ -288,30 +305,155 @@ pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, ScenarioError> {
     let built = scenario.topology.build();
     let power = scenario.power.build();
     let pairs = resolve_pairs(&built, &scenario.pairs, scenario.seed)?;
-    let tables = match scenario.tables {
+    let mut resolved = ResolvedScenario {
+        built,
+        power,
+        pairs,
+        tables: PathTables::new(),
+        vmax: std::sync::OnceLock::new(),
+    };
+    resolved.tables = match scenario.tables {
         TablesSpec::Planned | TablesSpec::PlannedAllPairs => {
             let peak = match scenario.planner.peak_level() {
-                Some(level) => Some(offered_matrix(scenario, &built.topo, &pairs)?.at(level)?),
+                Some(level) => Some(offered_matrix(scenario, &resolved)?.at(level)?),
                 None => None,
             };
             let cfg = scenario.planner.to_config(peak);
-            let planner = Planner::new(&built.topo, &power);
+            let planner = Planner::new(&resolved.built.topo, &resolved.power);
             match scenario.tables {
-                TablesSpec::Planned => planner.plan_pairs(&cfg, &pairs),
+                TablesSpec::Planned => planner.plan_pairs(&cfg, &resolved.pairs),
                 _ => planner.plan(&cfg),
             }
         }
         TablesSpec::OspfInvCap => {
-            ecp_apps::tables_from_routes(&ospf_invcap(&built.topo, &pairs, None))
+            ecp_apps::tables_from_routes(&ospf_invcap(&resolved.built.topo, &resolved.pairs, None))
         }
-        TablesSpec::Fig3Paper => fig3_paper_tables(&built)?,
+        TablesSpec::Fig3Paper => fig3_paper_tables(&resolved.built)?,
     };
-    Ok(ResolvedScenario {
-        built,
-        power,
-        pairs,
-        tables,
-    })
+    Ok(resolved)
+}
+
+/// The projection of a [`Scenario`] that [`resolve`] actually reads,
+/// rendered as a stable JSON key.
+///
+/// Two scenarios with equal keys resolve to identical
+/// `(topology, power, pairs, tables)` artifacts, so sweep grid points
+/// and campaign runs that only vary engine-side knobs — threshold,
+/// wake time, control policy, duration, metrics, the load level when
+/// the planner is demand-oblivious, the seed when the pairs are not
+/// seed-sampled — can share one planning pass (Dijkstra/Yen/oracle)
+/// through a [`ResolveCache`].
+///
+/// The key is deliberately conservative: the `seed` is included
+/// whenever the pair selection samples with it, and the traffic
+/// matrix/scale are included whenever the planner strategy consults
+/// the offered peak matrix.
+pub fn resolution_key(scenario: &Scenario) -> String {
+    let seed_dependent_pairs = matches!(
+        scenario.pairs,
+        PairsSpec::Random { .. } | PairsSpec::RandomSubset { .. }
+    );
+    let planner_reads_traffic = matches!(
+        scenario.tables,
+        TablesSpec::Planned | TablesSpec::PlannedAllPairs
+    ) && scenario.planner.peak_level().is_some();
+    // serde_json over each component keeps the key stable and readable
+    // without requiring a borrowed-field derive in the vendored serde.
+    fn part<T: serde::Serialize>(out: &mut String, label: &str, v: &T) {
+        out.push_str(label);
+        out.push('=');
+        out.push_str(&serde_json::to_string(v).expect("resolution key component serializes"));
+        out.push(';');
+    }
+    let mut key = String::new();
+    part(&mut key, "topology", &scenario.topology);
+    part(&mut key, "power", &scenario.power);
+    part(&mut key, "pairs", &scenario.pairs);
+    part(&mut key, "tables", &scenario.tables);
+    part(&mut key, "planner", &scenario.planner);
+    if seed_dependent_pairs {
+        part(&mut key, "seed", &scenario.seed);
+    }
+    if planner_reads_traffic {
+        part(&mut key, "matrix", &scenario.traffic.matrix);
+        part(&mut key, "scale", &scenario.traffic.scale);
+    }
+    key
+}
+
+/// A thread-safe memo of [`resolve`] outputs keyed by
+/// [`resolution_key`]: the planner/routing artifacts (topology build,
+/// Dijkstra/Yen path construction, oracle probes) are computed once per
+/// distinct key and shared across grid points. Because `resolve` is a
+/// deterministic function of the key, memoized runs are byte-identical
+/// to unmemoized ones (pinned by the sweep parity proptest).
+#[derive(Default)]
+pub struct ResolveCache {
+    /// Key → resolution slot. The two-level locking keeps distinct
+    /// keys fully concurrent while giving each key an in-flight guard:
+    /// the first worker to claim a slot plans inside the slot lock,
+    /// and same-key workers arriving meanwhile block on that slot
+    /// instead of duplicating the planning pass.
+    #[allow(clippy::type_complexity)]
+    map: std::sync::Mutex<
+        std::collections::HashMap<
+            String,
+            std::sync::Arc<std::sync::Mutex<Option<std::sync::Arc<ResolvedScenario>>>>,
+        >,
+    >,
+}
+
+impl ResolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct resolutions completed so far.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("resolve cache lock")
+            .values()
+            .filter(|slot| slot.lock().expect("resolve slot lock").is_some())
+            .count()
+    }
+
+    /// Whether nothing has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolve through the cache.
+    pub fn resolve(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<std::sync::Arc<ResolvedScenario>, ScenarioError> {
+        let key = resolution_key(scenario);
+        let slot = std::sync::Arc::clone(
+            self.map
+                .lock()
+                .expect("resolve cache lock")
+                .entry(key)
+                .or_default(),
+        );
+        let mut guard = slot.lock().expect("resolve slot lock");
+        if let Some(hit) = guard.as_ref() {
+            return Ok(std::sync::Arc::clone(hit));
+        }
+        // Plan while holding only this key's slot lock. On error the
+        // slot stays empty, so a later caller retries.
+        let resolved = std::sync::Arc::new(resolve(scenario)?);
+        *guard = Some(std::sync::Arc::clone(&resolved));
+        Ok(resolved)
+    }
+
+    /// Run a scenario end to end, sharing resolution artifacts with
+    /// every other run of the same key.
+    pub fn run(&self, scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+        let resolved = self.resolve(scenario)?;
+        run_resolved(scenario, &resolved)
+    }
 }
 
 /// Run a scenario against an already-resolved context.
@@ -484,32 +626,24 @@ fn fig3_paper_tables(built: &BuiltTopology) -> Result<PathTables, ScenarioError>
 // ---- traffic matrices -----------------------------------------------------
 
 /// Program levels → traffic matrices for one scenario: the scale maps a
-/// level to a volume (caching the oracle's max-feasible probe), the
-/// matrix spec maps a volume to per-pair demands.
+/// level to a volume (the oracle's max-feasible probe is cached on the
+/// resolved context), the matrix spec maps a volume to per-pair
+/// demands.
 struct OfferedMatrix<'a> {
     scenario: &'a Scenario,
-    topo: &'a Topology,
-    pairs: &'a [(NodeId, NodeId)],
-    /// `MaxFeasibleFraction` base volume, computed once on demand.
-    vmax: std::cell::OnceCell<f64>,
+    resolved: &'a ResolvedScenario,
 }
 
 fn offered_matrix<'a>(
     scenario: &'a Scenario,
-    topo: &'a Topology,
-    pairs: &'a [(NodeId, NodeId)],
+    resolved: &'a ResolvedScenario,
 ) -> Result<OfferedMatrix<'a>, ScenarioError> {
     if matches!(scenario.traffic.scale, ScaleSpec::PerFlowBps { .. })
         && scenario.traffic.matrix == MatrixSpec::Gravity
     {
         return Err("PerFlowBps scale requires the Uniform matrix".into());
     }
-    Ok(OfferedMatrix {
-        scenario,
-        topo,
-        pairs,
-        vmax: std::cell::OnceCell::new(),
-    })
+    Ok(OfferedMatrix { scenario, resolved })
 }
 
 impl OfferedMatrix<'_> {
@@ -517,10 +651,7 @@ impl OfferedMatrix<'_> {
     fn volume(&self, level: f64) -> f64 {
         match self.scenario.traffic.scale {
             ScaleSpec::MaxFeasibleFraction { fraction } => {
-                let vmax = *self.vmax.get_or_init(|| {
-                    max_feasible_volume(self.topo, self.pairs, &OracleConfig::default())
-                });
-                vmax * level * fraction
+                self.resolved.max_feasible_volume() * level * fraction
             }
             ScaleSpec::TotalBps { bps } => bps * level,
             ScaleSpec::PerFlowBps { bps } => bps * level,
@@ -530,14 +661,14 @@ impl OfferedMatrix<'_> {
     /// The offered matrix at a program level.
     fn at(&self, level: f64) -> Result<TrafficMatrix, ScenarioError> {
         let v = self.volume(level);
+        let pairs = &self.resolved.pairs[..];
         let per_flow = matches!(self.scenario.traffic.scale, ScaleSpec::PerFlowBps { .. });
         match (self.scenario.traffic.matrix, per_flow) {
-            (MatrixSpec::Uniform, true) => Ok(uniform_matrix(self.pairs, v)),
-            (MatrixSpec::Uniform, false) => Ok(uniform_matrix(
-                self.pairs,
-                v / self.pairs.len().max(1) as f64,
-            )),
-            (MatrixSpec::Gravity, false) => Ok(gravity_matrix(self.topo, self.pairs, v)),
+            (MatrixSpec::Uniform, true) => Ok(uniform_matrix(pairs, v)),
+            (MatrixSpec::Uniform, false) => {
+                Ok(uniform_matrix(pairs, v / pairs.len().max(1) as f64))
+            }
+            (MatrixSpec::Gravity, false) => Ok(gravity_matrix(&self.resolved.built.topo, pairs, v)),
             (MatrixSpec::Gravity, true) => {
                 Err("PerFlowBps scale requires the Uniform matrix".into())
             }
@@ -549,14 +680,13 @@ impl OfferedMatrix<'_> {
 /// rate switches to its entry in the matrix.
 fn demand_schedule(
     scenario: &Scenario,
-    topo: &Topology,
-    pairs: &[(NodeId, NodeId)],
+    resolved: &ResolvedScenario,
 ) -> Result<Vec<(f64, TrafficMatrix)>, ScenarioError> {
     let points = scenario.traffic.program.sample();
     if points.is_empty() {
         return Err("traffic program has no segments".into());
     }
-    let offered = offered_matrix(scenario, topo, pairs)?;
+    let offered = offered_matrix(scenario, resolved)?;
     points
         .into_iter()
         .map(|(t, level)| Ok((t, offered.at(level)?)))
@@ -768,7 +898,7 @@ fn attach_table_metrics(
         });
     }
     if scenario.metrics.table_capacity {
-        let base = offered_matrix(scenario, topo, &resolved.pairs)?.at(1.0)?;
+        let base = offered_matrix(scenario, resolved)?.at(1.0)?;
         let te = scenario_te(scenario);
         let aon = max_supported_scale(topo, tables, &base, &te, 1);
         let all = max_supported_scale(topo, tables, &base, &te, 3);
@@ -795,7 +925,7 @@ fn run_simnet(
     resolved: &ResolvedScenario,
 ) -> Result<ScenarioReport, ScenarioError> {
     let topo = &resolved.built.topo;
-    let schedule = demand_schedule(scenario, topo, &resolved.pairs)?;
+    let schedule = demand_schedule(scenario, resolved)?;
     let mut overrides: HashMap<usize, &Program> = HashMap::new();
     for fp in &scenario.traffic.per_flow {
         if fp.flow >= resolved.pairs.len() {
@@ -814,7 +944,7 @@ fn run_simnet(
     let base1 = if overrides.is_empty() {
         None
     } else {
-        Some(offered_matrix(scenario, topo, &resolved.pairs)?.at(1.0)?)
+        Some(offered_matrix(scenario, resolved)?.at(1.0)?)
     };
     let mut sim = Simulation::with_policy(
         topo,
@@ -1005,7 +1135,7 @@ fn build_trace(
                     peak
                 }
                 PeakSpec::MaxFeasibleFraction { fraction } => {
-                    max_feasible_volume(topo, &resolved.pairs, &OracleConfig::default()) * fraction
+                    resolved.max_feasible_volume() * fraction
                 }
                 PeakSpec::TotalBps { bps } => bps,
             };
@@ -1066,7 +1196,7 @@ fn build_trace(
                 return Err("program interval must be positive".into());
             }
             let n = ((scenario.duration_s / interval).ceil() as usize).max(1);
-            let offered = offered_matrix(scenario, topo, &resolved.pairs)?;
+            let offered = offered_matrix(scenario, resolved)?;
             let matrices = (0..n)
                 .map(|i| offered.at(scenario.traffic.program.level_at(i as f64 * interval)))
                 .collect::<Result<Vec<_>, _>>()?;
@@ -1287,7 +1417,7 @@ fn run_replay_tables(
                 })
                 .collect(),
             CompareSpec::OptimalAtPeak { peak_level } => {
-                let tm = offered_matrix(scenario, topo, &resolved.pairs)?.at(*peak_level)?;
+                let tm = offered_matrix(scenario, resolved)?.at(*peak_level)?;
                 vec![ecp_routing::optimal_subset(topo, &resolved.power, &tm, &oc)
                     .map(|r| r.power_w / full)
                     .unwrap_or(f64::NAN)]

@@ -719,6 +719,16 @@ pub enum ControlSpec {
         /// Smoothing gain in `(0, 1]`; `1.0` disables smoothing.
         alpha: f64,
     },
+    /// Load-dependent smoothing: the gain interpolates from
+    /// `alpha_max` (light load) down to `alpha_min` as the agent's
+    /// overload pressure rises.
+    AdaptiveEwma {
+        /// Heaviest gain in `(0, 1]`, at full overload pressure.
+        alpha_min: f64,
+        /// Lightest gain in `(0, 1]` (≥ `alpha_min`), with no
+        /// pressure; `1.0` keeps light-load behavior exactly undamped.
+        alpha_max: f64,
+    },
     /// Separate spill / re-aggregate thresholds plus a dead-band.
     Hysteresis {
         /// Re-aggregation headroom margin in `[0, 1)`.
@@ -748,6 +758,7 @@ impl ControlSpec {
         match self {
             ControlSpec::Undamped => "undamped",
             ControlSpec::Ewma { .. } => "ewma",
+            ControlSpec::AdaptiveEwma { .. } => "adaptive-ewma",
             ControlSpec::Hysteresis { .. } => "hysteresis",
             ControlSpec::DampedStep { .. } => "damped-step",
             ControlSpec::Desync { .. } => "desync",
@@ -765,6 +776,27 @@ impl ControlSpec {
                     Ok(())
                 } else {
                     Err(format!("control Ewma alpha must be in (0, 1], got {alpha}"))
+                }
+            }
+            ControlSpec::AdaptiveEwma {
+                alpha_min,
+                alpha_max,
+            } => {
+                if !(alpha_min > 0.0 && alpha_min <= 1.0) {
+                    Err(format!(
+                        "control AdaptiveEwma alpha_min must be in (0, 1], got {alpha_min}"
+                    ))
+                } else if !(alpha_max > 0.0 && alpha_max <= 1.0) {
+                    Err(format!(
+                        "control AdaptiveEwma alpha_max must be in (0, 1], got {alpha_max}"
+                    ))
+                } else if alpha_min > alpha_max {
+                    Err(format!(
+                        "control AdaptiveEwma alpha_min ({alpha_min}) must not exceed \
+                         alpha_max ({alpha_max})"
+                    ))
+                } else {
+                    Ok(())
                 }
             }
             ControlSpec::Hysteresis { gap, dead_band } => {
@@ -799,6 +831,15 @@ impl ControlSpec {
             ControlSpec::Ewma { alpha } => {
                 Box::new(ecp_control::Ewma::new(ecp_control::EwmaCfg { alpha }))
             }
+            ControlSpec::AdaptiveEwma {
+                alpha_min,
+                alpha_max,
+            } => Box::new(ecp_control::AdaptiveEwma::new(
+                ecp_control::AdaptiveEwmaCfg {
+                    alpha_min,
+                    alpha_max,
+                },
+            )),
             ControlSpec::Hysteresis { gap, dead_band } => {
                 Box::new(ecp_control::Hysteresis::new(ecp_control::HysteresisCfg {
                     gap,

@@ -1,7 +1,7 @@
 //! Parameter-grid expansion and the parallel sweep runner.
 
 use crate::error::ScenarioError;
-use crate::run::{run_scenario, ScenarioReport};
+use crate::run::ScenarioReport;
 use crate::spec::{ControlSpec, ScaleSpec, Scenario};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -30,6 +30,10 @@ pub enum Param {
     /// `control = Ewma { alpha: value }` — the smoothing-gain axis of
     /// damping A/B campaigns.
     EwmaAlpha,
+    /// `control = AdaptiveEwma { alpha_min: value, .. }` — the
+    /// heavy-smoothing floor of the load-dependent gain (an existing
+    /// AdaptiveEwma spec keeps its `alpha_max`, else `1.0`).
+    AdaptiveAlpha,
     /// `control = Hysteresis { gap: value, .. }` (an existing
     /// Hysteresis spec keeps its dead-band).
     HystGap,
@@ -51,6 +55,7 @@ impl Param {
             Param::Seed => "seed",
             Param::LoadScale => "load_scale",
             Param::EwmaAlpha => "ewma_alpha",
+            Param::AdaptiveAlpha => "adaptive_alpha",
             Param::HystGap => "hyst_gap",
             Param::StepDamp => "step_damp",
         }
@@ -72,6 +77,16 @@ impl Param {
                 ScaleSpec::TotalBps { bps } | ScaleSpec::PerFlowBps { bps } => *bps *= value,
             },
             Param::EwmaAlpha => scenario.control = ControlSpec::Ewma { alpha: value },
+            Param::AdaptiveAlpha => {
+                let alpha_max = match scenario.control {
+                    ControlSpec::AdaptiveEwma { alpha_max, .. } => alpha_max,
+                    _ => 1.0,
+                };
+                scenario.control = ControlSpec::AdaptiveEwma {
+                    alpha_min: value,
+                    alpha_max,
+                };
+            }
             Param::HystGap => {
                 let dead_band = match scenario.control {
                     ControlSpec::Hysteresis { dead_band, .. } => dead_band,
@@ -233,42 +248,27 @@ impl SweepRunner {
         }
     }
 
-    /// Whether any axis changes what [`crate::resolve`] produces
-    /// (topology, pairs, or tables). When none does, the base scenario
-    /// is resolved once and shared by every cell instead of re-planning
-    /// per instance.
-    fn axes_affect_resolution(&self) -> bool {
-        self.axes.iter().any(|a| {
-            matches!(
-                a.param,
-                Param::NumPaths
-                    | Param::Beta
-                    | Param::Margin
-                    | Param::ExcludeFraction
-                    | Param::Seed
-                    | Param::LoadScale
-            )
-        })
-    }
-
     /// Execute every instance in parallel and aggregate the reports.
     /// Fails if any instance fails.
+    ///
+    /// Planner/routing artifacts (topology build, Dijkstra/Yen path
+    /// construction, oracle probes) are memoized across the grid by
+    /// [`crate::ResolveCache`]: cells that only vary engine-side knobs
+    /// (threshold, load level with a demand-oblivious planner, control
+    /// parameters, the seed when pairs are not seed-sampled) share one
+    /// resolution instead of re-planning per cell. Memoized results
+    /// are byte-identical to per-cell resolution (`resolve` is a
+    /// deterministic function of the cache key).
     pub fn run(&self) -> Result<SweepReport, ScenarioError> {
         let instances = self.instances();
-        let shared = if self.axes_affect_resolution() {
-            None
-        } else {
-            Some(crate::run::resolve(&self.base)?)
-        };
+        let cache = crate::run::ResolveCache::new();
         let execute = || -> Vec<Result<SweepRow, ScenarioError>> {
             instances
                 .into_par_iter()
                 .map(|(params, scenario)| {
-                    let report = match &shared {
-                        Some(resolved) => crate::run::run_resolved(&scenario, resolved),
-                        None => run_scenario(&scenario),
-                    };
-                    report.map(|report| SweepRow { params, report })
+                    cache
+                        .run(&scenario)
+                        .map(|report| SweepRow { params, report })
                 })
                 .collect()
         };

@@ -98,6 +98,117 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sweeps memoize planner/routing artifacts across grid points
+    /// (`ResolveCache`): a Threshold × LoadScale grid plans once per
+    /// distinct resolution key. Memoized runs must be byte-identical
+    /// to resolving every instance from scratch.
+    #[test]
+    fn memoized_sweep_matches_unmemoized(scenario in arb_scenario()) {
+        let axes = vec![
+            Axis::new(Param::Threshold, [0.7, 0.9]),
+            Axis::new(Param::LoadScale, [0.8, 1.0]),
+        ];
+        let runner = SweepRunner::new(scenario, axes).threads(2);
+        let memoized = runner.run().unwrap();
+        prop_assert_eq!(memoized.rows.len(), runner.len());
+        for ((params, instance), row) in runner.instances().into_iter().zip(&memoized.rows) {
+            let fresh = run_scenario(&instance).unwrap();
+            prop_assert_eq!(&params, &row.params);
+            prop_assert_eq!(
+                serde_json::to_string(&fresh).unwrap(),
+                serde_json::to_string(&row.report).unwrap()
+            );
+        }
+    }
+}
+
+/// The resolution key shares exactly what is safe to share: engine-side
+/// knobs fall out of the key, planner-side inputs stay in it.
+#[test]
+fn resolution_key_is_tight_and_conservative() {
+    use ecp_scenario::{resolution_key, ControlSpec, StrategySpec};
+    let base = ScenarioBuilder::new("key")
+        .topology(TopoSpec::small_waxman(8, 1))
+        .pairs(PairsSpec::Random { count: 4 })
+        .duration_s(1.0)
+        .build();
+
+    // Threshold / control / duration / metrics do not affect resolution.
+    let mut same = base.clone();
+    same.sim.te_threshold = 0.5;
+    same.control = ControlSpec::Ewma { alpha: 0.4 };
+    same.duration_s = 99.0;
+    same.name = "other-name".into();
+    assert_eq!(resolution_key(&base), resolution_key(&same));
+
+    // Random pairs sample with the seed: the key must include it.
+    let mut reseeded = base.clone();
+    reseeded.seed += 1;
+    assert_ne!(resolution_key(&base), resolution_key(&reseeded));
+
+    // Non-sampled pairs do not consume the seed: replicates share.
+    let mut fixed_pairs = base.clone();
+    fixed_pairs.pairs = PairsSpec::EdgeOffset {
+        denominators: vec![2],
+    };
+    let mut fixed_reseeded = fixed_pairs.clone();
+    fixed_reseeded.seed += 1;
+    assert_eq!(
+        resolution_key(&fixed_pairs),
+        resolution_key(&fixed_reseeded)
+    );
+
+    // A demand-oblivious planner ignores the traffic scale...
+    let mut scaled = base.clone();
+    if let ScaleSpec::MaxFeasibleFraction { fraction } = &mut scaled.traffic.scale {
+        *fraction *= 0.5;
+    }
+    assert_eq!(resolution_key(&base), resolution_key(&scaled));
+
+    // ...but a peak-aware strategy plans against it: key must differ.
+    let mut peaked = base.clone();
+    peaked.planner.strategy = StrategySpec::PeakOffered { peak_level: 1.0 };
+    let mut peaked_scaled = peaked.clone();
+    if let ScaleSpec::MaxFeasibleFraction { fraction } = &mut peaked_scaled.traffic.scale {
+        *fraction *= 0.5;
+    }
+    assert_ne!(resolution_key(&peaked), resolution_key(&peaked_scaled));
+
+    // Planner knobs always affect the key.
+    let mut more_paths = base.clone();
+    more_paths.planner.num_paths += 1;
+    assert_ne!(resolution_key(&base), resolution_key(&more_paths));
+}
+
+/// The cache actually shares: two scenarios with equal keys resolve to
+/// the same `Arc`.
+#[test]
+fn resolve_cache_shares_equal_keys() {
+    use ecp_scenario::ResolveCache;
+    let base = ScenarioBuilder::new("cache")
+        .topology(TopoSpec::small_waxman(8, 1))
+        .pairs(PairsSpec::Random { count: 4 })
+        .duration_s(1.0)
+        .build();
+    let mut tweaked = base.clone();
+    tweaked.sim.te_threshold = 0.4;
+
+    let cache = ResolveCache::new();
+    let a = cache.resolve(&base).unwrap();
+    let b = cache.resolve(&tweaked).unwrap();
+    assert!(std::sync::Arc::ptr_eq(&a, &b), "one planning pass shared");
+    assert_eq!(cache.len(), 1);
+
+    let mut reseeded = base.clone();
+    reseeded.seed += 1;
+    let c = cache.resolve(&reseeded).unwrap();
+    assert!(!std::sync::Arc::ptr_eq(&a, &c), "seed-sampled pairs differ");
+    assert_eq!(cache.len(), 2);
+}
+
 #[test]
 fn sweep_grid_expansion_is_cartesian_and_ordered() {
     let scenario = ScenarioBuilder::new("grid")

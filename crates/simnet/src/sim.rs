@@ -9,6 +9,56 @@ use respons_core::PathTables;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::AtomicU8;
+use std::sync::OnceLock;
+
+/// How a [`Simulation`] maintains per-arc delivered load.
+///
+/// The load vector is the online TE loop's shared observable: every
+/// control round, recorder sample, and delivery query needs it. The
+/// two modes are **bit-identical** in every output (pinned by the
+/// golden-parity suite and a continuous `debug_assert` cross-check);
+/// they differ only in wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum LoadAccounting {
+    /// Maintain `loads` incrementally: O(changed paths × path length)
+    /// bookkeeping per event plus a dirty-arc recompute, instead of an
+    /// O(flows × paths × arcs) scan per query. The default.
+    #[default]
+    Incremental = 0,
+    /// Recompute every load query from scratch — the pre-incremental
+    /// behavior, kept as the verification oracle and as the "before"
+    /// arm of the perf harness (`ecp-bench perf`, BENCH_simnet.json).
+    Scratch = 1,
+}
+
+/// Unset sentinel for the process-wide accounting override.
+static ACCOUNTING_OVERRIDE: AtomicU8 = AtomicU8::new(u8::MAX);
+
+/// The accounting mode new simulations start in: the value set by
+/// [`set_default_load_accounting`] if any, else `ECP_LOAD_ACCOUNTING`
+/// (`scratch` selects the slow oracle; read once), else incremental.
+pub fn default_load_accounting() -> LoadAccounting {
+    match ACCOUNTING_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => LoadAccounting::Incremental,
+        1 => LoadAccounting::Scratch,
+        _ => {
+            static FROM_ENV: OnceLock<LoadAccounting> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| match std::env::var("ECP_LOAD_ACCOUNTING") {
+                Ok(v) if v.eq_ignore_ascii_case("scratch") => LoadAccounting::Scratch,
+                _ => LoadAccounting::Incremental,
+            })
+        }
+    }
+}
+
+/// Override the process-wide default accounting mode (the perf harness
+/// uses this to time both arms in one process). Affects simulations
+/// constructed afterwards; running ones keep their mode.
+pub fn set_default_load_accounting(mode: LoadAccounting) {
+    ACCOUNTING_OVERRIDE.store(mode as u8, std::sync::atomic::Ordering::Relaxed);
+}
 
 /// Handle to a flow (OD traffic aggregate) in a [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -167,6 +217,22 @@ struct Flow {
     path_arcs: Vec<Vec<ArcId>>,
     /// Current share vector.
     shares: Vec<f64>,
+    /// Cached per-path rate, always exactly `offered * shares[pi]`
+    /// (the incremental accounting's unit of contribution).
+    rate: Vec<f64>,
+    /// Per path: how many of its arc occurrences traverse a link that
+    /// is currently not ready (down or not Active). `0` ⇔ the path is
+    /// ready — the incremental mirror of [`Simulation::path_ready`].
+    blocked: Vec<u32>,
+    /// Per path: the distinct canonical link indices it touches (either
+    /// direction), for the per-link assigned-traffic counts.
+    links: Vec<Vec<usize>>,
+    /// Whether anything this agent observes (loads along its paths,
+    /// known failures, its offered rate or shares, the TE config) has
+    /// changed since its last decision. While false, a memoryless
+    /// policy's decision would reproduce the shares already in place,
+    /// so the simulator skips it entirely.
+    obs_dirty: bool,
 }
 
 /// The event-driven network simulation.
@@ -197,6 +263,30 @@ pub struct Simulation<'a> {
     /// decisions (default: [`ecp_control::Undamped`], the original
     /// hard-wired `decide_shares` behavior).
     policy: Box<dyn ControlPolicy>,
+    /// Load-accounting mode (incremental by default).
+    accounting: LoadAccounting,
+    /// Cached [`ControlPolicy::memoryless`] of `policy`: decision
+    /// skipping for observation-clean agents is only sound for pure
+    /// policies (and only engages in `Incremental` mode, where load
+    /// changes propagate to the per-flow dirty flags).
+    policy_memoryless: bool,
+    /// Incremental per-arc delivered load. In `Incremental` mode this
+    /// is flushed after every event and is bit-identical to
+    /// [`Simulation::arc_loads_scratch`] at every public API boundary.
+    loads: Vec<f64>,
+    /// Arcs whose load must be recomputed at the next flush.
+    arc_dirty: Vec<bool>,
+    dirty_arcs: Vec<usize>,
+    /// Reverse index: arc → the `(flow, path)` occurrences traversing
+    /// it, in (flow, path, occurrence) order — the same order the
+    /// from-scratch scan adds contributions in, so a per-arc recompute
+    /// is bit-identical to it.
+    users: Vec<Vec<(u32, u32)>>,
+    /// Per canonical link: ready to carry traffic (not down, Active).
+    link_ready: Vec<bool>,
+    /// Per canonical link: number of `(flow, path)` pairs with positive
+    /// rate touching it in either direction — the O(1) sleep-check.
+    assigned: Vec<u32>,
 }
 
 impl<'a> Simulation<'a> {
@@ -239,6 +329,11 @@ impl<'a> Simulation<'a> {
                 }
             })
             .collect();
+        let link_ready: Vec<bool> = link_state
+            .iter()
+            .map(|s| matches!(s, LinkPowerState::Active))
+            .collect();
+        let policy_memoryless = policy.memoryless();
         let mut sim = Simulation {
             topo,
             power,
@@ -256,6 +351,14 @@ impl<'a> Simulation<'a> {
             recorder: Recorder::new(),
             always_on_links,
             policy,
+            accounting: default_load_accounting(),
+            policy_memoryless,
+            loads: vec![0.0; n_arcs],
+            arc_dirty: vec![false; n_arcs],
+            dirty_arcs: Vec::new(),
+            users: vec![Vec::new(); n_arcs],
+            link_ready,
+            assigned: vec![0; n_arcs],
         };
         sim.push(cfg.control_interval, Event::Control);
         sim.push(0.0, Event::Sample);
@@ -296,6 +399,31 @@ impl<'a> Simulation<'a> {
         let n = uniq.len();
         let mut shares = vec![0.0; n];
         shares[0] = 1.0; // start aggregated on the always-on path
+        let fi = self.flows.len();
+        // Incremental bookkeeping: register every arc occurrence in the
+        // reverse index (append keeps (flow, path) order), seed the
+        // blocked counts from the current link readiness, and collect
+        // the distinct links each path touches.
+        let mut rate = Vec::with_capacity(n);
+        let mut blocked = Vec::with_capacity(n);
+        let mut links: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (pi, arcs) in path_arcs.iter().enumerate() {
+            rate.push(offered * shares[pi]);
+            let mut b = 0u32;
+            let mut ls: Vec<usize> = Vec::new();
+            for &a in arcs {
+                let li = self.topo.link_of(a).idx();
+                if !self.link_ready[li] {
+                    b += 1;
+                }
+                if !ls.contains(&li) {
+                    ls.push(li);
+                }
+                self.users[a.idx()].push((fi as u32, pi as u32));
+            }
+            blocked.push(b);
+            links.push(ls);
+        }
         self.flows.push(Flow {
             origin: o,
             dst: d,
@@ -303,8 +431,24 @@ impl<'a> Simulation<'a> {
             paths: uniq,
             path_arcs,
             shares,
+            rate,
+            blocked,
+            links,
+            obs_dirty: true,
         });
-        FlowId(self.flows.len() - 1)
+        for pi in 0..n {
+            if self.flows[fi].rate[pi] > 0.0 {
+                for k in 0..self.flows[fi].links[pi].len() {
+                    let li = self.flows[fi].links[pi][k];
+                    self.assigned[li] += 1;
+                }
+                self.mark_path_dirty(fi, pi);
+            }
+        }
+        if self.accounting == LoadAccounting::Incremental {
+            self.flush_loads();
+        }
+        FlowId(fi)
     }
 
     /// Schedule an offered-rate change.
@@ -380,7 +524,7 @@ impl<'a> Simulation<'a> {
 
     /// Delivered rate per installed path of a flow.
     pub fn per_path_delivered(&self, f: FlowId) -> Vec<f64> {
-        let loads = self.arc_loads();
+        let loads = self.loads_for_query();
         let flow = &self.flows[f.0];
         (0..flow.paths.len())
             .map(|pi| self.path_delivery(flow, pi, &loads))
@@ -402,7 +546,17 @@ impl<'a> Simulation<'a> {
 
     // ---- internals ----------------------------------------------------
 
+    /// Process one event, then flush the incremental load state so the
+    /// cache is clean (and debug-cross-checked against the from-scratch
+    /// oracle) at every public API boundary.
     fn handle(&mut self, ev: Event) {
+        self.dispatch(ev);
+        if self.accounting == LoadAccounting::Incremental {
+            self.flush_loads();
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Control => {
                 self.control_round(false);
@@ -416,24 +570,28 @@ impl<'a> Simulation<'a> {
                 self.push(self.now + self.cfg.sample_interval, Event::Sample);
             }
             Event::DemandChange(f, rate) => {
-                self.flows[f.0].offered = rate;
+                self.set_flow_offered(f.0, rate);
             }
             Event::LinkFail(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed[l.idx()] = true;
+                self.refresh_link_ready(l);
                 self.push(self.now + self.cfg.detect_delay, Event::FailureKnown(a));
             }
             Event::LinkRepair(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed[l.idx()] = false;
+                self.refresh_link_ready(l);
                 self.push(self.now + self.cfg.detect_delay, Event::RepairKnown(a));
             }
             Event::NodeFail(n) => {
                 self.node_failed[n.idx()] = true;
+                self.refresh_node_links(n);
                 self.push(self.now + self.cfg.detect_delay, Event::NodeFailureKnown(n));
             }
             Event::NodeRepair(n) => {
                 self.node_failed[n.idx()] = false;
+                self.refresh_node_links(n);
                 self.push(self.now + self.cfg.detect_delay, Event::NodeRepairKnown(n));
             }
             Event::SetWakeTime(w) => {
@@ -441,10 +599,15 @@ impl<'a> Simulation<'a> {
             }
             Event::SetTeConfig(te) => {
                 self.cfg.te = te;
+                // The TE parameters are part of every observation.
+                for fl in &mut self.flows {
+                    fl.obs_dirty = true;
+                }
             }
             Event::FailureKnown(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = true;
+                self.mark_link_obs_dirty(l);
                 // React immediately rather than waiting for the next tick
                 // (failure handling is not rate-limited, §4.4) — every
                 // agent, regardless of observation phase.
@@ -453,20 +616,23 @@ impl<'a> Simulation<'a> {
             Event::RepairKnown(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = false;
+                self.mark_link_obs_dirty(l);
             }
             Event::NodeFailureKnown(n) => {
                 self.node_failed_known[n.idx()] = true;
+                self.mark_node_obs_dirty(n);
                 // React immediately, like FailureKnown.
                 self.control_round(true);
             }
             Event::NodeRepairKnown(n) => {
                 self.node_failed_known[n.idx()] = false;
+                self.mark_node_obs_dirty(n);
             }
             Event::WakeDone(a) => {
                 let l = self.topo.link_of(a);
                 if let LinkPowerState::Waking(due) = self.link_state[l.idx()] {
                     if due <= self.now + 1e-12 {
-                        self.link_state[l.idx()] = LinkPowerState::Active;
+                        self.set_link_state(l, LinkPowerState::Active);
                     }
                 }
             }
@@ -478,7 +644,7 @@ impl<'a> Simulation<'a> {
                 if matches!(self.link_state[l.idx()], LinkPowerState::Active)
                     && !self.link_has_assigned_traffic(l)
                 {
-                    self.link_state[l.idx()] = LinkPowerState::Sleeping;
+                    self.set_link_state(l, LinkPowerState::Sleeping);
                 }
             }
         }
@@ -504,9 +670,11 @@ impl<'a> Simulation<'a> {
             || self.node_failed_known[arc.dst.idx()]
     }
 
-    /// Delivered (transmitted) load per arc: only ready paths carry
-    /// traffic.
-    fn arc_loads(&self) -> Vec<f64> {
+    /// Delivered (transmitted) load per arc, recomputed from scratch in
+    /// O(flows × paths × arcs) — the pre-incremental hot loop, kept
+    /// public as the verification oracle (debug cross-checks, the
+    /// parity proptests) and as the perf harness baseline.
+    pub fn arc_loads_scratch(&self) -> Vec<f64> {
         let mut load = vec![0.0; self.topo.arc_count()];
         for fl in &self.flows {
             for (pi, arcs) in fl.path_arcs.iter().enumerate() {
@@ -520,6 +688,275 @@ impl<'a> Simulation<'a> {
             }
         }
         load
+    }
+
+    /// The incrementally-maintained per-arc delivered load. Clean (and
+    /// in debug builds, cross-checked against
+    /// [`Simulation::arc_loads_scratch`]) at every public API boundary;
+    /// meaningful in [`LoadAccounting::Incremental`] mode only.
+    pub fn current_arc_loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// This simulation's accounting mode.
+    pub fn load_accounting(&self) -> LoadAccounting {
+        self.accounting
+    }
+
+    /// Switch accounting modes mid-run (results are bit-identical
+    /// either way; only wall-clock changes). Entering `Incremental`
+    /// rebuilds the load cache from the oracle.
+    pub fn set_load_accounting(&mut self, mode: LoadAccounting) {
+        if self.accounting == mode {
+            return;
+        }
+        self.accounting = mode;
+        if mode == LoadAccounting::Incremental {
+            for ai in self.dirty_arcs.drain(..) {
+                self.arc_dirty[ai] = false;
+            }
+            self.loads = self.arc_loads_scratch();
+            // Load-change propagation to the per-flow observation flags
+            // was off while in scratch mode.
+            for fl in &mut self.flows {
+                fl.obs_dirty = true;
+            }
+        }
+    }
+
+    /// The load vector for a read-only query: borrowed from the
+    /// maintained cache in incremental mode, recomputed in scratch
+    /// mode.
+    fn loads_for_query(&self) -> std::borrow::Cow<'_, [f64]> {
+        match self.accounting {
+            LoadAccounting::Incremental => std::borrow::Cow::Borrowed(&self.loads[..]),
+            LoadAccounting::Scratch => std::borrow::Cow::Owned(self.arc_loads_scratch()),
+        }
+    }
+
+    /// Mark every arc of one path for recomputation at the next flush.
+    fn mark_path_dirty(&mut self, fi: usize, pi: usize) {
+        let Simulation {
+            flows,
+            arc_dirty,
+            dirty_arcs,
+            ..
+        } = self;
+        for &a in &flows[fi].path_arcs[pi] {
+            let ai = a.idx();
+            if !arc_dirty[ai] {
+                arc_dirty[ai] = true;
+                dirty_arcs.push(ai);
+            }
+        }
+    }
+
+    /// Recompute every dirty arc's load by walking its reverse-index
+    /// entries in (flow, path, occurrence) order — the exact addition
+    /// order of the from-scratch scan, so the cache stays bit-identical
+    /// to it (asserted in debug builds).
+    fn flush_loads(&mut self) {
+        if self.dirty_arcs.is_empty() {
+            return;
+        }
+        while let Some(ai) = self.dirty_arcs.pop() {
+            self.arc_dirty[ai] = false;
+            let mut sum = 0.0_f64;
+            for &(fi, pi) in &self.users[ai] {
+                let fl = &self.flows[fi as usize];
+                let r = fl.rate[pi as usize];
+                if r > 0.0 && fl.blocked[pi as usize] == 0 {
+                    sum += r;
+                }
+            }
+            if sum.to_bits() != self.loads[ai].to_bits() {
+                self.loads[ai] = sum;
+                // The observation of every agent with a path through
+                // this arc has changed.
+                for &(fi, _) in &self.users[ai] {
+                    self.flows[fi as usize].obs_dirty = true;
+                }
+            }
+        }
+        debug_assert!(
+            self.incremental_state_matches_scratch(),
+            "incremental load accounting diverged from the from-scratch oracle"
+        );
+    }
+
+    /// Full consistency check of the incremental state against the
+    /// from-scratch recomputation (debug builds; also used by the
+    /// parity proptests).
+    pub fn incremental_state_matches_scratch(&self) -> bool {
+        let scratch = self.arc_loads_scratch();
+        if scratch.len() != self.loads.len()
+            || scratch
+                .iter()
+                .zip(&self.loads)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return false;
+        }
+        for fl in &self.flows {
+            for (pi, arcs) in fl.path_arcs.iter().enumerate() {
+                if (fl.offered * fl.shares[pi]).to_bits() != fl.rate[pi].to_bits() {
+                    return false;
+                }
+                if self.path_ready(arcs) != (fl.blocked[pi] == 0) {
+                    return false;
+                }
+            }
+        }
+        self.topo
+            .link_ids()
+            .all(|l| (self.assigned[l.idx()] > 0) == self.link_has_assigned_traffic_scratch(l))
+    }
+
+    /// Update one path's cached rate, maintaining the per-link assigned
+    /// counts and dirtying the path's arcs when its contribution
+    /// changes.
+    fn set_path_rate(&mut self, fi: usize, pi: usize, new_rate: f64) {
+        let old = self.flows[fi].rate[pi];
+        if old.to_bits() == new_rate.to_bits() {
+            return;
+        }
+        let was_pos = old > 0.0;
+        let is_pos = new_rate > 0.0;
+        self.flows[fi].rate[pi] = new_rate;
+        if was_pos != is_pos {
+            let Simulation {
+                flows, assigned, ..
+            } = self;
+            for &li in &flows[fi].links[pi] {
+                if is_pos {
+                    assigned[li] += 1;
+                } else {
+                    assigned[li] -= 1;
+                }
+            }
+        }
+        if self.flows[fi].blocked[pi] == 0 {
+            self.mark_path_dirty(fi, pi);
+        }
+    }
+
+    /// Change a flow's offered rate, refreshing every path's cached
+    /// rate.
+    fn set_flow_offered(&mut self, fi: usize, offered: f64) {
+        if offered.to_bits() != self.flows[fi].offered.to_bits() {
+            self.flows[fi].obs_dirty = true;
+        }
+        self.flows[fi].offered = offered;
+        for pi in 0..self.flows[fi].rate.len() {
+            let r = offered * self.flows[fi].shares[pi];
+            self.set_path_rate(fi, pi, r);
+        }
+    }
+
+    /// Replace one flow's share vector, flagging its observation dirty
+    /// when any component actually changed (shares are part of the
+    /// agent's decision input).
+    fn install_shares(&mut self, fi: usize, shares: Vec<f64>) {
+        let fl = &mut self.flows[fi];
+        if shares.len() != fl.shares.len()
+            || shares
+                .iter()
+                .zip(&fl.shares)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            fl.obs_dirty = true;
+        }
+        fl.shares = shares;
+        for pi in 0..self.flows[fi].rate.len() {
+            let r = self.flows[fi].offered * self.flows[fi].shares[pi];
+            self.set_path_rate(fi, pi, r);
+        }
+    }
+
+    /// Flag every agent with a path through a link as observation-dirty
+    /// (known-failure flips change path availability).
+    fn mark_link_obs_dirty(&mut self, l: ArcId) {
+        let l = self.topo.link_of(l);
+        for d in [Some(l), self.topo.reverse(l)].into_iter().flatten() {
+            for &(fi, _) in &self.users[d.idx()] {
+                self.flows[fi as usize].obs_dirty = true;
+            }
+        }
+    }
+
+    /// Flag every agent adjacent to a node's links as observation-dirty.
+    fn mark_node_obs_dirty(&mut self, n: NodeId) {
+        for a in self.adjacent_arcs(n) {
+            self.mark_link_obs_dirty(a);
+        }
+    }
+
+    /// Every arc incident to a node, in either direction — O(degree)
+    /// via the adjacency index (both directions of a bidirectional
+    /// link appear; the per-link callees canonicalize and are
+    /// idempotent, so the duplicate is harmless).
+    fn adjacent_arcs(&self, n: NodeId) -> Vec<ArcId> {
+        self.topo
+            .out_arcs(n)
+            .iter()
+            .chain(self.topo.in_arcs(n))
+            .copied()
+            .collect()
+    }
+
+    /// Flip one link's readiness, adjusting the blocked counts of every
+    /// path traversing it (either direction) and dirtying the paths
+    /// whose contribution appears or vanishes.
+    fn set_link_ready(&mut self, l: ArcId, ready: bool) {
+        let li = l.idx();
+        if self.link_ready[li] == ready {
+            return;
+        }
+        self.link_ready[li] = ready;
+        let mut to_mark: Vec<(usize, usize)> = Vec::new();
+        for d in [Some(l), self.topo.reverse(l)].into_iter().flatten() {
+            for &(fi, pi) in &self.users[d.idx()] {
+                let (fi, pi) = (fi as usize, pi as usize);
+                let fl = &mut self.flows[fi];
+                if ready {
+                    fl.blocked[pi] -= 1;
+                    if fl.blocked[pi] == 0 && fl.rate[pi] > 0.0 {
+                        to_mark.push((fi, pi));
+                    }
+                } else {
+                    fl.blocked[pi] += 1;
+                    if fl.blocked[pi] == 1 && fl.rate[pi] > 0.0 {
+                        to_mark.push((fi, pi));
+                    }
+                }
+            }
+        }
+        for (fi, pi) in to_mark {
+            self.mark_path_dirty(fi, pi);
+        }
+    }
+
+    /// Re-derive one link's readiness from its failure and power state.
+    fn refresh_link_ready(&mut self, l: ArcId) {
+        let l = self.topo.link_of(l);
+        let ready =
+            !self.link_down(l) && matches!(self.link_state[l.idx()], LinkPowerState::Active);
+        self.set_link_ready(l, ready);
+    }
+
+    /// Set a link's power state, keeping the readiness bookkeeping
+    /// consistent. Every `link_state` mutation routes through here.
+    fn set_link_state(&mut self, l: ArcId, st: LinkPowerState) {
+        self.link_state[l.idx()] = st;
+        self.refresh_link_ready(l);
+    }
+
+    /// Refresh readiness of every link adjacent to a node (node
+    /// fail/repair).
+    fn refresh_node_links(&mut self, n: NodeId) {
+        for a in self.adjacent_arcs(n) {
+            self.refresh_link_ready(a);
+        }
     }
 
     fn path_ready(&self, arcs: &[ArcId]) -> bool {
@@ -547,7 +984,22 @@ impl<'a> Simulation<'a> {
         r * scale
     }
 
+    /// Whether any positive-rate path is assigned to a link, in either
+    /// direction — the sleep-check guard. O(1) from the incremental
+    /// assigned counts (debug-checked against the scan); the scratch
+    /// mode keeps the original O(flows × paths × arcs) rescan.
     fn link_has_assigned_traffic(&self, l: ArcId) -> bool {
+        match self.accounting {
+            LoadAccounting::Incremental => {
+                let has = self.assigned[l.idx()] > 0;
+                debug_assert_eq!(has, self.link_has_assigned_traffic_scratch(l));
+                has
+            }
+            LoadAccounting::Scratch => self.link_has_assigned_traffic_scratch(l),
+        }
+    }
+
+    fn link_has_assigned_traffic_scratch(&self, l: ArcId) -> bool {
         let rev = self.topo.reverse(l);
         for fl in &self.flows {
             for (pi, arcs) in fl.path_arcs.iter().enumerate() {
@@ -569,19 +1021,23 @@ impl<'a> Simulation<'a> {
         assert_eq!(shares.len(), self.flows[f.0].paths.len());
         let sum: f64 = shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "shares must sum to 1");
-        self.flows[f.0].shares = shares;
-        let arcs: Vec<ArcId> = self.flows[f.0]
+        let fi = f.0;
+        self.install_shares(fi, shares);
+        let arcs: Vec<ArcId> = self.flows[fi]
             .path_arcs
             .iter()
             .enumerate()
-            .filter(|(pi, _)| self.flows[f.0].shares[*pi] > 0.0)
+            .filter(|(pi, _)| self.flows[fi].shares[*pi] > 0.0)
             .flat_map(|(_, arcs)| arcs.iter().copied())
             .collect();
         for a in arcs {
             let l = self.topo.link_of(a);
             if !matches!(self.link_state[l.idx()], LinkPowerState::Active) {
-                self.link_state[l.idx()] = LinkPowerState::Active;
+                self.set_link_state(l, LinkPowerState::Active);
             }
+        }
+        if self.accounting == LoadAccounting::Incremental {
+            self.flush_loads();
         }
     }
 
@@ -614,8 +1070,23 @@ impl<'a> Simulation<'a> {
     /// the batched round and the phase-jittered path, so both always
     /// construct the observation identically).
     fn decide_flow(&mut self, fi: usize, loads: &[f64]) -> Vec<f64> {
-        let te = self.cfg.te;
         let views = self.flow_views(fi, loads);
+        self.decide_with_views(fi, views)
+    }
+
+    /// Like [`Simulation::decide_flow`], but observing the maintained
+    /// load cache directly — no per-agent snapshot copy. Sound
+    /// whenever no share application happens between the observation
+    /// and the decision: batched rounds defer every apply until all
+    /// phase-0 decisions are in, and the phase-jittered path decides
+    /// one agent at a time.
+    fn decide_flow_cached(&mut self, fi: usize) -> Vec<f64> {
+        let views = self.flow_views(fi, &self.loads);
+        self.decide_with_views(fi, views)
+    }
+
+    fn decide_with_views(&mut self, fi: usize, views: Vec<PathView>) -> Vec<f64> {
+        let te = self.cfg.te;
         let current = self.flows[fi].shares.clone();
         let obs = Observation {
             agent: fi,
@@ -640,7 +1111,7 @@ impl<'a> Simulation<'a> {
         let changed: Vec<usize> = (0..shares.len())
             .filter(|&i| (shares[i] - self.flows[fi].shares[i]).abs() > 1e-12)
             .collect();
-        self.flows[fi].shares = shares;
+        self.install_shares(fi, shares);
         for pi in changed {
             let fl = &self.flows[fi];
             let active_now = fl.offered * fl.shares[pi] > 0.0;
@@ -662,7 +1133,7 @@ impl<'a> Simulation<'a> {
         for l in to_wake {
             if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
                 let due = self.now + self.cfg.wake_time;
-                self.link_state[l.idx()] = LinkPowerState::Waking(due);
+                self.set_link_state(l, LinkPowerState::Waking(due));
                 self.push(due, Event::WakeDone(l));
             }
         }
@@ -684,7 +1155,14 @@ impl<'a> Simulation<'a> {
         if self.now + 1e-12 < self.cfg.te_start {
             return;
         }
-        let loads = self.arc_loads();
+        // Scratch mode recomputes one shared round snapshot (the old
+        // engine's cost); incremental mode observes the maintained
+        // cache directly — constant during the decision loop because
+        // every apply is deferred past it.
+        let scratch_loads = match self.accounting {
+            LoadAccounting::Scratch => Some(self.arc_loads_scratch()),
+            LoadAccounting::Incremental => None,
+        };
         let interval = self.cfg.control_interval;
         // Compute phase-0 updates first (same observation), defer the
         // phase-jittered agents.
@@ -700,7 +1178,14 @@ impl<'a> Simulation<'a> {
                 phased.push((fi, phase));
                 continue;
             }
-            let shares = self.decide_flow(fi, &loads);
+            if self.can_skip_decision(fi) {
+                continue;
+            }
+            self.flows[fi].obs_dirty = false;
+            let shares = match &scratch_loads {
+                Some(loads) => self.decide_flow(fi, loads),
+                None => self.decide_flow_cached(fi),
+            };
             new_shares.push((fi, shares));
         }
         // Apply; trigger wakes and sleep checks.
@@ -715,13 +1200,34 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Whether an agent's decision can be skipped outright: nothing it
+    /// observes has changed since its last decision and the policy is a
+    /// pure function of the observation, so the skipped call would
+    /// return exactly the shares already installed. Only sound in
+    /// incremental mode, where load changes propagate to the per-flow
+    /// observation flags.
+    fn can_skip_decision(&self, fi: usize) -> bool {
+        self.policy_memoryless
+            && self.accounting == LoadAccounting::Incremental
+            && !self.flows[fi].obs_dirty
+    }
+
     /// One phase-jittered agent's decision against fresh loads.
     fn agent_control(&mut self, fi: usize) {
         if self.now + 1e-12 < self.cfg.te_start || fi >= self.flows.len() {
             return;
         }
-        let loads = self.arc_loads();
-        let shares = self.decide_flow(fi, &loads);
+        if self.can_skip_decision(fi) {
+            return;
+        }
+        self.flows[fi].obs_dirty = false;
+        let shares = match self.accounting {
+            LoadAccounting::Scratch => {
+                let loads = self.arc_loads_scratch();
+                self.decide_flow(fi, &loads)
+            }
+            LoadAccounting::Incremental => self.decide_flow_cached(fi),
+        };
         let mut to_wake: Vec<ArcId> = Vec::new();
         let mut to_sleepcheck: Vec<ArcId> = Vec::new();
         self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck);
@@ -749,18 +1255,21 @@ impl<'a> Simulation<'a> {
     }
 
     fn take_sample(&mut self) {
-        let loads = self.arc_loads();
-        let mut offered_total = 0.0;
-        let mut delivered_total = 0.0;
-        let mut per_flow: Vec<Vec<f64>> = Vec::with_capacity(self.flows.len());
-        for fl in &self.flows {
-            offered_total += fl.offered;
-            let rates: Vec<f64> = (0..fl.paths.len())
-                .map(|pi| self.path_delivery(fl, pi, &loads))
-                .collect();
-            delivered_total += rates.iter().sum::<f64>();
-            per_flow.push(rates);
-        }
+        let (offered_total, delivered_total, per_flow) = {
+            let loads = self.loads_for_query();
+            let mut offered_total = 0.0;
+            let mut delivered_total = 0.0;
+            let mut per_flow: Vec<Vec<f64>> = Vec::with_capacity(self.flows.len());
+            for fl in &self.flows {
+                offered_total += fl.offered;
+                let rates: Vec<f64> = (0..fl.paths.len())
+                    .map(|pi| self.path_delivery(fl, pi, &loads))
+                    .collect();
+                delivered_total += rates.iter().sum::<f64>();
+                per_flow.push(rates);
+            }
+            (offered_total, delivered_total, per_flow)
+        };
         let power_w = self.power_w();
         self.recorder.push(Sample {
             t: self.now,
@@ -925,10 +1434,9 @@ mod tests {
         let pm = ecp_power::PowerModel::cisco12000();
         let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
         let fa = sim.add_flow(&pt, n.a, n.k, 2.5e6);
-        // Manually spread shares to mimic pre-TE state.
-        sim.flows[fa.0].shares = vec![0.5, 0.5];
-        // The on-demand path must be awake for its share to flow; let the
-        // sim notice and then watch consolidation timing.
+        // Spread shares to mimic pre-TE state (wakes the on-demand
+        // path's links immediately, like the Fig. 7 setup).
+        sim.set_shares(fa, vec![0.5, 0.5]);
         sim.run_until(0.5);
         let rates = sim.per_path_delivered(fa);
         assert!(
