@@ -12,11 +12,21 @@
 //!   full duration.
 //!
 //! Run offline with `cargo bench -p ecp-bench --bench load_accounting`.
+//! With `--features count-allocs` a fourth layer, `alloc_accounting`,
+//! installs the counting global allocator (`ecp-telemetry`) and reports
+//! heap allocations per control round alongside the wall-clock — the
+//! measurement baseline for the ROADMAP "zero-alloc decision path"
+//! item.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecp_scenario::ControlSpec;
 use ecp_simnet::{LoadAccounting, SimConfig, Simulation};
 use respons_core::te::{apply_step, waterfill_target, PathView};
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTING_ALLOC: ecp_telemetry::alloc_count::CountingAllocator =
+    ecp_telemetry::alloc_count::CountingAllocator;
 
 /// A running te-stability simulation (PoP-access ISP, 44 gravity
 /// pairs), advanced past the initial transient so the share state is
@@ -111,5 +121,48 @@ fn end_to_end(c: &mut Criterion) {
     ecp_simnet::set_default_load_accounting(restore);
 }
 
-criterion_group!(benches, arc_loads, te_kernel, end_to_end);
+/// Allocations per control round in the warmed steady state (feature
+/// `count-allocs`; a no-op without it). Prints the allocs/round and
+/// bytes/round averages — the number the zero-alloc work tracks — and
+/// benches the same region so wall-clock under the counting allocator
+/// stays visible next to the untouched layers above.
+fn alloc_accounting(c: &mut Criterion) {
+    #[cfg(not(feature = "count-allocs"))]
+    let _ = c;
+    #[cfg(feature = "count-allocs")]
+    {
+        use ecp_telemetry::alloc_count;
+        let scenario = ecp_bench::scenarios::te_stability(40.0, 0.7, ControlSpec::Undamped);
+        let resolved = ecp_scenario::resolve(&scenario).expect("te-stability resolves");
+        let (mut sim, _) = warmed_sim(&resolved);
+        // 40 control rounds at the 0.5 s interval, single-threaded, so
+        // the process-global deltas are this region's allocations only.
+        let rounds = 40u64;
+        let (a0, b0) = (alloc_count::allocations(), alloc_count::bytes_allocated());
+        sim.run_until(5.0 + rounds as f64 * 0.5);
+        let da = alloc_count::allocations() - a0;
+        let db = alloc_count::bytes_allocated() - b0;
+        println!(
+            "alloc_accounting: {:.1} allocs/round, {:.0} bytes/round (over {rounds} rounds)",
+            da as f64 / rounds as f64,
+            db as f64 / rounds as f64
+        );
+        let mut g = c.benchmark_group("alloc_accounting");
+        g.sample_size(10);
+        g.bench_with_input(
+            BenchmarkId::from_parameter("40_rounds_counted"),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let (mut sim, _) = warmed_sim(&resolved);
+                    sim.run_until(5.0 + rounds as f64 * 0.5);
+                    sim.now()
+                })
+            },
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(benches, arc_loads, te_kernel, end_to_end, alloc_accounting);
 criterion_main!(benches);

@@ -6,7 +6,9 @@
 //! ```text
 //! campaign run    <campaign.toml> [--shards N] [--workers inprocess|subprocess]
 //!                                 [--out DIR] [--threads T] [--force] [--only SUB]
+//!                                 [--progress jsonl]
 //! campaign worker <campaign.toml> --shard k/N [--out DIR] [--threads T] [--only SUB]
+//!                                 [--progress jsonl]
 //! campaign report <campaign.toml> [--out DIR] [--only SUB]
 //! campaign list   <campaign.toml> [--out DIR] [--only SUB]
 //! ```
@@ -25,6 +27,12 @@
 //! contains `SUB` — iterate on one A/B entry without re-expanding the
 //! whole TOML. Results land in the same store, so a later full run
 //! reuses them.
+//!
+//! `--progress jsonl` streams one [`ecp_campaign::ProgressEvent`] JSON
+//! line to stdout per run start/finish (delivered fraction and power on
+//! finish). With subprocess workers the flag is forwarded, and worker
+//! stdout is inherited, so events from every shard interleave on the
+//! parent's stdout — whole lines, arbitrary order.
 
 use ecp_campaign::{exec, report, CampaignError, CampaignSpec, ResultStore, Workers};
 use std::path::Path;
@@ -42,7 +50,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign <run|worker|report|list> <campaign.toml> \
          [--shards N] [--workers inprocess|subprocess] [--shard k/N] \
-         [--out DIR] [--threads T] [--force] [--only ENTRY-SUBSTRING]"
+         [--out DIR] [--threads T] [--force] [--only ENTRY-SUBSTRING] \
+         [--progress jsonl]"
     );
     exit(2)
 }
@@ -74,9 +83,19 @@ fn main() {
 
     let result: Result<(), CampaignError> = (|| {
         let (spec, store) = load(spec_path, out.as_deref(), only.as_deref())?;
+        let progress = match flag(&args, "--progress").as_deref() {
+            None => false,
+            Some("jsonl") => true,
+            Some(other) => {
+                return Err(CampaignError::Spec(format!(
+                    "unknown progress format `{other}` (expected `jsonl`)"
+                )))
+            }
+        };
         let opts = exec::ExecOptions {
             threads,
             force: has_flag(&args, "--force"),
+            progress,
         };
         match cmd.as_str() {
             "run" => {
@@ -103,6 +122,10 @@ fn main() {
                         if let Some(o) = &only {
                             worker_args.push("--only".into());
                             worker_args.push(o.clone());
+                        }
+                        if progress {
+                            worker_args.push("--progress".into());
+                            worker_args.push("jsonl".into());
                         }
                         Workers::Subprocess(exec::WorkerCommand {
                             program,

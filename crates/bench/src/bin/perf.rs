@@ -6,7 +6,9 @@
 //! every load query rescans all flows × paths × arcs) and
 //! `Incremental` (per-arc dirty recompute) — verifies the two produce
 //! byte-identical reports, and emits `BENCH_simnet.json` with the
-//! before/after wall-clock and speedups.
+//! before/after wall-clock and speedups. A second pass measures the
+//! telemetry overhead (no-op sink vs JSONL sink, `overhead` block) and
+//! asserts a traced run leaves the report byte-identical.
 //!
 //! ```text
 //! cargo run --release -p ecp-bench --bin perf                  # full (150 s te-stability family)
@@ -22,7 +24,7 @@
 //! `crates/bench/benches/{load_accounting,routing_paths}.rs`.
 
 use ecp_bench::{arg, print_table};
-use ecp_scenario::{run_resolved, ScenarioReport};
+use ecp_scenario::{run_resolved, run_resolved_traced, ScenarioReport};
 use ecp_simnet::{set_default_load_accounting, LoadAccounting};
 use serde::Serialize;
 use std::time::Instant;
@@ -35,6 +37,32 @@ struct ScenarioTiming {
     incremental_ms: f64,
     speedup: f64,
     reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct OverheadTiming {
+    id: String,
+    /// Untraced wall-clock (no-op sink statically compiled out), ms.
+    baseline_ms: f64,
+    /// Wall-clock with the JSONL sink recording every event, ms.
+    traced_ms: f64,
+    /// `traced / baseline - 1` (0 = free, 0.05 = 5 % slower).
+    overhead_frac: f64,
+    /// Events the traced run emitted.
+    trace_events: usize,
+    reports_identical: bool,
+}
+
+/// The telemetry-overhead block: the cost of running the te-stability
+/// family with the JSONL sink on versus the default no-op sink. The
+/// no-op path is the one golden hashes and the speedup numbers above
+/// are measured on; this block pins that tracing is pay-as-you-go.
+#[derive(Serialize)]
+struct TelemetryOverhead {
+    scenarios: Vec<OverheadTiming>,
+    family_baseline_ms: f64,
+    family_traced_ms: f64,
+    family_overhead_frac: f64,
 }
 
 #[derive(Serialize)]
@@ -60,6 +88,8 @@ struct BenchFile {
     family_scratch_ms: f64,
     family_incremental_ms: f64,
     family_speedup: f64,
+    /// Cost of turning the telemetry JSONL sink on (incremental mode).
+    overhead: TelemetryOverhead,
 }
 
 /// Best-of-`iters` wall-clock of one scenario under one accounting
@@ -82,16 +112,20 @@ fn time_mode(
     (best, last.expect("at least one iteration"))
 }
 
-fn time_scenario(id: &str, scenario: &ecp_scenario::Scenario, iters: usize) -> ScenarioTiming {
-    let resolved = ecp_scenario::resolve(scenario).expect("perf scenario resolves");
+fn time_scenario(
+    id: &str,
+    scenario: &ecp_scenario::Scenario,
+    resolved: &ecp_scenario::ResolvedScenario,
+    iters: usize,
+) -> ScenarioTiming {
     // Untimed warmup: populates the resolution's lazy caches (the
     // max-feasible oracle probe) and the allocator, so both arms time
     // only the simulation even at --iters 1.
-    let _ = run_resolved(scenario, &resolved).expect("perf scenario runs");
+    let _ = run_resolved(scenario, resolved).expect("perf scenario runs");
     let (scratch_ms, scratch_report) =
-        time_mode(scenario, &resolved, LoadAccounting::Scratch, iters);
+        time_mode(scenario, resolved, LoadAccounting::Scratch, iters);
     let (incremental_ms, incremental_report) =
-        time_mode(scenario, &resolved, LoadAccounting::Incremental, iters);
+        time_mode(scenario, resolved, LoadAccounting::Incremental, iters);
     let identical = serde_json::to_string(&scratch_report).expect("report serializes")
         == serde_json::to_string(&incremental_report).expect("report serializes");
     assert!(
@@ -108,6 +142,44 @@ fn time_scenario(id: &str, scenario: &ecp_scenario::Scenario, iters: usize) -> S
     }
 }
 
+/// Sink-off vs JSONL-sink-on wall-clock of one scenario (incremental
+/// accounting, best of `iters`). Asserts the serialized reports are
+/// byte-identical: with `metrics.telemetry` unset, a traced run must
+/// not perturb the report in any way.
+fn time_overhead(
+    id: &str,
+    scenario: &ecp_scenario::Scenario,
+    resolved: &ecp_scenario::ResolvedScenario,
+    iters: usize,
+) -> OverheadTiming {
+    set_default_load_accounting(LoadAccounting::Incremental);
+    let (baseline_ms, baseline_report) =
+        time_mode(scenario, resolved, LoadAccounting::Incremental, iters);
+    let mut traced_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let out = run_resolved_traced(scenario, resolved).expect("perf scenario runs traced");
+        traced_ms = traced_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    let (traced_report, trace) = last.expect("at least one iteration");
+    let identical = serde_json::to_string(&baseline_report).expect("report serializes")
+        == serde_json::to_string(&traced_report).expect("report serializes");
+    assert!(
+        identical,
+        "{id}: traced report diverged from the untraced run"
+    );
+    OverheadTiming {
+        id: id.to_string(),
+        baseline_ms,
+        traced_ms,
+        overhead_frac: traced_ms / baseline_ms.max(1e-9) - 1.0,
+        trace_events: trace.lines.len(),
+        reports_identical: identical,
+    }
+}
+
 fn main() {
     let quick: usize = arg("quick", 0);
     let quick = quick != 0;
@@ -119,9 +191,12 @@ fn main() {
     let out: String = arg("out", "BENCH_simnet.json".to_string());
 
     let mut te_stability = Vec::new();
+    let mut overhead_scenarios = Vec::new();
     for (id, control) in ecp_bench::scenarios::te_stability_policies() {
         let scenario = ecp_bench::scenarios::te_stability_scaled(duration, load, control, scale);
-        te_stability.push(time_scenario(id, &scenario, iters));
+        let resolved = ecp_scenario::resolve(&scenario).expect("perf scenario resolves");
+        te_stability.push(time_scenario(id, &scenario, &resolved, iters));
+        overhead_scenarios.push(time_overhead(id, &scenario, &resolved, iters));
     }
 
     let representative_ids = [
@@ -134,7 +209,8 @@ fn main() {
     for id in representative_ids {
         let scenario = ecp_bench::scenarios::campaign_scenario(id)
             .unwrap_or_else(|| panic!("unknown registry id {id}"));
-        representative.push(time_scenario(id, &scenario, iters));
+        let resolved = ecp_scenario::resolve(&scenario).expect("perf scenario resolves");
+        representative.push(time_scenario(id, &scenario, &resolved, iters));
     }
 
     let min_speedup = te_stability
@@ -168,6 +244,38 @@ fn main() {
          {family_incremental_ms:.0} ms incremental ({family_speedup:.1}x)"
     );
 
+    let family_baseline_ms: f64 = overhead_scenarios.iter().map(|t| t.baseline_ms).sum();
+    let family_traced_ms: f64 = overhead_scenarios.iter().map(|t| t.traced_ms).sum();
+    let family_overhead_frac = family_traced_ms / family_baseline_ms.max(1e-9) - 1.0;
+    let overhead_rows: Vec<Vec<String>> = overhead_scenarios
+        .iter()
+        .map(|t| {
+            vec![
+                t.id.clone(),
+                format!("{:.1}", t.baseline_ms),
+                format!("{:.1}", t.traced_ms),
+                format!("{:+.1}%", t.overhead_frac * 100.0),
+                t.trace_events.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("telemetry overhead, best of {iters} (no-op sink vs JSONL sink)"),
+        &["scenario", "off (ms)", "traced (ms)", "overhead", "events"],
+        &overhead_rows,
+    );
+    println!(
+        "telemetry family overhead: {family_baseline_ms:.0} ms off vs \
+         {family_traced_ms:.0} ms traced ({:+.1}%)",
+        family_overhead_frac * 100.0
+    );
+    let overhead = TelemetryOverhead {
+        scenarios: overhead_scenarios,
+        family_baseline_ms,
+        family_traced_ms,
+        family_overhead_frac,
+    };
+
     if ceiling_s > 0.0 {
         for t in &te_stability {
             assert!(
@@ -181,7 +289,7 @@ fn main() {
     }
 
     let file = BenchFile {
-        schema: "ecp-bench-perf/1",
+        schema: "ecp-bench-perf/2",
         quick,
         iters,
         te_stability_duration_s: duration,
@@ -193,6 +301,7 @@ fn main() {
         family_scratch_ms,
         family_incremental_ms,
         family_speedup,
+        overhead,
     };
     let body = serde_json::to_string_pretty(&file).expect("bench file serializes");
     std::fs::write(&out, body + "\n").expect("write bench file");

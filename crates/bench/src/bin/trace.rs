@@ -1,0 +1,428 @@
+//! The trace CLI: capture, inspect, validate, and convert telemetry
+//! traces (`ecp-telemetry` JSONL) produced by the traced scenario entry
+//! points and the campaign executor.
+//!
+//! ```text
+//! trace run       <registry-id|scenario.toml> [--out FILE] [--snapshot FILE]
+//! trace summarize <trace.jsonl>
+//! trace validate  <trace.jsonl>
+//! trace diff      <a.jsonl> <b.jsonl>
+//! trace chrome    <trace.jsonl> [--out FILE]
+//! ```
+//!
+//! `run` executes a scenario (experiment-registry id, or a scenario
+//! TOML path) through [`ecp_scenario::run_scenario_traced`] and writes
+//! the JSONL event trace to stdout or `--out`; `--snapshot` also writes
+//! the counter/histogram snapshot as pretty JSON. Traces are
+//! deterministic — a pure function of the scenario — so two `run`s of
+//! the same id `diff` clean.
+//!
+//! `summarize` prints per-kind event counts and the control/power
+//! headline numbers; `validate` checks every line parses as a
+//! [`TelemetryEvent`] and that event times never go backwards;
+//! `diff` compares two traces line by line (exit 1 on divergence);
+//! `chrome` converts a trace to the chrome://tracing JSON format
+//! (load it at `chrome://tracing` or in Perfetto).
+
+use ecp_simnet::{PowerKind, TelemetryEvent};
+use serde_json::{Map, Value};
+use std::path::Path;
+use std::process::exit;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace <run|summarize|validate|diff|chrome> <input> \
+         [second-input] [--out FILE] [--snapshot FILE]"
+    );
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace: {msg}");
+    exit(1)
+}
+
+fn read_lines(path: &str) -> Vec<String> {
+    match std::fs::read_to_string(path) {
+        Ok(doc) => doc.lines().map(str::to_string).collect(),
+        Err(e) => fail(&format!("read {path}: {e}")),
+    }
+}
+
+/// Parse every JSONL line; returns the events or the 1-based line
+/// number and message of the first malformed line.
+fn parse_events(lines: &[String]) -> Result<Vec<TelemetryEvent>, (usize, String)> {
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match serde_json::from_str::<TelemetryEvent>(line) {
+            Ok(ev) => out.push(ev),
+            Err(e) => return Err((i + 1, e.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve the `run` input: an experiment-registry id, or a path to a
+/// scenario TOML document.
+fn resolve_scenario(input: &str) -> ecp_scenario::Scenario {
+    if let Some(s) = ecp_bench::scenarios::campaign_scenario(input) {
+        return s;
+    }
+    if Path::new(input).is_file() {
+        let doc = match std::fs::read_to_string(input) {
+            Ok(d) => d,
+            Err(e) => fail(&format!("read {input}: {e}")),
+        };
+        match ecp_scenario::Scenario::from_toml(&doc) {
+            Ok(s) => return s,
+            Err(e) => fail(&format!("parse {input}: {e}")),
+        }
+    }
+    fail(&format!(
+        "`{input}` is neither a registry id nor a scenario TOML file"
+    ))
+}
+
+fn cmd_run(input: &str, out: Option<&str>, snapshot_out: Option<&str>) {
+    let scenario = resolve_scenario(input);
+    let (_, trace) = match ecp_scenario::run_scenario_traced(&scenario) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("run `{}`: {e}", scenario.name)),
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+                fail(&format!("write {path}: {e}"));
+            }
+            println!("wrote {path} ({} events)", trace.lines.len());
+        }
+        None => {
+            for line in &trace.lines {
+                println!("{line}");
+            }
+        }
+    }
+    if let Some(path) = snapshot_out {
+        let Some(snap) = &trace.snapshot else {
+            fail("scenario produced no telemetry snapshot (non-simnet engine?)");
+        };
+        let body = serde_json::to_string_pretty(snap).expect("snapshot serializes");
+        if let Err(e) = std::fs::write(path, body) {
+            fail(&format!("write {path}: {e}"));
+        }
+        println!("wrote {path}");
+    }
+}
+
+fn cmd_summarize(path: &str) {
+    let lines = read_lines(path);
+    let events = match parse_events(&lines) {
+        Ok(ev) => ev,
+        Err((n, e)) => fail(&format!("{path}:{n}: {e}")),
+    };
+    if events.is_empty() {
+        println!("events: 0");
+        return;
+    }
+    let (t0, t1) = (events[0].time(), events[events.len() - 1].time());
+    println!("events: {}   span: {t0:.3}s .. {t1:.3}s", events.len());
+    for kind in [
+        "ControlRound",
+        "ArcLoads",
+        "PowerTransition",
+        "TeReconfig",
+        "Failure",
+        "Repair",
+    ] {
+        let n = events.iter().filter(|e| e.kind() == kind).count();
+        if n > 0 {
+            println!("  {kind:<16} {n}");
+        }
+    }
+    let mut rounds = 0u64;
+    let mut immediate_n = 0u64;
+    let mut decided_n = 0u64;
+    let mut skipped = 0u64;
+    let mut changes = 0u64;
+    let mut wf = 0u64;
+    let mut settle: Option<f64> = None;
+    let mut peak_util = 0.0f64;
+    let mut peak_ol = 0u32;
+    let mut sleeps = 0u64;
+    let mut wakes = 0u64;
+    let mut idle_sum = 0.0f64;
+    for ev in &events {
+        match *ev {
+            TelemetryEvent::ControlRound {
+                t,
+                immediate,
+                decided,
+                skipped_clean,
+                share_changes,
+                waterfill_iters,
+                ..
+            } => {
+                rounds += 1;
+                immediate_n += immediate as u64;
+                decided_n += decided as u64;
+                skipped += skipped_clean as u64;
+                changes += share_changes as u64;
+                wf += waterfill_iters;
+                if share_changes > 0 {
+                    settle = Some(t);
+                }
+            }
+            TelemetryEvent::ArcLoads {
+                max_util,
+                overloaded,
+                ..
+            } => {
+                peak_util = peak_util.max(max_util);
+                peak_ol = peak_ol.max(overloaded);
+            }
+            TelemetryEvent::PowerTransition { kind, idle_s, .. } => match kind {
+                PowerKind::Sleep => {
+                    sleeps += 1;
+                    idle_sum += idle_s;
+                }
+                PowerKind::WakeDone => wakes += 1,
+                PowerKind::WakeStart => {}
+            },
+            _ => {}
+        }
+    }
+    if rounds > 0 {
+        println!(
+            "control: rounds={rounds} immediate={immediate_n} decided={decided_n} \
+             skipped_clean={skipped} share_changes={changes} waterfill_iters={wf}"
+        );
+        match settle {
+            Some(t) => println!("settle: last share change at {t:.3}s"),
+            None => println!("settle: no share changes"),
+        }
+        println!("peaks: max_util={peak_util:.4} overloaded_arcs={peak_ol}");
+    }
+    if sleeps + wakes > 0 {
+        let mean_idle = if sleeps > 0 {
+            idle_sum / sleeps as f64
+        } else {
+            0.0
+        };
+        println!("power: sleeps={sleeps} wakes={wakes} mean_idle_drain={mean_idle:.3}s");
+    }
+}
+
+fn cmd_validate(path: &str) {
+    let lines = read_lines(path);
+    let events = match parse_events(&lines) {
+        Ok(ev) => ev,
+        Err((n, e)) => fail(&format!("{path}:{n}: {e}")),
+    };
+    let mut last = f64::NEG_INFINITY;
+    for (i, ev) in events.iter().enumerate() {
+        let t = ev.time();
+        if t < last {
+            fail(&format!(
+                "{path}:{}: time goes backwards ({t} after {last})",
+                i + 1
+            ));
+        }
+        last = t;
+    }
+    println!("ok: {} events, times monotone", events.len());
+}
+
+fn cmd_diff(a_path: &str, b_path: &str) {
+    let a = read_lines(a_path);
+    let b = read_lines(b_path);
+    if a == b {
+        println!("identical: {} events", a.len());
+        return;
+    }
+    if a.len() != b.len() {
+        eprintln!("lengths differ: {} vs {} events", a.len(), b.len());
+    }
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        if la != lb {
+            eprintln!("first divergence at line {}:", i + 1);
+            eprintln!("  - {la}");
+            eprintln!("  + {lb}");
+            break;
+        }
+    }
+    exit(1)
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in entries {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+/// One chrome://tracing event: instants (`ph: "i"`) for discrete
+/// happenings, counter tracks (`ph: "C"`) for the per-round load and
+/// waterfill series. Times are microseconds of simulation time.
+fn chrome_event(ev: &TelemetryEvent) -> Value {
+    let ts = Value::F64(ev.time() * 1e6);
+    let base = |name: &str, ph: &str, args: Value| {
+        obj(vec![
+            ("name", Value::Str(name.into())),
+            ("ph", Value::Str(ph.into())),
+            ("s", Value::Str("g".into())),
+            ("ts", ts.clone()),
+            ("pid", Value::U64(1)),
+            ("tid", Value::U64(1)),
+            ("args", args),
+        ])
+    };
+    match *ev {
+        TelemetryEvent::ControlRound {
+            immediate,
+            agents,
+            decided,
+            skipped_clean,
+            deferred_phased,
+            share_changes,
+            waterfill_iters,
+            ..
+        } => base(
+            "control-round",
+            "i",
+            obj(vec![
+                ("immediate", Value::Bool(immediate)),
+                ("agents", Value::U64(agents as u64)),
+                ("decided", Value::U64(decided as u64)),
+                ("skipped_clean", Value::U64(skipped_clean as u64)),
+                ("deferred_phased", Value::U64(deferred_phased as u64)),
+                ("share_changes", Value::U64(share_changes as u64)),
+                ("waterfill_iters", Value::U64(waterfill_iters)),
+            ]),
+        ),
+        TelemetryEvent::ArcLoads {
+            max_util,
+            mean_util,
+            overloaded,
+            ..
+        } => base(
+            "arc-loads",
+            "C",
+            obj(vec![
+                ("max_util", Value::F64(max_util)),
+                ("mean_util", Value::F64(mean_util)),
+                ("overloaded", Value::U64(overloaded as u64)),
+            ]),
+        ),
+        TelemetryEvent::PowerTransition {
+            link, kind, idle_s, ..
+        } => base(
+            match kind {
+                PowerKind::Sleep => "power-sleep",
+                PowerKind::WakeStart => "power-wake-start",
+                PowerKind::WakeDone => "power-wake-done",
+            },
+            "i",
+            obj(vec![
+                ("link", Value::U64(link as u64)),
+                ("idle_s", Value::F64(idle_s)),
+            ]),
+        ),
+        TelemetryEvent::TeReconfig {
+            threshold,
+            step,
+            min_share,
+            ..
+        } => base(
+            "te-reconfig",
+            "i",
+            obj(vec![
+                ("threshold", Value::F64(threshold)),
+                ("step", Value::F64(step)),
+                ("min_share", Value::F64(min_share)),
+            ]),
+        ),
+        TelemetryEvent::Failure {
+            element,
+            id,
+            detected,
+            ..
+        } => base(
+            if detected {
+                "failure-detected"
+            } else {
+                "failure"
+            },
+            "i",
+            obj(vec![
+                ("element", Value::Str(format!("{element:?}"))),
+                ("id", Value::U64(id as u64)),
+            ]),
+        ),
+        TelemetryEvent::Repair {
+            element,
+            id,
+            detected,
+            ..
+        } => base(
+            if detected {
+                "repair-detected"
+            } else {
+                "repair"
+            },
+            "i",
+            obj(vec![
+                ("element", Value::Str(format!("{element:?}"))),
+                ("id", Value::U64(id as u64)),
+            ]),
+        ),
+    }
+}
+
+fn cmd_chrome(path: &str, out: Option<&str>) {
+    let lines = read_lines(path);
+    let events = match parse_events(&lines) {
+        Ok(ev) => ev,
+        Err((n, e)) => fail(&format!("{path}:{n}: {e}")),
+    };
+    let doc = obj(vec![
+        (
+            "traceEvents",
+            Value::Array(events.iter().map(chrome_event).collect()),
+        ),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ]);
+    let body = serde_json::to_string(&doc).expect("chrome trace serializes");
+    match out {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, body) {
+                fail(&format!("write {p}: {e}"));
+            }
+            println!("wrote {p} ({} events)", events.len());
+        }
+        None => println!("{body}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(input)) = (args.first(), args.get(1)) else {
+        usage()
+    };
+    let out = flag(&args, "--out");
+    match cmd.as_str() {
+        "run" => cmd_run(input, out.as_deref(), flag(&args, "--snapshot").as_deref()),
+        "summarize" => cmd_summarize(input),
+        "validate" => cmd_validate(input),
+        "diff" => match args.get(2) {
+            Some(b) if !b.starts_with("--") => cmd_diff(input, b),
+            _ => usage(),
+        },
+        "chrome" => cmd_chrome(input, out.as_deref()),
+        _ => usage(),
+    }
+}

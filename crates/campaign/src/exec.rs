@@ -4,8 +4,9 @@
 use crate::spec::CampaignSpec;
 use crate::store::{run_hash, ResultStore, RunFailure, StoredRun};
 use crate::{CampaignError, Resolver};
-use ecp_scenario::{Axis, Param, ResolveCache, Scenario, SweepRunner};
+use ecp_scenario::{Axis, Param, ResolveCache, Scenario, ScenarioReport, SweepRunner};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 
@@ -94,6 +95,79 @@ pub struct ExecOptions {
     pub threads: Option<usize>,
     /// Ignore cached runs and recompute everything.
     pub force: bool,
+    /// Stream one [`ProgressEvent`] JSON line to stdout per run
+    /// start/finish (the `--progress jsonl` live feed; subprocess
+    /// workers inherit stdout, so their events stream through the
+    /// parent). Event *order* follows completion and is not
+    /// deterministic; the stored artifacts are.
+    pub progress: bool,
+}
+
+/// One live executor progress event. Serialized as a single JSON line
+/// on stdout when [`ExecOptions::progress`] is set — the stream a
+/// future `campaign serve` would push to clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProgressEvent {
+    /// A run is about to execute (never emitted for cache hits).
+    RunStarted {
+        /// Shard executing the run.
+        shard: u64,
+        /// The run's content hash.
+        hash: String,
+        /// Campaign entry name.
+        entry: String,
+        /// Expanded scenario name.
+        name: String,
+    },
+    /// A run's outcome is in the store.
+    RunFinished {
+        /// Shard that handled the run.
+        shard: u64,
+        /// The run's content hash.
+        hash: String,
+        /// Campaign entry name.
+        entry: String,
+        /// Expanded scenario name.
+        name: String,
+        /// Whether the outcome was served from the result store.
+        cached: bool,
+        /// Whether the stored outcome is a scenario failure.
+        failed: bool,
+        /// Mean power fraction, when the run produced a report.
+        mean_power_frac: Option<f64>,
+        /// Delivered ÷ offered, when the run produced a report.
+        mean_delivered_fraction: Option<f64>,
+    },
+}
+
+/// Emit one progress event as a JSON line on stdout. `println!` locks
+/// stdout per call, so concurrent rayon workers emit whole lines.
+fn emit_progress(ev: &ProgressEvent) {
+    println!(
+        "{}",
+        serde_json::to_string(ev).expect("progress event serializes")
+    );
+}
+
+/// The `RunFinished` event for a stored outcome.
+fn finished_event(
+    shard: u64,
+    hash: &str,
+    u: &RunUnit,
+    cached: bool,
+    report: Option<&ScenarioReport>,
+    failed: bool,
+) -> ProgressEvent {
+    ProgressEvent::RunFinished {
+        shard,
+        hash: hash.to_string(),
+        entry: u.entry.clone(),
+        name: u.scenario.name.clone(),
+        cached,
+        failed,
+        mean_power_frac: report.map(|r| r.mean_power_frac),
+        mean_delivered_fraction: report.map(|r| r.mean_delivered_fraction),
+    }
 }
 
 /// What an executor did. `failed` counts runs whose *stored* outcome is
@@ -168,12 +242,37 @@ pub fn run_shard(
             .map(|(hash, u)| {
                 if !opts.force {
                     if let Some(cached) = store.load(hash) {
-                        return Ok((0, 1, cached.failure.is_some() as usize));
+                        let failed = cached.failure.is_some();
+                        if opts.progress {
+                            emit_progress(&finished_event(
+                                k as u64,
+                                hash,
+                                u,
+                                true,
+                                cached.report.as_ref(),
+                                failed,
+                            ));
+                        }
+                        return Ok((0, 1, failed as usize));
                     }
                 }
-                let (report, failure) = match resolve_cache.run(&u.scenario) {
-                    Ok(r) => (Some(r), None),
+                if opts.progress {
+                    emit_progress(&ProgressEvent::RunStarted {
+                        shard: k as u64,
+                        hash: hash.clone(),
+                        entry: u.entry.clone(),
+                        name: u.scenario.name.clone(),
+                    });
+                }
+                let (report, telemetry, failure) = match resolve_cache.run_traced(&u.scenario) {
+                    Ok((r, trace)) => {
+                        if !trace.lines.is_empty() {
+                            store.save_trace(hash, &trace.lines)?;
+                        }
+                        (Some(r), trace.snapshot, None)
+                    }
                     Err(e) => (
+                        None,
                         None,
                         Some(RunFailure {
                             kind: e.kind().into(),
@@ -181,8 +280,8 @@ pub fn run_shard(
                         }),
                     ),
                 };
-                let failed = failure.is_some() as usize;
-                store.save(&StoredRun {
+                let failed = failure.is_some();
+                let run = StoredRun {
                     code_salt: crate::CODE_SALT.into(),
                     hash: hash.clone(),
                     name: u.scenario.name.clone(),
@@ -190,8 +289,20 @@ pub fn run_shard(
                     params: u.params.clone(),
                     report,
                     failure,
-                })?;
-                Ok((1, 0, failed))
+                    telemetry,
+                };
+                store.save(&run)?;
+                if opts.progress {
+                    emit_progress(&finished_event(
+                        k as u64,
+                        hash,
+                        u,
+                        false,
+                        run.report.as_ref(),
+                        failed,
+                    ));
+                }
+                Ok((1, 0, failed as usize))
             })
             .collect()
     };

@@ -50,7 +50,7 @@ pub mod store;
 
 pub use exec::{
     execute, expand, run_campaign, run_campaign_subprocess, run_shard, ExecOptions, ExecStats,
-    RunUnit, WorkerCommand, Workers,
+    ProgressEvent, RunUnit, WorkerCommand, Workers,
 };
 pub use report::{
     generate, summarize, write_artifacts, BaselineDelta, CampaignSummary, EntrySummary, RunMetrics,

@@ -42,10 +42,22 @@ pub struct RunMetrics {
     /// Stability analysis, when the run recorded one.
     #[serde(default)]
     pub stability: Option<StabilityMetrics>,
+    /// Time of the last control round that still changed flow shares
+    /// (seconds), from the executor's telemetry sidecar. `None` when
+    /// the run predates the sidecar or never changed shares.
+    #[serde(default)]
+    pub settle_time_s: Option<f64>,
+    /// Peak number of simultaneously overloaded arcs seen at any
+    /// control round, from the telemetry sidecar.
+    #[serde(default)]
+    pub peak_overloaded_arcs: Option<u32>,
 }
 
 impl RunMetrics {
-    fn from_report(r: &ecp_scenario::ScenarioReport) -> Self {
+    fn from_stored(
+        r: &ecp_scenario::ScenarioReport,
+        telemetry: Option<&ecp_scenario::TelemetrySnapshot>,
+    ) -> Self {
         RunMetrics {
             mean_power_frac: r.mean_power_frac,
             mean_delivered_fraction: r.mean_delivered_fraction,
@@ -57,6 +69,8 @@ impl RunMetrics {
                 dominant_period_s: s.dominant_period_s,
                 settling_time_s: s.settling_time_s,
             }),
+            settle_time_s: telemetry.and_then(|t| t.settle_time_s),
+            peak_overloaded_arcs: telemetry.map(|t| t.peak_overloaded_arcs),
         }
     }
 }
@@ -158,7 +172,11 @@ pub fn summarize(
         let hash = run_hash(&u.scenario);
         let (status, metrics, failure) = match store.load(&hash) {
             Some(stored) => match (&stored.report, &stored.failure) {
-                (Some(r), _) => ("ok", Some(RunMetrics::from_report(r)), None),
+                (Some(r), _) => (
+                    "ok",
+                    Some(RunMetrics::from_stored(r, stored.telemetry.as_ref())),
+                    None,
+                ),
                 (None, Some(f)) => ("failed", None, Some(f.clone())),
                 (None, None) => ("failed", None, None),
             },
@@ -345,8 +363,8 @@ impl CampaignSummary {
         out.push_str("\n## Runs\n\n");
         out.push_str(
             "| entry | # | params | status | power | delivered | lag (s) | shortfall \
-             | Δ power | detail |\n\
-             |---|---:|---|---|---:|---:|---:|---:|---:|---|\n",
+             | settle (s) | peak OL | Δ power | detail |\n\
+             |---|---:|---|---|---:|---:|---:|---:|---:|---:|---:|---|\n",
         );
         for r in &self.runs {
             let (dp, _) = fmt_delta(r.vs_baseline);
@@ -356,7 +374,7 @@ impl CampaignSummary {
                 (None, None) => "-".into(),
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 r.entry,
                 r.index,
                 fmt_params(&r.params),
@@ -368,6 +386,11 @@ impl CampaignSummary {
                     r.metrics
                         .and_then(|m| m.stability.map(|s| s.shortfall_fraction))
                 ),
+                fmt_opt(r.metrics.and_then(|m| m.settle_time_s)),
+                r.metrics
+                    .and_then(|m| m.peak_overloaded_arcs)
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into()),
                 dp,
                 detail,
             ));
@@ -381,6 +404,7 @@ impl CampaignSummary {
             "campaign,entry,run,name,params,hash,status,mean_power_frac,\
              mean_delivered_fraction,max_tracking_lag_s,congested_fraction,samples,\
              shortfall_fraction,dominant_period_s,settling_time_s,\
+             telemetry_settle_s,telemetry_peak_overloaded,\
              delta_power_vs_baseline,delta_delivered_vs_baseline,failure_kind\n",
         );
         let opt = |v: Option<f64>| v.map(|v| format!("{v}")).unwrap_or_default();
@@ -388,7 +412,7 @@ impl CampaignSummary {
             let m = r.metrics;
             let stab = m.and_then(|m| m.stability);
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.campaign,
                 r.entry,
                 r.index,
@@ -404,6 +428,10 @@ impl CampaignSummary {
                 opt(stab.map(|s| s.shortfall_fraction)),
                 opt(stab.and_then(|s| s.dominant_period_s)),
                 opt(stab.and_then(|s| s.settling_time_s)),
+                opt(m.and_then(|m| m.settle_time_s)),
+                m.and_then(|m| m.peak_overloaded_arcs)
+                    .map(|p| p.to_string())
+                    .unwrap_or_default(),
                 opt(r.vs_baseline.map(|d| d.power_delta)),
                 opt(r.vs_baseline.map(|d| d.delivered_delta)),
                 r.failure.as_ref().map(|f| f.kind.as_str()).unwrap_or(""),

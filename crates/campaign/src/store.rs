@@ -28,7 +28,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Code-version salt mixed into every run hash. Bump when scenario
 /// execution semantics change so cached reports are recomputed.
-pub const CODE_SALT: &str = "ecp-campaign-v1";
+/// v2: runs execute through the traced entry points and store a
+/// telemetry sidecar + per-run trace artifact.
+pub const CODE_SALT: &str = "ecp-campaign-v2";
 
 /// 64-bit FNV-1a over `bytes` from an explicit basis.
 fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
@@ -90,12 +92,20 @@ pub struct StoredRun {
     /// The failure, if it did not.
     #[serde(default)]
     pub failure: Option<RunFailure>,
+    /// Telemetry sidecar captured by the executor's traced run (simnet
+    /// engine only; `None` for other engines and failed runs). The full
+    /// event trace lives next door in `traces/<hash>.jsonl`.
+    #[serde(default)]
+    pub telemetry: Option<ecp_scenario::TelemetrySnapshot>,
 }
 
 /// A campaign's on-disk run store.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     runs: PathBuf,
+    /// Sibling directory for per-run JSONL trace artifacts. Kept out of
+    /// `runs/` so report tooling can glob `runs/*.json` unambiguously.
+    traces: PathBuf,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -107,7 +117,10 @@ impl ResultStore {
         let runs = output_dir.join("runs");
         std::fs::create_dir_all(&runs)
             .map_err(|e| CampaignError::Io(format!("create {}: {e}", runs.display())))?;
-        Ok(ResultStore { runs })
+        let traces = output_dir.join("traces");
+        std::fs::create_dir_all(&traces)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", traces.display())))?;
+        Ok(ResultStore { runs, traces })
     }
 
     /// The directory run files live in.
@@ -157,5 +170,43 @@ impl ResultStore {
         std::fs::write(&tmp, body).map_err(|e| io(e, "write run"))?;
         std::fs::rename(&tmp, self.path(&run.hash)).map_err(|e| io(e, "publish run"))?;
         Ok(())
+    }
+
+    /// The directory trace artifacts live in.
+    pub fn traces_dir(&self) -> &Path {
+        &self.traces
+    }
+
+    /// The file a run's trace artifact is stored at.
+    pub fn trace_path(&self, hash: &str) -> PathBuf {
+        self.traces.join(format!("{hash}.jsonl"))
+    }
+
+    /// Persist a run's JSONL trace (unique temp file + atomic rename —
+    /// same race discipline as [`ResultStore::save`]: traces are a pure
+    /// function of the run content, so concurrent writers publish
+    /// identical bytes).
+    pub fn save_trace(&self, hash: &str, lines: &[String]) -> Result<(), CampaignError> {
+        let mut body = String::new();
+        for line in lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        let tmp = self.traces.join(format!(
+            ".{}.{}.{}.tmp",
+            hash,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let io = |e: std::io::Error, what: &str| CampaignError::Io(format!("{what}: {e}"));
+        std::fs::write(&tmp, body).map_err(|e| io(e, "write trace"))?;
+        std::fs::rename(&tmp, self.trace_path(hash)).map_err(|e| io(e, "publish trace"))?;
+        Ok(())
+    }
+
+    /// Load a run's trace lines, if present.
+    pub fn load_trace(&self, hash: &str) -> Option<Vec<String>> {
+        let doc = std::fs::read_to_string(self.trace_path(hash)).ok()?;
+        Some(doc.lines().map(str::to_string).collect())
     }
 }

@@ -1,7 +1,8 @@
 //! Shard-layout invariance: executing a campaign with 1 shard, N
 //! in-process shards, or N subprocess shards must leave byte-identical
-//! run files in the store and produce byte-identical comparison
-//! summaries. Plus cache/resume and failure-recording behavior.
+//! run files AND byte-identical trace artifacts in the store, and
+//! produce byte-identical comparison summaries. Plus cache/resume and
+//! failure-recording behavior.
 
 use ecp_campaign::{exec, report, CampaignSpec, EntrySpec, ResultStore};
 use ecp_scenario::{
@@ -92,6 +93,21 @@ fn store_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     out
 }
 
+/// Every trace artifact in a store, name → bytes.
+fn trace_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir.join("traces")).expect("traces dir exists") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(".jsonl"),
+            "no temp or stray files among traces, found {name}"
+        );
+        out.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    out
+}
+
 /// Summarize a store and render every artifact.
 fn artifacts(spec: &CampaignSpec, dir: &Path) -> (String, String, String) {
     let store = ResultStore::open(dir).unwrap();
@@ -152,6 +168,13 @@ proptest! {
         prop_assert_eq!(&files_a, &files_b, "in-process shard layouts diverged");
         prop_assert_eq!(&files_a, &files_c, "subprocess shards diverged");
 
+        // Trace artifacts are part of the layout-invariance contract
+        // too: one JSONL per simnet run, byte-identical everywhere.
+        let traces_a = trace_files(&dir_a);
+        prop_assert!(!traces_a.is_empty(), "simnet runs must leave traces");
+        prop_assert_eq!(&traces_a, &trace_files(&dir_b), "in-process trace artifacts diverged");
+        prop_assert_eq!(&traces_a, &trace_files(&dir_c), "subprocess trace artifacts diverged");
+
         let (md_a, csv_a, json_a) = artifacts(&spec, &dir_a);
         let (md_b, csv_b, json_b) = artifacts(&spec, &dir_b);
         let (md_c, csv_c, json_c) = artifacts(&spec, &dir_c);
@@ -185,6 +208,7 @@ fn rerun_serves_everything_from_cache() {
 
     // --force recomputes but leaves identical bytes behind.
     let before = store_files(&dir);
+    let traces_before = trace_files(&dir);
     let forced = exec::run_campaign(
         &spec,
         &no_registry,
@@ -201,6 +225,11 @@ fn rerun_serves_everything_from_cache() {
         before,
         store_files(&dir),
         "forced rerun changed stored bytes"
+    );
+    assert_eq!(
+        traces_before,
+        trace_files(&dir),
+        "forced rerun changed trace bytes"
     );
     let _ = std::fs::remove_dir_all(dir);
 }

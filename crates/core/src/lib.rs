@@ -39,4 +39,6 @@ pub use planner::{OnDemandStrategy, Planner, PlannerConfig};
 pub use replay::{steady_state_replay, ReplayPoint, ReplayReport};
 pub use resilience::{single_link_failure_coverage, ResilienceReport};
 pub use tables::{OdPaths, PathTables};
-pub use te::{apply_step, decide_shares, waterfill_target, PathView, TeConfig};
+pub use te::{
+    apply_step, decide_shares, waterfill_iterations, waterfill_target, PathView, TeConfig,
+};

@@ -15,6 +15,20 @@
 //! ≤ 1 against a fixed target).
 
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+
+thread_local! {
+    static WATERFILL_ITERS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Monotonic count of waterfill inner-loop iterations executed on the
+/// calling thread. Telemetry sinks read the delta around a control
+/// round; sound under rayon because one simulation runs wholly on one
+/// worker thread. Always on — a thread-local increment per path is
+/// noise next to the arithmetic it counts.
+pub fn waterfill_iterations() -> u64 {
+    WATERFILL_ITERS.with(|c| c.get())
+}
 
 /// What an agent knows about one of its paths at decision time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,6 +96,7 @@ pub fn decide_shares(
 pub fn waterfill_target(offered_rate: f64, paths: &[PathView]) -> Vec<f64> {
     let n = paths.len();
     let mut target = vec![0.0; n];
+    let mut iters = 0u64;
     if offered_rate <= 0.0 {
         // Nothing to send: target everything to the always-on path so the
         // rest can sleep.
@@ -91,6 +106,7 @@ pub fn waterfill_target(offered_rate: f64, paths: &[PathView]) -> Vec<f64> {
     } else {
         let mut remaining = offered_rate;
         for (i, p) in paths.iter().enumerate() {
+            iters += 1;
             if !p.available {
                 continue;
             }
@@ -113,6 +129,7 @@ pub fn waterfill_target(offered_rate: f64, paths: &[PathView]) -> Vec<f64> {
             }
         }
     }
+    WATERFILL_ITERS.with(|c| c.set(c.get() + iters));
     target
 }
 

@@ -94,11 +94,13 @@ pub mod run;
 pub mod spec;
 pub mod sweep;
 
+pub use ecp_simnet::TelemetrySnapshot;
 pub use error::ScenarioError;
 pub use run::{
-    resolution_key, resolve, run_resolved, run_scenario, AppDetail, CapacityStats, CompareResult,
-    DriftStats, FailoverStats, PacketDetail, RecomputeStats, ReplayDetail, ResolveCache,
-    ResolvedScenario, ScenarioReport, SleepStats, StreamingRunStats, TableStats,
+    resolution_key, resolve, run_resolved, run_resolved_traced, run_scenario, run_scenario_traced,
+    AppDetail, CapacityStats, CompareResult, DriftStats, FailoverStats, PacketDetail,
+    RecomputeStats, ReplayDetail, ResolveCache, ResolvedScenario, ScenarioReport, SleepStats,
+    StreamingRunStats, TableStats, TraceOutput,
 };
 pub use spec::{
     AppSpec, CompareSpec, ControlSpec, EngineSpec, EventSpec, FlowProgram, LinkRef, MatrixSpec,

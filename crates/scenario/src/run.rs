@@ -13,8 +13,8 @@ use ecp_routing::{
     OracleConfig, RouteSet,
 };
 use ecp_simnet::{
-    run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats, Sample, SimEvent,
-    Simulation,
+    run_packet_sim_full, ArcActivity, CbrFlow, JsonlSink, NoopSink, PacketSimConfig, PacketStats,
+    Sample, SimEvent, Simulation, TelemetrySink, TelemetrySnapshot,
 };
 use ecp_topo::gen::BuiltTopology;
 use ecp_topo::{ArcId, NodeId, Path, Topology};
@@ -89,6 +89,10 @@ pub struct ScenarioReport {
     /// `metrics.stability` (simnet engine only).
     #[serde(default)]
     pub stability: Option<StabilityReport>,
+    /// Telemetry snapshot (`ecp-telemetry`), if `metrics.telemetry` and
+    /// the run went through a traced entry point (simnet engine only).
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Analysis of the installed tables themselves (no engine needed).
@@ -299,6 +303,14 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError
     run_resolved(scenario, &resolved)
 }
 
+/// Run a scenario end to end with telemetry capture (JSONL sink).
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+) -> Result<(ScenarioReport, TraceOutput), ScenarioError> {
+    let resolved = resolve(scenario)?;
+    run_resolved_traced(scenario, &resolved)
+}
+
 /// Resolve the static parts of a scenario (topology, pairs, tables)
 /// without running it.
 pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, ScenarioError> {
@@ -454,21 +466,55 @@ impl ResolveCache {
         let resolved = self.resolve(scenario)?;
         run_resolved(scenario, &resolved)
     }
+
+    /// Like [`ResolveCache::run`], but capturing telemetry. Resolution
+    /// artifacts are shared with untraced runs of the same key
+    /// (tracing never affects resolution).
+    pub fn run_traced(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(ScenarioReport, TraceOutput), ScenarioError> {
+        let resolved = self.resolve(scenario)?;
+        run_resolved_traced(scenario, &resolved)
+    }
 }
 
-/// Run a scenario against an already-resolved context.
-pub fn run_resolved(
-    scenario: &Scenario,
-    resolved: &ResolvedScenario,
-) -> Result<ScenarioReport, ScenarioError> {
+/// The telemetry by-products of a traced run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceOutput {
+    /// JSONL trace lines in emission order. Empty for engines without
+    /// tracing support (everything but simnet).
+    pub lines: Vec<String>,
+    /// Aggregated snapshot; `None` for engines without tracing.
+    pub snapshot: Option<TelemetrySnapshot>,
+}
+
+impl TraceOutput {
+    /// Whether the run produced any trace at all.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty() && self.snapshot.is_none()
+    }
+
+    /// The trace as one newline-terminated JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Reject spec combinations an engine would otherwise silently ignore
+/// (control policies, stability analysis, and telemetry capture only
+/// exist in the event-driven simulator).
+fn validate_engine_features(scenario: &Scenario) -> Result<(), ScenarioError> {
     scenario
         .control
         .validate()
         .map_err(ScenarioError::Invalid)?;
     if !matches!(scenario.engine, EngineSpec::Simnet) {
-        // The control loop only exists in the event-driven simulator;
-        // reject specs whose policy or stability selection would
-        // otherwise be silently ignored.
         let engine = match &scenario.engine {
             EngineSpec::Replay(_) => "replay",
             EngineSpec::Packet(_) => "packet",
@@ -487,15 +533,67 @@ pub fn run_resolved(
                 "stability analysis (use the Simnet engine)",
             ));
         }
+        if scenario.metrics.telemetry {
+            return Err(ScenarioError::unsupported(
+                engine,
+                "telemetry capture (use the Simnet engine)",
+            ));
+        }
     }
+    Ok(())
+}
+
+/// Run a scenario against an already-resolved context.
+pub fn run_resolved(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+) -> Result<ScenarioReport, ScenarioError> {
+    validate_engine_features(scenario)?;
     let mut report = match &scenario.engine {
-        EngineSpec::Simnet => run_simnet(scenario, resolved),
+        EngineSpec::Simnet => run_simnet_with_sink(scenario, resolved, NoopSink).map(|(r, _)| r),
         EngineSpec::Replay(spec) => run_replay(scenario, resolved, spec),
         EngineSpec::Packet(spec) => run_packet(scenario, resolved, spec),
         EngineSpec::App(spec) => run_app(scenario, resolved, spec),
     }?;
     attach_table_metrics(scenario, resolved, &mut report)?;
     Ok(report)
+}
+
+/// Run a scenario against an already-resolved context with telemetry
+/// capture. For the simnet engine the returned [`TraceOutput`] holds
+/// the JSONL event trace and the aggregated snapshot (attached to
+/// `report.telemetry` only when `metrics.telemetry` is set, so traced
+/// and untraced reports stay byte-identical otherwise); the other
+/// engines run exactly as [`run_resolved`] and return an empty trace.
+pub fn run_resolved_traced(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+) -> Result<(ScenarioReport, TraceOutput), ScenarioError> {
+    validate_engine_features(scenario)?;
+    let (mut report, trace) = match &scenario.engine {
+        EngineSpec::Simnet => {
+            let (report, sink) = run_simnet_with_sink(scenario, resolved, JsonlSink::new())?;
+            let snapshot = sink.snapshot();
+            (
+                report,
+                TraceOutput {
+                    lines: sink.into_lines(),
+                    snapshot,
+                },
+            )
+        }
+        EngineSpec::Replay(spec) => (
+            run_replay(scenario, resolved, spec)?,
+            TraceOutput::default(),
+        ),
+        EngineSpec::Packet(spec) => (
+            run_packet(scenario, resolved, spec)?,
+            TraceOutput::default(),
+        ),
+        EngineSpec::App(spec) => (run_app(scenario, resolved, spec)?, TraceOutput::default()),
+    };
+    attach_table_metrics(scenario, resolved, &mut report)?;
+    Ok((report, trace))
 }
 
 // ---- pair/table resolution ------------------------------------------------
@@ -765,10 +863,10 @@ fn correlated_links(topo: &Topology, seed: u64, count: usize) -> Vec<ArcId> {
     chosen
 }
 
-fn schedule_events(
+fn schedule_events<S: TelemetrySink>(
     scenario: &Scenario,
     topo: &Topology,
-    sim: &mut Simulation<'_>,
+    sim: &mut Simulation<'_, S>,
 ) -> Result<(), ScenarioError> {
     for ev in &scenario.events {
         match ev {
@@ -920,10 +1018,15 @@ fn attach_table_metrics(
 
 // ---- simnet engine --------------------------------------------------------
 
-fn run_simnet(
+/// The simnet engine, generic over the telemetry sink. With
+/// [`NoopSink`] every instrumentation site compiles out and the report
+/// is identical to the pre-telemetry engine's; with a recording sink
+/// the run additionally returns the sink for trace extraction.
+fn run_simnet_with_sink<S: TelemetrySink>(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
-) -> Result<ScenarioReport, ScenarioError> {
+    sink: S,
+) -> Result<(ScenarioReport, S), ScenarioError> {
     let topo = &resolved.built.topo;
     let schedule = demand_schedule(scenario, resolved)?;
     let mut overrides: HashMap<usize, &Program> = HashMap::new();
@@ -946,12 +1049,13 @@ fn run_simnet(
     } else {
         Some(offered_matrix(scenario, resolved)?.at(1.0)?)
     };
-    let mut sim = Simulation::with_policy(
+    let mut sim = Simulation::with_telemetry(
         topo,
         &resolved.power,
         &resolved.tables,
         scenario.sim.to_config(),
         scenario.control.build(),
+        sink,
     );
 
     // One flow per OD pair; initial rate = the schedule's t = 0 level
@@ -1041,7 +1145,14 @@ fn run_simnet(
         ecp_control::analyze(&series, &StabilityConfig::default())
     });
     let n = samples.len().max(1) as f64;
-    Ok(ScenarioReport {
+    // Attach the snapshot only when the spec asks for it, so traced and
+    // untraced runs of a telemetry-off scenario stay byte-identical.
+    let telemetry = if scenario.metrics.telemetry {
+        sim.telemetry_snapshot()
+    } else {
+        None
+    };
+    let report = ScenarioReport {
         name: scenario.name.clone(),
         seed: scenario.seed,
         engine: "simnet".into(),
@@ -1073,7 +1184,9 @@ fn run_simnet(
         capacity: None,
         failover: None,
         stability,
-    })
+        telemetry,
+    };
+    Ok((report, sim.into_telemetry()))
 }
 
 // ---- replay engine --------------------------------------------------------
@@ -1252,6 +1365,7 @@ fn replay_report(scenario: &Scenario, engine: &str) -> ScenarioReport {
         capacity: None,
         failover: None,
         stability: None,
+        telemetry: None,
     }
 }
 

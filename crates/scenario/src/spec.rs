@@ -992,6 +992,13 @@ pub struct MetricsSpec {
     /// fraction, settling time, reconfiguration churn.
     #[serde(default)]
     pub stability: bool,
+    /// Attach an `ecp-telemetry` snapshot (event/decision counters,
+    /// waterfill and idle-drain histograms, settle time, peak overload)
+    /// to [`ScenarioReport::telemetry`](crate::ScenarioReport). Simnet
+    /// engine only; requires running through the traced entry points
+    /// (`run_scenario_traced` / `run_resolved_traced`).
+    #[serde(default)]
+    pub telemetry: bool,
 }
 
 impl Default for MetricsSpec {
@@ -1004,6 +1011,7 @@ impl Default for MetricsSpec {
             table_capacity: false,
             failover_coverage: false,
             stability: false,
+            telemetry: false,
         }
     }
 }

@@ -39,6 +39,10 @@ pub mod packet;
 pub mod recorder;
 pub mod sim;
 
+pub use ecp_telemetry::{
+    Counter, Element, Hist, JsonlSink, NoopSink, PowerKind, TelemetryEvent, TelemetrySink,
+    TelemetrySnapshot,
+};
 pub use packet::{
     run_packet_sim, run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats,
 };

@@ -3,8 +3,9 @@
 use crate::recorder::{Recorder, Sample};
 use ecp_control::{ControlPolicy, Observation, Undamped};
 use ecp_power::PowerModel;
+use ecp_telemetry::{Counter, Element, Hist, NoopSink, PowerKind, TelemetryEvent, TelemetrySink};
 use ecp_topo::{ActiveSet, ArcId, NodeId, Path, Topology};
-use respons_core::te::{PathView, TeConfig};
+use respons_core::te::{waterfill_iterations, PathView, TeConfig};
 use respons_core::PathTables;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -236,7 +237,12 @@ struct Flow {
 }
 
 /// The event-driven network simulation.
-pub struct Simulation<'a> {
+///
+/// Generic over a [`TelemetrySink`]; the default [`NoopSink`] compiles
+/// every instrumentation site away, so an uninstrumented simulation is
+/// bit- and cost-identical to the pre-telemetry engine. Construct a
+/// traced simulation with [`Simulation::with_telemetry`].
+pub struct Simulation<'a, S: TelemetrySink = NoopSink> {
     topo: &'a Topology,
     power: &'a PowerModel,
     cfg: SimConfig,
@@ -287,6 +293,12 @@ pub struct Simulation<'a> {
     /// Per canonical link: number of `(flow, path)` pairs with positive
     /// rate touching it in either direction — the O(1) sleep-check.
     assigned: Vec<u32>,
+    /// Telemetry sink (statically dispatched; [`NoopSink`] by default).
+    sink: S,
+    /// Per canonical link: when it last became idle (assigned count
+    /// dropped to zero) — the idle-drain clock for sleep events. Only
+    /// maintained when `S::ENABLED`.
+    idle_since: Vec<f64>,
 }
 
 impl<'a> Simulation<'a> {
@@ -310,6 +322,21 @@ impl<'a> Simulation<'a> {
         tables: &PathTables,
         cfg: SimConfig,
         policy: Box<dyn ControlPolicy>,
+    ) -> Self {
+        Self::with_telemetry(topo, power, tables, cfg, policy, NoopSink)
+    }
+}
+
+impl<'a, S: TelemetrySink> Simulation<'a, S> {
+    /// Like [`Simulation::with_policy`], but recording into an explicit
+    /// telemetry sink (e.g. [`ecp_telemetry::JsonlSink`]).
+    pub fn with_telemetry(
+        topo: &'a Topology,
+        power: &'a PowerModel,
+        tables: &PathTables,
+        cfg: SimConfig,
+        policy: Box<dyn ControlPolicy>,
+        sink: S,
     ) -> Self {
         let n_arcs = topo.arc_count();
         let mut always_on_links = vec![false; n_arcs];
@@ -359,6 +386,12 @@ impl<'a> Simulation<'a> {
             users: vec![Vec::new(); n_arcs],
             link_ready,
             assigned: vec![0; n_arcs],
+            sink,
+            idle_since: if S::ENABLED {
+                vec![0.0; n_arcs]
+            } else {
+                Vec::new()
+            },
         };
         sim.push(cfg.control_interval, Event::Control);
         sim.push(0.0, Event::Sample);
@@ -516,6 +549,22 @@ impl<'a> Simulation<'a> {
         &self.recorder
     }
 
+    /// The telemetry sink.
+    pub fn telemetry(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consume the simulation, returning its telemetry sink (e.g. to
+    /// take the recorded JSONL lines).
+    pub fn into_telemetry(self) -> S {
+        self.sink
+    }
+
+    /// Aggregated telemetry, if the sink keeps any.
+    pub fn telemetry_snapshot(&self) -> Option<ecp_telemetry::TelemetrySnapshot> {
+        self.sink.snapshot()
+    }
+
     /// Delivered rate of a flow right now (sum over ready paths, after
     /// congestion throttling).
     pub fn delivered_rate(&self, f: FlowId) -> f64 {
@@ -550,6 +599,9 @@ impl<'a> Simulation<'a> {
     /// cache is clean (and debug-cross-checked against the from-scratch
     /// oracle) at every public API boundary.
     fn handle(&mut self, ev: Event) {
+        if S::ENABLED {
+            self.sink.add(Counter::EventsProcessed, 1);
+        }
         self.dispatch(ev);
         if self.accounting == LoadAccounting::Incremental {
             self.flush_loads();
@@ -576,22 +628,38 @@ impl<'a> Simulation<'a> {
                 let l = self.topo.link_of(a);
                 self.link_failed[l.idx()] = true;
                 self.refresh_link_ready(l);
+                if S::ENABLED {
+                    self.sink.add(Counter::FailuresInjected, 1);
+                    self.emit_element_event(Element::Link, l.idx() as u32, false, false);
+                }
                 self.push(self.now + self.cfg.detect_delay, Event::FailureKnown(a));
             }
             Event::LinkRepair(a) => {
                 let l = self.topo.link_of(a);
                 self.link_failed[l.idx()] = false;
                 self.refresh_link_ready(l);
+                if S::ENABLED {
+                    self.sink.add(Counter::RepairsInjected, 1);
+                    self.emit_element_event(Element::Link, l.idx() as u32, true, false);
+                }
                 self.push(self.now + self.cfg.detect_delay, Event::RepairKnown(a));
             }
             Event::NodeFail(n) => {
                 self.node_failed[n.idx()] = true;
                 self.refresh_node_links(n);
+                if S::ENABLED {
+                    self.sink.add(Counter::FailuresInjected, 1);
+                    self.emit_element_event(Element::Node, n.idx() as u32, false, false);
+                }
                 self.push(self.now + self.cfg.detect_delay, Event::NodeFailureKnown(n));
             }
             Event::NodeRepair(n) => {
                 self.node_failed[n.idx()] = false;
                 self.refresh_node_links(n);
+                if S::ENABLED {
+                    self.sink.add(Counter::RepairsInjected, 1);
+                    self.emit_element_event(Element::Node, n.idx() as u32, true, false);
+                }
                 self.push(self.now + self.cfg.detect_delay, Event::NodeRepairKnown(n));
             }
             Event::SetWakeTime(w) => {
@@ -599,6 +667,16 @@ impl<'a> Simulation<'a> {
             }
             Event::SetTeConfig(te) => {
                 self.cfg.te = te;
+                if S::ENABLED {
+                    self.sink.add(Counter::TeReconfigs, 1);
+                    let ev = TelemetryEvent::TeReconfig {
+                        t: self.now,
+                        threshold: te.threshold,
+                        step: te.step,
+                        min_share: te.min_share,
+                    };
+                    self.sink.emit(&ev);
+                }
                 // The TE parameters are part of every observation.
                 for fl in &mut self.flows {
                     fl.obs_dirty = true;
@@ -608,6 +686,9 @@ impl<'a> Simulation<'a> {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = true;
                 self.mark_link_obs_dirty(l);
+                if S::ENABLED {
+                    self.emit_element_event(Element::Link, l.idx() as u32, false, true);
+                }
                 // React immediately rather than waiting for the next tick
                 // (failure handling is not rate-limited, §4.4) — every
                 // agent, regardless of observation phase.
@@ -617,22 +698,34 @@ impl<'a> Simulation<'a> {
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = false;
                 self.mark_link_obs_dirty(l);
+                if S::ENABLED {
+                    self.emit_element_event(Element::Link, l.idx() as u32, true, true);
+                }
             }
             Event::NodeFailureKnown(n) => {
                 self.node_failed_known[n.idx()] = true;
                 self.mark_node_obs_dirty(n);
+                if S::ENABLED {
+                    self.emit_element_event(Element::Node, n.idx() as u32, false, true);
+                }
                 // React immediately, like FailureKnown.
                 self.control_round(true);
             }
             Event::NodeRepairKnown(n) => {
                 self.node_failed_known[n.idx()] = false;
                 self.mark_node_obs_dirty(n);
+                if S::ENABLED {
+                    self.emit_element_event(Element::Node, n.idx() as u32, true, true);
+                }
             }
             Event::WakeDone(a) => {
                 let l = self.topo.link_of(a);
                 if let LinkPowerState::Waking(due) = self.link_state[l.idx()] {
                     if due <= self.now + 1e-12 {
                         self.set_link_state(l, LinkPowerState::Active);
+                        if S::ENABLED {
+                            self.emit_power_transition(l.idx() as u32, PowerKind::WakeDone, 0.0);
+                        }
                     }
                 }
             }
@@ -645,9 +738,47 @@ impl<'a> Simulation<'a> {
                     && !self.link_has_assigned_traffic(l)
                 {
                     self.set_link_state(l, LinkPowerState::Sleeping);
+                    if S::ENABLED {
+                        let idle_s = (self.now - self.idle_since[l.idx()]).max(0.0);
+                        self.sink.observe(Hist::IdleDrainS, idle_s);
+                        self.emit_power_transition(l.idx() as u32, PowerKind::Sleep, idle_s);
+                    }
                 }
             }
         }
+    }
+
+    /// Emit a failure/repair event (telemetry-enabled builds only).
+    fn emit_element_event(&mut self, element: Element, id: u32, repair: bool, detected: bool) {
+        let t = self.now;
+        let ev = if repair {
+            TelemetryEvent::Repair {
+                t,
+                element,
+                id,
+                detected,
+            }
+        } else {
+            TelemetryEvent::Failure {
+                t,
+                element,
+                id,
+                detected,
+            }
+        };
+        self.sink.emit(&ev);
+    }
+
+    /// Emit a power-transition event (telemetry-enabled builds only).
+    fn emit_power_transition(&mut self, link: u32, kind: PowerKind, idle_s: f64) {
+        self.sink.add(Counter::PowerTransitions, 1);
+        let ev = TelemetryEvent::PowerTransition {
+            t: self.now,
+            link,
+            kind,
+            idle_s,
+        };
+        self.sink.emit(&ev);
     }
 
     /// Whether a link is effectively down: failed itself or adjacent to
@@ -759,6 +890,10 @@ impl<'a> Simulation<'a> {
         if self.dirty_arcs.is_empty() {
             return;
         }
+        if S::ENABLED {
+            self.sink
+                .add(Counter::DirtyArcRecomputes, self.dirty_arcs.len() as u64);
+        }
         while let Some(ai) = self.dirty_arcs.pop() {
             self.arc_dirty[ai] = false;
             let mut sum = 0.0_f64;
@@ -824,14 +959,22 @@ impl<'a> Simulation<'a> {
         let is_pos = new_rate > 0.0;
         self.flows[fi].rate[pi] = new_rate;
         if was_pos != is_pos {
+            let now = self.now;
             let Simulation {
-                flows, assigned, ..
+                flows,
+                assigned,
+                idle_since,
+                ..
             } = self;
             for &li in &flows[fi].links[pi] {
                 if is_pos {
                     assigned[li] += 1;
                 } else {
                     assigned[li] -= 1;
+                    if S::ENABLED && assigned[li] == 0 {
+                        // The link just went idle: start its drain clock.
+                        idle_since[li] = now;
+                    }
                 }
             }
         }
@@ -1101,16 +1244,18 @@ impl<'a> Simulation<'a> {
 
     /// Install one flow's new shares; collect the links to wake or
     /// sleep-check for [`Simulation::commit_power_transitions`].
+    /// Returns whether any share component actually moved.
     fn apply_flow_shares(
         &mut self,
         fi: usize,
         shares: Vec<f64>,
         to_wake: &mut Vec<ArcId>,
         to_sleepcheck: &mut Vec<ArcId>,
-    ) {
+    ) -> bool {
         let changed: Vec<usize> = (0..shares.len())
             .filter(|&i| (shares[i] - self.flows[fi].shares[i]).abs() > 1e-12)
             .collect();
+        let any_changed = !changed.is_empty();
         self.install_shares(fi, shares);
         for pi in changed {
             let fl = &self.flows[fi];
@@ -1126,6 +1271,7 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        any_changed
     }
 
     /// Schedule the wake-ups and sleep checks a share change triggered.
@@ -1134,6 +1280,9 @@ impl<'a> Simulation<'a> {
             if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
                 let due = self.now + self.cfg.wake_time;
                 self.set_link_state(l, LinkPowerState::Waking(due));
+                if S::ENABLED {
+                    self.emit_power_transition(l.idx() as u32, PowerKind::WakeStart, 0.0);
+                }
                 self.push(due, Event::WakeDone(l));
             }
         }
@@ -1163,6 +1312,22 @@ impl<'a> Simulation<'a> {
             LoadAccounting::Scratch => Some(self.arc_loads_scratch()),
             LoadAccounting::Incremental => None,
         };
+        if S::ENABLED {
+            self.sink.add(Counter::ControlRounds, 1);
+            if immediate {
+                self.sink.add(Counter::ImmediateRounds, 1);
+            }
+            // Per-round arc-load summary over the loads the agents of
+            // this round observe (pre-decision).
+            let ev = self.arc_loads_event(scratch_loads.as_deref().unwrap_or(&self.loads));
+            self.sink.emit(&ev);
+        }
+        let wf_round_start = if S::ENABLED {
+            waterfill_iterations()
+        } else {
+            0
+        };
+        let mut skipped_clean = 0u32;
         let interval = self.cfg.control_interval;
         // Compute phase-0 updates first (same observation), defer the
         // phase-jittered agents.
@@ -1179,24 +1344,91 @@ impl<'a> Simulation<'a> {
                 continue;
             }
             if self.can_skip_decision(fi) {
+                skipped_clean += 1;
                 continue;
             }
             self.flows[fi].obs_dirty = false;
+            let wf_before = if S::ENABLED {
+                waterfill_iterations()
+            } else {
+                0
+            };
             let shares = match &scratch_loads {
                 Some(loads) => self.decide_flow(fi, loads),
                 None => self.decide_flow_cached(fi),
             };
+            if S::ENABLED {
+                self.sink.add(Counter::AgentDecisions, 1);
+                self.sink.observe(
+                    Hist::WaterfillPerDecision,
+                    (waterfill_iterations() - wf_before) as f64,
+                );
+            }
             new_shares.push((fi, shares));
         }
+        let decided = new_shares.len() as u32;
         // Apply; trigger wakes and sleep checks.
         let mut to_wake: Vec<ArcId> = Vec::new();
         let mut to_sleepcheck: Vec<ArcId> = Vec::new();
+        let mut share_changes = 0u32;
         for (fi, shares) in new_shares {
-            self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck);
+            if self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck) {
+                share_changes += 1;
+            }
         }
         self.commit_power_transitions(to_wake, to_sleepcheck);
+        if S::ENABLED {
+            let waterfill_iters = waterfill_iterations() - wf_round_start;
+            self.sink.add(Counter::WaterfillIterations, waterfill_iters);
+            self.sink.add(Counter::SkippedClean, skipped_clean as u64);
+            self.sink.add(Counter::DeferredPhased, phased.len() as u64);
+            self.sink.add(Counter::ShareChanges, share_changes as u64);
+            self.sink.observe(Hist::DecidedPerRound, decided as f64);
+            let ev = TelemetryEvent::ControlRound {
+                t: self.now,
+                immediate,
+                agents: self.flows.len() as u32,
+                decided,
+                skipped_clean,
+                deferred_phased: phased.len() as u32,
+                share_changes,
+                waterfill_iters,
+            };
+            self.sink.emit(&ev);
+        }
         for (fi, phase) in phased {
             self.push(self.now + phase, Event::AgentControl(fi));
+        }
+    }
+
+    /// Build the per-round arc-load summary (telemetry-enabled builds
+    /// only): max/mean utilization over all arcs plus the count of arcs
+    /// above the TE threshold.
+    fn arc_loads_event(&self, loads: &[f64]) -> TelemetryEvent {
+        let threshold = self.cfg.te.threshold;
+        let mut max_util = 0.0_f64;
+        let mut sum_util = 0.0_f64;
+        let mut overloaded = 0u32;
+        let mut n = 0u64;
+        for a in self.topo.arc_ids() {
+            let c = self.topo.arc(a).capacity;
+            if c <= 0.0 {
+                continue;
+            }
+            let util = loads[a.idx()] / c;
+            max_util = max_util.max(util);
+            sum_util += util;
+            n += 1;
+            if util > threshold {
+                overloaded += 1;
+            }
+        }
+        let mean_util = if n == 0 { 0.0 } else { sum_util / n as f64 };
+        TelemetryEvent::ArcLoads {
+            t: self.now,
+            max_util,
+            mean_util,
+            overloaded,
         }
     }
 
@@ -1218,9 +1450,17 @@ impl<'a> Simulation<'a> {
             return;
         }
         if self.can_skip_decision(fi) {
+            if S::ENABLED {
+                self.sink.add(Counter::SkippedClean, 1);
+            }
             return;
         }
         self.flows[fi].obs_dirty = false;
+        let wf_before = if S::ENABLED {
+            waterfill_iterations()
+        } else {
+            0
+        };
         let shares = match self.accounting {
             LoadAccounting::Scratch => {
                 let loads = self.arc_loads_scratch();
@@ -1228,9 +1468,17 @@ impl<'a> Simulation<'a> {
             }
             LoadAccounting::Incremental => self.decide_flow_cached(fi),
         };
+        if S::ENABLED {
+            let dw = waterfill_iterations() - wf_before;
+            self.sink.add(Counter::AgentDecisions, 1);
+            self.sink.add(Counter::WaterfillIterations, dw);
+            self.sink.observe(Hist::WaterfillPerDecision, dw as f64);
+        }
         let mut to_wake: Vec<ArcId> = Vec::new();
         let mut to_sleepcheck: Vec<ArcId> = Vec::new();
-        self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck);
+        if self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck) && S::ENABLED {
+            self.sink.add(Counter::ShareChanges, 1);
+        }
         self.commit_power_transitions(to_wake, to_sleepcheck);
     }
 
@@ -1255,6 +1503,9 @@ impl<'a> Simulation<'a> {
     }
 
     fn take_sample(&mut self) {
+        if S::ENABLED {
+            self.sink.add(Counter::Samples, 1);
+        }
         let (offered_total, delivered_total, per_flow) = {
             let loads = self.loads_for_query();
             let mut offered_total = 0.0;
@@ -1659,5 +1910,72 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A traced simulation (JSONL sink) must produce exactly the same
+    /// dynamics as an untraced one — telemetry observes, never steers —
+    /// and must record the expected events along the way.
+    #[test]
+    fn traced_run_matches_untraced_and_records_events() {
+        use ecp_telemetry::JsonlSink;
+        // Runs the same script traced (Some sink + series) or untraced.
+        fn scripted(traced: bool) -> (Vec<(f64, f64)>, Option<JsonlSink>) {
+            let (t, n, pt) = click_setup();
+            let pm = ecp_power::PowerModel::cisco12000();
+            macro_rules! drive {
+                ($sim:ident) => {{
+                    let fa = $sim.add_flow(&pt, n.a, n.k, 2.5e6);
+                    $sim.schedule_demand(1.0, fa, 7e6);
+                    let eh = t.find_arc(n.e, n.h).unwrap();
+                    $sim.schedule_link_failure(1.5, eh);
+                    $sim.schedule_link_repair(2.0, eh);
+                    $sim.run_until(3.0);
+                    $sim.recorder()
+                        .samples()
+                        .iter()
+                        .map(|s| (s.power_w, s.delivered_total))
+                        .collect::<Vec<(f64, f64)>>()
+                }};
+            }
+            if traced {
+                let mut sim = Simulation::with_telemetry(
+                    &t,
+                    &pm,
+                    &pt,
+                    click_cfg(),
+                    Box::new(Undamped),
+                    JsonlSink::new(),
+                );
+                let series = drive!(sim);
+                (series, Some(sim.into_telemetry()))
+            } else {
+                let mut sim = Simulation::new(&t, &pm, &pt, click_cfg());
+                let series = drive!(sim);
+                assert!(sim.telemetry_snapshot().is_none(), "noop sink snapshots");
+                (series, None)
+            }
+        }
+        let (untraced, _) = scripted(false);
+        let (series, sink) = scripted(true);
+        assert_eq!(series, untraced, "telemetry must not perturb dynamics");
+        let sink = sink.unwrap();
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter("events_processed") > 0);
+        assert!(snap.counter("control_rounds") > 0);
+        assert_eq!(snap.counter("failures_injected"), 1);
+        assert_eq!(snap.counter("repairs_injected"), 1);
+        assert!(snap.counter("samples") > 0);
+        assert!(snap.events > 0);
+        // The trace holds failure + repair, both raw and detected.
+        let joined = sink.lines().join("\n");
+        assert!(joined.contains("\"Failure\""));
+        assert!(joined.contains("\"Repair\""));
+        assert!(joined.contains("\"ControlRound\""));
+        assert!(joined.contains("\"ArcLoads\""));
+        assert!(joined.contains("\"PowerTransition\""));
+        // Traces are deterministic.
+        let (series2, sink2) = scripted(true);
+        assert_eq!(series, series2);
+        assert_eq!(sink.lines(), sink2.unwrap().lines());
     }
 }

@@ -1,0 +1,48 @@
+//! Counting global allocator (feature `count-allocs`).
+//!
+//! Benches install [`CountingAllocator`] as `#[global_allocator]` and
+//! read [`allocations`] / [`bytes_allocated`] deltas around the region
+//! of interest. This is the measurement baseline for the ROADMAP
+//! "zero-alloc decision path" item: the `load_accounting` criterion
+//! bench reports allocations per control round with it.
+//!
+//! Counts are process-global atomics; in multi-threaded benches the
+//! deltas include every thread's allocations, so take them around
+//! single-threaded regions.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations and bytes.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations (including reallocs) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start.
+pub fn bytes_allocated() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
