@@ -121,45 +121,80 @@ fn end_to_end(c: &mut Criterion) {
     ecp_simnet::set_default_load_accounting(restore);
 }
 
+/// A warmed te-stability simulation whose future event stream is pure
+/// decision path: the recorder's sampling interval is pushed past the
+/// measured window, so every event from `t = 5 s` on is a control
+/// round (plus the phase-jittered per-agent decisions a desync policy
+/// schedules within it). Used by `alloc_accounting` so the counted
+/// allocations are attributable to observe→decide→apply alone.
+#[cfg(feature = "count-allocs")]
+fn warmed_decision_sim<'a>(
+    resolved: &'a ecp_scenario::ResolvedScenario,
+    control: &ControlSpec,
+) -> Simulation<'a> {
+    let cfg = SimConfig {
+        control_interval: 0.5,
+        wake_time: 5.0,
+        detect_delay: 0.5,
+        sleep_after: 2.0,
+        sample_interval: 1e9,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::with_policy(
+        &resolved.built.topo,
+        &resolved.power,
+        &resolved.tables,
+        cfg,
+        control.build(),
+    );
+    sim.set_load_accounting(LoadAccounting::Incremental);
+    for &(o, d) in &resolved.pairs {
+        sim.add_flow(&resolved.tables, o, d, 2e7);
+    }
+    sim.run_until(5.0);
+    sim
+}
+
 /// Allocations per control round in the warmed steady state (feature
-/// `count-allocs`; a no-op without it). Prints the allocs/round and
-/// bytes/round averages — the number the zero-alloc work tracks — and
-/// benches the same region so wall-clock under the counting allocator
-/// stays visible next to the untouched layers above.
+/// `count-allocs`; a no-op without it), one arm per te-stability
+/// policy so a regression is attributable. Prints the decision-path
+/// allocs/round and bytes/round averages — pinned at 0.0 by CI's
+/// bench-smoke job — and benches the same region so wall-clock under
+/// the counting allocator stays visible next to the untouched layers
+/// above.
 fn alloc_accounting(c: &mut Criterion) {
     #[cfg(not(feature = "count-allocs"))]
     let _ = c;
     #[cfg(feature = "count-allocs")]
     {
         use ecp_telemetry::alloc_count;
-        let scenario = ecp_bench::scenarios::te_stability(40.0, 0.7, ControlSpec::Undamped);
-        let resolved = ecp_scenario::resolve(&scenario).expect("te-stability resolves");
-        let (mut sim, _) = warmed_sim(&resolved);
         // 40 control rounds at the 0.5 s interval, single-threaded, so
         // the process-global deltas are this region's allocations only.
         let rounds = 40u64;
-        let (a0, b0) = (alloc_count::allocations(), alloc_count::bytes_allocated());
-        sim.run_until(5.0 + rounds as f64 * 0.5);
-        let da = alloc_count::allocations() - a0;
-        let db = alloc_count::bytes_allocated() - b0;
-        println!(
-            "alloc_accounting: {:.1} allocs/round, {:.0} bytes/round (over {rounds} rounds)",
-            da as f64 / rounds as f64,
-            db as f64 / rounds as f64
-        );
         let mut g = c.benchmark_group("alloc_accounting");
         g.sample_size(10);
-        g.bench_with_input(
-            BenchmarkId::from_parameter("40_rounds_counted"),
-            &(),
-            |b, _| {
+        for (id, control) in ecp_bench::scenarios::te_stability_policies() {
+            let scenario = ecp_bench::scenarios::te_stability(40.0, 0.7, control);
+            let resolved = ecp_scenario::resolve(&scenario).expect("te-stability resolves");
+            let mut sim = warmed_decision_sim(&resolved, &control);
+            let (a0, b0) = (alloc_count::allocations(), alloc_count::bytes_allocated());
+            sim.run_until(5.0 + rounds as f64 * 0.5);
+            let da = alloc_count::allocations() - a0;
+            let db = alloc_count::bytes_allocated() - b0;
+            println!(
+                "alloc_accounting[{id}]: decision path = {:.1} allocs/round, \
+                 {:.0} bytes/round (over {rounds} rounds)",
+                da as f64 / rounds as f64,
+                db as f64 / rounds as f64
+            );
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| {
                 b.iter(|| {
-                    let (mut sim, _) = warmed_sim(&resolved);
+                    let mut sim = warmed_decision_sim(&resolved, &control);
                     sim.run_until(5.0 + rounds as f64 * 0.5);
                     sim.now()
                 })
-            },
-        );
+            });
+        }
         g.finish();
     }
 }

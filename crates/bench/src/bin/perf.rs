@@ -24,10 +24,17 @@
 //! `crates/bench/benches/{load_accounting,routing_paths}.rs`.
 
 use ecp_bench::{arg, print_table};
-use ecp_scenario::{run_resolved, run_resolved_traced, ScenarioReport};
-use ecp_simnet::{set_default_load_accounting, LoadAccounting};
+use ecp_scenario::{run_resolved, run_resolved_traced, ControlSpec, ScenarioReport};
+use ecp_simnet::{set_default_load_accounting, LoadAccounting, SimConfig, Simulation};
 use serde::Serialize;
 use std::time::Instant;
+
+/// Counting global allocator when built with `--features count-allocs`,
+/// so the `allocs` block carries measured allocs/round instead of null.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static COUNTING_ALLOC: ecp_telemetry::alloc_count::CountingAllocator =
+    ecp_telemetry::alloc_count::CountingAllocator;
 
 #[derive(Serialize)]
 struct ScenarioTiming {
@@ -65,6 +72,25 @@ struct TelemetryOverhead {
     family_overhead_frac: f64,
 }
 
+/// One policy's decision-path measurement: throughput of warmed,
+/// sampling-free control rounds (pure observe→decide→apply on the
+/// registry te-stability shape), plus — when the harness is built with
+/// `--features count-allocs` — the heap allocations that path makes
+/// per round (0.0 since the zero-alloc refactor; `null` without the
+/// feature).
+#[derive(Serialize)]
+struct PolicyAllocs {
+    id: String,
+    /// Control rounds driven through the measured window.
+    rounds: u64,
+    /// Warmed decision-path control rounds per second.
+    policy_rounds_per_s: f64,
+    /// Heap allocations per round (needs `count-allocs`).
+    allocs_per_round: Option<f64>,
+    /// Heap bytes allocated per round (needs `count-allocs`).
+    bytes_per_round: Option<f64>,
+}
+
 #[derive(Serialize)]
 struct BenchFile {
     /// Schema tag; bump on layout changes.
@@ -90,6 +116,8 @@ struct BenchFile {
     family_speedup: f64,
     /// Cost of turning the telemetry JSONL sink on (incremental mode).
     overhead: TelemetryOverhead,
+    /// Per-policy decision-path throughput + allocation accounting.
+    allocs: Vec<PolicyAllocs>,
 }
 
 /// Best-of-`iters` wall-clock of one scenario under one accounting
@@ -180,6 +208,59 @@ fn time_overhead(
     }
 }
 
+/// Measure one policy's warmed decision path on the registry
+/// te-stability shape (unscaled, 44 gravity pairs): sampling is pushed
+/// past the window so the measured events are control rounds only,
+/// then `rounds` rounds are timed — and, with `count-allocs`, their
+/// heap allocations counted.
+fn time_decision_path(id: &str, control: &ControlSpec, rounds: u64) -> PolicyAllocs {
+    set_default_load_accounting(LoadAccounting::Incremental);
+    let scenario = ecp_bench::scenarios::te_stability(10.0, 0.7, *control);
+    let resolved = ecp_scenario::resolve(&scenario).expect("perf scenario resolves");
+    let cfg = SimConfig {
+        control_interval: 0.5,
+        wake_time: 5.0,
+        detect_delay: 0.5,
+        sleep_after: 2.0,
+        sample_interval: 1e9,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::with_policy(
+        &resolved.built.topo,
+        &resolved.power,
+        &resolved.tables,
+        cfg,
+        control.build(),
+    );
+    sim.set_load_accounting(LoadAccounting::Incremental);
+    for &(o, d) in &resolved.pairs {
+        sim.add_flow(&resolved.tables, o, d, 2e7);
+    }
+    sim.run_until(5.0);
+    #[cfg(feature = "count-allocs")]
+    let (a0, b0) = (
+        ecp_telemetry::alloc_count::allocations(),
+        ecp_telemetry::alloc_count::bytes_allocated(),
+    );
+    let t0 = Instant::now();
+    sim.run_until(5.0 + rounds as f64 * 0.5);
+    let dt = t0.elapsed().as_secs_f64();
+    #[cfg(feature = "count-allocs")]
+    let (allocs_per_round, bytes_per_round) = (
+        Some((ecp_telemetry::alloc_count::allocations() - a0) as f64 / rounds as f64),
+        Some((ecp_telemetry::alloc_count::bytes_allocated() - b0) as f64 / rounds as f64),
+    );
+    #[cfg(not(feature = "count-allocs"))]
+    let (allocs_per_round, bytes_per_round) = (None, None);
+    PolicyAllocs {
+        id: id.to_string(),
+        rounds,
+        policy_rounds_per_s: rounds as f64 / dt.max(1e-9),
+        allocs_per_round,
+        bytes_per_round,
+    }
+}
+
 fn main() {
     let quick: usize = arg("quick", 0);
     let quick = quick != 0;
@@ -190,13 +271,17 @@ fn main() {
     let ceiling_s: f64 = arg("ceiling-s", 0.0);
     let out: String = arg("out", "BENCH_simnet.json".to_string());
 
+    let decision_rounds: u64 = arg("decision-rounds", if quick { 400 } else { 4000 });
+
     let mut te_stability = Vec::new();
     let mut overhead_scenarios = Vec::new();
+    let mut allocs = Vec::new();
     for (id, control) in ecp_bench::scenarios::te_stability_policies() {
         let scenario = ecp_bench::scenarios::te_stability_scaled(duration, load, control, scale);
         let resolved = ecp_scenario::resolve(&scenario).expect("perf scenario resolves");
         te_stability.push(time_scenario(id, &scenario, &resolved, iters));
         overhead_scenarios.push(time_overhead(id, &scenario, &resolved, iters));
+        allocs.push(time_decision_path(id, &control, decision_rounds));
     }
 
     let representative_ids = [
@@ -276,6 +361,25 @@ fn main() {
         family_overhead_frac,
     };
 
+    let alloc_rows: Vec<Vec<String>> = allocs
+        .iter()
+        .map(|a| {
+            vec![
+                a.id.clone(),
+                format!("{:.0}", a.policy_rounds_per_s),
+                a.allocs_per_round
+                    .map_or("n/a".to_string(), |v| format!("{v:.1}")),
+                a.bytes_per_round
+                    .map_or("n/a".to_string(), |v| format!("{v:.0}")),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("decision path, warmed ({decision_rounds} sampling-free control rounds)"),
+        &["policy", "rounds/s", "allocs/round", "bytes/round"],
+        &alloc_rows,
+    );
+
     if ceiling_s > 0.0 {
         for t in &te_stability {
             assert!(
@@ -289,7 +393,7 @@ fn main() {
     }
 
     let file = BenchFile {
-        schema: "ecp-bench-perf/2",
+        schema: "ecp-bench-perf/3",
         quick,
         iters,
         te_stability_duration_s: duration,
@@ -302,6 +406,7 @@ fn main() {
         family_incremental_ms,
         family_speedup,
         overhead,
+        allocs,
     };
     let body = serde_json::to_string_pretty(&file).expect("bench file serializes");
     std::fs::write(&out, body + "\n").expect("write bench file");

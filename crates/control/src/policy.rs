@@ -2,8 +2,8 @@
 //!
 //! Every policy reuses the two halves of the original REsPoNseTE
 //! decision ([`respons_core::te`]): the priority water-filling target
-//! ([`waterfill_target`]) and the bounded-step tracking with share
-//! hygiene ([`apply_step`]). Damping variants modulate what flows into
+//! (`waterfill_target_into`) and the bounded-step tracking with share
+//! hygiene (`apply_step_into`). Damping variants modulate what flows into
 //! those halves — the observed headroom (EWMA), the target choice
 //! (hysteresis), the gain (damped step), or the observation instant
 //! (desynchronization) — never the hygiene itself, so every policy
@@ -11,7 +11,9 @@
 //! summing to 1 when a path is available, failed paths vacated in one
 //! round).
 
-use respons_core::te::{apply_step, decide_shares, waterfill_target, PathView, TeConfig};
+use respons_core::te::{
+    apply_step_into, decide_shares, decide_shares_into, waterfill_target_into, PathView, TeConfig,
+};
 
 /// Everything one agent knows at decision time.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +54,22 @@ pub trait ControlPolicy: Send {
     /// Compute the agent's new share vector.
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64>;
 
+    /// In-place form of [`ControlPolicy::decide`]: write the new share
+    /// vector into `out` (cleared first; previous contents — a reused,
+    /// possibly dirty scratch buffer — are irrelevant). The default
+    /// implementation delegates to `decide`, so existing policies stay
+    /// correct unchanged; the built-in policies override it to reuse
+    /// per-agent scratch and allocate nothing, which is what makes the
+    /// simulator's decision path allocation-free. Implementations MUST
+    /// produce bit-identical shares to `decide` for the same
+    /// observation sequence (pinned by the `decide_into_parity`
+    /// proptest).
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
+        let shares = self.decide(obs);
+        out.clear();
+        out.extend_from_slice(&shares);
+    }
+
     /// Whether [`ControlPolicy::decide`] is a **pure function of the
     /// observation's** `(offered, paths, current, te)` — independent of
     /// `t`, call count, and any internal state. When true, the
@@ -83,6 +101,10 @@ impl ControlPolicy for Undamped {
         decide_shares(obs.offered, obs.paths, obs.current, obs.te)
     }
 
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
+        decide_shares_into(obs.offered, obs.paths, obs.current, obs.te, out);
+    }
+
     fn memoryless(&self) -> bool {
         true
     }
@@ -105,59 +127,86 @@ impl Default for EwmaCfg {
     }
 }
 
+/// Per-agent smoothed-headroom memory in one flat buffer: all agents'
+/// per-path `(smoothed headroom, availability-it-was-built-under)`
+/// records live contiguously in `state`, addressed by a per-agent
+/// `(offset, len)` span — no `Vec<Vec<…>>`, so decisions touch one
+/// cache-friendly allocation that stops growing once every agent has
+/// decided once.
+#[derive(Debug, Clone, Default)]
+struct FlatViewState {
+    /// All agents' per-path records, region per agent.
+    state: Vec<(f64, bool)>,
+    /// Per agent: `(offset, len)` into `state`; `len == 0` means the
+    /// agent has no region yet.
+    spans: Vec<(u32, u32)>,
+}
+
+impl FlatViewState {
+    /// The agent's region, (re)initialized from the raw observation
+    /// when absent or when its path count changed (a changed count
+    /// appends a fresh region at the tail; the old one is abandoned —
+    /// path sets are fixed for a simulation's lifetime, this is pure
+    /// robustness).
+    fn region(&mut self, agent: usize, paths: &[PathView]) -> &mut [(f64, bool)] {
+        if self.spans.len() <= agent {
+            self.spans.resize(agent + 1, (0, 0));
+        }
+        let (off, len) = self.spans[agent];
+        if len as usize != paths.len() {
+            let off = self.state.len() as u32;
+            self.state
+                .extend(paths.iter().map(|p| (p.headroom, p.available)));
+            self.spans[agent] = (off, paths.len() as u32);
+            return &mut self.state[off as usize..];
+        }
+        &mut self.state[off as usize..(off + len) as usize]
+    }
+}
+
 /// The shared EWMA core of [`Ewma`] and [`AdaptiveEwma`]: fold one
 /// observation into the per-agent smoothed-headroom memory at gain
-/// `alpha` and return the smoothed views.
+/// `alpha` and write the smoothed views into `out` (cleared first; no
+/// allocation once the buffers are warm).
 ///
 /// Availability is never smoothed — failure reaction stays immediate —
 /// and a path's estimate resets to the raw observation whenever its
 /// availability flips (stale pre-failure values must not linger). The
 /// multiplicative update form gives exact pass-through at `alpha = 1`
 /// (bit-parity with [`Undamped`]).
-fn ewma_views(
-    state: &mut Vec<Vec<(f64, bool)>>,
+fn ewma_views_into(
+    state: &mut FlatViewState,
     obs: &Observation<'_>,
     alpha: f64,
-) -> Vec<PathView> {
-    if state.len() <= obs.agent {
-        state.resize(obs.agent + 1, Vec::new());
-    }
-    let mem = &mut state[obs.agent];
-    if mem.len() != obs.paths.len() {
-        *mem = obs
-            .paths
-            .iter()
-            .map(|p| (p.headroom, p.available))
-            .collect();
-    }
-    obs.paths
-        .iter()
-        .zip(mem.iter_mut())
-        .map(|(p, m)| {
-            if p.available != m.1 {
-                *m = (p.headroom, p.available);
-            } else {
-                m.0 = alpha * p.headroom + (1.0 - alpha) * m.0;
-            }
-            PathView {
-                headroom: m.0,
-                available: p.available,
-            }
-        })
-        .collect()
+    out: &mut Vec<PathView>,
+) {
+    let mem = state.region(obs.agent, obs.paths);
+    out.clear();
+    out.extend(obs.paths.iter().zip(mem.iter_mut()).map(|(p, m)| {
+        if p.available != m.1 {
+            *m = (p.headroom, p.available);
+        } else {
+            m.0 = alpha * p.headroom + (1.0 - alpha) * m.0;
+        }
+        PathView {
+            headroom: m.0,
+            available: p.available,
+        }
+    }));
 }
 
 /// Exponentially-smoothed headroom estimation: the agent decides
 /// against the trend of each path's headroom instead of one round's
 /// transient, so a single round of collectively-freed headroom no
 /// longer triggers a collective re-aggregation. (Smoothing semantics:
-/// see [`ewma_views`].)
+/// see [`ewma_views_into`].)
 #[derive(Debug, Clone, Default)]
 pub struct Ewma {
     cfg: EwmaCfg,
-    /// Per agent: smoothed headroom + the availability it was built
-    /// under, per path.
-    state: Vec<Vec<(f64, bool)>>,
+    /// All agents' smoothed-headroom memory, flat.
+    state: FlatViewState,
+    /// Smoothed-view scratch, reused across decisions.
+    views: Vec<PathView>,
 }
 
 impl Ewma {
@@ -165,7 +214,7 @@ impl Ewma {
     pub fn new(cfg: EwmaCfg) -> Self {
         Ewma {
             cfg,
-            state: Vec::new(),
+            ..Default::default()
         }
     }
 }
@@ -176,8 +225,14 @@ impl ControlPolicy for Ewma {
     }
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
-        let views = ewma_views(&mut self.state, obs, self.cfg.alpha);
-        decide_shares(obs.offered, &views, obs.current, obs.te)
+        let mut out = Vec::new();
+        self.decide_into(obs, &mut out);
+        out
+    }
+
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
+        ewma_views_into(&mut self.state, obs, self.cfg.alpha, &mut self.views);
+        decide_shares_into(obs.offered, &self.views, obs.current, obs.te, out);
     }
 }
 
@@ -217,13 +272,15 @@ impl Default for AdaptiveEwmaCfg {
 ///
 /// Like [`Ewma`], availability is never smoothed and a path's estimate
 /// resets to the raw observation when its availability flips, so
-/// failure reaction stays immediate (the shared [`ewma_views`] core).
+/// failure reaction stays immediate (the shared [`ewma_views_into`]
+/// core).
 #[derive(Debug, Clone, Default)]
 pub struct AdaptiveEwma {
     cfg: AdaptiveEwmaCfg,
-    /// Per agent: smoothed headroom + the availability it was built
-    /// under, per path.
-    state: Vec<Vec<(f64, bool)>>,
+    /// All agents' smoothed-headroom memory, flat.
+    state: FlatViewState,
+    /// Smoothed-view scratch, reused across decisions.
+    views: Vec<PathView>,
 }
 
 impl AdaptiveEwma {
@@ -231,7 +288,7 @@ impl AdaptiveEwma {
     pub fn new(cfg: AdaptiveEwmaCfg) -> Self {
         AdaptiveEwma {
             cfg,
-            state: Vec::new(),
+            ..Default::default()
         }
     }
 
@@ -254,10 +311,16 @@ impl ControlPolicy for AdaptiveEwma {
     }
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.decide_into(obs, &mut out);
+        out
+    }
+
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
         let pressure = Self::pressure(obs);
         let alpha = self.cfg.alpha_max - (self.cfg.alpha_max - self.cfg.alpha_min) * pressure;
-        let views = ewma_views(&mut self.state, obs, alpha);
-        decide_shares(obs.offered, &views, obs.current, obs.te)
+        ewma_views_into(&mut self.state, obs, alpha, &mut self.views);
+        decide_shares_into(obs.offered, &self.views, obs.current, obs.te, out);
     }
 }
 
@@ -293,12 +356,21 @@ impl Default for HysteresisCfg {
 #[derive(Debug, Clone, Default)]
 pub struct Hysteresis {
     cfg: HysteresisCfg,
+    /// Scratch: eager (full-headroom) water-fill target.
+    t_spill: Vec<f64>,
+    /// Scratch: conservative (shrunk-headroom) water-fill target.
+    t_reagg: Vec<f64>,
+    /// Scratch: the shrunk-headroom views.
+    shrunk: Vec<PathView>,
 }
 
 impl Hysteresis {
     /// A policy with the given parameters.
     pub fn new(cfg: HysteresisCfg) -> Self {
-        Hysteresis { cfg }
+        Hysteresis {
+            cfg,
+            ..Default::default()
+        }
     }
 
     /// Share mass beyond the first available (highest-priority usable)
@@ -322,26 +394,29 @@ impl ControlPolicy for Hysteresis {
     }
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.decide_into(obs, &mut out);
+        out
+    }
+
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
         const EPS: f64 = 1e-9;
-        let t_spill = waterfill_target(obs.offered, obs.paths);
-        let shrunk: Vec<PathView> = obs
-            .paths
-            .iter()
-            .map(|p| PathView {
-                headroom: p.headroom * (1.0 - self.cfg.gap),
-                available: p.available,
-            })
-            .collect();
-        let t_reagg = waterfill_target(obs.offered, &shrunk);
+        waterfill_target_into(obs.offered, obs.paths, &mut self.t_spill);
+        self.shrunk.clear();
+        self.shrunk.extend(obs.paths.iter().map(|p| PathView {
+            headroom: p.headroom * (1.0 - self.cfg.gap),
+            available: p.available,
+        }));
+        waterfill_target_into(obs.offered, &self.shrunk, &mut self.t_reagg);
 
         let cur = Self::spill_mass(obs.paths, obs.current);
-        let target: &[f64] = if Self::spill_mass(obs.paths, &t_spill) > cur + EPS {
+        let target: &[f64] = if Self::spill_mass(obs.paths, &self.t_spill) > cur + EPS {
             // The SLO needs more spill: act on the raw observation.
-            &t_spill
-        } else if Self::spill_mass(obs.paths, &t_reagg) < cur - EPS {
+            &self.t_spill
+        } else if Self::spill_mass(obs.paths, &self.t_reagg) < cur - EPS {
             // Re-aggregation fits even under shrunk headroom: pull back,
             // but only as far as the conservative target.
-            &t_reagg
+            &self.t_reagg
         } else {
             // Inside the hysteresis band: hold.
             obs.current
@@ -356,13 +431,14 @@ impl ControlPolicy for Hysteresis {
         } else {
             target
         };
-        apply_step(
+        apply_step_into(
             obs.paths,
             obs.current,
             target,
             obs.te.step,
             obs.te.min_share,
-        )
+            out,
+        );
     }
 
     fn memoryless(&self) -> bool {
@@ -405,6 +481,8 @@ pub struct DampedStep {
     cfg: DampedStepCfg,
     /// Remaining cooldown rounds per agent.
     cool: Vec<u32>,
+    /// Scratch: the water-fill target.
+    target: Vec<f64>,
 }
 
 impl DampedStep {
@@ -412,7 +490,7 @@ impl DampedStep {
     pub fn new(cfg: DampedStepCfg) -> Self {
         DampedStep {
             cfg,
-            cool: Vec::new(),
+            ..Default::default()
         }
     }
 }
@@ -423,6 +501,12 @@ impl ControlPolicy for DampedStep {
     }
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.decide_into(obs, &mut out);
+        out
+    }
+
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
         if self.cool.len() <= obs.agent {
             self.cool.resize(obs.agent + 1, 0);
         }
@@ -430,13 +514,15 @@ impl ControlPolicy for DampedStep {
             self.cool[obs.agent] -= 1;
             // Hold: no tracking move, but hygiene still runs so failed
             // paths are vacated immediately.
-            return apply_step(
+            apply_step_into(
                 obs.paths,
                 obs.current,
                 obs.current,
                 obs.te.step,
                 obs.te.min_share,
+                out,
             );
+            return;
         }
         let spill_frac = match obs.paths.iter().position(|p| p.available) {
             Some(first) if obs.offered > 0.0 => {
@@ -445,9 +531,16 @@ impl ControlPolicy for DampedStep {
             _ => 0.0,
         };
         let step = obs.te.step * (1.0 - self.cfg.damp * spill_frac);
-        let target = waterfill_target(obs.offered, obs.paths);
-        let new = apply_step(obs.paths, obs.current, &target, step, obs.te.min_share);
-        let moved: f64 = new
+        waterfill_target_into(obs.offered, obs.paths, &mut self.target);
+        apply_step_into(
+            obs.paths,
+            obs.current,
+            &self.target,
+            step,
+            obs.te.min_share,
+            out,
+        );
+        let moved: f64 = out
             .iter()
             .zip(obs.current)
             .map(|(&a, &b)| (a - b).abs())
@@ -455,7 +548,6 @@ impl ControlPolicy for DampedStep {
         if moved > 1e-6 {
             self.cool[obs.agent] = self.cfg.cooldown_rounds;
         }
-        new
     }
 }
 
@@ -507,6 +599,10 @@ impl ControlPolicy for Desync {
 
     fn decide(&mut self, obs: &Observation<'_>) -> Vec<f64> {
         decide_shares(obs.offered, obs.paths, obs.current, obs.te)
+    }
+
+    fn decide_into(&mut self, obs: &Observation<'_>, out: &mut Vec<f64>) {
+        decide_shares_into(obs.offered, obs.paths, obs.current, obs.te, out);
     }
 
     fn memoryless(&self) -> bool {

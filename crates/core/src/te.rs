@@ -83,10 +83,30 @@ pub fn decide_shares(
     current: &[f64],
     cfg: &TeConfig,
 ) -> Vec<f64> {
+    let mut out = Vec::with_capacity(paths.len());
+    decide_shares_into(offered_rate, paths, current, cfg, &mut out);
+    out
+}
+
+/// In-place form of [`decide_shares`]: writes the new share vector into
+/// `out` (cleared first; any previous contents are irrelevant) without
+/// allocating — the single buffer holds the water-filled target and is
+/// then stepped/hygiened in place. `out` only ever grows to
+/// `paths.len()`, so a reused buffer reaches a fixed capacity and the
+/// decision path becomes allocation-free. Bit-identical to
+/// [`decide_shares`] by construction (the allocating form is a thin
+/// wrapper over this one).
+pub fn decide_shares_into(
+    offered_rate: f64,
+    paths: &[PathView],
+    current: &[f64],
+    cfg: &TeConfig,
+    out: &mut Vec<f64>,
+) {
     assert_eq!(paths.len(), current.len());
     assert!(!paths.is_empty());
-    let target = waterfill_target(offered_rate, paths);
-    apply_step(paths, current, &target, cfg.step, cfg.min_share)
+    waterfill_target_into(offered_rate, paths, out);
+    step_hygiene_in_place(paths, current, cfg.step, cfg.min_share, out);
 }
 
 /// The target allocation of one control round: the offered rate
@@ -94,8 +114,19 @@ pub fn decide_shares(
 /// half of [`decide_shares`], exposed so alternative control policies —
 /// `ecp-control` — can reuse it against modified path views).
 pub fn waterfill_target(offered_rate: f64, paths: &[PathView]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(paths.len());
+    waterfill_target_into(offered_rate, paths, &mut out);
+    out
+}
+
+/// In-place form of [`waterfill_target`]: clears `out` and fills it
+/// with the target allocation, allocating nothing once the buffer's
+/// capacity has reached `paths.len()`.
+pub fn waterfill_target_into(offered_rate: f64, paths: &[PathView], out: &mut Vec<f64>) {
     let n = paths.len();
-    let mut target = vec![0.0; n];
+    out.clear();
+    out.resize(n, 0.0);
+    let target = &mut out[..];
     let mut iters = 0u64;
     if offered_rate <= 0.0 {
         // Nothing to send: target everything to the always-on path so the
@@ -130,7 +161,6 @@ pub fn waterfill_target(offered_rate: f64, paths: &[PathView]) -> Vec<f64> {
         }
     }
     WATERFILL_ITERS.with(|c| c.set(c.get() + iters));
-    target
 }
 
 /// Bounded-step tracking toward a target plus share hygiene (the second
@@ -145,11 +175,43 @@ pub fn apply_step(
     step: f64,
     min_share: f64,
 ) -> Vec<f64> {
-    let mut new: Vec<f64> = current
-        .iter()
-        .zip(target)
-        .map(|(&c, &t)| c + step * (t - c))
-        .collect();
+    let mut out = Vec::with_capacity(target.len());
+    apply_step_into(paths, current, target, step, min_share, &mut out);
+    out
+}
+
+/// In-place form of [`apply_step`]: clears `out`, copies `target` in,
+/// and steps/hygienes it in place — no allocation once the buffer's
+/// capacity has reached `target.len()`. Bit-identical to [`apply_step`]
+/// by construction.
+pub fn apply_step_into(
+    paths: &[PathView],
+    current: &[f64],
+    target: &[f64],
+    step: f64,
+    min_share: f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend_from_slice(target);
+    step_hygiene_in_place(paths, current, step, min_share, out);
+}
+
+/// The shared tail of [`apply_step_into`] / [`decide_shares_into`]:
+/// `new` holds the target on entry and the stepped, hygiened share
+/// vector on exit. The arithmetic (`c + step * (t - c)`, vacate, dust,
+/// clamp, renormalize) is exactly the original allocating sequence, so
+/// results are bit-identical.
+fn step_hygiene_in_place(
+    paths: &[PathView],
+    current: &[f64],
+    step: f64,
+    min_share: f64,
+    new: &mut [f64],
+) {
+    for (v, &c) in new.iter_mut().zip(current) {
+        *v = c + step * (*v - c);
+    }
     // Unavailable paths are vacated immediately (failure reaction is not
     // rate-limited; the paper shifts traffic off failed paths promptly).
     for (i, p) in paths.iter().enumerate() {
@@ -172,7 +234,6 @@ pub fn apply_step(
     } else if let Some(first_up) = paths.iter().position(|p| p.available) {
         new[first_up] = 1.0;
     }
-    new
 }
 
 /// Convergence helper: apply [`decide_shares`] against a *fixed*

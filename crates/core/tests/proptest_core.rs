@@ -4,7 +4,10 @@ use ecp_power::PowerModel;
 use ecp_topo::gen::random_waxman;
 use ecp_topo::{NodeId, MBPS};
 use proptest::prelude::*;
-use respons_core::te::{converge_shares, decide_shares, PathView, TeConfig};
+use respons_core::te::{
+    apply_step, apply_step_into, converge_shares, decide_shares, decide_shares_into,
+    waterfill_target, waterfill_target_into, PathView, TeConfig,
+};
 use respons_core::{Planner, PlannerConfig};
 
 fn arb_views() -> impl Strategy<Value = Vec<PathView>> {
@@ -81,6 +84,43 @@ proptest! {
         ];
         let (fixed, _) = converge_shares(rate, &views, &[0.5, 0.5], &TeConfig::default(), 100);
         prop_assert!(fixed[0] > 0.99, "not aggregated: {fixed:?}");
+    }
+
+    /// The in-place kernels are bit-identical to the allocating forms —
+    /// including when the output buffer arrives dirty (non-empty, wrong
+    /// length, arbitrary garbage), the reuse pattern of the zero-alloc
+    /// decision path.
+    #[test]
+    fn into_kernels_bit_identical_even_with_dirty_buffers(
+        views in arb_views(),
+        start in proptest::collection::vec(0.0f64..1.0, 1..5),
+        rate in 0.0f64..30e6,
+        step in 0.05f64..1.0,
+        dirty in proptest::collection::vec(-3.0f64..3.0, 0..8),
+    ) {
+        prop_assume!(views.len() == start.len());
+        let mut cur = start.clone();
+        let s: f64 = cur.iter().sum();
+        if s > 0.0 {
+            cur.iter_mut().for_each(|v| *v /= s);
+        }
+        let cfg = TeConfig { step, ..Default::default() };
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+
+        let want_target = waterfill_target(rate, &views);
+        let mut out = dirty.clone();
+        waterfill_target_into(rate, &views, &mut out);
+        prop_assert_eq!(bits(&out), bits(&want_target));
+
+        let want_step = apply_step(&views, &cur, &want_target, cfg.step, cfg.min_share);
+        let mut out = dirty.clone();
+        apply_step_into(&views, &cur, &want_target, cfg.step, cfg.min_share, &mut out);
+        prop_assert_eq!(bits(&out), bits(&want_step));
+
+        let want = decide_shares(rate, &views, &cur, &cfg);
+        let mut out = dirty;
+        decide_shares_into(rate, &views, &cur, &cfg, &mut out);
+        prop_assert_eq!(bits(&out), bits(&want));
     }
 }
 

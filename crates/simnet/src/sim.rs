@@ -214,8 +214,13 @@ struct Flow {
     /// Installed paths in priority order (always-on, on-demand…,
     /// failover).
     paths: Vec<Path>,
-    /// Per-path arc lists (resolved once).
-    path_arcs: Vec<Vec<ArcId>>,
+    /// All paths' arcs in one flat pool (resolved once), addressed by
+    /// `arc_spans` — one contiguous allocation per flow instead of a
+    /// vec-of-vecs, so per-round headroom scans walk a single cache
+    /// line sequence.
+    arc_pool: Vec<ArcId>,
+    /// Per path: `(offset, len)` into `arc_pool`.
+    arc_spans: Vec<(u32, u32)>,
     /// Current share vector.
     shares: Vec<f64>,
     /// Cached per-path rate, always exactly `offered * shares[pi]`
@@ -225,15 +230,68 @@ struct Flow {
     /// is currently not ready (down or not Active). `0` ⇔ the path is
     /// ready — the incremental mirror of [`Simulation::path_ready`].
     blocked: Vec<u32>,
-    /// Per path: the distinct canonical link indices it touches (either
-    /// direction), for the per-link assigned-traffic counts.
-    links: Vec<Vec<usize>>,
+    /// All paths' distinct canonical link indices (either direction) in
+    /// one flat pool addressed by `link_spans`, for the per-link
+    /// assigned-traffic counts.
+    link_pool: Vec<usize>,
+    /// Per path: `(offset, len)` into `link_pool`.
+    link_spans: Vec<(u32, u32)>,
     /// Whether anything this agent observes (loads along its paths,
     /// known failures, its offered rate or shares, the TE config) has
     /// changed since its last decision. While false, a memoryless
     /// policy's decision would reproduce the shares already in place,
     /// so the simulator skips it entirely.
     obs_dirty: bool,
+}
+
+impl Flow {
+    /// The arcs of one installed path.
+    fn path_arcs(&self, pi: usize) -> &[ArcId] {
+        let (off, len) = self.arc_spans[pi];
+        &self.arc_pool[off as usize..(off + len) as usize]
+    }
+
+    /// The distinct canonical links one installed path touches.
+    fn path_links(&self, pi: usize) -> &[usize] {
+        let (off, len) = self.link_spans[pi];
+        &self.link_pool[off as usize..(off + len) as usize]
+    }
+}
+
+/// Reusable per-[`Simulation`] buffers for the observe→decide→apply
+/// hot path. Every buffer is cleared before use and retains its
+/// capacity across events, so once warm the entire decision path —
+/// views, decisions, batched share application, power transitions,
+/// readiness bookkeeping — allocates nothing (pinned at 0.0
+/// allocs/round by the count-allocs `load_accounting` bench and CI).
+///
+/// Buffers are `mem::take`n out for the duration of a use (leaving an
+/// empty `Vec` behind, which costs nothing) and restored afterwards,
+/// so an unexpected re-entrant use degrades to a transient allocation
+/// instead of corruption.
+#[derive(Default)]
+struct DecisionScratch {
+    /// One agent's path views for the decision being made.
+    views: Vec<PathView>,
+    /// One agent's decided share vector.
+    shares: Vec<f64>,
+    /// Batched round: `(flow, offset, len)` into `pending_shares` for
+    /// every phase-0 decision of the round.
+    pending: Vec<(u32, u32, u32)>,
+    /// Batched round: all decided share vectors, flat.
+    pending_shares: Vec<f64>,
+    /// Batched round: the phase-jittered agents deferred to their own
+    /// [`Event::AgentControl`] instants.
+    phased: Vec<(usize, f64)>,
+    /// Links a share change needs woken.
+    to_wake: Vec<ArcId>,
+    /// Links a share change vacated (sleep-check candidates).
+    to_sleepcheck: Vec<ArcId>,
+    /// Paths whose share actually moved in one apply.
+    changed_paths: Vec<usize>,
+    /// Readiness flips: `(flow, path)` pairs whose contribution
+    /// appeared or vanished.
+    to_mark: Vec<(usize, usize)>,
 }
 
 /// The event-driven network simulation.
@@ -299,6 +357,8 @@ pub struct Simulation<'a, S: TelemetrySink = NoopSink> {
     /// dropped to zero) — the idle-drain clock for sleep events. Only
     /// maintained when `S::ENABLED`.
     idle_since: Vec<f64>,
+    /// Reusable decision-path buffers (see [`DecisionScratch`]).
+    scratch: DecisionScratch,
 }
 
 impl<'a> Simulation<'a> {
@@ -392,6 +452,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             } else {
                 Vec::new()
             },
+            scratch: DecisionScratch::default(),
         };
         sim.push(cfg.control_interval, Event::Control);
         sim.push(0.0, Event::Sample);
@@ -425,10 +486,6 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 uniq.push(p);
             }
         }
-        let path_arcs: Vec<Vec<ArcId>> = uniq
-            .iter()
-            .map(|p| p.arcs(self.topo).expect("installed path must resolve"))
-            .collect();
         let n = uniq.len();
         let mut shares = vec![0.0; n];
         shares[0] = 1.0; // start aggregated on the always-on path
@@ -436,43 +493,52 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         // Incremental bookkeeping: register every arc occurrence in the
         // reverse index (append keeps (flow, path) order), seed the
         // blocked counts from the current link readiness, and collect
-        // the distinct links each path touches.
+        // the distinct links each path touches. Arcs and links go into
+        // flat per-flow pools addressed by (offset, len) spans.
+        let mut arc_pool: Vec<ArcId> = Vec::new();
+        let mut arc_spans: Vec<(u32, u32)> = Vec::with_capacity(n);
+        let mut link_pool: Vec<usize> = Vec::new();
+        let mut link_spans: Vec<(u32, u32)> = Vec::with_capacity(n);
         let mut rate = Vec::with_capacity(n);
         let mut blocked = Vec::with_capacity(n);
-        let mut links: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for (pi, arcs) in path_arcs.iter().enumerate() {
+        for (pi, p) in uniq.iter().enumerate() {
+            let arcs = p.arcs(self.topo).expect("installed path must resolve");
             rate.push(offered * shares[pi]);
             let mut b = 0u32;
-            let mut ls: Vec<usize> = Vec::new();
-            for &a in arcs {
+            let link_off = link_pool.len();
+            for &a in &arcs {
                 let li = self.topo.link_of(a).idx();
                 if !self.link_ready[li] {
                     b += 1;
                 }
-                if !ls.contains(&li) {
-                    ls.push(li);
+                if !link_pool[link_off..].contains(&li) {
+                    link_pool.push(li);
                 }
                 self.users[a.idx()].push((fi as u32, pi as u32));
             }
+            link_spans.push((link_off as u32, (link_pool.len() - link_off) as u32));
+            arc_spans.push((arc_pool.len() as u32, arcs.len() as u32));
+            arc_pool.extend_from_slice(&arcs);
             blocked.push(b);
-            links.push(ls);
         }
         self.flows.push(Flow {
             origin: o,
             dst: d,
             offered,
             paths: uniq,
-            path_arcs,
+            arc_pool,
+            arc_spans,
             shares,
             rate,
             blocked,
-            links,
+            link_pool,
+            link_spans,
             obs_dirty: true,
         });
         for pi in 0..n {
             if self.flows[fi].rate[pi] > 0.0 {
-                for k in 0..self.flows[fi].links[pi].len() {
-                    let li = self.flows[fi].links[pi][k];
+                for k in 0..self.flows[fi].path_links(pi).len() {
+                    let li = self.flows[fi].path_links(pi)[k];
                     self.assigned[li] += 1;
                 }
                 self.mark_path_dirty(fi, pi);
@@ -808,7 +874,8 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
     pub fn arc_loads_scratch(&self) -> Vec<f64> {
         let mut load = vec![0.0; self.topo.arc_count()];
         for fl in &self.flows {
-            for (pi, arcs) in fl.path_arcs.iter().enumerate() {
+            for pi in 0..fl.paths.len() {
+                let arcs = fl.path_arcs(pi);
                 let r = fl.offered * fl.shares[pi];
                 if r <= 0.0 || !self.path_ready(arcs) {
                     continue;
@@ -873,7 +940,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             dirty_arcs,
             ..
         } = self;
-        for &a in &flows[fi].path_arcs[pi] {
+        for &a in flows[fi].path_arcs(pi) {
             let ai = a.idx();
             if !arc_dirty[ai] {
                 arc_dirty[ai] = true;
@@ -933,11 +1000,11 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             return false;
         }
         for fl in &self.flows {
-            for (pi, arcs) in fl.path_arcs.iter().enumerate() {
+            for pi in 0..fl.paths.len() {
                 if (fl.offered * fl.shares[pi]).to_bits() != fl.rate[pi].to_bits() {
                     return false;
                 }
-                if self.path_ready(arcs) != (fl.blocked[pi] == 0) {
+                if self.path_ready(fl.path_arcs(pi)) != (fl.blocked[pi] == 0) {
                     return false;
                 }
             }
@@ -966,7 +1033,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 idle_since,
                 ..
             } = self;
-            for &li in &flows[fi].links[pi] {
+            for &li in flows[fi].path_links(pi) {
                 if is_pos {
                     assigned[li] += 1;
                 } else {
@@ -996,10 +1063,11 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         }
     }
 
-    /// Replace one flow's share vector, flagging its observation dirty
-    /// when any component actually changed (shares are part of the
-    /// agent's decision input).
-    fn install_shares(&mut self, fi: usize, shares: Vec<f64>) {
+    /// Replace one flow's share vector (copied in place — the flow's
+    /// own buffer is reused), flagging its observation dirty when any
+    /// component actually changed (shares are part of the agent's
+    /// decision input).
+    fn install_shares(&mut self, fi: usize, shares: &[f64]) {
         let fl = &mut self.flows[fi];
         if shares.len() != fl.shares.len()
             || shares
@@ -1009,7 +1077,12 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         {
             fl.obs_dirty = true;
         }
-        fl.shares = shares;
+        if shares.len() == fl.shares.len() {
+            fl.shares.copy_from_slice(shares);
+        } else {
+            fl.shares.clear();
+            fl.shares.extend_from_slice(shares);
+        }
         for pi in 0..self.flows[fi].rate.len() {
             let r = self.flows[fi].offered * self.flows[fi].shares[pi];
             self.set_path_rate(fi, pi, r);
@@ -1056,7 +1129,8 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             return;
         }
         self.link_ready[li] = ready;
-        let mut to_mark: Vec<(usize, usize)> = Vec::new();
+        let mut to_mark = std::mem::take(&mut self.scratch.to_mark);
+        to_mark.clear();
         for d in [Some(l), self.topo.reverse(l)].into_iter().flatten() {
             for &(fi, pi) in &self.users[d.idx()] {
                 let (fi, pi) = (fi as usize, pi as usize);
@@ -1074,9 +1148,10 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 }
             }
         }
-        for (fi, pi) in to_mark {
+        for &(fi, pi) in &to_mark {
             self.mark_path_dirty(fi, pi);
         }
+        self.scratch.to_mark = to_mark;
     }
 
     /// Re-derive one link's readiness from its failure and power state.
@@ -1112,7 +1187,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
     /// Delivered rate of one path of one flow given arc loads, applying
     /// proportional throttling at overloaded arcs.
     fn path_delivery(&self, flow: &Flow, pi: usize, loads: &[f64]) -> f64 {
-        let arcs = &flow.path_arcs[pi];
+        let arcs = flow.path_arcs(pi);
         let r = flow.offered * flow.shares[pi];
         if r <= 0.0 || !self.path_ready(arcs) {
             return 0.0;
@@ -1145,11 +1220,11 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
     fn link_has_assigned_traffic_scratch(&self, l: ArcId) -> bool {
         let rev = self.topo.reverse(l);
         for fl in &self.flows {
-            for (pi, arcs) in fl.path_arcs.iter().enumerate() {
+            for pi in 0..fl.paths.len() {
                 if fl.offered * fl.shares[pi] <= 0.0 {
                     continue;
                 }
-                if arcs.iter().any(|&a| a == l || Some(a) == rev) {
+                if fl.path_arcs(pi).iter().any(|&a| a == l || Some(a) == rev) {
                     return true;
                 }
             }
@@ -1165,13 +1240,10 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         let sum: f64 = shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "shares must sum to 1");
         let fi = f.0;
-        self.install_shares(fi, shares);
-        let arcs: Vec<ArcId> = self.flows[fi]
-            .path_arcs
-            .iter()
-            .enumerate()
-            .filter(|(pi, _)| self.flows[fi].shares[*pi] > 0.0)
-            .flat_map(|(_, arcs)| arcs.iter().copied())
+        self.install_shares(fi, &shares);
+        let arcs: Vec<ArcId> = (0..self.flows[fi].paths.len())
+            .filter(|&pi| self.flows[fi].shares[pi] > 0.0)
+            .flat_map(|pi| self.flows[fi].path_arcs(pi).iter().copied())
             .collect();
         for a in arcs {
             let l = self.topo.link_of(a);
@@ -1184,62 +1256,59 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         }
     }
 
-    /// What one agent sees of its paths given an arc-load snapshot.
-    fn flow_views(&self, fi: usize, loads: &[f64]) -> Vec<PathView> {
+    /// What one agent sees of its paths given an arc-load snapshot,
+    /// written into `out` (cleared first; the caller's reusable
+    /// buffer).
+    fn flow_views_into(&self, fi: usize, loads: &[f64], out: &mut Vec<PathView>) {
         let threshold = self.cfg.te.threshold;
         let fl = &self.flows[fi];
-        fl.path_arcs
-            .iter()
-            .enumerate()
-            .map(|(pi, arcs)| {
-                let own = fl.offered * fl.shares[pi];
-                let failed = arcs.iter().any(|&a| self.link_down_known(a));
-                let headroom = arcs
-                    .iter()
-                    .map(|&a| {
-                        let others = (loads[a.idx()] - own).max(0.0);
-                        threshold * self.topo.arc(a).capacity - others
-                    })
-                    .fold(f64::INFINITY, f64::min);
-                PathView {
-                    headroom,
-                    available: !failed,
-                }
-            })
-            .collect()
+        out.clear();
+        for pi in 0..fl.paths.len() {
+            let arcs = fl.path_arcs(pi);
+            let own = fl.offered * fl.shares[pi];
+            let failed = arcs.iter().any(|&a| self.link_down_known(a));
+            let headroom = arcs
+                .iter()
+                .map(|&a| {
+                    let others = (loads[a.idx()] - own).max(0.0);
+                    threshold * self.topo.arc(a).capacity - others
+                })
+                .fold(f64::INFINITY, f64::min);
+            out.push(PathView {
+                headroom,
+                available: !failed,
+            });
+        }
     }
 
     /// One agent's observe + decide against a load snapshot (shared by
     /// the batched round and the phase-jittered path, so both always
-    /// construct the observation identically).
-    fn decide_flow(&mut self, fi: usize, loads: &[f64]) -> Vec<f64> {
-        let views = self.flow_views(fi, loads);
-        self.decide_with_views(fi, views)
-    }
-
-    /// Like [`Simulation::decide_flow`], but observing the maintained
-    /// load cache directly — no per-agent snapshot copy. Sound
-    /// whenever no share application happens between the observation
-    /// and the decision: batched rounds defer every apply until all
-    /// phase-0 decisions are in, and the phase-jittered path decides
-    /// one agent at a time.
-    fn decide_flow_cached(&mut self, fi: usize) -> Vec<f64> {
-        let views = self.flow_views(fi, &self.loads);
-        self.decide_with_views(fi, views)
-    }
-
-    fn decide_with_views(&mut self, fi: usize, views: Vec<PathView>) -> Vec<f64> {
+    /// construct the observation identically). `cached` observes the
+    /// maintained load cache instead of a snapshot — sound whenever no
+    /// share application happens between the observation and the
+    /// decision: batched rounds defer every apply until all phase-0
+    /// decisions are in, and the phase-jittered path decides one agent
+    /// at a time. Writes the decided shares into `out`; the views
+    /// scratch is reused across calls, so nothing here allocates.
+    fn decide_flow_into(&mut self, fi: usize, loads: Option<&[f64]>, out: &mut Vec<f64>) {
+        let mut views = std::mem::take(&mut self.scratch.views);
+        self.flow_views_into(fi, loads.unwrap_or(&self.loads), &mut views);
         let te = self.cfg.te;
-        let current = self.flows[fi].shares.clone();
+        let t = self.now;
+        // Disjoint-field borrow: the policy observes the flow's share
+        // buffer directly — no `current` clone.
+        let Simulation { policy, flows, .. } = self;
+        let fl = &flows[fi];
         let obs = Observation {
             agent: fi,
-            t: self.now,
-            offered: self.flows[fi].offered,
+            t,
+            offered: fl.offered,
             paths: &views,
-            current: &current,
+            current: &fl.shares,
             te: &te,
         };
-        self.policy.decide(&obs)
+        policy.decide_into(&obs, out);
+        self.scratch.views = views;
     }
 
     /// Install one flow's new shares; collect the links to wake or
@@ -1248,19 +1317,21 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
     fn apply_flow_shares(
         &mut self,
         fi: usize,
-        shares: Vec<f64>,
+        shares: &[f64],
         to_wake: &mut Vec<ArcId>,
         to_sleepcheck: &mut Vec<ArcId>,
     ) -> bool {
-        let changed: Vec<usize> = (0..shares.len())
-            .filter(|&i| (shares[i] - self.flows[fi].shares[i]).abs() > 1e-12)
-            .collect();
+        let mut changed = std::mem::take(&mut self.scratch.changed_paths);
+        changed.clear();
+        changed.extend(
+            (0..shares.len()).filter(|&i| (shares[i] - self.flows[fi].shares[i]).abs() > 1e-12),
+        );
         let any_changed = !changed.is_empty();
         self.install_shares(fi, shares);
-        for pi in changed {
+        for &pi in &changed {
             let fl = &self.flows[fi];
             let active_now = fl.offered * fl.shares[pi] > 0.0;
-            for &a in &fl.path_arcs[pi] {
+            for &a in fl.path_arcs(pi) {
                 let l = self.topo.link_of(a);
                 if active_now {
                     if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
@@ -1271,12 +1342,13 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 }
             }
         }
+        self.scratch.changed_paths = changed;
         any_changed
     }
 
     /// Schedule the wake-ups and sleep checks a share change triggered.
-    fn commit_power_transitions(&mut self, to_wake: Vec<ArcId>, to_sleepcheck: Vec<ArcId>) {
-        for l in to_wake {
+    fn commit_power_transitions(&mut self, to_wake: &[ArcId], to_sleepcheck: &[ArcId]) {
+        for &l in to_wake {
             if matches!(self.link_state[l.idx()], LinkPowerState::Sleeping) {
                 let due = self.now + self.cfg.wake_time;
                 self.set_link_state(l, LinkPowerState::Waking(due));
@@ -1286,7 +1358,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 self.push(due, Event::WakeDone(l));
             }
         }
-        for l in to_sleepcheck {
+        for &l in to_sleepcheck {
             self.push(self.now + self.cfg.sleep_after, Event::SleepCheck(l));
         }
     }
@@ -1330,9 +1402,16 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         let mut skipped_clean = 0u32;
         let interval = self.cfg.control_interval;
         // Compute phase-0 updates first (same observation), defer the
-        // phase-jittered agents.
-        let mut new_shares: Vec<(usize, Vec<f64>)> = Vec::with_capacity(self.flows.len());
-        let mut phased: Vec<(usize, f64)> = Vec::new();
+        // phase-jittered agents. Decisions land in the flat
+        // pending-shares scratch (one reusable buffer for the whole
+        // round) instead of one Vec per agent.
+        let mut shares = std::mem::take(&mut self.scratch.shares);
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        let mut pending_shares = std::mem::take(&mut self.scratch.pending_shares);
+        let mut phased = std::mem::take(&mut self.scratch.phased);
+        pending.clear();
+        pending_shares.clear();
+        phased.clear();
         for fi in 0..self.flows.len() {
             let phase = if immediate {
                 0.0
@@ -1353,10 +1432,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             } else {
                 0
             };
-            let shares = match &scratch_loads {
-                Some(loads) => self.decide_flow(fi, loads),
-                None => self.decide_flow_cached(fi),
-            };
+            self.decide_flow_into(fi, scratch_loads.as_deref(), &mut shares);
             if S::ENABLED {
                 self.sink.add(Counter::AgentDecisions, 1);
                 self.sink.observe(
@@ -1364,19 +1440,29 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                     (waterfill_iterations() - wf_before) as f64,
                 );
             }
-            new_shares.push((fi, shares));
+            let off = pending_shares.len() as u32;
+            pending_shares.extend_from_slice(&shares);
+            pending.push((fi as u32, off, shares.len() as u32));
         }
-        let decided = new_shares.len() as u32;
+        let decided = pending.len() as u32;
         // Apply; trigger wakes and sleep checks.
-        let mut to_wake: Vec<ArcId> = Vec::new();
-        let mut to_sleepcheck: Vec<ArcId> = Vec::new();
+        let mut to_wake = std::mem::take(&mut self.scratch.to_wake);
+        let mut to_sleepcheck = std::mem::take(&mut self.scratch.to_sleepcheck);
+        to_wake.clear();
+        to_sleepcheck.clear();
         let mut share_changes = 0u32;
-        for (fi, shares) in new_shares {
-            if self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck) {
+        for &(fi, off, len) in &pending {
+            let sl = &pending_shares[off as usize..(off + len) as usize];
+            if self.apply_flow_shares(fi as usize, sl, &mut to_wake, &mut to_sleepcheck) {
                 share_changes += 1;
             }
         }
-        self.commit_power_transitions(to_wake, to_sleepcheck);
+        self.commit_power_transitions(&to_wake, &to_sleepcheck);
+        self.scratch.shares = shares;
+        self.scratch.pending = pending;
+        self.scratch.pending_shares = pending_shares;
+        self.scratch.to_wake = to_wake;
+        self.scratch.to_sleepcheck = to_sleepcheck;
         if S::ENABLED {
             let waterfill_iters = waterfill_iterations() - wf_round_start;
             self.sink.add(Counter::WaterfillIterations, waterfill_iters);
@@ -1396,9 +1482,10 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             };
             self.sink.emit(&ev);
         }
-        for (fi, phase) in phased {
+        for &(fi, phase) in &phased {
             self.push(self.now + phase, Event::AgentControl(fi));
         }
+        self.scratch.phased = phased;
     }
 
     /// Build the per-round arc-load summary (telemetry-enabled builds
@@ -1461,25 +1548,31 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         } else {
             0
         };
-        let shares = match self.accounting {
+        let mut shares = std::mem::take(&mut self.scratch.shares);
+        match self.accounting {
             LoadAccounting::Scratch => {
                 let loads = self.arc_loads_scratch();
-                self.decide_flow(fi, &loads)
+                self.decide_flow_into(fi, Some(&loads), &mut shares);
             }
-            LoadAccounting::Incremental => self.decide_flow_cached(fi),
-        };
+            LoadAccounting::Incremental => self.decide_flow_into(fi, None, &mut shares),
+        }
         if S::ENABLED {
             let dw = waterfill_iterations() - wf_before;
             self.sink.add(Counter::AgentDecisions, 1);
             self.sink.add(Counter::WaterfillIterations, dw);
             self.sink.observe(Hist::WaterfillPerDecision, dw as f64);
         }
-        let mut to_wake: Vec<ArcId> = Vec::new();
-        let mut to_sleepcheck: Vec<ArcId> = Vec::new();
-        if self.apply_flow_shares(fi, shares, &mut to_wake, &mut to_sleepcheck) && S::ENABLED {
+        let mut to_wake = std::mem::take(&mut self.scratch.to_wake);
+        let mut to_sleepcheck = std::mem::take(&mut self.scratch.to_sleepcheck);
+        to_wake.clear();
+        to_sleepcheck.clear();
+        if self.apply_flow_shares(fi, &shares, &mut to_wake, &mut to_sleepcheck) && S::ENABLED {
             self.sink.add(Counter::ShareChanges, 1);
         }
-        self.commit_power_transitions(to_wake, to_sleepcheck);
+        self.commit_power_transitions(&to_wake, &to_sleepcheck);
+        self.scratch.shares = shares;
+        self.scratch.to_wake = to_wake;
+        self.scratch.to_sleepcheck = to_sleepcheck;
     }
 
     /// Power-state view of the network right now.
