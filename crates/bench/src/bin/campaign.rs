@@ -6,9 +6,9 @@
 //! ```text
 //! campaign run    <campaign.toml> [--shards N] [--workers inprocess|subprocess]
 //!                                 [--out DIR] [--threads T] [--force] [--only SUB]
-//!                                 [--progress jsonl]
+//!                                 [--progress jsonl] [--profile]
 //! campaign worker <campaign.toml> --shard k/N [--out DIR] [--threads T] [--only SUB]
-//!                                 [--progress jsonl]
+//!                                 [--progress jsonl] [--profile]
 //! campaign report <campaign.toml> [--out DIR] [--only SUB]
 //! campaign list   <campaign.toml> [--out DIR] [--only SUB]
 //! ```
@@ -33,6 +33,13 @@
 //! finish). With subprocess workers the flag is forwarded, and worker
 //! stdout is inherited, so events from every shard interleave on the
 //! parent's stdout — whole lines, arbitrary order.
+//!
+//! `--profile` runs every freshly-executed simnet scenario through the
+//! span-profiled entry point: per-run wall time and the top phases land
+//! in `timings/<hash>.json` sidecars, surface in the report's `wall (s)`
+//! / `slowest phase` columns, and ride `RunFinished` progress events.
+//! Stored runs, traces, and summaries stay byte-identical to an
+//! unprofiled campaign (Span lines are stripped before trace storage).
 
 use ecp_campaign::{exec, report, CampaignError, CampaignSpec, ResultStore, Workers};
 use std::path::Path;
@@ -51,7 +58,7 @@ fn usage() -> ! {
         "usage: campaign <run|worker|report|list> <campaign.toml> \
          [--shards N] [--workers inprocess|subprocess] [--shard k/N] \
          [--out DIR] [--threads T] [--force] [--only ENTRY-SUBSTRING] \
-         [--progress jsonl]"
+         [--progress jsonl] [--profile]"
     );
     exit(2)
 }
@@ -92,10 +99,12 @@ fn main() {
                 )))
             }
         };
+        let profile = has_flag(&args, "--profile");
         let opts = exec::ExecOptions {
             threads,
             force: has_flag(&args, "--force"),
             progress,
+            profile,
         };
         match cmd.as_str() {
             "run" => {
@@ -126,6 +135,9 @@ fn main() {
                         if progress {
                             worker_args.push("--progress".into());
                             worker_args.push("jsonl".into());
+                        }
+                        if profile {
+                            worker_args.push("--profile".into());
                         }
                         Workers::Subprocess(exec::WorkerCommand {
                             program,

@@ -14,6 +14,9 @@
 //! cargo run --release -p ecp-bench --bin perf                  # full (150 s te-stability family)
 //! cargo run --release -p ecp-bench --bin perf -- --quick 1 \
 //!     --ceiling-s 120 --out BENCH_simnet.json                  # CI smoke: scaled runs + wall-clock ceiling
+//! perf record  [--bench FILE] [--history FILE]                 # append a git-sha-stamped snapshot
+//! perf history [--history FILE] [--metric NAME]                # print the recorded trajectory
+//! perf gate    [--bench FILE] [--history FILE] [--threshold P] # HEAD vs last snapshot; exit 1 on regression
 //! ```
 //!
 //! Timing is best-of-`--iters` per (scenario, mode); planning
@@ -22,11 +25,24 @@
 //! numbers isolate the simulator hot loop the incremental accounting
 //! targets. Criterion microbenches of the individual kernels live in
 //! `crates/bench/benches/{load_accounting,routing_paths}.rs`.
+//!
+//! The **observatory** subcommands turn one-off BENCH files into a
+//! trajectory. `record` flattens a BENCH file into scalar metrics and
+//! appends one JSONL snapshot (UTC timestamp + git sha + quick flag) to
+//! `results/bench_history/simnet.jsonl`; `history` tabulates the
+//! snapshots; `gate` compares a freshly-measured BENCH file against the
+//! last recorded snapshot with per-metric direction heuristics
+//! (`*_ms`/allocs/bytes regress upward, `speedup`/`rounds_per_s`
+//! regress downward) and a relative noise threshold (`--threshold 25`
+//! or `25%`), printing greppable `GATE OK` / `GATE FAIL` lines and
+//! exiting nonzero on any regression.
 
 use ecp_bench::{arg, print_table};
 use ecp_scenario::{run_resolved, run_resolved_traced, ControlSpec, ScenarioReport};
 use ecp_simnet::{set_default_load_accounting, LoadAccounting, SimConfig, Simulation};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Counting global allocator when built with `--features count-allocs`,
@@ -95,6 +111,11 @@ struct PolicyAllocs {
 struct BenchFile {
     /// Schema tag; bump on layout changes.
     schema: &'static str,
+    /// `git rev-parse HEAD` at measurement time (`"unknown"` outside a
+    /// work tree), so BENCH files pin the exact code they measured.
+    git_sha: String,
+    /// Measurement wall time, UTC (`YYYY-MM-DDTHH:MM:SSZ`).
+    recorded_at_utc: String,
     quick: bool,
     iters: usize,
     te_stability_duration_s: f64,
@@ -261,7 +282,329 @@ fn time_decision_path(id: &str, control: &ControlSpec, rounds: u64) -> PolicyAll
     }
 }
 
+/// `git rev-parse HEAD`, or `"unknown"` when git is unavailable.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ` (civil-from-days, no
+/// external time crates).
+fn utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0) as i64;
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let (hh, mm, ss) = (rem / 3600, (rem / 60) % 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+/// One recorded point of the BENCH trajectory
+/// (`results/bench_history/*.jsonl`, one JSON object per line).
+#[derive(Serialize, Deserialize)]
+struct HistoryRecord {
+    schema: String,
+    recorded_at_utc: String,
+    git_sha: String,
+    quick: bool,
+    metrics: BTreeMap<String, f64>,
+}
+
+/// Flatten a BENCH JSON document into dotted scalar metrics — the
+/// common currency of `record`, `history`, and `gate`. Works on any
+/// `ecp-bench-perf/*` schema: arrays of `{id, ...}` blocks become
+/// `<block>.<id>.<field>`, top-level numbers pass through.
+fn flatten_metrics(doc: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Value::Object(top) = doc else {
+        return out;
+    };
+    for (key, val) in top {
+        match val {
+            Value::Array(entries) => {
+                for entry in entries {
+                    let Value::Object(fields) = entry else {
+                        continue;
+                    };
+                    let Some(id) = fields.get("id").and_then(Value::as_str) else {
+                        continue;
+                    };
+                    for (f, v) in fields {
+                        if let Some(x) = v.as_f64() {
+                            out.insert(format!("{key}.{id}.{f}"), x);
+                        }
+                    }
+                }
+            }
+            Value::Object(fields) => {
+                for (f, v) in fields {
+                    if let Some(x) = v.as_f64() {
+                        out.insert(format!("{key}.{f}"), x);
+                    }
+                }
+            }
+            _ => {
+                if let Some(x) = val.as_f64() {
+                    out.insert(key.clone(), x);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Object-field lookup on a JSON value (`None` for non-objects).
+fn field<'a>(doc: &'a Value, key: &str) -> Option<&'a Value> {
+    match doc {
+        Value::Object(m) => m.get(key),
+        _ => None,
+    }
+}
+
+fn read_bench(path: &str) -> Value {
+    let doc = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read bench file {path}: {e} (run `perf` first)"));
+    serde_json::from_str(&doc).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn read_history(path: &str) -> Vec<HistoryRecord> {
+    let Ok(doc) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    doc.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("parse {path}: {e}")))
+        .collect()
+}
+
+fn default_history_path() -> String {
+    ecp_bench::results_dir()
+        .join("bench_history")
+        .join("simnet.jsonl")
+        .display()
+        .to_string()
+}
+
+/// `perf record`: flatten a BENCH file and append one snapshot to the
+/// history JSONL. Sha/timestamp/quick come from the BENCH file itself
+/// (schema /4 stamps them) with a fresh fallback for older files.
+fn cmd_record() {
+    let bench: String = arg("bench", "BENCH_simnet.json".to_string());
+    let history: String = arg("history", default_history_path());
+    let doc = read_bench(&bench);
+    let record = HistoryRecord {
+        schema: "ecp-bench-history/1".into(),
+        recorded_at_utc: field(&doc, "recorded_at_utc")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(utc_now),
+        git_sha: field(&doc, "git_sha")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(git_sha),
+        quick: field(&doc, "quick")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
+        metrics: flatten_metrics(&doc),
+    };
+    if let Some(dir) = std::path::Path::new(&history).parent() {
+        std::fs::create_dir_all(dir).expect("create history dir");
+    }
+    let line = serde_json::to_string(&record).expect("history record serializes");
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .unwrap_or_else(|e| panic!("open {history}: {e}"));
+    writeln!(f, "{line}").expect("append history record");
+    println!(
+        "recorded {} ({} metrics, quick={}) -> {history}",
+        record.git_sha,
+        record.metrics.len(),
+        record.quick
+    );
+}
+
+/// `perf history`: tabulate the recorded trajectory, headline metrics
+/// by default or one `--metric` across every snapshot.
+fn cmd_history() {
+    let history: String = arg("history", default_history_path());
+    let metric: String = arg("metric", String::new());
+    let records = read_history(&history);
+    if records.is_empty() {
+        println!("no snapshots in {history}");
+        return;
+    }
+    let fmt = |r: &HistoryRecord, name: &str| {
+        r.metrics
+            .get(name)
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    let (headers, rows): (Vec<&str>, Vec<Vec<String>>) = if metric.is_empty() {
+        (
+            vec![
+                "recorded (UTC)",
+                "sha",
+                "quick",
+                "family speedup",
+                "min speedup",
+                "family incr (ms)",
+            ],
+            records
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.recorded_at_utc.clone(),
+                        r.git_sha.chars().take(12).collect(),
+                        r.quick.to_string(),
+                        fmt(r, "family_speedup"),
+                        fmt(r, "min_te_stability_speedup"),
+                        fmt(r, "family_incremental_ms"),
+                    ]
+                })
+                .collect(),
+        )
+    } else {
+        (
+            vec!["recorded (UTC)", "sha", "quick", "value"],
+            records
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.recorded_at_utc.clone(),
+                        r.git_sha.chars().take(12).collect(),
+                        r.quick.to_string(),
+                        fmt(r, &metric),
+                    ]
+                })
+                .collect(),
+        )
+    };
+    let title = if metric.is_empty() {
+        format!("BENCH trajectory ({} snapshots)", records.len())
+    } else {
+        format!("BENCH trajectory: {metric} ({} snapshots)", records.len())
+    };
+    print_table(&title, &headers, &rows);
+}
+
+/// Which way a metric regresses, from its name.
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Neutral,
+}
+
+fn direction(name: &str) -> Direction {
+    let field = name.rsplit('.').next().unwrap_or(name);
+    if field.ends_with("_ms") || field.contains("allocs") || field.contains("bytes") {
+        Direction::LowerIsBetter
+    } else if field.contains("rounds_per_s") || field.contains("speedup") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// `perf gate`: compare a BENCH file against the last recorded
+/// snapshot. Exit 1 (after printing `GATE FAIL` lines) when any
+/// directional metric regresses by more than `--threshold` percent.
+fn cmd_gate() {
+    let bench: String = arg("bench", "BENCH_simnet.json".to_string());
+    let history: String = arg("history", default_history_path());
+    let threshold_raw: String = arg("threshold", "10%".to_string());
+    let threshold: f64 = threshold_raw
+        .trim_end_matches('%')
+        .parse::<f64>()
+        .unwrap_or_else(|_| panic!("bad --threshold `{threshold_raw}` (expected e.g. 25 or 25%)"))
+        / 100.0;
+
+    let doc = read_bench(&bench);
+    let head = flatten_metrics(&doc);
+    let records = read_history(&history);
+    let Some(base) = records.last() else {
+        println!("GATE OK: no baseline snapshot in {history} (nothing to compare)");
+        return;
+    };
+    let head_quick = field(&doc, "quick")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    if base.quick != head_quick {
+        println!(
+            "note: comparing quick={head_quick} HEAD against quick={} baseline \
+             — expect extra noise",
+            base.quick
+        );
+    }
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (name, &new) in &head {
+        let Some(&old) = base.metrics.get(name) else {
+            continue;
+        };
+        if old.abs() < 1e-9 {
+            continue;
+        }
+        let rel = (new - old) / old.abs();
+        let worse = match direction(name) {
+            Direction::LowerIsBetter => rel > threshold,
+            Direction::HigherIsBetter => -rel > threshold,
+            Direction::Neutral => continue,
+        };
+        compared += 1;
+        if worse {
+            regressions += 1;
+            println!(
+                "GATE FAIL {name}: {old:.4} -> {new:.4} ({:+.1}%)",
+                rel * 100.0
+            );
+        }
+    }
+    if regressions > 0 {
+        println!(
+            "GATE FAIL: {regressions} of {compared} metrics regressed more than {:.0}% \
+             vs {}",
+            threshold * 100.0,
+            base.git_sha
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "GATE OK: {compared} metrics within {:.0}% of {} ({})",
+        threshold * 100.0,
+        base.git_sha,
+        base.recorded_at_utc
+    );
+}
+
 fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("record") => return cmd_record(),
+        Some("history") => return cmd_history(),
+        Some("gate") => return cmd_gate(),
+        _ => {}
+    }
     let quick: usize = arg("quick", 0);
     let quick = quick != 0;
     let iters: usize = arg("iters", if quick { 1 } else { 3 });
@@ -393,7 +736,9 @@ fn main() {
     }
 
     let file = BenchFile {
-        schema: "ecp-bench-perf/3",
+        schema: "ecp-bench-perf/4",
+        git_sha: git_sha(),
+        recorded_at_utc: utc_now(),
         quick,
         iters,
         te_stability_duration_s: duration,

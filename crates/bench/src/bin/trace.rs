@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! trace run       <registry-id|scenario.toml> [--out FILE] [--snapshot FILE]
+//!                                             [--profile] [--timing FILE]
 //! trace summarize <trace.jsonl>
 //! trace validate  <trace.jsonl>
 //! trace diff      <a.jsonl> <b.jsonl>
@@ -15,14 +16,22 @@
 //! the JSONL event trace to stdout or `--out`; `--snapshot` also writes
 //! the counter/histogram snapshot as pretty JSON. Traces are
 //! deterministic — a pure function of the scenario — so two `run`s of
-//! the same id `diff` clean.
+//! the same id `diff` clean. With `--profile` the run goes through the
+//! span-profiled entry point instead: wall-clock `Span` lines ride the
+//! trace (event lines stay byte-identical), and `--timing FILE` writes
+//! the per-phase [`ecp_scenario::TimingSnapshot`] (count, total/self
+//! time, p50/p95/p99) as pretty JSON.
 //!
-//! `summarize` prints per-kind event counts and the control/power
-//! headline numbers; `validate` checks every line parses as a
-//! [`TelemetryEvent`] and that event times never go backwards;
+//! `summarize` prints per-kind event counts, the control/power headline
+//! numbers, and — when the trace carries `Span` lines — a per-span
+//! profile table with percentiles; `validate` checks every line parses
+//! as a [`TelemetryEvent`] and that event times never go backwards;
 //! `diff` compares two traces line by line (exit 1 on divergence);
 //! `chrome` converts a trace to the chrome://tracing JSON format
-//! (load it at `chrome://tracing` or in Perfetto).
+//! (load it at `chrome://tracing` or in Perfetto). Instants and
+//! counters render in simulation-time microseconds under pid 1;
+//! profiling spans render as duration (`ph: "X"`) events in wall-clock
+//! microseconds under pid 2, so the two timebases never share a track.
 
 use ecp_simnet::{PowerKind, TelemetryEvent};
 use serde_json::{Map, Value};
@@ -36,7 +45,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: trace <run|summarize|validate|diff|chrome> <input> \
-         [second-input] [--out FILE] [--snapshot FILE]"
+         [second-input] [--out FILE] [--snapshot FILE] [--profile] [--timing FILE]"
     );
     exit(2)
 }
@@ -87,11 +96,27 @@ fn resolve_scenario(input: &str) -> ecp_scenario::Scenario {
     ))
 }
 
-fn cmd_run(input: &str, out: Option<&str>, snapshot_out: Option<&str>) {
+fn cmd_run(
+    input: &str,
+    out: Option<&str>,
+    snapshot_out: Option<&str>,
+    profile: bool,
+    timing_out: Option<&str>,
+) {
+    if timing_out.is_some() && !profile {
+        fail("--timing requires --profile");
+    }
     let scenario = resolve_scenario(input);
-    let (_, trace) = match ecp_scenario::run_scenario_traced(&scenario) {
-        Ok(r) => r,
-        Err(e) => fail(&format!("run `{}`: {e}", scenario.name)),
+    let (trace, timing) = if profile {
+        match ecp_scenario::run_scenario_profiled(&scenario) {
+            Ok((_, trace, timing)) => (trace, Some(timing)),
+            Err(e) => fail(&format!("run `{}`: {e}", scenario.name)),
+        }
+    } else {
+        match ecp_scenario::run_scenario_traced(&scenario) {
+            Ok((_, trace)) => (trace, None),
+            Err(e) => fail(&format!("run `{}`: {e}", scenario.name)),
+        }
     };
     match out {
         Some(path) => {
@@ -116,6 +141,14 @@ fn cmd_run(input: &str, out: Option<&str>, snapshot_out: Option<&str>) {
         }
         println!("wrote {path}");
     }
+    if let Some(path) = timing_out {
+        let t = timing.as_ref().expect("profiled run produced a timing");
+        let body = serde_json::to_string_pretty(t).expect("timing serializes");
+        if let Err(e) = std::fs::write(path, body) {
+            fail(&format!("write {path}: {e}"));
+        }
+        println!("wrote {path} ({} spans)", t.spans.len());
+    }
 }
 
 fn cmd_summarize(path: &str) {
@@ -137,6 +170,7 @@ fn cmd_summarize(path: &str) {
         "TeReconfig",
         "Failure",
         "Repair",
+        "Span",
     ] {
         let n = events.iter().filter(|e| e.kind() == kind).count();
         if n > 0 {
@@ -214,6 +248,88 @@ fn cmd_summarize(path: &str) {
         };
         println!("power: sleeps={sleeps} wakes={wakes} mean_idle_drain={mean_idle:.3}s");
     }
+    summarize_spans(&events);
+}
+
+/// Fold the trace's `Span` lines into a per-span profile table with
+/// interpolated percentiles (same [`SPAN_DUR_BOUNDS`] buckets the
+/// profiling sink uses). Silent when the trace was not profiled.
+fn summarize_spans(events: &[TelemetryEvent]) {
+    use ecp_telemetry::{HistogramSnapshot, SPAN_DUR_BOUNDS};
+    use std::collections::BTreeMap;
+
+    struct Agg {
+        count: u64,
+        total_s: f64,
+        self_s: f64,
+        min: f64,
+        max: f64,
+        buckets: Vec<u64>,
+    }
+    let mut by_name: BTreeMap<&str, Agg> = BTreeMap::new();
+    for ev in events {
+        let TelemetryEvent::Span {
+            name,
+            dur_s,
+            self_s,
+            ..
+        } = ev
+        else {
+            continue;
+        };
+        let a = by_name.entry(name.as_str()).or_insert_with(|| Agg {
+            count: 0,
+            total_s: 0.0,
+            self_s: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+            buckets: vec![0; SPAN_DUR_BOUNDS.len() + 1],
+        });
+        a.count += 1;
+        a.total_s += dur_s;
+        a.self_s += self_s;
+        a.min = a.min.min(*dur_s);
+        a.max = a.max.max(*dur_s);
+        let slot = SPAN_DUR_BOUNDS
+            .iter()
+            .position(|&b| *dur_s <= b)
+            .unwrap_or(SPAN_DUR_BOUNDS.len());
+        a.buckets[slot] += 1;
+    }
+    if by_name.is_empty() {
+        return;
+    }
+    println!("spans:");
+    println!(
+        "  {:<18} {:>7} {:>11} {:>11} {:>10} {:>10} {:>10}",
+        "name", "count", "total (s)", "self (s)", "p50 (s)", "p95 (s)", "p99 (s)"
+    );
+    for (name, a) in &by_name {
+        let mut buckets: Vec<(f64, u64)> = SPAN_DUR_BOUNDS
+            .iter()
+            .zip(&a.buckets)
+            .map(|(&b, &n)| (b, n))
+            .collect();
+        buckets.push((-1.0, a.buckets[SPAN_DUR_BOUNDS.len()]));
+        let hist = HistogramSnapshot {
+            name: name.to_string(),
+            count: a.count,
+            sum: a.total_s,
+            min: a.min,
+            max: a.max,
+            buckets,
+        };
+        println!(
+            "  {:<18} {:>7} {:>11.6} {:>11.6} {:>10.6} {:>10.6} {:>10.6}",
+            name,
+            a.count,
+            a.total_s,
+            a.self_s,
+            hist.p50(),
+            hist.p95(),
+            hist.p99(),
+        );
+    }
 }
 
 fn cmd_validate(path: &str) {
@@ -267,7 +383,9 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
 
 /// One chrome://tracing event: instants (`ph: "i"`) for discrete
 /// happenings, counter tracks (`ph: "C"`) for the per-round load and
-/// waterfill series. Times are microseconds of simulation time.
+/// waterfill series — microseconds of simulation time, pid 1. Profiling
+/// spans become duration events (`ph: "X"`) in wall-clock microseconds
+/// under pid 2, so sim-time and wall-time never share a timeline.
 fn chrome_event(ev: &TelemetryEvent) -> Value {
     let ts = Value::F64(ev.time() * 1e6);
     let base = |name: &str, ph: &str, args: Value| {
@@ -363,6 +481,28 @@ fn chrome_event(ev: &TelemetryEvent) -> Value {
                 ("id", Value::U64(id as u64)),
             ]),
         ),
+        TelemetryEvent::Span {
+            ref name,
+            start_s,
+            dur_s,
+            self_s,
+            depth,
+            ..
+        } => obj(vec![
+            ("name", Value::Str(name.clone())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::F64(start_s * 1e6)),
+            ("dur", Value::F64(dur_s * 1e6)),
+            ("pid", Value::U64(2)),
+            ("tid", Value::U64(1)),
+            (
+                "args",
+                obj(vec![
+                    ("self_s", Value::F64(self_s)),
+                    ("depth", Value::U64(depth as u64)),
+                ]),
+            ),
+        ]),
         TelemetryEvent::Repair {
             element,
             id,
@@ -415,7 +555,13 @@ fn main() {
     };
     let out = flag(&args, "--out");
     match cmd.as_str() {
-        "run" => cmd_run(input, out.as_deref(), flag(&args, "--snapshot").as_deref()),
+        "run" => cmd_run(
+            input,
+            out.as_deref(),
+            flag(&args, "--snapshot").as_deref(),
+            args.iter().any(|a| a == "--profile"),
+            flag(&args, "--timing").as_deref(),
+        ),
         "summarize" => cmd_summarize(input),
         "validate" => cmd_validate(input),
         "diff" => match args.get(2) {

@@ -2,13 +2,14 @@
 //! the in-process / subprocess executors.
 
 use crate::spec::CampaignSpec;
-use crate::store::{run_hash, ResultStore, RunFailure, StoredRun};
+use crate::store::{run_hash, ResultStore, RunFailure, RunTiming, StoredRun};
 use crate::{CampaignError, Resolver};
 use ecp_scenario::{Axis, Param, ResolveCache, Scenario, ScenarioReport, SweepRunner};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::time::Instant;
 
 /// One concrete run of a campaign.
 #[derive(Debug, Clone)]
@@ -101,6 +102,13 @@ pub struct ExecOptions {
     /// parent). Event *order* follows completion and is not
     /// deterministic; the stored artifacts are.
     pub progress: bool,
+    /// Execute runs through the span-profiled entry point and write a
+    /// wall-time sidecar per run (`timings/<hash>.json`). Off by
+    /// default: profiling reads the wall clock, so its outputs live
+    /// outside the deterministic `runs/` + `traces/` contract (span
+    /// lines are stripped from stored traces; reports are unaffected —
+    /// pinned by the scenario profiling-parity proptest).
+    pub profile: bool,
 }
 
 /// One live executor progress event. Serialized as a single JSON line
@@ -137,6 +145,11 @@ pub enum ProgressEvent {
         mean_power_frac: Option<f64>,
         /// Delivered ÷ offered, when the run produced a report.
         mean_delivered_fraction: Option<f64>,
+        /// Wall seconds the run took (`None` for cache hits).
+        wall_s: Option<f64>,
+        /// Top-3 phases by self time, `(span name, self seconds)` —
+        /// empty unless the run executed with profiling on.
+        phases: Vec<(String, f64)>,
     },
 }
 
@@ -157,6 +170,7 @@ fn finished_event(
     cached: bool,
     report: Option<&ScenarioReport>,
     failed: bool,
+    timing: Option<&RunTiming>,
 ) -> ProgressEvent {
     ProgressEvent::RunFinished {
         shard,
@@ -167,6 +181,8 @@ fn finished_event(
         failed,
         mean_power_frac: report.map(|r| r.mean_power_frac),
         mean_delivered_fraction: report.map(|r| r.mean_delivered_fraction),
+        wall_s: timing.map(|t| t.wall_s),
+        phases: timing.map(|t| t.phases.clone()).unwrap_or_default(),
     }
 }
 
@@ -251,6 +267,7 @@ pub fn run_shard(
                                 true,
                                 cached.report.as_ref(),
                                 failed,
+                                None,
                             ));
                         }
                         return Ok((0, 1, failed as usize));
@@ -264,22 +281,60 @@ pub fn run_shard(
                         name: u.scenario.name.clone(),
                     });
                 }
-                let (report, telemetry, failure) = match resolve_cache.run_traced(&u.scenario) {
-                    Ok((r, trace)) => {
-                        if !trace.lines.is_empty() {
-                            store.save_trace(hash, &trace.lines)?;
+                let t_run = Instant::now();
+                let (report, telemetry, failure, phases) = if opts.profile {
+                    match resolve_cache.run_profiled(&u.scenario) {
+                        Ok((r, trace, timing)) => {
+                            // Span lines carry wall-clock durations;
+                            // strip them so the stored trace artifact
+                            // stays the deterministic event stream.
+                            let event_lines: Vec<String> = trace
+                                .lines
+                                .iter()
+                                .filter(|l| !l.starts_with("{\"Span\""))
+                                .cloned()
+                                .collect();
+                            if !event_lines.is_empty() {
+                                store.save_trace(hash, &event_lines)?;
+                            }
+                            (Some(r), trace.snapshot, None, timing.top_phases(3))
                         }
-                        (Some(r), trace.snapshot, None)
+                        Err(e) => (
+                            None,
+                            None,
+                            Some(RunFailure {
+                                kind: e.kind().into(),
+                                message: e.to_string(),
+                            }),
+                            Vec::new(),
+                        ),
                     }
-                    Err(e) => (
-                        None,
-                        None,
-                        Some(RunFailure {
-                            kind: e.kind().into(),
-                            message: e.to_string(),
-                        }),
-                    ),
+                } else {
+                    match resolve_cache.run_traced(&u.scenario) {
+                        Ok((r, trace)) => {
+                            if !trace.lines.is_empty() {
+                                store.save_trace(hash, &trace.lines)?;
+                            }
+                            (Some(r), trace.snapshot, None, Vec::new())
+                        }
+                        Err(e) => (
+                            None,
+                            None,
+                            Some(RunFailure {
+                                kind: e.kind().into(),
+                                message: e.to_string(),
+                            }),
+                            Vec::new(),
+                        ),
+                    }
                 };
+                let timing = RunTiming {
+                    wall_s: t_run.elapsed().as_secs_f64(),
+                    phases,
+                };
+                if opts.profile {
+                    store.save_timing(hash, &timing)?;
+                }
                 let failed = failure.is_some();
                 let run = StoredRun {
                     code_salt: crate::CODE_SALT.into(),
@@ -300,6 +355,7 @@ pub fn run_shard(
                         false,
                         run.report.as_ref(),
                         failed,
+                        Some(&timing),
                     ));
                 }
                 Ok((1, 0, failed as usize))

@@ -106,6 +106,13 @@ pub struct RunRow {
     /// Run-by-run delta vs the baseline entry's same-index run (present
     /// when both are ok and the entries expand to equally many runs).
     pub vs_baseline: Option<BaselineDelta>,
+    /// Wall seconds from the `--profile` timing sidecar, when one was
+    /// recorded. Best-effort: outside the determinism contract.
+    #[serde(default)]
+    pub wall_s: Option<f64>,
+    /// Slowest profiled phase by self time, when recorded.
+    #[serde(default)]
+    pub slowest_phase: Option<String>,
 }
 
 /// One entry's aggregation across its runs.
@@ -182,6 +189,7 @@ pub fn summarize(
             },
             None => ("missing", None, None),
         };
+        let timing = store.load_timing(&hash);
         runs.push(RunRow {
             entry: u.entry.clone(),
             index: u.index,
@@ -192,6 +200,10 @@ pub fn summarize(
             metrics,
             failure,
             vs_baseline: None,
+            wall_s: timing.as_ref().map(|t| t.wall_s),
+            slowest_phase: timing
+                .as_ref()
+                .and_then(|t| t.slowest_phase().map(str::to_string)),
         });
     }
 
@@ -363,8 +375,8 @@ impl CampaignSummary {
         out.push_str("\n## Runs\n\n");
         out.push_str(
             "| entry | # | params | status | power | delivered | lag (s) | shortfall \
-             | settle (s) | peak OL | Δ power | detail |\n\
-             |---|---:|---|---|---:|---:|---:|---:|---:|---:|---:|---|\n",
+             | settle (s) | peak OL | wall (s) | slowest phase | Δ power | detail |\n\
+             |---|---:|---|---|---:|---:|---:|---:|---:|---:|---:|---|---:|---|\n",
         );
         for r in &self.runs {
             let (dp, _) = fmt_delta(r.vs_baseline);
@@ -374,7 +386,7 @@ impl CampaignSummary {
                 (None, None) => "-".into(),
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 r.entry,
                 r.index,
                 fmt_params(&r.params),
@@ -391,6 +403,8 @@ impl CampaignSummary {
                     .and_then(|m| m.peak_overloaded_arcs)
                     .map(|p| p.to_string())
                     .unwrap_or_else(|| "-".into()),
+                fmt_opt(r.wall_s),
+                r.slowest_phase.as_deref().unwrap_or("-"),
                 dp,
                 detail,
             ));
@@ -404,7 +418,7 @@ impl CampaignSummary {
             "campaign,entry,run,name,params,hash,status,mean_power_frac,\
              mean_delivered_fraction,max_tracking_lag_s,congested_fraction,samples,\
              shortfall_fraction,dominant_period_s,settling_time_s,\
-             telemetry_settle_s,telemetry_peak_overloaded,\
+             telemetry_settle_s,telemetry_peak_overloaded,wall_s,slowest_phase,\
              delta_power_vs_baseline,delta_delivered_vs_baseline,failure_kind\n",
         );
         let opt = |v: Option<f64>| v.map(|v| format!("{v}")).unwrap_or_default();
@@ -412,7 +426,7 @@ impl CampaignSummary {
             let m = r.metrics;
             let stab = m.and_then(|m| m.stability);
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.campaign,
                 r.entry,
                 r.index,
@@ -432,6 +446,8 @@ impl CampaignSummary {
                 m.and_then(|m| m.peak_overloaded_arcs)
                     .map(|p| p.to_string())
                     .unwrap_or_default(),
+                opt(r.wall_s),
+                r.slowest_phase.as_deref().unwrap_or(""),
                 opt(r.vs_baseline.map(|d| d.power_delta)),
                 opt(r.vs_baseline.map(|d| d.delivered_delta)),
                 r.failure.as_ref().map(|f| f.kind.as_str()).unwrap_or(""),

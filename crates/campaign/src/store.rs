@@ -99,6 +99,27 @@ pub struct StoredRun {
     pub telemetry: Option<ecp_scenario::TelemetrySnapshot>,
 }
 
+/// Per-run wall-time sidecar written by profiled executions
+/// (`--profile`). Deliberately *outside* the content-addressed
+/// determinism contract: wall time varies run to run, so it lives in
+/// its own `timings/` directory that report tooling treats as
+/// best-effort (missing sidecars render as `-`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTiming {
+    /// Wall seconds the run unit took (resolve + simulate + store).
+    pub wall_s: f64,
+    /// Top spans by self time: `(span name, self seconds)`, largest
+    /// first. Empty when the engine has no span support.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl RunTiming {
+    /// The slowest phase's name, if any phases were recorded.
+    pub fn slowest_phase(&self) -> Option<&str> {
+        self.phases.first().map(|(name, _)| name.as_str())
+    }
+}
+
 /// A campaign's on-disk run store.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
@@ -106,6 +127,9 @@ pub struct ResultStore {
     /// Sibling directory for per-run JSONL trace artifacts. Kept out of
     /// `runs/` so report tooling can glob `runs/*.json` unambiguously.
     traces: PathBuf,
+    /// Sibling directory for [`RunTiming`] sidecars (profiled runs
+    /// only). Not content-addressed-deterministic — see [`RunTiming`].
+    timings: PathBuf,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -120,7 +144,14 @@ impl ResultStore {
         let traces = output_dir.join("traces");
         std::fs::create_dir_all(&traces)
             .map_err(|e| CampaignError::Io(format!("create {}: {e}", traces.display())))?;
-        Ok(ResultStore { runs, traces })
+        let timings = output_dir.join("timings");
+        std::fs::create_dir_all(&timings)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", timings.display())))?;
+        Ok(ResultStore {
+            runs,
+            traces,
+            timings,
+        })
     }
 
     /// The directory run files live in.
@@ -208,5 +239,33 @@ impl ResultStore {
     pub fn load_trace(&self, hash: &str) -> Option<Vec<String>> {
         let doc = std::fs::read_to_string(self.trace_path(hash)).ok()?;
         Some(doc.lines().map(str::to_string).collect())
+    }
+
+    /// The file a run's timing sidecar is stored at.
+    pub fn timing_path(&self, hash: &str) -> PathBuf {
+        self.timings.join(format!("{hash}.json"))
+    }
+
+    /// Persist a profiled run's timing sidecar (same temp-rename
+    /// discipline; last writer wins, which is fine for best-effort
+    /// wall-time data).
+    pub fn save_timing(&self, hash: &str, timing: &RunTiming) -> Result<(), CampaignError> {
+        let body = serde_json::to_string_pretty(timing).expect("run timing serializes");
+        let tmp = self.timings.join(format!(
+            ".{}.{}.{}.tmp",
+            hash,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let io = |e: std::io::Error, what: &str| CampaignError::Io(format!("{what}: {e}"));
+        std::fs::write(&tmp, body).map_err(|e| io(e, "write timing"))?;
+        std::fs::rename(&tmp, self.timing_path(hash)).map_err(|e| io(e, "publish timing"))?;
+        Ok(())
+    }
+
+    /// Load a run's timing sidecar, if a profiled execution wrote one.
+    pub fn load_timing(&self, hash: &str) -> Option<RunTiming> {
+        let doc = std::fs::read_to_string(self.timing_path(hash)).ok()?;
+        serde_json::from_str(&doc).ok()
     }
 }

@@ -13,8 +13,9 @@ use ecp_routing::{
     OracleConfig, RouteSet,
 };
 use ecp_simnet::{
-    run_packet_sim_full, ArcActivity, CbrFlow, JsonlSink, NoopSink, PacketSimConfig, PacketStats,
-    Sample, SimEvent, Simulation, TelemetrySink, TelemetrySnapshot,
+    run_packet_sim_full, ArcActivity, CbrFlow, Clock, JsonlSink, NoopSink, PacketSimConfig,
+    PacketStats, Sample, SimEvent, Simulation, SpanName, SpanSink, TelemetrySink,
+    TelemetrySnapshot, TimingSnapshot,
 };
 use ecp_topo::gen::BuiltTopology;
 use ecp_topo::{ArcId, NodeId, Path, Topology};
@@ -314,9 +315,27 @@ pub fn run_scenario_traced(
 /// Resolve the static parts of a scenario (topology, pairs, tables)
 /// without running it.
 pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, ScenarioError> {
+    resolve_with_sink(scenario, &mut NoopSink)
+}
+
+/// [`resolve`] with profiling spans recorded into `sink`: topology /
+/// power / pair construction under `resolve_topo`, table planning
+/// (Dijkstra/Yen) under `resolve_plan`. With [`NoopSink`] (the plain
+/// [`resolve`] path) every span call compiles out. On error the open
+/// span is abandoned with the sink — error paths are not profiled.
+pub fn resolve_with_sink<S: TelemetrySink>(
+    scenario: &Scenario,
+    sink: &mut S,
+) -> Result<ResolvedScenario, ScenarioError> {
+    if S::SPANS {
+        sink.span_enter(SpanName::ResolveTopo);
+    }
     let built = scenario.topology.build();
     let power = scenario.power.build();
     let pairs = resolve_pairs(&built, &scenario.pairs, scenario.seed)?;
+    if S::SPANS {
+        sink.span_exit(SpanName::ResolveTopo);
+    }
     let mut resolved = ResolvedScenario {
         built,
         power,
@@ -324,6 +343,9 @@ pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, ScenarioError> {
         tables: PathTables::new(),
         vmax: std::sync::OnceLock::new(),
     };
+    if S::SPANS {
+        sink.span_enter(SpanName::ResolvePlan);
+    }
     resolved.tables = match scenario.tables {
         TablesSpec::Planned | TablesSpec::PlannedAllPairs => {
             let peak = match scenario.planner.peak_level() {
@@ -342,6 +364,9 @@ pub fn resolve(scenario: &Scenario) -> Result<ResolvedScenario, ScenarioError> {
         }
         TablesSpec::Fig3Paper => fig3_paper_tables(&resolved.built)?,
     };
+    if S::SPANS {
+        sink.span_exit(SpanName::ResolvePlan);
+    }
     Ok(resolved)
 }
 
@@ -477,6 +502,41 @@ impl ResolveCache {
         let resolved = self.resolve(scenario)?;
         run_resolved_traced(scenario, &resolved)
     }
+
+    /// Like [`ResolveCache::run_traced`], but with profiling spans.
+    /// Whether this key's resolution was served from the cache shows
+    /// up as a `resolve_cache_hit` / `resolve_cache_miss` span (the
+    /// miss span covers the planning pass, including any time spent
+    /// blocked on another worker planning the same key).
+    pub fn run_profiled(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<(ScenarioReport, TraceOutput, TimingSnapshot), ScenarioError> {
+        let mut sink = SpanSink::new();
+        let key = resolution_key(scenario);
+        let slot = std::sync::Arc::clone(
+            self.map
+                .lock()
+                .expect("resolve cache lock")
+                .entry(key)
+                .or_default(),
+        );
+        let mut guard = slot.lock().expect("resolve slot lock");
+        let resolved = if let Some(hit) = guard.as_ref() {
+            sink.span_enter(SpanName::ResolveCacheHit);
+            let resolved = std::sync::Arc::clone(hit);
+            sink.span_exit(SpanName::ResolveCacheHit);
+            resolved
+        } else {
+            sink.span_enter(SpanName::ResolveCacheMiss);
+            let resolved = std::sync::Arc::new(resolve_with_sink(scenario, &mut sink)?);
+            *guard = Some(std::sync::Arc::clone(&resolved));
+            sink.span_exit(SpanName::ResolveCacheMiss);
+            resolved
+        };
+        drop(guard);
+        run_resolved_profiled_into(scenario, &resolved, sink)
+    }
 }
 
 /// The telemetry by-products of a traced run.
@@ -594,6 +654,93 @@ pub fn run_resolved_traced(
     };
     attach_table_metrics(scenario, resolved, &mut report)?;
     Ok((report, trace))
+}
+
+/// Run a scenario end to end with profiling spans (wall-clock timing).
+///
+/// Resolve, oracle-probe, and simulation phases are timed into the
+/// returned [`TimingSnapshot`]; the [`TraceOutput`] carries the normal
+/// event lines interleaved with `Span` lines. The report is
+/// byte-identical to an unprofiled [`run_scenario`] — spans observe
+/// wall time but never simulation behavior (pinned by the
+/// `profiling_parity` proptest).
+pub fn run_scenario_profiled(
+    scenario: &Scenario,
+) -> Result<(ScenarioReport, TraceOutput, TimingSnapshot), ScenarioError> {
+    let mut sink = SpanSink::new();
+    let resolved = resolve_with_sink(scenario, &mut sink)?;
+    run_resolved_profiled_into(scenario, &resolved, sink)
+}
+
+/// [`run_scenario_profiled`] against an already-resolved context (the
+/// resolve phases are then missing from the profile).
+pub fn run_resolved_profiled(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+) -> Result<(ScenarioReport, TraceOutput, TimingSnapshot), ScenarioError> {
+    run_resolved_profiled_into(scenario, resolved, SpanSink::new())
+}
+
+/// [`run_scenario_profiled`] on an explicit [`Clock`] — with
+/// [`ecp_simnet::FakeClock`] the resulting span tree is fully
+/// deterministic (used by tests pinning span names/nesting/self-times).
+pub fn run_scenario_profiled_with_clock<C: Clock>(
+    scenario: &Scenario,
+    clock: C,
+) -> Result<(ScenarioReport, TraceOutput, TimingSnapshot), ScenarioError> {
+    let mut sink = SpanSink::with_clock(clock);
+    let resolved = resolve_with_sink(scenario, &mut sink)?;
+    run_resolved_profiled_into(scenario, &resolved, sink)
+}
+
+/// Shared tail of the profiled entry points: probe the oracle under
+/// its own span when the traffic scale needs it, run the simulation
+/// under `scenario_run`, and split the sink into trace + timing. For
+/// non-simnet engines the run itself is not instrumented — the
+/// returned timing covers the resolve spans only and the trace is
+/// span lines only.
+fn run_resolved_profiled_into<C: Clock>(
+    scenario: &Scenario,
+    resolved: &ResolvedScenario,
+    mut sink: SpanSink<C>,
+) -> Result<(ScenarioReport, TraceOutput, TimingSnapshot), ScenarioError> {
+    validate_engine_features(scenario)?;
+    if matches!(
+        scenario.traffic.scale,
+        ScaleSpec::MaxFeasibleFraction { .. }
+    ) {
+        // Force the (cached) probe now so its cost lands in its own
+        // span instead of inside the first demand computation.
+        sink.span_enter(SpanName::ResolveOracle);
+        let _ = resolved.max_feasible_volume();
+        sink.span_exit(SpanName::ResolveOracle);
+    }
+    let (mut report, mut sink) = match &scenario.engine {
+        EngineSpec::Simnet => {
+            sink.span_enter(SpanName::ScenarioRun);
+            let (report, mut sink) = run_simnet_with_sink(scenario, resolved, sink)?;
+            sink.span_exit(SpanName::ScenarioRun);
+            (report, sink)
+        }
+        EngineSpec::Replay(spec) => (run_replay(scenario, resolved, spec)?, sink),
+        EngineSpec::Packet(spec) => (run_packet(scenario, resolved, spec)?, sink),
+        EngineSpec::App(spec) => (run_app(scenario, resolved, spec)?, sink),
+    };
+    attach_table_metrics(scenario, resolved, &mut report)?;
+    let timing = sink.timing();
+    let snapshot = if matches!(scenario.engine, EngineSpec::Simnet) {
+        sink.snapshot()
+    } else {
+        None
+    };
+    Ok((
+        report,
+        TraceOutput {
+            lines: sink.into_lines(),
+            snapshot,
+        },
+        timing,
+    ))
 }
 
 // ---- pair/table resolution ------------------------------------------------

@@ -1,0 +1,193 @@
+//! Profiling must be a pure observer: a span-profiled run produces a
+//! byte-identical `ScenarioReport` to a plain NoopSink run, for any
+//! scenario and control policy. Also pins the deterministic-FakeClock
+//! span tree contract at the scenario level.
+
+use ecp_scenario::{
+    run_scenario, run_scenario_profiled, run_scenario_profiled_with_clock, run_scenario_traced,
+    ControlSpec, EventSpec, FakeClock, MatrixSpec, PairsSpec, ScaleSpec, ScenarioBuilder,
+    SweepRunner,
+};
+use ecp_topo::gen::TopoSpec;
+use ecp_traffic::{Program, Shape};
+use proptest::prelude::*;
+
+/// One of the six registry policy families, parameterized by two
+/// generic knobs in `(0, 1)` (mapped into each family's valid range).
+fn arb_control() -> impl Strategy<Value = ControlSpec> {
+    (0usize..6, 0.05f64..0.95, 0.05f64..0.95).prop_map(|(which, a, b)| match which {
+        0 => ControlSpec::Undamped,
+        1 => ControlSpec::Ewma { alpha: a },
+        2 => ControlSpec::AdaptiveEwma {
+            alpha_min: a.min(b),
+            alpha_max: a.max(b),
+        },
+        3 => ControlSpec::Hysteresis {
+            gap: a * 0.3,
+            dead_band: b * 0.1,
+        },
+        4 => ControlSpec::DampedStep {
+            damp: a * 0.9,
+            cooldown_rounds: (b * 3.0) as u32,
+        },
+        _ => ControlSpec::Desync {
+            salt: (a * 100.0) as u64,
+        },
+    })
+}
+
+/// Small seeded scenarios with a failure burst (exercising the
+/// failure-handling span path) across random control policies.
+fn arb_scenario() -> impl Strategy<Value = ecp_scenario::Scenario> {
+    (8usize..13, 0u64..1000, 0.3f64..0.9, 0u64..50, arb_control()).prop_map(
+        |(nodes, seed, level, salt, control)| {
+            let program = Program::from_shape(
+                5.0,
+                1.0,
+                Shape::Steps {
+                    levels: vec![level, 1.0],
+                    step_s: 2.5,
+                },
+            );
+            ScenarioBuilder::new("profile-parity")
+                .seed(seed)
+                .duration_s(5.0)
+                .topology(TopoSpec::small_waxman(nodes, seed))
+                .pairs(PairsSpec::Random { count: 5 })
+                .traffic(
+                    MatrixSpec::Gravity,
+                    ScaleSpec::MaxFeasibleFraction { fraction: 0.7 },
+                    program,
+                )
+                .event(EventSpec::FailureBurst {
+                    start: 2.0,
+                    count: 1,
+                    spacing_s: 0.5,
+                    repair_after_s: 1.0,
+                    seed_salt: salt,
+                })
+                .control(control)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Profiling observes wall time but never simulation behavior:
+    /// the report is byte-identical to an unprofiled run, and the
+    /// trace is the unprofiled trace with Span lines interleaved.
+    #[test]
+    fn profiled_reports_are_byte_identical(scenario in arb_scenario()) {
+        let plain = run_scenario(&scenario).unwrap();
+        let (profiled, trace, timing) = run_scenario_profiled(&scenario).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&profiled).unwrap()
+        );
+
+        // The event lines under the Span lines are exactly the traced
+        // run's lines, and the aggregated snapshot matches too.
+        let (traced_report, traced) = run_scenario_traced(&scenario).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced_report).unwrap()
+        );
+        let events_only: Vec<&String> = trace
+            .lines
+            .iter()
+            .filter(|l| !l.starts_with("{\"Span\""))
+            .collect();
+        let traced_lines: Vec<&String> = traced.lines.iter().collect();
+        prop_assert_eq!(events_only, traced_lines);
+        prop_assert_eq!(&trace.snapshot, &traced.snapshot);
+
+        // The profile actually covers the hot phases.
+        prop_assert!(timing.wall_s > 0.0);
+        for span in ["event_drain", "round_observe", "round_decide",
+                     "round_apply", "round_install", "resolve_topo",
+                     "resolve_plan", "scenario_run"] {
+            prop_assert!(
+                timing.span(span).is_some_and(|s| s.count > 0),
+                "missing span {}", span
+            );
+        }
+        prop_assert!(
+            timing.span("failure_handling").is_some_and(|s| s.count > 0),
+            "failure burst must profile failure handling"
+        );
+    }
+
+    /// On a FakeClock the whole span tree is deterministic: two
+    /// profiled runs agree on every count, duration, and self-time.
+    #[test]
+    fn fake_clock_span_trees_are_deterministic(scenario in arb_scenario()) {
+        let (ra, ta, tma) =
+            run_scenario_profiled_with_clock(&scenario, FakeClock::new(1e-6)).unwrap();
+        let (rb, tb, tmb) =
+            run_scenario_profiled_with_clock(&scenario, FakeClock::new(1e-6)).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap()
+        );
+        prop_assert_eq!(&ta.lines, &tb.lines, "span lines included");
+        prop_assert_eq!(
+            serde_json::to_string(&tma).unwrap(),
+            serde_json::to_string(&tmb).unwrap()
+        );
+    }
+}
+
+/// The `ResolveCache` profiled path records hit/miss spans and keeps
+/// report parity with the unprofiled cache path.
+#[test]
+fn cache_profiling_records_hit_and_miss() {
+    use ecp_scenario::ResolveCache;
+    let scenario = ScenarioBuilder::new("cache-profile")
+        .topology(TopoSpec::small_waxman(8, 1))
+        .pairs(PairsSpec::Random { count: 4 })
+        .duration_s(2.0)
+        .build();
+    let cache = ResolveCache::new();
+    let (first, _, timing_miss) = cache.run_profiled(&scenario).unwrap();
+    assert!(timing_miss
+        .span("resolve_cache_miss")
+        .is_some_and(|s| s.count == 1));
+    assert!(timing_miss.span("resolve_cache_hit").is_none());
+
+    let (second, _, timing_hit) = cache.run_profiled(&scenario).unwrap();
+    assert!(timing_hit
+        .span("resolve_cache_hit")
+        .is_some_and(|s| s.count == 1));
+    assert!(timing_hit.span("resolve_cache_miss").is_none());
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&cache.run(&scenario).unwrap()).unwrap()
+    );
+}
+
+/// `run_scenario_profiled` composes with sweep-style parameterization:
+/// profiled grid points match their unprofiled twins.
+#[test]
+fn profiled_sweep_points_match_unprofiled() {
+    use ecp_scenario::{Axis, Param};
+    let scenario = ScenarioBuilder::new("profile-sweep")
+        .topology(TopoSpec::small_waxman(9, 3))
+        .pairs(PairsSpec::Random { count: 4 })
+        .duration_s(2.0)
+        .build();
+    let runner = SweepRunner::new(scenario, vec![Axis::new(Param::Threshold, [0.7, 0.9])]);
+    for (_, instance) in runner.instances() {
+        let plain = run_scenario(&instance).unwrap();
+        let (profiled, _, _) = run_scenario_profiled(&instance).unwrap();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&profiled).unwrap()
+        );
+    }
+}

@@ -40,8 +40,9 @@ pub mod recorder;
 pub mod sim;
 
 pub use ecp_telemetry::{
-    Counter, Element, Hist, JsonlSink, NoopSink, PowerKind, TelemetryEvent, TelemetrySink,
-    TelemetrySnapshot,
+    Clock, Counter, Element, FakeClock, Hist, JsonlSink, MonoClock, NoopSink, PowerKind, SpanName,
+    SpanSink, SpanTiming, TelemetryEvent, TelemetrySink, TelemetrySnapshot, TimingSnapshot,
+    SPAN_DUR_BOUNDS,
 };
 pub use packet::{
     run_packet_sim, run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats,

@@ -3,7 +3,9 @@
 use crate::recorder::{Recorder, Sample};
 use ecp_control::{ControlPolicy, Observation, Undamped};
 use ecp_power::PowerModel;
-use ecp_telemetry::{Counter, Element, Hist, NoopSink, PowerKind, TelemetryEvent, TelemetrySink};
+use ecp_telemetry::{
+    Counter, Element, Hist, NoopSink, PowerKind, SpanName, TelemetryEvent, TelemetrySink,
+};
 use ecp_topo::{ActiveSet, ArcId, NodeId, Path, Topology};
 use respons_core::te::{waterfill_iterations, PathView, TeConfig};
 use respons_core::PathTables;
@@ -668,9 +670,21 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         if S::ENABLED {
             self.sink.add(Counter::EventsProcessed, 1);
         }
+        if S::SPANS {
+            self.sink.span_enter(SpanName::EventDrain);
+        }
         self.dispatch(ev);
+        if S::SPANS {
+            self.sink.span_exit(SpanName::EventDrain);
+        }
         if self.accounting == LoadAccounting::Incremental {
+            if S::SPANS {
+                self.sink.span_enter(SpanName::LoadFlush);
+            }
             self.flush_loads();
+            if S::SPANS {
+                self.sink.span_exit(SpanName::LoadFlush);
+            }
         }
     }
 
@@ -749,6 +763,9 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 }
             }
             Event::FailureKnown(a) => {
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::FailureHandling);
+                }
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = true;
                 self.mark_link_obs_dirty(l);
@@ -759,16 +776,28 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 // (failure handling is not rate-limited, §4.4) — every
                 // agent, regardless of observation phase.
                 self.control_round(true);
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::FailureHandling);
+                }
             }
             Event::RepairKnown(a) => {
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::FailureHandling);
+                }
                 let l = self.topo.link_of(a);
                 self.link_failed_known[l.idx()] = false;
                 self.mark_link_obs_dirty(l);
                 if S::ENABLED {
                     self.emit_element_event(Element::Link, l.idx() as u32, true, true);
                 }
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::FailureHandling);
+                }
             }
             Event::NodeFailureKnown(n) => {
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::FailureHandling);
+                }
                 self.node_failed_known[n.idx()] = true;
                 self.mark_node_obs_dirty(n);
                 if S::ENABLED {
@@ -776,15 +805,27 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 }
                 // React immediately, like FailureKnown.
                 self.control_round(true);
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::FailureHandling);
+                }
             }
             Event::NodeRepairKnown(n) => {
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::FailureHandling);
+                }
                 self.node_failed_known[n.idx()] = false;
                 self.mark_node_obs_dirty(n);
                 if S::ENABLED {
                     self.emit_element_event(Element::Node, n.idx() as u32, true, true);
                 }
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::FailureHandling);
+                }
             }
             Event::WakeDone(a) => {
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::PowerTransition);
+                }
                 let l = self.topo.link_of(a);
                 if let LinkPowerState::Waking(due) = self.link_state[l.idx()] {
                     if due <= self.now + 1e-12 {
@@ -794,13 +835,17 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                         }
                     }
                 }
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::PowerTransition);
+                }
             }
             Event::SleepCheck(a) => {
-                let l = self.topo.link_of(a);
-                if self.always_on_links[l.idx()] {
-                    return;
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::PowerTransition);
                 }
-                if matches!(self.link_state[l.idx()], LinkPowerState::Active)
+                let l = self.topo.link_of(a);
+                if !self.always_on_links[l.idx()]
+                    && matches!(self.link_state[l.idx()], LinkPowerState::Active)
                     && !self.link_has_assigned_traffic(l)
                 {
                     self.set_link_state(l, LinkPowerState::Sleeping);
@@ -809,6 +854,9 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                         self.sink.observe(Hist::IdleDrainS, idle_s);
                         self.emit_power_transition(l.idx() as u32, PowerKind::Sleep, idle_s);
                     }
+                }
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::PowerTransition);
                 }
             }
         }
@@ -1292,12 +1340,23 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
     /// scratch is reused across calls, so nothing here allocates.
     fn decide_flow_into(&mut self, fi: usize, loads: Option<&[f64]>, out: &mut Vec<f64>) {
         let mut views = std::mem::take(&mut self.scratch.views);
+        if S::SPANS {
+            self.sink.span_enter(SpanName::RoundObserve);
+        }
         self.flow_views_into(fi, loads.unwrap_or(&self.loads), &mut views);
+        if S::SPANS {
+            self.sink.span_exit(SpanName::RoundObserve);
+        }
         let te = self.cfg.te;
         let t = self.now;
         // Disjoint-field borrow: the policy observes the flow's share
         // buffer directly — no `current` clone.
-        let Simulation { policy, flows, .. } = self;
+        let Simulation {
+            policy,
+            flows,
+            sink,
+            ..
+        } = self;
         let fl = &flows[fi];
         let obs = Observation {
             agent: fi,
@@ -1307,7 +1366,13 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             current: &fl.shares,
             te: &te,
         };
+        if S::SPANS {
+            sink.span_enter(SpanName::RoundDecide);
+        }
         policy.decide_into(&obs, out);
+        if S::SPANS {
+            sink.span_exit(SpanName::RoundDecide);
+        }
         self.scratch.views = views;
     }
 
@@ -1380,6 +1445,9 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         // engine's cost); incremental mode observes the maintained
         // cache directly — constant during the decision loop because
         // every apply is deferred past it.
+        if S::SPANS {
+            self.sink.span_enter(SpanName::RoundSnapshot);
+        }
         let scratch_loads = match self.accounting {
             LoadAccounting::Scratch => Some(self.arc_loads_scratch()),
             LoadAccounting::Incremental => None,
@@ -1393,6 +1461,9 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             // this round observe (pre-decision).
             let ev = self.arc_loads_event(scratch_loads.as_deref().unwrap_or(&self.loads));
             self.sink.emit(&ev);
+        }
+        if S::SPANS {
+            self.sink.span_exit(SpanName::RoundSnapshot);
         }
         let wf_round_start = if S::ENABLED {
             waterfill_iterations()
@@ -1451,13 +1522,23 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         to_wake.clear();
         to_sleepcheck.clear();
         let mut share_changes = 0u32;
+        if S::SPANS {
+            self.sink.span_enter(SpanName::RoundApply);
+        }
         for &(fi, off, len) in &pending {
             let sl = &pending_shares[off as usize..(off + len) as usize];
             if self.apply_flow_shares(fi as usize, sl, &mut to_wake, &mut to_sleepcheck) {
                 share_changes += 1;
             }
         }
+        if S::SPANS {
+            self.sink.span_exit(SpanName::RoundApply);
+            self.sink.span_enter(SpanName::RoundInstall);
+        }
         self.commit_power_transitions(&to_wake, &to_sleepcheck);
+        if S::SPANS {
+            self.sink.span_exit(SpanName::RoundInstall);
+        }
         self.scratch.shares = shares;
         self.scratch.pending = pending;
         self.scratch.pending_shares = pending_shares;
@@ -1551,7 +1632,13 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         let mut shares = std::mem::take(&mut self.scratch.shares);
         match self.accounting {
             LoadAccounting::Scratch => {
+                if S::SPANS {
+                    self.sink.span_enter(SpanName::RoundSnapshot);
+                }
                 let loads = self.arc_loads_scratch();
+                if S::SPANS {
+                    self.sink.span_exit(SpanName::RoundSnapshot);
+                }
                 self.decide_flow_into(fi, Some(&loads), &mut shares);
             }
             LoadAccounting::Incremental => self.decide_flow_into(fi, None, &mut shares),
@@ -1566,10 +1653,20 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         let mut to_sleepcheck = std::mem::take(&mut self.scratch.to_sleepcheck);
         to_wake.clear();
         to_sleepcheck.clear();
+        if S::SPANS {
+            self.sink.span_enter(SpanName::RoundApply);
+        }
         if self.apply_flow_shares(fi, &shares, &mut to_wake, &mut to_sleepcheck) && S::ENABLED {
             self.sink.add(Counter::ShareChanges, 1);
         }
+        if S::SPANS {
+            self.sink.span_exit(SpanName::RoundApply);
+            self.sink.span_enter(SpanName::RoundInstall);
+        }
         self.commit_power_transitions(&to_wake, &to_sleepcheck);
+        if S::SPANS {
+            self.sink.span_exit(SpanName::RoundInstall);
+        }
         self.scratch.shares = shares;
         self.scratch.to_wake = to_wake;
         self.scratch.to_sleepcheck = to_sleepcheck;

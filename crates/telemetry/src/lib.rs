@@ -27,6 +27,12 @@ use serde::{Deserialize, Serialize};
 #[cfg(feature = "count-allocs")]
 pub mod alloc_count;
 
+pub mod profile;
+
+pub use profile::{
+    Clock, FakeClock, MonoClock, SpanSink, SpanTiming, TimingSnapshot, SPAN_DUR_BOUNDS,
+};
+
 /// Which way a link power transition went.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PowerKind {
@@ -130,6 +136,25 @@ pub enum TelemetryEvent {
         /// Whether this is the detection event.
         detected: bool,
     },
+    /// A profiling span closed ([`SpanSink`] only). Unlike the other
+    /// variants this carries *wall-clock* durations from a [`Clock`];
+    /// `t` is still simulation time (the time of the last simulation
+    /// event seen before the span closed) so traces with spans stay
+    /// totally ordered for `trace validate`.
+    Span {
+        /// Simulation time the span closed at.
+        t: f64,
+        /// Span name ([`profile::SpanName::name`]).
+        name: String,
+        /// Wall seconds from profiling start to span entry.
+        start_s: f64,
+        /// Wall seconds the span was open.
+        dur_s: f64,
+        /// Wall seconds not attributed to child spans.
+        self_s: f64,
+        /// Nesting depth at entry (0 = root span).
+        depth: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -141,7 +166,8 @@ impl TelemetryEvent {
             | TelemetryEvent::PowerTransition { t, .. }
             | TelemetryEvent::TeReconfig { t, .. }
             | TelemetryEvent::Failure { t, .. }
-            | TelemetryEvent::Repair { t, .. } => t,
+            | TelemetryEvent::Repair { t, .. }
+            | TelemetryEvent::Span { t, .. } => t,
         }
     }
 
@@ -154,7 +180,95 @@ impl TelemetryEvent {
             TelemetryEvent::TeReconfig { .. } => "TeReconfig",
             TelemetryEvent::Failure { .. } => "Failure",
             TelemetryEvent::Repair { .. } => "Repair",
+            TelemetryEvent::Span { .. } => "Span",
         }
+    }
+}
+
+/// Names of the profiling spans recorded by [`SpanSink`]. Fixed like
+/// [`Counter`] so per-span statistics live in a flat array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanName {
+    /// One event popped off the simulator queue and dispatched.
+    EventDrain,
+    /// Incremental load-accounting flush after an event.
+    LoadFlush,
+    /// Control round: arc-load snapshot + round summary emission.
+    RoundSnapshot,
+    /// Control round: building one agent's `Observation`.
+    RoundObserve,
+    /// Control round: one agent's policy decision kernel.
+    RoundDecide,
+    /// Control round: applying decided shares to flows.
+    RoundApply,
+    /// Control round: committing wake/sleep power transitions.
+    RoundInstall,
+    /// WakeDone / SleepCheck power-state bookkeeping.
+    PowerTransition,
+    /// Failure / repair detection handling (nests the immediate round).
+    FailureHandling,
+    /// Scenario resolve: topology + power + pair construction.
+    ResolveTopo,
+    /// Scenario resolve: routing-table planning (Dijkstra/Yen).
+    ResolvePlan,
+    /// Max-feasible-volume oracle probe.
+    ResolveOracle,
+    /// Resolve cache served an already-resolved scenario.
+    ResolveCacheHit,
+    /// Resolve cache had to resolve from scratch.
+    ResolveCacheMiss,
+    /// One full scenario simulation (event loop + aggregation).
+    ScenarioRun,
+    /// One campaign run unit (resolve + simulate + store).
+    CampaignRun,
+}
+
+impl SpanName {
+    /// Every span, in [`TimingSnapshot`] order.
+    pub const ALL: [SpanName; 16] = [
+        SpanName::EventDrain,
+        SpanName::LoadFlush,
+        SpanName::RoundSnapshot,
+        SpanName::RoundObserve,
+        SpanName::RoundDecide,
+        SpanName::RoundApply,
+        SpanName::RoundInstall,
+        SpanName::PowerTransition,
+        SpanName::FailureHandling,
+        SpanName::ResolveTopo,
+        SpanName::ResolvePlan,
+        SpanName::ResolveOracle,
+        SpanName::ResolveCacheHit,
+        SpanName::ResolveCacheMiss,
+        SpanName::ScenarioRun,
+        SpanName::CampaignRun,
+    ];
+
+    /// Stable snake_case name used in traces and timing snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanName::EventDrain => "event_drain",
+            SpanName::LoadFlush => "load_flush",
+            SpanName::RoundSnapshot => "round_snapshot",
+            SpanName::RoundObserve => "round_observe",
+            SpanName::RoundDecide => "round_decide",
+            SpanName::RoundApply => "round_apply",
+            SpanName::RoundInstall => "round_install",
+            SpanName::PowerTransition => "power_transition",
+            SpanName::FailureHandling => "failure_handling",
+            SpanName::ResolveTopo => "resolve_topo",
+            SpanName::ResolvePlan => "resolve_plan",
+            SpanName::ResolveOracle => "resolve_oracle",
+            SpanName::ResolveCacheHit => "resolve_cache_hit",
+            SpanName::ResolveCacheMiss => "resolve_cache_miss",
+            SpanName::ScenarioRun => "scenario_run",
+            SpanName::CampaignRun => "campaign_run",
+        }
+    }
+
+    /// Position in [`SpanName::ALL`].
+    pub fn index(self) -> usize {
+        SpanName::ALL.iter().position(|s| *s == self).unwrap()
     }
 }
 
@@ -316,6 +430,55 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket that crosses the target rank. The first
+    /// populated bucket interpolates up from `min`, the overflow bucket
+    /// toward `max`, and the result is clamped to `[min, max]` — so the
+    /// estimate is exact for single-bucket data and never leaves the
+    /// observed range (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let mut lower = self.min;
+        for &(bound, n) in &self.buckets {
+            if n == 0 {
+                continue;
+            }
+            // The overflow bucket carries the sentinel bound -1.0; its
+            // real upper edge is the observed max.
+            let upper = if bound < 0.0 {
+                self.max
+            } else {
+                bound.clamp(lower, self.max)
+            };
+            if (cum + n) as f64 >= target {
+                let within = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return (lower + (upper - lower) * within).clamp(self.min, self.max);
+            }
+            cum += n;
+            lower = upper;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Aggregated metrics for one run, embedded in `ScenarioReport` and
@@ -378,6 +541,20 @@ pub trait TelemetrySink {
     /// Observe a value into a histogram.
     fn observe(&mut self, h: Hist, v: f64);
 
+    /// Whether this sink records profiling spans. Defaults to `false`
+    /// so only [`SpanSink`] pays for the clock reads; call sites guard
+    /// with `if S::SPANS { ... }` exactly like `ENABLED`.
+    const SPANS: bool = false;
+
+    /// Open a profiling span. No-op unless `SPANS`.
+    #[inline(always)]
+    fn span_enter(&mut self, _name: SpanName) {}
+
+    /// Close the innermost profiling span (must match the last
+    /// `span_enter`). No-op unless `SPANS`.
+    #[inline(always)]
+    fn span_exit(&mut self, _name: SpanName) {}
+
     /// Snapshot aggregated metrics, if this sink keeps any.
     fn snapshot(&self) -> Option<TelemetrySnapshot> {
         None
@@ -402,7 +579,7 @@ impl TelemetrySink for NoopSink {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct HistState {
+pub(crate) struct HistState {
     count: u64,
     sum: f64,
     min: f64,
@@ -412,17 +589,23 @@ struct HistState {
 
 impl HistState {
     fn new(h: Hist) -> Self {
+        HistState::with_bounds(h.bounds())
+    }
+
+    /// Empty state sized for `bounds` (one bucket per bound plus the
+    /// overflow bucket). Used by [`SpanSink`] with span-duration
+    /// bounds that are not part of the [`Hist`] registry.
+    pub(crate) fn with_bounds(bounds: &[f64]) -> Self {
         HistState {
             count: 0,
             sum: 0.0,
             min: 0.0,
             max: 0.0,
-            // One bucket per bound plus the overflow bucket.
-            buckets: vec![0; h.bounds().len() + 1],
+            buckets: vec![0; bounds.len() + 1],
         }
     }
 
-    fn observe(&mut self, bounds: &[f64], v: f64) {
+    pub(crate) fn observe(&mut self, bounds: &[f64], v: f64) {
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -437,7 +620,10 @@ impl HistState {
     }
 
     fn snapshot(&self, h: Hist) -> HistogramSnapshot {
-        let bounds = h.bounds();
+        self.snapshot_named(h.name(), h.bounds())
+    }
+
+    pub(crate) fn snapshot_named(&self, name: &str, bounds: &[f64]) -> HistogramSnapshot {
         let mut buckets: Vec<(f64, u64)> = bounds
             .iter()
             .zip(&self.buckets)
@@ -447,7 +633,7 @@ impl HistState {
         // representable in JSON).
         buckets.push((-1.0, self.buckets[bounds.len()]));
         HistogramSnapshot {
-            name: h.name().to_string(),
+            name: name.to_string(),
             count: self.count,
             sum: self.sum,
             min: self.min,
@@ -687,6 +873,53 @@ mod tests {
         assert_eq!(*h.buckets.last().unwrap(), (-1.0, 1));
         assert!((h.min - 0.05).abs() < 1e-12);
         assert!((h.max - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut s = JsonlSink::new();
+        // 100 uniform observations over (0, 10]: quantile(q) ≈ 10q.
+        for i in 1..=100 {
+            s.observe(Hist::IdleDrainS, i as f64 / 10.0);
+        }
+        let snap = s.snapshot().unwrap();
+        let h = snap.histogram("idle_drain_s").unwrap();
+        // Bounds are [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0]; interpolation
+        // within a bucket is linear, so estimates land within one bucket
+        // width of the exact value.
+        assert!((h.p50() - 5.0).abs() < 1.5);
+        assert!((h.p95() - 9.5).abs() < 1.0);
+        assert!((h.p99() - 9.9).abs() < 1.0);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+        // Clamped to the observed range.
+        assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+        // Empty histogram reports 0.
+        let empty = snap.histogram("waterfill_per_decision").unwrap();
+        assert_eq!(empty.p50(), 0.0);
+        // Single observation: every quantile is that value.
+        let mut one = JsonlSink::new();
+        one.observe(Hist::IdleDrainS, 0.7);
+        let snap1 = one.snapshot().unwrap();
+        let h1 = snap1.histogram("idle_drain_s").unwrap();
+        assert!((h1.p50() - 0.7).abs() < 1e-12);
+        assert!((h1.p99() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn span_event_round_trips_and_orders() {
+        let ev = TelemetryEvent::Span {
+            t: 12.5,
+            name: "round_decide".to_string(),
+            start_s: 0.25,
+            dur_s: 0.125,
+            self_s: 0.1,
+            depth: 2,
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(ev.kind(), "Span");
+        assert_eq!(ev.time(), 12.5);
     }
 
     #[test]
