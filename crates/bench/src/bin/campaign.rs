@@ -11,6 +11,8 @@
 //!                                 [--progress jsonl] [--profile]
 //! campaign report <campaign.toml> [--out DIR] [--only SUB]
 //! campaign list   <campaign.toml> [--out DIR] [--only SUB]
+//! campaign watch  <campaign.toml> [--file PATH] [--out DIR] [--only SUB]
+//!                                 [--html] [--interval-ms N] [--timeout-s S]
 //! ```
 //!
 //! `run` executes every entry (sharded in-process by default, or across
@@ -34,6 +36,17 @@
 //! stdout is inherited, so events from every shard interleave on the
 //! parent's stdout — whole lines, arbitrary order.
 //!
+//! `watch` is the live half of the observatory: it consumes the
+//! `--progress jsonl` stream of a concurrently-running campaign —
+//! piped on stdin (`campaign run ... --progress jsonl | campaign watch
+//! ...`) or tailed from a growing file via `--file` — and re-renders a
+//! per-entry dashboard (progress, in-flight runs, cache hits, latest
+//! delivered/power/settle/shortfall, rolling wall-clock). On a terminal
+//! it redraws in place; on a pipe it prints throttled snapshots (CI
+//! friendly). `--html` additionally rewrites `report.html` from the
+//! store as runs land. It exits when every expected run has finished,
+//! the stream ends, or `--timeout-s` elapses.
+//!
 //! `--profile` runs every freshly-executed simnet scenario through the
 //! span-profiled entry point: per-run wall time and the top phases land
 //! in `timings/<hash>.json` sidecars, surface in the report's `wall (s)`
@@ -55,10 +68,11 @@ fn has_flag(args: &[String], name: &str) -> bool {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign <run|worker|report|list> <campaign.toml> \
+        "usage: campaign <run|worker|report|list|watch> <campaign.toml> \
          [--shards N] [--workers inprocess|subprocess] [--shard k/N] \
          [--out DIR] [--threads T] [--force] [--only ENTRY-SUBSTRING] \
-         [--progress jsonl] [--profile]"
+         [--progress jsonl] [--profile] \
+         [--file PROGRESS.jsonl] [--html] [--interval-ms N] [--timeout-s S]"
     );
     exit(2)
 }
@@ -76,6 +90,119 @@ fn load(
         spec.retain_matching(filter)?;
     }
     Ok((spec, store))
+}
+
+/// The live dashboard: fold a `--progress jsonl` stream (stdin pipe or
+/// a growing `--file`) into a per-entry table, redrawn in place on a
+/// terminal and printed as throttled snapshots on a pipe.
+fn cmd_watch(
+    args: &[String],
+    spec: &CampaignSpec,
+    store: &ResultStore,
+    resolver: &dyn Fn(&str) -> Option<ecp_scenario::Scenario>,
+    out: Option<&str>,
+) -> Result<(), CampaignError> {
+    use std::io::{BufRead, IsTerminal, Write};
+
+    // Expected per-entry run counts, in spec order.
+    let units = exec::expand(spec, &resolver)?;
+    let mut expected: Vec<(String, usize)> = Vec::new();
+    for u in &units {
+        match expected.iter_mut().find(|(n, _)| n == &u.entry) {
+            Some((_, c)) => *c += 1,
+            None => expected.push((u.entry.clone(), 1)),
+        }
+    }
+    let mut state = ecp_campaign::WatchState::new(&spec.name, &expected);
+
+    let html = has_flag(args, "--html");
+    let interval = std::time::Duration::from_millis(
+        flag(args, "--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500),
+    );
+    let timeout_s: Option<f64> = flag(args, "--timeout-s").and_then(|v| v.parse().ok());
+    let out_dir = spec.resolved_output_dir(out);
+    let start = std::time::Instant::now();
+    let tty = std::io::stdout().is_terminal();
+    let mut last_render: Option<std::time::Instant> = None;
+
+    let refresh = |state: &ecp_campaign::WatchState,
+                   last: &mut Option<std::time::Instant>,
+                   force: bool|
+     -> Result<(), CampaignError> {
+        if !force && !tty && last.is_some_and(|t| t.elapsed() < interval) {
+            return Ok(());
+        }
+        *last = Some(std::time::Instant::now());
+        let table = state.render(start.elapsed().as_secs_f64());
+        if tty {
+            print!("\x1b[H\x1b[2J{table}");
+            std::io::stdout().flush().ok();
+        } else {
+            println!("{table}");
+        }
+        if html {
+            let summary = report::summarize(spec, &resolver, store)?;
+            ecp_campaign::write_html(&summary, store, &out_dir)?;
+        }
+        Ok(())
+    };
+
+    match flag(args, "--file") {
+        Some(path) => {
+            // Tail a growing file: consume complete lines only, poll
+            // for more until done / timeout.
+            let mut pos = 0usize;
+            loop {
+                let content = std::fs::read_to_string(&path).unwrap_or_default();
+                if content.len() > pos {
+                    let new = &content[pos..];
+                    if let Some(nl) = new.rfind('\n') {
+                        let mut saw_event = false;
+                        for line in new[..=nl].lines() {
+                            saw_event |= state.apply_line(line);
+                        }
+                        pos += nl + 1;
+                        if saw_event {
+                            refresh(&state, &mut last_render, false)?;
+                        }
+                    }
+                }
+                if state.done() {
+                    break;
+                }
+                if let Some(t) = timeout_s {
+                    if start.elapsed().as_secs_f64() >= t {
+                        break;
+                    }
+                }
+                std::thread::sleep(interval);
+            }
+        }
+        None => {
+            // Drain to EOF even once all expected runs have finished:
+            // breaking early would close the pipe under a producer that
+            // still has its stats/report trailer to print (SIGPIPE).
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line =
+                    line.map_err(|e| CampaignError::Io(format!("read progress stream: {e}")))?;
+                if state.apply_line(&line) {
+                    refresh(&state, &mut last_render, false)?;
+                }
+            }
+        }
+    }
+    refresh(&state, &mut last_render, true)?;
+    println!(
+        "watch: done finished={} expected={} cached={} failed={}",
+        state.finished(),
+        state.expected(),
+        state.cached(),
+        state.failed()
+    );
+    Ok(())
 }
 
 fn main() {
@@ -186,6 +313,7 @@ fn main() {
                 }
                 Ok(())
             }
+            "watch" => cmd_watch(&args, &spec, &store, &resolver, out.as_deref()),
             "list" => {
                 let units = exec::expand(&spec, &resolver)?;
                 let shards = spec.shard_count();

@@ -16,7 +16,8 @@
 //!     --ceiling-s 120 --out BENCH_simnet.json                  # CI smoke: scaled runs + wall-clock ceiling
 //! perf record  [--bench FILE] [--history FILE]                 # append a git-sha-stamped snapshot
 //! perf history [--history FILE] [--metric NAME]                # print the recorded trajectory
-//! perf gate    [--bench FILE] [--history FILE] [--threshold P] # HEAD vs last snapshot; exit 1 on regression
+//! perf gate    [--bench FILE] [--history FILE] [--threshold P]
+//!              [--against SHA]                                  # HEAD vs snapshot; exit 1 on regression, 2 without baseline
 //! ```
 //!
 //! Timing is best-of-`--iters` per (scenario, mode); planning
@@ -31,11 +32,13 @@
 //! appends one JSONL snapshot (UTC timestamp + git sha + quick flag) to
 //! `results/bench_history/simnet.jsonl`; `history` tabulates the
 //! snapshots; `gate` compares a freshly-measured BENCH file against the
-//! last recorded snapshot with per-metric direction heuristics
+//! last recorded snapshot (or the last one matching a `--against
+//! <git_sha>` prefix) with per-metric direction heuristics
 //! (`*_ms`/allocs/bytes regress upward, `speedup`/`rounds_per_s`
 //! regress downward) and a relative noise threshold (`--threshold 25`
 //! or `25%`), printing greppable `GATE OK` / `GATE FAIL` lines and
-//! exiting nonzero on any regression.
+//! exiting 1 on any regression or 2 (one-line `GATE ERROR` on stderr)
+//! when the history is missing/empty or no snapshot matches.
 
 use ecp_bench::{arg, print_table};
 use ecp_scenario::{run_resolved, run_resolved_traced, ControlSpec, ScenarioReport};
@@ -527,11 +530,15 @@ fn direction(name: &str) -> Direction {
 }
 
 /// `perf gate`: compare a BENCH file against the last recorded
-/// snapshot. Exit 1 (after printing `GATE FAIL` lines) when any
-/// directional metric regresses by more than `--threshold` percent.
+/// snapshot — or, with `--against <git_sha>`, the last snapshot whose
+/// sha starts with the argument. Exit 1 (after printing `GATE FAIL`
+/// lines) when any directional metric regresses by more than
+/// `--threshold` percent; exit 2 with a one-line error when there is
+/// no baseline to compare against.
 fn cmd_gate() {
     let bench: String = arg("bench", "BENCH_simnet.json".to_string());
     let history: String = arg("history", default_history_path());
+    let against: String = arg("against", String::new());
     let threshold_raw: String = arg("threshold", "10%".to_string());
     let threshold: f64 = threshold_raw
         .trim_end_matches('%')
@@ -539,12 +546,39 @@ fn cmd_gate() {
         .unwrap_or_else(|_| panic!("bad --threshold `{threshold_raw}` (expected e.g. 25 or 25%)"))
         / 100.0;
 
-    let doc = read_bench(&bench);
-    let head = flatten_metrics(&doc);
     let records = read_history(&history);
-    let Some(base) = records.last() else {
-        println!("GATE OK: no baseline snapshot in {history} (nothing to compare)");
-        return;
+    if records.is_empty() {
+        eprintln!(
+            "GATE ERROR: no baseline snapshot in {history} — run `perf record` first \
+             (or point --history at an existing trajectory)"
+        );
+        std::process::exit(2);
+    }
+    let doc = match std::fs::read_to_string(&bench)
+        .map_err(|e| e.to_string())
+        .and_then(|d| serde_json::from_str(&d).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("GATE ERROR: read bench file {bench}: {e} (run `perf` first)");
+            std::process::exit(2);
+        }
+    };
+    let head = flatten_metrics(&doc);
+    let base = if against.is_empty() {
+        records.last().unwrap()
+    } else {
+        match records.iter().rfind(|r| r.git_sha.starts_with(&against)) {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "GATE ERROR: no snapshot in {history} matches --against {against} \
+                     ({} snapshots, see `perf history`)",
+                    records.len()
+                );
+                std::process::exit(2);
+            }
+        }
     };
     let head_quick = field(&doc, "quick")
         .and_then(Value::as_bool)

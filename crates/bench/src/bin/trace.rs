@@ -5,7 +5,7 @@
 //! ```text
 //! trace run       <registry-id|scenario.toml> [--out FILE] [--snapshot FILE]
 //!                                             [--profile] [--timing FILE]
-//! trace summarize <trace.jsonl>
+//! trace summarize <trace.jsonl> [--json]
 //! trace validate  <trace.jsonl>
 //! trace diff      <a.jsonl> <b.jsonl>
 //! trace chrome    <trace.jsonl> [--out FILE]
@@ -24,7 +24,9 @@
 //!
 //! `summarize` prints per-kind event counts, the control/power headline
 //! numbers, and — when the trace carries `Span` lines — a per-span
-//! profile table with percentiles; `validate` checks every line parses
+//! profile table with percentiles; `--json` emits the same summary as
+//! one machine-readable JSON object (text stays the default, so
+//! existing greps keep working); `validate` checks every line parses
 //! as a [`TelemetryEvent`] and that event times never go backwards;
 //! `diff` compares two traces line by line (exit 1 on divergence);
 //! `chrome` converts a trace to the chrome://tracing JSON format
@@ -45,7 +47,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: trace <run|summarize|validate|diff|chrome> <input> \
-         [second-input] [--out FILE] [--snapshot FILE] [--profile] [--timing FILE]"
+         [second-input] [--out FILE] [--snapshot FILE] [--profile] [--timing FILE] [--json]"
     );
     exit(2)
 }
@@ -151,19 +153,26 @@ fn cmd_run(
     }
 }
 
-fn cmd_summarize(path: &str) {
+fn cmd_summarize(path: &str, json: bool) {
     let lines = read_lines(path);
     let events = match parse_events(&lines) {
         Ok(ev) => ev,
         Err((n, e)) => fail(&format!("{path}:{n}: {e}")),
     };
     if events.is_empty() {
-        println!("events: 0");
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&obj(vec![("events", Value::U64(0))]))
+                    .expect("summary serializes")
+            );
+        } else {
+            println!("events: 0");
+        }
         return;
     }
     let (t0, t1) = (events[0].time(), events[events.len() - 1].time());
-    println!("events: {}   span: {t0:.3}s .. {t1:.3}s", events.len());
-    for kind in [
+    let kinds: Vec<(&str, u64)> = [
         "ControlRound",
         "ArcLoads",
         "PowerTransition",
@@ -171,12 +180,16 @@ fn cmd_summarize(path: &str) {
         "Failure",
         "Repair",
         "Span",
-    ] {
-        let n = events.iter().filter(|e| e.kind() == kind).count();
-        if n > 0 {
-            println!("  {kind:<16} {n}");
-        }
-    }
+    ]
+    .iter()
+    .map(|&kind| {
+        (
+            kind,
+            events.iter().filter(|e| e.kind() == kind).count() as u64,
+        )
+    })
+    .filter(|&(_, n)| n > 0)
+    .collect();
     let mut rounds = 0u64;
     let mut immediate_n = 0u64;
     let mut decided_n = 0u64;
@@ -229,6 +242,88 @@ fn cmd_summarize(path: &str) {
             _ => {}
         }
     }
+    let mean_idle = if sleeps > 0 {
+        idle_sum / sleeps as f64
+    } else {
+        0.0
+    };
+    let spans = span_profile(&events);
+
+    if json {
+        let mut doc = vec![
+            ("events", Value::U64(events.len() as u64)),
+            (
+                "span_s",
+                obj(vec![("start", Value::F64(t0)), ("end", Value::F64(t1))]),
+            ),
+            (
+                "kinds",
+                obj(kinds.iter().map(|&(k, n)| (k, Value::U64(n))).collect()),
+            ),
+        ];
+        if rounds > 0 {
+            doc.push((
+                "control",
+                obj(vec![
+                    ("rounds", Value::U64(rounds)),
+                    ("immediate", Value::U64(immediate_n)),
+                    ("decided", Value::U64(decided_n)),
+                    ("skipped_clean", Value::U64(skipped)),
+                    ("share_changes", Value::U64(changes)),
+                    ("waterfill_iters", Value::U64(wf)),
+                    ("settle_s", settle.map(Value::F64).unwrap_or(Value::Null)),
+                ]),
+            ));
+            doc.push((
+                "peaks",
+                obj(vec![
+                    ("max_util", Value::F64(peak_util)),
+                    ("overloaded_arcs", Value::U64(peak_ol as u64)),
+                ]),
+            ));
+        }
+        if sleeps + wakes > 0 {
+            doc.push((
+                "power",
+                obj(vec![
+                    ("sleeps", Value::U64(sleeps)),
+                    ("wakes", Value::U64(wakes)),
+                    ("mean_idle_drain_s", Value::F64(mean_idle)),
+                ]),
+            ));
+        }
+        if !spans.is_empty() {
+            doc.push((
+                "spans",
+                Value::Array(
+                    spans
+                        .iter()
+                        .map(|s| {
+                            obj(vec![
+                                ("name", Value::Str(s.name.clone())),
+                                ("count", Value::U64(s.count)),
+                                ("total_s", Value::F64(s.total_s)),
+                                ("self_s", Value::F64(s.self_s)),
+                                ("p50_s", Value::F64(s.p50)),
+                                ("p95_s", Value::F64(s.p95)),
+                                ("p99_s", Value::F64(s.p99)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        println!(
+            "{}",
+            serde_json::to_string(&obj(doc)).expect("summary serializes")
+        );
+        return;
+    }
+
+    println!("events: {}   span: {t0:.3}s .. {t1:.3}s", events.len());
+    for (kind, n) in &kinds {
+        println!("  {kind:<16} {n}");
+    }
     if rounds > 0 {
         println!(
             "control: rounds={rounds} immediate={immediate_n} decided={decided_n} \
@@ -241,20 +336,39 @@ fn cmd_summarize(path: &str) {
         println!("peaks: max_util={peak_util:.4} overloaded_arcs={peak_ol}");
     }
     if sleeps + wakes > 0 {
-        let mean_idle = if sleeps > 0 {
-            idle_sum / sleeps as f64
-        } else {
-            0.0
-        };
         println!("power: sleeps={sleeps} wakes={wakes} mean_idle_drain={mean_idle:.3}s");
     }
-    summarize_spans(&events);
+    if !spans.is_empty() {
+        println!("spans:");
+        println!(
+            "  {:<18} {:>7} {:>11} {:>11} {:>10} {:>10} {:>10}",
+            "name", "count", "total (s)", "self (s)", "p50 (s)", "p95 (s)", "p99 (s)"
+        );
+        for s in &spans {
+            println!(
+                "  {:<18} {:>7} {:>11.6} {:>11.6} {:>10.6} {:>10.6} {:>10.6}",
+                s.name, s.count, s.total_s, s.self_s, s.p50, s.p95, s.p99,
+            );
+        }
+    }
 }
 
-/// Fold the trace's `Span` lines into a per-span profile table with
-/// interpolated percentiles (same [`SPAN_DUR_BOUNDS`] buckets the
-/// profiling sink uses). Silent when the trace was not profiled.
-fn summarize_spans(events: &[TelemetryEvent]) {
+/// One row of the per-span profile (percentiles interpolated from the
+/// same `SPAN_DUR_BOUNDS` buckets the profiling sink uses).
+struct SpanRow {
+    name: String,
+    count: u64,
+    total_s: f64,
+    self_s: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+/// Fold the trace's `Span` lines into per-span profile rows with
+/// interpolated percentiles (same `SPAN_DUR_BOUNDS` buckets the
+/// profiling sink uses). Empty when the trace was not profiled.
+fn span_profile(events: &[TelemetryEvent]) -> Vec<SpanRow> {
     use ecp_telemetry::{HistogramSnapshot, SPAN_DUR_BOUNDS};
     use std::collections::BTreeMap;
 
@@ -296,40 +410,34 @@ fn summarize_spans(events: &[TelemetryEvent]) {
             .unwrap_or(SPAN_DUR_BOUNDS.len());
         a.buckets[slot] += 1;
     }
-    if by_name.is_empty() {
-        return;
-    }
-    println!("spans:");
-    println!(
-        "  {:<18} {:>7} {:>11} {:>11} {:>10} {:>10} {:>10}",
-        "name", "count", "total (s)", "self (s)", "p50 (s)", "p95 (s)", "p99 (s)"
-    );
-    for (name, a) in &by_name {
-        let mut buckets: Vec<(f64, u64)> = SPAN_DUR_BOUNDS
-            .iter()
-            .zip(&a.buckets)
-            .map(|(&b, &n)| (b, n))
-            .collect();
-        buckets.push((-1.0, a.buckets[SPAN_DUR_BOUNDS.len()]));
-        let hist = HistogramSnapshot {
-            name: name.to_string(),
-            count: a.count,
-            sum: a.total_s,
-            min: a.min,
-            max: a.max,
-            buckets,
-        };
-        println!(
-            "  {:<18} {:>7} {:>11.6} {:>11.6} {:>10.6} {:>10.6} {:>10.6}",
-            name,
-            a.count,
-            a.total_s,
-            a.self_s,
-            hist.p50(),
-            hist.p95(),
-            hist.p99(),
-        );
-    }
+    by_name
+        .iter()
+        .map(|(name, a)| {
+            let mut buckets: Vec<(f64, u64)> = SPAN_DUR_BOUNDS
+                .iter()
+                .zip(&a.buckets)
+                .map(|(&b, &n)| (b, n))
+                .collect();
+            buckets.push((-1.0, a.buckets[SPAN_DUR_BOUNDS.len()]));
+            let hist = HistogramSnapshot {
+                name: name.to_string(),
+                count: a.count,
+                sum: a.total_s,
+                min: a.min,
+                max: a.max,
+                buckets,
+            };
+            SpanRow {
+                name: name.to_string(),
+                count: a.count,
+                total_s: a.total_s,
+                self_s: a.self_s,
+                p50: hist.p50(),
+                p95: hist.p95(),
+                p99: hist.p99(),
+            }
+        })
+        .collect()
 }
 
 fn cmd_validate(path: &str) {
@@ -562,7 +670,7 @@ fn main() {
             args.iter().any(|a| a == "--profile"),
             flag(&args, "--timing").as_deref(),
         ),
-        "summarize" => cmd_summarize(input),
+        "summarize" => cmd_summarize(input, args.iter().any(|a| a == "--json")),
         "validate" => cmd_validate(input),
         "diff" => match args.get(2) {
             Some(b) if !b.starts_with("--") => cmd_diff(input, b),

@@ -150,6 +150,14 @@ pub enum ProgressEvent {
         /// Top-3 phases by self time, `(span name, self seconds)` —
         /// empty unless the run executed with profiling on.
         phases: Vec<(String, f64)>,
+        /// Settle time (seconds) from the telemetry sidecar, when the
+        /// run recorded one (`campaign watch`'s settle column).
+        #[serde(default)]
+        settle_time_s: Option<f64>,
+        /// Delivery-shortfall fraction from the stability analysis,
+        /// when the run recorded one.
+        #[serde(default)]
+        shortfall_fraction: Option<f64>,
     },
 }
 
@@ -163,12 +171,14 @@ fn emit_progress(ev: &ProgressEvent) {
 }
 
 /// The `RunFinished` event for a stored outcome.
+#[allow(clippy::too_many_arguments)]
 fn finished_event(
     shard: u64,
     hash: &str,
     u: &RunUnit,
     cached: bool,
     report: Option<&ScenarioReport>,
+    telemetry: Option<&ecp_scenario::TelemetrySnapshot>,
     failed: bool,
     timing: Option<&RunTiming>,
 ) -> ProgressEvent {
@@ -183,6 +193,10 @@ fn finished_event(
         mean_delivered_fraction: report.map(|r| r.mean_delivered_fraction),
         wall_s: timing.map(|t| t.wall_s),
         phases: timing.map(|t| t.phases.clone()).unwrap_or_default(),
+        settle_time_s: telemetry.and_then(|t| t.settle_time_s),
+        shortfall_fraction: report
+            .and_then(|r| r.stability.as_ref())
+            .map(|s| s.shortfall_fraction),
     }
 }
 
@@ -266,6 +280,7 @@ pub fn run_shard(
                                 u,
                                 true,
                                 cached.report.as_ref(),
+                                cached.telemetry.as_ref(),
                                 failed,
                                 None,
                             ));
@@ -297,6 +312,9 @@ pub fn run_shard(
                             if !event_lines.is_empty() {
                                 store.save_trace(hash, &event_lines)?;
                             }
+                            if let Some(ts) = &trace.timeseries {
+                                store.save_timeseries(hash, ts)?;
+                            }
                             (Some(r), trace.snapshot, None, timing.top_phases(3))
                         }
                         Err(e) => (
@@ -314,6 +332,9 @@ pub fn run_shard(
                         Ok((r, trace)) => {
                             if !trace.lines.is_empty() {
                                 store.save_trace(hash, &trace.lines)?;
+                            }
+                            if let Some(ts) = &trace.timeseries {
+                                store.save_timeseries(hash, ts)?;
                             }
                             (Some(r), trace.snapshot, None, Vec::new())
                         }
@@ -354,6 +375,7 @@ pub fn run_shard(
                         u,
                         false,
                         run.report.as_ref(),
+                        run.telemetry.as_ref(),
                         failed,
                         Some(&timing),
                     ));

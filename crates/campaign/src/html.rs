@@ -1,0 +1,450 @@
+//! The campaign observatory's `report.html` renderer.
+//!
+//! One self-contained HTML document — no external assets, scripts, or
+//! stylesheets beyond an inline `<style>` block, same offline
+//! discipline as the rest of the workspace. It carries the entry/run
+//! comparison tables of `report.md` plus inline-SVG time-series plots
+//! and per-run sparklines fed by the `timeseries/<hash>.jsonl` sidecars
+//! (`metrics.timeseries` runs), each entry overlaid against the
+//! baseline arm.
+//!
+//! Rendering is deterministic: a pure function of the summary and the
+//! sidecar bytes, with fixed-precision float formatting throughout, so
+//! regenerating after any shard layout or thread count yields a
+//! byte-identical file (pinned by tests and the CI smoke).
+
+use crate::report::CampaignSummary;
+use crate::store::ResultStore;
+use crate::CampaignError;
+use ecp_scenario::TimeseriesPoint;
+use std::path::{Path, PathBuf};
+
+/// Escape a string for HTML text and attribute contexts.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision metric formatting (deterministic across platforms —
+/// plain shortest-round-trip `{}` is too, but a fixed width keeps the
+/// tables aligned and the diffs readable).
+fn fmt_metric(v: Option<f64>) -> String {
+    v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into())
+}
+
+/// SVG coordinate formatting: two decimals is sub-pixel at plot scale.
+fn coord(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// One named polyline in a plot.
+struct Series<'a> {
+    label: String,
+    color: &'a str,
+    points: Vec<(f64, f64)>,
+}
+
+const PLOT_W: f64 = 640.0;
+const PLOT_H: f64 = 170.0;
+const MARGIN_L: f64 = 46.0;
+const MARGIN_R: f64 = 8.0;
+const MARGIN_T: f64 = 22.0;
+const MARGIN_B: f64 = 18.0;
+
+/// Hand-rolled SVG line plot: shared x/y scales over all series, min /
+/// max tick labels, a legend row, and one polyline per series.
+fn svg_plot(title: &str, series: &[Series<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg class=\"plot\" viewBox=\"0 0 {PLOT_W} {PLOT_H}\" width=\"{PLOT_W}\" \
+         height=\"{PLOT_H}\" role=\"img\">\n"
+    ));
+    out.push_str(&format!(
+        "<text x=\"{MARGIN_L}\" y=\"14\" class=\"title\">{}</text>\n",
+        escape_html(title)
+    ));
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{MARGIN_L}\" y=\"{}\" class=\"axis\">no timeseries sidecar</text>\n</svg>\n",
+            PLOT_H / 2.0
+        ));
+        return out;
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (0.0_f64, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 <= x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    let iw = PLOT_W - MARGIN_L - MARGIN_R;
+    let ih = PLOT_H - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * iw;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0)) * ih;
+    // Frame + tick labels.
+    out.push_str(&format!(
+        "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" class=\"frame\"/>\n",
+        coord(MARGIN_L),
+        coord(MARGIN_T),
+        coord(iw),
+        coord(ih)
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" class=\"axis\" text-anchor=\"end\">{}</text>\n",
+        coord(MARGIN_L - 4.0),
+        coord(py(y1) + 4.0),
+        fmt_metric(Some(y1))
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" class=\"axis\" text-anchor=\"end\">{}</text>\n",
+        coord(MARGIN_L - 4.0),
+        coord(py(y0) + 4.0),
+        fmt_metric(Some(y0))
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" class=\"axis\">{}s</text>\n",
+        coord(MARGIN_L),
+        coord(PLOT_H - 4.0),
+        fmt_metric(Some(x0))
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" class=\"axis\" text-anchor=\"end\">{}s</text>\n",
+        coord(PLOT_W - MARGIN_R),
+        coord(PLOT_H - 4.0),
+        fmt_metric(Some(x1))
+    ));
+    // Legend, right-aligned along the title row.
+    let mut lx = PLOT_W - MARGIN_R;
+    for s in series.iter().rev() {
+        let label = escape_html(&s.label);
+        lx -= 8.0 * (s.label.chars().count() as f64).max(4.0) + 18.0;
+        out.push_str(&format!(
+            "<rect x=\"{}\" y=\"6\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"14\" class=\"axis\">{}</text>\n",
+            coord(lx),
+            s.color,
+            coord(lx + 13.0),
+            label
+        ));
+    }
+    for s in series {
+        if s.points.is_empty() {
+            continue;
+        }
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", coord(px(x)), coord(py(y))))
+            .collect();
+        out.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+            s.color,
+            pts.join(" ")
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A table-cell sparkline: one polyline, auto-scaled, no axes.
+fn svg_sparkline(points: &[(f64, f64)], color: &str) -> String {
+    const W: f64 = 120.0;
+    const H: f64 = 22.0;
+    if points.is_empty() {
+        return "-".into();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 <= x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    let pts: Vec<String> = points
+        .iter()
+        .map(|&(x, y)| {
+            format!(
+                "{},{}",
+                coord((x - x0) / (x1 - x0) * (W - 2.0) + 1.0),
+                coord((1.0 - (y - y0) / (y1 - y0)) * (H - 2.0) + 1.0)
+            )
+        })
+        .collect();
+    format!(
+        "<svg class=\"spark\" viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\">\
+         <polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1\" points=\"{}\"/></svg>",
+        pts.join(" ")
+    )
+}
+
+fn delivered_series(points: &[TimeseriesPoint]) -> Vec<(f64, f64)> {
+    points.iter().map(|p| (p.t, p.delivered_fraction)).collect()
+}
+
+const ENTRY_COLOR: &str = "#0b6e99";
+const BASELINE_COLOR: &str = "#999999";
+
+const STYLE: &str = "body{font-family:system-ui,sans-serif;margin:24px;color:#1a1a1a}\
+h1,h2,h3{font-weight:600}table{border-collapse:collapse;margin:12px 0}\
+th,td{border:1px solid #ccc;padding:3px 8px;font-size:13px;text-align:right}\
+th{background:#f0f0f0}td.l,th.l{text-align:left}\
+svg.plot{display:block;margin:8px 0}svg.plot .title{font-size:13px;font-weight:600}\
+svg.plot .axis{font-size:10px;fill:#555}svg.plot .frame{fill:none;stroke:#ccc}\
+.note{color:#555;font-size:13px}";
+
+/// Render the whole observatory document.
+pub fn render_html(summary: &CampaignSummary, store: &ResultStore) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str(&format!(
+        "<title>Campaign observatory: {}</title>\n",
+        escape_html(&summary.campaign)
+    ));
+    out.push_str(&format!("<style>{STYLE}</style>\n</head>\n<body>\n"));
+    out.push_str(&format!(
+        "<h1>Campaign observatory: {}</h1>\n",
+        escape_html(&summary.campaign)
+    ));
+    match &summary.baseline {
+        Some(b) => out.push_str(&format!(
+            "<p class=\"note\">Baseline entry: <b>{}</b> — Δ columns and grey overlays are \
+             entry vs baseline. Store salt <code>{}</code>.</p>\n",
+            escape_html(b),
+            escape_html(&summary.code_salt)
+        )),
+        None => out.push_str(&format!(
+            "<p class=\"note\">No baseline entry designated. Store salt <code>{}</code>.</p>\n",
+            escape_html(&summary.code_salt)
+        )),
+    }
+
+    // ---- entry table ---------------------------------------------------
+    out.push_str(
+        "<h2>Entries</h2>\n<table>\n<tr><th class=\"l\">entry</th><th>runs</th>\
+         <th>ok</th><th>failed</th><th>missing</th><th>power</th><th>delivered</th>\
+         <th>max lag (s)</th><th>shortfall</th><th>settle (s)</th><th>Δ power</th>\
+         <th>Δ delivered</th></tr>\n",
+    );
+    for e in &summary.entries {
+        out.push_str(&format!(
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            escape_html(&e.entry),
+            e.runs,
+            e.ok,
+            e.failed,
+            e.missing,
+            fmt_metric(e.mean_power_frac),
+            fmt_metric(e.mean_delivered_fraction),
+            fmt_metric(e.max_tracking_lag_s),
+            fmt_metric(e.mean_shortfall_fraction),
+            fmt_metric(e.max_settling_time_s),
+            e.vs_baseline
+                .map(|d| format!("{:+.4}", d.power_delta))
+                .unwrap_or_else(|| "-".into()),
+            e.vs_baseline
+                .map(|d| format!("{:+.4}", d.delivered_delta))
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out.push_str("</table>\n");
+
+    // ---- per-entry plots vs baseline -----------------------------------
+    // One representative run per entry: its first row with a sidecar.
+    let sidecar = |hash: &str| store.load_timeseries(hash).filter(|p| !p.is_empty());
+    let entry_rep = |entry: &str| {
+        summary
+            .runs
+            .iter()
+            .filter(|r| r.entry == entry)
+            .find_map(|r| sidecar(&r.hash).map(|p| (r, p)))
+    };
+    let base_rep = summary.baseline.as_deref().and_then(entry_rep);
+    out.push_str("<h2>Timelines</h2>\n");
+    let mut any_plot = false;
+    for e in &summary.entries {
+        let Some((row, points)) = entry_rep(&e.entry) else {
+            continue;
+        };
+        any_plot = true;
+        out.push_str(&format!(
+            "<h3>{} <span class=\"note\">({})</span></h3>\n",
+            escape_html(&e.entry),
+            escape_html(&row.name)
+        ));
+        let overlay = |f: fn(&TimeseriesPoint) -> f64| -> Vec<Series<'static>> {
+            let mut s = Vec::new();
+            if let Some((brow, bpoints)) = &base_rep {
+                if brow.entry != e.entry {
+                    s.push(Series {
+                        label: brow.entry.clone(),
+                        color: BASELINE_COLOR,
+                        points: bpoints.iter().map(|p| (p.t, f(p))).collect(),
+                    });
+                }
+            }
+            s.push(Series {
+                label: e.entry.clone(),
+                color: ENTRY_COLOR,
+                points: points.iter().map(|p| (p.t, f(p))).collect(),
+            });
+            s
+        };
+        out.push_str(&svg_plot(
+            "delivered fraction",
+            &overlay(|p| p.delivered_fraction),
+        ));
+        out.push_str(&svg_plot("power fraction", &overlay(|p| p.power_frac)));
+        out.push_str(&svg_plot("max arc utilization", &overlay(|p| p.max_util)));
+        out.push_str(&svg_plot(
+            "overloaded arcs",
+            &overlay(|p| p.overloaded_arcs as f64),
+        ));
+        out.push_str(&svg_plot(
+            "cumulative reconfigs",
+            &overlay(|p| p.reconfig_count as f64),
+        ));
+    }
+    if !any_plot {
+        out.push_str(
+            "<p class=\"note\">No timeseries sidecars in the store — set \
+             <code>metrics.timeseries = true</code> in the campaign's scenarios to capture \
+             timelines.</p>\n",
+        );
+    }
+
+    // ---- run table ------------------------------------------------------
+    out.push_str(
+        "<h2>Runs</h2>\n<table>\n<tr><th class=\"l\">entry</th><th>#</th>\
+         <th class=\"l\">name</th><th class=\"l\">params</th><th>status</th><th>power</th>\
+         <th>delivered</th><th>lag (s)</th><th>shortfall</th><th>settle (s)</th>\
+         <th>peak OL</th><th>Δ power</th><th>Δ delivered</th>\
+         <th class=\"l\">delivered timeline</th></tr>\n",
+    );
+    for r in &summary.runs {
+        let params = if r.params.is_empty() {
+            "-".into()
+        } else {
+            r.params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let spark = sidecar(&r.hash)
+            .map(|p| svg_sparkline(&delivered_series(&p), ENTRY_COLOR))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "<tr><td class=\"l\">{}</td><td>{}</td><td class=\"l\">{}</td>\
+             <td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td class=\"l\">{}</td></tr>\n",
+            escape_html(&r.entry),
+            r.index,
+            escape_html(&r.name),
+            escape_html(&params),
+            escape_html(&r.status),
+            fmt_metric(r.metrics.map(|m| m.mean_power_frac)),
+            fmt_metric(r.metrics.map(|m| m.mean_delivered_fraction)),
+            fmt_metric(r.metrics.map(|m| m.max_tracking_lag_s)),
+            fmt_metric(
+                r.metrics
+                    .and_then(|m| m.stability.map(|s| s.shortfall_fraction))
+            ),
+            fmt_metric(r.metrics.and_then(|m| m.settle_time_s)),
+            r.metrics
+                .and_then(|m| m.peak_overloaded_arcs)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.vs_baseline
+                .map(|d| format!("{:+.4}", d.power_delta))
+                .unwrap_or_else(|| "-".into()),
+            r.vs_baseline
+                .map(|d| format!("{:+.4}", d.delivered_delta))
+                .unwrap_or_else(|| "-".into()),
+            spark,
+        ));
+    }
+    out.push_str("</table>\n</body>\n</html>\n");
+    out
+}
+
+/// Render and write `report.html` under the campaign output directory.
+pub fn write_html(
+    summary: &CampaignSummary,
+    store: &ResultStore,
+    output_dir: &Path,
+) -> Result<PathBuf, CampaignError> {
+    std::fs::create_dir_all(output_dir)
+        .map_err(|e| CampaignError::Io(format!("create {}: {e}", output_dir.display())))?;
+    let path = output_dir.join("report.html");
+    std::fs::write(&path, render_html(summary, store))
+        .map_err(|e| CampaignError::Io(format!("write {}: {e}", path.display())))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_html_metacharacters() {
+        assert_eq!(
+            escape_html("a<b & \"c\" > 'd'"),
+            "a&lt;b &amp; &quot;c&quot; &gt; &#39;d&#39;"
+        );
+        assert_eq!(escape_html("plain"), "plain");
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_series() {
+        assert_eq!(svg_sparkline(&[], "#000"), "-");
+        // Single point and flat series must not divide by zero.
+        assert!(svg_sparkline(&[(0.0, 1.0)], "#000").contains("polyline"));
+        let flat = svg_sparkline(&[(0.0, 1.0), (1.0, 1.0)], "#000");
+        assert!(flat.contains("polyline"));
+        assert!(!flat.contains("NaN"));
+    }
+
+    #[test]
+    fn plot_is_deterministic() {
+        let series = [Series {
+            label: "arm<1>".into(),
+            color: "#123456",
+            points: vec![(0.0, 0.25), (1.0, 0.5), (2.0, 1.0)],
+        }];
+        let a = svg_plot("delivered & power", &series);
+        let b = svg_plot("delivered & power", &series);
+        assert_eq!(a, b);
+        assert!(a.contains("delivered &amp; power"));
+        assert!(a.contains("arm&lt;1&gt;"));
+        assert!(!a.contains("NaN"));
+    }
+}

@@ -44,20 +44,24 @@
 //! ```
 
 pub mod exec;
+pub mod html;
 pub mod report;
 pub mod spec;
 pub mod store;
+pub mod watch;
 
 pub use exec::{
     execute, expand, run_campaign, run_campaign_subprocess, run_shard, ExecOptions, ExecStats,
     ProgressEvent, RunUnit, WorkerCommand, Workers,
 };
+pub use html::{escape_html, render_html, write_html};
 pub use report::{
     generate, summarize, write_artifacts, BaselineDelta, CampaignSummary, EntrySummary, RunMetrics,
     RunRow,
 };
 pub use spec::{CampaignSpec, EntrySpec, SetSpec};
 pub use store::{content_hash, run_hash, ResultStore, RunFailure, StoredRun, CODE_SALT};
+pub use watch::{EntryProgress, WatchState};
 
 /// A registry lookup: maps an entry's `registry = "..."` id to a
 /// scenario. `ecp-bench` supplies its experiment registry here; workers

@@ -471,7 +471,8 @@ pub fn generate(
     output_dir: &Path,
 ) -> Result<(CampaignSummary, Vec<PathBuf>), CampaignError> {
     let summary = summarize(spec, resolver, store)?;
-    let paths = write_artifacts(&summary, output_dir)?;
+    let mut paths = write_artifacts(&summary, output_dir)?;
+    paths.push(crate::html::write_html(&summary, store, output_dir)?);
     Ok((summary, paths))
 }
 

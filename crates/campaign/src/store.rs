@@ -30,7 +30,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// execution semantics change so cached reports are recomputed.
 /// v2: runs execute through the traced entry points and store a
 /// telemetry sidecar + per-run trace artifact.
-pub const CODE_SALT: &str = "ecp-campaign-v2";
+/// v3: `MetricsSpec` gained the campaign-observatory timeseries fields
+/// (every scenario's canonical JSON rendering changed, so every v2
+/// hash is unreachable anyway; the bump makes the invalidation
+/// explicit).
+pub const CODE_SALT: &str = "ecp-campaign-v3";
 
 /// 64-bit FNV-1a over `bytes` from an explicit basis.
 fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
@@ -130,6 +134,10 @@ pub struct ResultStore {
     /// Sibling directory for [`RunTiming`] sidecars (profiled runs
     /// only). Not content-addressed-deterministic — see [`RunTiming`].
     timings: PathBuf,
+    /// Sibling directory for campaign-observatory timeseries sidecars
+    /// (`metrics.timeseries` runs only). Byte-deterministic like
+    /// traces, but outside the run-hash contract.
+    timeseries: PathBuf,
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -147,10 +155,14 @@ impl ResultStore {
         let timings = output_dir.join("timings");
         std::fs::create_dir_all(&timings)
             .map_err(|e| CampaignError::Io(format!("create {}: {e}", timings.display())))?;
+        let timeseries = output_dir.join("timeseries");
+        std::fs::create_dir_all(&timeseries)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", timeseries.display())))?;
         Ok(ResultStore {
             runs,
             traces,
             timings,
+            timeseries,
         })
     }
 
@@ -267,5 +279,48 @@ impl ResultStore {
     pub fn load_timing(&self, hash: &str) -> Option<RunTiming> {
         let doc = std::fs::read_to_string(self.timing_path(hash)).ok()?;
         serde_json::from_str(&doc).ok()
+    }
+
+    /// The directory timeseries sidecars live in.
+    pub fn timeseries_dir(&self) -> &Path {
+        &self.timeseries
+    }
+
+    /// The file a run's timeseries sidecar is stored at.
+    pub fn timeseries_path(&self, hash: &str) -> PathBuf {
+        self.timeseries.join(format!("{hash}.jsonl"))
+    }
+
+    /// Persist a run's observatory timeseries (same temp-rename
+    /// discipline as traces: the sidecar is a pure function of the run
+    /// content, so concurrent writers publish identical bytes).
+    pub fn save_timeseries(
+        &self,
+        hash: &str,
+        ts: &ecp_scenario::TimeseriesOutput,
+    ) -> Result<(), CampaignError> {
+        let tmp = self.timeseries.join(format!(
+            ".{}.{}.{}.tmp",
+            hash,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let io = |e: std::io::Error, what: &str| CampaignError::Io(format!("{what}: {e}"));
+        std::fs::write(&tmp, ts.to_jsonl()).map_err(|e| io(e, "write timeseries"))?;
+        std::fs::rename(&tmp, self.timeseries_path(hash))
+            .map_err(|e| io(e, "publish timeseries"))?;
+        Ok(())
+    }
+
+    /// Load a run's timeseries points, if a `metrics.timeseries` run
+    /// wrote a sidecar. Lines that fail to parse are skipped (sidecars
+    /// are best-effort for report tooling).
+    pub fn load_timeseries(&self, hash: &str) -> Option<Vec<ecp_scenario::TimeseriesPoint>> {
+        let doc = std::fs::read_to_string(self.timeseries_path(hash)).ok()?;
+        Some(
+            doc.lines()
+                .filter_map(|l| serde_json::from_str(l).ok())
+                .collect(),
+        )
     }
 }

@@ -1,8 +1,8 @@
 //! Shard-layout invariance: executing a campaign with 1 shard, N
 //! in-process shards, or N subprocess shards must leave byte-identical
-//! run files AND byte-identical trace artifacts in the store, and
-//! produce byte-identical comparison summaries. Plus cache/resume and
-//! failure-recording behavior.
+//! run files AND byte-identical trace/timeseries artifacts in the
+//! store, and produce byte-identical comparison summaries (including
+//! `report.html`). Plus cache/resume and failure-recording behavior.
 
 use ecp_campaign::{exec, report, CampaignSpec, EntrySpec, ResultStore};
 use ecp_scenario::{
@@ -43,6 +43,10 @@ fn tiny_scenario(name: &str, nodes: usize, seed: u64, level: f64) -> Scenario {
             power_series: true,
             delivered_series: true,
             per_path_rates: false,
+            // Observatory capture rides every run so the sidecars join
+            // the layout-invariance contract below.
+            timeseries: true,
+            timeseries_interval_s: Some(0.5),
             ..Default::default()
         })
         .build()
@@ -102,6 +106,21 @@ fn trace_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
         assert!(
             name.ends_with(".jsonl"),
             "no temp or stray files among traces, found {name}"
+        );
+        out.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    out
+}
+
+/// Every timeseries sidecar in a store, name → bytes.
+fn timeseries_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir.join("timeseries")).expect("timeseries dir exists") {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(".jsonl"),
+            "no temp or stray files among timeseries sidecars, found {name}"
         );
         out.insert(name, std::fs::read(entry.path()).unwrap());
     }
@@ -175,6 +194,18 @@ proptest! {
         prop_assert_eq!(&traces_a, &trace_files(&dir_b), "in-process trace artifacts diverged");
         prop_assert_eq!(&traces_a, &trace_files(&dir_c), "subprocess trace artifacts diverged");
 
+        // So are the observatory timeseries sidecars: one JSONL per
+        // timeseries-enabled run, sampling t ∈ [0, 2] s at 0.5 s (5
+        // points), byte-identical across every shard layout.
+        let ts_a = timeseries_files(&dir_a);
+        prop_assert_eq!(ts_a.len(), files_a.len(), "every run leaves a sidecar");
+        for (name, bytes) in &ts_a {
+            let lines = bytes.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+            prop_assert_eq!(lines, 5, "sidecar {} should hold 5 samples", name);
+        }
+        prop_assert_eq!(&ts_a, &timeseries_files(&dir_b), "in-process timeseries diverged");
+        prop_assert_eq!(&ts_a, &timeseries_files(&dir_c), "subprocess timeseries diverged");
+
         let (md_a, csv_a, json_a) = artifacts(&spec, &dir_a);
         let (md_b, csv_b, json_b) = artifacts(&spec, &dir_b);
         let (md_c, csv_c, json_c) = artifacts(&spec, &dir_c);
@@ -209,6 +240,11 @@ fn rerun_serves_everything_from_cache() {
     // --force recomputes but leaves identical bytes behind.
     let before = store_files(&dir);
     let traces_before = trace_files(&dir);
+    let ts_before = timeseries_files(&dir);
+    assert!(
+        !ts_before.is_empty(),
+        "timeseries-enabled runs leave sidecars"
+    );
     let forced = exec::run_campaign(
         &spec,
         &no_registry,
@@ -230,6 +266,11 @@ fn rerun_serves_everything_from_cache() {
         traces_before,
         trace_files(&dir),
         "forced rerun changed trace bytes"
+    );
+    assert_eq!(
+        ts_before,
+        timeseries_files(&dir),
+        "forced rerun changed timeseries sidecar bytes"
     );
     let _ = std::fs::remove_dir_all(dir);
 }
@@ -289,6 +330,62 @@ fn scenario_failures_are_recorded_not_fatal() {
     .unwrap();
     assert_eq!(again.executed, 0);
     assert_eq!(again.failed, 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn report_html_is_byte_deterministic_and_escaped() {
+    // Entry names are raw user strings; a hostile one must come out
+    // entity-escaped, and two renders of the same store must be
+    // byte-identical (the report is a pure function of summary bytes
+    // plus sidecar bytes — no timestamps, no map iteration order).
+    let hostile = r#"swept<&"arm"#;
+    let spec = CampaignSpec::new("observatory-html")
+        .entry(EntrySpec::inline(
+            hostile,
+            tiny_scenario("swept", 9, 5, 0.6),
+        ))
+        .entry(EntrySpec::inline(
+            "plain",
+            tiny_scenario("plain", 9, 6, 0.8),
+        ))
+        .with_baseline("plain");
+    let dir = fresh_dir("html");
+    let store = ResultStore::open(&dir).unwrap();
+    exec::run_campaign(
+        &spec,
+        &no_registry,
+        &store,
+        2,
+        &exec::ExecOptions::default(),
+    )
+    .unwrap();
+
+    let render = |tag: &str| {
+        let out = fresh_dir(tag);
+        let summary = report::summarize(&spec, &no_registry, &store).unwrap();
+        let path = ecp_campaign::write_html(&summary, &store, &out).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_dir_all(out);
+        bytes
+    };
+    let first = render("html-out1");
+    let second = render("html-out2");
+    assert_eq!(first, second, "report.html must be byte-deterministic");
+
+    let html = String::from_utf8(first).unwrap();
+    assert!(
+        html.contains("swept&lt;&amp;&quot;arm"),
+        "entry labels must be entity-escaped"
+    );
+    assert!(
+        !html.contains(hostile),
+        "raw entry name must never reach the markup"
+    );
+    assert!(
+        html.contains("<svg") && html.contains("polyline"),
+        "timeseries sidecars must render as inline SVG timelines"
+    );
     let _ = std::fs::remove_dir_all(dir);
 }
 

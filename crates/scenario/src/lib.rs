@@ -95,6 +95,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use ecp_simnet::TelemetrySnapshot;
+pub use ecp_simnet::TimeseriesPoint;
 pub use ecp_simnet::{FakeClock, MonoClock, SpanTiming, TimingSnapshot};
 pub use error::ScenarioError;
 pub use run::{
@@ -102,7 +103,7 @@ pub use run::{
     run_resolved_traced, run_scenario, run_scenario_profiled, run_scenario_profiled_with_clock,
     run_scenario_traced, AppDetail, CapacityStats, CompareResult, DriftStats, FailoverStats,
     PacketDetail, RecomputeStats, ReplayDetail, ResolveCache, ResolvedScenario, ScenarioReport,
-    SleepStats, StreamingRunStats, TableStats, TraceOutput,
+    SleepStats, StreamingRunStats, TableStats, TimeseriesOutput, TraceOutput,
 };
 pub use spec::{
     AppSpec, CompareSpec, ControlSpec, EngineSpec, EventSpec, FlowProgram, LinkRef, MatrixSpec,

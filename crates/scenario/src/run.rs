@@ -15,7 +15,7 @@ use ecp_routing::{
 use ecp_simnet::{
     run_packet_sim_full, ArcActivity, CbrFlow, Clock, JsonlSink, NoopSink, PacketSimConfig,
     PacketStats, Sample, SimEvent, Simulation, SpanName, SpanSink, TelemetrySink,
-    TelemetrySnapshot, TimingSnapshot,
+    TelemetrySnapshot, TimeseriesPoint, TimingSnapshot,
 };
 use ecp_topo::gen::BuiltTopology;
 use ecp_topo::{ArcId, NodeId, Path, Topology};
@@ -539,6 +539,35 @@ impl ResolveCache {
     }
 }
 
+/// The campaign-observatory timeline of one simnet run
+/// (`metrics.timeseries`): delivered fraction, power fraction, max arc
+/// utilization, overloaded-arc count, and cumulative reconfig count at
+/// a fixed sampling interval. Like traces, it is a pure function of the
+/// scenario — byte-deterministic across re-runs, rayon thread counts,
+/// and campaign shard layouts — but lives outside the run-hash
+/// determinism contract (stored as a `timeseries/<hash>.jsonl` sidecar,
+/// never inside [`ScenarioReport`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesOutput {
+    /// Sampling interval (seconds).
+    pub interval_s: f64,
+    /// Sampled points in time order.
+    pub points: Vec<TimeseriesPoint>,
+}
+
+impl TimeseriesOutput {
+    /// The sidecar format: one serialized point per line,
+    /// newline-terminated.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            out.push_str(&serde_json::to_string(p).expect("timeseries point serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// The telemetry by-products of a traced run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceOutput {
@@ -547,12 +576,15 @@ pub struct TraceOutput {
     pub lines: Vec<String>,
     /// Aggregated snapshot; `None` for engines without tracing.
     pub snapshot: Option<TelemetrySnapshot>,
+    /// Campaign-observatory timeline; `Some` only when the scenario set
+    /// `metrics.timeseries` (simnet engine).
+    pub timeseries: Option<TimeseriesOutput>,
 }
 
 impl TraceOutput {
     /// Whether the run produced any trace at all.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty() && self.snapshot.is_none()
+        self.lines.is_empty() && self.snapshot.is_none() && self.timeseries.is_none()
     }
 
     /// The trace as one newline-terminated JSONL document.
@@ -599,6 +631,12 @@ fn validate_engine_features(scenario: &Scenario) -> Result<(), ScenarioError> {
                 "telemetry capture (use the Simnet engine)",
             ));
         }
+        if scenario.metrics.timeseries {
+            return Err(ScenarioError::unsupported(
+                engine,
+                "timeseries capture (use the Simnet engine)",
+            ));
+        }
     }
     Ok(())
 }
@@ -610,7 +648,7 @@ pub fn run_resolved(
 ) -> Result<ScenarioReport, ScenarioError> {
     validate_engine_features(scenario)?;
     let mut report = match &scenario.engine {
-        EngineSpec::Simnet => run_simnet_with_sink(scenario, resolved, NoopSink).map(|(r, _)| r),
+        EngineSpec::Simnet => run_simnet_with_sink(scenario, resolved, NoopSink).map(|(r, ..)| r),
         EngineSpec::Replay(spec) => run_replay(scenario, resolved, spec),
         EngineSpec::Packet(spec) => run_packet(scenario, resolved, spec),
         EngineSpec::App(spec) => run_app(scenario, resolved, spec),
@@ -632,13 +670,15 @@ pub fn run_resolved_traced(
     validate_engine_features(scenario)?;
     let (mut report, trace) = match &scenario.engine {
         EngineSpec::Simnet => {
-            let (report, sink) = run_simnet_with_sink(scenario, resolved, JsonlSink::new())?;
+            let (report, sink, timeseries) =
+                run_simnet_with_sink(scenario, resolved, JsonlSink::new())?;
             let snapshot = sink.snapshot();
             (
                 report,
                 TraceOutput {
                     lines: sink.into_lines(),
                     snapshot,
+                    timeseries,
                 },
             )
         }
@@ -715,16 +755,16 @@ fn run_resolved_profiled_into<C: Clock>(
         let _ = resolved.max_feasible_volume();
         sink.span_exit(SpanName::ResolveOracle);
     }
-    let (mut report, mut sink) = match &scenario.engine {
+    let (mut report, mut sink, timeseries) = match &scenario.engine {
         EngineSpec::Simnet => {
             sink.span_enter(SpanName::ScenarioRun);
-            let (report, mut sink) = run_simnet_with_sink(scenario, resolved, sink)?;
+            let (report, mut sink, ts) = run_simnet_with_sink(scenario, resolved, sink)?;
             sink.span_exit(SpanName::ScenarioRun);
-            (report, sink)
+            (report, sink, ts)
         }
-        EngineSpec::Replay(spec) => (run_replay(scenario, resolved, spec)?, sink),
-        EngineSpec::Packet(spec) => (run_packet(scenario, resolved, spec)?, sink),
-        EngineSpec::App(spec) => (run_app(scenario, resolved, spec)?, sink),
+        EngineSpec::Replay(spec) => (run_replay(scenario, resolved, spec)?, sink, None),
+        EngineSpec::Packet(spec) => (run_packet(scenario, resolved, spec)?, sink, None),
+        EngineSpec::App(spec) => (run_app(scenario, resolved, spec)?, sink, None),
     };
     attach_table_metrics(scenario, resolved, &mut report)?;
     let timing = sink.timing();
@@ -738,6 +778,7 @@ fn run_resolved_profiled_into<C: Clock>(
         TraceOutput {
             lines: sink.into_lines(),
             snapshot,
+            timeseries,
         },
         timing,
     ))
@@ -1173,7 +1214,7 @@ fn run_simnet_with_sink<S: TelemetrySink>(
     scenario: &Scenario,
     resolved: &ResolvedScenario,
     sink: S,
-) -> Result<(ScenarioReport, S), ScenarioError> {
+) -> Result<(ScenarioReport, S, Option<TimeseriesOutput>), ScenarioError> {
     let topo = &resolved.built.topo;
     let schedule = demand_schedule(scenario, resolved)?;
     let mut overrides: HashMap<usize, &Program> = HashMap::new();
@@ -1204,6 +1245,17 @@ fn run_simnet_with_sink<S: TelemetrySink>(
         scenario.control.build(),
         sink,
     );
+    // Observatory sampling must be armed before any flow exists so the
+    // first point lands at t = 0 like the recorder's.
+    let ts_interval = scenario.metrics.timeseries.then(|| {
+        scenario
+            .metrics
+            .timeseries_interval_s
+            .unwrap_or(scenario.sim.to_config().sample_interval)
+    });
+    if let Some(dt) = ts_interval {
+        sim.enable_timeseries(dt);
+    }
 
     // One flow per OD pair; initial rate = the schedule's t = 0 level
     // (or the override program's).
@@ -1333,7 +1385,11 @@ fn run_simnet_with_sink<S: TelemetrySink>(
         stability,
         telemetry,
     };
-    Ok((report, sim.into_telemetry()))
+    let timeseries = ts_interval.map(|interval_s| TimeseriesOutput {
+        interval_s,
+        points: sim.take_timeseries(),
+    });
+    Ok((report, sim.into_telemetry(), timeseries))
 }
 
 // ---- replay engine --------------------------------------------------------

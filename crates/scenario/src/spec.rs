@@ -999,6 +999,19 @@ pub struct MetricsSpec {
     /// (`run_scenario_traced` / `run_resolved_traced`).
     #[serde(default)]
     pub telemetry: bool,
+    /// Capture the campaign-observatory timeseries (delivered fraction,
+    /// power fraction, max arc utilization, overloaded-arc count,
+    /// cumulative reconfig count) into
+    /// [`TraceOutput::timeseries`](crate::TraceOutput). Simnet engine
+    /// only; surfaces through the traced entry points
+    /// (`run_scenario_traced` / `run_resolved_traced`), which is how
+    /// campaigns always run.
+    #[serde(default)]
+    pub timeseries: bool,
+    /// Sampling interval for `timeseries` in seconds; defaults to the
+    /// engine's `sample_interval` when unset.
+    #[serde(default)]
+    pub timeseries_interval_s: Option<f64>,
 }
 
 impl Default for MetricsSpec {
@@ -1012,6 +1025,8 @@ impl Default for MetricsSpec {
             failover_coverage: false,
             stability: false,
             telemetry: false,
+            timeseries: false,
+            timeseries_interval_s: None,
         }
     }
 }

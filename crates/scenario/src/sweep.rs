@@ -40,6 +40,12 @@ pub enum Param {
     /// `control = DampedStep { damp: value, .. }` (an existing
     /// DampedStep spec keeps its cooldown).
     StepDamp,
+    /// `metrics.timeseries`: a positive value enables campaign
+    /// observatory capture with the value as the sampling interval in
+    /// seconds; 0 (or negative) disables it. Lets campaign entries opt
+    /// whole registry scenarios into `timeseries/<hash>.jsonl` sidecars
+    /// without forking them.
+    Timeseries,
 }
 
 impl Param {
@@ -58,6 +64,7 @@ impl Param {
             Param::AdaptiveAlpha => "adaptive_alpha",
             Param::HystGap => "hyst_gap",
             Param::StepDamp => "step_damp",
+            Param::Timeseries => "timeseries_s",
         }
     }
 
@@ -108,6 +115,10 @@ impl Param {
                     damp: value,
                     cooldown_rounds,
                 };
+            }
+            Param::Timeseries => {
+                scenario.metrics.timeseries = value > 0.0;
+                scenario.metrics.timeseries_interval_s = (value > 0.0).then_some(value);
             }
         }
     }

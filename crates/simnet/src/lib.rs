@@ -47,7 +47,7 @@ pub use ecp_telemetry::{
 pub use packet::{
     run_packet_sim, run_packet_sim_full, ArcActivity, CbrFlow, PacketSimConfig, PacketStats,
 };
-pub use recorder::{Recorder, Sample};
+pub use recorder::{Recorder, Sample, TimeseriesPoint};
 pub use sim::{
     default_load_accounting, set_default_load_accounting, FlowId, LinkPowerState, LoadAccounting,
     SimConfig, SimEvent, Simulation,

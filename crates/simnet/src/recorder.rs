@@ -21,6 +21,28 @@ pub struct Sample {
     pub per_flow_path_rates: Vec<Vec<f64>>,
 }
 
+/// One compact campaign-observatory timeline point (`metrics.timeseries`):
+/// the scalar signals the paper's figures plot, without the per-path
+/// detail of [`Sample`]. Serialized one-object-per-line into
+/// `timeseries/<hash>.jsonl` sidecars by the campaign store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesPoint {
+    /// Simulation time (seconds).
+    pub t: f64,
+    /// Delivered fraction of the offered traffic (1.0 when nothing is
+    /// offered).
+    pub delivered_fraction: f64,
+    /// Power as a fraction of the fully-on network.
+    pub power_frac: f64,
+    /// Maximum arc utilization over capacity-bearing arcs.
+    pub max_util: f64,
+    /// Arcs above the TE overload threshold.
+    pub overloaded_arcs: u32,
+    /// Cumulative TE reconfigurations (share-change applications) since
+    /// t = 0.
+    pub reconfig_count: u64,
+}
+
 /// Append-only sample store.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Recorder {

@@ -1,6 +1,6 @@
 //! The simulation core.
 
-use crate::recorder::{Recorder, Sample};
+use crate::recorder::{Recorder, Sample, TimeseriesPoint};
 use ecp_control::{ControlPolicy, Observation, Undamped};
 use ecp_power::PowerModel;
 use ecp_telemetry::{
@@ -166,6 +166,9 @@ enum Event {
     /// (scheduled by desynchronizing policies; observes fresh loads).
     AgentControl(usize),
     Sample,
+    /// Campaign-observatory sampling tick (only scheduled when
+    /// [`Simulation::enable_timeseries`] was called).
+    TimeseriesSample,
     DemandChange(FlowId, f64),
     LinkFail(ArcId),
     LinkRepair(ArcId),
@@ -361,6 +364,15 @@ pub struct Simulation<'a, S: TelemetrySink = NoopSink> {
     idle_since: Vec<f64>,
     /// Reusable decision-path buffers (see [`DecisionScratch`]).
     scratch: DecisionScratch,
+    /// Campaign-observatory sampling interval; `None` keeps the whole
+    /// timeseries path disabled (no event is ever scheduled).
+    ts_interval: Option<f64>,
+    /// Captured observatory points (empty unless enabled).
+    ts_points: Vec<TimeseriesPoint>,
+    /// Cumulative count of share-change applications (TE
+    /// reconfigurations), maintained unconditionally — a plain integer
+    /// increment, so the zero-alloc decision path is untouched.
+    reconfig_count: u64,
 }
 
 impl<'a> Simulation<'a> {
@@ -455,6 +467,9 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 Vec::new()
             },
             scratch: DecisionScratch::default(),
+            ts_interval: None,
+            ts_points: Vec::new(),
+            reconfig_count: 0,
         };
         sim.push(cfg.control_interval, Event::Control);
         sim.push(0.0, Event::Sample);
@@ -617,6 +632,31 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         &self.recorder
     }
 
+    /// Turn on campaign-observatory sampling at `interval_s` seconds.
+    /// Call before running; the first point lands at the current time.
+    /// Off by default — when never called, no timeseries event is ever
+    /// scheduled, so the event stream (and every golden hash pinned on
+    /// it) is untouched.
+    pub fn enable_timeseries(&mut self, interval_s: f64) {
+        if self.ts_interval.is_none() {
+            self.ts_interval = Some(interval_s.max(1e-9));
+            self.push(self.now, Event::TimeseriesSample);
+        }
+    }
+
+    /// Captured observatory points (empty unless
+    /// [`Simulation::enable_timeseries`] was called).
+    pub fn timeseries(&self) -> &[TimeseriesPoint] {
+        &self.ts_points
+    }
+
+    /// Take the captured observatory points, leaving the internal
+    /// buffer empty (used to extract them before consuming the
+    /// simulation for its telemetry sink).
+    pub fn take_timeseries(&mut self) -> Vec<TimeseriesPoint> {
+        std::mem::take(&mut self.ts_points)
+    }
+
     /// The telemetry sink.
     pub fn telemetry(&self) -> &S {
         &self.sink
@@ -700,6 +740,12 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             Event::Sample => {
                 self.take_sample();
                 self.push(self.now + self.cfg.sample_interval, Event::Sample);
+            }
+            Event::TimeseriesSample => {
+                self.take_timeseries_point();
+                if let Some(dt) = self.ts_interval {
+                    self.push(self.now + dt, Event::TimeseriesSample);
+                }
             }
             Event::DemandChange(f, rate) => {
                 self.set_flow_offered(f.0, rate);
@@ -1531,6 +1577,7 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
                 share_changes += 1;
             }
         }
+        self.reconfig_count += share_changes as u64;
         if S::SPANS {
             self.sink.span_exit(SpanName::RoundApply);
             self.sink.span_enter(SpanName::RoundInstall);
@@ -1656,8 +1703,11 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
         if S::SPANS {
             self.sink.span_enter(SpanName::RoundApply);
         }
-        if self.apply_flow_shares(fi, &shares, &mut to_wake, &mut to_sleepcheck) && S::ENABLED {
-            self.sink.add(Counter::ShareChanges, 1);
+        if self.apply_flow_shares(fi, &shares, &mut to_wake, &mut to_sleepcheck) {
+            self.reconfig_count += 1;
+            if S::ENABLED {
+                self.sink.add(Counter::ShareChanges, 1);
+            }
         }
         if S::SPANS {
             self.sink.span_exit(SpanName::RoundApply);
@@ -1719,6 +1769,52 @@ impl<'a, S: TelemetrySink> Simulation<'a, S> {
             offered_total,
             delivered_total,
             per_flow_path_rates: per_flow,
+        });
+    }
+
+    /// One campaign-observatory point: the scalar signals of
+    /// [`Simulation::take_sample`] and [`Simulation::arc_loads_event`]
+    /// without per-path vectors or telemetry events.
+    fn take_timeseries_point(&mut self) {
+        let (delivered_fraction, max_util, overloaded) = {
+            let loads = self.loads_for_query();
+            let mut offered_total = 0.0;
+            let mut delivered_total = 0.0;
+            for fl in &self.flows {
+                offered_total += fl.offered;
+                for pi in 0..fl.paths.len() {
+                    delivered_total += self.path_delivery(fl, pi, &loads);
+                }
+            }
+            let delivered_fraction = if offered_total > 0.0 {
+                delivered_total / offered_total
+            } else {
+                1.0
+            };
+            let threshold = self.cfg.te.threshold;
+            let mut max_util = 0.0_f64;
+            let mut overloaded = 0u32;
+            for a in self.topo.arc_ids() {
+                let c = self.topo.arc(a).capacity;
+                if c <= 0.0 {
+                    continue;
+                }
+                let util = loads[a.idx()] / c;
+                max_util = max_util.max(util);
+                if util > threshold {
+                    overloaded += 1;
+                }
+            }
+            (delivered_fraction, max_util, overloaded)
+        };
+        let power_frac = self.power_w() / self.full_power_w;
+        self.ts_points.push(TimeseriesPoint {
+            t: self.now,
+            delivered_fraction,
+            power_frac,
+            max_util,
+            overloaded_arcs: overloaded,
+            reconfig_count: self.reconfig_count,
         });
     }
 }
